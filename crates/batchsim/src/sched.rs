@@ -1,0 +1,555 @@
+//! The discrete-event scheduler: FIFO and conservative backfill.
+
+use crate::job::{Job, JobId, JobRequest, JobState, LayoutError};
+use std::collections::BTreeMap;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict first-in-first-out: the queue head blocks everyone behind it.
+    Fifo,
+    /// EASY backfill: later jobs may run early if they cannot delay the
+    /// reserved start of the queue head (using time limits as estimates).
+    Backfill,
+}
+
+/// Per-account usage bookkeeping (core-seconds).
+#[derive(Debug, Clone, Default)]
+pub struct Accounting {
+    usage: BTreeMap<String, f64>,
+    /// Accounts allowed to submit; empty = open system.
+    allowed: Vec<String>,
+}
+
+impl Accounting {
+    pub fn restrict_to(accounts: &[&str]) -> Accounting {
+        Accounting {
+            usage: BTreeMap::new(),
+            allowed: accounts.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn permits(&self, account: &str) -> bool {
+        self.allowed.is_empty() || self.allowed.iter().any(|a| a == account)
+    }
+
+    fn charge(&mut self, account: &str, core_seconds: f64) {
+        *self.usage.entry(account.to_string()).or_insert(0.0) += core_seconds;
+    }
+
+    pub fn usage_core_seconds(&self, account: &str) -> f64 {
+        self.usage.get(account).copied().unwrap_or(0.0)
+    }
+}
+
+/// A batch scheduler over one homogeneous partition.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: Policy,
+    total_nodes: u32,
+    cores_per_node: u32,
+    now: f64,
+    next_id: u64,
+    pending: Vec<Job>,
+    running: Vec<Job>,
+    finished: Vec<Job>,
+    free_nodes: Vec<u32>,
+    accounting: Accounting,
+    /// `afterok` dependencies: job → must-complete-first job.
+    dependencies: BTreeMap<JobId, JobId>,
+}
+
+impl Scheduler {
+    pub fn new(policy: Policy, total_nodes: u32, cores_per_node: u32) -> Scheduler {
+        Scheduler {
+            policy,
+            total_nodes,
+            cores_per_node,
+            now: 0.0,
+            next_id: 1,
+            pending: Vec::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+            free_nodes: (0..total_nodes).collect(),
+            accounting: Accounting::default(),
+            dependencies: BTreeMap::new(),
+        }
+    }
+
+    pub fn with_accounting(mut self, accounting: Accounting) -> Scheduler {
+        self.accounting = accounting;
+        self
+    }
+
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    pub fn free_node_count(&self) -> u32 {
+        self.free_nodes.len() as u32
+    }
+
+    /// Submit a job whose true runtime (from the platform model) is
+    /// `run_time_s`. Returns its id, or a layout/accounting error.
+    pub fn submit(&mut self, request: JobRequest, run_time_s: f64) -> Result<JobId, LayoutError> {
+        request.validate(self.cores_per_node)?;
+        if request.nodes_needed() > self.total_nodes {
+            return Err(LayoutError::PartitionTooSmall {
+                requested: request.nodes_needed(),
+                available: self.total_nodes,
+            });
+        }
+        if !self.accounting.permits(&request.account) {
+            return Err(LayoutError::BadAccounting(format!(
+                "account `{}` has no allocation on this system",
+                request.account
+            )));
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.pending.push(Job {
+            id,
+            request,
+            state: JobState::Pending,
+            submit_time: self.now,
+            start_time: None,
+            end_time: None,
+            run_time_s,
+            allocated_nodes: Vec::new(),
+        });
+        self.schedule_pass();
+        Ok(id)
+    }
+
+    /// Submit a job that may only start after `after` completes
+    /// successfully (SLURM's `--dependency=afterok:<id>`). The harness uses
+    /// this to chain the build job before the run job.
+    pub fn submit_after(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        after: JobId,
+    ) -> Result<JobId, LayoutError> {
+        if self.job(after).is_none() {
+            return Err(LayoutError::BadAccounting(format!(
+                "dependency on unknown job {after}"
+            )));
+        }
+        let id = self.submit(request, run_time_s)?;
+        self.dependencies.insert(id, after);
+        // submit() may have eagerly started it; pull it back if the
+        // dependency is not yet satisfied.
+        if !self.dependency_satisfied(id) {
+            if let Some(pos) = self.running.iter().position(|j| j.id == id) {
+                let mut job = self.running.remove(pos);
+                self.free_nodes.append(&mut job.allocated_nodes);
+                self.free_nodes.sort_unstable();
+                job.state = JobState::Pending;
+                job.start_time = None;
+                job.end_time = None;
+                self.pending.insert(0, job);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Is `id` free of unmet dependencies?
+    fn dependency_satisfied(&self, id: JobId) -> bool {
+        match self.dependencies.get(&id) {
+            None => true,
+            Some(dep) => self
+                .finished
+                .iter()
+                .any(|j| j.id == *dep && j.state == JobState::Completed),
+        }
+    }
+
+    /// Cancel a pending job.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if let Some(pos) = self.pending.iter().position(|j| j.id == id) {
+            let mut job = self.pending.remove(pos);
+            job.state = JobState::Cancelled;
+            job.end_time = Some(self.now);
+            self.finished.push(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advance simulated time until every submitted job has finished.
+    pub fn run_to_completion(&mut self) {
+        while !self.running.is_empty() || !self.pending.is_empty() {
+            if self.running.is_empty() {
+                self.schedule_pass();
+                if self.running.is_empty() {
+                    // Remaining jobs are blocked on dependencies that can
+                    // never complete (e.g. the parent timed out): cancel
+                    // them, as SLURM does with DependencyNeverSatisfied.
+                    let blocked: Vec<JobId> = self.pending.iter().map(|j| j.id).collect();
+                    for id in blocked {
+                        self.cancel(id);
+                    }
+                    break;
+                }
+                continue;
+            }
+            // Next completion event.
+            let (idx, end) = self
+                .running
+                .iter()
+                .enumerate()
+                .map(|(i, j)| (i, j.end_time.expect("running jobs have end times")))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("running non-empty");
+            self.now = end;
+            let mut job = self.running.remove(idx);
+            let limit_hit = job.run_time_s > job.request.time_limit_s;
+            job.state = if limit_hit { JobState::TimedOut } else { JobState::Completed };
+            self.free_nodes.extend(job.allocated_nodes.iter().copied());
+            self.free_nodes.sort_unstable();
+            let elapsed = job.end_time.expect("set at start") - job.start_time.expect("set");
+            let cores = job.request.nodes_needed() as f64 * job.request.cores_per_node() as f64;
+            self.accounting.charge(&job.request.account, elapsed * cores);
+            self.finished.push(job);
+            self.schedule_pass();
+        }
+    }
+
+    /// Try to start pending jobs under the active policy.
+    fn schedule_pass(&mut self) {
+        match self.policy {
+            Policy::Fifo => {
+                while let Some(head) = self.pending.first() {
+                    if head.request.nodes_needed() <= self.free_node_count()
+                        && self.dependency_satisfied(head.id)
+                    {
+                        let job = self.pending.remove(0);
+                        self.start(job);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Policy::Backfill => {
+                // Start the head if possible; otherwise compute its reserved
+                // start time and backfill jobs that end before it.
+                loop {
+                    let Some(head) = self.pending.first() else { return };
+                    if head.request.nodes_needed() <= self.free_node_count()
+                        && self.dependency_satisfied(head.id)
+                    {
+                        let job = self.pending.remove(0);
+                        self.start(job);
+                        continue;
+                    }
+                    break;
+                }
+                let Some(head) = self.pending.first() else { return };
+                let reserve_at = self.earliest_start_for(head.request.nodes_needed());
+                let mut i = 1;
+                while i < self.pending.len() {
+                    let cand = &self.pending[i];
+                    let fits_now = cand.request.nodes_needed() <= self.free_node_count()
+                        && self.dependency_satisfied(cand.id);
+                    // Conservative: a backfilled job must finish (by its
+                    // limit) before the head's reservation, or be small
+                    // enough to not take the head's reserved nodes. We use
+                    // the simple EASY rule: finish before the reservation.
+                    let ends_in_time = self.now + cand.request.time_limit_s <= reserve_at;
+                    if fits_now && ends_in_time {
+                        let job = self.pending.remove(i);
+                        self.start(job);
+                        // Restart scan: free nodes changed.
+                        i = 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// When could a job needing `nodes` start, given current running jobs'
+    /// time limits?
+    fn earliest_start_for(&self, nodes: u32) -> f64 {
+        let mut free = self.free_node_count();
+        if free >= nodes {
+            return self.now;
+        }
+        // Sort running jobs by their worst-case end (start + limit).
+        let mut ends: Vec<(f64, u32)> = self
+            .running
+            .iter()
+            .map(|j| {
+                (
+                    j.start_time.expect("running") + j.request.time_limit_s,
+                    j.request.nodes_needed(),
+                )
+            })
+            .collect();
+        ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (end, freed) in ends {
+            free += freed;
+            if free >= nodes {
+                return end;
+            }
+        }
+        f64::INFINITY
+    }
+
+    fn start(&mut self, mut job: Job) {
+        let n = job.request.nodes_needed() as usize;
+        debug_assert!(n <= self.free_nodes.len());
+        job.allocated_nodes = self.free_nodes.drain(..n).collect();
+        job.state = JobState::Running;
+        job.start_time = Some(self.now);
+        let actual = job.run_time_s.min(job.request.time_limit_s);
+        job.end_time = Some(self.now + actual);
+        self.running.push(job);
+    }
+
+    /// Look up any job by id.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.pending
+            .iter()
+            .chain(self.running.iter())
+            .chain(self.finished.iter())
+            .find(|j| j.id == id)
+    }
+
+    pub fn finished_jobs(&self) -> &[Job] {
+        &self.finished
+    }
+
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Mean queue wait over finished jobs.
+    pub fn mean_wait_time(&self) -> f64 {
+        let waits: Vec<f64> = self.finished.iter().filter_map(Job::wait_time).collect();
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        }
+    }
+
+    /// Node-utilization fraction over the makespan.
+    pub fn utilization(&self) -> f64 {
+        let makespan = self
+            .finished
+            .iter()
+            .filter_map(|j| j.end_time)
+            .fold(0.0f64, f64::max);
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .finished
+            .iter()
+            .filter(|j| j.state == JobState::Completed || j.state == JobState::TimedOut)
+            .map(|j| {
+                (j.end_time.expect("finished") - j.start_time.expect("ran"))
+                    * j.request.nodes_needed() as f64
+            })
+            .sum();
+        busy / (makespan * self.total_nodes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(name: &str, nodes: u32, limit: f64) -> JobRequest {
+        JobRequest::new(name, nodes, 1, 1).with_time_limit(limit)
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        let id = s.submit(req("a", 2, 100.0), 10.0).unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::Completed);
+        assert_eq!(j.wait_time(), Some(0.0));
+        assert_eq!(j.end_time, Some(10.0));
+    }
+
+    #[test]
+    fn fifo_head_blocks_backfillable_job() {
+        // 4 nodes. Job A takes all 4 for 100 s. Job B needs all 4 (blocked).
+        // Job C needs 1 node for 10 s — FIFO makes it wait behind B.
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        s.submit(req("a", 4, 200.0), 100.0).unwrap();
+        let b = s.submit(req("b", 4, 200.0), 50.0).unwrap();
+        let c = s.submit(req("c", 1, 20.0), 10.0).unwrap();
+        s.run_to_completion();
+        assert!(s.job(c).unwrap().start_time.unwrap() >= s.job(b).unwrap().start_time.unwrap());
+    }
+
+    #[test]
+    fn backfill_lets_small_job_jump() {
+        // a leaves one node free; b (the head) needs all 4 and blocks;
+        // c fits in the hole and finishes before b's reservation.
+        let mut s = Scheduler::new(Policy::Backfill, 4, 16);
+        s.submit(req("a", 3, 200.0), 100.0).unwrap();
+        let b = s.submit(req("b", 4, 200.0), 50.0).unwrap();
+        let c = s.submit(req("c", 1, 20.0), 10.0).unwrap();
+        s.run_to_completion();
+        let cj = s.job(c).unwrap();
+        let bj = s.job(b).unwrap();
+        assert!(cj.start_time.unwrap() < bj.start_time.unwrap(), "c should backfill");
+        // But c cannot delay b: b starts when a actually ends.
+        assert!((bj.start_time.unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_reduces_mean_wait() {
+        let make = |policy| {
+            let mut s = Scheduler::new(policy, 8, 16);
+            s.submit(req("big1", 7, 100.0), 100.0).unwrap();
+            s.submit(req("big2", 8, 100.0), 100.0).unwrap();
+            for i in 0..6 {
+                s.submit(req(&format!("small{i}"), 1, 50.0), 30.0).unwrap();
+            }
+            s.run_to_completion();
+            s.mean_wait_time()
+        };
+        assert!(make(Policy::Backfill) < make(Policy::Fifo));
+    }
+
+    #[test]
+    fn oversized_job_rejected() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        assert!(matches!(
+            s.submit(req("huge", 5, 10.0), 1.0),
+            Err(LayoutError::PartitionTooSmall { .. })
+        ));
+        assert!(matches!(
+            s.submit(JobRequest::new("wide", 1, 1, 32), 1.0),
+            Err(LayoutError::NodeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let id = s.submit(req("slow", 1, 10.0), 100.0).unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::TimedOut);
+        assert_eq!(j.end_time, Some(10.0), "killed at the limit");
+    }
+
+    #[test]
+    fn accounting_charges_core_seconds() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16)
+            .with_accounting(Accounting::restrict_to(&["ec176"]));
+        assert!(s.submit(req("x", 1, 100.0), 10.0).is_err(), "default account rejected");
+        let r = JobRequest::new("y", 2, 1, 4).with_account("ec176").with_time_limit(100.0);
+        s.submit(r, 10.0).unwrap();
+        s.run_to_completion();
+        // 2 nodes x 4 cores x 10 s = 80 core-seconds.
+        assert!((s.accounting().usage_core_seconds("ec176") - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_pending_job() {
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        s.submit(req("a", 1, 100.0), 50.0).unwrap();
+        let b = s.submit(req("b", 1, 100.0), 50.0).unwrap();
+        assert!(s.cancel(b));
+        assert!(!s.cancel(b), "already cancelled");
+        s.run_to_completion();
+        assert_eq!(s.job(b).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut s = Scheduler::new(Policy::Backfill, 4, 16);
+        for i in 0..10 {
+            s.submit(req(&format!("j{i}"), (i % 3) + 1, 100.0), 10.0 + i as f64).unwrap();
+        }
+        s.run_to_completion();
+        let u = s.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+    }
+
+    #[test]
+    fn dependency_chains_build_then_run() {
+        let mut s = Scheduler::new(Policy::Backfill, 4, 16);
+        let build = s.submit(req("build", 1, 600.0), 120.0).unwrap();
+        let run = s.submit_after(req("run", 2, 600.0), 30.0, build).unwrap();
+        s.run_to_completion();
+        let b = s.job(build).unwrap();
+        let r = s.job(run).unwrap();
+        assert_eq!(b.state, JobState::Completed);
+        assert_eq!(r.state, JobState::Completed);
+        assert!(
+            r.start_time.unwrap() >= b.end_time.unwrap(),
+            "run must wait for build: {:?} vs {:?}",
+            r.start_time,
+            b.end_time
+        );
+    }
+
+    #[test]
+    fn dependency_on_failed_parent_cancels_child() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        // Parent exceeds its limit -> TimedOut, not Completed.
+        let parent = s.submit(req("slow", 1, 10.0), 100.0).unwrap();
+        let child = s.submit_after(req("child", 1, 10.0), 5.0, parent).unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(parent).unwrap().state, JobState::TimedOut);
+        assert_eq!(
+            s.job(child).unwrap().state,
+            JobState::Cancelled,
+            "DependencyNeverSatisfied"
+        );
+    }
+
+    #[test]
+    fn dependency_on_unknown_job_rejected() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        assert!(s.submit_after(req("x", 1, 10.0), 1.0, JobId(99)).is_err());
+    }
+
+    #[test]
+    fn independent_jobs_backfill_around_dependency() {
+        let mut s = Scheduler::new(Policy::Backfill, 4, 16);
+        let build = s.submit(req("build", 4, 200.0), 100.0).unwrap();
+        let run = s.submit_after(req("run", 4, 200.0), 10.0, build).unwrap();
+        let free = s.submit(req("free", 1, 20.0), 10.0).unwrap();
+        s.run_to_completion();
+        // Everything completes; the blocked `run` job never starves the
+        // independent one indefinitely.
+        for id in [build, run, free] {
+            assert_eq!(s.job(id).unwrap().state, JobState::Completed);
+        }
+        assert!(
+            s.job(run).unwrap().start_time.unwrap()
+                >= s.job(build).unwrap().end_time.unwrap()
+        );
+    }
+
+    #[test]
+    fn timestamps_monotonic() {
+        let mut s = Scheduler::new(Policy::Backfill, 2, 16);
+        for i in 0..8 {
+            s.submit(req(&format!("j{i}"), 1 + (i % 2), 50.0), 5.0 * (i + 1) as f64).unwrap();
+        }
+        s.run_to_completion();
+        for j in s.finished_jobs() {
+            let (st, en) = (j.start_time.unwrap(), j.end_time.unwrap());
+            assert!(st >= j.submit_time);
+            assert!(en >= st);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Job-script generation: Principle 5 in artifact form.
+//!
+//! The framework must capture "all steps to run the built benchmark so it
+//! can be run by anyone on the same system using the default environment".
+//! This module renders a job request + launch command into the batch script
+//! the scheduler would execute, so the perflog can archive it verbatim.
+
+use crate::job::JobRequest;
+use simhpc::platform::SchedulerKind;
+
+/// Render the batch script for `request` running `command` under the given
+/// scheduler dialect.
+pub fn render_script(kind: SchedulerKind, request: &JobRequest, command: &str) -> String {
+    match kind {
+        SchedulerKind::Slurm => {
+            let mut s = String::from("#!/bin/bash\n");
+            s.push_str(&format!("#SBATCH --job-name={}\n", request.name));
+            s.push_str(&format!("#SBATCH --account={}\n", request.account));
+            s.push_str(&format!("#SBATCH --qos={}\n", request.qos));
+            s.push_str(&format!("#SBATCH --ntasks={}\n", request.num_tasks));
+            s.push_str(&format!("#SBATCH --ntasks-per-node={}\n", request.num_tasks_per_node));
+            s.push_str(&format!("#SBATCH --cpus-per-task={}\n", request.num_cpus_per_task));
+            s.push_str(&format!("#SBATCH --time={}\n", format_walltime(request.time_limit_s)));
+            s.push_str("\nexport OMP_NUM_THREADS=$SLURM_CPUS_PER_TASK\n");
+            s.push_str(&format!("srun {command}\n"));
+            s
+        }
+        SchedulerKind::Pbs => {
+            let nodes = request.nodes_needed();
+            let mut s = String::from("#!/bin/bash\n");
+            s.push_str(&format!("#PBS -N {}\n", request.name));
+            s.push_str(&format!("#PBS -A {}\n", request.account));
+            s.push_str(&format!(
+                "#PBS -l select={}:ncpus={}:mpiprocs={}\n",
+                nodes,
+                request.cores_per_node(),
+                request.num_tasks_per_node
+            ));
+            s.push_str(&format!("#PBS -l walltime={}\n", format_walltime(request.time_limit_s)));
+            s.push_str(&format!(
+                "\nexport OMP_NUM_THREADS={}\n",
+                request.num_cpus_per_task
+            ));
+            s.push_str(&format!("mpirun -n {} {command}\n", request.num_tasks));
+            s
+        }
+        SchedulerKind::Local => {
+            format!(
+                "#!/bin/bash\nexport OMP_NUM_THREADS={}\n{command}\n",
+                request.num_cpus_per_task
+            )
+        }
+    }
+}
+
+fn format_walltime(seconds: f64) -> String {
+    let total = seconds.max(0.0).round() as u64;
+    format!("{:02}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> JobRequest {
+        JobRequest::new("hpgmg", 8, 2, 8).with_account("ec176").with_qos("standard").with_time_limit(1800.0)
+    }
+
+    #[test]
+    fn slurm_script_has_paper_knobs() {
+        let s = render_script(SchedulerKind::Slurm, &request(), "./hpgmg-fv 7 8");
+        assert!(s.contains("#SBATCH --ntasks=8"));
+        assert!(s.contains("#SBATCH --ntasks-per-node=2"));
+        assert!(s.contains("#SBATCH --cpus-per-task=8"));
+        assert!(s.contains("#SBATCH --qos=standard"));
+        assert!(s.contains("--account=ec176"));
+        assert!(s.contains("srun ./hpgmg-fv 7 8"));
+        assert!(s.contains("--time=00:30:00"));
+    }
+
+    #[test]
+    fn pbs_script_select_line() {
+        let s = render_script(SchedulerKind::Pbs, &request(), "./hpgmg-fv 7 8");
+        assert!(s.contains("#PBS -l select=4:ncpus=16:mpiprocs=2"));
+        assert!(s.contains("mpirun -n 8 ./hpgmg-fv 7 8"));
+    }
+
+    #[test]
+    fn local_script_is_direct() {
+        let s = render_script(SchedulerKind::Local, &request(), "./bench");
+        assert!(!s.contains("#SBATCH"));
+        assert!(s.contains("OMP_NUM_THREADS=8"));
+        assert!(s.contains("./bench"));
+    }
+
+    #[test]
+    fn walltime_formatting() {
+        assert_eq!(format_walltime(0.0), "00:00:00");
+        assert_eq!(format_walltime(59.4), "00:00:59");
+        assert_eq!(format_walltime(3661.0), "01:01:01");
+        assert_eq!(format_walltime(86400.0), "24:00:00");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests: scheduler invariants under random workloads.
+
+use batchsim::{JobRequest, JobState, Policy, Scheduler};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct WorkloadJob {
+    tasks: u32,
+    tasks_per_node: u32,
+    cpus: u32,
+    run_s: f64,
+    limit_s: f64,
+}
+
+fn workload() -> impl Strategy<Value = Vec<WorkloadJob>> {
+    prop::collection::vec(
+        (1u32..16, 1u32..4, 1u32..8, 1.0f64..100.0, 10.0f64..200.0).prop_map(
+            |(tasks, tpn, cpus, run_s, limit_s)| WorkloadJob {
+                tasks,
+                tasks_per_node: tpn.min(tasks),
+                cpus,
+                run_s,
+                limit_s,
+            },
+        ),
+        1..25,
+    )
+}
+
+fn run(policy: Policy, jobs: &[WorkloadJob]) -> Scheduler {
+    let mut s = Scheduler::new(policy, 16, 64);
+    for (i, j) in jobs.iter().enumerate() {
+        let req = JobRequest::new(&format!("j{i}"), j.tasks, j.tasks_per_node, j.cpus)
+            .with_time_limit(j.limit_s);
+        // Some jobs are invalid (too wide); that's fine — they're rejected.
+        let _ = s.submit(req, j.run_s);
+    }
+    s.run_to_completion();
+    s
+}
+
+proptest! {
+    /// Every accepted job terminates, with sane timestamps, and no job
+    /// exceeds its time limit.
+    #[test]
+    fn all_jobs_terminate(jobs in workload(), backfill in any::<bool>()) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run(policy, &jobs);
+        for j in s.finished_jobs() {
+            prop_assert!(matches!(j.state, JobState::Completed | JobState::TimedOut));
+            let st = j.start_time.unwrap();
+            let en = j.end_time.unwrap();
+            prop_assert!(st >= j.submit_time);
+            prop_assert!(en >= st);
+            prop_assert!(en - st <= j.request.time_limit_s + 1e-9, "ran past its limit");
+        }
+    }
+
+    /// At no point do concurrently running jobs oversubscribe the node pool
+    /// (checked pairwise over the completed schedule).
+    #[test]
+    fn no_node_oversubscription(jobs in workload()) {
+        let s = run(Policy::Backfill, &jobs);
+        let finished = s.finished_jobs();
+        // Sample time points at every job start.
+        for probe in finished.iter().filter_map(|j| j.start_time) {
+            let in_flight: u32 = finished
+                .iter()
+                .filter(|j| {
+                    j.start_time.is_some_and(|st| st <= probe)
+                        && j.end_time.is_some_and(|en| en > probe)
+                })
+                .map(|j| j.request.nodes_needed())
+                .sum();
+            prop_assert!(in_flight <= 16, "oversubscribed: {in_flight} nodes at t={probe}");
+        }
+    }
+
+    /// No two concurrent jobs share a node.
+    #[test]
+    fn node_allocations_disjoint(jobs in workload()) {
+        let s = run(Policy::Backfill, &jobs);
+        let finished = s.finished_jobs();
+        for a in finished {
+            for b in finished {
+                if a.id >= b.id {
+                    continue;
+                }
+                let overlap_in_time = a.start_time.unwrap() < b.end_time.unwrap()
+                    && b.start_time.unwrap() < a.end_time.unwrap();
+                if overlap_in_time {
+                    for n in &a.allocated_nodes {
+                        prop_assert!(
+                            !b.allocated_nodes.contains(n),
+                            "jobs {} and {} share node {n}",
+                            a.id,
+                            b.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The simulation is deterministic: the same workload replays to the
+    /// identical schedule (Principle 5 depends on this).
+    #[test]
+    fn schedule_is_deterministic(jobs in workload(), backfill in any::<bool>()) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let a = run(policy, &jobs);
+        let b = run(policy, &jobs);
+        prop_assert_eq!(a.finished_jobs().len(), b.finished_jobs().len());
+        for (ja, jb) in a.finished_jobs().iter().zip(b.finished_jobs()) {
+            prop_assert_eq!(ja.id, jb.id);
+            prop_assert_eq!(ja.start_time, jb.start_time);
+            prop_assert_eq!(ja.end_time, jb.end_time);
+            prop_assert_eq!(&ja.allocated_nodes, &jb.allocated_nodes);
+        }
+    }
+
+    /// Under strict FIFO, jobs start in submission order.
+    #[test]
+    fn fifo_starts_in_submission_order(jobs in workload()) {
+        let s = run(Policy::Fifo, &jobs);
+        let mut by_id: Vec<_> = s.finished_jobs().to_vec();
+        by_id.sort_by_key(|j| j.id);
+        for pair in by_id.windows(2) {
+            prop_assert!(
+                pair[0].start_time.unwrap() <= pair[1].start_time.unwrap() + 1e-9,
+                "FIFO violated: {} started after {}",
+                pair[0].id,
+                pair[1].id
+            );
+        }
+    }
+
+    /// Backfill accepts exactly the same job set as FIFO (policies affect
+    /// ordering, never admission).
+    #[test]
+    fn policies_agree_on_admission(jobs in workload()) {
+        let fifo = run(Policy::Fifo, &jobs);
+        let bf = run(Policy::Backfill, &jobs);
+        prop_assert_eq!(fifo.finished_jobs().len(), bf.finished_jobs().len());
+    }
+}

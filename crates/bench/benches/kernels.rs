@@ -1,0 +1,79 @@
+//! Criterion benches for the kernel layer: the real memory-bandwidth
+//! kernels across the programming-model backends. This is the native
+//! (host-hardware) counterpart of Figure 2's measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parkern::backend::{Backend, CrossbeamBackend, SerialBackend, ThreadsBackend};
+use parkern::kernels;
+use parkern::PoolBackend;
+
+const N: usize = 1 << 20;
+
+fn backends() -> Vec<(&'static str, Box<dyn Backend>)> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    vec![
+        ("serial", Box::new(SerialBackend) as Box<dyn Backend>),
+        ("threads", Box::new(ThreadsBackend::new(threads))),
+        ("crossbeam", Box::new(CrossbeamBackend::new(threads))),
+        ("pool", Box::new(PoolBackend::new(threads))),
+    ]
+}
+
+fn bench_triad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triad");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Bytes((3 * N * 8) as u64));
+    let b_arr: Vec<f64> = (0..N).map(|i| i as f64).collect();
+    let c_arr = vec![1.5f64; N];
+    for (name, backend) in backends() {
+        let mut a = vec![0.0f64; N];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |bench, backend| {
+            bench.iter(|| kernels::triad(backend.as_ref(), 0.4, &b_arr, &c_arr, &mut a));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Bytes((2 * N * 8) as u64));
+    let a: Vec<f64> = (0..N).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..N).map(|i| (i as f64).cos()).collect();
+    for (name, backend) in backends() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |bench, backend| {
+            bench.iter(|| kernels::dot(backend.as_ref(), &a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_vs_stencil");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // The Table 2 story at kernel level: assembled CSR vs matrix-free
+    // stencil for the same 27-point operator.
+    let dim = 24usize;
+    let problem = benchapps::hpcg::Problem::cube(dim);
+    let csr = benchapps::hpcg::CsrOperator::poisson27(&problem);
+    let mf = benchapps::hpcg::MatrixFreeOperator::new(&problem);
+    use benchapps::hpcg::Operator;
+    let x: Vec<f64> = (0..problem.n()).map(|i| (i % 17) as f64).collect();
+    let mut y = vec![0.0; problem.n()];
+    group.bench_function("csr_apply", |bench| {
+        bench.iter(|| csr.apply(&x, &mut y));
+    });
+    group.bench_function("matrix_free_apply", |bench| {
+        bench.iter(|| mf.apply(&x, &mut y));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_triad, bench_dot, bench_spmv);
+criterion_main!(benches);

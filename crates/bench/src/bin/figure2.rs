@@ -1,0 +1,19 @@
+//! Regenerate Figure 2: BabelStream Triad efficiency across programming
+//! models and platforms. Prints the text heat map and writes the SVG to
+//! target/figure2.svg.
+
+fn main() {
+    let (map, cells) = bench::figure2();
+    print!("{}", map.render_text());
+    println!();
+    let available = cells.iter().filter(|c| c.efficiency.is_some()).count();
+    println!(
+        "{available}/{} combinations available ('*' boxes are unsupported, as in the paper)",
+        cells.len()
+    );
+    let svg = map.render_svg();
+    let path = std::path::Path::new("target").join("figure2.svg");
+    if std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, svg)).is_ok() {
+        println!("SVG written to {}", path.display());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1: processors used for the BabelStream benchmarks.
+
+fn main() {
+    println!("Table 1: Information about Processors Used for BabelStream Benchmarks\n");
+    print!("{}", bench::table1());
+}

@@ -1,0 +1,13 @@
+//! Regenerate Table 2: HPCG variants (GFLOP/s) plus the Eq. 1 ratios.
+
+fn main() {
+    println!("Table 2: Results for different HPCG variants (GFlop/s, single node MPI)\n");
+    let t = bench::table2();
+    print!("{t}");
+    let (e_i, e_a_cl, e_a_rome) = bench::eq1_ratios(&t);
+    println!();
+    println!("Eq. 1 efficiency ratios (paper: E_I=1.625, E_A=2.125 / 3.168):");
+    println!("  E_I (Intel implementation, Cascade Lake) = {e_i:.3}");
+    println!("  E_A (CSR -> matrix-free, Cascade Lake)   = {e_a_cl:.3}");
+    println!("  E_A (CSR -> matrix-free, AMD Rome)       = {e_a_rome:.3}");
+}

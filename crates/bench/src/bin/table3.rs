@@ -1,0 +1,6 @@
+//! Regenerate Table 3: concretized build dependencies of hpgmg%gcc.
+
+fn main() {
+    println!("Table 3: Concretized build dependencies of the HPGMG-FV benchmark (hpgmg%gcc)\n");
+    print!("{}", bench::table3());
+}

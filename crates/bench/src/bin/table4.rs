@@ -1,0 +1,6 @@
+//! Regenerate Table 4: HPGMG-FV Figures of Merit (10^6 DOF/s).
+
+fn main() {
+    println!("Table 4: Figures of Merit of HPGMG-FV benchmark (10^6 DOF/s)\n");
+    print!("{}", bench::table4());
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 5: details of the processors used in this study.
+
+fn main() {
+    println!("Table 5: Details of the processors used in this study\n");
+    print!("{}", bench::table5());
+}

@@ -1,0 +1,291 @@
+//! `bench` — regeneration of every table and figure in the paper.
+//!
+//! Each experiment is a library function returning structured data, used
+//! three ways: the `table*`/`figure2` binaries print the paper-formatted
+//! artefact, the integration tests assert the shape claims, and
+//! EXPERIMENTS.md records paper-vs-measured values. Criterion benches for
+//! kernel/framework performance live in `benches/`.
+
+use dframe::{Cell, DataFrame};
+use harness::{cases, Harness, HarnessError, RunOptions};
+use parkern::Model;
+use postproc::Heatmap;
+
+/// Default deterministic seed for every regenerated experiment.
+pub const SEED: u64 = 2023;
+
+/// Table 1: processors used for the BabelStream benchmarks.
+pub fn table1() -> DataFrame {
+    let mut df = DataFrame::new(vec!["Vendor", "Processor", "Cores/CUs", "Peak BW (GB/s)"]);
+    for spec in ["isambard-macs:cascadelake", "isambard:xci", "noctua2:milan", "isambard-macs:volta"]
+    {
+        let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog spec");
+        let p = sys.partition(&part).expect("partition").processor().clone();
+        let cores = if p.sockets() > 1 {
+            format!("{}x{}", p.sockets(), p.cores_per_socket())
+        } else {
+            p.total_cores().to_string()
+        };
+        df.push_row(vec![
+            Cell::from(p.vendor()),
+            Cell::from(p.model()),
+            Cell::from(cores),
+            Cell::from(p.peak_mem_bw_gbs()),
+        ])
+        .expect("fixed schema");
+    }
+    df
+}
+
+/// The Figure 2 platforms: (system spec, column label, array-size exponent).
+/// The paper uses 2^29 elements on Milan (512 MB L3) and 2^25 elsewhere.
+pub const FIGURE2_PLATFORMS: &[(&str, &str, u32)] = &[
+    ("isambard-macs:cascadelake", "cascadelake", 25),
+    ("isambard:xci", "thunderx2", 25),
+    ("noctua2:milan", "milan", 29),
+    ("isambard-macs:volta", "v100", 25),
+];
+
+/// One Figure 2 run result.
+#[derive(Debug, Clone)]
+pub struct Figure2Cell {
+    pub model: String,
+    pub platform: String,
+    /// Triad bandwidth in MB/s, None when the combination is unavailable.
+    pub triad_mbs: Option<f64>,
+    /// Fraction of theoretical peak.
+    pub efficiency: Option<f64>,
+}
+
+/// Figure 2: BabelStream Triad efficiency, programming models × platforms.
+pub fn figure2() -> (Heatmap, Vec<Figure2Cell>) {
+    let models: Vec<Model> = Model::all()
+        .iter()
+        .copied()
+        .filter(|m| *m != Model::Serial) // the paper's rows exclude serial
+        .collect();
+    let mut cells = Vec::new();
+    let mut map = Heatmap::new(
+        "Figure 2: BabelStream Triad fraction of theoretical peak",
+        models.iter().map(|m| m.name().to_string()).collect(),
+        FIGURE2_PLATFORMS.iter().map(|(_, label, _)| label.to_string()).collect(),
+    );
+    for (spec, label, exp) in FIGURE2_PLATFORMS {
+        let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog spec");
+        let peak_mbs =
+            sys.partition(&part).expect("partition").processor().peak_mem_bw_gbs() * 1000.0;
+        let mut harness = Harness::new(RunOptions::on_system(spec).with_seed(SEED));
+        for model in &models {
+            let case = cases::babelstream(*model, 1usize << exp);
+            match harness.run_case(&case) {
+                Ok(report) => {
+                    let triad = report.record.fom("Triad").expect("Triad FOM").value;
+                    let eff = triad / peak_mbs;
+                    map.set(model.name(), label, eff);
+                    cells.push(Figure2Cell {
+                        model: model.name().to_string(),
+                        platform: label.to_string(),
+                        triad_mbs: Some(triad),
+                        efficiency: Some(eff),
+                    });
+                }
+                Err(HarnessError::Unsupported(_)) => {
+                    cells.push(Figure2Cell {
+                        model: model.name().to_string(),
+                        platform: label.to_string(),
+                        triad_mbs: None,
+                        efficiency: None,
+                    });
+                }
+                Err(other) => panic!("figure2 {}/{}: {other}", model.name(), label),
+            }
+        }
+    }
+    (map, cells)
+}
+
+/// Table 2: HPCG variants in GFLOP/s on Cascade Lake (40 ranks) and
+/// AMD Rome (128 ranks). `None` = N/A (the Intel binary on AMD).
+pub fn table2() -> DataFrame {
+    let mut df = DataFrame::new(vec!["HPCG Variant", "Intel Cascade Lake", "AMD Rome"]);
+    let run = |system: &str, ranks: u32, variant| -> Option<f64> {
+        let mut h = Harness::new(RunOptions::on_system(system).with_seed(SEED));
+        match h.run_case(&cases::hpcg(variant, ranks)) {
+            Ok(report) => Some(report.record.fom("gflops").expect("gflops FOM").value),
+            Err(HarnessError::Unsupported(_)) => None,
+            Err(other) => panic!("table2 {system}: {other}"),
+        }
+    };
+    for variant in benchapps::hpcg::HpcgVariant::all() {
+        let cl = run("isambard-macs:cascadelake", 40, *variant);
+        let rome = run("archer2", 128, *variant);
+        df.push_row(vec![
+            Cell::from(variant.label()),
+            cl.map(Cell::from).unwrap_or(Cell::Null),
+            rome.map(Cell::from).unwrap_or(Cell::Null),
+        ])
+        .expect("fixed schema");
+    }
+    df
+}
+
+/// The Eq. 1 ratios derived from Table 2:
+/// (E_I on Cascade Lake, E_A on Cascade Lake, E_A on Rome).
+pub fn eq1_ratios(table2: &DataFrame) -> (f64, f64, f64) {
+    let value = |variant: &str, col: &str| -> Option<f64> {
+        table2
+            .filter_eq("HPCG Variant", &Cell::from(variant))
+            .ok()?
+            .column(col)?
+            .get(0)
+            .as_float()
+    };
+    let cl_csr = value("Original (CSR)", "Intel Cascade Lake").expect("CL CSR");
+    let cl_avx2 = value("Intel-avx2 (CSR)", "Intel Cascade Lake").expect("CL avx2");
+    let cl_mf = value("Matrix-free", "Intel Cascade Lake").expect("CL matfree");
+    let rome_csr = value("Original (CSR)", "AMD Rome").expect("Rome CSR");
+    let rome_mf = value("Matrix-free", "AMD Rome").expect("Rome matfree");
+    (
+        ppmetrics::variant_ratio(cl_avx2, cl_csr),
+        ppmetrics::variant_ratio(cl_mf, cl_csr),
+        ppmetrics::variant_ratio(rome_mf, rome_csr),
+    )
+}
+
+/// The four systems of Tables 3 & 4.
+pub const TABLE34_SYSTEMS: &[(&str, &str)] = &[
+    ("archer2", "ARCHER2 (Rome)"),
+    ("cosma8", "COSMA8 (Rome)"),
+    ("csd3", "CSD3 (Cascade Lake)"),
+    ("isambard-macs:cascadelake", "Isambard (Cascade Lake)"),
+];
+
+/// Table 3: concretized build dependencies of `hpgmg%gcc` per system.
+pub fn table3() -> DataFrame {
+    let repo = spackle::Repo::builtin();
+    let mut df = DataFrame::new(vec!["System", "gcc", "Python", "MPI library"]);
+    for (spec_name, _) in TABLE34_SYSTEMS {
+        let (sys, part) = simhpc::catalog::resolve(spec_name).expect("catalog spec");
+        let partition = sys.partition(&part).expect("partition");
+        let ctx = spackle::context_for(&sys, partition);
+        let spec = spackle::Spec::parse("hpgmg%gcc").expect("valid spec");
+        let concrete = spackle::concretize(&spec, &repo, &ctx).expect("concretizes");
+        let gcc = concrete
+            .root()
+            .compiler
+            .as_ref()
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default();
+        let python = concrete.node("python").expect("python dep").version.to_string();
+        let mpi = concrete.provider_of("mpi").expect("mpi provider");
+        df.push_row(vec![
+            Cell::from(sys.name()),
+            Cell::from(gcc),
+            Cell::from(python),
+            Cell::from(format!("{} {}", mpi.name, mpi.version)),
+        ])
+        .expect("fixed schema");
+    }
+    df
+}
+
+/// Table 4: HPGMG-FV Figures of Merit (10^6 DOF/s at levels l0, l1, l2).
+pub fn table4() -> DataFrame {
+    let mut df = DataFrame::new(vec!["System", "l0", "l1", "l2"]);
+    for (spec_name, label) in TABLE34_SYSTEMS {
+        let mut h = Harness::new(RunOptions::on_system(spec_name).with_seed(SEED));
+        let report = h.run_case(&cases::hpgmg()).expect("hpgmg runs on Table 4 systems");
+        let mdofs = |fom: &str| report.record.fom(fom).expect("level FOM").value / 1e6;
+        df.push_row(vec![
+            Cell::from(*label),
+            Cell::from(mdofs("l0")),
+            Cell::from(mdofs("l1")),
+            Cell::from(mdofs("l2")),
+        ])
+        .expect("fixed schema");
+    }
+    df
+}
+
+/// Table 5: details of the processors used in this study.
+pub fn table5() -> DataFrame {
+    let mut df = DataFrame::new(vec!["System", "Processor", "Core count"]);
+    let rows = [
+        ("isambard", "xci"),
+        ("isambard-macs", "cascadelake"),
+        ("isambard-macs", "volta"),
+        ("cosma8", "rome"),
+        ("archer2", "rome"),
+        ("csd3", "cascadelake"),
+        ("noctua2", "milan"),
+    ];
+    for (sys_name, part_name) in rows {
+        let sys = simhpc::catalog::system(sys_name).expect("catalog system");
+        let p = sys.partition(part_name).expect("partition").processor().clone();
+        let cores = if p.is_gpu() {
+            "-".to_string()
+        } else {
+            format!("{} cores/socket, dual-socket", p.cores_per_socket())
+        };
+        df.push_row(vec![
+            Cell::from(sys_name),
+            Cell::from(format!("{} @ {} GHz", p.model(), p.clock_ghz())),
+            Cell::from(cores),
+        ])
+        .expect("fixed schema");
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.n_rows(), 4);
+        let bw = |proc_contains: &str| -> f64 {
+            t.rows()
+                .find(|r| {
+                    r.get("Processor")
+                        .and_then(Cell::as_str)
+                        .is_some_and(|s| s.contains(proc_contains))
+                })
+                .and_then(|r| r.get("Peak BW (GB/s)").and_then(Cell::as_float))
+                .unwrap()
+        };
+        assert!((bw("Cascade Lake") - 282.0).abs() < 1.0);
+        assert!((bw("ThunderX2") - 288.0).abs() < 1.0);
+        assert!((bw("Milan") - 409.6).abs() < 1.0);
+        assert!((bw("V100") - 900.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table3_matches_paper_exactly() {
+        let t = table3();
+        let row = |sys: &str| {
+            t.filter_eq("System", &Cell::from(sys)).unwrap()
+        };
+        let a = row("archer2");
+        assert_eq!(a.column("gcc").unwrap().get(0).as_str(), Some("11.2.0"));
+        assert_eq!(a.column("Python").unwrap().get(0).as_str(), Some("3.10.12"));
+        assert_eq!(a.column("MPI library").unwrap().get(0).as_str(), Some("cray-mpich 8.1.23"));
+        let c = row("cosma8");
+        assert_eq!(c.column("Python").unwrap().get(0).as_str(), Some("2.7.15"));
+        assert_eq!(c.column("MPI library").unwrap().get(0).as_str(), Some("mvapich 2.3.6"));
+        let d = row("csd3");
+        assert_eq!(d.column("MPI library").unwrap().get(0).as_str(), Some("openmpi 4.0.4"));
+        let i = row("isambard-macs");
+        assert_eq!(i.column("gcc").unwrap().get(0).as_str(), Some("9.2.0"));
+        assert_eq!(i.column("MPI library").unwrap().get(0).as_str(), Some("openmpi 4.0.3"));
+    }
+
+    #[test]
+    fn table5_lists_seven_partitions() {
+        let t = table5();
+        assert_eq!(t.n_rows(), 7);
+        assert!(t.to_string().contains("ThunderX2"));
+        assert!(t.to_string().contains("V100"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Preconditioned conjugate gradient, HPCG-style.
+
+use super::ops::Operator;
+
+/// Convergence statistics from one CG solve.
+#[derive(Debug, Clone)]
+pub struct CgStats {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Residual 2-norm after each iteration (index 0 = initial residual).
+    pub residuals: Vec<f64>,
+}
+
+impl CgStats {
+    /// Did the solver make progress? (Sanity condition for a VALID run.)
+    pub fn converging(&self) -> bool {
+        match (self.residuals.first(), self.residuals.last()) {
+            (Some(&first), Some(&last)) => last < first && last.is_finite(),
+            _ => false,
+        }
+    }
+
+    /// ‖r_k‖ / ‖r_0‖.
+    pub fn final_relative_residual(&self) -> f64 {
+        match (self.residuals.first(), self.residuals.last()) {
+            (Some(&first), Some(&last)) if first > 0.0 => last / first,
+            _ => f64::NAN,
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solve `A x = b` from `x = 0` with symmetric-Gauss-Seidel-preconditioned
+/// CG. Stops after `max_iters` or when the relative residual drops below
+/// `tolerance`.
+pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> CgStats {
+    let n = op.n();
+    assert_eq!(b.len(), n, "rhs length must match the operator");
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A·0
+    let mut z = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    let norm0 = dot(&r, &r).sqrt();
+    let mut residuals = vec![norm0];
+    if norm0 == 0.0 {
+        return CgStats { iterations: 0, residuals };
+    }
+
+    // z = M⁻¹ r via one SymGS sweep from zero.
+    z.fill(0.0);
+    op.symgs(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        op.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            break; // operator not PD along p — stop rather than diverge
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        iterations += 1;
+        let norm = dot(&r, &r).sqrt();
+        residuals.push(norm);
+        if norm / norm0 < tolerance {
+            break;
+        }
+        z.fill(0.0);
+        op.symgs(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    CgStats { iterations, residuals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ops::{build, CsrOperator};
+    use super::super::problem::Problem;
+    use super::super::HpcgVariant;
+    use super::*;
+
+    #[test]
+    fn cg_converges_on_poisson() {
+        let p = Problem::cube(8);
+        let op = CsrOperator::poisson27(&p);
+        let stats = pcg(&op, &p.rhs, 100, 1e-9);
+        assert!(stats.converging());
+        assert!(
+            stats.final_relative_residual() < 1e-9,
+            "relative residual {} after {} iters",
+            stats.final_relative_residual(),
+            stats.iterations
+        );
+        // SymGS-preconditioned CG on this problem converges fast.
+        assert!(stats.iterations < 30);
+    }
+
+    #[test]
+    fn cg_solution_is_ones() {
+        // rhs = A·1, so the solve should recover the ones vector; verify
+        // through the residual by applying A to a ones probe.
+        let p = Problem::cube(6);
+        let op = CsrOperator::poisson27(&p);
+        let stats = pcg(&op, &p.rhs, 200, 1e-12);
+        assert!(stats.final_relative_residual() < 1e-10);
+    }
+
+    #[test]
+    fn all_variants_converge() {
+        let p = Problem::cube(6);
+        for v in HpcgVariant::all() {
+            let op = build(*v, &p);
+            let stats = pcg(op.as_ref(), &p.rhs, 100, 1e-8);
+            assert!(
+                stats.converging() && stats.final_relative_residual() < 1e-8,
+                "{v:?}: rel residual {}",
+                stats.final_relative_residual()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let p = Problem::cube(4);
+        let op = CsrOperator::poisson27(&p);
+        let b = vec![0.0; p.n()];
+        let stats = pcg(&op, &b, 10, 1e-9);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn residuals_monotone_enough() {
+        // PCG residuals aren't strictly monotone in the 2-norm, but for
+        // this SPD problem they should trend firmly downward.
+        let p = Problem::cube(7);
+        let op = CsrOperator::poisson27(&p);
+        let stats = pcg(&op, &p.rhs, 25, 0.0);
+        let first = stats.residuals[0];
+        let last = *stats.residuals.last().unwrap();
+        assert!(last < first * 1e-3);
+    }
+}

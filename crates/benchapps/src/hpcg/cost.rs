@@ -1,0 +1,126 @@
+//! The HPCG cost model for simulated platforms.
+//!
+//! HPCG is memory-bandwidth bound on every system in the study, so a
+//! variant's GFLOP/s rating is, to first order,
+//!
+//! ```text
+//!   GF/s ≈ delivered_bandwidth(GB/s) × flops_per_byte(variant, arch)
+//! ```
+//!
+//! `flops_per_byte` differs by variant (CSR drags matrix values + indices
+//! through memory on every pass; matrix-free touches only vectors) and by
+//! microarchitecture (indirect gathers cost differently; a 512 MB L3 keeps
+//! matrix-free working vectors resident). The constants below are
+//! calibrated against the paper's own Table 2 measurements — see DESIGN.md
+//! — and the calibration is *checked*, not assumed, by the tests in
+//! `hpcg::tests` and the Table 2 bench.
+
+use super::{HpcgConfig, HpcgVariant};
+use simhpc::{Partition, Processor};
+
+/// Floating-point work per matrix row per CG iteration.
+///
+/// One SpMV + one SymGS (two sweeps) over ~27 nonzeros at 2 flops each,
+/// plus the CG vector updates; the LFRic operator has 7 nonzeros.
+pub fn flops_per_row(variant: HpcgVariant) -> f64 {
+    match variant {
+        HpcgVariant::Csr | HpcgVariant::IntelAvx2 | HpcgVariant::MatrixFree => {
+            3.0 * 2.0 * 27.0 + 12.0
+        }
+        HpcgVariant::Lfric => 3.0 * 2.0 * 7.0 + 12.0,
+    }
+}
+
+/// Total flops for a run.
+pub fn flops_for(variant: HpcgVariant, n_rows: usize, iterations: usize) -> f64 {
+    flops_per_row(variant) * n_rows as f64 * iterations as f64
+}
+
+/// Delivered flops per byte of memory traffic, calibrated per
+/// variant × microarchitecture from the paper's Table 2.
+pub fn flops_per_byte(variant: HpcgVariant, proc: &Processor) -> f64 {
+    let vendor = proc.vendor().to_lowercase();
+    // Rome/Milan carry 256 MB of L3 per socket; matrix-free vector sets
+    // become cache-resident there, which is where the paper's outsized
+    // algorithmic gain on AMD (E_A = 3.168) comes from.
+    let big_llc = proc.llc_bytes() >= 256 * 1024 * 1024;
+    match variant {
+        HpcgVariant::Csr => match vendor.as_str() {
+            "amd" => 0.1196,
+            "intel" => 0.112,
+            _ => 0.105,
+        },
+        HpcgVariant::IntelAvx2 => 0.182,
+        HpcgVariant::MatrixFree => {
+            if big_llc {
+                0.379
+            } else if vendor == "intel" {
+                0.238
+            } else {
+                0.22
+            }
+        }
+        HpcgVariant::Lfric => {
+            if big_llc {
+                0.1709
+            } else if vendor == "intel" {
+                0.0863
+            } else {
+                0.09
+            }
+        }
+    }
+}
+
+/// Simulated GFLOP/s rating for a single-node MPI run (Table 2's setup).
+pub fn simulated_gflops(config: &HpcgConfig, partition: &Partition) -> f64 {
+    let proc = partition.processor();
+    let threads = config.ranks.min(proc.total_cores());
+    // The working set is far larger than any cache for the vector data the
+    // bandwidth bound applies to.
+    let bw = proc.effective_bandwidth_gbs(threads, u64::MAX);
+    bw * flops_per_byte(config.variant, proc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc(spec: &str) -> Processor {
+        let (sys, part) = simhpc::catalog::resolve(spec).unwrap();
+        sys.partition(&part).unwrap().processor().clone()
+    }
+
+    #[test]
+    fn variant_ordering_per_arch() {
+        let cl = proc("isambard-macs:cascadelake");
+        assert!(
+            flops_per_byte(HpcgVariant::MatrixFree, &cl)
+                > flops_per_byte(HpcgVariant::IntelAvx2, &cl)
+        );
+        assert!(
+            flops_per_byte(HpcgVariant::IntelAvx2, &cl) > flops_per_byte(HpcgVariant::Csr, &cl)
+        );
+        assert!(flops_per_byte(HpcgVariant::Csr, &cl) > flops_per_byte(HpcgVariant::Lfric, &cl));
+    }
+
+    #[test]
+    fn amd_algorithmic_gain_larger() {
+        let cl = proc("isambard-macs:cascadelake");
+        let rome = proc("archer2");
+        let gain = |p: &Processor| {
+            flops_per_byte(HpcgVariant::MatrixFree, p) / flops_per_byte(HpcgVariant::Csr, p)
+        };
+        assert!(gain(&rome) > gain(&cl), "paper: E_A 3.168 on Rome vs 2.125 on CL");
+    }
+
+    #[test]
+    fn flop_counts_scale_linearly() {
+        let a = flops_for(HpcgVariant::Csr, 1000, 10);
+        let b = flops_for(HpcgVariant::Csr, 2000, 10);
+        let c = flops_for(HpcgVariant::Csr, 1000, 20);
+        assert_eq!(b, 2.0 * a);
+        assert_eq!(c, 2.0 * a);
+        assert!(flops_for(HpcgVariant::Lfric, 1000, 10) < a, "7-point does fewer flops");
+    }
+}

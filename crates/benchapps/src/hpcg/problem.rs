@@ -1,0 +1,90 @@
+//! The HPCG model problem: 3D Poisson, 27-point stencil, Dirichlet
+//! boundaries, synthetic right-hand side with known exact solution.
+
+/// A cube-shaped local problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Right-hand side chosen so the exact solution is the ones vector
+    /// (`b = A·1`), exactly like the real HPCG generator.
+    pub rhs: Vec<f64>,
+}
+
+impl Problem {
+    /// An `n × n × n` local grid.
+    pub fn cube(n: usize) -> Problem {
+        Problem::new(n, n, n)
+    }
+
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Problem {
+        assert!(nx >= 2 && ny >= 2 && nz >= 2, "grid too small");
+        let n = nx * ny * nz;
+        // Row sum of the 27-point operator: 26 - (number of neighbours),
+        // since diag = 26 and each in-bounds neighbour contributes -1.
+        let mut rhs = vec![0.0; n];
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let neighbours = span(ix, nx) * span(iy, ny) * span(iz, nz) - 1;
+                    rhs[(iz * ny + iy) * nx + ix] = 26.0 - neighbours as f64;
+                }
+            }
+        }
+        Problem { nx, ny, nz, rhs }
+    }
+
+    pub fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Linear index of grid point (ix, iy, iz).
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.ny + iy) * self.nx + ix
+    }
+}
+
+/// Number of in-bounds positions in {i-1, i, i+1} for a dimension of size n.
+fn span(i: usize, n: usize) -> usize {
+    let mut s = 1;
+    if i > 0 {
+        s += 1;
+    }
+    if i + 1 < n {
+        s += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rhs_is_row_sums() {
+        let p = Problem::cube(4);
+        // Interior point: 26 neighbours → rhs = 0.
+        assert_eq!(p.rhs[p.index(1, 1, 1)], 0.0);
+        // Corner: 7 neighbours → rhs = 19.
+        assert_eq!(p.rhs[p.index(0, 0, 0)], 19.0);
+        // Face centre: 17 neighbours → rhs = 9.
+        assert_eq!(p.rhs[p.index(1, 1, 0)], 9.0);
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let p = Problem::new(3, 4, 5);
+        assert_eq!(p.index(0, 0, 0), 0);
+        assert_eq!(p.index(1, 0, 0), 1);
+        assert_eq!(p.index(0, 1, 0), 3);
+        assert_eq!(p.index(0, 0, 1), 12);
+        assert_eq!(p.n(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn rejects_degenerate_grid() {
+        Problem::new(1, 4, 4);
+    }
+}

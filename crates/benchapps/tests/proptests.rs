@@ -1,0 +1,119 @@
+//! Property tests for the benchmark numerics: the solvers must converge
+//! and the operators must stay symmetric positive definite for *any* valid
+//! problem size — not just the sizes the examples happen to use.
+
+use benchapps::hpcg::{build_operator, pcg, HpcgVariant, Problem};
+use benchapps::hpgmg::Multigrid;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CG + SymGS converges on the Poisson problem for any small cube and
+    /// any variant.
+    #[test]
+    fn cg_converges_for_any_size(dim in 3usize..10, variant_idx in 0usize..4) {
+        let variant = HpcgVariant::all()[variant_idx % 4];
+        let problem = Problem::cube(dim);
+        let op = build_operator(variant, &problem);
+        let stats = pcg(op.as_ref(), &problem.rhs, 120, 1e-8);
+        prop_assert!(stats.converging(), "{variant:?} at {dim}^3 did not converge");
+        prop_assert!(
+            stats.final_relative_residual() < 1e-8,
+            "{variant:?} at {dim}^3: residual {}",
+            stats.final_relative_residual()
+        );
+    }
+
+    /// Operators are symmetric on random probes for any (possibly
+    /// anisotropic) grid shape.
+    #[test]
+    fn operators_symmetric(nx in 2usize..7, ny in 2usize..7, nz in 2usize..7, seed in any::<u64>()) {
+        let problem = Problem::new(nx, ny, nz);
+        let n = problem.n();
+        let mut rng = simhpc::noise::SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        for variant in HpcgVariant::all() {
+            let op = build_operator(*variant, &problem);
+            let mut ax = vec![0.0; n];
+            let mut ay = vec![0.0; n];
+            op.apply(&x, &mut ax);
+            op.apply(&y, &mut ay);
+            let axy: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let xay: f64 = x.iter().zip(&ay).map(|(a, b)| a * b).sum();
+            prop_assert!(
+                (axy - xay).abs() <= 1e-8 * axy.abs().max(1.0),
+                "{variant:?} not symmetric on {nx}x{ny}x{nz}"
+            );
+        }
+    }
+
+    /// Operators are positive definite on random non-zero probes.
+    #[test]
+    fn operators_positive_definite(dim in 2usize..7, seed in any::<u64>()) {
+        let problem = Problem::cube(dim);
+        let n = problem.n();
+        let mut rng = simhpc::noise::SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        prop_assume!(x.iter().any(|v| v.abs() > 1e-9));
+        for variant in HpcgVariant::all() {
+            let op = build_operator(*variant, &problem);
+            let mut ax = vec![0.0; n];
+            op.apply(&x, &mut ax);
+            let xax: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();
+            prop_assert!(xax > 0.0, "{variant:?} not PD at {dim}^3");
+        }
+    }
+
+    /// Multigrid converges for every power-of-two grid, with a cycle count
+    /// that does not blow up with size (mesh independence).
+    #[test]
+    fn multigrid_mesh_independent(log_n in 2u32..6) {
+        let n = 1usize << log_n;
+        let mut mg = Multigrid::new(n).expect("valid grid");
+        mg.set_rhs_sine();
+        let (r0, r, cycles) = mg.solve(25, 1e-8);
+        prop_assert!(r < r0 * 1e-7, "n={n}: only reached {:.2e} in {cycles} cycles", r / r0);
+        prop_assert!(cycles <= 20, "n={n}: {cycles} cycles");
+    }
+
+    /// The BabelStream validation math holds for any rep count: running the
+    /// kernels really does evolve the arrays as the closed form predicts.
+    #[test]
+    fn babelstream_validates_for_any_reps(reps in 1usize..20, log_n in 6usize..12) {
+        let cfg = benchapps::babelstream::BabelStreamConfig {
+            array_size: 1 << log_n,
+            reps,
+            model: parkern::Model::Serial,
+            threads: Some(1),
+        };
+        let out = benchapps::babelstream::run(&cfg, &benchapps::ExecutionMode::Native);
+        prop_assert!(out.is_ok(), "validation failed: {:?}", out.err());
+    }
+
+    /// Simulated FOMs are deterministic per seed and never exceed physical
+    /// ceilings (triad below LLC bandwidth even when cache-resident).
+    #[test]
+    fn simulated_triad_bounded(seed in any::<u64>(), log_n in 14usize..26) {
+        let mode = benchapps::ExecutionMode::simulated("csd3", seed).expect("catalog");
+        let cfg = benchapps::babelstream::BabelStreamConfig {
+            array_size: 1 << log_n,
+            reps: 3,
+            model: parkern::Model::Omp,
+            threads: None,
+        };
+        let out = benchapps::babelstream::run(&cfg, &mode).expect("runs");
+        let triad: f64 = out
+            .stdout
+            .lines()
+            .find(|l| l.starts_with("Triad"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("triad row");
+        // LLC bandwidth is the absolute ceiling (1200 GB/s on CSD3).
+        prop_assert!(triad > 0.0 && triad < 1_200_000.0, "triad {triad}");
+        let out2 = benchapps::babelstream::run(&cfg, &mode).expect("runs");
+        prop_assert_eq!(out.stdout, out2.stdout, "same seed, same output");
+    }
+}

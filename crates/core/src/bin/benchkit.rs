@@ -1,0 +1,21 @@
+//! `benchkit` — the command-line entry point.
+//!
+//! See `benchkit help` (or `benchkit::cli::USAGE`) for the grammar; all
+//! logic lives in `benchkit::cli` where it is unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match benchkit::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", benchkit::cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = benchkit::cli::execute(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,407 @@
+//! The command-line interface — the analogue of the paper's appendix
+//! invocations like:
+//!
+//! ```text
+//! reframe -c benchmarks/apps/babelstream -r --system=isambard-macs:cascadelake \
+//!         -S spack_spec='babelstream%gcc@9.2.0 +omp'
+//! ```
+//!
+//! Argument parsing and command execution live here (testable); the
+//! `benchkit` binary is a thin wrapper. No external CLI dependency: the
+//! grammar is small and fixed.
+
+use crate::study::Study;
+use harness::{cases, Harness, RunOptions, TestCase};
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `list-systems`
+    ListSystems,
+    /// `list-benchmarks`
+    ListBenchmarks,
+    /// `run -c <benchmark> --system <spec> [--seed N] [--repeats N]`
+    Run { benchmark: String, system: String, seed: u64, repeats: u32 },
+    /// `spec <spack-spec> --system <spec>` — concretize and print.
+    Spec { spec: String, system: String },
+    /// `survey --system a --system b -c x -c y [--seed N]`
+    Survey { benchmarks: Vec<String>, systems: Vec<String>, seed: u64 },
+    /// `help`
+    Help,
+}
+
+/// CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+pub const USAGE: &str = "benchkit — automated and reproducible benchmarking
+
+USAGE:
+    benchkit list-systems
+    benchkit list-benchmarks
+    benchkit run -c <benchmark> --system <system[:partition]> [--seed N] [--repeats N]
+    benchkit survey -c <benchmark>... --system <system>... [--seed N]
+    benchkit spec <spack-spec> --system <system>
+    benchkit help
+
+EXAMPLES:
+    benchkit run -c babelstream_omp --system isambard-macs:cascadelake
+    benchkit survey -c babelstream_omp -c hpgmg --system archer2 --system csd3
+    benchkit spec 'hpgmg%gcc' --system archer2
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let rest: Vec<String> = it.cloned().collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list-systems" => Ok(Command::ListSystems),
+        "list-benchmarks" => Ok(Command::ListBenchmarks),
+        "run" => {
+            let opts = parse_options(&rest)?;
+            let benchmark = opts
+                .cases
+                .first()
+                .cloned()
+                .ok_or_else(|| CliError("run: missing `-c <benchmark>`".into()))?;
+            let system =
+                opts.systems.first().cloned().ok_or_else(|| CliError("run: missing `--system`".into()))?;
+            Ok(Command::Run { benchmark, system, seed: opts.seed, repeats: opts.repeats })
+        }
+        "survey" => {
+            let opts = parse_options(&rest)?;
+            if opts.cases.is_empty() {
+                return Err(CliError("survey: at least one `-c <benchmark>`".into()));
+            }
+            if opts.systems.is_empty() {
+                return Err(CliError("survey: at least one `--system`".into()));
+            }
+            Ok(Command::Survey { benchmarks: opts.cases, systems: opts.systems, seed: opts.seed })
+        }
+        "spec" => {
+            let mut positional = None;
+            let mut i = 0;
+            let mut system = None;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--system" => {
+                        system = Some(take_value(&rest, &mut i, "--system")?);
+                    }
+                    other if !other.starts_with('-') && positional.is_none() => {
+                        positional = Some(other.to_string());
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("spec: unexpected argument `{other}`"))),
+                }
+            }
+            Ok(Command::Spec {
+                spec: positional.ok_or_else(|| CliError("spec: missing <spack-spec>".into()))?,
+                system: system.ok_or_else(|| CliError("spec: missing `--system`".into()))?,
+            })
+        }
+        other => Err(CliError(format!("unknown command `{other}` (try `benchkit help`)"))),
+    }
+}
+
+struct Options {
+    cases: Vec<String>,
+    systems: Vec<String>,
+    seed: u64,
+    repeats: u32,
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
+    let value = args
+        .get(*i + 1)
+        .cloned()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
+    *i += 2;
+    Ok(value)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut opts = Options { cases: Vec::new(), systems: Vec::new(), seed: 42, repeats: 1 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-c" | "--case" => opts.cases.push(take_value(args, &mut i, "-c")?),
+            "--system" => {
+                let v = take_value(args, &mut i, "--system")?;
+                // `--system=a` form also accepted.
+                opts.systems.push(v);
+            }
+            "--seed" => {
+                let v = take_value(args, &mut i, "--seed")?;
+                opts.seed = v.parse().map_err(|_| CliError(format!("bad seed `{v}`")))?;
+            }
+            "--repeats" => {
+                let v = take_value(args, &mut i, "--repeats")?;
+                opts.repeats = v.parse().map_err(|_| CliError(format!("bad repeats `{v}`")))?;
+            }
+            other if other.starts_with("--system=") => {
+                opts.systems.push(other["--system=".len()..].to_string());
+                i += 1;
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// All named benchmarks the CLI can run.
+pub fn benchmark_names() -> Vec<String> {
+    let mut names: Vec<String> =
+        parkern::Model::all().iter().map(|m| format!("babelstream_{}", m.name())).collect();
+    names.extend(
+        benchapps::hpcg::HpcgVariant::all().iter().map(|v| format!("hpcg_{}", v.spec_name())),
+    );
+    names.push("hpgmg".to_string());
+    names.push("stream".to_string());
+    names
+}
+
+/// Build the TestCase for a CLI benchmark name.
+pub fn case_by_name(name: &str) -> Result<TestCase, CliError> {
+    if let Some(model_name) = name.strip_prefix("babelstream_") {
+        let model = parkern::Model::from_name(model_name)
+            .ok_or_else(|| CliError(format!("unknown programming model `{model_name}`")))?;
+        return Ok(cases::babelstream(model, 1 << 25));
+    }
+    if let Some(variant_name) = name.strip_prefix("hpcg_") {
+        let variant = benchapps::hpcg::HpcgVariant::from_spec_name(variant_name)
+            .ok_or_else(|| CliError(format!("unknown HPCG variant `{variant_name}`")))?;
+        return Ok(cases::hpcg(variant, 40));
+    }
+    if name == "hpgmg" {
+        return Ok(cases::hpgmg());
+    }
+    if name == "stream" {
+        return Ok(cases::stream(1 << 25));
+    }
+    Err(CliError(format!(
+        "unknown benchmark `{name}` — try `benchkit list-benchmarks`"
+    )))
+}
+
+/// Execute a parsed command, writing human-readable output.
+pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}")?,
+        Command::ListSystems => {
+            writeln!(out, "Available systems (from the simhpc catalog):")?;
+            for sys in simhpc::catalog::all_systems() {
+                for part in sys.partitions() {
+                    let p = part.processor();
+                    writeln!(
+                        out,
+                        "  {:<28} {} ({} cores, {:.0} GB/s peak)",
+                        format!("{}:{}", sys.name(), part.name()),
+                        p.model(),
+                        p.total_cores(),
+                        p.peak_mem_bw_gbs(),
+                    )?;
+                }
+            }
+        }
+        Command::ListBenchmarks => {
+            writeln!(out, "Available benchmarks:")?;
+            for name in benchmark_names() {
+                writeln!(out, "  {name}")?;
+            }
+        }
+        Command::Run { benchmark, system, seed, repeats } => {
+            let case = case_by_name(&benchmark)?;
+            let mut harness = Harness::new(RunOptions::on_system(&system).with_seed(seed));
+            for rep in 0..repeats.max(1) {
+                let report = harness.run_case(&case)?;
+                writeln!(
+                    out,
+                    "[{}/{repeats}] {} on {} (hash {}, built {}, cached {})",
+                    rep + 1,
+                    benchmark,
+                    system,
+                    report.dag_hash,
+                    report.packages_built,
+                    report.packages_cached,
+                )?;
+                for fom in &report.record.foms {
+                    writeln!(out, "    {:<8} {:>16.3} {}", fom.name, fom.value, fom.unit)?;
+                }
+                writeln!(
+                    out,
+                    "    energy {:.0} J, avg power {:.0} W, queue wait {:.3} s",
+                    report.telemetry.energy_j, report.telemetry.avg_power_w, report.queue_wait_s,
+                )?;
+            }
+            // Emit the perflog like the real framework.
+            let (sys_name, _) = system.split_once(':').unwrap_or((system.as_str(), ""));
+            if let Some(log) = harness.perflog(sys_name, case.app.name()) {
+                writeln!(out, "\nperflog ({} records):", log.len())?;
+                write!(out, "{}", log.to_jsonl())?;
+            }
+        }
+        Command::Survey { benchmarks, systems, seed } => {
+            let mut study = Study::new("cli-survey").with_seed(seed);
+            for b in &benchmarks {
+                study = study.with_case(case_by_name(b)?);
+            }
+            study =
+                study.on_systems(&systems.iter().map(String::as_str).collect::<Vec<_>>());
+            let results = study.run();
+            writeln!(
+                out,
+                "ran {}  skipped {}  failed {}",
+                results.report.n_ran(),
+                results.report.n_skipped(),
+                results.report.n_failed()
+            )?;
+            write!(out, "{}", results.frame())?;
+        }
+        Command::Spec { spec, system } => {
+            let (sys, part_name) = simhpc::catalog::resolve(&system)
+                .ok_or_else(|| CliError(format!("unknown system `{system}`")))?;
+            let partition = sys.partition(&part_name).expect("resolved partition");
+            let ctx = spackle::context_for(&sys, partition);
+            let parsed = spackle::Spec::parse(&spec)?;
+            let concrete = spackle::concretize(&parsed, &spackle::Repo::builtin(), &ctx)?;
+            writeln!(out, "concretized on {system} (dag hash {}):", concrete.dag_hash())?;
+            write!(out, "{concrete}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_run() {
+        let cmd = parse(&argv("run -c babelstream_omp --system csd3 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                benchmark: "babelstream_omp".into(),
+                system: "csd3".into(),
+                seed: 7,
+                repeats: 1
+            }
+        );
+        assert!(parse(&argv("run --system csd3")).is_err(), "missing -c");
+        assert!(parse(&argv("run -c x")).is_err(), "missing --system");
+        assert!(parse(&argv("run -c x --seed nope --system csd3")).is_err());
+    }
+
+    #[test]
+    fn parse_survey_and_equals_form() {
+        let cmd =
+            parse(&argv("survey -c hpgmg -c babelstream_omp --system=archer2 --system csd3"))
+                .unwrap();
+        match cmd {
+            Command::Survey { benchmarks, systems, seed } => {
+                assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
+                assert_eq!(systems, vec!["archer2", "csd3"]);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_misc() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("list-systems")).unwrap(), Command::ListSystems);
+        assert!(parse(&argv("frobnicate")).is_err());
+        let cmd = parse(&argv("spec hpgmg%gcc --system archer2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Spec { spec: "hpgmg%gcc".into(), system: "archer2".into() }
+        );
+    }
+
+    #[test]
+    fn benchmark_name_registry() {
+        let names = benchmark_names();
+        assert!(names.contains(&"babelstream_omp".to_string()));
+        assert!(names.contains(&"hpcg_matfree".to_string()));
+        assert!(names.contains(&"hpgmg".to_string()));
+        for name in &names {
+            // hpcg_avx2 etc. must all be constructible.
+            case_by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(case_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn execute_list_and_run() {
+        let mut buf = Vec::new();
+        execute(Command::ListSystems, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("archer2:rome"));
+        assert!(text.contains("isambard-macs:volta"));
+
+        let mut buf = Vec::new();
+        execute(
+            Command::Run {
+                benchmark: "babelstream_omp".into(),
+                system: "csd3".into(),
+                seed: 42,
+                repeats: 2,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Triad"));
+        assert!(text.contains("perflog (2 records):"));
+        assert!(text.contains("energy"));
+    }
+
+    #[test]
+    fn execute_spec_prints_table3_row() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Spec { spec: "hpgmg%gcc".into(), system: "archer2".into() },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cray-mpich@8.1.23"));
+        assert!(text.contains("[external]"));
+    }
+
+    #[test]
+    fn execute_survey_counts() {
+        let mut buf = Vec::new();
+        execute(
+            Command::Survey {
+                benchmarks: vec!["babelstream_cuda".into()],
+                systems: vec!["csd3".into(), "isambard-macs:volta".into()],
+                seed: 42,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("ran 1  skipped 1  failed 0"), "{text}");
+    }
+}

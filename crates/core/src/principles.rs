@@ -1,0 +1,172 @@
+//! The six Principles (§2 of the paper), as data and as checks.
+//!
+//! Beyond documentation, each principle carries an executable *audit*: a
+//! predicate over a completed [`harness::CaseReport`] verifying the
+//! pipeline actually upheld it for that run. The `principles_audit`
+//! integration test runs all six audits against real pipeline runs.
+
+use harness::CaseReport;
+
+/// One of the paper's six guiding principles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Principle {
+    /// P1: the benchmark has a Figure of Merit that measures efficiency.
+    EfficiencyFom,
+    /// P2: the build system knows how to build the benchmark per platform.
+    TeachTheBuildSystem,
+    /// P3: rebuild the benchmark every time it runs.
+    RebuildEveryRun,
+    /// P4: capture all build steps for replay in the default environment.
+    CaptureBuildSteps,
+    /// P5: capture all run steps likewise.
+    CaptureRunSteps,
+    /// P6: assimilate and post-process programmatically.
+    ProgrammaticPostprocessing,
+}
+
+/// All six, in paper order.
+pub const PRINCIPLES: [Principle; 6] = [
+    Principle::EfficiencyFom,
+    Principle::TeachTheBuildSystem,
+    Principle::RebuildEveryRun,
+    Principle::CaptureBuildSteps,
+    Principle::CaptureRunSteps,
+    Principle::ProgrammaticPostprocessing,
+];
+
+impl Principle {
+    /// Paper numbering, 1-based.
+    pub fn number(&self) -> u8 {
+        match self {
+            Principle::EfficiencyFom => 1,
+            Principle::TeachTheBuildSystem => 2,
+            Principle::RebuildEveryRun => 3,
+            Principle::CaptureBuildSteps => 4,
+            Principle::CaptureRunSteps => 5,
+            Principle::ProgrammaticPostprocessing => 6,
+        }
+    }
+
+    /// The paper's statement of the principle.
+    pub fn statement(&self) -> &'static str {
+        match self {
+            Principle::EfficiencyFom => {
+                "A benchmark application should have a Figure of Merit which can measure \
+                 (directly or indirectly) the efficiency of the application on a given platform."
+            }
+            Principle::TeachTheBuildSystem => {
+                "Teach the build system how to build the benchmark using the best known \
+                 parameters on each platform."
+            }
+            Principle::RebuildEveryRun => {
+                "Rebuild the benchmark every time it runs to guarantee the steps to reproduce \
+                 the binary are known."
+            }
+            Principle::CaptureBuildSteps => {
+                "Capture all steps taken to build the benchmark on a given platform so it can \
+                 be reproduced by anyone else using the system default environment."
+            }
+            Principle::CaptureRunSteps => {
+                "Capture all steps to run the built benchmark so it can be run by anyone on \
+                 the same system using the default environment."
+            }
+            Principle::ProgrammaticPostprocessing => {
+                "Assimilate and post-process the data in a programmable manner so as to make \
+                 extraction and presentation of Figures of Merit transparent and error-free."
+            }
+        }
+    }
+
+    /// Audit a completed run against this principle. Returns `Err` with an
+    /// explanation when the evidence is missing.
+    pub fn audit(&self, report: &CaseReport) -> Result<(), String> {
+        match self {
+            Principle::EfficiencyFom => {
+                if report.record.foms.is_empty() {
+                    Err("run produced no Figures of Merit".into())
+                } else if report.record.foms.iter().any(|f| f.unit.is_empty()) {
+                    Err("FOM without a unit cannot express an efficiency".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Principle::TeachTheBuildSystem => {
+                // Evidence: the run was built from a concrete spec produced
+                // by the package manager, not an ad hoc command.
+                if report.concrete_rendered.trim().is_empty() {
+                    Err("no concretized build recorded".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Principle::RebuildEveryRun => {
+                if report.packages_built == 0 {
+                    Err("nothing was rebuilt for this run".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Principle::CaptureBuildSteps => {
+                if report.dag_hash.len() != 7 {
+                    Err("build DAG hash missing".into())
+                } else if !report.record.spec.contains('@') {
+                    Err("perflog does not pin the built version".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Principle::CaptureRunSteps => {
+                if !report.job_script.starts_with("#!") {
+                    Err("no replayable job script captured".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Principle::ProgrammaticPostprocessing => {
+                // Evidence: the record round-trips through the machine
+                // readable perflog format.
+                let line = report.record.to_json_line();
+                match perflogs::PerflogRecord::from_json_line(&line) {
+                    Ok(back) if back == report.record => Ok(()),
+                    Ok(_) => Err("perflog record does not round-trip faithfully".into()),
+                    Err(e) => Err(format!("perflog record not machine-readable: {e}")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_and_statements() {
+        for (i, p) in PRINCIPLES.iter().enumerate() {
+            assert_eq!(p.number() as usize, i + 1);
+            assert!(p.statement().len() > 40);
+        }
+    }
+
+    #[test]
+    fn audits_pass_on_a_real_run() {
+        use harness::{cases, Harness, RunOptions};
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let report = h.run_case(&cases::babelstream(parkern::Model::Omp, 1 << 22)).unwrap();
+        for p in PRINCIPLES {
+            p.audit(&report).unwrap_or_else(|e| panic!("P{} violated: {e}", p.number()));
+        }
+    }
+
+    #[test]
+    fn p3_audit_catches_disabled_rebuilds() {
+        use harness::{cases, Harness, RunOptions};
+        let mut opts = RunOptions::on_system("csd3");
+        opts.rebuild_every_run = false;
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(parkern::Model::Omp, 1 << 22);
+        h.run_case(&case).unwrap();
+        let second = h.run_case(&case).unwrap();
+        assert!(Principle::RebuildEveryRun.audit(&second).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! The scalar cell type held by data-frame columns.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One typed cell in a data frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Cell {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Cell::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`; integers coerce.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Cell::Float(f) => Some(*f),
+            Cell::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Cell::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a display string back into the most specific cell type.
+    /// (Used by the CSV reader and the perflog parser.)
+    pub fn infer(s: &str) -> Cell {
+        match s {
+            "" => return Cell::Null,
+            "true" => return Cell::Bool(true),
+            "false" => return Cell::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return Cell::Int(i);
+        }
+        if s.chars().any(|c| c.is_ascii_digit()) {
+            if let Ok(f) = s.parse::<f64>() {
+                return Cell::Float(f);
+            }
+        }
+        Cell::Str(s.to_string())
+    }
+
+    /// Total ordering used by sorts and group keys: nulls first, then by
+    /// type (bool < numeric < string), numerics compared as `f64`.
+    pub fn total_cmp(&self, other: &Cell) -> Ordering {
+        use Cell::*;
+        fn rank(c: &Cell) -> u8 {
+            match c {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (a @ (Int(_) | Float(_)), b @ (Int(_) | Float(_))) => {
+                let fa = a.as_float().expect("numeric");
+                let fb = b.as_float().expect("numeric");
+                fa.total_cmp(&fb)
+            }
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Key equality used by group-by and filter_eq. `Int(2)` and
+    /// `Float(2.0)` compare equal, matching `total_cmp`.
+    pub fn key_eq(&self, other: &Cell) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Null => write!(f, ""),
+            Cell::Bool(b) => write!(f, "{b}"),
+            Cell::Int(i) => write!(f, "{i}"),
+            Cell::Float(v) => {
+                if v.is_finite() && *v == v.trunc() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Cell::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Str(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Str(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(i: i64) -> Cell {
+        Cell::Int(i)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(i: usize) -> Cell {
+        Cell::Int(i as i64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(f: f64) -> Cell {
+        Cell::Float(f)
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(b: bool) -> Cell {
+        Cell::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference() {
+        assert_eq!(Cell::infer("12"), Cell::Int(12));
+        assert_eq!(Cell::infer("12.5"), Cell::Float(12.5));
+        assert_eq!(Cell::infer("abc"), Cell::Str("abc".into()));
+        assert_eq!(Cell::infer(""), Cell::Null);
+        assert_eq!(Cell::infer("true"), Cell::Bool(true));
+        assert_eq!(Cell::infer("1e3"), Cell::Float(1000.0));
+        assert_eq!(Cell::infer("nan"), Cell::Str("nan".into()));
+    }
+
+    #[test]
+    fn ordering_across_types() {
+        assert_eq!(Cell::Null.total_cmp(&Cell::Int(0)), Ordering::Less);
+        assert_eq!(Cell::Int(2).total_cmp(&Cell::Float(2.0)), Ordering::Equal);
+        assert_eq!(Cell::Int(3).total_cmp(&Cell::Float(2.5)), Ordering::Greater);
+        assert_eq!(Cell::Str("a".into()).total_cmp(&Cell::Int(9)), Ordering::Greater);
+    }
+
+    #[test]
+    fn key_equality_coerces_numerics() {
+        assert!(Cell::Int(2).key_eq(&Cell::Float(2.0)));
+        assert!(!Cell::Int(2).key_eq(&Cell::Str("2".into())));
+    }
+
+    #[test]
+    fn display_roundtrips_via_infer() {
+        for c in [Cell::Int(42), Cell::Float(2.5), Cell::Bool(true), Cell::Str("x".into())] {
+            assert_eq!(Cell::infer(&c.to_string()), c);
+        }
+        // Whole floats print with a decimal point so they stay floats.
+        assert_eq!(Cell::infer(&Cell::Float(2.0).to_string()), Cell::Float(2.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! CSV reading and writing (RFC 4180 quoting).
+
+use crate::cell::Cell;
+use crate::frame::DataFrame;
+use std::fmt;
+
+/// Error from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based record number (header is record 1).
+    pub record: usize,
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error in record {}: {}", self.record, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl DataFrame {
+    /// Serialize to CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let names: Vec<String> =
+            self.column_names().iter().map(|n| quote_field(n)).collect();
+        out.push_str(&names.join(","));
+        out.push('\n');
+        for i in 0..self.n_rows() {
+            let cells: Vec<String> = self
+                .columns()
+                .iter()
+                .map(|c| quote_field(&c.get(i).to_string()))
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parse CSV text (with header) into a frame, inferring cell types.
+pub fn from_csv(text: &str) -> Result<DataFrame, CsvError> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = match iter.next() {
+        Some(h) => h,
+        None => return Ok(DataFrame::default()),
+    };
+    let mut df = DataFrame::new(header.clone());
+    for (i, record) in iter.enumerate() {
+        if record.len() != header.len() {
+            return Err(CsvError {
+                record: i + 2,
+                message: format!("expected {} fields, got {}", header.len(), record.len()),
+            });
+        }
+        let cells = record.iter().map(|f| Cell::infer(f)).collect();
+        df.push_row(cells).expect("arity checked");
+    }
+    Ok(df)
+}
+
+/// Split text into records of fields, honouring quotes (fields may contain
+/// embedded newlines).
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // swallow CR of CRLF
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { record: records.len() + 1, message: "unterminated quote".into() });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let df = from_csv("a,b\n1,x\n2,y\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.column("a").unwrap().get(1).as_int(), Some(2));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let df = from_csv("a,b\n\"1,5\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(df.column("a").unwrap().get(0).as_str(), Some("1,5"));
+        assert_eq!(df.column("b").unwrap().get(0).as_str(), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn doubled_quotes() {
+        let df = from_csv("a\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(df.column("a").unwrap().get(0).as_str(), Some("he said \"hi\""));
+    }
+
+    #[test]
+    fn ragged_record_rejected() {
+        assert!(from_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(from_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let df = from_csv("a\n42").unwrap();
+        assert_eq!(df.n_rows(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_frame() {
+        let df = from_csv("").unwrap();
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.n_cols(), 0);
+    }
+}

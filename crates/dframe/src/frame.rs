@@ -1,0 +1,379 @@
+//! The data frame itself.
+
+use crate::cell::Cell;
+use crate::group::GroupBy;
+use std::fmt;
+
+/// Error from a frame operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// A pushed row had the wrong number of cells.
+    ArityMismatch { expected: usize, got: usize },
+    /// Pivot would write two values into the same (row, column) position.
+    DuplicatePivotEntry { row: String, col: String },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NoSuchColumn(c) => write!(f, "no such column: `{c}`"),
+            FrameError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} cells, got {got}")
+            }
+            FrameError::DuplicatePivotEntry { row, col } => {
+                write!(f, "duplicate pivot entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A named column of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>) -> Column {
+        Column { name: name.into(), cells: Vec::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell at row `i`; out-of-range reads as Null (simplifies ragged joins).
+    pub fn get(&self, i: usize) -> &Cell {
+        static NULL: Cell = Cell::Null;
+        self.cells.get(i).unwrap_or(&NULL)
+    }
+
+    pub fn push(&mut self, c: Cell) {
+        self.cells.push(c);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// All finite numeric values in this column.
+    pub fn floats(&self) -> Vec<f64> {
+        self.cells.iter().filter_map(Cell::as_float).filter(|f| f.is_finite()).collect()
+    }
+}
+
+/// A read-only view of one row, addressed by column name.
+pub struct Row<'f> {
+    frame: &'f DataFrame,
+    index: usize,
+}
+
+impl Row<'_> {
+    pub fn get(&self, column: &str) -> Option<&Cell> {
+        self.frame.column(column).map(|c| c.get(self.index))
+    }
+
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The row as owned cells, in column order.
+    pub fn to_cells(&self) -> Vec<Cell> {
+        self.frame.columns.iter().map(|c| c.get(self.index).clone()).collect()
+    }
+}
+
+/// A column-oriented table of typed cells.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataFrame {
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl DataFrame {
+    /// A frame with the given column names and no rows.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> DataFrame {
+        DataFrame {
+            columns: names.into_iter().map(|n| Column::new(n.into())).collect(),
+            n_rows: 0,
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Append a row; cell count must match the column count.
+    pub fn push_row(&mut self, cells: Vec<Cell>) -> Result<(), FrameError> {
+        if cells.len() != self.columns.len() {
+            return Err(FrameError::ArityMismatch { expected: self.columns.len(), got: cells.len() });
+        }
+        for (col, cell) in self.columns.iter_mut().zip(cells) {
+            col.push(cell);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// View of row `i`.
+    pub fn row(&self, i: usize) -> Row<'_> {
+        Row { frame: self, index: i }
+    }
+
+    /// Iterate over row views.
+    pub fn rows(&self) -> impl Iterator<Item = Row<'_>> {
+        (0..self.n_rows).map(move |i| self.row(i))
+    }
+
+    /// Keep rows for which `pred` returns true.
+    pub fn filter<F: FnMut(&Row<'_>) -> bool>(&self, mut pred: F) -> Result<DataFrame, FrameError> {
+        let mut out = DataFrame::new(self.column_names());
+        for i in 0..self.n_rows {
+            let row = self.row(i);
+            if pred(&row) {
+                out.push_row(row.to_cells())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Keep rows where `column` equals `value` (numeric-coercing equality).
+    pub fn filter_eq(&self, column: &str, value: &Cell) -> Result<DataFrame, FrameError> {
+        if self.column(column).is_none() {
+            return Err(FrameError::NoSuchColumn(column.to_string()));
+        }
+        self.filter(|row| row.get(column).is_some_and(|c| c.key_eq(value)))
+    }
+
+    /// Project the given columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame, FrameError> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let col = self.column(n).ok_or_else(|| FrameError::NoSuchColumn(n.to_string()))?;
+            cols.push(col.clone());
+        }
+        Ok(DataFrame { columns: cols, n_rows: self.n_rows })
+    }
+
+    /// Stable sort by `column`, ascending or descending.
+    pub fn sort_by(&self, column: &str, ascending: bool) -> Result<DataFrame, FrameError> {
+        let col = self.column(column).ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
+        let mut order: Vec<usize> = (0..self.n_rows).collect();
+        order.sort_by(|&a, &b| {
+            let ord = col.get(a).total_cmp(col.get(b));
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        Ok(self.take(&order))
+    }
+
+    /// New frame with rows in the given index order.
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        let mut out = DataFrame::new(self.column_names());
+        for &i in indices {
+            out.push_row(self.row(i).to_cells()).expect("same schema");
+        }
+        out
+    }
+
+    /// Group rows by the given key columns.
+    pub fn group_by(&self, keys: &[&str]) -> GroupBy<'_> {
+        GroupBy::new(self, keys)
+    }
+
+    /// Concatenate frames, aligning columns by name (union of schemas);
+    /// cells absent in a source frame become nulls. This is the operation
+    /// that assimilates perflogs generated on isolated systems (§2.4).
+    pub fn concat(frames: &[DataFrame]) -> DataFrame {
+        let mut names: Vec<String> = Vec::new();
+        for f in frames {
+            for c in &f.columns {
+                if !names.iter().any(|n| n == c.name()) {
+                    names.push(c.name().to_string());
+                }
+            }
+        }
+        let mut out = DataFrame::new(names.clone());
+        for f in frames {
+            for i in 0..f.n_rows {
+                let cells = names
+                    .iter()
+                    .map(|n| f.column(n).map(|c| c.get(i).clone()).unwrap_or(Cell::Null))
+                    .collect();
+                out.push_row(cells).expect("schema is the union");
+            }
+        }
+        out
+    }
+
+    /// Distinct values of `column`, in first-seen order.
+    pub fn unique(&self, column: &str) -> Result<Vec<Cell>, FrameError> {
+        let col = self.column(column).ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
+        let mut seen: Vec<Cell> = Vec::new();
+        for c in col.iter() {
+            if !seen.iter().any(|s| s.key_eq(c)) {
+                seen.push(c.clone());
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Spread `value_col` into a matrix with one row per distinct
+    /// `row_col` value and one column per distinct `col_col` value —
+    /// the layout of the paper's Figure 2 heat map.
+    pub fn pivot(
+        &self,
+        row_col: &str,
+        col_col: &str,
+        value_col: &str,
+    ) -> Result<DataFrame, FrameError> {
+        let rows = self.unique(row_col)?;
+        let cols = self.unique(col_col)?;
+        let _ = self
+            .column(value_col)
+            .ok_or_else(|| FrameError::NoSuchColumn(value_col.to_string()))?;
+
+        let mut names = vec![row_col.to_string()];
+        names.extend(cols.iter().map(|c| c.to_string()));
+        let mut out = DataFrame::new(names);
+
+        for r in &rows {
+            let mut cells = vec![r.clone()];
+            for c in &cols {
+                let mut hit: Option<Cell> = None;
+                for i in 0..self.n_rows {
+                    let row = self.row(i);
+                    if row.get(row_col).is_some_and(|v| v.key_eq(r))
+                        && row.get(col_col).is_some_and(|v| v.key_eq(c))
+                    {
+                        if hit.is_some() {
+                            return Err(FrameError::DuplicatePivotEntry {
+                                row: r.to_string(),
+                                col: c.to_string(),
+                            });
+                        }
+                        hit = Some(row.get(value_col).expect("checked").clone());
+                    }
+                }
+                cells.push(hit.unwrap_or(Cell::Null));
+            }
+            out.push_row(cells).expect("schema fixed");
+        }
+        Ok(out)
+    }
+
+    /// Append a computed column.
+    pub fn with_column<F: FnMut(&Row<'_>) -> Cell>(
+        &self,
+        name: &str,
+        mut f: F,
+    ) -> Result<DataFrame, FrameError> {
+        let mut out = self.clone();
+        let mut col = Column::new(name);
+        for i in 0..self.n_rows {
+            col.push(f(&self.row(i)));
+        }
+        out.columns.push(col);
+        Ok(out)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let idx: Vec<usize> = (0..self.n_rows.min(n)).collect();
+        self.take(&idx)
+    }
+
+    /// Render as a GitHub-flavoured Markdown table (used by report
+    /// generation and EXPERIMENTS.md regeneration).
+    pub fn to_markdown(&self) -> String {
+        let escape = |s: &str| s.replace('|', "\\|");
+        let mut out = String::from("|");
+        for c in &self.columns {
+            out.push_str(&format!(" {} |", escape(c.name())));
+        }
+        out.push_str("\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for i in 0..self.n_rows {
+            out.push('|');
+            for c in &self.columns {
+                out.push_str(&format!(" {} |", escape(&c.get(i).to_string())));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for DataFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compute column widths over header + all cells.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name().len()).collect();
+        let rendered: Vec<Vec<String>> = (0..self.n_rows)
+            .map(|i| self.columns.iter().map(|c| c.get(i).to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{:<width$}", c.name(), width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,497 @@
+//! The test pipeline: setup → build → submit → run → sanity → performance.
+
+use crate::TestCase;
+use batchsim::{JobRequest, Policy, Scheduler};
+use benchapps::{BenchError, ExecutionMode};
+use perflogs::{Fom, Perflog, PerflogRecord};
+use simhpc::platform::SchedulerKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Options for a harness session (the command-line of the paper's appendix).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// `--system name[:partition]`, resolved in the simhpc catalog
+    /// (`native` runs on the local host with real timing).
+    pub system: String,
+    /// Deterministic run seed.
+    pub seed: u64,
+    /// Principle 3: rebuild the benchmark every run. On by default; the
+    /// ablation bench turns it off to measure what P3 costs/saves.
+    pub rebuild_every_run: bool,
+    /// Account passed to the scheduler (`-J'--account=...'`).
+    pub account: String,
+    /// QoS (`--qos=standard` on ARCHER2).
+    pub qos: String,
+}
+
+impl RunOptions {
+    pub fn on_system(system: &str) -> RunOptions {
+        RunOptions {
+            system: system.to_string(),
+            seed: 42,
+            rebuild_every_run: true,
+            account: "ec176".to_string(),
+            qos: "standard".to_string(),
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> RunOptions {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why a case did not produce a perflog record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    UnknownSystem(String),
+    /// The spec or app cannot run on this platform (Figure 2's `*` boxes).
+    Unsupported(String),
+    BadSpec(String),
+    ConcretizeFailed(String),
+    SchedulerRejected(String),
+    SanityFailed { pattern: String, stdout_head: String },
+    FomNotFound { name: String, pattern: String },
+    ReferenceFailed { fom: String, measured: f64, expected: f64 },
+    BenchFailed(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::UnknownSystem(s) => write!(f, "unknown system `{s}`"),
+            HarnessError::Unsupported(m) => write!(f, "unsupported on this platform: {m}"),
+            HarnessError::BadSpec(m) => write!(f, "bad spec: {m}"),
+            HarnessError::ConcretizeFailed(m) => write!(f, "concretization failed: {m}"),
+            HarnessError::SchedulerRejected(m) => write!(f, "scheduler rejected the job: {m}"),
+            HarnessError::SanityFailed { pattern, stdout_head } => {
+                write!(f, "sanity pattern `{pattern}` not found in output `{stdout_head}...`")
+            }
+            HarnessError::FomNotFound { name, pattern } => {
+                write!(f, "FOM `{name}` (pattern `{pattern}`) not found in output")
+            }
+            HarnessError::ReferenceFailed { fom, measured, expected } => {
+                write!(f, "FOM `{fom}`: measured {measured} outside reference {expected}")
+            }
+            HarnessError::BenchFailed(m) => write!(f, "benchmark failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Everything one pipeline run produced (full provenance).
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    pub record: PerflogRecord,
+    /// Concrete build DAG, rendered (the lockfile's view of this run).
+    pub concrete_rendered: String,
+    pub dag_hash: String,
+    /// How many packages were built vs reused this run.
+    pub packages_built: usize,
+    pub packages_cached: usize,
+    pub build_time_s: f64,
+    /// The generated batch script (P5 artifact).
+    pub job_script: String,
+    /// Queue wait the job experienced in the scheduler.
+    pub queue_wait_s: f64,
+    /// Captured system-state telemetry (energy, power, network traffic).
+    pub telemetry: simhpc::Telemetry,
+    /// Raw benchmark output.
+    pub stdout: String,
+}
+
+/// The harness session: owns the package store, run counter, and perflogs.
+pub struct Harness {
+    repo: spackle::Repo,
+    store: spackle::Store,
+    options: RunOptions,
+    sequence: u64,
+    /// Perflogs keyed by (system, benchmark) — ReFrame's directory layout.
+    perflogs: BTreeMap<(String, String), Perflog>,
+}
+
+impl Harness {
+    pub fn new(options: RunOptions) -> Harness {
+        Harness {
+            repo: spackle::Repo::builtin(),
+            store: spackle::Store::new(),
+            options,
+            sequence: 0,
+            perflogs: BTreeMap::new(),
+        }
+    }
+
+    /// Override the recipe repository (site-local repo layering).
+    pub fn with_repo(mut self, repo: spackle::Repo) -> Harness {
+        self.repo = repo;
+        self
+    }
+
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Perflog for (system, benchmark), if any runs landed there.
+    pub fn perflog(&self, system: &str, benchmark: &str) -> Option<&Perflog> {
+        self.perflogs.get(&(system.to_string(), benchmark.to_string()))
+    }
+
+    /// All perflogs, keyed by (system, benchmark).
+    pub fn perflogs(&self) -> impl Iterator<Item = (&(String, String), &Perflog)> {
+        self.perflogs.iter()
+    }
+
+    /// Run one case through the full pipeline on the session's system.
+    pub fn run_case(&mut self, case: &TestCase) -> Result<CaseReport, HarnessError> {
+        // -- setup: resolve the platform --------------------------------
+        let (system, partition_name) = simhpc::catalog::resolve(&self.options.system)
+            .ok_or_else(|| HarnessError::UnknownSystem(self.options.system.clone()))?;
+        let partition = system
+            .partition(&partition_name)
+            .expect("resolve() returns existing partitions")
+            .clone();
+        let proc = partition.processor().clone();
+
+        // -- build: concretize + install via spackle (P2-P4) -------------
+        let spec = spackle::Spec::parse(&case.spack_spec)
+            .map_err(|e| HarnessError::BadSpec(e.to_string()))?;
+        let ctx = spackle::context_for(&system, &partition);
+        let concrete = spackle::concretize(&spec, &self.repo, &ctx).map_err(|e| match e {
+            spackle::ConcretizeError::Conflict { .. } => {
+                HarnessError::Unsupported(e.to_string())
+            }
+            other => HarnessError::ConcretizeFailed(other.to_string()),
+        })?;
+        let install = spackle::install(
+            &concrete,
+            &mut self.store,
+            spackle::InstallOptions {
+                rebuild_root: self.options.rebuild_every_run,
+                ..spackle::InstallOptions::default()
+            },
+        );
+        let environ = concrete
+            .root()
+            .compiler
+            .as_ref()
+            .map(|(c, v)| format!("{c}@{v}"))
+            .unwrap_or_else(|| "default".to_string());
+
+        // -- run: execute the app under the platform model ---------------
+        let mode = if system.name() == "native" {
+            ExecutionMode::Native
+        } else {
+            ExecutionMode::Simulated {
+                partition: Box::new(partition.clone()),
+                system: system.name().to_string(),
+                seed: self.options.seed,
+            }
+        };
+        let output = case.app.run(&mode).map_err(|e| match e {
+            BenchError::Unsupported(m) => HarnessError::Unsupported(m),
+            other => HarnessError::BenchFailed(other.to_string()),
+        })?;
+
+        // -- submit: the scheduler sees the same layout (P5) --------------
+        let cpus_per_task = if case.num_cpus_per_task == 0 {
+            // "use the whole node" convention (BabelStream in the paper).
+            proc.total_cores() / case.num_tasks_per_node.max(1)
+        } else {
+            case.num_cpus_per_task
+        };
+        let request = JobRequest::new(
+            &case.name,
+            case.num_tasks,
+            case.num_tasks_per_node,
+            cpus_per_task,
+        )
+        .with_account(&self.options.account)
+        .with_qos(&self.options.qos)
+        .with_time_limit((output.wall_time_s * 10.0).max(60.0));
+        let policy = match system.scheduler() {
+            SchedulerKind::Slurm => Policy::Backfill,
+            SchedulerKind::Pbs => Policy::Fifo,
+            SchedulerKind::Local => Policy::Backfill,
+        };
+        let mut sched =
+            Scheduler::new(policy, partition.nodes().max(1), proc.total_cores().max(1));
+        // P3 makes the build part of every run: when packages were built,
+        // a build job precedes the benchmark job via an `afterok`
+        // dependency, exactly as a site CI pipeline would chain them.
+        let build_job = if install.total_time_s > 0.0 {
+            let build_request = JobRequest::new(&format!("{}-build", case.name), 1, 1, 1)
+                .with_account(&self.options.account)
+                .with_qos(&self.options.qos)
+                .with_time_limit(install.total_time_s * 2.0 + 60.0);
+            Some(
+                sched
+                    .submit(build_request, install.total_time_s)
+                    .map_err(|e| HarnessError::SchedulerRejected(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        let job_id = match build_job {
+            Some(b) => sched
+                .submit_after(request.clone(), output.wall_time_s, b)
+                .map_err(|e| HarnessError::SchedulerRejected(e.to_string()))?,
+            None => sched
+                .submit(request.clone(), output.wall_time_s)
+                .map_err(|e| HarnessError::SchedulerRejected(e.to_string()))?,
+        };
+        sched.run_to_completion();
+        let job = sched.job(job_id).expect("submitted job exists").clone();
+        let job_script = batchsim::render_script(
+            system.scheduler(),
+            &request,
+            &format!("{} {}", case.name, case.extras.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(" ")),
+        );
+
+        // -- sanity: the run must have produced valid output (rexpr) ------
+        let sanity = rexpr::Regex::new(&case.sanity_pattern)
+            .map_err(|e| HarnessError::BadSpec(format!("bad sanity pattern: {e}")))?;
+        if !sanity.is_match(&output.stdout) {
+            return Err(HarnessError::SanityFailed {
+                pattern: case.sanity_pattern.clone(),
+                stdout_head: output.stdout.chars().take(60).collect(),
+            });
+        }
+
+        // -- performance: extract FOMs (P6) -------------------------------
+        let mut foms = Vec::new();
+        for var in &case.perf_vars {
+            let re = rexpr::Regex::new(&var.pattern)
+                .map_err(|e| HarnessError::BadSpec(format!("bad perf pattern: {e}")))?;
+            let caps = re.captures(&output.stdout).ok_or_else(|| HarnessError::FomNotFound {
+                name: var.name.clone(),
+                pattern: var.pattern.clone(),
+            })?;
+            let text = caps
+                .get(1)
+                .ok_or_else(|| HarnessError::FomNotFound {
+                    name: var.name.clone(),
+                    pattern: var.pattern.clone(),
+                })?
+                .as_str();
+            let value: f64 = text.parse().map_err(|_| HarnessError::FomNotFound {
+                name: var.name.clone(),
+                pattern: var.pattern.clone(),
+            })?;
+            foms.push(Fom { name: var.name.clone(), value, unit: var.unit.clone() });
+        }
+        for (fom_name, reference) in &case.references {
+            if let Some(f) = foms.iter().find(|f| &f.name == fom_name) {
+                if !reference.check(f.value) {
+                    return Err(HarnessError::ReferenceFailed {
+                        fom: fom_name.clone(),
+                        measured: f.value,
+                        expected: reference.value,
+                    });
+                }
+            }
+        }
+
+        // -- telemetry: the paper's §4 extension (energy / network) -------
+        let telemetry = simhpc::telemetry::capture(
+            &partition,
+            output.wall_time_s,
+            request.cores_per_node(),
+            request.nodes_needed(),
+            case.app.network_bytes(),
+        );
+
+        // -- perflog ------------------------------------------------------
+        self.sequence += 1;
+        let mut extras = case.extras.clone();
+        extras.push(("queue_wait_s".to_string(), format!("{:.6}", job.wait_time().unwrap_or(0.0))));
+        if let Some(b) = build_job {
+            extras.push(("build_job_id".to_string(), b.to_string()));
+        }
+        extras.push(("energy_j".to_string(), format!("{:.3}", telemetry.energy_j)));
+        extras.push(("avg_power_w".to_string(), format!("{:.1}", telemetry.avg_power_w)));
+        extras.push(("network_bytes".to_string(), telemetry.network_bytes.to_string()));
+        let record = PerflogRecord {
+            sequence: self.sequence,
+            benchmark: case.name.clone(),
+            system: system.name().to_string(),
+            partition: partition_name.clone(),
+            environ,
+            spec: concrete.root().render(),
+            build_hash: concrete.dag_hash().to_string(),
+            job_id: Some(job_id.0),
+            num_tasks: case.num_tasks,
+            num_tasks_per_node: case.num_tasks_per_node,
+            num_cpus_per_task: cpus_per_task,
+            foms,
+            extras,
+        };
+        self.perflogs
+            .entry((system.name().to_string(), case.app.name().to_string()))
+            .or_default()
+            .append(record.clone());
+
+        Ok(CaseReport {
+            record,
+            concrete_rendered: concrete.to_string(),
+            dag_hash: concrete.dag_hash().to_string(),
+            packages_built: install.n_built(),
+            packages_cached: install.n_cached(),
+            build_time_s: install.total_time_s,
+            job_script,
+            queue_wait_s: job.wait_time().unwrap_or(0.0),
+            telemetry,
+            stdout: output.stdout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use parkern::Model;
+
+    #[test]
+    fn full_pipeline_babelstream_on_simulated_system() {
+        let mut h = Harness::new(RunOptions::on_system("isambard-macs:cascadelake"));
+        let case = cases::babelstream(Model::Omp, 1 << 25);
+        let report = h.run_case(&case).unwrap();
+        let triad = report.record.fom("Triad").unwrap();
+        assert_eq!(triad.unit, "MB/s");
+        // Below theoretical peak (282 GB/s), above half of sustained.
+        assert!(triad.value < 282_000.0, "triad {}", triad.value);
+        assert!(triad.value > 100_000.0, "triad {}", triad.value);
+        // Build provenance captured.
+        assert!(report.packages_built >= 1, "P3: root always rebuilt");
+        assert!(report.concrete_rendered.contains("babelstream"));
+        assert_eq!(report.dag_hash.len(), 7);
+        // PBS system → PBS script.
+        assert!(report.job_script.contains("#PBS"));
+        // Perflog got the record.
+        assert_eq!(h.perflog("isambard-macs", "babelstream").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rebuild_every_run_rebuilds_root_only() {
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let first = h.run_case(&case).unwrap();
+        let second = h.run_case(&case).unwrap();
+        assert!(first.packages_built >= second.packages_built);
+        assert_eq!(second.packages_built, 1, "only the benchmark itself rebuilds");
+        assert!(second.packages_cached > 0);
+    }
+
+    #[test]
+    fn p3_off_reuses_binary() {
+        let mut opts = RunOptions::on_system("csd3");
+        opts.rebuild_every_run = false;
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        h.run_case(&case).unwrap();
+        let second = h.run_case(&case).unwrap();
+        assert_eq!(second.packages_built, 0, "without P3 the stale binary is reused");
+    }
+
+    #[test]
+    fn unsupported_combination_is_skippable_error() {
+        // CUDA on a CPU partition fails at concretization (conflict).
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let case = cases::babelstream(Model::Cuda, 1 << 22);
+        match h.run_case(&case) {
+            Err(HarnessError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_system_rejected() {
+        let mut h = Harness::new(RunOptions::on_system("summit"));
+        let case = cases::babelstream(Model::Omp, 1 << 20);
+        assert!(matches!(h.run_case(&case), Err(HarnessError::UnknownSystem(_))));
+    }
+
+    #[test]
+    fn sanity_failure_blocks_fom() {
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let case =
+            cases::babelstream(Model::Omp, 1 << 22).with_sanity("THIS NEVER APPEARS");
+        assert!(matches!(h.run_case(&case), Err(HarnessError::SanityFailed { .. })));
+        assert!(h.perflog("csd3", "babelstream").is_none(), "no FOM on sanity failure");
+    }
+
+    #[test]
+    fn reference_violation_detected() {
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let case = cases::babelstream(Model::Omp, 1 << 25)
+            .with_reference("Triad", crate::Reference::within(1.0, 0.05));
+        assert!(matches!(h.run_case(&case), Err(HarnessError::ReferenceFailed { .. })));
+    }
+
+    #[test]
+    fn hpgmg_runs_with_paper_layout_and_queue_data() {
+        let mut h = Harness::new(RunOptions::on_system("archer2"));
+        let report = h.run_case(&cases::hpgmg()).unwrap();
+        assert!(report.record.fom("l0").unwrap().value > report.record.fom("l2").unwrap().value);
+        assert!(report.job_script.contains("--ntasks=8"));
+        assert!(report.job_script.contains("--ntasks-per-node=2"));
+        assert!(report.job_script.contains("--cpus-per-task=8"));
+        assert!(report
+            .record
+            .extras
+            .iter()
+            .any(|(k, _)| k == "queue_wait_s"));
+    }
+
+    #[test]
+    fn p3_build_job_chains_before_run_job() {
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let report = h.run_case(&case).unwrap();
+        // The run job waited for the build job (P3 made the rebuild part
+        // of the pipeline's critical path).
+        assert!(
+            report.record.extras.iter().any(|(k, _)| k == "build_job_id"),
+            "build job recorded in the perflog"
+        );
+        assert!(
+            report.queue_wait_s >= report.build_time_s * 0.99,
+            "run queue wait {} must cover the build time {}",
+            report.queue_wait_s,
+            report.build_time_s
+        );
+        // With P3 off and a warm store, the second run has no build job.
+        let mut opts = RunOptions::on_system("csd3");
+        opts.rebuild_every_run = false;
+        let mut h2 = Harness::new(opts);
+        h2.run_case(&case).unwrap();
+        let second = h2.run_case(&case).unwrap();
+        assert!(second.record.extras.iter().all(|(k, _)| k != "build_job_id"));
+        assert_eq!(second.queue_wait_s, 0.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut h = Harness::new(RunOptions::on_system("noctua2").with_seed(seed));
+            let case = cases::babelstream(Model::Omp, 1 << 25);
+            h.run_case(&case).unwrap().record.fom("Triad").unwrap().value
+        };
+        assert_eq!(run(7), run(7), "same seed, same FOM");
+        assert_ne!(run(7), run(8), "different seed, different noise");
+    }
+
+    #[test]
+    fn native_mode_runs_real_kernels() {
+        let mut h = Harness::new(RunOptions::on_system("native"));
+        let mut case = cases::babelstream(Model::Serial, 1 << 16);
+        if let crate::App::BabelStream(cfg) = &mut case.app {
+            cfg.reps = 3;
+        }
+        let report = h.run_case(&case).unwrap();
+        assert!(report.record.fom("Triad").unwrap().value > 0.0);
+        assert!(report.job_script.starts_with("#!/bin/bash"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Running a suite of cases across a stable of systems — the paper's
+//! performance-portability survey workflow (§3.1): all benchmarks × all
+//! systems in one invocation, with unsupported combinations recorded as
+//! skips (the `*` boxes of Figure 2) rather than aborting the sweep.
+
+use crate::{CaseReport, Harness, HarnessError, RunOptions, TestCase};
+use perflogs::Perflog;
+
+/// What happened to one (case, system) combination.
+#[derive(Debug)]
+pub enum SuiteOutcome {
+    Ran(Box<CaseReport>),
+    /// The combination cannot run on that platform (recorded, not fatal).
+    Skipped(String),
+    /// A genuine failure (sanity, reference, scheduler, ...).
+    Failed(HarnessError),
+}
+
+impl SuiteOutcome {
+    pub fn ran(&self) -> bool {
+        matches!(self, SuiteOutcome::Ran(_))
+    }
+
+    pub fn skipped(&self) -> bool {
+        matches!(self, SuiteOutcome::Skipped(_))
+    }
+}
+
+/// The result of a full sweep.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// (case name, system spec, outcome)
+    pub outcomes: Vec<(String, String, SuiteOutcome)>,
+    /// Perflogs collected per (system, benchmark family).
+    pub perflogs: Vec<((String, String), Perflog)>,
+}
+
+impl SuiteReport {
+    pub fn n_ran(&self) -> usize {
+        self.outcomes.iter().filter(|(_, _, o)| o.ran()).count()
+    }
+
+    pub fn n_skipped(&self) -> usize {
+        self.outcomes.iter().filter(|(_, _, o)| o.skipped()).count()
+    }
+
+    pub fn n_failed(&self) -> usize {
+        self.outcomes.len() - self.n_ran() - self.n_skipped()
+    }
+
+    /// Assimilate every perflog into one data frame (Principle 6).
+    pub fn combined_frame(&self) -> dframe::DataFrame {
+        let frames: Vec<dframe::DataFrame> =
+            self.perflogs.iter().map(|(_, log)| log.to_frame()).collect();
+        dframe::DataFrame::concat(&frames)
+    }
+
+    /// Outcome for a (case, system) pair.
+    pub fn outcome(&self, case: &str, system: &str) -> Option<&SuiteOutcome> {
+        self.outcomes
+            .iter()
+            .find(|(c, s, _)| c == case && s == system)
+            .map(|(_, _, o)| o)
+    }
+}
+
+/// Sweeps cases across systems, one harness session per system.
+pub struct SuiteRunner {
+    pub systems: Vec<String>,
+    pub seed: u64,
+}
+
+impl SuiteRunner {
+    pub fn new(systems: &[&str]) -> SuiteRunner {
+        SuiteRunner { systems: systems.iter().map(|s| s.to_string()).collect(), seed: 42 }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> SuiteRunner {
+        self.seed = seed;
+        self
+    }
+
+    /// Run every case on every system.
+    pub fn run(&self, cases: &[TestCase]) -> SuiteReport {
+        let mut outcomes = Vec::new();
+        let mut perflogs = Vec::new();
+        for system in &self.systems {
+            let mut harness = Harness::new(RunOptions::on_system(system).with_seed(self.seed));
+            for case in cases {
+                let outcome = match harness.run_case(case) {
+                    Ok(report) => SuiteOutcome::Ran(Box::new(report)),
+                    Err(HarnessError::Unsupported(reason)) => SuiteOutcome::Skipped(reason),
+                    Err(other) => SuiteOutcome::Failed(other),
+                };
+                outcomes.push((case.name.clone(), system.clone(), outcome));
+            }
+            for (key, log) in harness.perflogs() {
+                perflogs.push((key.clone(), log.clone()));
+            }
+        }
+        SuiteReport { outcomes, perflogs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+    use parkern::Model;
+
+    #[test]
+    fn sweep_over_models_and_systems_matches_figure2_availability() {
+        // A small Figure-2-style sweep: 3 models × (CPU + GPU partitions).
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Cuda, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let runner =
+            SuiteRunner::new(&["isambard-macs:cascadelake", "isambard-macs:volta", "isambard:xci"]);
+        let report = runner.run(&cases);
+        assert_eq!(report.outcomes.len(), 9);
+        // OMP runs on both CPUs, not the GPU.
+        assert!(report.outcome("babelstream_omp", "isambard-macs:cascadelake").unwrap().ran());
+        assert!(report.outcome("babelstream_omp", "isambard:xci").unwrap().ran());
+        assert!(report.outcome("babelstream_omp", "isambard-macs:volta").unwrap().skipped());
+        // CUDA only on the GPU.
+        assert!(report.outcome("babelstream_cuda", "isambard-macs:volta").unwrap().ran());
+        assert!(report
+            .outcome("babelstream_cuda", "isambard-macs:cascadelake")
+            .unwrap()
+            .skipped());
+        // TBB skipped on ThunderX2 (the paper's starred box).
+        assert!(report.outcome("babelstream_tbb", "isambard:xci").unwrap().skipped());
+        assert!(report.outcome("babelstream_tbb", "isambard-macs:cascadelake").unwrap().ran());
+        assert_eq!(report.n_failed(), 0);
+    }
+
+    #[test]
+    fn combined_frame_assimilates_cross_system() {
+        let cases = vec![cases::babelstream(Model::Omp, 1 << 22)];
+        let runner = SuiteRunner::new(&["archer2", "csd3"]);
+        let report = runner.run(&cases);
+        let df = report.combined_frame();
+        // 2 systems × 5 FOMs.
+        assert_eq!(df.n_rows(), 10);
+        assert_eq!(df.unique("system").unwrap().len(), 2);
+    }
+}

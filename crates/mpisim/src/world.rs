@@ -1,0 +1,47 @@
+//! World construction: one thread per rank.
+
+use crate::comm::{Collectives, Comm, Message};
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// Run `f` on `size` ranks concurrently; returns each rank's result in
+/// rank order. Panics in any rank propagate (the world aborts, like an
+/// MPI job).
+pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+where
+    F: Fn(&mut Comm) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(size > 0, "a world needs at least one rank");
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..size).map(|_| unbounded::<Message>()).unzip();
+    let collectives = Arc::new(Collectives {
+        barrier: Barrier::new(size),
+        slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+    });
+
+    let mut comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| {
+            Comm::new(rank, size, senders.clone(), inbox, Arc::clone(&collectives))
+        })
+        .collect();
+    // The original sender handles must drop so recv() can detect teardown.
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move || f(comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("a rank panicked"))
+            .collect()
+    })
+}

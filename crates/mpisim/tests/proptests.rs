@@ -1,0 +1,79 @@
+//! Property tests: collective semantics hold for arbitrary world sizes and
+//! payloads.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// allreduce_sum equals the serial sum for every rank.
+    #[test]
+    fn allreduce_sum_correct(values in prop::collection::vec(-1e6f64..1e6, 1..9)) {
+        let expect: f64 = values.iter().sum();
+        let vals = values.clone();
+        let out = mpisim::run(values.len(), move |c| c.allreduce_sum(vals[c.rank()]));
+        for v in out {
+            prop_assert!((v - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+        }
+    }
+
+    /// allreduce is deterministic: every rank gets the *identical* bits.
+    #[test]
+    fn allreduce_bitwise_identical(values in prop::collection::vec(-1e6f64..1e6, 2..9)) {
+        let vals = values.clone();
+        let out = mpisim::run(values.len(), move |c| c.allreduce_sum(vals[c.rank()]));
+        for w in out.windows(2) {
+            prop_assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+    }
+
+    /// gather at root concatenates in rank order, any payload sizes.
+    #[test]
+    fn gather_preserves_order(sizes in prop::collection::vec(0usize..5, 1..6)) {
+        let sz = sizes.clone();
+        let out = mpisim::run(sizes.len(), move |c| {
+            let data: Vec<f64> =
+                (0..sz[c.rank()]).map(|i| (c.rank() * 100 + i) as f64).collect();
+            c.gather(0, data)
+        });
+        let mut expect = Vec::new();
+        for (rank, &n) in sizes.iter().enumerate() {
+            expect.extend((0..n).map(|i| (rank * 100 + i) as f64));
+        }
+        prop_assert_eq!(&out[0], &expect);
+        for rest in &out[1..] {
+            prop_assert!(rest.is_empty());
+        }
+    }
+
+    /// A shifted ring of arbitrary payloads is delivered intact.
+    #[test]
+    fn ring_delivers_payloads(size in 2usize..8, payload in prop::collection::vec(-1e3f64..1e3, 1..20)) {
+        let p = payload.clone();
+        let out = mpisim::run(size, move |c| {
+            let mut msg = p.clone();
+            msg[0] = c.rank() as f64;
+            c.send((c.rank() + 1) % c.size(), 5, msg);
+            c.recv((c.rank() + c.size() - 1) % c.size(), 5)
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let from = (rank + size - 1) % size;
+            prop_assert_eq!(got[0], from as f64);
+            prop_assert_eq!(got.len(), payload.len());
+        }
+    }
+
+    /// Broadcast delivers the root's payload to everyone, for any root.
+    #[test]
+    fn broadcast_any_root(size in 1usize..8, root_pick in any::<usize>(), payload in prop::collection::vec(-1e3f64..1e3, 0..10)) {
+        let root = root_pick % size;
+        let p = payload.clone();
+        let out = mpisim::run(size, move |c| {
+            let data = if c.rank() == root { p.clone() } else { vec![] };
+            c.broadcast(root, data)
+        });
+        for got in out {
+            prop_assert_eq!(&got, &payload);
+        }
+    }
+}

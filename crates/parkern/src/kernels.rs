@@ -1,0 +1,295 @@
+//! Shared array kernels, written once against the [`Backend`] abstraction.
+//!
+//! These are the numerical bodies of the benchmark applications: the five
+//! BabelStream/STREAM operations, dot products, sparse matrix-vector
+//! products and stencil applications. They always run for real, so sanity
+//! checks downstream validate genuine arithmetic.
+
+use crate::backend::Backend;
+use std::ops::Range;
+
+/// A raw pointer wrapper allowing disjoint parallel writes to a slice.
+///
+/// Safety contract: callers only write indices within their own chunk, and
+/// chunks from [`crate::backend::chunks`] are disjoint.
+#[derive(Clone, Copy)]
+struct ParPtr(*mut f64);
+unsafe impl Send for ParPtr {}
+unsafe impl Sync for ParPtr {}
+
+impl ParPtr {
+    /// # Safety
+    /// `i` must be within bounds and not concurrently written by another
+    /// worker.
+    unsafe fn write(self, i: usize, v: f64) {
+        unsafe { *self.0.add(i) = v };
+    }
+}
+
+/// `c[i] = a[i]` — STREAM Copy.
+pub fn copy(backend: &dyn Backend, a: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), c.len());
+    let out = ParPtr(c.as_mut_ptr());
+    backend.par_for(a.len(), &|r: Range<usize>| {
+        for i in r {
+            // SAFETY: chunks are disjoint (ParPtr contract).
+            unsafe { out.write(i, a[i]) };
+        }
+    });
+}
+
+/// `b[i] = scalar * c[i]` — STREAM Mul (Scale).
+pub fn mul(backend: &dyn Backend, scalar: f64, c: &[f64], b: &mut [f64]) {
+    assert_eq!(b.len(), c.len());
+    let out = ParPtr(b.as_mut_ptr());
+    backend.par_for(c.len(), &|r: Range<usize>| {
+        for i in r {
+            unsafe { out.write(i, scalar * c[i]) };
+        }
+    });
+}
+
+/// `c[i] = a[i] + b[i]` — STREAM Add.
+pub fn add(backend: &dyn Backend, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let out = ParPtr(c.as_mut_ptr());
+    backend.par_for(a.len(), &|r: Range<usize>| {
+        for i in r {
+            unsafe { out.write(i, a[i] + b[i]) };
+        }
+    });
+}
+
+/// `a[i] = b[i] + scalar * c[i]` — STREAM Triad: the headline kernel.
+pub fn triad(backend: &dyn Backend, scalar: f64, b: &[f64], c: &[f64], a: &mut [f64]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let out = ParPtr(a.as_mut_ptr());
+    backend.par_for(b.len(), &|r: Range<usize>| {
+        for i in r {
+            unsafe { out.write(i, b[i] + scalar * c[i]) };
+        }
+    });
+}
+
+/// `sum(a[i] * b[i])` — STREAM Dot.
+pub fn dot(backend: &dyn Backend, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    backend.par_reduce_sum(a.len(), &|r: Range<usize>| {
+        let mut s = 0.0;
+        for i in r {
+            s += a[i] * b[i];
+        }
+        s
+    })
+}
+
+/// `y[i] = alpha * x[i] + beta * z[i]` — HPCG's WAXPBY.
+pub fn waxpby(
+    backend: &dyn Backend,
+    alpha: f64,
+    x: &[f64],
+    beta: f64,
+    z: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(x.len(), z.len());
+    assert_eq!(x.len(), y.len());
+    let out = ParPtr(y.as_mut_ptr());
+    backend.par_for(x.len(), &|r: Range<usize>| {
+        for i in r {
+            unsafe { out.write(i, alpha * x[i] + beta * z[i]) };
+        }
+    });
+}
+
+/// CSR sparse matrix-vector product `y = A x`.
+///
+/// `row_ptr` has `nrows + 1` entries; column indices and values are packed.
+pub fn spmv_csr(
+    backend: &dyn Backend,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nrows = row_ptr.len() - 1;
+    assert_eq!(y.len(), nrows);
+    assert_eq!(col_idx.len(), values.len());
+    let out = ParPtr(y.as_mut_ptr());
+    backend.par_for(nrows, &|r: Range<usize>| {
+        for row in r {
+            let mut sum = 0.0;
+            for k in row_ptr[row]..row_ptr[row + 1] {
+                sum += values[k] * x[col_idx[k] as usize];
+            }
+            unsafe { out.write(row, sum) };
+        }
+    });
+}
+
+/// Matrix-free 27-point stencil apply on an `nx × ny × nz` grid with
+/// constant coefficients: `y = A x` for the HPCG operator without an
+/// assembled matrix. Boundary rows truncate the stencil (Dirichlet).
+#[allow(clippy::too_many_arguments)]
+pub fn stencil27(
+    backend: &dyn Backend,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    diag: f64,
+    off: f64,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let n = nx * ny * nz;
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    let out = ParPtr(y.as_mut_ptr());
+    backend.par_for(n, &|r: Range<usize>| {
+        for idx in r {
+            let iz = idx / (nx * ny);
+            let iy = (idx / nx) % ny;
+            let ix = idx % nx;
+            let mut sum = diag * x[idx];
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let jx = ix as i64 + dx;
+                        let jy = iy as i64 + dy;
+                        let jz = iz as i64 + dz;
+                        if jx < 0
+                            || jy < 0
+                            || jz < 0
+                            || jx >= nx as i64
+                            || jy >= ny as i64
+                            || jz >= nz as i64
+                        {
+                            continue;
+                        }
+                        let j = (jz as usize * ny + jy as usize) * nx + jx as usize;
+                        sum += off * x[j];
+                    }
+                }
+            }
+            unsafe { out.write(idx, sum) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SerialBackend, ThreadsBackend};
+    use crate::pool::PoolBackend;
+
+    fn backends() -> Vec<Box<dyn Backend>> {
+        vec![
+            Box::new(SerialBackend),
+            Box::new(ThreadsBackend::new(4)),
+            Box::new(PoolBackend::new(4)),
+        ]
+    }
+
+    #[test]
+    fn stream_kernels_compute_correctly() {
+        for b in backends() {
+            let n = 10_001; // odd size exercises uneven chunking
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut c = vec![0.0; n];
+            copy(b.as_ref(), &a, &mut c);
+            assert_eq!(c[5000], 5000.0);
+
+            let mut bb = vec![0.0; n];
+            mul(b.as_ref(), 0.4, &c, &mut bb);
+            assert!((bb[10] - 4.0).abs() < 1e-12);
+
+            let mut sum = vec![0.0; n];
+            add(b.as_ref(), &a, &bb, &mut sum);
+            assert!((sum[10] - 14.0).abs() < 1e-12);
+
+            let mut t = vec![0.0; n];
+            triad(b.as_ref(), 3.0, &a, &bb, &mut t);
+            assert!((t[10] - 22.0).abs() < 1e-12);
+
+            let d = dot(b.as_ref(), &a, &a);
+            let expect: f64 = a.iter().map(|v| v * v).sum();
+            assert!((d - expect).abs() < 1e-6 * expect);
+        }
+    }
+
+    #[test]
+    fn waxpby_matches_reference() {
+        for b in backends() {
+            let x = vec![1.0; 100];
+            let z: Vec<f64> = (0..100).map(|i| i as f64).collect();
+            let mut y = vec![0.0; 100];
+            waxpby(b.as_ref(), 2.0, &x, -1.0, &z, &mut y);
+            assert_eq!(y[10], 2.0 - 10.0);
+        }
+    }
+
+    #[test]
+    fn spmv_identity() {
+        // 4x4 identity in CSR.
+        let row_ptr = vec![0, 1, 2, 3, 4];
+        let col_idx = vec![0u32, 1, 2, 3];
+        let values = vec![1.0; 4];
+        let x = vec![3.0, 1.0, 4.0, 1.5];
+        for b in backends() {
+            let mut y = vec![0.0; 4];
+            spmv_csr(b.as_ref(), &row_ptr, &col_idx, &values, &x, &mut y);
+            assert_eq!(y, x);
+        }
+    }
+
+    #[test]
+    fn spmv_tridiagonal() {
+        // [2 -1 0; -1 2 -1; 0 -1 2] * [1 1 1] = [1 0 1]
+        let row_ptr = vec![0, 2, 5, 7];
+        let col_idx = vec![0u32, 1, 0, 1, 2, 1, 2];
+        let values = vec![2.0, -1.0, -1.0, 2.0, -1.0, -1.0, 2.0];
+        let x = vec![1.0; 3];
+        for b in backends() {
+            let mut y = vec![0.0; 3];
+            spmv_csr(b.as_ref(), &row_ptr, &col_idx, &values, &x, &mut y);
+            assert_eq!(y, vec![1.0, 0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn stencil_interior_row_sums() {
+        // With diag=26, off=-1, applying to the constant vector gives 0 in
+        // the interior (row sum zero) and positive values at boundaries.
+        let (nx, ny, nz) = (5, 5, 5);
+        let x = vec![1.0; nx * ny * nz];
+        for b in backends() {
+            let mut y = vec![0.0; nx * ny * nz];
+            stencil27(b.as_ref(), nx, ny, nz, 26.0, -1.0, &x, &mut y);
+            let center = (2 * ny + 2) * nx + 2;
+            assert!((y[center] - (26.0 - 26.0)).abs() < 1e-12);
+            let corner = 0;
+            // Corner has 7 neighbours: 26 - 7 = 19.
+            assert!((y[corner] - 19.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_stencil() {
+        let (nx, ny, nz) = (13, 7, 9);
+        let n = nx * ny * nz;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+        let mut y_serial = vec![0.0; n];
+        stencil27(&SerialBackend, nx, ny, nz, 26.0, -1.0, &x, &mut y_serial);
+        for b in backends() {
+            let mut y = vec![0.0; n];
+            stencil27(b.as_ref(), nx, ny, nz, 26.0, -1.0, &x, &mut y);
+            assert_eq!(y, y_serial, "backend {}", b.label());
+        }
+    }
+}

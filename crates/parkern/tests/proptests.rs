@@ -1,0 +1,120 @@
+//! Property tests for the parallel backends: every backend computes
+//! exactly what the serial reference computes, for arbitrary sizes and
+//! worker counts.
+
+use parkern::backend::{chunks, Backend, CrossbeamBackend, SerialBackend, ThreadsBackend};
+use parkern::{kernels, PoolBackend};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn backend_for(kind: u8, workers: usize) -> Box<dyn Backend> {
+    match kind % 4 {
+        0 => Box::new(SerialBackend),
+        1 => Box::new(ThreadsBackend::new(workers)),
+        2 => Box::new(CrossbeamBackend::new(workers)),
+        _ => Box::new(PoolBackend::new(workers)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// chunks() is a partition of 0..n into contiguous, balanced ranges.
+    #[test]
+    fn chunks_partition(n in 0usize..100_000, pieces in 1usize..64) {
+        let parts = chunks(n, pieces);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, n);
+        let mut expect = 0;
+        for r in &parts {
+            prop_assert_eq!(r.start, expect);
+            prop_assert!(!r.is_empty());
+            expect = r.end;
+        }
+        if let (Some(min), Some(max)) = (
+            parts.iter().map(|r| r.len()).min(),
+            parts.iter().map(|r| r.len()).max(),
+        ) {
+            prop_assert!(max - min <= 1, "unbalanced: {min}..{max}");
+        }
+        prop_assert!(parts.len() <= pieces.max(1));
+    }
+
+    /// par_for touches every index exactly once on every backend.
+    #[test]
+    fn par_for_exactly_once(kind in 0u8..4, workers in 1usize..6, n in 0usize..5000) {
+        let backend = backend_for(kind, workers);
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        backend.par_for(n, &|r| {
+            for i in r {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "index {} visited wrong number of times", i);
+        }
+    }
+
+    /// Reductions agree with the serial sum to floating-point tolerance.
+    #[test]
+    fn reduce_matches_serial(kind in 0u8..4, workers in 1usize..6, data in prop::collection::vec(-1e6f64..1e6, 0..4000)) {
+        let backend = backend_for(kind, workers);
+        let expect: f64 = data.iter().sum();
+        let got = backend.par_reduce_sum(data.len(), &|r| r.map(|i| data[i]).sum());
+        prop_assert!(
+            (got - expect).abs() <= 1e-9 * expect.abs().max(1.0) + 1e-6,
+            "{} vs {expect}",
+            got
+        );
+    }
+
+    /// Triad on every backend equals the scalar formula elementwise.
+    #[test]
+    fn triad_elementwise(kind in 0u8..4, workers in 1usize..6, n in 1usize..3000, scalar in -10.0f64..10.0) {
+        let backend = backend_for(kind, workers);
+        let b: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut a = vec![0.0; n];
+        kernels::triad(backend.as_ref(), scalar, &b, &c, &mut a);
+        for i in 0..n {
+            prop_assert_eq!(a[i], b[i] + scalar * c[i]);
+        }
+    }
+
+    /// SpMV over a random diagonal matrix scales the vector exactly.
+    #[test]
+    fn spmv_diagonal(kind in 0u8..4, diag in prop::collection::vec(-100.0f64..100.0, 1..500)) {
+        let backend = backend_for(kind, 4);
+        let n = diag.len();
+        let row_ptr: Vec<usize> = (0..=n).collect();
+        let col_idx: Vec<u32> = (0..n as u32).collect();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let mut y = vec![0.0; n];
+        kernels::spmv_csr(backend.as_ref(), &row_ptr, &col_idx, &diag, &x, &mut y);
+        for i in 0..n {
+            prop_assert_eq!(y[i], diag[i] * x[i]);
+        }
+    }
+
+    /// Model availability is consistent: a model that claims GPU device
+    /// never runs on CPUs and vice versa.
+    #[test]
+    fn model_availability_consistent(model_idx in 0usize..9) {
+        let model = parkern::Model::all()[model_idx % parkern::Model::all().len()];
+        for sys in simhpc::catalog::all_systems() {
+            for part in sys.partitions() {
+                let proc = part.processor();
+                if model.available_on(proc) {
+                    match model.device() {
+                        parkern::Device::Gpu => prop_assert!(proc.is_gpu()),
+                        parkern::Device::Cpu => prop_assert!(!proc.is_gpu()),
+                    }
+                    let e = model.efficiency_on(proc);
+                    prop_assert!(e > 0.0 && e <= 1.0);
+                    prop_assert!(model.threads_on(proc) >= 1);
+                    prop_assert!(model.threads_on(proc) <= proc.total_cores());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! `perflogs` — the performance-log format (§2.4, Principle 6).
+//!
+//! Every benchmark run appends one structured record to a performance log
+//! ("perflog") associated with the benchmark on each system. Perflogs from
+//! isolated systems are later assimilated into a single data frame for
+//! filtering and plotting. The on-disk format is JSON Lines: one
+//! self-describing JSON object per run, written and parsed by `tinycfg`'s
+//! value model (no external serialization dependency).
+
+use dframe::{Cell, DataFrame};
+use tinycfg::{Map, Value};
+
+/// One Figure of Merit extracted from a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fom {
+    pub name: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+/// One benchmark run's perflog record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerflogRecord {
+    /// Monotonic run counter (stands in for a wall-clock timestamp so that
+    /// records — and the experiments built on them — stay reproducible).
+    pub sequence: u64,
+    pub benchmark: String,
+    pub system: String,
+    pub partition: String,
+    /// Programming environment / compiler (e.g. `gcc@9.2.0`).
+    pub environ: String,
+    /// The concretized spec that was built (P4: archaeology).
+    pub spec: String,
+    /// Content hash of the build DAG.
+    pub build_hash: String,
+    pub job_id: Option<u64>,
+    pub num_tasks: u32,
+    pub num_tasks_per_node: u32,
+    pub num_cpus_per_task: u32,
+    pub foms: Vec<Fom>,
+    /// Free-form extra fields (queue wait, array size, variant, ...).
+    pub extras: Vec<(String, String)>,
+}
+
+impl PerflogRecord {
+    /// Look up a FOM by name.
+    pub fn fom(&self, name: &str) -> Option<&Fom> {
+        self.foms.iter().find(|f| f.name == name)
+    }
+
+    /// Serialize as a single JSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut m = Map::new();
+        m.insert("sequence", Value::Int(self.sequence as i64));
+        m.insert("benchmark", Value::from(self.benchmark.as_str()));
+        m.insert("system", Value::from(self.system.as_str()));
+        m.insert("partition", Value::from(self.partition.as_str()));
+        m.insert("environ", Value::from(self.environ.as_str()));
+        m.insert("spec", Value::from(self.spec.as_str()));
+        m.insert("build_hash", Value::from(self.build_hash.as_str()));
+        m.insert(
+            "job_id",
+            self.job_id.map(|j| Value::Int(j as i64)).unwrap_or(Value::Null),
+        );
+        m.insert("num_tasks", Value::Int(self.num_tasks as i64));
+        m.insert("num_tasks_per_node", Value::Int(self.num_tasks_per_node as i64));
+        m.insert("num_cpus_per_task", Value::Int(self.num_cpus_per_task as i64));
+        let foms: Vec<Value> = self
+            .foms
+            .iter()
+            .map(|f| {
+                let mut fm = Map::new();
+                fm.insert("name", Value::from(f.name.as_str()));
+                fm.insert("value", Value::Float(f.value));
+                fm.insert("unit", Value::from(f.unit.as_str()));
+                Value::Map(fm)
+            })
+            .collect();
+        m.insert("foms", Value::List(foms));
+        let mut extras = Map::new();
+        for (k, v) in &self.extras {
+            extras.insert(k.clone(), Value::from(v.as_str()));
+        }
+        m.insert("extras", Value::Map(extras));
+        Value::Map(m).to_json()
+    }
+
+    /// Parse one JSON line back into a record.
+    pub fn from_json_line(line: &str) -> Result<PerflogRecord, PerflogError> {
+        let doc = parse_json(line)?;
+        let str_at = |key: &str| -> Result<String, PerflogError> {
+            doc.get_path(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| PerflogError(format!("missing string field `{key}`")))
+        };
+        let int_at = |key: &str| -> Result<i64, PerflogError> {
+            doc.get_path(key)
+                .and_then(Value::as_int)
+                .ok_or_else(|| PerflogError(format!("missing integer field `{key}`")))
+        };
+        let mut foms = Vec::new();
+        for f in doc
+            .get_path("foms")
+            .and_then(Value::as_list)
+            .ok_or_else(|| PerflogError("missing `foms` list".into()))?
+        {
+            foms.push(Fom {
+                name: f
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| PerflogError("fom missing name".into()))?
+                    .to_string(),
+                value: f
+                    .get("value")
+                    .and_then(Value::as_float)
+                    .ok_or_else(|| PerflogError("fom missing value".into()))?,
+                unit: f.get("unit").and_then(Value::as_str).unwrap_or("").to_string(),
+            });
+        }
+        let mut extras = Vec::new();
+        if let Some(m) = doc.get_path("extras").and_then(Value::as_map) {
+            for (k, v) in m.iter() {
+                extras.push((k.to_string(), v.scalar_string()));
+            }
+        }
+        Ok(PerflogRecord {
+            sequence: int_at("sequence")? as u64,
+            benchmark: str_at("benchmark")?,
+            system: str_at("system")?,
+            partition: str_at("partition")?,
+            environ: str_at("environ")?,
+            spec: str_at("spec")?,
+            build_hash: str_at("build_hash")?,
+            job_id: doc.get_path("job_id").and_then(Value::as_int).map(|j| j as u64),
+            num_tasks: int_at("num_tasks")? as u32,
+            num_tasks_per_node: int_at("num_tasks_per_node")? as u32,
+            num_cpus_per_task: int_at("num_cpus_per_task")? as u32,
+            foms,
+            extras,
+        })
+    }
+}
+
+/// JSON is a subset of the flow syntax `tinycfg` already parses.
+fn parse_json(line: &str) -> Result<Value, PerflogError> {
+    tinycfg::parse(line).map_err(|e| PerflogError(format!("bad perflog line: {e}")))
+}
+
+/// Perflog parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerflogError(pub String);
+
+impl std::fmt::Display for PerflogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "perflog error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PerflogError {}
+
+/// An in-memory perflog: an append-only sequence of records, one per run,
+/// with JSONL serialization. One `Perflog` corresponds to one benchmark on
+/// one system — exactly ReFrame's layout.
+#[derive(Debug, Clone, Default)]
+pub struct Perflog {
+    records: Vec<PerflogRecord>,
+}
+
+impl Perflog {
+    pub fn new() -> Perflog {
+        Perflog::default()
+    }
+
+    pub fn append(&mut self, record: PerflogRecord) {
+        self.records.push(record);
+    }
+
+    pub fn records(&self) -> &[PerflogRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialize as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL perflog.
+    pub fn from_jsonl(text: &str) -> Result<Perflog, PerflogError> {
+        let mut log = Perflog::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            log.append(PerflogRecord::from_json_line(line)?);
+        }
+        Ok(log)
+    }
+
+    /// Flatten into a data frame: one row per (record, FOM) pair. This is
+    /// the representation the postprocessing pipeline consumes; frames from
+    /// several perflogs concatenate cleanly (P6).
+    pub fn to_frame(&self) -> DataFrame {
+        let mut df = DataFrame::new(vec![
+            "sequence",
+            "benchmark",
+            "system",
+            "partition",
+            "environ",
+            "spec",
+            "build_hash",
+            "num_tasks",
+            "num_tasks_per_node",
+            "num_cpus_per_task",
+            "fom",
+            "value",
+            "unit",
+        ]);
+        for r in &self.records {
+            for f in &r.foms {
+                df.push_row(vec![
+                    Cell::from(r.sequence as i64),
+                    Cell::from(r.benchmark.as_str()),
+                    Cell::from(r.system.as_str()),
+                    Cell::from(r.partition.as_str()),
+                    Cell::from(r.environ.as_str()),
+                    Cell::from(r.spec.as_str()),
+                    Cell::from(r.build_hash.as_str()),
+                    Cell::from(r.num_tasks as i64),
+                    Cell::from(r.num_tasks_per_node as i64),
+                    Cell::from(r.num_cpus_per_task as i64),
+                    Cell::from(f.name.as_str()),
+                    Cell::from(f.value),
+                    Cell::from(f.unit.as_str()),
+                ])
+                .expect("fixed schema");
+            }
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, system: &str, fom: f64) -> PerflogRecord {
+        PerflogRecord {
+            sequence: seq,
+            benchmark: "babelstream".into(),
+            system: system.into(),
+            partition: "cascadelake".into(),
+            environ: "gcc@9.2.0".into(),
+            spec: "babelstream%gcc@9.2.0 +omp".into(),
+            build_hash: "abcdefg".into(),
+            job_id: Some(41 + seq),
+            num_tasks: 1,
+            num_tasks_per_node: 1,
+            num_cpus_per_task: 40,
+            foms: vec![
+                Fom { name: "Triad".into(), value: fom, unit: "MB/s".into() },
+                Fom { name: "Copy".into(), value: fom * 0.9, unit: "MB/s".into() },
+            ],
+            extras: vec![("array_size".into(), "33554432".into())],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = record(3, "isambard-macs", 212000.0);
+        let line = r.to_json_line();
+        let back = PerflogRecord::from_json_line(&line).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_multiple() {
+        let mut log = Perflog::new();
+        for i in 0..5 {
+            log.append(record(i, "archer2", 1000.0 * i as f64 + 5.0));
+        }
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 5);
+        let back = Perflog::from_jsonl(&text).unwrap();
+        assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(Perflog::from_jsonl("{not json").is_err());
+        assert!(PerflogRecord::from_json_line("{}").is_err());
+        assert!(PerflogRecord::from_json_line(r#"{"sequence": 1}"#).is_err());
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let mut log = Perflog::new();
+        log.append(record(0, "csd3", 1.0));
+        let text = format!("\n{}\n\n", log.to_jsonl());
+        assert_eq!(Perflog::from_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn frame_flattening() {
+        let mut log = Perflog::new();
+        log.append(record(0, "archer2", 100.0));
+        log.append(record(1, "csd3", 200.0));
+        let df = log.to_frame();
+        assert_eq!(df.n_rows(), 4); // 2 records × 2 FOMs
+        let triads = df.filter_eq("fom", &Cell::from("Triad")).unwrap();
+        assert_eq!(triads.n_rows(), 2);
+        let csd3 = triads.filter_eq("system", &Cell::from("csd3")).unwrap();
+        assert_eq!(csd3.column("value").unwrap().get(0).as_float(), Some(200.0));
+    }
+
+    #[test]
+    fn cross_system_assimilation() {
+        // The paper's key P6 workflow: concatenate per-system perflogs.
+        let mut a = Perflog::new();
+        a.append(record(0, "archer2", 100.0));
+        let mut b = Perflog::new();
+        b.append(record(0, "cosma8", 150.0));
+        let combined = dframe::DataFrame::concat(&[a.to_frame(), b.to_frame()]);
+        assert_eq!(combined.n_rows(), 4);
+        assert_eq!(combined.unique("system").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fom_lookup() {
+        let r = record(0, "x", 42.0);
+        assert_eq!(r.fom("Triad").unwrap().value, 42.0);
+        assert!(r.fom("Nope").is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! YAML-driven plot configuration — the user-facing face of Principle 6.
+//!
+//! Mirrors the paper's post-processing scripts: a YAML file selects rows
+//! from the assimilated frame (`filters`), names the category axis
+//! (`x_axis`), optionally a series-splitting column (`series`), the value
+//! column, and a scale factor.
+
+use crate::chart::BarChart;
+use dframe::{Cell, DataFrame, FrameError};
+use tinycfg::Value;
+
+/// Errors raised while loading or applying a plot configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    Parse(String),
+    MissingField(&'static str),
+    Frame(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Parse(m) => write!(f, "plot config parse error: {m}"),
+            ConfigError::MissingField(name) => write!(f, "plot config missing field `{name}`"),
+            ConfigError::Frame(m) => write!(f, "plot config frame error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<FrameError> for ConfigError {
+    fn from(e: FrameError) -> ConfigError {
+        ConfigError::Frame(e.to_string())
+    }
+}
+
+/// A declarative plot description.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    pub title: String,
+    /// Column providing the x-axis categories.
+    pub x_axis: String,
+    /// Optional column splitting rows into series.
+    pub series: Option<String>,
+    /// Column holding the plotted value.
+    pub value: String,
+    /// Unit label.
+    pub unit: String,
+    /// Multiply values by this before plotting.
+    pub scale: f64,
+    /// Equality filters applied first: (column, value-as-text).
+    pub filters: Vec<(String, String)>,
+}
+
+impl PlotConfig {
+    /// Load from YAML text.
+    pub fn from_yaml(yaml: &str) -> Result<PlotConfig, ConfigError> {
+        let doc = tinycfg::parse(yaml).map_err(|e| ConfigError::Parse(e.to_string()))?;
+        let str_field = |name: &'static str| -> Option<String> {
+            doc.get_path(name).and_then(Value::as_str).map(str::to_string)
+        };
+        let x_axis = str_field("x_axis").ok_or(ConfigError::MissingField("x_axis"))?;
+        let value = str_field("value").unwrap_or_else(|| "value".to_string());
+        let mut filters = Vec::new();
+        if let Some(m) = doc.get_path("filters").and_then(Value::as_map) {
+            for (k, v) in m.iter() {
+                filters.push((k.to_string(), v.scalar_string()));
+            }
+        }
+        Ok(PlotConfig {
+            title: str_field("title").unwrap_or_else(|| "benchmark results".to_string()),
+            x_axis,
+            series: str_field("series"),
+            value,
+            unit: str_field("unit").unwrap_or_default(),
+            scale: doc.get_path("scale").and_then(Value::as_float).unwrap_or(1.0),
+            filters,
+        })
+    }
+
+    /// Apply the filters to a frame.
+    pub fn filtered(&self, df: &DataFrame) -> Result<DataFrame, ConfigError> {
+        let mut out = df.clone();
+        for (col, want) in &self.filters {
+            let want_cell = Cell::infer(want);
+            out = out.filter_eq(col, &want_cell)?;
+        }
+        Ok(out)
+    }
+
+    /// Build the configured bar chart from an assimilated frame.
+    pub fn bar_chart(&self, df: &DataFrame) -> Result<BarChart, ConfigError> {
+        let filtered = self.filtered(df)?;
+        let categories: Vec<String> =
+            filtered.unique(&self.x_axis)?.iter().map(|c| c.to_string()).collect();
+        let mut chart = BarChart::new(&self.title, &self.unit)
+            .with_categories(categories.iter().map(String::as_str).collect::<Vec<_>>());
+
+        let series_keys: Vec<Cell> = match &self.series {
+            Some(col) => filtered.unique(col)?,
+            None => vec![Cell::Str("value".into())],
+        };
+        for key in &series_keys {
+            let sub = match &self.series {
+                Some(col) => filtered.filter_eq(col, key)?,
+                None => filtered.clone(),
+            };
+            // Mean per category (repetitions average out, like the paper's
+            // scripts).
+            let means = sub.group_by(&[self.x_axis.as_str()]).mean(&self.value)?;
+            let mean_col = format!("mean_{}", self.value);
+            let values: Vec<f64> = categories
+                .iter()
+                .map(|cat| {
+                    means
+                        .filter_eq(&self.x_axis, &Cell::infer(cat))
+                        .ok()
+                        .and_then(|rows| {
+                            if rows.n_rows() == 0 {
+                                None
+                            } else {
+                                rows.column(&mean_col).and_then(|c| c.get(0).as_float())
+                            }
+                        })
+                        .map(|v| v * self.scale)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect();
+            chart.add_series(&key.to_string(), values);
+        }
+        Ok(chart)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        let mut df = DataFrame::new(vec!["system", "fom", "value", "environ"]);
+        for (s, f, v, e) in [
+            ("archer2", "Triad", 300.0, "gcc"),
+            ("archer2", "Triad", 310.0, "gcc"),
+            ("archer2", "Copy", 250.0, "gcc"),
+            ("csd3", "Triad", 210.0, "gcc"),
+            ("csd3", "Triad", 200.0, "icc"),
+        ] {
+            df.push_row(vec![
+                Cell::from(s),
+                Cell::from(f),
+                Cell::from(v),
+                Cell::from(e),
+            ])
+            .unwrap();
+        }
+        df
+    }
+
+    #[test]
+    fn yaml_parsing_defaults() {
+        let cfg = PlotConfig::from_yaml("x_axis: system").unwrap();
+        assert_eq!(cfg.value, "value");
+        assert_eq!(cfg.scale, 1.0);
+        assert!(cfg.filters.is_empty());
+        assert!(PlotConfig::from_yaml("title: no axis").is_err());
+        assert!(PlotConfig::from_yaml("x_axis: [bad").is_err());
+    }
+
+    #[test]
+    fn filters_and_mean() {
+        let cfg = PlotConfig::from_yaml(
+            "title: T\nx_axis: system\nvalue: value\nfilters: {fom: Triad}\n",
+        )
+        .unwrap();
+        let chart = cfg.bar_chart(&frame()).unwrap();
+        assert_eq!(chart.categories(), ["archer2", "csd3"]);
+        let (_, values) = &chart.series()[0];
+        assert!((values[0] - 305.0).abs() < 1e-9, "mean of repetitions");
+        assert!((values[1] - 205.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_split() {
+        let cfg = PlotConfig::from_yaml(
+            "x_axis: system\nseries: environ\nfilters: {fom: Triad}\n",
+        )
+        .unwrap();
+        let chart = cfg.bar_chart(&frame()).unwrap();
+        assert_eq!(chart.series().len(), 2);
+        // icc has no archer2 data → NaN hole.
+        let icc = chart.series().iter().find(|(l, _)| l == "icc").unwrap();
+        assert!(icc.1[0].is_nan());
+        assert!((icc.1[1] - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_applied() {
+        let cfg = PlotConfig::from_yaml(
+            "x_axis: system\nscale: 0.001\nfilters: {fom: Copy}\n",
+        )
+        .unwrap();
+        let chart = cfg.bar_chart(&frame()).unwrap();
+        let (_, values) = &chart.series()[0];
+        assert!((values[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_filter_column_is_error() {
+        let cfg = PlotConfig::from_yaml("x_axis: system\nfilters: {nope: 1}\n").unwrap();
+        assert!(matches!(cfg.bar_chart(&frame()), Err(ConfigError::Frame(_))));
+    }
+}

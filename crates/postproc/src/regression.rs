@@ -1,0 +1,250 @@
+//! Performance-regression tracking over time — the paper's §4 goal of
+//! running the framework "as part of a CI pipeline, and enable researchers
+//! to measure and track the performance portability of their applications
+//! over time", making "changes in performance as important as changes in
+//! answers".
+//!
+//! A [`History`] is the time-ordered series of one FOM on one system,
+//! extracted from assimilated perflog frames; [`RegressionPolicy::check`]
+//! classifies a new measurement against it.
+
+use dframe::{Cell, DataFrame};
+
+/// Which direction is good for this FOM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bandwidths, GFLOP/s, DOF/s, ...
+    HigherIsBetter,
+    /// Runtimes, queue waits, energy.
+    LowerIsBetter,
+}
+
+/// Verdict for one new measurement against its history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the expected band.
+    Ok { z_score: f64 },
+    /// Significantly worse than history.
+    Regression { z_score: f64, mean: f64, std: f64 },
+    /// Significantly better than history (worth a look too — the paper's
+    /// point about secretly-optimized platforms cuts both ways).
+    Improvement { z_score: f64, mean: f64, std: f64 },
+    /// Not enough history to judge.
+    InsufficientHistory { have: usize, need: usize },
+}
+
+impl Verdict {
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression { .. })
+    }
+}
+
+/// How strictly to judge.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionPolicy {
+    /// Minimum history length before judging.
+    pub min_history: usize,
+    /// |z| beyond which a change is significant.
+    pub sigma_threshold: f64,
+    pub direction: Direction,
+}
+
+impl Default for RegressionPolicy {
+    fn default() -> RegressionPolicy {
+        RegressionPolicy {
+            min_history: 5,
+            sigma_threshold: 3.0,
+            direction: Direction::HigherIsBetter,
+        }
+    }
+}
+
+impl RegressionPolicy {
+    pub fn lower_is_better(mut self) -> RegressionPolicy {
+        self.direction = Direction::LowerIsBetter;
+        self
+    }
+
+    /// Judge `new` against `history` (time-ordered, oldest first).
+    pub fn check(&self, history: &[f64], new: f64) -> Verdict {
+        if history.len() < self.min_history {
+            return Verdict::InsufficientHistory { have: history.len(), need: self.min_history };
+        }
+        let n = history.len() as f64;
+        let mean = history.iter().sum::<f64>() / n;
+        let var = history.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        // Floor the deviation so a perfectly flat history still tolerates
+        // sub-percent wobble rather than flagging everything.
+        let std = var.sqrt().max(mean.abs() * 1e-3).max(f64::MIN_POSITIVE);
+        let z = (new - mean) / std;
+        let worse = match self.direction {
+            Direction::HigherIsBetter => z < -self.sigma_threshold,
+            Direction::LowerIsBetter => z > self.sigma_threshold,
+        };
+        let better = match self.direction {
+            Direction::HigherIsBetter => z > self.sigma_threshold,
+            Direction::LowerIsBetter => z < -self.sigma_threshold,
+        };
+        if worse {
+            Verdict::Regression { z_score: z, mean, std }
+        } else if better {
+            Verdict::Improvement { z_score: z, mean, std }
+        } else {
+            Verdict::Ok { z_score: z }
+        }
+    }
+}
+
+/// The time series of one (benchmark, system, fom) triple.
+#[derive(Debug, Clone)]
+pub struct History {
+    pub benchmark: String,
+    pub system: String,
+    pub fom: String,
+    /// (sequence, value), sorted by sequence.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl History {
+    /// Extract a history from an assimilated perflog frame.
+    pub fn from_frame(
+        frame: &DataFrame,
+        benchmark: &str,
+        system: &str,
+        fom: &str,
+    ) -> Result<History, dframe::FrameError> {
+        let filtered = frame
+            .filter_eq("benchmark", &Cell::from(benchmark))?
+            .filter_eq("system", &Cell::from(system))?
+            .filter_eq("fom", &Cell::from(fom))?
+            .sort_by("sequence", true)?;
+        let mut points = Vec::with_capacity(filtered.n_rows());
+        for row in filtered.rows() {
+            let seq = row.get("sequence").and_then(Cell::as_int).unwrap_or(0) as u64;
+            if let Some(v) = row.get("value").and_then(Cell::as_float) {
+                points.push((seq, v));
+            }
+        }
+        Ok(History {
+            benchmark: benchmark.to_string(),
+            system: system.to_string(),
+            fom: fom.to_string(),
+            points,
+        })
+    }
+
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Judge the latest point against everything before it.
+    pub fn check_latest(&self, policy: &RegressionPolicy) -> Verdict {
+        match self.points.split_last() {
+            None => Verdict::InsufficientHistory { have: 0, need: policy.min_history },
+            Some((&(_, latest), rest)) => {
+                let history: Vec<f64> = rest.iter().map(|&(_, v)| v).collect();
+                policy.check(&history, latest)
+            }
+        }
+    }
+
+    /// A one-line unicode sparkline of the series (CI log friendly).
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let vals = self.values();
+        if vals.is_empty() {
+            return String::new();
+        }
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        vals.iter()
+            .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RegressionPolicy {
+        RegressionPolicy::default()
+    }
+
+    #[test]
+    fn stable_series_is_ok() {
+        let history = [100.0, 101.0, 99.5, 100.2, 100.8];
+        assert!(matches!(policy().check(&history, 100.3), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn drop_is_a_regression_for_higher_is_better() {
+        let history = [100.0, 101.0, 99.5, 100.2, 100.8];
+        let v = policy().check(&history, 80.0);
+        assert!(v.is_regression(), "{v:?}");
+        // And a jump is an improvement.
+        assert!(matches!(policy().check(&history, 120.0), Verdict::Improvement { .. }));
+    }
+
+    #[test]
+    fn direction_flips_for_runtimes() {
+        let history = [10.0, 10.1, 9.9, 10.05, 10.0];
+        let p = policy().lower_is_better();
+        assert!(p.check(&history, 14.0).is_regression(), "slower runtime regresses");
+        assert!(matches!(p.check(&history, 7.0), Verdict::Improvement { .. }));
+    }
+
+    #[test]
+    fn short_history_refuses_to_judge() {
+        let v = policy().check(&[100.0, 101.0], 50.0);
+        assert!(matches!(v, Verdict::InsufficientHistory { have: 2, need: 5 }));
+    }
+
+    #[test]
+    fn flat_history_does_not_flag_noise() {
+        let history = [100.0; 10];
+        assert!(matches!(policy().check(&history, 100.05), Verdict::Ok { .. }));
+        assert!(policy().check(&history, 90.0).is_regression());
+    }
+
+    #[test]
+    fn history_from_frame_and_latest_check() {
+        let mut df = DataFrame::new(vec!["sequence", "benchmark", "system", "fom", "value"]);
+        for (i, v) in [100.0, 101.0, 99.0, 100.5, 100.2, 70.0].iter().enumerate() {
+            df.push_row(vec![
+                Cell::from(i as i64),
+                Cell::from("babelstream_omp"),
+                Cell::from("csd3"),
+                Cell::from("Triad"),
+                Cell::from(*v),
+            ])
+            .unwrap();
+        }
+        // Noise rows that must be filtered out.
+        df.push_row(vec![
+            Cell::from(99i64),
+            Cell::from("other"),
+            Cell::from("csd3"),
+            Cell::from("Triad"),
+            Cell::from(9999.0),
+        ])
+        .unwrap();
+        let h = History::from_frame(&df, "babelstream_omp", "csd3", "Triad").unwrap();
+        assert_eq!(h.points.len(), 6);
+        assert!(h.check_latest(&RegressionPolicy::default()).is_regression());
+        assert_eq!(h.sparkline().chars().count(), 6);
+    }
+
+    #[test]
+    fn empty_history_cases() {
+        let df = DataFrame::new(vec!["sequence", "benchmark", "system", "fom", "value"]);
+        let h = History::from_frame(&df, "x", "y", "z").unwrap();
+        assert!(h.points.is_empty());
+        assert!(matches!(
+            h.check_latest(&RegressionPolicy::default()),
+            Verdict::InsufficientHistory { .. }
+        ));
+        assert_eq!(h.sparkline(), "");
+    }
+}

@@ -1,0 +1,219 @@
+//! Scaling plots — the paper's "ongoing work to provide simplified
+//! configurations that can be used to produce scaling and time-series
+//! regression plots" (§2.4), implemented.
+//!
+//! A [`SeriesPlot`] holds numeric x/y series (e.g. MPI ranks vs DOF/s per
+//! system); helpers compute parallel efficiency for strong-scaling studies.
+
+/// A numeric multi-series plot (x shared per series, lines per label).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    /// (label, points sorted by x)
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl SeriesPlot {
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> SeriesPlot {
+        SeriesPlot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    pub fn add_series(&mut self, label: &str, mut points: Vec<(f64, f64)>) {
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.series.push((label.to_string(), points));
+    }
+
+    pub fn series(&self) -> &[(String, Vec<(f64, f64)>)] {
+        &self.series
+    }
+
+    /// Strong-scaling parallel efficiency of one series:
+    /// `E(x) = (y(x) / y(x0)) / (x / x0)` for a throughput-like y.
+    pub fn parallel_efficiency(&self, label: &str) -> Option<Vec<(f64, f64)>> {
+        let (_, points) = self.series.iter().find(|(l, _)| l == label)?;
+        let &(x0, y0) = points.first()?;
+        if x0 <= 0.0 || y0 <= 0.0 {
+            return None;
+        }
+        Some(points.iter().map(|&(x, y)| (x, (y / y0) / (x / x0))).collect())
+    }
+
+    /// Aligned-text rendering: one row per x, one column per series.
+    pub fn render_text(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut out = format!("{} ({} vs {})\n", self.title, self.y_label, self.x_label);
+        out.push_str(&format!("{:>12}", self.x_label));
+        for (label, _) in &self.series {
+            out.push_str(&format!("  {label:>14}"));
+        }
+        out.push('\n');
+        for x in &xs {
+            out.push_str(&format!("{x:>12.0}"));
+            for (_, pts) in &self.series {
+                match pts.iter().find(|(px, _)| (px - x).abs() < 1e-12) {
+                    Some((_, y)) => out.push_str(&format!("  {y:>14.3}")),
+                    None => out.push_str(&format!("  {:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Standalone SVG line chart (linear axes).
+    pub fn render_svg(&self) -> String {
+        let (w, h) = (640.0f64, 400.0f64);
+        let (ml, mr, mt, mb) = (70.0, 130.0, 40.0, 50.0);
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
+        let (_, y_max) = bounds(all.iter().map(|p| p.1));
+        let y_min = 0.0;
+        let sx = |x: f64| ml + (x - x_min) / (x_max - x_min).max(1e-12) * (w - ml - mr);
+        let sy = |y: f64| h - mb - (y - y_min) / (y_max - y_min).max(1e-12) * (h - mt - mb);
+        let palette = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+
+        let mut svg = format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="sans-serif" font-size="12">"#
+        );
+        svg.push_str(&format!(
+            r#"<text x="{ml}" y="22" font-size="15" font-weight="bold">{}</text>"#,
+            escape(&self.title)
+        ));
+        // Axes.
+        svg.push_str(&format!(
+            r##"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="#444"/>"##,
+            h - mb,
+            w - mr,
+            h - mb
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="#444"/>"##,
+            h - mb
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            (ml + w - mr) / 2.0,
+            h - 12.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="14" y="{}" transform="rotate(-90 14 {})">{}</text>"#,
+            (mt + h - mb) / 2.0,
+            (mt + h - mb) / 2.0,
+            escape(&self.y_label)
+        ));
+        for (si, (label, pts)) in self.series.iter().enumerate() {
+            let color = palette[si % palette.len()];
+            let path: Vec<String> =
+                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            if !path.is_empty() {
+                svg.push_str(&format!(
+                    r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                    path.join(" ")
+                ));
+                for &(x, y) in pts {
+                    svg.push_str(&format!(
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"><title>{label}: ({x}, {y})</title></circle>"#,
+                        sx(x),
+                        sy(y),
+                    ));
+                }
+            }
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" fill="{color}">{}</text>"#,
+                w - mr + 8.0,
+                mt + 16.0 * si as f64 + 10.0,
+                escape(label)
+            ));
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if min > max {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot() -> SeriesPlot {
+        let mut p = SeriesPlot::new("strong scaling", "ranks", "MDOF/s");
+        p.add_series("archer2", vec![(1.0, 10.0), (2.0, 19.0), (4.0, 34.0), (8.0, 52.0)]);
+        p.add_series("csd3", vec![(1.0, 12.0), (4.0, 40.0)]);
+        p
+    }
+
+    #[test]
+    fn efficiency_from_first_point() {
+        let p = plot();
+        let eff = p.parallel_efficiency("archer2").unwrap();
+        assert_eq!(eff[0], (1.0, 1.0));
+        assert!((eff[1].1 - 0.95).abs() < 1e-12); // 19/10 over 2x
+        assert!((eff[3].1 - 0.65).abs() < 1e-12); // 52/10 over 8x
+        assert!(p.parallel_efficiency("nowhere").is_none());
+    }
+
+    #[test]
+    fn text_render_aligns_missing_points() {
+        let text = plot().render_text();
+        assert!(text.contains("archer2"));
+        // csd3 has no rank-2 point: a dash appears.
+        let rank2_line = text.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        assert!(rank2_line.contains('-'), "{rank2_line}");
+    }
+
+    #[test]
+    fn svg_contains_polylines_and_legend() {
+        let svg = plot().render_svg();
+        assert!(svg.matches("<polyline").count() == 2);
+        assert!(svg.contains("archer2"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn points_sorted_on_insert() {
+        let mut p = SeriesPlot::new("t", "x", "y");
+        p.add_series("s", vec![(4.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        let xs: Vec<f64> = p.series()[0].1.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let p = SeriesPlot::new("empty", "x", "y");
+        assert!(p.render_text().contains("empty"));
+        assert!(p.render_svg().ends_with("</svg>"));
+    }
+}

@@ -1,0 +1,207 @@
+//! `ppmetrics` — efficiency and performance-portability metrics.
+//!
+//! Principle 1 says a benchmark's Figure of Merit should measure
+//! *efficiency* on a platform, not raw runtime. This crate implements the
+//! metrics the paper builds its analysis on:
+//!
+//! * **architectural efficiency** — measured performance over the
+//!   platform's theoretical peak (Figure 2 plots exactly this for the
+//!   Triad bandwidth);
+//! * **application efficiency** — measured performance over the best
+//!   observed performance on that platform;
+//! * **variant ratios** (Eq. 1) — `E = VAR / ORIG`, used in §3.2 to
+//!   compare implementation gains against algorithmic gains;
+//! * the **Pennycook performance-portability metric** ΦΦ — the harmonic
+//!   mean of efficiencies across a platform set, zero if any platform is
+//!   unsupported.
+
+use dframe::{Cell, DataFrame};
+
+/// Measured performance over theoretical peak, clamped to `[0, 1]` only on
+/// the lower side (cache effects can legitimately exceed "peak" DRAM
+/// figures, and the paper discusses exactly that trap — so we don't hide
+/// it).
+pub fn architectural_efficiency(measured: f64, peak: f64) -> f64 {
+    assert!(peak > 0.0, "peak must be positive");
+    (measured / peak).max(0.0)
+}
+
+/// Measured performance over the best known performance on that platform.
+pub fn application_efficiency(measured: f64, best: f64) -> f64 {
+    assert!(best > 0.0, "best must be positive");
+    (measured / best).max(0.0)
+}
+
+/// Eq. 1 of the paper: the ratio of a variant's FOM to the original's.
+pub fn variant_ratio(variant_fom: f64, original_fom: f64) -> f64 {
+    assert!(original_fom > 0.0, "original FOM must be positive");
+    variant_fom / original_fom
+}
+
+/// The Pennycook/Sewall/Lee performance-portability metric: the harmonic
+/// mean of an application's efficiency across a set of platforms, or 0 if
+/// the application does not run on every platform in the set.
+///
+/// `efficiencies[i]` is `Some(e_i)` when the application ran on platform
+/// `i` with efficiency `e_i`, `None` when it did not run there.
+pub fn performance_portability(efficiencies: &[Option<f64>]) -> f64 {
+    if efficiencies.is_empty() {
+        return 0.0;
+    }
+    let mut sum_inverse = 0.0;
+    for e in efficiencies {
+        match e {
+            None => return 0.0,
+            Some(v) if *v <= 0.0 => return 0.0,
+            Some(v) => sum_inverse += 1.0 / v,
+        }
+    }
+    efficiencies.len() as f64 / sum_inverse
+}
+
+/// Efficiencies of one application across a platform set, with helpers to
+/// build the Figure-2 style analyses.
+#[derive(Debug, Clone, Default)]
+pub struct EfficiencySet {
+    /// (platform label, efficiency); None = unsupported there.
+    entries: Vec<(String, Option<f64>)>,
+}
+
+impl EfficiencySet {
+    pub fn new() -> EfficiencySet {
+        EfficiencySet::default()
+    }
+
+    /// Record a platform the application ran on.
+    pub fn add(&mut self, platform: &str, measured: f64, peak: f64) {
+        self.entries.push((platform.to_string(), Some(architectural_efficiency(measured, peak))));
+    }
+
+    /// Record a platform the application could not run on.
+    pub fn add_unsupported(&mut self, platform: &str) {
+        self.entries.push((platform.to_string(), None));
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, platform: &str) -> Option<Option<f64>> {
+        self.entries.iter().find(|(p, _)| p == platform).map(|(_, e)| *e)
+    }
+
+    /// The ΦΦ metric over this set.
+    pub fn pp(&self) -> f64 {
+        let effs: Vec<Option<f64>> = self.entries.iter().map(|(_, e)| *e).collect();
+        performance_portability(&effs)
+    }
+
+    /// Lowest efficiency among supported platforms.
+    pub fn min_efficiency(&self) -> Option<f64> {
+        self.entries.iter().filter_map(|(_, e)| *e).reduce(f64::min)
+    }
+
+    pub fn entries(&self) -> &[(String, Option<f64>)] {
+        &self.entries
+    }
+}
+
+/// Add an `efficiency` column to a FOM frame: `value / peak(platform)`,
+/// where `peaks` maps platform labels to theoretical peaks.
+///
+/// This is the programmable post-processing step of Principle 6: the same
+/// transformation for every row, no hand-curation.
+pub fn with_efficiency_column(
+    df: &DataFrame,
+    platform_column: &str,
+    peaks: &[(String, f64)],
+) -> Result<DataFrame, dframe::FrameError> {
+    df.with_column("efficiency", |row| {
+        let platform = row.get(platform_column).and_then(Cell::as_str).unwrap_or_default();
+        let value = row.get("value").and_then(Cell::as_float);
+        let peak = peaks.iter().find(|(p, _)| p == platform).map(|&(_, v)| v);
+        match (value, peak) {
+            (Some(v), Some(p)) if p > 0.0 => Cell::from(v / p),
+            _ => Cell::Null,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiencies() {
+        assert_eq!(architectural_efficiency(50.0, 100.0), 0.5);
+        assert_eq!(application_efficiency(80.0, 100.0), 0.8);
+        // Cache-inflated results deliberately pass through > 1.
+        assert!(architectural_efficiency(150.0, 100.0) > 1.0);
+    }
+
+    #[test]
+    fn eq1_ratios_from_table2() {
+        // The paper's worked example: E_I = 39/24 = 1.625,
+        // E_A = 51/24 = 2.125, and on AMD 124.2/39.2 = 3.168.
+        assert!((variant_ratio(39.0, 24.0) - 1.625).abs() < 1e-12);
+        assert!((variant_ratio(51.0, 24.0) - 2.125).abs() < 1e-12);
+        assert!((variant_ratio(124.2, 39.2) - 3.168).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pp_is_harmonic_mean() {
+        let pp = performance_portability(&[Some(0.5), Some(1.0)]);
+        assert!((pp - 2.0 / 3.0).abs() < 1e-12);
+        // Identical efficiencies: PP equals them.
+        let pp = performance_portability(&[Some(0.7), Some(0.7), Some(0.7)]);
+        assert!((pp - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pp_zero_when_unsupported_anywhere() {
+        assert_eq!(performance_portability(&[Some(0.9), None]), 0.0);
+        assert_eq!(performance_portability(&[]), 0.0);
+        assert_eq!(performance_portability(&[Some(0.0)]), 0.0);
+    }
+
+    #[test]
+    fn pp_never_exceeds_max_efficiency() {
+        let pp = performance_portability(&[Some(0.2), Some(0.9)]);
+        assert!(pp <= 0.9);
+        assert!(pp >= 0.2);
+    }
+
+    #[test]
+    fn efficiency_set_workflow() {
+        let mut set = EfficiencySet::new();
+        set.add("cascadelake", 212.0, 282.0);
+        set.add("milan", 335.0, 409.6);
+        set.add_unsupported("volta");
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.pp(), 0.0, "unsupported platform zeroes PP");
+        assert!(set.get("cascadelake").unwrap().unwrap() > 0.7);
+        assert!(set.min_efficiency().unwrap() > 0.7);
+
+        let mut supported = EfficiencySet::new();
+        supported.add("a", 80.0, 100.0);
+        supported.add("b", 90.0, 100.0);
+        assert!(supported.pp() > 0.8 && supported.pp() < 0.9);
+    }
+
+    #[test]
+    fn efficiency_column() {
+        let mut df = DataFrame::new(vec!["platform", "value"]);
+        df.push_row(vec![Cell::from("a"), Cell::from(50.0)]).unwrap();
+        df.push_row(vec![Cell::from("b"), Cell::from(30.0)]).unwrap();
+        df.push_row(vec![Cell::from("c"), Cell::from(10.0)]).unwrap();
+        let peaks = vec![("a".to_string(), 100.0), ("b".to_string(), 60.0)];
+        let out = with_efficiency_column(&df, "platform", &peaks).unwrap();
+        assert_eq!(out.column("efficiency").unwrap().get(0).as_float(), Some(0.5));
+        assert_eq!(out.column("efficiency").unwrap().get(1).as_float(), Some(0.5));
+        assert!(out.column("efficiency").unwrap().get(2).is_null(), "no peak for c");
+    }
+}

@@ -1,0 +1,133 @@
+//! Match and capture-group results.
+
+/// A single match region within a haystack, in byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'h> {
+    haystack: &'h str,
+    start: usize,
+    end: usize,
+}
+
+impl<'h> Match<'h> {
+    pub(crate) fn new(haystack: &'h str, start: usize, end: usize) -> Match<'h> {
+        Match { haystack, start, end }
+    }
+
+    /// Start byte offset, inclusive.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// End byte offset, exclusive.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Length of the matched text, in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the match empty?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The matched text.
+    pub fn as_str(&self) -> &'h str {
+        &self.haystack[self.start..self.end]
+    }
+}
+
+/// All capture groups for one successful match.
+#[derive(Debug, Clone)]
+pub struct Captures<'h> {
+    haystack: &'h str,
+    /// Byte spans per group; `None` for groups that did not participate.
+    spans: Vec<Option<(usize, usize)>>,
+    names: Vec<(String, usize)>,
+}
+
+impl<'h> Captures<'h> {
+    /// Build byte-offset captures from char-index slots.
+    pub(crate) fn from_slots(
+        haystack: &'h str,
+        chars: &[(usize, char)],
+        slots: &[Option<usize>],
+        names: Vec<(String, usize)>,
+    ) -> Captures<'h> {
+        let to_byte = |ci: usize| -> usize {
+            if ci == chars.len() {
+                haystack.len()
+            } else {
+                chars[ci].0
+            }
+        };
+        let spans = slots
+            .chunks(2)
+            .map(|pair| match (pair[0], pair.get(1).copied().flatten()) {
+                (Some(s), Some(e)) => Some((to_byte(s), to_byte(e))),
+                _ => None,
+            })
+            .collect();
+        Captures { haystack, spans, names }
+    }
+
+    /// Group `i` (0 is the whole match), if it participated in the match.
+    pub fn get(&self, i: usize) -> Option<Match<'h>> {
+        self.spans
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|(s, e)| Match::new(self.haystack, s, e))
+    }
+
+    /// Named group, if declared and matched.
+    pub fn name(&self, name: &str) -> Option<Match<'h>> {
+        let &(_, idx) = self.names.iter().find(|(n, _)| n == name)?;
+        self.get(idx)
+    }
+
+    /// Number of groups (including group 0).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Always false: a `Captures` implies at least group 0 matched.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn optional_group_absent_is_none() {
+        let re = Regex::new(r"a(b)?c").unwrap();
+        let caps = re.captures("ac").unwrap();
+        assert!(caps.get(0).is_some());
+        assert!(caps.get(1).is_none());
+        let caps = re.captures("abc").unwrap();
+        assert_eq!(caps.get(1).unwrap().as_str(), "b");
+    }
+
+    #[test]
+    fn match_accessors() {
+        let re = Regex::new("bc").unwrap();
+        let m = re.find("abcd").unwrap();
+        assert_eq!(m.start(), 1);
+        assert_eq!(m.end(), 3);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_group_is_none() {
+        let re = Regex::new("a").unwrap();
+        let caps = re.captures("a").unwrap();
+        assert!(caps.get(5).is_none());
+        assert_eq!(caps.len(), 1);
+    }
+}

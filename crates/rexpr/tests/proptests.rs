@@ -1,0 +1,123 @@
+//! Property-based tests for the regex engine.
+
+use proptest::prelude::*;
+use rexpr::Regex;
+
+/// Escape a string so it matches itself literally.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if "\\.^$|?*+()[]{}".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// A quoted literal always matches itself, anywhere in a haystack.
+    #[test]
+    fn quoted_literal_matches_itself(s in "[ -~]{1,24}", pre in "[ -~]{0,8}", post in "[ -~]{0,8}") {
+        let re = Regex::new(&quote(&s)).unwrap();
+        let hay = format!("{pre}{s}{post}");
+        prop_assert!(re.is_match(&hay), "pattern {:?} should match {:?}", quote(&s), hay);
+        prop_assert!(re.is_match(&s));
+    }
+
+    /// find() returns offsets that slice to the reported text.
+    #[test]
+    fn find_offsets_are_consistent(hay in "[a-z0-9 .]{0,60}") {
+        let re = Regex::new(r"\d+").unwrap();
+        if let Some(m) = re.find(&hay) {
+            prop_assert_eq!(&hay[m.start()..m.end()], m.as_str());
+            prop_assert!(m.as_str().chars().all(|c| c.is_ascii_digit()));
+            // Leftmost: no digit appears before the match start.
+            prop_assert!(hay[..m.start()].chars().all(|c| !c.is_ascii_digit()));
+        } else {
+            prop_assert!(hay.chars().all(|c| !c.is_ascii_digit()));
+        }
+    }
+
+    /// find_iter segments cover every digit in the haystack exactly once.
+    #[test]
+    fn find_iter_covers_all_digits(hay in "[a-z0-9]{0,60}") {
+        let re = Regex::new(r"\d+").unwrap();
+        let matched: usize = re.find_iter(&hay).map(|m| m.len()).sum();
+        let digits = hay.chars().filter(|c| c.is_ascii_digit()).count();
+        prop_assert_eq!(matched, digits);
+    }
+
+    /// Splitting and rejoining on a fixed separator is lossless.
+    #[test]
+    fn split_roundtrip(parts in prop::collection::vec("[a-z]{0,6}", 1..6)) {
+        let joined = parts.join(",");
+        let re = Regex::new(",").unwrap();
+        prop_assert_eq!(re.split(&joined), parts);
+    }
+
+    /// An anchored full match `^p$` agrees with equality for literals.
+    #[test]
+    fn full_anchor_is_equality(s in "[a-z]{0,12}", t in "[a-z]{0,12}") {
+        let re = Regex::new(&format!("^{}$", quote(&s))).unwrap();
+        prop_assert_eq!(re.is_match(&t), s == t);
+    }
+
+    /// Greedy star consumes maximal runs.
+    #[test]
+    fn greedy_star_is_maximal(n in 0usize..20, m in 1usize..5) {
+        let hay = format!("{}{}", "a".repeat(n), "b".repeat(m));
+        let re = Regex::new("a*").unwrap();
+        let found = re.find(&hay).unwrap();
+        prop_assert_eq!(found.len(), n);
+        prop_assert_eq!(found.start(), 0);
+    }
+
+    /// Bounded repetition `a{lo,hi}` matches iff the run is long enough,
+    /// and never consumes more than `hi`.
+    #[test]
+    fn bounded_repeat_respects_bounds(n in 0usize..12, lo in 0usize..6, width in 0usize..6) {
+        let hi = lo + width;
+        let pat = format!("^a{{{lo},{hi}}}");
+        let re = Regex::new(&pat).unwrap();
+        let hay = "a".repeat(n);
+        match re.find(&hay) {
+            Some(m) => {
+                prop_assert!(n >= lo);
+                prop_assert_eq!(m.len(), n.min(hi));
+            }
+            None => prop_assert!(n < lo),
+        }
+    }
+
+    /// Captures lie within the whole match.
+    #[test]
+    fn captures_nested_within_group0(hay in "[a-z0-9=;]{0,50}") {
+        let re = Regex::new(r"([a-z]+)=(\d+)").unwrap();
+        for caps in re.captures_iter(&hay) {
+            let whole = caps.get(0).unwrap();
+            for i in 1..=2 {
+                if let Some(g) = caps.get(i) {
+                    prop_assert!(g.start() >= whole.start());
+                    prop_assert!(g.end() <= whole.end());
+                }
+            }
+        }
+    }
+
+    /// The engine never panics on arbitrary (possibly invalid) patterns.
+    #[test]
+    fn parser_total_on_arbitrary_input(pat in "[ -~]{0,20}", hay in "[ -~]{0,20}") {
+        if let Ok(re) = Regex::new(&pat) {
+            let _ = re.is_match(&hay);
+        }
+    }
+
+    /// Alternation of literals behaves like string containment (first-match).
+    #[test]
+    fn alternation_matches_any_branch(a in "[a-c]{1,4}", b in "[d-f]{1,4}", hay in "[a-f]{0,20}") {
+        let re = Regex::new(&format!("{}|{}", quote(&a), quote(&b))).unwrap();
+        let expect = hay.contains(&a) || hay.contains(&b);
+        prop_assert_eq!(re.is_match(&hay), expect);
+    }
+}

@@ -1,0 +1,185 @@
+//! Spack-style environments and lockfiles.
+//!
+//! An environment names the set of specs a study needs on one system and
+//! records their concretizations in a lockfile — the paper's
+//! "archaeological reproducibility": the exact build plan can be inspected
+//! (and replayed) long after the run.
+
+use crate::concretize::{concretize, ConcreteSpec, ConcretizeError, SystemContext};
+use crate::repo::Repo;
+use crate::spec::Spec;
+use tinycfg::{Map, Value};
+
+/// A named collection of abstract specs, bound to a system context.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    pub name: String,
+    pub specs: Vec<Spec>,
+    /// Concretizations, parallel to `specs` once `concretize_all` runs.
+    pub lock: Vec<ConcreteSpec>,
+}
+
+impl Environment {
+    pub fn new(name: &str) -> Environment {
+        Environment { name: name.to_string(), specs: Vec::new(), lock: Vec::new() }
+    }
+
+    /// Load an environment from a spack.yaml-style document:
+    ///
+    /// ```yaml
+    /// spack:
+    ///   specs:
+    ///     - hpgmg%gcc
+    ///     - babelstream%gcc +omp
+    /// ```
+    pub fn from_yaml(name: &str, yaml: &str) -> Result<Environment, String> {
+        let doc = tinycfg::parse(yaml).map_err(|e| e.to_string())?;
+        let specs = doc
+            .get_path("spack.specs")
+            .or_else(|| doc.get_path("specs"))
+            .and_then(tinycfg::Value::as_list)
+            .ok_or("environment file missing `spack.specs` (or top-level `specs`) list")?;
+        let mut env = Environment::new(name);
+        for s in specs {
+            let text = s.scalar_string();
+            env.add(Spec::parse(&text).map_err(|e| format!("spec `{text}`: {e}"))?);
+        }
+        Ok(env)
+    }
+
+    /// Add an abstract spec (clears any existing lock: it is now stale).
+    pub fn add(&mut self, spec: Spec) {
+        self.specs.push(spec);
+        self.lock.clear();
+    }
+
+    /// Concretize every spec against `ctx`, filling the lock.
+    pub fn concretize_all(
+        &mut self,
+        repo: &Repo,
+        ctx: &SystemContext,
+    ) -> Result<(), ConcretizeError> {
+        let mut lock = Vec::with_capacity(self.specs.len());
+        for s in &self.specs {
+            lock.push(concretize(s, repo, ctx)?);
+        }
+        self.lock = lock;
+        Ok(())
+    }
+
+    /// Is the environment concretized?
+    pub fn is_locked(&self) -> bool {
+        !self.specs.is_empty() && self.lock.len() == self.specs.len()
+    }
+
+    /// Serialize the lockfile as a structured document.
+    pub fn lockfile(&self, ctx: &SystemContext) -> Value {
+        let mut root = Map::new();
+        root.insert("environment", Value::from(self.name.as_str()));
+        root.insert("system", Value::from(ctx.system_name.as_str()));
+        let mut entries = Vec::new();
+        for (spec, conc) in self.specs.iter().zip(&self.lock) {
+            let mut e = Map::new();
+            e.insert("spec", Value::from(spec.to_string()));
+            e.insert("hash", Value::from(conc.dag_hash()));
+            let mut nodes = Vec::new();
+            for n in conc.topo_order() {
+                let mut nm = Map::new();
+                nm.insert("name", Value::from(n.name.as_str()));
+                nm.insert("version", Value::from(n.version.as_str()));
+                if let Some((c, v)) = &n.compiler {
+                    nm.insert("compiler", Value::from(format!("{c}@{v}")));
+                }
+                nm.insert("external", Value::from(n.external));
+                nm.insert("hash", Value::from(n.hash.as_str()));
+                nodes.push(Value::Map(nm));
+            }
+            e.insert("nodes", Value::List(nodes));
+            entries.push(Value::Map(e));
+        }
+        root.insert("locked", Value::List(entries));
+        Value::Map(root)
+    }
+
+    /// Render the lockfile as YAML text.
+    pub fn lockfile_yaml(&self, ctx: &SystemContext) -> String {
+        self.lockfile(ctx).to_yaml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concretize::Target;
+
+    fn ctx() -> SystemContext {
+        SystemContext::new("csd3", Target::cpu("intel", "x86_64"))
+            .with_external("gcc", "11.2.0")
+            .with_external("python", "3.8.2")
+            .with_external("openmpi", "4.0.4")
+            .with_compiler("gcc", "11.2.0")
+    }
+
+    #[test]
+    fn environment_lifecycle() {
+        let repo = Repo::builtin();
+        let mut env = Environment::new("excalibur-tests");
+        env.add(Spec::parse("hpgmg%gcc").unwrap());
+        env.add(Spec::parse("babelstream%gcc +omp").unwrap());
+        assert!(!env.is_locked());
+        env.concretize_all(&repo, &ctx()).unwrap();
+        assert!(env.is_locked());
+        assert_eq!(env.lock.len(), 2);
+    }
+
+    #[test]
+    fn adding_spec_invalidates_lock() {
+        let repo = Repo::builtin();
+        let mut env = Environment::new("e");
+        env.add(Spec::parse("stream").unwrap());
+        env.concretize_all(&repo, &ctx()).unwrap();
+        assert!(env.is_locked());
+        env.add(Spec::parse("hpcg").unwrap());
+        assert!(!env.is_locked(), "new spec must stale the lock");
+    }
+
+    #[test]
+    fn environment_from_yaml() {
+        let env = Environment::from_yaml(
+            "site",
+            "spack:\n  specs:\n    - hpgmg%gcc\n    - \"babelstream%gcc +omp\"\n",
+        )
+        .unwrap();
+        assert_eq!(env.specs.len(), 2);
+        assert_eq!(env.specs[0].name, "hpgmg");
+        assert_eq!(env.specs[1].name, "babelstream");
+        // Top-level `specs` also accepted.
+        let env = Environment::from_yaml("x", "specs: [stream]").unwrap();
+        assert_eq!(env.specs[0].name, "stream");
+        // Errors surface.
+        assert!(Environment::from_yaml("x", "nothing: 1").is_err());
+        assert!(Environment::from_yaml("x", "specs: ['@bad']").is_err());
+    }
+
+    #[test]
+    fn lockfile_roundtrips_through_yaml() {
+        let repo = Repo::builtin();
+        let mut env = Environment::new("e");
+        env.add(Spec::parse("hpgmg%gcc").unwrap());
+        env.concretize_all(&repo, &ctx()).unwrap();
+        let yaml = env.lockfile_yaml(&ctx());
+        let doc = tinycfg::parse(&yaml).unwrap();
+        assert_eq!(doc.get_path("system").unwrap().as_str(), Some("csd3"));
+        let locked = doc.get_path("locked").unwrap().as_list().unwrap();
+        assert_eq!(locked.len(), 1);
+        let nodes = locked[0].get("nodes").unwrap().as_list().unwrap();
+        assert!(nodes.iter().any(|n| n.get("name").unwrap().as_str() == Some("openmpi")));
+        // The openmpi node is the site external.
+        let mpi = nodes
+            .iter()
+            .find(|n| n.get("name").unwrap().as_str() == Some("openmpi"))
+            .unwrap();
+        assert_eq!(mpi.get("external").unwrap().as_bool(), Some(true));
+        assert_eq!(mpi.get("version").unwrap().as_str(), Some("4.0.4"));
+    }
+}

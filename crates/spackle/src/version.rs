@@ -1,0 +1,285 @@
+//! Package versions and version requirements (Spack `@` syntax).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A dotted version like `4.0.3`, `11.2`, or `2023.1.0`. Non-numeric
+/// components (e.g. `rc1`) are compared lexicographically after numerics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Version {
+    parts: Vec<Part>,
+    text: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Part {
+    Num(u64),
+    Alpha(String),
+}
+
+impl Version {
+    pub fn new(text: &str) -> Version {
+        let parts = text
+            .split(['.', '-', '_'])
+            .map(|p| match p.parse::<u64>() {
+                Ok(n) => Part::Num(n),
+                Err(_) => Part::Alpha(p.to_string()),
+            })
+            .collect();
+        Version { parts, text: text.to_string() }
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Is `self` within the series named by `prefix`? (`11.2` ⊒ `11.2.0`.)
+    pub fn in_series(&self, prefix: &Version) -> bool {
+        if prefix.parts.len() > self.parts.len() {
+            return false;
+        }
+        self.parts[..prefix.parts.len()] == prefix.parts[..]
+    }
+}
+
+impl PartialOrd for Version {
+    fn partial_cmp(&self, other: &Version) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Version {
+    fn cmp(&self, other: &Version) -> Ordering {
+        let n = self.parts.len().max(other.parts.len());
+        for i in 0..n {
+            let a = self.parts.get(i);
+            let b = other.parts.get(i);
+            let ord = match (a, b) {
+                (None, None) => Ordering::Equal,
+                // `1.2` < `1.2.0` < `1.2.1`
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(Part::Num(x)), Some(Part::Num(y))) => x.cmp(y),
+                // Numeric releases sort after alpha tags (`1.2rc` < `1.2.0`).
+                (Some(Part::Num(_)), Some(Part::Alpha(_))) => Ordering::Greater,
+                (Some(Part::Alpha(_)), Some(Part::Num(_))) => Ordering::Less,
+                (Some(Part::Alpha(x)), Some(Part::Alpha(y))) => x.cmp(y),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl FromStr for Version {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Version, Self::Err> {
+        Ok(Version::new(s))
+    }
+}
+
+/// A requirement on a version, as written after `@` in a spec.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum VersionReq {
+    /// Any version.
+    #[default]
+    Any,
+    /// `@1.2` — the 1.2 series (`1.2`, `1.2.0`, `1.2.9`, ...).
+    Series(Version),
+    /// `@=1.2.0` — exactly this version.
+    Exact(Version),
+    /// `@1.2:1.4`, `@1.2:`, `@:1.4` — inclusive range.
+    Range(Option<Version>, Option<Version>),
+}
+
+impl VersionReq {
+    /// Parse the text after `@`.
+    pub fn parse(text: &str) -> VersionReq {
+        let text = text.trim();
+        if text.is_empty() {
+            return VersionReq::Any;
+        }
+        if let Some(exact) = text.strip_prefix('=') {
+            return VersionReq::Exact(Version::new(exact));
+        }
+        if let Some((lo, hi)) = text.split_once(':') {
+            let lo = if lo.is_empty() { None } else { Some(Version::new(lo)) };
+            let hi = if hi.is_empty() { None } else { Some(Version::new(hi)) };
+            return VersionReq::Range(lo, hi);
+        }
+        VersionReq::Series(Version::new(text))
+    }
+
+    /// Does `v` satisfy this requirement?
+    pub fn matches(&self, v: &Version) -> bool {
+        match self {
+            VersionReq::Any => true,
+            VersionReq::Series(s) => v.in_series(s),
+            VersionReq::Exact(e) => v == e,
+            VersionReq::Range(lo, hi) => {
+                if let Some(lo) = lo {
+                    if v < lo && !v.in_series(lo) {
+                        return false;
+                    }
+                }
+                if let Some(hi) = hi {
+                    // Spack ranges are inclusive of the whole upper series.
+                    if v > hi && !v.in_series(hi) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// The intersection of two requirements, if representable.
+    /// Returns `None` when they are definitely disjoint.
+    pub fn intersect(&self, other: &VersionReq) -> Option<VersionReq> {
+        match (self, other) {
+            (VersionReq::Any, r) | (r, VersionReq::Any) => Some(r.clone()),
+            (a, b) if a == b => Some(a.clone()),
+            (VersionReq::Exact(e), r) | (r, VersionReq::Exact(e)) => {
+                if r.matches(e) {
+                    Some(VersionReq::Exact(e.clone()))
+                } else {
+                    None
+                }
+            }
+            (VersionReq::Series(a), VersionReq::Series(b)) => {
+                if a.in_series(b) {
+                    Some(VersionReq::Series(a.clone()))
+                } else if b.in_series(a) {
+                    Some(VersionReq::Series(b.clone()))
+                } else {
+                    None
+                }
+            }
+            (VersionReq::Series(s), r @ VersionReq::Range(..))
+            | (r @ VersionReq::Range(..), VersionReq::Series(s)) => {
+                // Approximate: keep the series if its head satisfies the range.
+                if r.matches(s) {
+                    Some(VersionReq::Series(s.clone()))
+                } else {
+                    None
+                }
+            }
+            (VersionReq::Range(lo1, hi1), VersionReq::Range(lo2, hi2)) => {
+                let lo = match (lo1, lo2) {
+                    (Some(a), Some(b)) => Some(if a >= b { a.clone() } else { b.clone() }),
+                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+                    (None, None) => None,
+                };
+                let hi = match (hi1, hi2) {
+                    (Some(a), Some(b)) => Some(if a <= b { a.clone() } else { b.clone() }),
+                    (Some(a), None) | (None, Some(a)) => Some(a.clone()),
+                    (None, None) => None,
+                };
+                if let (Some(l), Some(h)) = (&lo, &hi) {
+                    if l > h && !h.in_series(l) {
+                        return None;
+                    }
+                }
+                Some(VersionReq::Range(lo, hi))
+            }
+        }
+    }
+}
+
+impl fmt::Display for VersionReq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VersionReq::Any => Ok(()),
+            VersionReq::Series(v) => write!(f, "@{v}"),
+            VersionReq::Exact(v) => write!(f, "@={v}"),
+            VersionReq::Range(lo, hi) => {
+                write!(
+                    f,
+                    "@{}:{}",
+                    lo.as_ref().map(|v| v.to_string()).unwrap_or_default(),
+                    hi.as_ref().map(|v| v.to_string()).unwrap_or_default()
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Version {
+        Version::new(s)
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(v("1.2") < v("1.10"));
+        assert!(v("1.2.3") < v("1.2.4"));
+        assert!(v("1.2") < v("1.2.0"));
+        assert!(v("9.2.0") < v("10.3.0"));
+        assert!(v("2.7.15") < v("3.8.2"));
+        assert!(v("1.2rc1") < v("1.2.0"));
+        assert_eq!(v("4.0.3").cmp(&v("4.0.3")), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn series_membership() {
+        assert!(v("11.2.0").in_series(&v("11.2")));
+        assert!(v("11.2").in_series(&v("11")));
+        assert!(!v("11.20.0").in_series(&v("11.2")));
+        assert!(v("11.2").in_series(&v("11.2")));
+        assert!(!v("11.2").in_series(&v("11.2.0")));
+    }
+
+    #[test]
+    fn req_parse_and_match() {
+        assert!(VersionReq::parse("").matches(&v("9")));
+        assert!(VersionReq::parse("9.2").matches(&v("9.2.0")));
+        assert!(!VersionReq::parse("9.2").matches(&v("9.3.0")));
+        assert!(VersionReq::parse("=9.2.0").matches(&v("9.2.0")));
+        assert!(!VersionReq::parse("=9.2").matches(&v("9.2.0")));
+        let r = VersionReq::parse("1.2:1.4");
+        assert!(r.matches(&v("1.2")));
+        assert!(r.matches(&v("1.3.9")));
+        assert!(r.matches(&v("1.4.2"))); // inclusive of upper series
+        assert!(!r.matches(&v("1.5")));
+        assert!(VersionReq::parse("1.2:").matches(&v("99")));
+        assert!(VersionReq::parse(":1.4").matches(&v("0.9")));
+        assert!(!VersionReq::parse(":1.4").matches(&v("2.0")));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = VersionReq::parse("1.2:");
+        let b = VersionReq::parse(":1.4");
+        let i = a.intersect(&b).unwrap();
+        assert!(i.matches(&v("1.3")));
+        assert!(!i.matches(&v("1.5")));
+        assert!(!i.matches(&v("1.1")));
+
+        assert!(VersionReq::parse("=1.2").intersect(&VersionReq::parse("2:")).is_none());
+        let s = VersionReq::parse("11.2").intersect(&VersionReq::parse("11")).unwrap();
+        assert!(s.matches(&v("11.2.0")));
+        assert!(!s.matches(&v("11.3.0")));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for t in ["1.2", "=1.2.0", "1.2:1.4", "1.2:", ":1.4"] {
+            let r = VersionReq::parse(t);
+            let shown = r.to_string();
+            assert_eq!(VersionReq::parse(shown.trim_start_matches('@')), r);
+        }
+    }
+}

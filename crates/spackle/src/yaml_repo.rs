@@ -1,0 +1,278 @@
+//! Site-local recipe repositories from YAML — the paper's §2.2 workflow:
+//! "it is also possible to create custom repositories of recipes for
+//! packages not included in Spack... we keep a local repository of recipes
+//! for building applications not generally relevant for upstream".
+//!
+//! A repository file is a YAML document:
+//!
+//! ```yaml
+//! packages:
+//!   - name: lfric-bench
+//!     versions: [1.0, 1.1]
+//!     build_cost: 4.0
+//!     provides: []
+//!     variants:
+//!       - {name: mpi, default: true, description: build with MPI}
+//!       - {name: precision, values: [single, double], default: double}
+//!     dependencies:
+//!       - {name: mpi, when: +mpi}
+//!       - {name: cmake, req: "3.16:", kind: build}
+//!     conflicts:
+//!       - {when: precision=single, on: gpu, reason: no single-precision GPU path}
+//! ```
+
+use crate::recipe::{Conflict, DepKind, Recipe, VariantDecl, When};
+use crate::repo::Repo;
+use crate::spec::VariantSetting;
+use std::fmt;
+use tinycfg::Value;
+
+/// Error loading a YAML recipe repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoLoadError(pub String);
+
+impl fmt::Display for RepoLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recipe repository error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RepoLoadError {}
+
+fn err(msg: impl Into<String>) -> RepoLoadError {
+    RepoLoadError(msg.into())
+}
+
+impl Repo {
+    /// Load recipes from YAML text, layering them over `self` (later
+    /// recipes shadow built-ins of the same name, like Spack repo order).
+    pub fn load_yaml(&mut self, yaml: &str) -> Result<usize, RepoLoadError> {
+        let doc = tinycfg::parse(yaml).map_err(|e| err(e.to_string()))?;
+        let packages = doc
+            .get_path("packages")
+            .and_then(Value::as_list)
+            .ok_or_else(|| err("missing top-level `packages` list"))?;
+        let mut count = 0;
+        for pkg in packages {
+            self.add(parse_recipe(pkg)?);
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+fn parse_recipe(pkg: &Value) -> Result<Recipe, RepoLoadError> {
+    let name = pkg
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("package missing `name`"))?;
+    let versions: Vec<String> = pkg
+        .get("versions")
+        .and_then(Value::as_list)
+        .ok_or_else(|| err(format!("package `{name}` missing `versions`")))?
+        .iter()
+        .map(|v| v.scalar_string())
+        .collect();
+    if versions.is_empty() {
+        return Err(err(format!("package `{name}` has no versions")));
+    }
+    let version_refs: Vec<&str> = versions.iter().map(String::as_str).collect();
+    let mut recipe = Recipe::new(name, &version_refs);
+
+    if let Some(cost) = pkg.get("build_cost").and_then(Value::as_float) {
+        recipe = recipe.with_build_cost(cost);
+    }
+    if let Some(provides) = pkg.get("provides").and_then(Value::as_list) {
+        for p in provides {
+            recipe = recipe.providing(&p.scalar_string());
+        }
+    }
+    if let Some(variants) = pkg.get("variants").and_then(Value::as_list) {
+        for v in variants {
+            recipe = recipe.with_variant(parse_variant(name, v)?);
+        }
+    }
+    if let Some(deps) = pkg.get("dependencies").and_then(Value::as_list) {
+        for d in deps {
+            let dep_name = d
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err(format!("`{name}` dependency missing `name`")))?;
+            let req = d.get("req").map(|r| r.scalar_string()).unwrap_or_default();
+            let kind = match d.get("kind").and_then(Value::as_str) {
+                None | Some("link") => DepKind::Link,
+                Some("build") => DepKind::Build,
+                Some("run") => DepKind::Run,
+                Some(other) => {
+                    return Err(err(format!("`{name}`: unknown dependency kind `{other}`")))
+                }
+            };
+            let when = match d.get("when") {
+                None => When::Always,
+                Some(w) => parse_when(name, &w.scalar_string())?,
+            };
+            recipe = recipe.with_dep_when(dep_name, &req, kind, when);
+        }
+    }
+    if let Some(conflicts) = pkg.get("conflicts").and_then(Value::as_list) {
+        for c in conflicts {
+            let when = match c.get("when") {
+                None => When::Always,
+                Some(w) => parse_when(name, &w.scalar_string())?,
+            };
+            recipe = recipe.with_conflict(Conflict {
+                when,
+                on_processor: c.get("on").and_then(Value::as_str).map(str::to_string),
+                reason: c
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("declared conflict")
+                    .to_string(),
+            });
+        }
+    }
+    Ok(recipe)
+}
+
+fn parse_variant(pkg: &str, v: &Value) -> Result<VariantDecl, RepoLoadError> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err(format!("`{pkg}` variant missing `name`")))?;
+    let description =
+        v.get("description").and_then(Value::as_str).unwrap_or("").to_string();
+    match v.get("values").and_then(Value::as_list) {
+        Some(values) => {
+            let allowed: Vec<String> = values.iter().map(|x| x.scalar_string()).collect();
+            let default = v
+                .get("default")
+                .map(|d| d.scalar_string())
+                .unwrap_or_else(|| allowed.first().cloned().unwrap_or_default());
+            if !allowed.contains(&default) {
+                return Err(err(format!(
+                    "`{pkg}` variant `{name}`: default `{default}` not in values"
+                )));
+            }
+            let allowed_refs: Vec<&str> = allowed.iter().map(String::as_str).collect();
+            Ok(VariantDecl::choice(name, &default, &allowed_refs, &description))
+        }
+        None => {
+            let default = v.get("default").and_then(Value::as_bool).unwrap_or(false);
+            Ok(VariantDecl::boolean(name, default, &description))
+        }
+    }
+}
+
+/// `+name`, `~name`, or `name=value`.
+fn parse_when(pkg: &str, text: &str) -> Result<When, RepoLoadError> {
+    let text = text.trim();
+    if let Some(name) = text.strip_prefix('+') {
+        Ok(When::VariantIs(name.to_string(), VariantSetting::On))
+    } else if let Some(name) = text.strip_prefix('~') {
+        Ok(When::VariantIs(name.to_string(), VariantSetting::Off))
+    } else if let Some((k, v)) = text.split_once('=') {
+        Ok(When::VariantIs(k.to_string(), VariantSetting::Value(v.to_string())))
+    } else if text.is_empty() || text == "always" {
+        Ok(When::Always)
+    } else {
+        Err(err(format!("`{pkg}`: cannot parse when-condition `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concretize::{concretize, SystemContext, Target};
+    use crate::spec::Spec;
+
+    const SITE_REPO: &str = r#"
+packages:
+  - name: lfric-bench
+    versions: [1.0, 1.1]
+    build_cost: 4.0
+    variants:
+      - {name: mpi, default: true, description: build with MPI}
+      - {name: precision, values: [single, double], default: double}
+    dependencies:
+      - {name: mpi, when: +mpi}
+      - {name: cmake, req: "3.16:", kind: build}
+    conflicts:
+      - {when: precision=single, on: gpu, reason: no single-precision GPU path}
+  - name: site-mpi
+    versions: [9.9]
+    provides: [mpi]
+"#;
+
+    fn ctx() -> SystemContext {
+        SystemContext::new("site", Target::cpu("intel", "x86_64")).with_compiler("gcc", "12.1.0")
+    }
+
+    #[test]
+    fn loads_and_layers_over_builtin() {
+        let mut repo = Repo::builtin();
+        let n = repo.load_yaml(SITE_REPO).unwrap();
+        assert_eq!(n, 2);
+        assert!(repo.get("lfric-bench").is_some());
+        // The new provider joins the mpi pool.
+        assert!(repo.providers_of("mpi").iter().any(|r| r.name == "site-mpi"));
+    }
+
+    #[test]
+    fn custom_package_concretizes_with_deps() {
+        let mut repo = Repo::builtin();
+        repo.load_yaml(SITE_REPO).unwrap();
+        let spec = Spec::parse("lfric-bench%gcc precision=double").unwrap();
+        let c = concretize(&spec, &repo, &ctx()).unwrap();
+        assert_eq!(c.root().version.as_str(), "1.1", "highest version wins");
+        assert!(c.node("cmake").is_some(), "build dep pulled in");
+        assert!(c.provider_of("mpi").is_some(), "+mpi default pulls MPI");
+        // Turning the variant off drops the dependency.
+        let spec = Spec::parse("lfric-bench%gcc ~mpi").unwrap();
+        let c = concretize(&spec, &repo, &ctx()).unwrap();
+        assert!(c.provider_of("mpi").is_none());
+    }
+
+    #[test]
+    fn yaml_conflict_enforced() {
+        let mut repo = Repo::builtin();
+        repo.load_yaml(SITE_REPO).unwrap();
+        let gpu = SystemContext::new("gpu", Target::gpu("nvidia")).with_compiler("gcc", "12.1.0");
+        let spec = Spec::parse("lfric-bench precision=single").unwrap();
+        assert!(concretize(&spec, &repo, &gpu).is_err());
+        // Fine on CPU.
+        assert!(concretize(&spec, &repo, &ctx()).is_ok());
+    }
+
+    #[test]
+    fn shadowing_builtin_recipe() {
+        let mut repo = Repo::builtin();
+        repo.load_yaml("packages:\n  - {name: stream, versions: [99.0]}\n").unwrap();
+        assert_eq!(repo.get("stream").unwrap().versions[0].as_str(), "99.0");
+    }
+
+    #[test]
+    fn bad_documents_rejected() {
+        let mut repo = Repo::empty();
+        assert!(repo.load_yaml("nothing: here").is_err());
+        assert!(repo.load_yaml("packages:\n  - {versions: [1.0]}\n").is_err());
+        assert!(repo.load_yaml("packages:\n  - {name: x, versions: []}\n").is_err());
+        assert!(repo
+            .load_yaml("packages:\n  - {name: x, versions: [1.0], dependencies: [{name: y, kind: weird}]}\n")
+            .is_err());
+        assert!(repo
+            .load_yaml("packages:\n  - name: x\n    versions: [1.0]\n    variants:\n      - {name: v, values: [a, b], default: c}\n")
+            .is_err());
+    }
+
+    #[test]
+    fn when_condition_grammar() {
+        assert_eq!(parse_when("p", "+mpi").unwrap(), When::VariantIs("mpi".into(), VariantSetting::On));
+        assert_eq!(parse_when("p", "~mpi").unwrap(), When::VariantIs("mpi".into(), VariantSetting::Off));
+        assert_eq!(
+            parse_when("p", "precision=single").unwrap(),
+            When::VariantIs("precision".into(), VariantSetting::Value("single".into()))
+        );
+        assert_eq!(parse_when("p", "always").unwrap(), When::Always);
+        assert!(parse_when("p", "???").is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for version semantics and the spec grammar.
+
+use proptest::prelude::*;
+use spackle::{Spec, Version, VersionReq};
+
+fn version_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u64..50, 1..4).prop_map(|parts| {
+        parts.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(".")
+    })
+}
+
+proptest! {
+    /// Version ordering is a total order consistent with itself.
+    #[test]
+    fn version_order_total_and_antisymmetric(a in version_string(), b in version_string()) {
+        let va = Version::new(&a);
+        let vb = Version::new(&b);
+        let ab = va.cmp(&vb);
+        let ba = vb.cmp(&va);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert!(va.in_series(&vb) && vb.in_series(&va));
+        }
+    }
+
+    /// Ordering is transitive.
+    #[test]
+    fn version_order_transitive(a in version_string(), b in version_string(), c in version_string()) {
+        let (va, vb, vc) = (Version::new(&a), Version::new(&b), Version::new(&c));
+        if va <= vb && vb <= vc {
+            prop_assert!(va <= vc);
+        }
+    }
+
+    /// A version always satisfies its own series requirement and an exact
+    /// requirement on itself.
+    #[test]
+    fn version_satisfies_self(a in version_string()) {
+        let v = Version::new(&a);
+        prop_assert!(VersionReq::parse(&a).matches(&v));
+        let exact = format!("={a}");
+        prop_assert!(VersionReq::parse(&exact).matches(&v));
+        prop_assert!(VersionReq::Any.matches(&v));
+    }
+
+    /// Range requirements contain their endpoints.
+    #[test]
+    fn range_contains_endpoints(a in version_string(), b in version_string()) {
+        let (lo, hi) = {
+            let va = Version::new(&a);
+            let vb = Version::new(&b);
+            if va <= vb { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) }
+        };
+        let r = VersionReq::parse(&format!("{lo}:{hi}"));
+        prop_assert!(r.matches(&Version::new(&lo)));
+        prop_assert!(r.matches(&Version::new(&hi)));
+    }
+
+    /// Intersection is sound: anything matching the intersection matches
+    /// both operands.
+    #[test]
+    fn intersection_sound(a in version_string(), b in version_string(), probe in version_string()) {
+        let ra = VersionReq::parse(&format!("{a}:"));
+        let rb = VersionReq::parse(&format!(":{b}"));
+        let v = Version::new(&probe);
+        if let Some(i) = ra.intersect(&rb) {
+            if i.matches(&v) {
+                prop_assert!(ra.matches(&v), "{i:?} matched {v} but {ra:?} did not");
+                prop_assert!(rb.matches(&v), "{i:?} matched {v} but {rb:?} did not");
+            }
+        }
+    }
+
+    /// Any spec we can render re-parses to the same spec.
+    #[test]
+    fn spec_display_roundtrip(
+        name in "[a-z][a-z0-9-]{0,10}",
+        ver in proptest::option::of(version_string()),
+        comp in proptest::option::of(("[a-z]{2,5}", version_string())),
+        on in prop::collection::vec("[a-z]{2,6}", 0..3),
+    ) {
+        let mut spec = Spec::named(&name);
+        if let Some(v) = ver {
+            spec = spec.with_version(VersionReq::parse(&v));
+        }
+        if let Some((c, cv)) = comp {
+            spec = spec.with_compiler(&c, VersionReq::parse(&cv));
+        }
+        for v in on {
+            spec = spec.with_variant(&v, spackle::VariantSetting::On);
+        }
+        let text = spec.to_string();
+        let reparsed = Spec::parse(&text).unwrap_or_else(|e| panic!("reparse `{text}`: {e}"));
+        prop_assert_eq!(spec, reparsed);
+    }
+
+    /// The spec parser never panics.
+    #[test]
+    fn spec_parser_total(text in "[ -~]{0,40}") {
+        let _ = Spec::parse(&text);
+    }
+}

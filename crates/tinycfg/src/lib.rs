@@ -1,0 +1,190 @@
+//! `tinycfg` — a small configuration language: a practical YAML subset.
+//!
+//! The paper's framework drives post-processing and plotting from YAML
+//! configuration files and records structured metadata alongside perflogs
+//! (Principle 6). This crate provides the configuration substrate: an
+//! order-preserving document [`Value`] model, a parser for an
+//! indentation-based YAML subset, and emitters for both YAML and JSON.
+//!
+//! Supported syntax:
+//!
+//! * block mappings `key: value` with nesting by indentation
+//! * block sequences `- item`
+//! * flow sequences `[a, b, c]` and flow mappings `{a: 1, b: 2}`
+//! * scalars with type inference: null/~, true/false, integers, floats,
+//!   bare and quoted strings (single or double quotes)
+//! * `#` comments and blank lines
+//!
+//! # Example
+//!
+//! ```
+//! let doc = tinycfg::parse(r#"
+//! title: Triad bandwidth
+//! series:
+//!   - column: fom
+//!     scale: 1.0
+//! filters: {system: archer2}
+//! "#).unwrap();
+//! assert_eq!(doc.get_path("title").unwrap().as_str(), Some("Triad bandwidth"));
+//! assert_eq!(doc.get_path("filters.system").unwrap().as_str(), Some("archer2"));
+//! assert_eq!(doc.get_path("series").unwrap().as_list().unwrap().len(), 1);
+//! ```
+
+mod emit;
+mod parse;
+mod value;
+
+pub use parse::{parse, ParseError};
+pub use value::{Map, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_inference() {
+        let v = parse("a: 1\nb: 2.5\nc: true\nd: null\ne: hello\nf: ~").unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get_path("b").unwrap().as_float(), Some(2.5));
+        assert_eq!(v.get_path("c").unwrap().as_bool(), Some(true));
+        assert!(v.get_path("d").unwrap().is_null());
+        assert_eq!(v.get_path("e").unwrap().as_str(), Some("hello"));
+        assert!(v.get_path("f").unwrap().is_null());
+    }
+
+    #[test]
+    fn nested_mappings() {
+        let v = parse("outer:\n  inner:\n    leaf: 42").unwrap();
+        assert_eq!(v.get_path("outer.inner.leaf").unwrap().as_int(), Some(42));
+    }
+
+    #[test]
+    fn block_sequences() {
+        let v = parse("items:\n  - one\n  - two\n  - three").unwrap();
+        let items = v.get_path("items").unwrap().as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn sequence_of_mappings() {
+        let v = parse("runs:\n  - name: a\n    n: 1\n  - name: b\n    n: 2").unwrap();
+        let runs = v.get_path("runs").unwrap().as_list().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(runs[1].get("n").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn flow_styles() {
+        let v = parse("list: [1, 2.5, x]\nmap: {a: 1, b: yes}").unwrap();
+        let l = v.get_path("list").unwrap().as_list().unwrap();
+        assert_eq!(l[0].as_int(), Some(1));
+        assert_eq!(l[2].as_str(), Some("x"));
+        assert_eq!(v.get_path("map.a").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn quoted_strings_preserved() {
+        let v = parse(r#"a: "123"
+b: '  padded '
+c: "with # hash""#)
+            .unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_str(), Some("123"));
+        assert_eq!(v.get_path("b").unwrap().as_str(), Some("  padded "));
+        assert_eq!(v.get_path("c").unwrap().as_str(), Some("with # hash"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let v = parse("# header\n\na: 1 # trailing\n\n# end\n").unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn yaml_roundtrip() {
+        let src = "name: hpcg\nparams:\n  nx: 32\n  variants:\n    - csr\n    - matfree\nok: true";
+        let v = parse(src).unwrap();
+        let emitted = v.to_yaml();
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn json_emission() {
+        let v = parse("a: 1\nb: [x, 2]\nc:\n  d: null").unwrap();
+        let json = v.to_json();
+        assert_eq!(json, r#"{"a":1,"b":["x",2],"c":{"d":null}}"#);
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let v = Value::Str("quote \" slash \\ tab \t nl \n".into());
+        assert_eq!(v.to_json(), r#""quote \" slash \\ tab \t nl \n""#);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("a: 1\n   bad indent: 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse("a: 1\na: 2").is_err());
+    }
+
+    #[test]
+    fn top_level_sequence() {
+        let v = parse("- 1\n- 2\n- 3").unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert!(parse("").unwrap().is_null());
+        assert!(parse("\n# only comments\n").unwrap().is_null());
+    }
+
+    #[test]
+    fn map_insertion_order_preserved() {
+        let v = parse("z: 1\na: 2\nm: 3").unwrap();
+        let keys: Vec<&str> = v.as_map().unwrap().keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn get_path_missing_is_none() {
+        let v = parse("a:\n  b: 1").unwrap();
+        assert!(v.get_path("a.c").is_none());
+        assert!(v.get_path("x").is_none());
+        assert!(v.get_path("a.b.c").is_none());
+    }
+
+    #[test]
+    fn coercions() {
+        let v = parse("i: 3").unwrap();
+        // Ints coerce to float but not vice versa.
+        assert_eq!(v.get_path("i").unwrap().as_float(), Some(3.0));
+        let v = parse("f: 3.5").unwrap();
+        assert_eq!(v.get_path("f").unwrap().as_int(), None);
+    }
+
+    #[test]
+    fn special_floats() {
+        let v = parse("a: 1e-3\nb: -2.5E+4\nc: .5").unwrap();
+        assert_eq!(v.get_path("a").unwrap().as_float(), Some(1e-3));
+        assert_eq!(v.get_path("b").unwrap().as_float(), Some(-2.5e4));
+        assert_eq!(v.get_path("c").unwrap().as_float(), Some(0.5));
+    }
+
+    #[test]
+    fn builder_api() {
+        let mut m = Map::new();
+        m.insert("x", Value::Int(1));
+        m.insert("y", Value::from("s"));
+        let v = Value::Map(m);
+        assert_eq!(v.get("x").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("y").unwrap().as_str(), Some("s"));
+    }
+}

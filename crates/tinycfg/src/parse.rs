@@ -1,0 +1,460 @@
+//! Indentation-based parser for the YAML subset.
+
+use crate::value::{Map, Value};
+use std::fmt;
+
+/// Error produced when a document fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a document into a [`Value`].
+pub fn parse(src: &str) -> Result<Value, ParseError> {
+    let mut lines = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let stripped = strip_comment(raw);
+        if stripped.trim().is_empty() {
+            continue;
+        }
+        let indent = stripped.len() - stripped.trim_start().len();
+        if stripped[..indent].contains('\t') {
+            return Err(ParseError { line: lineno, message: "tabs are not allowed in indentation".into() });
+        }
+        lines.push(Line { indent, text: stripped.trim_start().to_string(), lineno });
+    }
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut p = BlockParser { lines, idx: 0 };
+    let root_indent = p.lines[0].indent;
+    let v = p.parse_value(root_indent)?;
+    if p.idx < p.lines.len() {
+        let l = &p.lines[p.idx];
+        return Err(ParseError {
+            line: l.lineno,
+            message: format!("unexpected content at indent {}", l.indent),
+        });
+    }
+    Ok(v)
+}
+
+/// Strip a `#` comment that is outside any quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            // A `#` only begins a comment at line start or after space.
+            '#' if !in_single
+                && !in_double
+                && (i == 0 || line[..i].ends_with(' ') || line[..i].ends_with('\t')) =>
+            {
+                return &line[..i];
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    lineno: usize,
+}
+
+struct BlockParser {
+    lines: Vec<Line>,
+    idx: usize,
+}
+
+impl BlockParser {
+    fn err(&self, lineno: usize, message: impl Into<String>) -> ParseError {
+        ParseError { line: lineno, message: message.into() }
+    }
+
+    fn parse_value(&mut self, indent: usize) -> Result<Value, ParseError> {
+        let line = self.lines[self.idx].clone();
+        if line.indent != indent {
+            return Err(self.err(line.lineno, format!("expected indent {indent}, found {}", line.indent)));
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            self.parse_sequence(indent)
+        } else if split_key(&line.text).is_some() {
+            self.parse_mapping(indent)
+        } else {
+            self.idx += 1;
+            parse_scalar(&line.text, line.lineno)
+        }
+    }
+
+    fn parse_sequence(&mut self, indent: usize) -> Result<Value, ParseError> {
+        let mut items = Vec::new();
+        while self.idx < self.lines.len() {
+            let line = self.lines[self.idx].clone();
+            if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+                if line.indent > indent {
+                    return Err(self.err(line.lineno, "bad indentation inside sequence"));
+                }
+                break;
+            }
+            if line.text == "-" {
+                // Item body on the following, deeper-indented lines.
+                self.idx += 1;
+                if self.idx < self.lines.len() && self.lines[self.idx].indent > indent {
+                    let inner = self.lines[self.idx].indent;
+                    items.push(self.parse_value(inner)?);
+                } else {
+                    items.push(Value::Null);
+                }
+            } else {
+                // Rewrite `- rest` as a virtual line holding `rest` at the
+                // column where `rest` begins, then parse a value there; any
+                // following lines at that indent join the same block.
+                let rest = line.text[2..].trim_start();
+                let offset = line.text.len() - rest.len();
+                self.lines[self.idx] =
+                    Line { indent: indent + offset, text: rest.to_string(), lineno: line.lineno };
+                items.push(self.parse_value(indent + offset)?);
+            }
+        }
+        Ok(Value::List(items))
+    }
+
+    fn parse_mapping(&mut self, indent: usize) -> Result<Value, ParseError> {
+        let mut map = Map::new();
+        while self.idx < self.lines.len() {
+            let line = self.lines[self.idx].clone();
+            if line.indent < indent {
+                break;
+            }
+            if line.indent > indent {
+                return Err(self.err(line.lineno, "bad indentation inside mapping"));
+            }
+            let Some((key, rest)) = split_key(&line.text) else {
+                break;
+            };
+            if map.contains_key(&key) {
+                return Err(self.err(line.lineno, format!("duplicate key `{key}`")));
+            }
+            self.idx += 1;
+            let value = if rest.is_empty() {
+                if self.idx < self.lines.len() && self.lines[self.idx].indent > indent {
+                    let inner = self.lines[self.idx].indent;
+                    self.parse_value(inner)?
+                } else {
+                    Value::Null
+                }
+            } else {
+                parse_scalar(rest, line.lineno)?
+            };
+            map.insert(key, value);
+        }
+        Ok(Value::Map(map))
+    }
+}
+
+/// Split `key: rest` (or `key:`), honouring quoted keys. Returns `None` when
+/// the line is not a mapping entry.
+fn split_key(text: &str) -> Option<(String, &str)> {
+    let (key, after) = if let Some(stripped) = text.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        (stripped[..end].to_string(), &stripped[end + 1..])
+    } else if let Some(stripped) = text.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        (stripped[..end].to_string(), &stripped[end + 1..])
+    } else {
+        let colon = find_key_colon(text)?;
+        (text[..colon].trim().to_string(), &text[colon..])
+    };
+    let after = after.trim_start();
+    let rest = after.strip_prefix(':')?;
+    if !rest.is_empty() && !rest.starts_with(' ') {
+        return None; // `a:b` is a plain scalar, like YAML
+    }
+    if key.is_empty() {
+        return None;
+    }
+    Some((key, rest.trim()))
+}
+
+/// Position of the colon ending an unquoted key: the first `:` followed by
+/// space or end-of-line, not inside flow brackets.
+fn find_key_colon(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth = depth.saturating_sub(1),
+            b':' if depth == 0 && (i + 1 == bytes.len() || bytes[i + 1] == b' ') => {
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse a one-line scalar or flow collection.
+pub(crate) fn parse_scalar(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    let text = text.trim();
+    let mut fp = FlowParser { chars: text.chars().collect(), pos: 0, lineno };
+    let v = fp.parse_flow_value()?;
+    fp.skip_ws();
+    if fp.pos < fp.chars.len() {
+        // Trailing text after a completed scalar — treat the whole thing as
+        // a bare string (e.g. `Cascade Lake @ 2.1 GHz`).
+        return Ok(infer_bare(text));
+    }
+    Ok(v)
+}
+
+struct FlowParser {
+    chars: Vec<char>,
+    pos: usize,
+    lineno: usize,
+}
+
+impl FlowParser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.lineno, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_flow_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            None => Ok(Value::Null),
+            Some('[') => self.parse_flow_list(),
+            Some('{') => self.parse_flow_map(),
+            Some('"') | Some('\'') => self.parse_quoted(),
+            _ => {
+                // Bare scalar: read until a flow delimiter.
+                let start = self.pos;
+                while let Some(&c) = self.chars.get(self.pos) {
+                    if matches!(c, ',' | ']' | '}') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let s: String = self.chars[start..self.pos].iter().collect();
+                Ok(infer_bare(s.trim()))
+            }
+        }
+    }
+
+    fn parse_flow_list(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                None => return Err(self.err("unterminated flow sequence")),
+                Some(']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    items.push(self.parse_flow_value()?);
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        Some(',') => {
+                            self.pos += 1;
+                        }
+                        Some(']') => {}
+                        _ => return Err(self.err("expected `,` or `]` in flow sequence")),
+                    }
+                }
+            }
+        }
+        Ok(Value::List(items))
+    }
+
+    fn parse_flow_map(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume `{`
+        let mut map = Map::new();
+        loop {
+            self.skip_ws();
+            match self.chars.get(self.pos) {
+                None => return Err(self.err("unterminated flow mapping")),
+                Some('}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    // Key: bare or quoted, up to `:`.
+                    let key = match self.chars.get(self.pos) {
+                        Some('"') | Some('\'') => match self.parse_quoted()? {
+                            Value::Str(s) => s,
+                            _ => unreachable!("parse_quoted returns Str"),
+                        },
+                        _ => {
+                            let start = self.pos;
+                            while let Some(&c) = self.chars.get(self.pos) {
+                                if c == ':' || c == '}' || c == ',' {
+                                    break;
+                                }
+                                self.pos += 1;
+                            }
+                            let k: String = self.chars[start..self.pos].iter().collect();
+                            k.trim().to_string()
+                        }
+                    };
+                    self.skip_ws();
+                    if self.chars.get(self.pos) != Some(&':') {
+                        return Err(self.err("expected `:` in flow mapping"));
+                    }
+                    self.pos += 1;
+                    let value = self.parse_flow_value()?;
+                    if map.contains_key(&key) {
+                        return Err(self.err(format!("duplicate key `{key}`")));
+                    }
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        Some(',') => {
+                            self.pos += 1;
+                        }
+                        Some('}') => {}
+                        _ => return Err(self.err("expected `,` or `}` in flow mapping")),
+                    }
+                }
+            }
+        }
+        Ok(Value::Map(map))
+    }
+
+    fn parse_quoted(&mut self) -> Result<Value, ParseError> {
+        let quote = self.chars[self.pos];
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.chars.get(self.pos) {
+                None => return Err(self.err("unterminated quoted string")),
+                Some(&c) if c == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('\\') if quote == '"' => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos) {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        Some(&c) => s.push(c),
+                        None => return Err(self.err("trailing backslash in string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    s.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(Value::Str(s))
+    }
+}
+
+/// Type inference for unquoted scalars.
+fn infer_bare(s: &str) -> Value {
+    match s {
+        "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+        "true" | "True" | "yes" => return Value::Bool(true),
+        "false" | "False" | "no" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    // Require a digit so words like "nan"/"inf" stay strings.
+    if s.chars().any(|c| c.is_ascii_digit()) {
+        if let Ok(f) = s.parse::<f64>() {
+            return Value::Float(f);
+        }
+    }
+    Value::Str(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_key_cases() {
+        assert_eq!(split_key("a: 1"), Some(("a".to_string(), "1")));
+        assert_eq!(split_key("a:"), Some(("a".to_string(), "")));
+        assert_eq!(split_key("a:b"), None);
+        assert_eq!(split_key("plain scalar"), None);
+        assert_eq!(split_key("\"quoted key\": v"), Some(("quoted key".to_string(), "v")));
+        // URL-ish values don't split on the scheme colon.
+        assert_eq!(
+            split_key("url: https://example.com"),
+            Some(("url".to_string(), "https://example.com"))
+        );
+    }
+
+    #[test]
+    fn comment_stripping_respects_quotes() {
+        assert_eq!(strip_comment("a: 1 # c"), "a: 1 ");
+        assert_eq!(strip_comment(r#"a: "x # y""#), r#"a: "x # y""#);
+        assert_eq!(strip_comment("# whole line"), "");
+        // A `#` glued to preceding text is not a comment (YAML rule).
+        assert_eq!(strip_comment("a: b#c"), "a: b#c");
+    }
+
+    #[test]
+    fn bare_inference() {
+        assert_eq!(infer_bare("42"), Value::Int(42));
+        assert_eq!(infer_bare("-3"), Value::Int(-3));
+        assert_eq!(infer_bare("4.5"), Value::Float(4.5));
+        assert_eq!(infer_bare("nan"), Value::Str("nan".into()));
+        assert_eq!(infer_bare("v100"), Value::Str("v100".into()));
+        assert_eq!(infer_bare(""), Value::Null);
+    }
+
+    #[test]
+    fn scalar_with_spaces_is_string() {
+        let v = parse_scalar("Cascade Lake @ 2.1 GHz", 1).unwrap();
+        assert_eq!(v.as_str(), Some("Cascade Lake @ 2.1 GHz"));
+    }
+
+    #[test]
+    fn nested_flow() {
+        let v = parse_scalar("[[1, 2], {a: [3]}]", 1).unwrap();
+        let outer = v.as_list().unwrap();
+        assert_eq!(outer[0].as_list().unwrap().len(), 2);
+        assert_eq!(outer[1].get_path("a").unwrap().as_list().unwrap()[0].as_int(), Some(3));
+    }
+
+    #[test]
+    fn deeply_nested_sequences() {
+        let v = parse("a:\n  - - 1\n    - 2\n  - - 3").unwrap();
+        let a = v.get_path("a").unwrap().as_list().unwrap();
+        assert_eq!(a[0].as_list().unwrap().len(), 2);
+        assert_eq!(a[1].as_list().unwrap()[0].as_int(), Some(3));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: any generated document survives a YAML round-trip.
+
+use proptest::prelude::*;
+use tinycfg::{Map, Value};
+
+/// Strategy for scalar values (finite floats only — YAML/JSON have no NaN).
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[ -~]{0,20}".prop_map(Value::Str),
+    ]
+}
+
+/// Strategy for arbitrary nested documents of bounded depth/size.
+fn document() -> impl Strategy<Value = Value> {
+    scalar().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,8}", inner), 0..4).prop_map(|kvs| {
+                let mut m = Map::new();
+                for (k, v) in kvs {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
+/// Floats compare within rounding noise after a text round-trip.
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+        }
+        (Value::List(x), Value::List(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| approx_eq(a, b))
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y.iter()).all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    /// parse(to_yaml(v)) == v for all generated documents.
+    #[test]
+    fn yaml_roundtrip(v in document()) {
+        let emitted = v.to_yaml();
+        let reparsed = tinycfg::parse(&emitted)
+            .unwrap_or_else(|e| panic!("emitted YAML failed to parse: {e}\n---\n{emitted}"));
+        prop_assert!(
+            approx_eq(&v, &reparsed),
+            "round-trip mismatch:\noriginal: {v:?}\nreparsed: {reparsed:?}\nyaml:\n{emitted}"
+        );
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(src in "[ -~\n]{0,200}") {
+        let _ = tinycfg::parse(&src);
+    }
+
+    /// JSON emission is syntactically balanced for any document.
+    #[test]
+    fn json_is_balanced(v in document()) {
+        let json = v.to_json();
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in json.chars() {
+            if escape { escape = false; continue; }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '[' | '{' if !in_str => depth += 1,
+                ']' | '}' if !in_str => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+        prop_assert!(!in_str);
+    }
+
+    /// get_path finds every key inserted at the top level.
+    #[test]
+    fn map_get_finds_inserted(keys in prop::collection::hash_set("[a-z]{1,6}", 1..8)) {
+        let mut m = Map::new();
+        for (i, k) in keys.iter().enumerate() {
+            m.insert(k.clone(), Value::Int(i as i64));
+        }
+        let v = Value::Map(m);
+        for k in &keys {
+            prop_assert!(v.get_path(k).is_some());
+        }
+    }
+}

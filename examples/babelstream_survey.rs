@@ -1,0 +1,116 @@
+//! The §3.1 case study: how performance portable are different programming
+//! models across a wide range of CPUs and GPUs?
+//!
+//! Sweeps all BabelStream programming models over the four Figure 2
+//! platforms with the paper's array sizes (2^29 on Milan, 2^25 elsewhere),
+//! prints the efficiency heat map, writes the perflogs, and reports the
+//! Pennycook PP metric per model — showing why only OpenMP-style models
+//! score non-zero across the full platform set.
+//!
+//! ```bash
+//! cargo run --example babelstream_survey
+//! ```
+
+use benchkit::prelude::*;
+
+fn main() {
+    let (map, cells) = bench_figure2();
+    print!("{}", map.render_text());
+
+    // PP per model over the CPU set and over the full set.
+    println!("\nPerformance portability (Pennycook metric) per model:");
+    let models: Vec<&str> = {
+        let mut seen = Vec::new();
+        for c in &cells {
+            if !seen.contains(&c.model.as_str()) {
+                seen.push(c.model.as_str());
+            }
+        }
+        seen
+    };
+    for model in models {
+        let effs: Vec<Option<f64>> = cells
+            .iter()
+            .filter(|c| c.model == model)
+            .map(|c| c.efficiency)
+            .collect();
+        let pp_all = ppmetrics::performance_portability(&effs);
+        let cpu_effs: Vec<Option<f64>> = cells
+            .iter()
+            .filter(|c| c.model == model && c.platform != "v100")
+            .map(|c| c.efficiency)
+            .collect();
+        let pp_cpu = ppmetrics::performance_portability(&cpu_effs);
+        println!("  {model:<12} PP(cpus)={pp_cpu:.3}  PP(cpus+gpu)={pp_all:.3}");
+    }
+    println!("\n(zero PP = the model does not run on every platform in the set,");
+    println!(" exactly the paper's point about the starred boxes of Figure 2)");
+
+    // Persist the artefacts the way the framework would: SVG + CSV.
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/babelstream_survey.svg", map.render_svg()).expect("write SVG");
+    let mut df = dframe::DataFrame::new(vec!["model", "platform", "triad_mbs", "efficiency"]);
+    for c in &cells {
+        df.push_row(vec![
+            dframe::Cell::from(c.model.as_str()),
+            dframe::Cell::from(c.platform.as_str()),
+            c.triad_mbs.map(dframe::Cell::from).unwrap_or(dframe::Cell::Null),
+            c.efficiency.map(dframe::Cell::from).unwrap_or(dframe::Cell::Null),
+        ])
+        .expect("schema");
+    }
+    std::fs::write("target/babelstream_survey.csv", df.to_csv()).expect("write CSV");
+    println!("\nwrote target/babelstream_survey.svg and target/babelstream_survey.csv");
+}
+
+/// Re-run the Figure 2 sweep (same code path as `cargo run -p bench --bin
+/// figure2`, inlined here so the example is self-contained).
+fn bench_figure2() -> (postproc::Heatmap, Vec<Fig2Cell>) {
+    const PLATFORMS: &[(&str, &str, u32)] = &[
+        ("isambard-macs:cascadelake", "cascadelake", 25),
+        ("isambard:xci", "thunderx2", 25),
+        ("noctua2:milan", "milan", 29),
+        ("isambard-macs:volta", "v100", 25),
+    ];
+    let models: Vec<parkern::Model> = parkern::Model::all()
+        .iter()
+        .copied()
+        .filter(|m| *m != parkern::Model::Serial)
+        .collect();
+    let mut map = postproc::Heatmap::new(
+        "BabelStream Triad fraction of theoretical peak",
+        models.iter().map(|m| m.name().to_string()).collect(),
+        PLATFORMS.iter().map(|(_, l, _)| l.to_string()).collect(),
+    );
+    let mut cells = Vec::new();
+    for (spec, label, exp) in PLATFORMS {
+        let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog");
+        let peak_mbs = sys.partition(&part).expect("partition").processor().peak_mem_bw_gbs() * 1e3;
+        let mut h = Harness::new(RunOptions::on_system(spec));
+        for model in &models {
+            let case = cases::babelstream(*model, 1usize << *exp);
+            let eff = match h.run_case(&case) {
+                Ok(report) => {
+                    let triad = report.record.fom("Triad").expect("Triad").value;
+                    map.set(model.name(), label, triad / peak_mbs);
+                    Some((triad, triad / peak_mbs))
+                }
+                Err(_) => None,
+            };
+            cells.push(Fig2Cell {
+                model: model.name().to_string(),
+                platform: label.to_string(),
+                triad_mbs: eff.map(|(t, _)| t),
+                efficiency: eff.map(|(_, e)| e),
+            });
+        }
+    }
+    (map, cells)
+}
+
+struct Fig2Cell {
+    model: String,
+    platform: String,
+    triad_mbs: Option<f64>,
+    efficiency: Option<f64>,
+}

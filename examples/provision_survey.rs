@@ -1,0 +1,74 @@
+//! The §3.3 case study: a supercomputing-provision survey. One benchmark
+//! (HPGMG-FV), one fixed configuration (8 tasks, 2 per node, 8 cpus/task),
+//! four systems — with the whole build/run/extract pipeline handled by the
+//! framework, including each system's concretized dependencies (Table 3)
+//! and job scripts (Principle 5 artifacts).
+//!
+//! ```bash
+//! cargo run --example provision_survey
+//! ```
+
+use benchkit::prelude::*;
+
+const SYSTEMS: &[&str] = &["archer2", "cosma8", "csd3", "isambard-macs:cascadelake"];
+
+fn main() {
+    // Concretized dependencies per system (the paper's Table 3).
+    println!("Concretized build dependencies of hpgmg%gcc per system:\n");
+    let repo = spackle::Repo::builtin();
+    for spec_name in SYSTEMS {
+        let (sys, part) = simhpc::catalog::resolve(spec_name).expect("catalog");
+        let ctx = spackle::context_for(&sys, sys.partition(&part).expect("partition"));
+        let spec = spackle::Spec::parse("hpgmg%gcc").expect("valid");
+        let concrete = spackle::concretize(&spec, &repo, &ctx).expect("concretizes");
+        println!("# {}", sys.name());
+        print!("{concrete}");
+        println!();
+    }
+
+    // The benchmark sweep itself (the paper's Table 4).
+    println!("HPGMG-FV Figures of Merit (10^6 DOF/s), args `7 8`, 8 ranks / 2 per node:\n");
+    println!("{:<28} {:>8} {:>8} {:>8} {:>12}", "System", "l0", "l1", "l2", "queue wait");
+    let mut perflogs: Vec<String> = Vec::new();
+    for spec_name in SYSTEMS {
+        let mut h = Harness::new(RunOptions::on_system(spec_name));
+        let report = h.run_case(&cases::hpgmg()).expect("Table 4 systems support HPGMG");
+        let level = |name: &str| report.record.fom(name).expect("level FOM").value / 1e6;
+        println!(
+            "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>11.3}s",
+            spec_name,
+            level("l0"),
+            level("l1"),
+            level("l2"),
+            report.queue_wait_s,
+        );
+        // Keep each system's perflog, like the real framework's per-system
+        // log files.
+        for (_, log) in h.perflogs() {
+            perflogs.push(log.to_jsonl());
+        }
+    }
+
+    // Assimilate the isolated perflogs (Principle 6) and plot from YAML.
+    let frame = postproc::assimilate(&perflogs).expect("perflogs parse");
+    let cfg = postproc::PlotConfig::from_yaml(
+        "title: HPGMG-FV finest level\n\
+         unit: DOF/s\n\
+         x_axis: system\n\
+         value: value\n\
+         filters: {fom: l0}\n",
+    )
+    .expect("valid plot config");
+    let chart = cfg.bar_chart(&frame).expect("chart builds");
+    println!("\n{}", chart.render_text());
+
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/provision_survey.svg", chart.render_svg()).expect("write SVG");
+    std::fs::write("target/provision_survey.jsonl", perflogs.join("")).expect("write perflog");
+    println!("wrote target/provision_survey.svg and target/provision_survey.jsonl");
+
+    // One sample P5 artifact: the generated job script for ARCHER2.
+    let mut h = Harness::new(RunOptions::on_system("archer2"));
+    let report = h.run_case(&cases::hpgmg()).expect("runs");
+    println!("\nGenerated ARCHER2 job script (Principle 5):\n{}", report.job_script);
+}

@@ -1,0 +1,67 @@
+//! A strong-scaling study — the "scaling plots" the paper lists as ongoing
+//! work in §2.4, built from the same pipeline: sweep the MPI rank count of
+//! HPGMG-FV on two systems, extract the finest-level FOM, and render a
+//! scaling plot plus parallel efficiencies.
+//!
+//! ```bash
+//! cargo run --example scaling_study
+//! ```
+
+use benchapps::hpgmg::HpgmgConfig;
+use benchkit::prelude::*;
+
+fn main() {
+    let rank_counts = [2u32, 4, 8, 16, 32];
+    let systems = ["archer2", "csd3"];
+
+    let mut plot = postproc::SeriesPlot::new(
+        "HPGMG-FV strong scaling (finest level)",
+        "MPI ranks",
+        "MDOF/s",
+    );
+
+    for system in systems {
+        let mut h = Harness::new(RunOptions::on_system(system));
+        let mut points = Vec::new();
+        for &ranks in &rank_counts {
+            // Fixed global problem, spread over more ranks: the per-rank
+            // box count halves as ranks double (strong scaling).
+            let boxes_per_rank = (64 / ranks).max(1);
+            let cfg = HpgmgConfig {
+                log2_box_dim: 6,
+                boxes_per_rank,
+                ranks,
+                tasks_per_node: 2,
+                cpus_per_task: 8,
+            };
+            let mut case = cases::hpgmg();
+            case.app = App::Hpgmg(cfg);
+            case.num_tasks = ranks;
+            match h.run_case(&case) {
+                Ok(report) => {
+                    let l0 = report.record.fom("l0").expect("l0 FOM").value / 1e6;
+                    points.push((ranks as f64, l0));
+                }
+                Err(e) => println!("  {system} @ {ranks} ranks: {e}"),
+            }
+        }
+        plot.add_series(system, points);
+    }
+
+    print!("{}", plot.render_text());
+
+    println!("\nParallel efficiency relative to the smallest run:");
+    for system in systems {
+        if let Some(eff) = plot.parallel_efficiency(system) {
+            let cells: Vec<String> =
+                eff.iter().map(|(x, e)| format!("{x:.0}r:{:.0}%", e * 100.0)).collect();
+            println!("  {system:<8} {}", cells.join("  "));
+        }
+    }
+    println!("\n(sub-linear scaling at high rank counts: halo surface and the");
+    println!(" latency-bound coarse-grid chain grow relative to per-rank work)");
+
+    std::fs::create_dir_all("target").expect("target dir");
+    std::fs::write("target/scaling_study.svg", plot.render_svg()).expect("write SVG");
+    println!("\nwrote target/scaling_study.svg");
+}

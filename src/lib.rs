@@ -1,0 +1,15 @@
+//! `benchkit-repro` — root crate of the reproduction of *Principles for
+//! Automated and Reproducible Benchmarking* (Koskela et al., SC-W 2023).
+//!
+//! Everything lives in the workspace crates; this root package re-exports
+//! the umbrella [`benchkit`] crate and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+pub use benchkit;
+pub use benchkit::prelude;

@@ -1,0 +1,97 @@
+//! Energy telemetry analyses — the kind of question the paper's §4
+//! extension exists to answer: not just "which platform is fastest?" but
+//! "which platform spends the least energy per unit of science?".
+
+use benchkit::prelude::*;
+
+fn babel_run(system: &str, model: parkern::Model, elements: usize) -> harness::CaseReport {
+    let mut h = Harness::new(RunOptions::on_system(system));
+    h.run_case(&cases::babelstream(model, elements))
+        .unwrap_or_else(|e| panic!("{system}/{}: {e}", model.name()))
+}
+
+#[test]
+fn gpu_streaming_is_more_energy_efficient_than_cpu() {
+    // Same logical work (triad over 2^27 elements); compare joules per
+    // byte moved. The V100's 900 GB/s at 250 W beats any dual-socket CPU
+    // at ~300-560 W — the expected (and real-world) outcome.
+    let elements = 1usize << 27;
+    let bytes_per_rep = 3.0 * elements as f64 * 8.0;
+    let j_per_gb = |report: &harness::CaseReport| {
+        // 100 reps of 5 kernels; approximate total traffic by 5 triads.
+        let total_bytes = bytes_per_rep * 100.0 * 5.0;
+        report.telemetry.energy_j / (total_bytes / 1e9)
+    };
+    let gpu = babel_run("isambard-macs:volta", parkern::Model::Cuda, elements);
+    let cpu = babel_run("csd3", parkern::Model::Omp, elements);
+    let (gpu_eff, cpu_eff) = (j_per_gb(&gpu), j_per_gb(&cpu));
+    assert!(
+        gpu_eff < cpu_eff,
+        "V100 should win on energy per byte: {gpu_eff:.3} vs {cpu_eff:.3} J/GB"
+    );
+    // Both in a physically plausible band (well under 10 J/GB for DRAM
+    // streaming at node scale).
+    assert!(gpu_eff > 0.0 && cpu_eff < 10.0);
+}
+
+#[test]
+fn energy_scales_with_problem_size() {
+    let small = babel_run("archer2", parkern::Model::Omp, 1 << 26);
+    let large = babel_run("archer2", parkern::Model::Omp, 1 << 28);
+    // 4x the data, same bandwidth: ~4x the energy.
+    let ratio = large.telemetry.energy_j / small.telemetry.energy_j;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "energy should scale with data volume: ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn slower_platform_spends_more_energy_for_the_same_solve() {
+    let run = |system: &str| {
+        let mut h = Harness::new(RunOptions::on_system(system));
+        h.run_case(&cases::hpgmg()).expect("hpgmg runs").telemetry.energy_j
+    };
+    // Identical HPGMG configuration; Isambard-MACS takes ~4x longer than
+    // CSD3 (Table 4), so it burns substantially more energy even at a
+    // lower TDP per node.
+    let csd3 = run("csd3");
+    let isambard = run("isambard-macs:cascadelake");
+    assert!(
+        isambard > 1.5 * csd3,
+        "slow platform should cost more energy: {isambard:.0} vs {csd3:.0} J"
+    );
+}
+
+#[test]
+fn telemetry_lands_in_the_perflog_for_postprocessing() {
+    // Energy is a first-class perflog field, so the P6 pipeline can
+    // analyse it like any FOM.
+    let mut h = Harness::new(RunOptions::on_system("cosma8"));
+    h.run_case(&cases::hpgmg()).expect("runs");
+    let jsonl = h.perflog("cosma8", "hpgmg").expect("perflog").to_jsonl();
+    let log = perflogs::Perflog::from_jsonl(&jsonl).expect("parses");
+    let record = &log.records()[0];
+    let energy: f64 = record
+        .extras
+        .iter()
+        .find(|(k, _)| k == "energy_j")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("energy_j recorded");
+    let power: f64 = record
+        .extras
+        .iter()
+        .find(|(k, _)| k == "avg_power_w")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("avg_power_w recorded");
+    assert!(energy > 0.0);
+    // Dual-socket Rome: between the 30% idle floor and full TDP.
+    assert!((150.0..=600.0).contains(&power), "power {power} W out of band");
+    let network: u64 = record
+        .extras
+        .iter()
+        .find(|(k, _)| k == "network_bytes")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("network_bytes recorded");
+    assert!(network > 0, "HPGMG is a multi-node job: halo traffic expected");
+}

@@ -1,0 +1,193 @@
+//! The reproduction gate: every table and figure of the paper, asserted.
+//!
+//! Absolute numbers come from a simulator calibrated against the paper's
+//! own measurements (see DESIGN.md), so these tests check both the
+//! qualitative *shape* claims (who wins, by what factor, where crossovers
+//! fall) and a ±25% band on the headline values.
+
+use dframe::Cell;
+
+fn close(got: f64, want: f64, frac: f64) -> bool {
+    (got - want).abs() <= frac * want.abs()
+}
+
+#[test]
+fn table1_peak_bandwidths() {
+    let t = bench::table1();
+    assert_eq!(t.n_rows(), 4);
+    let by_vendor = |vendor: &str| -> f64 {
+        t.filter_eq("Vendor", &Cell::from(vendor))
+            .expect("vendor column")
+            .column("Peak BW (GB/s)")
+            .expect("bw column")
+            .get(0)
+            .as_float()
+            .expect("numeric")
+    };
+    assert!(close(by_vendor("Intel"), 282.0, 0.01));
+    assert!(close(by_vendor("Marvell"), 288.0, 0.01));
+    assert!(close(by_vendor("AMD"), 409.6, 0.01));
+    assert!(close(by_vendor("NVIDIA"), 900.0, 0.01));
+}
+
+#[test]
+fn figure2_shape() {
+    let (map, cells) = bench::figure2();
+
+    // 1. CUDA and OpenCL on the V100 sit close to theoretical peak.
+    assert!(map.get("cuda", "v100").expect("cuda/v100 available") > 0.85);
+    assert!(map.get("ocl", "v100").expect("ocl/v100 available") > 0.85);
+
+    // 2. OpenMP works on every CPU; GCC utilisation better on x86 than ARM.
+    let omp_cl = map.get("omp", "cascadelake").expect("omp/cl");
+    let omp_tx2 = map.get("omp", "thunderx2").expect("omp/tx2");
+    let omp_milan = map.get("omp", "milan").expect("omp/milan");
+    assert!(omp_cl > omp_tx2, "paper: better utilisation on Intel than ThunderX2");
+    assert!(omp_milan > omp_tx2, "paper: better utilisation on AMD than ThunderX2");
+    assert!(omp_cl > 0.6 && omp_milan > 0.6);
+
+    // 3. std-ranges is single-threaded: far below std-data/std-indices.
+    for platform in ["cascadelake", "thunderx2", "milan"] {
+        let ranges = map.get("std-ranges", platform).expect("std-ranges runs");
+        let data = map.get("std-data", platform).expect("std-data runs");
+        assert!(data > 5.0 * ranges, "{platform}: std-data {data} vs std-ranges {ranges}");
+    }
+
+    // 4. The unavailable combinations: CUDA/OpenCL starred on all CPUs,
+    //    TBB starred on ThunderX2, CPU models starred on the GPU.
+    for cpu in ["cascadelake", "thunderx2", "milan"] {
+        assert!(map.get("cuda", cpu).is_none(), "cuda must be starred on {cpu}");
+        assert!(map.get("ocl", cpu).is_none(), "ocl must be starred on {cpu}");
+    }
+    assert!(map.get("tbb", "thunderx2").is_none(), "the paper's TBB-on-Thunder star");
+    assert!(map.get("omp", "v100").is_none());
+
+    // 5. Abstraction ordering: direct OpenMP ≥ Kokkos on every CPU.
+    for platform in ["cascadelake", "thunderx2", "milan"] {
+        let omp = map.get("omp", platform).expect("omp");
+        let kokkos = map.get("kokkos", platform).expect("kokkos");
+        assert!(omp >= kokkos, "{platform}: omp {omp} < kokkos {kokkos}");
+    }
+
+    // 6. TBB-backed models lose more on AMD than Intel (the paderborn-milan
+    //    vs isambard-macs TBB disparity in §3.1).
+    let tbb_intel = map.get("tbb", "cascadelake").expect("tbb/cl");
+    let tbb_amd = map.get("tbb", "milan").expect("tbb/milan");
+    assert!(tbb_intel > tbb_amd);
+
+    // 7. No cell exceeds 1.0: the 2^29 Milan size defeats its 512 MB L3.
+    for cell in &cells {
+        if let Some(eff) = cell.efficiency {
+            assert!(eff < 1.0, "{}/{} efficiency {eff} above peak", cell.model, cell.platform);
+        }
+    }
+}
+
+#[test]
+fn table2_values_and_eq1_ratios() {
+    let t = bench::table2();
+    let get = |variant: &str, col: &str| -> Option<f64> {
+        t.filter_eq("HPCG Variant", &Cell::from(variant))
+            .expect("variant")
+            .column(col)
+            .expect("column")
+            .get(0)
+            .as_float()
+    };
+    // Paper's Table 2, ±25%.
+    assert!(close(get("Original (CSR)", "Intel Cascade Lake").expect("csr cl"), 24.0, 0.25));
+    assert!(close(get("Intel-avx2 (CSR)", "Intel Cascade Lake").expect("avx2 cl"), 39.0, 0.25));
+    assert!(close(get("Matrix-free", "Intel Cascade Lake").expect("mf cl"), 51.0, 0.25));
+    assert!(close(get("LFRic", "Intel Cascade Lake").expect("lfric cl"), 18.5, 0.25));
+    assert!(close(get("Original (CSR)", "AMD Rome").expect("csr rome"), 39.2, 0.25));
+    assert!(close(get("Matrix-free", "AMD Rome").expect("mf rome"), 124.2, 0.25));
+    assert!(close(get("LFRic", "AMD Rome").expect("lfric rome"), 56.0, 0.25));
+    // N/A cell: the Intel binary on AMD.
+    assert!(get("Intel-avx2 (CSR)", "AMD Rome").is_none());
+
+    // Eq. 1: E_A > E_I, and E_A(AMD) > E_A(Intel), near the paper's values.
+    let (e_i, e_a_cl, e_a_rome) = bench::eq1_ratios(&t);
+    assert!(close(e_i, 1.625, 0.15), "E_I = {e_i}");
+    assert!(close(e_a_cl, 2.125, 0.15), "E_A(CL) = {e_a_cl}");
+    assert!(close(e_a_rome, 3.168, 0.15), "E_A(Rome) = {e_a_rome}");
+    assert!(e_a_cl > e_i, "algorithmic beats implementation optimization");
+    assert!(e_a_rome > e_a_cl, "algorithmic gain larger on AMD");
+}
+
+#[test]
+fn table3_concretizations_exact() {
+    let t = bench::table3();
+    let row = |sys: &str, col: &str| -> String {
+        t.filter_eq("System", &Cell::from(sys))
+            .expect("system")
+            .column(col)
+            .expect("column")
+            .get(0)
+            .to_string()
+    };
+    // The paper's Table 3, exactly.
+    assert_eq!(row("archer2", "gcc"), "11.2.0");
+    assert_eq!(row("archer2", "Python"), "3.10.12");
+    assert_eq!(row("archer2", "MPI library"), "cray-mpich 8.1.23");
+    assert_eq!(row("cosma8", "gcc"), "11.1.0");
+    assert_eq!(row("cosma8", "Python"), "2.7.15");
+    assert_eq!(row("cosma8", "MPI library"), "mvapich 2.3.6");
+    assert_eq!(row("csd3", "gcc"), "11.2.0");
+    assert_eq!(row("csd3", "Python"), "3.8.2");
+    assert_eq!(row("csd3", "MPI library"), "openmpi 4.0.4");
+    assert_eq!(row("isambard-macs", "gcc"), "9.2.0");
+    assert_eq!(row("isambard-macs", "Python"), "3.7.5");
+    assert_eq!(row("isambard-macs", "MPI library"), "openmpi 4.0.3");
+}
+
+#[test]
+fn table4_shape_and_bands() {
+    let t = bench::table4();
+    let get = |system: &str, level: &str| -> f64 {
+        t.filter_eq("System", &Cell::from(system))
+            .expect("system")
+            .column(level)
+            .expect("level")
+            .get(0)
+            .as_float()
+            .expect("numeric")
+    };
+    // Headline values within ±25% of the paper (MDOF/s).
+    assert!(close(get("ARCHER2 (Rome)", "l0"), 95.36, 0.25));
+    assert!(close(get("COSMA8 (Rome)", "l0"), 81.67, 0.25));
+    assert!(close(get("CSD3 (Cascade Lake)", "l0"), 126.10, 0.25));
+    assert!(close(get("Isambard (Cascade Lake)", "l0"), 30.59, 0.25));
+
+    // Shape claims: CSD3 fastest, Isambard slowest, ~4x platform gap
+    // between the two Cascade Lake systems.
+    let l0s = ["ARCHER2 (Rome)", "COSMA8 (Rome)", "CSD3 (Cascade Lake)", "Isambard (Cascade Lake)"]
+        .map(|s| get(s, "l0"));
+    assert!(l0s[2] > l0s[0] && l0s[0] > l0s[1] && l0s[1] > l0s[3]);
+    assert!(l0s[2] / l0s[3] > 3.0, "platform gap {:.1}x", l0s[2] / l0s[3]);
+
+    // Levels decrease for CSD3 and ARCHER2; COSMA8 shows the l2 >= l1
+    // inversion the paper reports.
+    for sys in ["CSD3 (Cascade Lake)", "ARCHER2 (Rome)"] {
+        assert!(get(sys, "l0") > get(sys, "l1"));
+        assert!(get(sys, "l1") > get(sys, "l2"));
+    }
+    assert!(get("COSMA8 (Rome)", "l2") > get("COSMA8 (Rome)", "l1") * 0.95);
+}
+
+#[test]
+fn table5_processor_roster() {
+    let t = bench::table5();
+    assert_eq!(t.n_rows(), 7);
+    let text = t.to_string();
+    for needle in [
+        "ThunderX2 @ 2.5 GHz",
+        "Xeon Gold 6230",
+        "V100",
+        "EPYC 7H12",
+        "EPYC 7742 (Rome) @ 2.25 GHz",
+        "Xeon Platinum 8276",
+        "EPYC 7763 (Milan) @ 2.45 GHz",
+    ] {
+        assert!(text.contains(needle), "Table 5 missing `{needle}`:\n{text}");
+    }
+}
