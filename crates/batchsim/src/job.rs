@@ -29,7 +29,12 @@ pub struct JobRequest {
 }
 
 impl JobRequest {
-    pub fn new(name: &str, num_tasks: u32, num_tasks_per_node: u32, num_cpus_per_task: u32) -> JobRequest {
+    pub fn new(
+        name: &str,
+        num_tasks: u32,
+        num_tasks_per_node: u32,
+        num_cpus_per_task: u32,
+    ) -> JobRequest {
         JobRequest {
             name: name.to_string(),
             account: "default".to_string(),
@@ -85,9 +90,15 @@ impl JobRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayoutError {
     ZeroResource,
-    NodeTooSmall { requested: u32, available: u32 },
+    NodeTooSmall {
+        requested: u32,
+        available: u32,
+    },
     /// More nodes requested than the partition has.
-    PartitionTooSmall { requested: u32, available: u32 },
+    PartitionTooSmall {
+        requested: u32,
+        available: u32,
+    },
     /// Unknown account or QoS.
     BadAccounting(String),
 }
@@ -96,11 +107,23 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::ZeroResource => write!(f, "job requests zero tasks/cpus"),
-            LayoutError::NodeTooSmall { requested, available } => {
-                write!(f, "job needs {requested} cores per node but nodes have {available}")
+            LayoutError::NodeTooSmall {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "job needs {requested} cores per node but nodes have {available}"
+                )
             }
-            LayoutError::PartitionTooSmall { requested, available } => {
-                write!(f, "job needs {requested} nodes but the partition has {available}")
+            LayoutError::PartitionTooSmall {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "job needs {requested} nodes but the partition has {available}"
+                )
             }
             LayoutError::BadAccounting(msg) => write!(f, "accounting error: {msg}"),
         }
@@ -152,7 +175,10 @@ mod tests {
         assert_eq!(req.nodes_needed(), 4);
         assert_eq!(req.cores_per_node(), 16);
         assert!(req.validate(128).is_ok());
-        assert!(matches!(req.validate(8), Err(LayoutError::NodeTooSmall { .. })));
+        assert!(matches!(
+            req.validate(8),
+            Err(LayoutError::NodeTooSmall { .. })
+        ));
     }
 
     #[test]

@@ -44,8 +44,7 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..20 {
             let tasks = 1 + (i % 4) as u32;
-            let req = JobRequest::new(&format!("job{i}"), tasks, 1, 16)
-                .with_time_limit(120.0);
+            let req = JobRequest::new(&format!("job{i}"), tasks, 1, 16).with_time_limit(120.0);
             ids.push(s.submit(req, 10.0 + i as f64).unwrap());
         }
         s.run_to_completion();

@@ -209,12 +209,17 @@ impl Scheduler {
             self.now = end;
             let mut job = self.running.remove(idx);
             let limit_hit = job.run_time_s > job.request.time_limit_s;
-            job.state = if limit_hit { JobState::TimedOut } else { JobState::Completed };
+            job.state = if limit_hit {
+                JobState::TimedOut
+            } else {
+                JobState::Completed
+            };
             self.free_nodes.extend(job.allocated_nodes.iter().copied());
             self.free_nodes.sort_unstable();
             let elapsed = job.end_time.expect("set at start") - job.start_time.expect("set");
             let cores = job.request.nodes_needed() as f64 * job.request.cores_per_node() as f64;
-            self.accounting.charge(&job.request.account, elapsed * cores);
+            self.accounting
+                .charge(&job.request.account, elapsed * cores);
             self.finished.push(job);
             self.schedule_pass();
         }
@@ -239,7 +244,9 @@ impl Scheduler {
                 // Start the head if possible; otherwise compute its reserved
                 // start time and backfill jobs that end before it.
                 loop {
-                    let Some(head) = self.pending.first() else { return };
+                    let Some(head) = self.pending.first() else {
+                        return;
+                    };
                     if head.request.nodes_needed() <= self.free_node_count()
                         && self.dependency_satisfied(head.id)
                     {
@@ -249,7 +256,9 @@ impl Scheduler {
                     }
                     break;
                 }
-                let Some(head) = self.pending.first() else { return };
+                let Some(head) = self.pending.first() else {
+                    return;
+                };
                 let reserve_at = self.earliest_start_for(head.request.nodes_needed());
                 let mut i = 1;
                 while i < self.pending.len() {
@@ -405,7 +414,10 @@ mod tests {
         s.run_to_completion();
         let cj = s.job(c).unwrap();
         let bj = s.job(b).unwrap();
-        assert!(cj.start_time.unwrap() < bj.start_time.unwrap(), "c should backfill");
+        assert!(
+            cj.start_time.unwrap() < bj.start_time.unwrap(),
+            "c should backfill"
+        );
         // But c cannot delay b: b starts when a actually ends.
         assert!((bj.start_time.unwrap() - 100.0).abs() < 1e-9);
     }
@@ -452,8 +464,13 @@ mod tests {
     fn accounting_charges_core_seconds() {
         let mut s = Scheduler::new(Policy::Fifo, 4, 16)
             .with_accounting(Accounting::restrict_to(&["ec176"]));
-        assert!(s.submit(req("x", 1, 100.0), 10.0).is_err(), "default account rejected");
-        let r = JobRequest::new("y", 2, 1, 4).with_account("ec176").with_time_limit(100.0);
+        assert!(
+            s.submit(req("x", 1, 100.0), 10.0).is_err(),
+            "default account rejected"
+        );
+        let r = JobRequest::new("y", 2, 1, 4)
+            .with_account("ec176")
+            .with_time_limit(100.0);
         s.submit(r, 10.0).unwrap();
         s.run_to_completion();
         // 2 nodes x 4 cores x 10 s = 80 core-seconds.
@@ -475,7 +492,8 @@ mod tests {
     fn utilization_bounded() {
         let mut s = Scheduler::new(Policy::Backfill, 4, 16);
         for i in 0..10 {
-            s.submit(req(&format!("j{i}"), (i % 3) + 1, 100.0), 10.0 + i as f64).unwrap();
+            s.submit(req(&format!("j{i}"), (i % 3) + 1, 100.0), 10.0 + i as f64)
+                .unwrap();
         }
         s.run_to_completion();
         let u = s.utilization();
@@ -533,17 +551,18 @@ mod tests {
         for id in [build, run, free] {
             assert_eq!(s.job(id).unwrap().state, JobState::Completed);
         }
-        assert!(
-            s.job(run).unwrap().start_time.unwrap()
-                >= s.job(build).unwrap().end_time.unwrap()
-        );
+        assert!(s.job(run).unwrap().start_time.unwrap() >= s.job(build).unwrap().end_time.unwrap());
     }
 
     #[test]
     fn timestamps_monotonic() {
         let mut s = Scheduler::new(Policy::Backfill, 2, 16);
         for i in 0..8 {
-            s.submit(req(&format!("j{i}"), 1 + (i % 2), 50.0), 5.0 * (i + 1) as f64).unwrap();
+            s.submit(
+                req(&format!("j{i}"), 1 + (i % 2), 50.0),
+                5.0 * (i + 1) as f64,
+            )
+            .unwrap();
         }
         s.run_to_completion();
         for j in s.finished_jobs() {

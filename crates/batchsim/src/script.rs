@@ -18,9 +18,18 @@ pub fn render_script(kind: SchedulerKind, request: &JobRequest, command: &str) -
             s.push_str(&format!("#SBATCH --account={}\n", request.account));
             s.push_str(&format!("#SBATCH --qos={}\n", request.qos));
             s.push_str(&format!("#SBATCH --ntasks={}\n", request.num_tasks));
-            s.push_str(&format!("#SBATCH --ntasks-per-node={}\n", request.num_tasks_per_node));
-            s.push_str(&format!("#SBATCH --cpus-per-task={}\n", request.num_cpus_per_task));
-            s.push_str(&format!("#SBATCH --time={}\n", format_walltime(request.time_limit_s)));
+            s.push_str(&format!(
+                "#SBATCH --ntasks-per-node={}\n",
+                request.num_tasks_per_node
+            ));
+            s.push_str(&format!(
+                "#SBATCH --cpus-per-task={}\n",
+                request.num_cpus_per_task
+            ));
+            s.push_str(&format!(
+                "#SBATCH --time={}\n",
+                format_walltime(request.time_limit_s)
+            ));
             s.push_str("\nexport OMP_NUM_THREADS=$SLURM_CPUS_PER_TASK\n");
             s.push_str(&format!("srun {command}\n"));
             s
@@ -36,7 +45,10 @@ pub fn render_script(kind: SchedulerKind, request: &JobRequest, command: &str) -
                 request.cores_per_node(),
                 request.num_tasks_per_node
             ));
-            s.push_str(&format!("#PBS -l walltime={}\n", format_walltime(request.time_limit_s)));
+            s.push_str(&format!(
+                "#PBS -l walltime={}\n",
+                format_walltime(request.time_limit_s)
+            ));
             s.push_str(&format!(
                 "\nexport OMP_NUM_THREADS={}\n",
                 request.num_cpus_per_task
@@ -55,7 +67,12 @@ pub fn render_script(kind: SchedulerKind, request: &JobRequest, command: &str) -
 
 fn format_walltime(seconds: f64) -> String {
     let total = seconds.max(0.0).round() as u64;
-    format!("{:02}:{:02}:{:02}", total / 3600, (total % 3600) / 60, total % 60)
+    format!(
+        "{:02}:{:02}:{:02}",
+        total / 3600,
+        (total % 3600) / 60,
+        total % 60
+    )
 }
 
 #[cfg(test)]
@@ -63,7 +80,10 @@ mod tests {
     use super::*;
 
     fn request() -> JobRequest {
-        JobRequest::new("hpgmg", 8, 2, 8).with_account("ec176").with_qos("standard").with_time_limit(1800.0)
+        JobRequest::new("hpgmg", 8, 2, 8)
+            .with_account("ec176")
+            .with_qos("standard")
+            .with_time_limit(1800.0)
     }
 
     #[test]

@@ -11,7 +11,10 @@ use harness::{cases, Harness, RunOptions};
 use parkern::Model;
 use std::time::Duration;
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
     g.measurement_time(Duration::from_millis(1500));
@@ -24,14 +27,18 @@ fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, 
 fn ablation_rebuild_every_run(c: &mut Criterion) {
     let mut g = quick(c, "ablation_p3");
     for (label, rebuild) in [("rebuild_on", true), ("rebuild_off", false)] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &rebuild, |b, &rebuild| {
-            let mut opts = RunOptions::on_system("csd3");
-            opts.rebuild_every_run = rebuild;
-            let mut h = Harness::new(opts);
-            let case = cases::babelstream(Model::Omp, 1 << 20);
-            h.run_case(&case).expect("prime the store");
-            b.iter(|| h.run_case(&case).expect("pipeline runs"));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &rebuild,
+            |b, &rebuild| {
+                let mut opts = RunOptions::on_system("csd3");
+                opts.rebuild_every_run = rebuild;
+                let mut h = Harness::new(opts);
+                let case = cases::babelstream(Model::Omp, 1 << 20);
+                h.run_case(&case).expect("prime the store");
+                b.iter(|| h.run_case(&case).expect("pipeline runs"));
+            },
+        );
     }
     g.finish();
 }
@@ -119,8 +126,9 @@ fn ablation_assimilation(c: &mut Criterion) {
         log.to_jsonl()
     };
     for n_systems in [2usize, 8] {
-        let logs: Vec<String> =
-            (0..n_systems).map(|i| log_for(&format!("sys{i}"), 50)).collect();
+        let logs: Vec<String> = (0..n_systems)
+            .map(|i| log_for(&format!("sys{i}"), 50))
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(n_systems), &logs, |b, logs| {
             b.iter(|| postproc::assimilate(logs).expect("assimilates"));
         });

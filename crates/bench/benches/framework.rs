@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dframe::{Cell, DataFrame};
 use std::time::Duration;
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
     g.measurement_time(Duration::from_millis(1000));
@@ -18,14 +21,26 @@ fn bench_regex_fom_extraction(c: &mut Criterion) {
     let mut g = quick(c, "rexpr");
     // A realistic BabelStream output block.
     let mut output = String::from("BabelStream\nVersion 5.0\n");
-    for (k, v) in [("Copy", 201_000.0), ("Mul", 198_000.0), ("Add", 212_000.0), ("Triad", 214_500.5), ("Dot", 188_000.0)] {
-        output.push_str(&format!("{k:<12}{v:<14.3}0.00132     0.00140     0.00135\n"));
+    for (k, v) in [
+        ("Copy", 201_000.0),
+        ("Mul", 198_000.0),
+        ("Add", 212_000.0),
+        ("Triad", 214_500.5),
+        ("Dot", 188_000.0),
+    ] {
+        output.push_str(&format!(
+            "{k:<12}{v:<14.3}0.00132     0.00140     0.00135\n"
+        ));
     }
     let re = rexpr::Regex::new(r"Triad\s+([\d.]+)").expect("valid pattern");
     g.bench_function("fom_extraction", |b| {
         b.iter(|| {
             let caps = re.captures(&output).expect("matches");
-            caps.get(1).expect("capture").as_str().parse::<f64>().expect("numeric")
+            caps.get(1)
+                .expect("capture")
+                .as_str()
+                .parse::<f64>()
+                .expect("numeric")
         });
     });
     g.bench_function("compile_pattern", |b| {
@@ -59,7 +74,11 @@ fn sample_perflog(n: usize) -> String {
         log.append(perflogs::PerflogRecord {
             sequence: i as u64,
             benchmark: "babelstream_omp".into(),
-            system: if i % 2 == 0 { "archer2".into() } else { "csd3".into() },
+            system: if i % 2 == 0 {
+                "archer2".into()
+            } else {
+                "csd3".into()
+            },
             partition: "p".into(),
             environ: "gcc@11.2.0".into(),
             spec: "babelstream@5.0%gcc@11.2.0 +omp".into(),
@@ -104,7 +123,11 @@ fn bench_dataframe(c: &mut Criterion) {
         .expect("schema");
     }
     g.bench_function("groupby_mean_5k", |b| {
-        b.iter(|| df.group_by(&["system", "fom"]).mean("value").expect("aggregates"));
+        b.iter(|| {
+            df.group_by(&["system", "fom"])
+                .mean("value")
+                .expect("aggregates")
+        });
     });
     g.bench_function("filter_sort_5k", |b| {
         b.iter(|| {

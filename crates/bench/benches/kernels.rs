@@ -10,7 +10,10 @@ use parkern::PoolBackend;
 const N: usize = 1 << 20;
 
 fn backends() -> Vec<(&'static str, Box<dyn Backend>)> {
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     vec![
         ("serial", Box::new(SerialBackend) as Box<dyn Backend>),
         ("threads", Box::new(ThreadsBackend::new(threads))),
@@ -29,9 +32,13 @@ fn bench_triad(c: &mut Criterion) {
     let c_arr = vec![1.5f64; N];
     for (name, backend) in backends() {
         let mut a = vec![0.0f64; N];
-        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |bench, backend| {
-            bench.iter(|| kernels::triad(backend.as_ref(), 0.4, &b_arr, &c_arr, &mut a));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &backend,
+            |bench, backend| {
+                bench.iter(|| kernels::triad(backend.as_ref(), 0.4, &b_arr, &c_arr, &mut a));
+            },
+        );
     }
     group.finish();
 }
@@ -45,9 +52,13 @@ fn bench_dot(c: &mut Criterion) {
     let a: Vec<f64> = (0..N).map(|i| (i as f64).sin()).collect();
     let b: Vec<f64> = (0..N).map(|i| (i as f64).cos()).collect();
     for (name, backend) in backends() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &backend, |bench, backend| {
-            bench.iter(|| kernels::dot(backend.as_ref(), &a, &b));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &backend,
+            |bench, backend| {
+                bench.iter(|| kernels::dot(backend.as_ref(), &a, &b));
+            },
+        );
     }
     group.finish();
 }
@@ -75,5 +86,67 @@ fn bench_spmv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_triad, bench_dot, bench_spmv);
+fn bench_symgs(c: &mut Criterion) {
+    // Serial lexicographic sweep vs the 8-color parallel sweep, across
+    // backends and worker counts, on the HPCG 64³ local problem. On a
+    // multicore host the colored sweep should beat the serial one well
+    // before 4 workers; at 1 worker it must not regress (the operators
+    // dispatch back to the lexicographic sweep there).
+    let mut group = c.benchmark_group("symgs_64cubed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let problem = benchapps::hpcg::Problem::cube(64);
+    let n = problem.n();
+    group.throughput(Throughput::Elements(n as u64));
+    let r = problem.rhs.clone();
+    let mut z = vec![0.0; n];
+
+    let mf = benchapps::hpcg::MatrixFreeOperator::new(&problem);
+    group.bench_function("matfree/lex_serial", |bench| {
+        bench.iter(|| {
+            z.fill(0.0);
+            mf.symgs_lex(&r, &mut z);
+        });
+    });
+    let csr = benchapps::hpcg::CsrOperator::poisson27(&problem);
+    group.bench_function("csr/lex_serial", |bench| {
+        bench.iter(|| {
+            z.fill(0.0);
+            csr.symgs_lex(&r, &mut z);
+        });
+    });
+
+    for workers in [1usize, 2, 4] {
+        let backends: Vec<(&str, Box<dyn Backend>)> = vec![
+            ("threads", Box::new(ThreadsBackend::new(workers))),
+            ("pool", Box::new(PoolBackend::new(workers))),
+        ];
+        for (label, backend) in backends {
+            let op = benchapps::hpcg::MatrixFreeOperator::with_backend(&problem, backend);
+            group.bench_function(
+                BenchmarkId::new(format!("matfree/colored_{label}"), workers),
+                |bench| {
+                    bench.iter(|| {
+                        z.fill(0.0);
+                        op.symgs_colored(&r, &mut z);
+                    });
+                },
+            );
+        }
+        let op = benchapps::hpcg::CsrOperator::poisson27_with_backend(
+            &problem,
+            Box::new(PoolBackend::new(workers)),
+        );
+        group.bench_function(BenchmarkId::new("csr/colored_pool", workers), |bench| {
+            bench.iter(|| {
+                z.fill(0.0);
+                op.symgs_colored(&r, &mut z);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triad, bench_dot, bench_spmv, bench_symgs);
 criterion_main!(benches);

@@ -13,7 +13,10 @@ fn main() {
     );
     let svg = map.render_svg();
     let path = std::path::Path::new("target").join("figure2.svg");
-    if std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, svg)).is_ok() {
+    if std::fs::create_dir_all("target")
+        .and_then(|_| std::fs::write(&path, svg))
+        .is_ok()
+    {
         println!("SVG written to {}", path.display());
     }
 }

@@ -17,8 +17,12 @@ pub const SEED: u64 = 2023;
 /// Table 1: processors used for the BabelStream benchmarks.
 pub fn table1() -> DataFrame {
     let mut df = DataFrame::new(vec!["Vendor", "Processor", "Cores/CUs", "Peak BW (GB/s)"]);
-    for spec in ["isambard-macs:cascadelake", "isambard:xci", "noctua2:milan", "isambard-macs:volta"]
-    {
+    for spec in [
+        "isambard-macs:cascadelake",
+        "isambard:xci",
+        "noctua2:milan",
+        "isambard-macs:volta",
+    ] {
         let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog spec");
         let p = sys.partition(&part).expect("partition").processor().clone();
         let cores = if p.sockets() > 1 {
@@ -68,12 +72,19 @@ pub fn figure2() -> (Heatmap, Vec<Figure2Cell>) {
     let mut map = Heatmap::new(
         "Figure 2: BabelStream Triad fraction of theoretical peak",
         models.iter().map(|m| m.name().to_string()).collect(),
-        FIGURE2_PLATFORMS.iter().map(|(_, label, _)| label.to_string()).collect(),
+        FIGURE2_PLATFORMS
+            .iter()
+            .map(|(_, label, _)| label.to_string())
+            .collect(),
     );
     for (spec, label, exp) in FIGURE2_PLATFORMS {
         let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog spec");
-        let peak_mbs =
-            sys.partition(&part).expect("partition").processor().peak_mem_bw_gbs() * 1000.0;
+        let peak_mbs = sys
+            .partition(&part)
+            .expect("partition")
+            .processor()
+            .peak_mem_bw_gbs()
+            * 1000.0;
         let mut harness = Harness::new(RunOptions::on_system(spec).with_seed(SEED));
         for model in &models {
             let case = cases::babelstream(*model, 1usize << exp);
@@ -176,7 +187,11 @@ pub fn table3() -> DataFrame {
             .as_ref()
             .map(|(_, v)| v.to_string())
             .unwrap_or_default();
-        let python = concrete.node("python").expect("python dep").version.to_string();
+        let python = concrete
+            .node("python")
+            .expect("python dep")
+            .version
+            .to_string();
         let mpi = concrete.provider_of("mpi").expect("mpi provider");
         df.push_row(vec![
             Cell::from(sys.name()),
@@ -194,7 +209,9 @@ pub fn table4() -> DataFrame {
     let mut df = DataFrame::new(vec!["System", "l0", "l1", "l2"]);
     for (spec_name, label) in TABLE34_SYSTEMS {
         let mut h = Harness::new(RunOptions::on_system(spec_name).with_seed(SEED));
-        let report = h.run_case(&cases::hpgmg()).expect("hpgmg runs on Table 4 systems");
+        let report = h
+            .run_case(&cases::hpgmg())
+            .expect("hpgmg runs on Table 4 systems");
         let mdofs = |fom: &str| report.record.fom(fom).expect("level FOM").value / 1e6;
         df.push_row(vec![
             Cell::from(*label),
@@ -221,7 +238,11 @@ pub fn table5() -> DataFrame {
     ];
     for (sys_name, part_name) in rows {
         let sys = simhpc::catalog::system(sys_name).expect("catalog system");
-        let p = sys.partition(part_name).expect("partition").processor().clone();
+        let p = sys
+            .partition(part_name)
+            .expect("partition")
+            .processor()
+            .clone();
         let cores = if p.is_gpu() {
             "-".to_string()
         } else {
@@ -264,21 +285,31 @@ mod tests {
     #[test]
     fn table3_matches_paper_exactly() {
         let t = table3();
-        let row = |sys: &str| {
-            t.filter_eq("System", &Cell::from(sys)).unwrap()
-        };
+        let row = |sys: &str| t.filter_eq("System", &Cell::from(sys)).unwrap();
         let a = row("archer2");
         assert_eq!(a.column("gcc").unwrap().get(0).as_str(), Some("11.2.0"));
         assert_eq!(a.column("Python").unwrap().get(0).as_str(), Some("3.10.12"));
-        assert_eq!(a.column("MPI library").unwrap().get(0).as_str(), Some("cray-mpich 8.1.23"));
+        assert_eq!(
+            a.column("MPI library").unwrap().get(0).as_str(),
+            Some("cray-mpich 8.1.23")
+        );
         let c = row("cosma8");
         assert_eq!(c.column("Python").unwrap().get(0).as_str(), Some("2.7.15"));
-        assert_eq!(c.column("MPI library").unwrap().get(0).as_str(), Some("mvapich 2.3.6"));
+        assert_eq!(
+            c.column("MPI library").unwrap().get(0).as_str(),
+            Some("mvapich 2.3.6")
+        );
         let d = row("csd3");
-        assert_eq!(d.column("MPI library").unwrap().get(0).as_str(), Some("openmpi 4.0.4"));
+        assert_eq!(
+            d.column("MPI library").unwrap().get(0).as_str(),
+            Some("openmpi 4.0.4")
+        );
         let i = row("isambard-macs");
         assert_eq!(i.column("gcc").unwrap().get(0).as_str(), Some("9.2.0"));
-        assert_eq!(i.column("MPI library").unwrap().get(0).as_str(), Some("openmpi 4.0.3"));
+        assert_eq!(
+            i.column("MPI library").unwrap().get(0).as_str(),
+            Some("openmpi 4.0.3")
+        );
     }
 
     #[test]

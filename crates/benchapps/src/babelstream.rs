@@ -26,7 +26,12 @@ pub struct BabelStreamConfig {
 
 impl Default for BabelStreamConfig {
     fn default() -> BabelStreamConfig {
-        BabelStreamConfig { array_size: 1 << 25, reps: 100, model: Model::Omp, threads: None }
+        BabelStreamConfig {
+            array_size: 1 << 25,
+            reps: 100,
+            model: Model::Omp,
+            threads: None,
+        }
     }
 }
 
@@ -44,26 +49,39 @@ pub struct KernelRates {
 
 impl KernelRates {
     pub fn rate_of(&self, kernel: &str) -> Option<f64> {
-        self.rows.iter().find(|(n, ..)| n == kernel).map(|&(_, r, ..)| r)
+        self.rows
+            .iter()
+            .find(|(n, ..)| n == kernel)
+            .map(|&(_, r, ..)| r)
     }
 }
 
 /// Bytes moved by one invocation of each kernel at size `n`.
 fn kernel_bytes(n: usize) -> [(&'static str, u64); 5] {
     let b = 8 * n as u64;
-    [("Copy", 2 * b), ("Mul", 2 * b), ("Add", 3 * b), ("Triad", 3 * b), ("Dot", 2 * b)]
+    [
+        ("Copy", 2 * b),
+        ("Mul", 2 * b),
+        ("Add", 3 * b),
+        ("Triad", 3 * b),
+        ("Dot", 2 * b),
+    ]
 }
 
 /// Run BabelStream.
 pub fn run(config: &BabelStreamConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
     if config.array_size == 0 || config.reps == 0 {
-        return Err(BenchError::BadConfig("array size and reps must be positive".into()));
+        return Err(BenchError::BadConfig(
+            "array size and reps must be positive".into(),
+        ));
     }
     match mode {
         ExecutionMode::Native => run_native(config),
-        ExecutionMode::Simulated { partition, system, seed } => {
-            run_simulated(config, partition, system, *seed)
-        }
+        ExecutionMode::Simulated {
+            partition,
+            system,
+            seed,
+        } => run_simulated(config, partition, system, *seed),
     }
 }
 
@@ -110,10 +128,14 @@ fn execute_and_validate(
     let err_a = (a[0] - va).abs() / va.abs();
     let err_dot = (dot_sum - va * vb * n as f64).abs() / (va * vb * n as f64).abs();
     if err_a > 1e-8 {
-        return Err(BenchError::ValidationFailed(format!("array a error {err_a:.3e}")));
+        return Err(BenchError::ValidationFailed(format!(
+            "array a error {err_a:.3e}"
+        )));
     }
     if err_dot > 1e-8 {
-        return Err(BenchError::ValidationFailed(format!("dot error {err_dot:.3e}")));
+        return Err(BenchError::ValidationFailed(format!(
+            "dot error {err_dot:.3e}"
+        )));
     }
     Ok(times)
 }
@@ -121,12 +143,20 @@ fn execute_and_validate(
 fn run_native(config: &BabelStreamConfig) -> Result<RunOutput, BenchError> {
     let host = simhpc::catalog::system("native").expect("native system always present");
     let cores = host.default_partition().processor().total_cores();
-    let threads = config.threads.unwrap_or(config.model.threads_on(host.default_partition().processor()).min(cores));
+    let threads = config.threads.unwrap_or(
+        config
+            .model
+            .threads_on(host.default_partition().processor())
+            .min(cores),
+    );
     let start = Instant::now();
     let times = execute_and_validate(config, config.array_size, config.reps, threads as usize)?;
     let rates = rates_from_times(config.array_size, &times);
     let wall = start.elapsed().as_secs_f64();
-    Ok(RunOutput { stdout: render(config, "native", &rates), wall_time_s: wall })
+    Ok(RunOutput {
+        stdout: render(config, "native", &rates),
+        wall_time_s: wall,
+    })
 }
 
 fn run_simulated(
@@ -145,15 +175,21 @@ fn run_simulated(
     }
     // Run the real numerics at a capped size for validation.
     let exec_n = config.array_size.min(SIM_EXECUTION_CAP);
-    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
     execute_and_validate(config, exec_n, 3.min(config.reps), host_threads)?;
 
     // Model the timing at the full requested size.
     let threads = config.threads.unwrap_or(config.model.threads_on(proc));
     let model_eff = config.model.efficiency_on(proc);
     let working_set = 3 * config.array_size as u64 * 8;
-    let mut noise =
-        NoiseModel::for_run(system, &format!("babelstream-{}", config.model.name()), seed);
+    let mut noise = NoiseModel::for_run(
+        system,
+        &format!("babelstream-{}", config.model.name()),
+        seed,
+    );
     let mut times: [Vec<f64>; 5] = Default::default();
     for (slot, (_, bytes)) in times.iter_mut().zip(kernel_bytes(config.array_size)) {
         let cost = KernelCost::new(bytes, bytes / 8).with_working_set(working_set);
@@ -164,7 +200,10 @@ fn run_simulated(
     }
     let rates = rates_from_times(config.array_size, &times);
     let wall: f64 = times.iter().flat_map(|v| v.iter()).sum();
-    Ok(RunOutput { stdout: render(config, system, &rates), wall_time_s: wall })
+    Ok(RunOutput {
+        stdout: render(config, system, &rates),
+        wall_time_s: wall,
+    })
 }
 
 fn rates_from_times(n: usize, times: &[Vec<f64>; 5]) -> KernelRates {
@@ -193,8 +232,16 @@ fn render(config: &BabelStreamConfig, system: &str, rates: &KernelRates) -> Stri
     out.push_str(&format!("Running kernels {} times\n", config.reps));
     out.push_str("Precision: double\n");
     out.push_str(&format!("System: {system}\n"));
-    out.push_str(&format!("Array size: {:.1} MB (={:.1} GB)\n", mb, mb / 1000.0));
-    out.push_str(&format!("Total size: {:.1} MB (={:.1} GB)\n", 3.0 * mb, 3.0 * mb / 1000.0));
+    out.push_str(&format!(
+        "Array size: {:.1} MB (={:.1} GB)\n",
+        mb,
+        mb / 1000.0
+    ));
+    out.push_str(&format!(
+        "Total size: {:.1} MB (={:.1} GB)\n",
+        3.0 * mb,
+        3.0 * mb / 1000.0
+    ));
     out.push_str(&format!(
         "{:<12}{:<14}{:<12}{:<12}{:<12}\n",
         "Function", "MBytes/sec", "Min (sec)", "Max", "Average"
@@ -213,7 +260,12 @@ mod tests {
     use super::*;
 
     fn small(model: Model) -> BabelStreamConfig {
-        BabelStreamConfig { array_size: 1 << 14, reps: 3, model, threads: Some(2) }
+        BabelStreamConfig {
+            array_size: 1 << 14,
+            reps: 3,
+            model,
+            threads: Some(2),
+        }
     }
 
     #[test]
@@ -252,7 +304,12 @@ mod tests {
     #[test]
     fn simulated_std_ranges_much_slower() {
         let mode = ExecutionMode::simulated("noctua2:milan", 42).unwrap();
-        let big = |model| BabelStreamConfig { array_size: 1 << 29, reps: 5, model, threads: None };
+        let big = |model| BabelStreamConfig {
+            array_size: 1 << 29,
+            reps: 5,
+            model,
+            threads: None,
+        };
         let omp = extract_triad(&run(&big(Model::Omp), &mode).unwrap().stdout);
         let ranges = extract_triad(&run(&big(Model::StdRanges), &mode).unwrap().stdout);
         assert!(
@@ -265,18 +322,28 @@ mod tests {
     fn unavailable_combination_rejected() {
         // CUDA on a CPU partition — the white boxes of Figure 2.
         let mode = ExecutionMode::simulated("csd3", 1).unwrap();
-        let cfg = BabelStreamConfig { model: Model::Cuda, ..small(Model::Cuda) };
+        let cfg = BabelStreamConfig {
+            model: Model::Cuda,
+            ..small(Model::Cuda)
+        };
         assert!(matches!(run(&cfg, &mode), Err(BenchError::Unsupported(_))));
         // TBB on ThunderX2.
         let mode = ExecutionMode::simulated("isambard:xci", 1).unwrap();
-        let cfg = BabelStreamConfig { model: Model::Tbb, ..small(Model::Tbb) };
+        let cfg = BabelStreamConfig {
+            model: Model::Tbb,
+            ..small(Model::Tbb)
+        };
         assert!(matches!(run(&cfg, &mode), Err(BenchError::Unsupported(_))));
     }
 
     #[test]
     fn simulated_runs_are_reproducible() {
         let mode = ExecutionMode::simulated("archer2", 7).unwrap();
-        let cfg = BabelStreamConfig { array_size: 1 << 22, reps: 5, ..Default::default() };
+        let cfg = BabelStreamConfig {
+            array_size: 1 << 22,
+            reps: 5,
+            ..Default::default()
+        };
         let a = run(&cfg, &mode).unwrap();
         let b = run(&cfg, &mode).unwrap();
         assert_eq!(a.stdout, b.stdout, "same seed must reproduce identically");
@@ -297,7 +364,10 @@ mod tests {
             model: Model::Omp,
             threads: None,
         };
-        let big_ws = BabelStreamConfig { array_size: 1 << 29, ..small_ws.clone() };
+        let big_ws = BabelStreamConfig {
+            array_size: 1 << 29,
+            ..small_ws.clone()
+        };
         let t_small = extract_triad(&run(&small_ws, &mode).unwrap().stdout);
         let t_big = extract_triad(&run(&big_ws, &mode).unwrap().stdout);
         assert!(
@@ -310,7 +380,10 @@ mod tests {
 
     #[test]
     fn zero_config_rejected() {
-        let cfg = BabelStreamConfig { array_size: 0, ..Default::default() };
+        let cfg = BabelStreamConfig {
+            array_size: 0,
+            ..Default::default()
+        };
         assert!(run(&cfg, &ExecutionMode::Native).is_err());
     }
 

@@ -47,7 +47,10 @@ pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> Cg
     let norm0 = dot(&r, &r).sqrt();
     let mut residuals = vec![norm0];
     if norm0 == 0.0 {
-        return CgStats { iterations: 0, residuals };
+        return CgStats {
+            iterations: 0,
+            residuals,
+        };
     }
 
     // z = M⁻¹ r via one SymGS sweep from zero.
@@ -83,7 +86,10 @@ pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> Cg
             p[i] = z[i] + beta * p[i];
         }
     }
-    CgStats { iterations, residuals }
+    CgStats {
+        iterations,
+        residuals,
+    }
 }
 
 #[cfg(test)]

@@ -111,7 +111,10 @@ mod tests {
         let gain = |p: &Processor| {
             flops_per_byte(HpcgVariant::MatrixFree, p) / flops_per_byte(HpcgVariant::Csr, p)
         };
-        assert!(gain(&rome) > gain(&cl), "paper: E_A 3.168 on Rome vs 2.125 on CL");
+        assert!(
+            gain(&rome) > gain(&cl),
+            "paper: E_A 3.168 on Rome vs 2.125 on CL"
+        );
     }
 
     #[test]
@@ -121,6 +124,9 @@ mod tests {
         let c = flops_for(HpcgVariant::Csr, 1000, 20);
         assert_eq!(b, 2.0 * a);
         assert_eq!(c, 2.0 * a);
-        assert!(flops_for(HpcgVariant::Lfric, 1000, 10) < a, "7-point does fewer flops");
+        assert!(
+            flops_for(HpcgVariant::Lfric, 1000, 10) < a,
+            "7-point does fewer flops"
+        );
     }
 }

@@ -38,7 +38,13 @@ impl Slab {
         let extra = nz_global % size;
         let nz_local = base + usize::from(rank < extra);
         let z0 = rank * base + rank.min(extra);
-        Slab { nx, ny, nz_local, z0, nz_global }
+        Slab {
+            nx,
+            ny,
+            nz_local,
+            z0,
+            nz_global,
+        }
     }
 
     pub fn plane_len(&self) -> usize {
@@ -296,8 +302,9 @@ mod tests {
         let (nx, ny, nz) = (5, 4, 12);
         let problem = Problem::new(nx, ny, nz);
         let serial_op = MatrixFreeOperator::new(&problem);
-        let x_global: Vec<f64> =
-            (0..problem.n()).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+        let x_global: Vec<f64> = (0..problem.n())
+            .map(|i| ((i * 37) % 101) as f64 * 0.01)
+            .collect();
         let mut y_serial = vec![0.0; problem.n()];
         serial_op.apply(&x_global, &mut y_serial);
 
@@ -305,8 +312,7 @@ mod tests {
             let pieces = mpisim::run(size, |comm| {
                 let slab = Slab::decompose(nx, ny, nz, comm.rank(), comm.size());
                 let plane = slab.plane_len();
-                let x_local =
-                    x_global[slab.z0 * plane..(slab.z0 + slab.nz_local) * plane].to_vec();
+                let x_local = x_global[slab.z0 * plane..(slab.z0 + slab.nz_local) * plane].to_vec();
                 let mut y_local = vec![0.0; slab.local_len()];
                 apply(comm, &slab, &x_local, &mut y_local);
                 y_local
@@ -359,8 +365,7 @@ mod tests {
             }
             // The assembled global solution solves the same system: both
             // solutions are the ones vector (rhs = A·1).
-            let x_global: Vec<f64> =
-                results.into_iter().flat_map(|r| r.x_local).collect();
+            let x_global: Vec<f64> = results.into_iter().flat_map(|r| r.x_local).collect();
             for (i, v) in x_global.iter().enumerate() {
                 assert!((v - 1.0).abs() < 1e-7, "x[{i}] = {v}");
             }

@@ -1,4 +1,14 @@
 //! The linear operators behind the four HPCG variants.
+//!
+//! Every operator owns an execution [`Backend`]: `apply` always routes
+//! through the shared `parkern` kernels, and the Poisson operators carry an
+//! 8-colour decomposition of the grid so their symmetric Gauss-Seidel
+//! smoother can run same-colour rows in parallel. With the default serial
+//! backend the operators behave exactly like the original sequential code
+//! (lexicographic sweeps, identical arithmetic order), which keeps the
+//! cross-variant parity tests bitwise meaningful.
+
+use parkern::{kernels, Backend, SerialBackend};
 
 use super::problem::Problem;
 use super::HpcgVariant;
@@ -16,14 +26,78 @@ pub trait Operator: Send + Sync {
     fn symgs(&self, r: &[f64], z: &mut [f64]);
 }
 
-/// Build the operator for a variant over the given problem.
+/// Build the operator for a variant over the given problem (serial backend).
 pub fn build(variant: HpcgVariant, problem: &Problem) -> Box<dyn Operator> {
+    build_with_backend(variant, problem, Box::new(SerialBackend))
+}
+
+/// Build the operator for a variant with an explicit execution backend.
+///
+/// With more than one worker the Poisson operators switch their SymGS sweep
+/// from lexicographic to the 8-colour ordering: a *different* (but equally
+/// valid) preconditioner whose CG iteration counts match the serial sweep to
+/// within a couple of iterations, and whose results are deterministic for
+/// any worker count.
+pub fn build_with_backend(
+    variant: HpcgVariant,
+    problem: &Problem,
+    backend: Box<dyn Backend>,
+) -> Box<dyn Operator> {
     match variant {
         // The vendor-optimized variant runs the same assembled-matrix
         // algorithm; its difference is implementation cost, not math.
-        HpcgVariant::Csr | HpcgVariant::IntelAvx2 => Box::new(CsrOperator::poisson27(problem)),
-        HpcgVariant::MatrixFree => Box::new(MatrixFreeOperator::new(problem)),
-        HpcgVariant::Lfric => Box::new(LfricOperator::new(problem)),
+        HpcgVariant::Csr | HpcgVariant::IntelAvx2 => {
+            Box::new(CsrOperator::poisson27_with_backend(problem, backend))
+        }
+        HpcgVariant::MatrixFree => Box::new(MatrixFreeOperator::with_backend(problem, backend)),
+        HpcgVariant::Lfric => Box::new(LfricOperator::with_backend(problem, backend)),
+    }
+}
+
+/// Minimum rows per parallel chunk inside one colour sweep; below this the
+/// per-region dispatch overhead outweighs the row updates.
+const SYMGS_GRAIN: usize = 256;
+
+/// Partition grid rows into 8 parity classes by `(ix mod 2, iy mod 2,
+/// iz mod 2)`. In a 27-point (or any ±1-offset) stencil, two cells of the
+/// same class differ by an even, non-zero amount in some axis, so they are
+/// never neighbours: every class is an independent set, and rows within a
+/// class can be smoothed concurrently.
+fn parity_color_sets(nx: usize, ny: usize, nz: usize) -> Vec<Vec<u32>> {
+    let mut sets: Vec<Vec<u32>> = (0..8).map(|_| Vec::new()).collect();
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let color = (ix & 1) | ((iy & 1) << 1) | ((iz & 1) << 2);
+                sets[color].push(((iz * ny + iy) * nx + ix) as u32);
+            }
+        }
+    }
+    sets
+}
+
+/// Shared-mutable access to the iterate `z` during a coloured sweep.
+///
+/// Safety contract: within one colour phase, each worker writes only rows of
+/// that colour assigned to its chunk; all rows it *reads* belong either to
+/// other colours (not written this phase) or are its own row. Phases are
+/// separated by the backend's fork-join, which orders the writes.
+#[derive(Clone, Copy)]
+struct ZPtr(*mut f64);
+unsafe impl Send for ZPtr {}
+unsafe impl Sync for ZPtr {}
+
+impl ZPtr {
+    /// # Safety
+    /// `i` in bounds; no concurrent write to `i` (see type-level contract).
+    unsafe fn read(self, i: usize) -> f64 {
+        unsafe { *self.0.add(i) }
+    }
+
+    /// # Safety
+    /// `i` in bounds; this worker is the only writer of `i` this phase.
+    unsafe fn write(self, i: usize, v: f64) {
+        unsafe { *self.0.add(i) = v };
     }
 }
 
@@ -33,12 +107,19 @@ pub struct CsrOperator {
     col_idx: Vec<u32>,
     values: Vec<f64>,
     diag: Vec<f64>,
+    color_sets: Vec<Vec<u32>>,
+    backend: Box<dyn Backend>,
 }
 
 impl CsrOperator {
     /// Assemble the 27-point operator (diag 26, off-diag −1, Dirichlet
-    /// truncation at the boundary).
+    /// truncation at the boundary) on the serial backend.
     pub fn poisson27(p: &Problem) -> CsrOperator {
+        CsrOperator::poisson27_with_backend(p, Box::new(SerialBackend))
+    }
+
+    /// Assemble with an explicit execution backend.
+    pub fn poisson27_with_backend(p: &Problem, backend: Box<dyn Backend>) -> CsrOperator {
         let n = p.n();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
@@ -76,30 +157,38 @@ impl CsrOperator {
                 }
             }
         }
-        CsrOperator { row_ptr, col_idx, values, diag }
+        let color_sets = parity_color_sets(p.nx, p.ny, p.nz);
+        CsrOperator {
+            row_ptr,
+            col_idx,
+            values,
+            diag,
+            color_sets,
+            backend,
+        }
     }
 
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
-}
 
-impl Operator for CsrOperator {
-    fn n(&self) -> usize {
-        self.diag.len()
-    }
-
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for (row, out) in y.iter_mut().enumerate().take(self.n()) {
-            let mut sum = 0.0;
-            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
-                sum += self.values[k] * x[self.col_idx[k] as usize];
-            }
-            *out = sum;
+    /// One Gauss-Seidel update of `row`, reading and writing through `z`.
+    ///
+    /// # Safety
+    /// Callers must uphold the [`ZPtr`] contract: no other worker writes any
+    /// row this call reads, and this worker is the sole writer of `row`.
+    unsafe fn gs_row(&self, row: usize, r: &[f64], z: ZPtr) {
+        let mut sum = r[row];
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            sum -= self.values[k] * unsafe { z.read(self.col_idx[k] as usize) };
         }
+        sum += self.diag[row] * unsafe { z.read(row) };
+        unsafe { z.write(row, sum / self.diag[row]) };
     }
 
-    fn symgs(&self, r: &[f64], z: &mut [f64]) {
+    /// The original lexicographic sweep (forward then backward). Kept as the
+    /// serial reference: cross-variant parity tests compare against it.
+    pub fn symgs_lex(&self, r: &[f64], z: &mut [f64]) {
         let n = self.n();
         // Forward sweep.
         for row in 0..n {
@@ -120,6 +209,58 @@ impl Operator for CsrOperator {
             z[row] = sum / self.diag[row];
         }
     }
+
+    /// The multicoloured sweep: colours in order forward, reversed backward;
+    /// rows within a colour update in parallel. Deterministic for any worker
+    /// count (each row depends only on rows of other colours, whose values
+    /// are fixed for the whole phase).
+    pub fn symgs_colored(&self, r: &[f64], z: &mut [f64]) {
+        let zp = ZPtr(z.as_mut_ptr());
+        for set in &self.color_sets {
+            self.color_phase(set, r, zp);
+        }
+        for set in self.color_sets.iter().rev() {
+            self.color_phase(set, r, zp);
+        }
+    }
+
+    fn color_phase(&self, set: &[u32], r: &[f64], zp: ZPtr) {
+        self.backend
+            .par_for_grained(set.len(), SYMGS_GRAIN, &|range| {
+                let p = zp;
+                for &row in &set[range] {
+                    // SAFETY: rows in `set` share a colour, so no row in this
+                    // phase is a neighbour of (reads) another; chunks make each
+                    // row's write exclusive to one worker.
+                    unsafe { self.gs_row(row as usize, r, p) };
+                }
+            });
+    }
+}
+
+impl Operator for CsrOperator {
+    fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        kernels::spmv_csr(
+            &*self.backend,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            x,
+            y,
+        );
+    }
+
+    fn symgs(&self, r: &[f64], z: &mut [f64]) {
+        if self.backend.workers() > 1 {
+            self.symgs_colored(r, z);
+        } else {
+            self.symgs_lex(r, z);
+        }
+    }
 }
 
 /// The same 27-point operator applied matrix-free: neighbours are
@@ -128,15 +269,36 @@ pub struct MatrixFreeOperator {
     nx: usize,
     ny: usize,
     nz: usize,
+    color_sets: Vec<Vec<u32>>,
+    backend: Box<dyn Backend>,
 }
 
 impl MatrixFreeOperator {
     pub fn new(p: &Problem) -> MatrixFreeOperator {
-        MatrixFreeOperator { nx: p.nx, ny: p.ny, nz: p.nz }
+        MatrixFreeOperator::with_backend(p, Box::new(SerialBackend))
+    }
+
+    pub fn with_backend(p: &Problem, backend: Box<dyn Backend>) -> MatrixFreeOperator {
+        MatrixFreeOperator {
+            nx: p.nx,
+            ny: p.ny,
+            nz: p.nz,
+            color_sets: parity_color_sets(p.nx, p.ny, p.nz),
+            backend,
+        }
     }
 
     /// Σ over in-bounds neighbours of `x`, excluding the centre.
     fn neighbour_sum(&self, x: &[f64], ix: usize, iy: usize, iz: usize) -> f64 {
+        // SAFETY: exclusive slice access; the raw-pointer reads stay in
+        // bounds by the same boundary checks the safe path uses.
+        unsafe { self.neighbour_sum_raw(x.as_ptr(), ix, iy, iz) }
+    }
+
+    /// # Safety
+    /// `x` must point at `n()` readable elements, none concurrently written
+    /// at the neighbour offsets of `(ix, iy, iz)`.
+    unsafe fn neighbour_sum_raw(&self, x: *const f64, ix: usize, iy: usize, iz: usize) -> f64 {
         let mut s = 0.0;
         for dz in -1i64..=1 {
             for dy in -1i64..=1 {
@@ -156,31 +318,25 @@ impl MatrixFreeOperator {
                     {
                         continue;
                     }
-                    s += x[(jz as usize * self.ny + jy as usize) * self.nx + jx as usize];
+                    s += unsafe {
+                        *x.add((jz as usize * self.ny + jy as usize) * self.nx + jx as usize)
+                    };
                 }
             }
         }
         s
     }
-}
 
-impl Operator for MatrixFreeOperator {
-    fn n(&self) -> usize {
-        self.nx * self.ny * self.nz
+    fn coords(&self, i: usize) -> (usize, usize, usize) {
+        (
+            i % self.nx,
+            (i / self.nx) % self.ny,
+            i / (self.nx * self.ny),
+        )
     }
 
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for iz in 0..self.nz {
-            for iy in 0..self.ny {
-                for ix in 0..self.nx {
-                    let i = (iz * self.ny + iy) * self.nx + ix;
-                    y[i] = 26.0 * x[i] - self.neighbour_sum(x, ix, iy, iz);
-                }
-            }
-        }
-    }
-
-    fn symgs(&self, r: &[f64], z: &mut [f64]) {
+    /// Lexicographic reference sweep (forward then backward).
+    pub fn symgs_lex(&self, r: &[f64], z: &mut [f64]) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         // Forward sweep in lexicographic order (matches CSR ordering, so
         // the two variants produce bitwise-comparable trajectories).
@@ -202,6 +358,68 @@ impl Operator for MatrixFreeOperator {
             }
         }
     }
+
+    /// Multicoloured sweep; see [`CsrOperator::symgs_colored`].
+    pub fn symgs_colored(&self, r: &[f64], z: &mut [f64]) {
+        let zp = ZPtr(z.as_mut_ptr());
+        for set in &self.color_sets {
+            self.color_phase(set, r, zp);
+        }
+        for set in self.color_sets.iter().rev() {
+            self.color_phase(set, r, zp);
+        }
+    }
+
+    fn color_phase(&self, set: &[u32], r: &[f64], zp: ZPtr) {
+        self.backend
+            .par_for_grained(set.len(), SYMGS_GRAIN, &|range| {
+                let p = zp;
+                for &row in &set[range] {
+                    let i = row as usize;
+                    let (ix, iy, iz) = self.coords(i);
+                    // SAFETY: same-colour rows are never stencil neighbours, so
+                    // the reads under this sum are not written this phase; `i`
+                    // itself is written only by this worker.
+                    unsafe {
+                        let v =
+                            (r[i] + self.neighbour_sum_raw(p.0 as *const f64, ix, iy, iz)) / 26.0;
+                        p.write(i, v);
+                    }
+                }
+            });
+    }
+}
+
+impl Operator for MatrixFreeOperator {
+    fn n(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // Accumulate the neighbour sum first, then one subtraction: rows are
+        // independent, so chunking cannot change the result, and the
+        // operation order stays bitwise identical to the serial original
+        // (the distributed solver pins itself to exactly this order).
+        let out = ZPtr(y.as_mut_ptr());
+        self.backend
+            .par_for_grained(self.n(), SYMGS_GRAIN, &|range| {
+                let p = out;
+                for i in range {
+                    let (ix, iy, iz) = self.coords(i);
+                    let v = 26.0 * x[i] - self.neighbour_sum(x, ix, iy, iz);
+                    // SAFETY: chunks are disjoint; `i` is written exactly once.
+                    unsafe { p.write(i, v) };
+                }
+            });
+    }
+
+    fn symgs(&self, r: &[f64], z: &mut [f64]) {
+        if self.backend.workers() > 1 {
+            self.symgs_colored(r, z);
+        } else {
+            self.symgs_lex(r, z);
+        }
+    }
 }
 
 /// A symmetrized Helmholtz operator in the style of the LFRic dynamical
@@ -216,11 +434,24 @@ pub struct LfricOperator {
     cv: f64,
     /// Helmholtz λ (mass) term — keeps the operator positive definite.
     lambda: f64,
+    backend: Box<dyn Backend>,
 }
 
 impl LfricOperator {
     pub fn new(p: &Problem) -> LfricOperator {
-        LfricOperator { nx: p.nx, ny: p.ny, nz: p.nz, ch: 1.0, cv: 4.0, lambda: 1.0 }
+        LfricOperator::with_backend(p, Box::new(SerialBackend))
+    }
+
+    pub fn with_backend(p: &Problem, backend: Box<dyn Backend>) -> LfricOperator {
+        LfricOperator {
+            nx: p.nx,
+            ny: p.ny,
+            nz: p.nz,
+            ch: 1.0,
+            cv: 4.0,
+            lambda: 1.0,
+            backend,
+        }
     }
 
     fn diag_at(&self, ix: usize, iy: usize, iz: usize) -> f64 {
@@ -279,14 +510,19 @@ impl Operator for LfricOperator {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for iz in 0..self.nz {
-            for iy in 0..self.ny {
-                for ix in 0..self.nx {
-                    let i = (iz * self.ny + iy) * self.nx + ix;
-                    y[i] = self.diag_at(ix, iy, iz) * x[i] - self.off_sum(x, ix, iy, iz);
+        let out = ZPtr(y.as_mut_ptr());
+        self.backend
+            .par_for_grained(self.n(), SYMGS_GRAIN, &|range| {
+                let p = out;
+                for i in range {
+                    let ix = i % self.nx;
+                    let iy = (i / self.nx) % self.ny;
+                    let iz = i / (self.nx * self.ny);
+                    let v = self.diag_at(ix, iy, iz) * x[i] - self.off_sum(x, ix, iy, iz);
+                    // SAFETY: chunks are disjoint; `i` is written exactly once.
+                    unsafe { p.write(i, v) };
                 }
-            }
-        }
+            });
     }
 
     fn symgs(&self, r: &[f64], z: &mut [f64]) {
@@ -312,6 +548,55 @@ impl Operator for LfricOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hpcg::cg::pcg;
+    use crate::hpcg::HpcgVariant;
+    use parkern::{CrossbeamBackend, PoolBackend, ThreadsBackend};
+
+    #[test]
+    fn parallel_apply_matches_serial_bitwise_on_all_backends() {
+        // `apply` computes each row independently, so chunking must not
+        // change a single bit of the output on any backend.
+        let p = Problem::cube(7);
+        let x: Vec<f64> = (0..p.n()).map(|i| (i as f64 * 0.37).sin()).collect();
+        for variant in HpcgVariant::all() {
+            let serial = build(*variant, &p);
+            let mut want = vec![0.0; p.n()];
+            serial.apply(&x, &mut want);
+            let backends: Vec<Box<dyn Backend>> = vec![
+                Box::new(ThreadsBackend::new(4)),
+                Box::new(CrossbeamBackend::new(4)),
+                Box::new(PoolBackend::new(3)),
+            ];
+            for backend in backends {
+                let label = backend.label();
+                let op = build_with_backend(*variant, &p, backend);
+                let mut got = vec![0.0; p.n()];
+                op.apply(&x, &mut got);
+                assert_eq!(want, got, "{variant:?} apply diverged on {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn colored_preconditioner_matches_serial_cg_iterations() {
+        // The multicolored sweep is a different (but equally strong)
+        // preconditioner than the lexicographic one: CG must converge in
+        // the same number of iterations, give or take two.
+        let p = Problem::cube(16);
+        for variant in [HpcgVariant::Csr, HpcgVariant::MatrixFree] {
+            let serial = build(variant, &p);
+            let colored = build_with_backend(variant, &p, Box::new(PoolBackend::new(4)));
+            let a = pcg(serial.as_ref(), &p.rhs, 50, 1e-10);
+            let b = pcg(colored.as_ref(), &p.rhs, 50, 1e-10);
+            assert!(
+                a.iterations.abs_diff(b.iterations) <= 2,
+                "{variant:?}: serial {} vs colored {} iterations",
+                a.iterations,
+                b.iterations
+            );
+            assert!(b.converging());
+        }
+    }
 
     #[test]
     fn csr_and_matrix_free_agree_exactly() {
@@ -347,6 +632,83 @@ mod tests {
     }
 
     #[test]
+    fn parity_colors_partition_and_are_independent() {
+        let (nx, ny, nz) = (6, 5, 4);
+        let sets = parity_color_sets(nx, ny, nz);
+        assert_eq!(sets.len(), 8);
+        let total: usize = sets.iter().map(Vec::len).sum();
+        assert_eq!(total, nx * ny * nz, "colours must partition the grid");
+        // No two cells of a colour are stencil neighbours (all offsets ≤1).
+        for set in &sets {
+            for &a in set {
+                for &b in set {
+                    if a == b {
+                        continue;
+                    }
+                    let (a, b) = (a as usize, b as usize);
+                    let (ax, ay, az) = (a % nx, (a / nx) % ny, a / (nx * ny));
+                    let (bx, by, bz) = (b % nx, (b / nx) % ny, b / (nx * ny));
+                    let adjacent =
+                        ax.abs_diff(bx) <= 1 && ay.abs_diff(by) <= 1 && az.abs_diff(bz) <= 1;
+                    assert!(!adjacent, "same-colour neighbours: {a} and {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colored_symgs_deterministic_across_worker_counts() {
+        let p = Problem::cube(8);
+        let reference = {
+            let op = CsrOperator::poisson27_with_backend(&p, Box::new(ThreadsBackend::new(2)));
+            let mut z = vec![0.0; p.n()];
+            op.symgs_colored(&p.rhs, &mut z);
+            z
+        };
+        for workers in [1usize, 3, 4, 8] {
+            for op in [
+                CsrOperator::poisson27_with_backend(&p, Box::new(ThreadsBackend::new(workers))),
+                CsrOperator::poisson27_with_backend(&p, Box::new(PoolBackend::new(workers))),
+            ] {
+                let mut z = vec![0.0; p.n()];
+                op.symgs_colored(&p.rhs, &mut z);
+                assert_eq!(z, reference, "workers={workers}");
+            }
+        }
+        // Matrix-free colored agrees with CSR colored to rounding.
+        let mf = MatrixFreeOperator::with_backend(&p, Box::new(ThreadsBackend::new(4)));
+        let mut z = vec![0.0; p.n()];
+        mf.symgs_colored(&p.rhs, &mut z);
+        for (a, b) in z.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn colored_symgs_reduces_residual() {
+        let p = Problem::cube(8);
+        let op = CsrOperator::poisson27_with_backend(&p, Box::new(ThreadsBackend::new(4)));
+        let b = p.rhs.clone();
+        let mut z = vec![0.0; p.n()];
+        let res = |z: &[f64]| {
+            let mut az = vec![0.0; p.n()];
+            op.apply(z, &mut az);
+            az.iter()
+                .zip(&b)
+                .map(|(a, bi)| (bi - a).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let r0 = res(&z);
+        op.symgs(&b, &mut z);
+        let r1 = res(&z);
+        op.symgs(&b, &mut z);
+        let r2 = res(&z);
+        assert!(r1 < r0, "one coloured sweep should reduce the residual");
+        assert!(r2 < r1, "two coloured sweeps should reduce it further");
+    }
+
+    #[test]
     fn operators_are_symmetric() {
         // <Ax, y> == <x, Ay> for random x, y.
         let p = Problem::cube(5);
@@ -379,8 +741,9 @@ mod tests {
         ];
         let n = p.n();
         for probe in 0..5 {
-            let x: Vec<f64> =
-                (0..n).map(|i| (((i + probe) * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+            let x: Vec<f64> = (0..n)
+                .map(|i| (((i + probe) * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+                .collect();
             for op in &ops {
                 let mut ax = vec![0.0; n];
                 op.apply(&x, &mut ax);
@@ -399,7 +762,11 @@ mod tests {
             let res = |z: &[f64]| {
                 let mut az = vec![0.0; p.n()];
                 op.apply(z, &mut az);
-                az.iter().zip(&b).map(|(a, bi)| (bi - a).powi(2)).sum::<f64>().sqrt()
+                az.iter()
+                    .zip(&b)
+                    .map(|(a, bi)| (bi - a).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
             };
             let r0 = res(&z);
             op.symgs(&b, &mut z);

@@ -49,7 +49,10 @@ impl Default for HpgmgConfig {
 impl HpgmgConfig {
     /// The paper's exact configuration (`7 8`, 8 ranks, 2 per node).
     pub fn paper() -> HpgmgConfig {
-        HpgmgConfig { log2_box_dim: 7, ..HpgmgConfig::default() }
+        HpgmgConfig {
+            log2_box_dim: 7,
+            ..HpgmgConfig::default()
+        }
     }
 
     /// Degrees of freedom at reported level `l` (0 = finest).
@@ -78,7 +81,12 @@ struct Level {
 impl Level {
     fn new(n: usize) -> Level {
         let len = n * n * n;
-        Level { n, u: vec![0.0; len], rhs: vec![0.0; len], tmp: vec![0.0; len] }
+        Level {
+            n,
+            u: vec![0.0; len],
+            rhs: vec![0.0; len],
+            tmp: vec![0.0; len],
+        }
     }
 
     #[inline]
@@ -385,7 +393,9 @@ fn simulated_time(config: &HpgmgConfig, level: u32, partition: &Partition) -> f6
 /// Run HPGMG-FV.
 pub fn run(config: &HpgmgConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
     if config.log2_box_dim < 2 || config.boxes_per_rank == 0 || config.ranks == 0 {
-        return Err(BenchError::BadConfig("box dim ≥ 4 and nonzero boxes/ranks required".into()));
+        return Err(BenchError::BadConfig(
+            "box dim ≥ 4 and nonzero boxes/ranks required".into(),
+        ));
     }
     // Always run the real solver (capped size in simulated mode) and check
     // that multigrid actually converges — the sanity step of the pipeline.
@@ -410,9 +420,18 @@ pub fn run(config: &HpgmgConfig, mode: &ExecutionMode) -> Result<RunOutput, Benc
         config.tasks_per_node,
         config.cpus_per_task
     ));
-    out.push_str(&format!("v-cycles used={cycles}  residual reduction={:.3e}\n", r / r0));
+    out.push_str(&format!(
+        "v-cycles used={cycles}  residual reduction={:.3e}\n",
+        r / r0
+    ));
 
-    let mut wall = native_elapsed;
+    // Native mode reports the measured solve; simulated mode builds the
+    // wall time purely from the cost model so it is deterministic per seed
+    // (the host's measured time must never leak into simulated telemetry).
+    let mut wall = match mode {
+        ExecutionMode::Native => native_elapsed,
+        ExecutionMode::Simulated { .. } => 0.0,
+    };
     match mode {
         ExecutionMode::Native => {
             // Rate the real solve: DOF of the executed grid over the time.
@@ -425,7 +444,11 @@ pub fn run(config: &HpgmgConfig, mode: &ExecutionMode) -> Result<RunOutput, Benc
                 ));
             }
         }
-        ExecutionMode::Simulated { partition, system, seed } => {
+        ExecutionMode::Simulated {
+            partition,
+            system,
+            seed,
+        } => {
             if partition.processor().is_gpu() {
                 return Err(BenchError::Unsupported("HPGMG-FV here targets CPUs".into()));
             }
@@ -448,7 +471,10 @@ pub fn run(config: &HpgmgConfig, mode: &ExecutionMode) -> Result<RunOutput, Benc
             }
         }
     }
-    Ok(RunOutput { stdout: out, wall_time_s: wall })
+    Ok(RunOutput {
+        stdout: out,
+        wall_time_s: wall,
+    })
 }
 
 #[cfg(test)]
@@ -513,7 +539,10 @@ mod tests {
 
     #[test]
     fn native_run_reports_three_levels() {
-        let cfg = HpgmgConfig { log2_box_dim: 4, ..HpgmgConfig::default() };
+        let cfg = HpgmgConfig {
+            log2_box_dim: 4,
+            ..HpgmgConfig::default()
+        };
         let out = run(&cfg, &ExecutionMode::Native).unwrap();
         assert_eq!(rates(&out.stdout).len(), 3);
     }
@@ -528,7 +557,10 @@ mod tests {
         let archer2 = rate0("archer2");
         let cosma8 = rate0("cosma8");
         let isambard = rate0("isambard-macs:cascadelake");
-        assert!(csd3 > archer2, "paper: CSD3 126 > ARCHER2 95 ({csd3:.2e} vs {archer2:.2e})");
+        assert!(
+            csd3 > archer2,
+            "paper: CSD3 126 > ARCHER2 95 ({csd3:.2e} vs {archer2:.2e})"
+        );
         assert!(archer2 > cosma8, "paper: ARCHER2 95 > COSMA8 82");
         assert!(cosma8 > isambard, "paper: COSMA8 82 >> Isambard 31");
         assert!(
@@ -560,7 +592,11 @@ mod tests {
     #[test]
     fn oversubscribed_partition_rejected() {
         // Isambard-MACS has 4 nodes; ask for more.
-        let cfg = HpgmgConfig { ranks: 64, tasks_per_node: 2, ..HpgmgConfig::paper() };
+        let cfg = HpgmgConfig {
+            ranks: 64,
+            tasks_per_node: 2,
+            ..HpgmgConfig::paper()
+        };
         let mode = ExecutionMode::simulated("isambard-macs:cascadelake", 1).unwrap();
         assert!(matches!(run(&cfg, &mode), Err(BenchError::Unsupported(_))));
     }

@@ -52,7 +52,11 @@ impl ExecutionMode {
     pub fn simulated(spec: &str, seed: u64) -> Option<ExecutionMode> {
         let (sys, part_name) = simhpc::catalog::resolve(spec)?;
         let partition = Box::new(sys.partition(&part_name)?.clone());
-        Some(ExecutionMode::Simulated { partition, system: sys.name().to_string(), seed })
+        Some(ExecutionMode::Simulated {
+            partition,
+            system: sys.name().to_string(),
+            seed,
+        })
     }
 
     /// The partition this mode targets, if simulated.

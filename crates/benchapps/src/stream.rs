@@ -20,29 +20,49 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> StreamConfig {
-        StreamConfig { array_size: 1 << 24, reps: 10, threads: None }
+        StreamConfig {
+            array_size: 1 << 24,
+            reps: 10,
+            threads: None,
+        }
     }
 }
 
 /// STREAM's counted bytes per kernel (no read-for-ownership).
 fn counted_bytes(n: usize) -> [(&'static str, u64); 4] {
     let b = 8 * n as u64;
-    [("Copy", 2 * b), ("Scale", 2 * b), ("Add", 3 * b), ("Triad", 3 * b)]
+    [
+        ("Copy", 2 * b),
+        ("Scale", 2 * b),
+        ("Add", 3 * b),
+        ("Triad", 3 * b),
+    ]
 }
 
 /// Run STREAM.
 pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
     if config.array_size == 0 || config.reps == 0 {
-        return Err(BenchError::BadConfig("array size and reps must be positive".into()));
+        return Err(BenchError::BadConfig(
+            "array size and reps must be positive".into(),
+        ));
     }
     let (times, n) = match mode {
         ExecutionMode::Native => {
             let threads = config.threads.unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|p| p.get() as u32).unwrap_or(4)
+                std::thread::available_parallelism()
+                    .map(|p| p.get() as u32)
+                    .unwrap_or(4)
             });
-            (execute(config.array_size, config.reps, threads as usize)?, config.array_size)
+            (
+                execute(config.array_size, config.reps, threads as usize)?,
+                config.array_size,
+            )
         }
-        ExecutionMode::Simulated { partition, system, seed } => {
+        ExecutionMode::Simulated {
+            partition,
+            system,
+            seed,
+        } => {
             let exec_n = config.array_size.min(SIM_EXECUTION_CAP);
             execute(exec_n, 2.min(config.reps), 4)?;
             let proc = partition.processor();
@@ -83,7 +103,10 @@ pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, Ben
     }
     out.push_str("Solution Validates: avg error less than 1.0e-13 on all three arrays\n");
     let wall = times.iter().flat_map(|v| v.iter()).sum();
-    Ok(RunOutput { stdout: out, wall_time_s: wall })
+    Ok(RunOutput {
+        stdout: out,
+        wall_time_s: wall,
+    })
 }
 
 fn execute(n: usize, reps: usize, threads: usize) -> Result<[Vec<f64>; 4], BenchError> {
@@ -119,7 +142,11 @@ mod tests {
 
     #[test]
     fn native_stream_runs() {
-        let cfg = StreamConfig { array_size: 1 << 14, reps: 2, threads: Some(2) };
+        let cfg = StreamConfig {
+            array_size: 1 << 14,
+            reps: 2,
+            threads: Some(2),
+        };
         let out = run(&cfg, &ExecutionMode::Native).unwrap();
         assert!(out.stdout.contains("Best Rate MB/s"));
         assert!(out.stdout.contains("Solution Validates"));
@@ -128,7 +155,11 @@ mod tests {
     #[test]
     fn simulated_stream_below_peak() {
         let mode = ExecutionMode::simulated("archer2", 5).unwrap();
-        let cfg = StreamConfig { array_size: 1 << 27, reps: 3, threads: None };
+        let cfg = StreamConfig {
+            array_size: 1 << 27,
+            reps: 3,
+            threads: None,
+        };
         let out = run(&cfg, &mode).unwrap();
         let triad: f64 = out
             .stdout

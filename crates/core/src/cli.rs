@@ -22,11 +22,21 @@ pub enum Command {
     /// `list-benchmarks`
     ListBenchmarks,
     /// `run -c <benchmark> --system <spec> [--seed N] [--repeats N]`
-    Run { benchmark: String, system: String, seed: u64, repeats: u32 },
+    Run {
+        benchmark: String,
+        system: String,
+        seed: u64,
+        repeats: u32,
+    },
     /// `spec <spack-spec> --system <spec>` — concretize and print.
     Spec { spec: String, system: String },
-    /// `survey --system a --system b -c x -c y [--seed N]`
-    Survey { benchmarks: Vec<String>, systems: Vec<String>, seed: u64 },
+    /// `survey --system a --system b -c x -c y [--seed N] [--jobs N]`
+    Survey {
+        benchmarks: Vec<String>,
+        systems: Vec<String>,
+        seed: u64,
+        jobs: usize,
+    },
     /// `help`
     Help,
 }
@@ -49,7 +59,9 @@ USAGE:
     benchkit list-systems
     benchkit list-benchmarks
     benchkit run -c <benchmark> --system <system[:partition]> [--seed N] [--repeats N]
-    benchkit survey -c <benchmark>... --system <system>... [--seed N]
+    benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N]
+        --jobs N runs N (benchmark, system) combinations concurrently
+        (0 = one per available core); the report is identical to --jobs 1.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -78,9 +90,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .first()
                 .cloned()
                 .ok_or_else(|| CliError("run: missing `-c <benchmark>`".into()))?;
-            let system =
-                opts.systems.first().cloned().ok_or_else(|| CliError("run: missing `--system`".into()))?;
-            Ok(Command::Run { benchmark, system, seed: opts.seed, repeats: opts.repeats })
+            let system = opts
+                .systems
+                .first()
+                .cloned()
+                .ok_or_else(|| CliError("run: missing `--system`".into()))?;
+            Ok(Command::Run {
+                benchmark,
+                system,
+                seed: opts.seed,
+                repeats: opts.repeats,
+            })
         }
         "survey" => {
             let opts = parse_options(&rest)?;
@@ -90,7 +110,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if opts.systems.is_empty() {
                 return Err(CliError("survey: at least one `--system`".into()));
             }
-            Ok(Command::Survey { benchmarks: opts.cases, systems: opts.systems, seed: opts.seed })
+            Ok(Command::Survey {
+                benchmarks: opts.cases,
+                systems: opts.systems,
+                seed: opts.seed,
+                jobs: opts.jobs,
+            })
         }
         "spec" => {
             let mut positional = None;
@@ -113,7 +138,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 system: system.ok_or_else(|| CliError("spec: missing `--system`".into()))?,
             })
         }
-        other => Err(CliError(format!("unknown command `{other}` (try `benchkit help`)"))),
+        other => Err(CliError(format!(
+            "unknown command `{other}` (try `benchkit help`)"
+        ))),
     }
 }
 
@@ -122,6 +149,7 @@ struct Options {
     systems: Vec<String>,
     seed: u64,
     repeats: u32,
+    jobs: usize,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -134,7 +162,13 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliE
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
-    let mut opts = Options { cases: Vec::new(), systems: Vec::new(), seed: 42, repeats: 1 };
+    let mut opts = Options {
+        cases: Vec::new(),
+        systems: Vec::new(),
+        seed: 42,
+        repeats: 1,
+        jobs: 1,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,7 +184,13 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--repeats" => {
                 let v = take_value(args, &mut i, "--repeats")?;
-                opts.repeats = v.parse().map_err(|_| CliError(format!("bad repeats `{v}`")))?;
+                opts.repeats = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad repeats `{v}`")))?;
+            }
+            "--jobs" | "-j" => {
+                let v = take_value(args, &mut i, "--jobs")?;
+                opts.jobs = v.parse().map_err(|_| CliError(format!("bad jobs `{v}`")))?;
             }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
@@ -164,10 +204,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
 
 /// All named benchmarks the CLI can run.
 pub fn benchmark_names() -> Vec<String> {
-    let mut names: Vec<String> =
-        parkern::Model::all().iter().map(|m| format!("babelstream_{}", m.name())).collect();
+    let mut names: Vec<String> = parkern::Model::all()
+        .iter()
+        .map(|m| format!("babelstream_{}", m.name()))
+        .collect();
     names.extend(
-        benchapps::hpcg::HpcgVariant::all().iter().map(|v| format!("hpcg_{}", v.spec_name())),
+        benchapps::hpcg::HpcgVariant::all()
+            .iter()
+            .map(|v| format!("hpcg_{}", v.spec_name())),
     );
     names.push("hpgmg".to_string());
     names.push("stream".to_string());
@@ -198,7 +242,10 @@ pub fn case_by_name(name: &str) -> Result<TestCase, CliError> {
 }
 
 /// Execute a parsed command, writing human-readable output.
-pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+pub fn execute(
+    cmd: Command,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => writeln!(out, "{USAGE}")?,
         Command::ListSystems => {
@@ -223,7 +270,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 writeln!(out, "  {name}")?;
             }
         }
-        Command::Run { benchmark, system, seed, repeats } => {
+        Command::Run {
+            benchmark,
+            system,
+            seed,
+            repeats,
+        } => {
             let case = case_by_name(&benchmark)?;
             let mut harness = Harness::new(RunOptions::on_system(&system).with_seed(seed));
             for rep in 0..repeats.max(1) {
@@ -254,13 +306,17 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 write!(out, "{}", log.to_jsonl())?;
             }
         }
-        Command::Survey { benchmarks, systems, seed } => {
-            let mut study = Study::new("cli-survey").with_seed(seed);
+        Command::Survey {
+            benchmarks,
+            systems,
+            seed,
+            jobs,
+        } => {
+            let mut study = Study::new("cli-survey").with_seed(seed).with_jobs(jobs);
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
             }
-            study =
-                study.on_systems(&systems.iter().map(String::as_str).collect::<Vec<_>>());
+            study = study.on_systems(&systems.iter().map(String::as_str).collect::<Vec<_>>());
             let results = study.run();
             writeln!(
                 out,
@@ -278,7 +334,11 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             let ctx = spackle::context_for(&sys, partition);
             let parsed = spackle::Spec::parse(&spec)?;
             let concrete = spackle::concretize(&parsed, &spackle::Repo::builtin(), &ctx)?;
-            writeln!(out, "concretized on {system} (dag hash {}):", concrete.dag_hash())?;
+            writeln!(
+                out,
+                "concretized on {system} (dag hash {}):",
+                concrete.dag_hash()
+            )?;
             write!(out, "{concrete}")?;
         }
     }
@@ -312,17 +372,39 @@ mod tests {
 
     #[test]
     fn parse_survey_and_equals_form() {
-        let cmd =
-            parse(&argv("survey -c hpgmg -c babelstream_omp --system=archer2 --system csd3"))
-                .unwrap();
+        let cmd = parse(&argv(
+            "survey -c hpgmg -c babelstream_omp --system=archer2 --system csd3",
+        ))
+        .unwrap();
         match cmd {
-            Command::Survey { benchmarks, systems, seed } => {
+            Command::Survey {
+                benchmarks,
+                systems,
+                seed,
+                jobs,
+            } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
                 assert_eq!(seed, 42);
+                assert_eq!(jobs, 1, "serial by default");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_survey_jobs() {
+        let cmd = parse(&argv("survey -c hpgmg --system archer2 --jobs 4")).unwrap();
+        match cmd {
+            Command::Survey { jobs, .. } => assert_eq!(jobs, 4),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv("survey -c hpgmg --system archer2 -j 0")).unwrap();
+        match cmd {
+            Command::Survey { jobs, .. } => assert_eq!(jobs, 0, "0 = auto"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("survey -c hpgmg --system archer2 --jobs nope")).is_err());
     }
 
     #[test]
@@ -334,7 +416,10 @@ mod tests {
         let cmd = parse(&argv("spec hpgmg%gcc --system archer2")).unwrap();
         assert_eq!(
             cmd,
-            Command::Spec { spec: "hpgmg%gcc".into(), system: "archer2".into() }
+            Command::Spec {
+                spec: "hpgmg%gcc".into(),
+                system: "archer2".into()
+            }
         );
     }
 
@@ -380,7 +465,10 @@ mod tests {
     fn execute_spec_prints_table3_row() {
         let mut buf = Vec::new();
         execute(
-            Command::Spec { spec: "hpgmg%gcc".into(), system: "archer2".into() },
+            Command::Spec {
+                spec: "hpgmg%gcc".into(),
+                system: "archer2".into(),
+            },
             &mut buf,
         )
         .unwrap();
@@ -397,6 +485,7 @@ mod tests {
                 benchmarks: vec!["babelstream_cuda".into()],
                 systems: vec!["csd3".into(), "isambard-macs:volta".into()],
                 seed: 42,
+                jobs: 2,
             },
             &mut buf,
         )

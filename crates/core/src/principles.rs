@@ -152,9 +152,12 @@ mod tests {
     fn audits_pass_on_a_real_run() {
         use harness::{cases, Harness, RunOptions};
         let mut h = Harness::new(RunOptions::on_system("csd3"));
-        let report = h.run_case(&cases::babelstream(parkern::Model::Omp, 1 << 22)).unwrap();
+        let report = h
+            .run_case(&cases::babelstream(parkern::Model::Omp, 1 << 22))
+            .unwrap();
         for p in PRINCIPLES {
-            p.audit(&report).unwrap_or_else(|e| panic!("P{} violated: {e}", p.number()));
+            p.audit(&report)
+                .unwrap_or_else(|e| panic!("P{} violated: {e}", p.number()));
         }
     }
 

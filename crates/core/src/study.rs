@@ -14,11 +14,18 @@ pub struct Study {
     cases: Vec<TestCase>,
     systems: Vec<String>,
     seed: u64,
+    jobs: usize,
 }
 
 impl Study {
     pub fn new(name: &str) -> Study {
-        Study { name: name.to_string(), cases: Vec::new(), systems: Vec::new(), seed: 42 }
+        Study {
+            name: name.to_string(),
+            cases: Vec::new(),
+            systems: Vec::new(),
+            seed: 42,
+            jobs: 1,
+        }
     }
 
     pub fn with_case(mut self, case: TestCase) -> Study {
@@ -41,14 +48,24 @@ impl Study {
         self
     }
 
+    /// Run up to `jobs` (case, system) combinations concurrently
+    /// (0 = one per available core). The results are identical to a
+    /// serial study; only the wall-clock changes.
+    pub fn with_jobs(mut self, jobs: usize) -> Study {
+        self.jobs = jobs;
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
-        let runner = SuiteRunner::new(
-            &self.systems.iter().map(String::as_str).collect::<Vec<_>>(),
-        )
-        .with_seed(self.seed);
+        let runner = SuiteRunner::new(&self.systems.iter().map(String::as_str).collect::<Vec<_>>())
+            .with_seed(self.seed)
+            .with_jobs(self.jobs);
         let report = runner.run(&self.cases);
-        StudyResults { name: self.name.clone(), report }
+        StudyResults {
+            name: self.name.clone(),
+            report,
+        }
     }
 }
 
@@ -148,10 +165,13 @@ mod tests {
         assert_eq!(results.report.n_ran(), 2, "omp on CPU + cuda on GPU");
         assert_eq!(results.report.n_skipped(), 2, "the two cross combinations");
 
-        let omp =
-            results.mean_fom("babelstream_omp", "isambard-macs:cascadelake", "Triad").unwrap();
+        let omp = results
+            .mean_fom("babelstream_omp", "isambard-macs:cascadelake", "Triad")
+            .unwrap();
         assert!(omp > 0.0);
-        assert!(results.mean_fom("babelstream_omp", "isambard-macs:volta", "Triad").is_none());
+        assert!(results
+            .mean_fom("babelstream_omp", "isambard-macs:volta", "Triad")
+            .is_none());
     }
 
     #[test]
@@ -161,17 +181,44 @@ mod tests {
             .with_case(cases::babelstream(Model::Cuda, 1 << 22))
             .on_systems(&["isambard-macs:cascadelake", "isambard-macs:volta"]);
         let results = study.run();
-        let peaks = [("isambard-macs:cascadelake", 282_000.0), ("isambard-macs:volta", 900_000.0)];
+        let peaks = [
+            ("isambard-macs:cascadelake", 282_000.0),
+            ("isambard-macs:volta", 900_000.0),
+        ];
         let map = results.efficiency_heatmap(
             "Figure 2 (mini)",
             &["babelstream_omp", "babelstream_cuda"],
             "Triad",
             &peaks,
         );
-        assert!(map.get("babelstream_omp", "isambard-macs:cascadelake").unwrap() > 0.5);
+        assert!(
+            map.get("babelstream_omp", "isambard-macs:cascadelake")
+                .unwrap()
+                > 0.5
+        );
         assert!(map.get("babelstream_omp", "isambard-macs:volta").is_none());
         assert!(map.get("babelstream_cuda", "isambard-macs:volta").unwrap() > 0.85);
         assert!(map.render_text().contains('*'));
+    }
+
+    #[test]
+    fn parallel_study_reproduces_serial_frame() {
+        let build = |jobs| {
+            Study::new("jobs-parity")
+                .with_case(cases::babelstream(Model::Omp, 1 << 22))
+                .with_case(cases::babelstream(Model::Tbb, 1 << 22))
+                .on_systems(&["archer2", "csd3"])
+                .with_seed(9)
+                .with_jobs(jobs)
+                .run()
+        };
+        let serial = build(1);
+        let parallel = build(4);
+        assert_eq!(serial.frame().to_string(), parallel.frame().to_string());
+        assert_eq!(
+            serial.mean_fom("babelstream_omp", "archer2", "Triad"),
+            parallel.mean_fom("babelstream_omp", "archer2", "Triad"),
+        );
     }
 
     #[test]

@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(Cell::Null.total_cmp(&Cell::Int(0)), Ordering::Less);
         assert_eq!(Cell::Int(2).total_cmp(&Cell::Float(2.0)), Ordering::Equal);
         assert_eq!(Cell::Int(3).total_cmp(&Cell::Float(2.5)), Ordering::Greater);
-        assert_eq!(Cell::Str("a".into()).total_cmp(&Cell::Int(9)), Ordering::Greater);
+        assert_eq!(
+            Cell::Str("a".into()).total_cmp(&Cell::Int(9)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -186,7 +189,12 @@ mod tests {
 
     #[test]
     fn display_roundtrips_via_infer() {
-        for c in [Cell::Int(42), Cell::Float(2.5), Cell::Bool(true), Cell::Str("x".into())] {
+        for c in [
+            Cell::Int(42),
+            Cell::Float(2.5),
+            Cell::Bool(true),
+            Cell::Str("x".into()),
+        ] {
             assert_eq!(Cell::infer(&c.to_string()), c);
         }
         // Whole floats print with a decimal point so they stay floats.

@@ -24,8 +24,7 @@ impl DataFrame {
     /// Serialize to CSV with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let names: Vec<String> =
-            self.column_names().iter().map(|n| quote_field(n)).collect();
+        let names: Vec<String> = self.column_names().iter().map(|n| quote_field(n)).collect();
         out.push_str(&names.join(","));
         out.push('\n');
         for i in 0..self.n_rows() {
@@ -111,7 +110,10 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError { record: records.len() + 1, message: "unterminated quote".into() });
+        return Err(CsvError {
+            record: records.len() + 1,
+            message: "unterminated quote".into(),
+        });
     }
     if any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
@@ -135,13 +137,19 @@ mod tests {
     fn quoted_fields_with_commas_and_newlines() {
         let df = from_csv("a,b\n\"1,5\",\"line1\nline2\"\n").unwrap();
         assert_eq!(df.column("a").unwrap().get(0).as_str(), Some("1,5"));
-        assert_eq!(df.column("b").unwrap().get(0).as_str(), Some("line1\nline2"));
+        assert_eq!(
+            df.column("b").unwrap().get(0).as_str(),
+            Some("line1\nline2")
+        );
     }
 
     #[test]
     fn doubled_quotes() {
         let df = from_csv("a\n\"he said \"\"hi\"\"\"\n").unwrap();
-        assert_eq!(df.column("a").unwrap().get(0).as_str(), Some("he said \"hi\""));
+        assert_eq!(
+            df.column("a").unwrap().get(0).as_str(),
+            Some("he said \"hi\"")
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::NoSuchColumn(c) => write!(f, "no such column: `{c}`"),
             FrameError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} cells, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} cells, got {got}"
+                )
             }
             FrameError::DuplicatePivotEntry { row, col } => {
                 write!(f, "duplicate pivot entry at ({row}, {col})")
@@ -40,7 +43,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>) -> Column {
-        Column { name: name.into(), cells: Vec::new() }
+        Column {
+            name: name.into(),
+            cells: Vec::new(),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -71,7 +77,11 @@ impl Column {
 
     /// All finite numeric values in this column.
     pub fn floats(&self) -> Vec<f64> {
-        self.cells.iter().filter_map(Cell::as_float).filter(|f| f.is_finite()).collect()
+        self.cells
+            .iter()
+            .filter_map(Cell::as_float)
+            .filter(|f| f.is_finite())
+            .collect()
     }
 }
 
@@ -92,7 +102,11 @@ impl Row<'_> {
 
     /// The row as owned cells, in column order.
     pub fn to_cells(&self) -> Vec<Cell> {
-        self.frame.columns.iter().map(|c| c.get(self.index).clone()).collect()
+        self.frame
+            .columns
+            .iter()
+            .map(|c| c.get(self.index).clone())
+            .collect()
     }
 }
 
@@ -135,7 +149,10 @@ impl DataFrame {
     /// Append a row; cell count must match the column count.
     pub fn push_row(&mut self, cells: Vec<Cell>) -> Result<(), FrameError> {
         if cells.len() != self.columns.len() {
-            return Err(FrameError::ArityMismatch { expected: self.columns.len(), got: cells.len() });
+            return Err(FrameError::ArityMismatch {
+                expected: self.columns.len(),
+                got: cells.len(),
+            });
         }
         for (col, cell) in self.columns.iter_mut().zip(cells) {
             col.push(cell);
@@ -146,7 +163,10 @@ impl DataFrame {
 
     /// View of row `i`.
     pub fn row(&self, i: usize) -> Row<'_> {
-        Row { frame: self, index: i }
+        Row {
+            frame: self,
+            index: i,
+        }
     }
 
     /// Iterate over row views.
@@ -178,15 +198,22 @@ impl DataFrame {
     pub fn select(&self, names: &[&str]) -> Result<DataFrame, FrameError> {
         let mut cols = Vec::with_capacity(names.len());
         for &n in names {
-            let col = self.column(n).ok_or_else(|| FrameError::NoSuchColumn(n.to_string()))?;
+            let col = self
+                .column(n)
+                .ok_or_else(|| FrameError::NoSuchColumn(n.to_string()))?;
             cols.push(col.clone());
         }
-        Ok(DataFrame { columns: cols, n_rows: self.n_rows })
+        Ok(DataFrame {
+            columns: cols,
+            n_rows: self.n_rows,
+        })
     }
 
     /// Stable sort by `column`, ascending or descending.
     pub fn sort_by(&self, column: &str, ascending: bool) -> Result<DataFrame, FrameError> {
-        let col = self.column(column).ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
+        let col = self
+            .column(column)
+            .ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
         let mut order: Vec<usize> = (0..self.n_rows).collect();
         order.sort_by(|&a, &b| {
             let ord = col.get(a).total_cmp(col.get(b));
@@ -240,7 +267,9 @@ impl DataFrame {
 
     /// Distinct values of `column`, in first-seen order.
     pub fn unique(&self, column: &str) -> Result<Vec<Cell>, FrameError> {
-        let col = self.column(column).ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
+        let col = self
+            .column(column)
+            .ok_or_else(|| FrameError::NoSuchColumn(column.to_string()))?;
         let mut seen: Vec<Cell> = Vec::new();
         for c in col.iter() {
             if !seen.iter().any(|s| s.key_eq(c)) {

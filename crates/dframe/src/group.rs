@@ -17,16 +17,23 @@ impl<'f> GroupBy<'f> {
         let mut groups: Vec<(Vec<Cell>, Vec<usize>)> = Vec::new();
         for i in 0..frame.n_rows() {
             let row = frame.row(i);
-            let key: Vec<Cell> =
-                keys.iter().map(|k| row.get(k).cloned().unwrap_or(Cell::Null)).collect();
-            match groups.iter_mut().find(|(k, _)| {
-                k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.key_eq(b))
-            }) {
+            let key: Vec<Cell> = keys
+                .iter()
+                .map(|k| row.get(k).cloned().unwrap_or(Cell::Null))
+                .collect();
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.key_eq(b)))
+            {
                 Some((_, members)) => members.push(i),
                 None => groups.push((key, vec![i])),
             }
         }
-        GroupBy { frame, keys: keys.iter().map(|s| s.to_string()).collect(), groups }
+        GroupBy {
+            frame,
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            groups,
+        }
     }
 
     /// Number of distinct groups.
@@ -63,14 +70,22 @@ impl<'f> GroupBy<'f> {
     /// Minimum of `column` per group.
     pub fn min(&self, column: &str) -> Result<DataFrame, FrameError> {
         self.numeric_agg("min", column, |vals| {
-            vals.iter().copied().reduce(f64::min).map(Cell::Float).unwrap_or(Cell::Null)
+            vals.iter()
+                .copied()
+                .reduce(f64::min)
+                .map(Cell::Float)
+                .unwrap_or(Cell::Null)
         })
     }
 
     /// Maximum of `column` per group.
     pub fn max(&self, column: &str) -> Result<DataFrame, FrameError> {
         self.numeric_agg("max", column, |vals| {
-            vals.iter().copied().reduce(f64::max).map(Cell::Float).unwrap_or(Cell::Null)
+            vals.iter()
+                .copied()
+                .reduce(f64::max)
+                .map(Cell::Float)
+                .unwrap_or(Cell::Null)
         })
     }
 
@@ -82,7 +97,11 @@ impl<'f> GroupBy<'f> {
     /// Linear-interpolated percentile (0–100) of `column` per group.
     pub fn percentile(&self, column: &str, p: f64) -> Result<DataFrame, FrameError> {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        let op = if (p - 50.0).abs() < 1e-12 { "median".to_string() } else { format!("p{p:.0}") };
+        let op = if (p - 50.0).abs() < 1e-12 {
+            "median".to_string()
+        } else {
+            format!("p{p:.0}")
+        };
         self.numeric_agg(&op, column, move |vals| {
             if vals.is_empty() {
                 return Cell::Null;
@@ -171,8 +190,12 @@ mod tests {
         }
         let g = df.group_by(&["k"]);
         let counts = g.count();
-        let keys: Vec<String> =
-            counts.column("k").unwrap().iter().map(|c| c.to_string()).collect();
+        let keys: Vec<String> = counts
+            .column("k")
+            .unwrap()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         assert_eq!(keys, vec!["b", "a", "c"]);
     }
 
@@ -183,7 +206,8 @@ mod tests {
             df.push_row(vec![Cell::from(k), Cell::from(v)]).unwrap();
         }
         let mut sizes = Vec::new();
-        df.group_by(&["k"]).for_each(|_, sub| sizes.push(sub.n_rows()));
+        df.group_by(&["k"])
+            .for_each(|_, sub| sizes.push(sub.n_rows()));
         assert_eq!(sizes, vec![2, 1]);
     }
 
@@ -213,7 +237,10 @@ mod tests {
             df2.push_row(vec![Cell::from("a"), Cell::from(v)]).unwrap();
         }
         let med2 = df2.group_by(&["k"]).median("v").unwrap();
-        assert_eq!(med2.column("median_v").unwrap().get(0).as_float(), Some(2.5));
+        assert_eq!(
+            med2.column("median_v").unwrap().get(0).as_float(),
+            Some(2.5)
+        );
     }
 
     #[test]

@@ -49,7 +49,8 @@ mod tests {
             ("csd3", "babelstream", 244.6),
             ("isambard", "hpgmg", 30.59),
         ] {
-            df.push_row(vec![Cell::from(s), Cell::from(b), Cell::from(f)]).unwrap();
+            df.push_row(vec![Cell::from(s), Cell::from(b), Cell::from(f)])
+                .unwrap();
         }
         df
     }
@@ -68,7 +69,9 @@ mod tests {
     fn push_row_arity_checked() {
         let mut df = DataFrame::new(vec!["a", "b"]);
         assert!(df.push_row(vec![Cell::from(1i64)]).is_err());
-        assert!(df.push_row(vec![Cell::from(1i64), Cell::from(2i64)]).is_ok());
+        assert!(df
+            .push_row(vec![Cell::from(1i64), Cell::from(2i64)])
+            .is_ok());
     }
 
     #[test]
@@ -77,7 +80,11 @@ mod tests {
         let archer = df.filter_eq("system", &Cell::from("archer2")).unwrap();
         assert_eq!(archer.n_rows(), 2);
         let big = df
-            .filter(|row| row.get("fom").and_then(Cell::as_float).is_some_and(|f| f > 90.0))
+            .filter(|row| {
+                row.get("fom")
+                    .and_then(Cell::as_float)
+                    .is_some_and(|f| f > 90.0)
+            })
             .unwrap();
         assert_eq!(big.n_rows(), 3);
     }
@@ -108,8 +115,9 @@ mod tests {
             df.push_row(vec![Cell::from(k), Cell::from(o)]).unwrap();
         }
         let sorted = df.sort_by("k", true).unwrap();
-        let ords: Vec<i64> =
-            (0..4).map(|i| sorted.column("ord").unwrap().get(i).as_int().unwrap()).collect();
+        let ords: Vec<i64> = (0..4)
+            .map(|i| sorted.column("ord").unwrap().get(i).as_int().unwrap())
+            .collect();
         assert_eq!(ords, vec![0, 2, 1, 3]);
     }
 
@@ -137,9 +145,11 @@ mod tests {
     #[test]
     fn concat_aligns_schemas() {
         let mut a = DataFrame::new(vec!["system", "fom"]);
-        a.push_row(vec![Cell::from("archer2"), Cell::from(1.0)]).unwrap();
+        a.push_row(vec![Cell::from("archer2"), Cell::from(1.0)])
+            .unwrap();
         let mut b = DataFrame::new(vec!["fom", "compiler"]);
-        b.push_row(vec![Cell::from(2.0), Cell::from("gcc")]).unwrap();
+        b.push_row(vec![Cell::from(2.0), Cell::from("gcc")])
+            .unwrap();
         let c = DataFrame::concat(&[a, b]);
         assert_eq!(c.n_rows(), 2);
         assert_eq!(c.column_names(), vec!["system", "fom", "compiler"]);
@@ -165,7 +175,8 @@ mod tests {
             ("omp", "v100", 0.72),
             ("cuda", "v100", 0.93),
         ] {
-            df.push_row(vec![Cell::from(m), Cell::from(p), Cell::from(e)]).unwrap();
+            df.push_row(vec![Cell::from(m), Cell::from(p), Cell::from(e)])
+                .unwrap();
         }
         let piv = df.pivot("model", "platform", "eff").unwrap();
         assert_eq!(piv.column_names(), vec!["model", "milan", "v100"]);
@@ -199,11 +210,15 @@ mod tests {
     #[test]
     fn csv_quoting() {
         let mut df = DataFrame::new(vec!["name", "note"]);
-        df.push_row(vec![Cell::from("a,b"), Cell::from("say \"hi\"\nnewline")]).unwrap();
+        df.push_row(vec![Cell::from("a,b"), Cell::from("say \"hi\"\nnewline")])
+            .unwrap();
         let text = df.to_csv();
         let back = from_csv(&text).unwrap();
         assert_eq!(back.column("name").unwrap().get(0).as_str(), Some("a,b"));
-        assert_eq!(back.column("note").unwrap().get(0).as_str(), Some("say \"hi\"\nnewline"));
+        assert_eq!(
+            back.column("note").unwrap().get(0).as_str(),
+            Some("say \"hi\"\nnewline")
+        );
     }
 
     #[test]
@@ -218,7 +233,8 @@ mod tests {
     #[test]
     fn markdown_rendering() {
         let mut df = DataFrame::new(vec!["sys", "v"]);
-        df.push_row(vec![Cell::from("a|b"), Cell::from(1.5)]).unwrap();
+        df.push_row(vec![Cell::from("a|b"), Cell::from(1.5)])
+            .unwrap();
         let md = df.to_markdown();
         let lines: Vec<&str> = md.lines().collect();
         assert_eq!(lines[0], "| sys | v |");

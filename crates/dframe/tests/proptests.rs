@@ -15,15 +15,16 @@ fn cell() -> impl Strategy<Value = Cell> {
 
 fn frame(max_rows: usize) -> impl Strategy<Value = DataFrame> {
     (1usize..5).prop_flat_map(move |n_cols| {
-        prop::collection::vec(prop::collection::vec(cell(), n_cols..=n_cols), 0..max_rows)
-            .prop_map(move |rows| {
+        prop::collection::vec(prop::collection::vec(cell(), n_cols..=n_cols), 0..max_rows).prop_map(
+            move |rows| {
                 let names: Vec<String> = (0..n_cols).map(|i| format!("c{i}")).collect();
                 let mut df = DataFrame::new(names);
                 for r in rows {
                     df.push_row(r).unwrap();
                 }
                 df
-            })
+            },
+        )
     })
 }
 

@@ -92,7 +92,11 @@ pub struct PerfVar {
 
 impl PerfVar {
     pub fn new(name: &str, pattern: &str, unit: &str) -> PerfVar {
-        PerfVar { name: name.to_string(), pattern: pattern.to_string(), unit: unit.to_string() }
+        PerfVar {
+            name: name.to_string(),
+            pattern: pattern.to_string(),
+            unit: unit.to_string(),
+        }
     }
 }
 
@@ -107,7 +111,11 @@ pub struct Reference {
 
 impl Reference {
     pub fn within(value: f64, frac: f64) -> Reference {
-        Reference { value, lower_frac: -frac, upper_frac: frac }
+        Reference {
+            value,
+            lower_frac: -frac,
+            upper_frac: frac,
+        }
     }
 
     pub fn check(&self, measured: f64) -> bool {
@@ -191,7 +199,12 @@ pub mod cases {
 
     /// The BabelStream case for one programming model (§3.1 / Figure 2).
     pub fn babelstream(model: Model, array_size: usize) -> TestCase {
-        let cfg = BabelStreamConfig { array_size, reps: 100, model, threads: None };
+        let cfg = BabelStreamConfig {
+            array_size,
+            reps: 100,
+            model,
+            threads: None,
+        };
         TestCase::new(
             &format!("babelstream_{}", model.name()),
             &format!("babelstream%gcc +{}", model.name()),
@@ -210,7 +223,13 @@ pub mod cases {
 
     /// The HPCG case for one variant (§3.2 / Table 2).
     pub fn hpcg(variant: benchapps::hpcg::HpcgVariant, ranks: u32) -> TestCase {
-        let cfg = benchapps::hpcg::HpcgConfig { local_dim: 64, ranks, variant, iterations: 50 };
+        let cfg = benchapps::hpcg::HpcgConfig {
+            local_dim: 64,
+            ranks,
+            variant,
+            iterations: 50,
+            threads: None,
+        };
         TestCase::new(
             &format!("hpcg_{}", variant.spec_name()),
             &format!("hpcg%gcc +mpi impl={}", variant.spec_name()),
@@ -224,7 +243,11 @@ pub mod cases {
 
     /// Classic STREAM on a full node (the Principle-1 reference point).
     pub fn stream(array_size: usize) -> TestCase {
-        let cfg = benchapps::stream::StreamConfig { array_size, reps: 10, threads: None };
+        let cfg = benchapps::stream::StreamConfig {
+            array_size,
+            reps: 10,
+            threads: None,
+        };
         TestCase::new("stream", "stream%gcc", App::Stream(cfg))
             .with_layout(1, 1, 0)
             .with_sanity(r"Solution Validates")
@@ -241,9 +264,21 @@ pub mod cases {
         TestCase::new("hpgmg_fv", "hpgmg%gcc +fv", App::Hpgmg(cfg))
             .with_layout(8, 2, 8)
             .with_sanity(r"residual reduction=([\d.eE+-]+)")
-            .with_perf_var(PerfVar::new("l0", r"level 0 FMG solve averaged ([\d.eE+-]+)", "DOF/s"))
-            .with_perf_var(PerfVar::new("l1", r"level 1 FMG solve averaged ([\d.eE+-]+)", "DOF/s"))
-            .with_perf_var(PerfVar::new("l2", r"level 2 FMG solve averaged ([\d.eE+-]+)", "DOF/s"))
+            .with_perf_var(PerfVar::new(
+                "l0",
+                r"level 0 FMG solve averaged ([\d.eE+-]+)",
+                "DOF/s",
+            ))
+            .with_perf_var(PerfVar::new(
+                "l1",
+                r"level 1 FMG solve averaged ([\d.eE+-]+)",
+                "DOF/s",
+            ))
+            .with_perf_var(PerfVar::new(
+                "l2",
+                r"level 2 FMG solve averaged ([\d.eE+-]+)",
+                "DOF/s",
+            ))
             .with_extra("args", "7 8")
     }
 }
@@ -274,7 +309,11 @@ mod tests {
     fn hpgmg_case_matches_paper_layout() {
         let case = cases::hpgmg();
         assert_eq!(
-            (case.num_tasks, case.num_tasks_per_node, case.num_cpus_per_task),
+            (
+                case.num_tasks,
+                case.num_tasks_per_node,
+                case.num_cpus_per_task
+            ),
             (8, 2, 8)
         );
     }

@@ -51,9 +51,19 @@ pub enum HarnessError {
     BadSpec(String),
     ConcretizeFailed(String),
     SchedulerRejected(String),
-    SanityFailed { pattern: String, stdout_head: String },
-    FomNotFound { name: String, pattern: String },
-    ReferenceFailed { fom: String, measured: f64, expected: f64 },
+    SanityFailed {
+        pattern: String,
+        stdout_head: String,
+    },
+    FomNotFound {
+        name: String,
+        pattern: String,
+    },
+    ReferenceFailed {
+        fom: String,
+        measured: f64,
+        expected: f64,
+    },
     BenchFailed(String),
 }
 
@@ -65,14 +75,27 @@ impl fmt::Display for HarnessError {
             HarnessError::BadSpec(m) => write!(f, "bad spec: {m}"),
             HarnessError::ConcretizeFailed(m) => write!(f, "concretization failed: {m}"),
             HarnessError::SchedulerRejected(m) => write!(f, "scheduler rejected the job: {m}"),
-            HarnessError::SanityFailed { pattern, stdout_head } => {
-                write!(f, "sanity pattern `{pattern}` not found in output `{stdout_head}...`")
+            HarnessError::SanityFailed {
+                pattern,
+                stdout_head,
+            } => {
+                write!(
+                    f,
+                    "sanity pattern `{pattern}` not found in output `{stdout_head}...`"
+                )
             }
             HarnessError::FomNotFound { name, pattern } => {
                 write!(f, "FOM `{name}` (pattern `{pattern}`) not found in output")
             }
-            HarnessError::ReferenceFailed { fom, measured, expected } => {
-                write!(f, "FOM `{fom}`: measured {measured} outside reference {expected}")
+            HarnessError::ReferenceFailed {
+                fom,
+                measured,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "FOM `{fom}`: measured {measured} outside reference {expected}"
+                )
             }
             HarnessError::BenchFailed(m) => write!(f, "benchmark failed: {m}"),
         }
@@ -135,7 +158,8 @@ impl Harness {
 
     /// Perflog for (system, benchmark), if any runs landed there.
     pub fn perflog(&self, system: &str, benchmark: &str) -> Option<&Perflog> {
-        self.perflogs.get(&(system.to_string(), benchmark.to_string()))
+        self.perflogs
+            .get(&(system.to_string(), benchmark.to_string()))
     }
 
     /// All perflogs, keyed by (system, benchmark).
@@ -159,9 +183,7 @@ impl Harness {
             .map_err(|e| HarnessError::BadSpec(e.to_string()))?;
         let ctx = spackle::context_for(&system, &partition);
         let concrete = spackle::concretize(&spec, &self.repo, &ctx).map_err(|e| match e {
-            spackle::ConcretizeError::Conflict { .. } => {
-                HarnessError::Unsupported(e.to_string())
-            }
+            spackle::ConcretizeError::Conflict { .. } => HarnessError::Unsupported(e.to_string()),
             other => HarnessError::ConcretizeFailed(other.to_string()),
         })?;
         let install = spackle::install(
@@ -215,8 +237,7 @@ impl Harness {
             SchedulerKind::Pbs => Policy::Fifo,
             SchedulerKind::Local => Policy::Backfill,
         };
-        let mut sched =
-            Scheduler::new(policy, partition.nodes().max(1), proc.total_cores().max(1));
+        let mut sched = Scheduler::new(policy, partition.nodes().max(1), proc.total_cores().max(1));
         // P3 makes the build part of every run: when packages were built,
         // a build job precedes the benchmark job via an `afterok`
         // dependency, exactly as a site CI pipeline would chain them.
@@ -246,7 +267,15 @@ impl Harness {
         let job_script = batchsim::render_script(
             system.scheduler(),
             &request,
-            &format!("{} {}", case.name, case.extras.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(" ")),
+            &format!(
+                "{} {}",
+                case.name,
+                case.extras
+                    .iter()
+                    .map(|(_, v)| v.clone())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
         );
 
         // -- sanity: the run must have produced valid output (rexpr) ------
@@ -264,10 +293,12 @@ impl Harness {
         for var in &case.perf_vars {
             let re = rexpr::Regex::new(&var.pattern)
                 .map_err(|e| HarnessError::BadSpec(format!("bad perf pattern: {e}")))?;
-            let caps = re.captures(&output.stdout).ok_or_else(|| HarnessError::FomNotFound {
-                name: var.name.clone(),
-                pattern: var.pattern.clone(),
-            })?;
+            let caps = re
+                .captures(&output.stdout)
+                .ok_or_else(|| HarnessError::FomNotFound {
+                    name: var.name.clone(),
+                    pattern: var.pattern.clone(),
+                })?;
             let text = caps
                 .get(1)
                 .ok_or_else(|| HarnessError::FomNotFound {
@@ -279,7 +310,11 @@ impl Harness {
                 name: var.name.clone(),
                 pattern: var.pattern.clone(),
             })?;
-            foms.push(Fom { name: var.name.clone(), value, unit: var.unit.clone() });
+            foms.push(Fom {
+                name: var.name.clone(),
+                value,
+                unit: var.unit.clone(),
+            });
         }
         for (fom_name, reference) in &case.references {
             if let Some(f) = foms.iter().find(|f| &f.name == fom_name) {
@@ -305,13 +340,22 @@ impl Harness {
         // -- perflog ------------------------------------------------------
         self.sequence += 1;
         let mut extras = case.extras.clone();
-        extras.push(("queue_wait_s".to_string(), format!("{:.6}", job.wait_time().unwrap_or(0.0))));
+        extras.push((
+            "queue_wait_s".to_string(),
+            format!("{:.6}", job.wait_time().unwrap_or(0.0)),
+        ));
         if let Some(b) = build_job {
             extras.push(("build_job_id".to_string(), b.to_string()));
         }
         extras.push(("energy_j".to_string(), format!("{:.3}", telemetry.energy_j)));
-        extras.push(("avg_power_w".to_string(), format!("{:.1}", telemetry.avg_power_w)));
-        extras.push(("network_bytes".to_string(), telemetry.network_bytes.to_string()));
+        extras.push((
+            "avg_power_w".to_string(),
+            format!("{:.1}", telemetry.avg_power_w),
+        ));
+        extras.push((
+            "network_bytes".to_string(),
+            telemetry.network_bytes.to_string(),
+        ));
         let record = PerflogRecord {
             sequence: self.sequence,
             benchmark: case.name.clone(),
@@ -380,7 +424,10 @@ mod tests {
         let first = h.run_case(&case).unwrap();
         let second = h.run_case(&case).unwrap();
         assert!(first.packages_built >= second.packages_built);
-        assert_eq!(second.packages_built, 1, "only the benchmark itself rebuilds");
+        assert_eq!(
+            second.packages_built, 1,
+            "only the benchmark itself rebuilds"
+        );
         assert!(second.packages_cached > 0);
     }
 
@@ -392,7 +439,10 @@ mod tests {
         let case = cases::babelstream(Model::Omp, 1 << 22);
         h.run_case(&case).unwrap();
         let second = h.run_case(&case).unwrap();
-        assert_eq!(second.packages_built, 0, "without P3 the stale binary is reused");
+        assert_eq!(
+            second.packages_built, 0,
+            "without P3 the stale binary is reused"
+        );
     }
 
     #[test]
@@ -410,16 +460,24 @@ mod tests {
     fn unknown_system_rejected() {
         let mut h = Harness::new(RunOptions::on_system("summit"));
         let case = cases::babelstream(Model::Omp, 1 << 20);
-        assert!(matches!(h.run_case(&case), Err(HarnessError::UnknownSystem(_))));
+        assert!(matches!(
+            h.run_case(&case),
+            Err(HarnessError::UnknownSystem(_))
+        ));
     }
 
     #[test]
     fn sanity_failure_blocks_fom() {
         let mut h = Harness::new(RunOptions::on_system("csd3"));
-        let case =
-            cases::babelstream(Model::Omp, 1 << 22).with_sanity("THIS NEVER APPEARS");
-        assert!(matches!(h.run_case(&case), Err(HarnessError::SanityFailed { .. })));
-        assert!(h.perflog("csd3", "babelstream").is_none(), "no FOM on sanity failure");
+        let case = cases::babelstream(Model::Omp, 1 << 22).with_sanity("THIS NEVER APPEARS");
+        assert!(matches!(
+            h.run_case(&case),
+            Err(HarnessError::SanityFailed { .. })
+        ));
+        assert!(
+            h.perflog("csd3", "babelstream").is_none(),
+            "no FOM on sanity failure"
+        );
     }
 
     #[test]
@@ -427,7 +485,10 @@ mod tests {
         let mut h = Harness::new(RunOptions::on_system("csd3"));
         let case = cases::babelstream(Model::Omp, 1 << 25)
             .with_reference("Triad", crate::Reference::within(1.0, 0.05));
-        assert!(matches!(h.run_case(&case), Err(HarnessError::ReferenceFailed { .. })));
+        assert!(matches!(
+            h.run_case(&case),
+            Err(HarnessError::ReferenceFailed { .. })
+        ));
     }
 
     #[test]
@@ -453,7 +514,11 @@ mod tests {
         // The run job waited for the build job (P3 made the rebuild part
         // of the pipeline's critical path).
         assert!(
-            report.record.extras.iter().any(|(k, _)| k == "build_job_id"),
+            report
+                .record
+                .extras
+                .iter()
+                .any(|(k, _)| k == "build_job_id"),
             "build job recorded in the perflog"
         );
         assert!(
@@ -468,7 +533,11 @@ mod tests {
         let mut h2 = Harness::new(opts);
         h2.run_case(&case).unwrap();
         let second = h2.run_case(&case).unwrap();
-        assert!(second.record.extras.iter().all(|(k, _)| k != "build_job_id"));
+        assert!(second
+            .record
+            .extras
+            .iter()
+            .all(|(k, _)| k != "build_job_id"));
         assert_eq!(second.queue_wait_s, 0.0);
     }
 
@@ -477,7 +546,12 @@ mod tests {
         let run = |seed| {
             let mut h = Harness::new(RunOptions::on_system("noctua2").with_seed(seed));
             let case = cases::babelstream(Model::Omp, 1 << 25);
-            h.run_case(&case).unwrap().record.fom("Triad").unwrap().value
+            h.run_case(&case)
+                .unwrap()
+                .record
+                .fom("Triad")
+                .unwrap()
+                .value
         };
         assert_eq!(run(7), run(7), "same seed, same FOM");
         assert_ne!(run(7), run(8), "different seed, different noise");

@@ -5,6 +5,9 @@
 
 use crate::{CaseReport, Harness, HarnessError, RunOptions, TestCase};
 use perflogs::Perflog;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// What happened to one (case, system) combination.
 #[derive(Debug)]
@@ -50,8 +53,11 @@ impl SuiteReport {
 
     /// Assimilate every perflog into one data frame (Principle 6).
     pub fn combined_frame(&self) -> dframe::DataFrame {
-        let frames: Vec<dframe::DataFrame> =
-            self.perflogs.iter().map(|(_, log)| log.to_frame()).collect();
+        let frames: Vec<dframe::DataFrame> = self
+            .perflogs
+            .iter()
+            .map(|(_, log)| log.to_frame())
+            .collect();
         dframe::DataFrame::concat(&frames)
     }
 
@@ -64,15 +70,36 @@ impl SuiteReport {
     }
 }
 
-/// Sweeps cases across systems, one harness session per system.
+/// What one hermetic (system, case) job hands back for reassembly.
+struct JobResult {
+    outcome: SuiteOutcome,
+    /// Perflog key `(system name, benchmark family)` when the job ran.
+    key: Option<(String, String)>,
+}
+
+/// Sweeps cases across systems with a bounded worker pool.
+///
+/// Every (system, case) combination is a *hermetic* job: it gets a fresh
+/// harness session (cold package store, fresh run counter), so jobs are
+/// order-independent and the report is identical for any `jobs` count.
+/// Outcomes are reassembled in deterministic (system, case) order and
+/// perflog sequence numbers are renumbered per system in case order, as a
+/// serial sweep would have assigned them.
 pub struct SuiteRunner {
     pub systems: Vec<String>,
     pub seed: u64,
+    /// Concurrent jobs; 1 runs inline on the caller, 0 means auto
+    /// ([`parkern::default_workers`]).
+    pub jobs: usize,
 }
 
 impl SuiteRunner {
     pub fn new(systems: &[&str]) -> SuiteRunner {
-        SuiteRunner { systems: systems.iter().map(|s| s.to_string()).collect(), seed: 42 }
+        SuiteRunner {
+            systems: systems.iter().map(|s| s.to_string()).collect(),
+            seed: 42,
+            jobs: 1,
+        }
     }
 
     pub fn with_seed(mut self, seed: u64) -> SuiteRunner {
@@ -80,23 +107,97 @@ impl SuiteRunner {
         self
     }
 
+    /// Fan (system × case) jobs across `jobs` workers (0 = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> SuiteRunner {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Run one (system, case) combination in a fresh harness session.
+    fn run_job(&self, cases: &[TestCase], job: usize) -> JobResult {
+        let system = &self.systems[job / cases.len()];
+        let case = &cases[job % cases.len()];
+        let mut harness = Harness::new(RunOptions::on_system(system).with_seed(self.seed));
+        match harness.run_case(case) {
+            Ok(report) => JobResult {
+                key: Some((report.record.system.clone(), case.app.name().to_string())),
+                outcome: SuiteOutcome::Ran(Box::new(report)),
+            },
+            Err(HarnessError::Unsupported(reason)) => JobResult {
+                outcome: SuiteOutcome::Skipped(reason),
+                key: None,
+            },
+            Err(other) => JobResult {
+                outcome: SuiteOutcome::Failed(other),
+                key: None,
+            },
+        }
+    }
+
+    /// Pull jobs off the shared index until none remain.
+    fn work(&self, cases: &[TestCase], slots: &[Mutex<Option<JobResult>>], next: &AtomicUsize) {
+        loop {
+            let job = next.fetch_add(1, Ordering::Relaxed);
+            if job >= slots.len() {
+                return;
+            }
+            let result = self.run_job(cases, job);
+            *slots[job].lock().expect("job slot poisoned") = Some(result);
+        }
+    }
+
     /// Run every case on every system.
     pub fn run(&self, cases: &[TestCase]) -> SuiteReport {
-        let mut outcomes = Vec::new();
+        let n_jobs = self.systems.len() * cases.len();
+        let jobs = if self.jobs == 0 {
+            parkern::default_workers()
+        } else {
+            self.jobs
+        };
+        let workers = jobs.min(n_jobs).max(1);
+
+        let mut results: Vec<Option<JobResult>> = if workers <= 1 {
+            (0..n_jobs)
+                .map(|job| Some(self.run_job(cases, job)))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Option<JobResult>>> =
+                (0..n_jobs).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                // The caller is a worker too; spawn only workers - 1.
+                for _ in 1..workers {
+                    s.spawn(|| self.work(cases, &slots, &next));
+                }
+                self.work(cases, &slots, &next);
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("job slot poisoned"))
+                .collect()
+        };
+
+        // Deterministic reassembly: (system, case) order, with perflog
+        // sequence numbers renumbered exactly as a serial one-session-per-
+        // system sweep would count its successful runs.
+        let mut outcomes = Vec::with_capacity(n_jobs);
         let mut perflogs = Vec::new();
-        for system in &self.systems {
-            let mut harness = Harness::new(RunOptions::on_system(system).with_seed(self.seed));
-            for case in cases {
-                let outcome = match harness.run_case(case) {
-                    Ok(report) => SuiteOutcome::Ran(Box::new(report)),
-                    Err(HarnessError::Unsupported(reason)) => SuiteOutcome::Skipped(reason),
-                    Err(other) => SuiteOutcome::Failed(other),
-                };
+        for (si, system) in self.systems.iter().enumerate() {
+            let mut merged: BTreeMap<(String, String), Perflog> = BTreeMap::new();
+            let mut sequence = 0u64;
+            for (ci, case) in cases.iter().enumerate() {
+                let JobResult { mut outcome, key } = results[si * cases.len() + ci]
+                    .take()
+                    .expect("every job slot filled");
+                if let SuiteOutcome::Ran(report) = &mut outcome {
+                    sequence += 1;
+                    report.record.sequence = sequence;
+                    let key = key.expect("ran jobs carry a perflog key");
+                    merged.entry(key).or_default().append(report.record.clone());
+                }
                 outcomes.push((case.name.clone(), system.clone(), outcome));
             }
-            for (key, log) in harness.perflogs() {
-                perflogs.push((key.clone(), log.clone()));
-            }
+            perflogs.extend(merged);
         }
         SuiteReport { outcomes, perflogs }
     }
@@ -116,23 +217,44 @@ mod tests {
             cases::babelstream(Model::Cuda, 1 << 22),
             cases::babelstream(Model::Tbb, 1 << 22),
         ];
-        let runner =
-            SuiteRunner::new(&["isambard-macs:cascadelake", "isambard-macs:volta", "isambard:xci"]);
+        let runner = SuiteRunner::new(&[
+            "isambard-macs:cascadelake",
+            "isambard-macs:volta",
+            "isambard:xci",
+        ]);
         let report = runner.run(&cases);
         assert_eq!(report.outcomes.len(), 9);
         // OMP runs on both CPUs, not the GPU.
-        assert!(report.outcome("babelstream_omp", "isambard-macs:cascadelake").unwrap().ran());
-        assert!(report.outcome("babelstream_omp", "isambard:xci").unwrap().ran());
-        assert!(report.outcome("babelstream_omp", "isambard-macs:volta").unwrap().skipped());
+        assert!(report
+            .outcome("babelstream_omp", "isambard-macs:cascadelake")
+            .unwrap()
+            .ran());
+        assert!(report
+            .outcome("babelstream_omp", "isambard:xci")
+            .unwrap()
+            .ran());
+        assert!(report
+            .outcome("babelstream_omp", "isambard-macs:volta")
+            .unwrap()
+            .skipped());
         // CUDA only on the GPU.
-        assert!(report.outcome("babelstream_cuda", "isambard-macs:volta").unwrap().ran());
+        assert!(report
+            .outcome("babelstream_cuda", "isambard-macs:volta")
+            .unwrap()
+            .ran());
         assert!(report
             .outcome("babelstream_cuda", "isambard-macs:cascadelake")
             .unwrap()
             .skipped());
         // TBB skipped on ThunderX2 (the paper's starred box).
-        assert!(report.outcome("babelstream_tbb", "isambard:xci").unwrap().skipped());
-        assert!(report.outcome("babelstream_tbb", "isambard-macs:cascadelake").unwrap().ran());
+        assert!(report
+            .outcome("babelstream_tbb", "isambard:xci")
+            .unwrap()
+            .skipped());
+        assert!(report
+            .outcome("babelstream_tbb", "isambard-macs:cascadelake")
+            .unwrap()
+            .ran());
         assert_eq!(report.n_failed(), 0);
     }
 
@@ -145,5 +267,68 @@ mod tests {
         // 2 systems × 5 FOMs.
         assert_eq!(df.n_rows(), 10);
         assert_eq!(df.unique("system").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        // The tentpole determinism guarantee: fanning the (system × case)
+        // grid across 4 workers must reproduce the jobs=1 report exactly —
+        // same outcomes in the same order, same perflogs, same sequence
+        // numbers. Mix of ran/skipped combinations and multiple cases per
+        // system so sequence renumbering is actually exercised.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Cuda, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::hpgmg(),
+        ];
+        let systems = [
+            "isambard-macs:cascadelake",
+            "isambard-macs:volta",
+            "archer2",
+        ];
+        let serial = SuiteRunner::new(&systems).with_seed(7).run(&cases);
+        let parallel = SuiteRunner::new(&systems)
+            .with_seed(7)
+            .with_jobs(4)
+            .run(&cases);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+        assert_eq!(
+            serial.combined_frame().to_string(),
+            parallel.combined_frame().to_string()
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_count_successful_runs_per_system() {
+        // omp runs, cuda skips, tbb runs on cascadelake: the two ran cases
+        // must carry sequences 1 and 2 (the skip does not consume one).
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Cuda, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let report = SuiteRunner::new(&["isambard-macs:cascadelake"])
+            .with_jobs(3)
+            .run(&cases);
+        let seq_of = |case: &str| match report.outcome(case, "isambard-macs:cascadelake") {
+            Some(SuiteOutcome::Ran(r)) => r.record.sequence,
+            other => panic!("expected Ran, got {other:?}"),
+        };
+        assert_eq!(seq_of("babelstream_omp"), 1);
+        assert_eq!(seq_of("babelstream_tbb"), 2);
+        // The perflog copy agrees with the report copy.
+        let (_, log) = &report.perflogs[0];
+        assert_eq!(
+            log.records().iter().map(|r| r.sequence).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let cases = vec![cases::babelstream(Model::Omp, 1 << 20)];
+        let report = SuiteRunner::new(&["csd3"]).with_jobs(0).run(&cases);
+        assert_eq!(report.n_ran(), 1);
     }
 }

@@ -41,7 +41,14 @@ impl Comm {
         inbox: Receiver<Message>,
         collectives: Arc<Collectives>,
     ) -> Comm {
-        Comm { rank, size, senders, inbox, stash: VecDeque::new(), collectives }
+        Comm {
+            rank,
+            size,
+            senders,
+            inbox,
+            stash: VecDeque::new(),
+            collectives,
+        }
     }
 
     /// This rank's index, `0..size`.
@@ -58,7 +65,11 @@ impl Comm {
     pub fn send(&self, dest: usize, tag: u32, data: Vec<f64>) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         self.senders[dest]
-            .send(Message { source: self.rank, tag, data })
+            .send(Message {
+                source: self.rank,
+                tag,
+                data,
+            })
             .expect("receiving rank has exited the world");
     }
 
@@ -66,8 +77,10 @@ impl Comm {
     /// (non-overtaking per (source, tag) stream).
     pub fn recv(&mut self, source: usize, tag: u32) -> Vec<f64> {
         // Check the stash first.
-        if let Some(pos) =
-            self.stash.iter().position(|m| m.source == source && m.tag == tag)
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.source == source && m.tag == tag)
         {
             return self.stash.remove(pos).expect("position valid").data;
         }

@@ -115,7 +115,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let out = run(5, |c| {
-            let data = if c.rank() == 0 { vec![42.0, 7.0] } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                vec![42.0, 7.0]
+            } else {
+                Vec::new()
+            };
             c.broadcast(0, data)
         });
         for v in out {

@@ -14,8 +14,7 @@ where
     R: Send,
 {
     assert!(size > 0, "a world needs at least one rank");
-    let (senders, receivers): (Vec<_>, Vec<_>) =
-        (0..size).map(|_| unbounded::<Message>()).unzip();
+    let (senders, receivers): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded::<Message>()).unzip();
     let collectives = Arc::new(Collectives {
         barrier: Barrier::new(size),
         slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),

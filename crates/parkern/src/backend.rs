@@ -1,5 +1,6 @@
 //! The execution backend abstraction and its simpler implementations.
 
+use std::num::NonZeroUsize;
 use std::ops::Range;
 
 /// A data-parallel execution backend.
@@ -15,6 +16,19 @@ pub trait Backend: Send + Sync {
     /// Run `body` over disjoint chunks covering `0..n`.
     fn par_for(&self, n: usize, body: &(dyn Fn(Range<usize>) + Sync));
 
+    /// Run `body` over disjoint chunks covering `0..n`, with at least
+    /// `grain` indices per chunk. Small iteration spaces therefore use
+    /// fewer workers (possibly one), so per-chunk dispatch overhead never
+    /// dominates tiny loops. `grain <= 1` behaves like [`Backend::par_for`].
+    ///
+    /// The default delegates to `par_for`, so existing implementations keep
+    /// working; the in-tree backends all override it with genuinely grained
+    /// scheduling.
+    fn par_for_grained(&self, n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        let _ = grain;
+        self.par_for(n, body);
+    }
+
     /// Sum the per-chunk partial results of `body` over `0..n`.
     fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64;
 
@@ -22,22 +36,54 @@ pub trait Backend: Send + Sync {
     fn label(&self) -> &'static str;
 }
 
-/// Split `0..n` into at most `pieces` contiguous, balanced chunks.
-pub fn chunks(n: usize, pieces: usize) -> Vec<Range<usize>> {
-    let pieces = pieces.max(1).min(n.max(1));
+/// The `index`-th of `pieces` contiguous, balanced chunks covering `0..n`,
+/// computed without allocating. `pieces` is clamped to `1..=n`; out-of-range
+/// indices (and `n == 0`) yield `None`.
+pub fn chunk_range(n: usize, pieces: usize, index: usize) -> Option<Range<usize>> {
+    if n == 0 {
+        return None;
+    }
+    let pieces = pieces.clamp(1, n);
+    if index >= pieces {
+        return None;
+    }
     let base = n / pieces;
     let extra = n % pieces;
-    let mut out = Vec::with_capacity(pieces);
-    let mut start = 0;
-    for i in 0..pieces {
-        let len = base + usize::from(i < extra);
-        if len == 0 {
-            continue;
-        }
-        out.push(start..start + len);
-        start += len;
-    }
-    out
+    let start = index * base + index.min(extra);
+    let len = base + usize::from(index < extra);
+    Some(start..start + len)
+}
+
+/// Split `0..n` into at most `pieces` contiguous, balanced chunks.
+pub fn chunks(n: usize, pieces: usize) -> Vec<Range<usize>> {
+    (0..pieces.max(1))
+        .map_while(|i| chunk_range(n, pieces, i))
+        .collect()
+}
+
+/// How many chunks a grained loop over `0..n` should use: enough to give
+/// every chunk at least `grain` indices, capped at `workers`.
+pub(crate) fn grained_pieces(n: usize, grain: usize, workers: usize) -> usize {
+    let grain = grain.max(1);
+    n.div_ceil(grain).clamp(1, workers.max(1))
+}
+
+/// Worker count to use when none is specified: `BENCHKIT_THREADS` if set to
+/// a positive integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    workers_from_env(std::env::var("BENCHKIT_THREADS").ok().as_deref())
+}
+
+/// Testable core of [`default_workers`]: parse an override, falling back to
+/// the machine's available parallelism.
+pub(crate) fn workers_from_env(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// Sequential reference backend.
@@ -55,6 +101,10 @@ impl Backend for SerialBackend {
         }
     }
 
+    fn par_for_grained(&self, n: usize, _grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        self.par_for(n, body);
+    }
+
     fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
         if n > 0 {
             body(0..n)
@@ -69,7 +119,8 @@ impl Backend for SerialBackend {
 }
 
 /// Fork-join backend: spawns scoped `std::thread`s per region (the
-/// "std-data"/"std-indices" execution style).
+/// "std-data"/"std-indices" execution style). The calling thread executes
+/// the final chunk itself instead of idling at the join.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadsBackend {
     workers: usize,
@@ -77,7 +128,14 @@ pub struct ThreadsBackend {
 
 impl ThreadsBackend {
     pub fn new(workers: usize) -> ThreadsBackend {
-        ThreadsBackend { workers: workers.max(1) }
+        ThreadsBackend {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A backend sized by [`default_workers`].
+    pub fn auto() -> ThreadsBackend {
+        ThreadsBackend::new(default_workers())
     }
 }
 
@@ -87,30 +145,49 @@ impl Backend for ThreadsBackend {
     }
 
     fn par_for(&self, n: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
-        let parts = chunks(n, self.workers);
-        if parts.len() <= 1 {
-            if let Some(r) = parts.into_iter().next() {
-                body(r);
-            }
+        self.par_for_grained(n, 1, body);
+    }
+
+    fn par_for_grained(&self, n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        let pieces = grained_pieces(n, grain, self.workers);
+        if n == 0 {
+            return;
+        }
+        if pieces <= 1 {
+            body(0..n);
             return;
         }
         std::thread::scope(|scope| {
-            for r in parts {
+            for i in 0..pieces - 1 {
+                let r = chunk_range(n, pieces, i).expect("in-range chunk");
                 scope.spawn(move || body(r));
             }
+            // The caller works the last chunk rather than idling until join.
+            body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
         });
     }
 
     fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
-        let parts = chunks(n, self.workers);
-        if parts.len() <= 1 {
-            return parts.into_iter().next().map(body).unwrap_or(0.0);
+        if n == 0 {
+            return 0.0;
         }
-        let partials: Vec<f64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts.into_iter().map(|r| scope.spawn(move || body(r))).collect();
-            handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect()
-        });
-        partials.iter().sum()
+        let pieces = self.workers.min(n);
+        if pieces <= 1 {
+            return body(0..n);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..pieces - 1)
+                .map(|i| {
+                    let r = chunk_range(n, pieces, i).expect("in-range chunk");
+                    scope.spawn(move || body(r))
+                })
+                .collect();
+            let own = body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
+            own + handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel worker panicked"))
+                .sum::<f64>()
+        })
     }
 
     fn label(&self) -> &'static str {
@@ -118,7 +195,8 @@ impl Backend for ThreadsBackend {
     }
 }
 
-/// Crossbeam scoped-thread backend (the "TBB" execution style).
+/// Crossbeam scoped-thread backend (the "TBB" execution style). Like
+/// [`ThreadsBackend`] the caller participates by running the last chunk.
 #[derive(Debug, Clone, Copy)]
 pub struct CrossbeamBackend {
     workers: usize,
@@ -126,7 +204,14 @@ pub struct CrossbeamBackend {
 
 impl CrossbeamBackend {
     pub fn new(workers: usize) -> CrossbeamBackend {
-        CrossbeamBackend { workers: workers.max(1) }
+        CrossbeamBackend {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A backend sized by [`default_workers`].
+    pub fn auto() -> CrossbeamBackend {
+        CrossbeamBackend::new(default_workers())
     }
 }
 
@@ -136,30 +221,48 @@ impl Backend for CrossbeamBackend {
     }
 
     fn par_for(&self, n: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
-        let parts = chunks(n, self.workers);
-        if parts.len() <= 1 {
-            if let Some(r) = parts.into_iter().next() {
-                body(r);
-            }
+        self.par_for_grained(n, 1, body);
+    }
+
+    fn par_for_grained(&self, n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        let pieces = grained_pieces(n, grain, self.workers);
+        if n == 0 {
+            return;
+        }
+        if pieces <= 1 {
+            body(0..n);
             return;
         }
         crossbeam::scope(|scope| {
-            for r in parts {
+            for i in 0..pieces - 1 {
+                let r = chunk_range(n, pieces, i).expect("in-range chunk");
                 scope.spawn(move |_| body(r));
             }
+            body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
         })
         .expect("kernel worker panicked");
     }
 
     fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
-        let parts = chunks(n, self.workers);
-        if parts.len() <= 1 {
-            return parts.into_iter().next().map(body).unwrap_or(0.0);
+        if n == 0 {
+            return 0.0;
+        }
+        let pieces = self.workers.min(n);
+        if pieces <= 1 {
+            return body(0..n);
         }
         crossbeam::scope(|scope| {
-            let handles: Vec<_> =
-                parts.into_iter().map(|r| scope.spawn(move |_| body(r))).collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            let handles: Vec<_> = (0..pieces - 1)
+                .map(|i| {
+                    let r = chunk_range(n, pieces, i).expect("in-range chunk");
+                    scope.spawn(move |_| body(r))
+                })
+                .collect();
+            let own = body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
+            own + handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<f64>()
         })
         .expect("kernel worker panicked")
     }
@@ -207,6 +310,46 @@ mod tests {
     }
 
     #[test]
+    fn chunk_range_agrees_with_chunks() {
+        for n in [0usize, 1, 5, 64, 1000] {
+            for p in [1usize, 2, 7, 64, 2000] {
+                let eager = chunks(n, p);
+                let lazy: Vec<_> = (0..p).map_while(|i| chunk_range(n, p, i)).collect();
+                assert_eq!(eager, lazy, "n={n} p={p}");
+                assert_eq!(chunk_range(n, p, p), None);
+            }
+        }
+    }
+
+    #[test]
+    fn grained_pieces_respects_grain_and_cap() {
+        assert_eq!(grained_pieces(1000, 1, 8), 8);
+        assert_eq!(grained_pieces(1000, 500, 8), 2);
+        assert_eq!(grained_pieces(1000, 1000, 8), 1);
+        assert_eq!(grained_pieces(3, 1, 8), 3); // capped by chunk_range clamp anyway
+        assert_eq!(grained_pieces(0, 1, 8), 1);
+        // Every chunk meets the grain (except possibly when n < grain).
+        for (n, grain, workers) in [(10_000, 256, 8), (777, 100, 4), (50, 64, 8)] {
+            let pieces = grained_pieces(n, grain, workers);
+            for i in 0..pieces {
+                let r = chunk_range(n, pieces, i).unwrap();
+                assert!(r.len() >= grain.min(n), "n={n} grain={grain}: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_from_env_override() {
+        assert_eq!(workers_from_env(Some("3")), 3);
+        assert_eq!(workers_from_env(Some(" 12 ")), 12);
+        let fallback = workers_from_env(None);
+        assert!(fallback >= 1);
+        // Junk and zero fall back to machine parallelism.
+        assert_eq!(workers_from_env(Some("0")), fallback);
+        assert_eq!(workers_from_env(Some("lots")), fallback);
+    }
+
+    #[test]
     fn par_for_visits_every_index_once() {
         for b in backends() {
             let n = 10_000;
@@ -221,6 +364,25 @@ mod tests {
                 "backend {} missed or duplicated indices",
                 b.label()
             );
+        }
+    }
+
+    #[test]
+    fn par_for_grained_visits_every_index_once() {
+        for b in backends() {
+            for (n, grain) in [(10_000, 256), (100, 1000), (9, 2), (1, 4)] {
+                let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                b.par_for_grained(n, grain, &|r| {
+                    for i in r {
+                        counters[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    counters.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "backend {} n={n} grain={grain} missed or duplicated indices",
+                    b.label()
+                );
+            }
         }
     }
 
@@ -243,6 +405,7 @@ mod tests {
     fn empty_and_tiny_inputs() {
         for b in backends() {
             b.par_for(0, &|_| panic!("no work expected"));
+            b.par_for_grained(0, 64, &|_| panic!("no work expected"));
             assert_eq!(b.par_reduce_sum(0, &|_| 1.0), 0.0);
             let mut hit = std::sync::atomic::AtomicUsize::new(0);
             b.par_for(1, &|r| {
@@ -250,6 +413,38 @@ mod tests {
                 hit.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(*hit.get_mut(), 1);
+        }
+    }
+
+    #[test]
+    fn caller_participates_in_fork_join() {
+        // The dispatching thread must run a chunk itself instead of idling:
+        // with as many workers as chunks, one chunk lands on the caller.
+        let caller = std::thread::current().id();
+        for b in [
+            Box::new(ThreadsBackend::new(4)) as Box<dyn Backend>,
+            Box::new(CrossbeamBackend::new(4)),
+        ] {
+            let caller_chunks = AtomicUsize::new(0);
+            b.par_for(4096, &|_| {
+                if std::thread::current().id() == caller {
+                    caller_chunks.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(
+                caller_chunks.load(Ordering::Relaxed),
+                1,
+                "backend {} caller did not run exactly one chunk",
+                b.label()
+            );
+            let caller_parts = AtomicUsize::new(0);
+            b.par_reduce_sum(4096, &|r| {
+                if std::thread::current().id() == caller {
+                    caller_parts.fetch_add(1, Ordering::Relaxed);
+                }
+                r.len() as f64
+            });
+            assert_eq!(caller_parts.load(Ordering::Relaxed), 1, "{}", b.label());
         }
     }
 

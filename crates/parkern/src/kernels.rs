@@ -86,14 +86,7 @@ pub fn dot(backend: &dyn Backend, a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// `y[i] = alpha * x[i] + beta * z[i]` — HPCG's WAXPBY.
-pub fn waxpby(
-    backend: &dyn Backend,
-    alpha: f64,
-    x: &[f64],
-    beta: f64,
-    z: &[f64],
-    y: &mut [f64],
-) {
+pub fn waxpby(backend: &dyn Backend, alpha: f64, x: &[f64], beta: f64, z: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), z.len());
     assert_eq!(x.len(), y.len());
     let out = ParPtr(y.as_mut_ptr());

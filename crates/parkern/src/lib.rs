@@ -23,7 +23,9 @@ pub mod backend;
 pub mod kernels;
 pub mod pool;
 
-pub use backend::{Backend, CrossbeamBackend, SerialBackend, ThreadsBackend};
+pub use backend::{
+    chunk_range, chunks, default_workers, Backend, CrossbeamBackend, SerialBackend, ThreadsBackend,
+};
 pub use pool::{PoolBackend, SpinBarrier};
 
 use simhpc::Processor;
@@ -179,7 +181,12 @@ mod tests {
     use super::*;
 
     fn proc(sys: &str, part: &str) -> Processor {
-        simhpc::catalog::system(sys).unwrap().partition(part).unwrap().processor().clone()
+        simhpc::catalog::system(sys)
+            .unwrap()
+            .partition(part)
+            .unwrap()
+            .processor()
+            .clone()
     }
 
     #[test]
@@ -208,7 +215,10 @@ mod tests {
         assert!(Model::Omp.available_on(&cl));
         assert!(Model::Omp.available_on(&tx2));
         assert!(Model::Omp.available_on(&milan));
-        assert!(!Model::Omp.available_on(&v100), "no host OpenMP rows for the GPU partition");
+        assert!(
+            !Model::Omp.available_on(&v100),
+            "no host OpenMP rows for the GPU partition"
+        );
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! The synchronization primitives follow the patterns from *Rust Atomics
 //! and Locks* (Bos, 2023): a generation-counted spin barrier on atomics,
 //! and a Mutex/Condvar handshake for task dispatch and sleep.
+//!
+//! Parallel regions are allocation-free: chunk boundaries come from
+//! [`chunk_range`] arithmetic instead of a materialized `Vec<Range>`, and
+//! reductions write into a cache-line-padded partials array allocated once
+//! at pool construction and reused by every `par_reduce_sum` call.
 
 use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
@@ -14,7 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::backend::{chunks, Backend};
+use crate::backend::{chunk_range, default_workers, grained_pieces, Backend};
 
 /// A reusable spin barrier: `total` participants rendezvous; the last one
 /// to arrive flips the generation and releases the rest.
@@ -28,7 +33,11 @@ pub struct SpinBarrier {
 impl SpinBarrier {
     pub fn new(total: usize) -> SpinBarrier {
         assert!(total > 0, "a barrier needs at least one participant");
-        SpinBarrier { count: AtomicUsize::new(0), generation: AtomicUsize::new(0), total }
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
     }
 
     /// Block (spinning) until all participants have arrived.
@@ -45,6 +54,12 @@ impl SpinBarrier {
         }
     }
 }
+
+/// One cache line per slot so workers publishing partial sums never bounce
+/// a shared line between cores.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedSlot(AtomicU64);
 
 /// The closure type broadcast to workers: `f(worker_index, n_workers)`.
 type TaskRef = *const (dyn Fn(usize, usize) + Sync);
@@ -75,6 +90,8 @@ pub struct PoolBackend {
     handles: Vec<JoinHandle<()>>,
     /// Total workers including the calling thread.
     workers: usize,
+    /// Reduction scratch, one padded slot per worker, allocated once.
+    partials: Box<[PaddedSlot]>,
 }
 
 impl PoolBackend {
@@ -94,9 +111,22 @@ impl PoolBackend {
         let mut handles = Vec::new();
         for worker_id in 1..workers {
             let shared = Arc::clone(&shared);
-            handles.push(std::thread::spawn(move || worker_loop(shared, worker_id, workers)));
+            handles.push(std::thread::spawn(move || {
+                worker_loop(shared, worker_id, workers)
+            }));
         }
-        PoolBackend { shared, handles, workers }
+        let partials = (0..workers).map(|_| PaddedSlot::default()).collect();
+        PoolBackend {
+            shared,
+            handles,
+            workers,
+            partials,
+        }
+    }
+
+    /// A pool sized by [`default_workers`].
+    pub fn auto() -> PoolBackend {
+        PoolBackend::new(default_workers())
     }
 
     /// Broadcast `f` to all workers and wait for completion.
@@ -108,11 +138,14 @@ impl PoolBackend {
         // SAFETY: we erase the borrow's lifetime, but do not return until
         // `remaining` hits zero, i.e. no worker holds the pointer anymore.
         let erased = ErasedTask(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &'static (dyn Fn(usize, usize) + Sync)>(
-                f,
-            ) as TaskRef
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize) + Sync),
+                &'static (dyn Fn(usize, usize) + Sync),
+            >(f) as TaskRef
         });
-        self.shared.remaining.store(self.workers - 1, Ordering::Release);
+        self.shared
+            .remaining
+            .store(self.workers - 1, Ordering::Release);
         {
             let mut slot = self.shared.slot.lock();
             let epoch = self.shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
@@ -175,13 +208,21 @@ impl Backend for PoolBackend {
     }
 
     fn par_for(&self, n: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        self.par_for_grained(n, 1, body);
+    }
+
+    fn par_for_grained(&self, n: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
         if n == 0 {
             return;
         }
-        let parts = chunks(n, self.workers);
+        let pieces = grained_pieces(n, grain, self.workers);
+        if pieces <= 1 {
+            body(0..n);
+            return;
+        }
         self.run(&|worker, _| {
-            if let Some(r) = parts.get(worker) {
-                body(r.clone());
+            if let Some(r) = chunk_range(n, pieces, worker) {
+                body(r);
             }
         });
     }
@@ -190,15 +231,24 @@ impl Backend for PoolBackend {
         if n == 0 {
             return 0.0;
         }
-        let parts = chunks(n, self.workers);
-        let partials: Vec<AtomicU64> = (0..parts.len()).map(|_| AtomicU64::new(0)).collect();
+        let pieces = self.workers.min(n);
+        if pieces <= 1 {
+            return body(0..n);
+        }
+        // Every worker < pieces overwrites its slot, and only those slots
+        // are read back, so no reset pass is needed between calls.
         self.run(&|worker, _| {
-            if let Some(r) = parts.get(worker) {
-                let v = body(r.clone());
-                partials[worker].store(v.to_bits(), Ordering::Release);
+            if let Some(r) = chunk_range(n, pieces, worker) {
+                let v = body(r);
+                self.partials[worker]
+                    .0
+                    .store(v.to_bits(), Ordering::Release);
             }
         });
-        partials.iter().map(|a| f64::from_bits(a.load(Ordering::Acquire))).sum()
+        self.partials[..pieces]
+            .iter()
+            .map(|slot| f64::from_bits(slot.0.load(Ordering::Acquire)))
+            .sum()
     }
 
     fn label(&self) -> &'static str {
@@ -229,7 +279,8 @@ mod tests {
                         barrier.wait();
                         // One designated incrementer per phase (whichever
                         // thread wins the exchange).
-                        let _ = phase.compare_exchange(p, p + 1, Ordering::SeqCst, Ordering::SeqCst);
+                        let _ =
+                            phase.compare_exchange(p, p + 1, Ordering::SeqCst, Ordering::SeqCst);
                         barrier.wait();
                     }
                 });
@@ -267,6 +318,31 @@ mod tests {
             let s = pool.par_reduce_sum(data.len(), &|r| r.map(|i| data[i]).sum());
             assert_eq!(s, (9999.0 * 10_000.0) / 2.0);
         }
+    }
+
+    #[test]
+    fn pool_reduce_stale_slots_do_not_leak() {
+        // A wide reduction followed by a narrow one must not re-read slots
+        // written by the wide call.
+        let pool = PoolBackend::new(4);
+        let wide = pool.par_reduce_sum(4_000, &|r| r.len() as f64);
+        assert_eq!(wide, 4_000.0);
+        let narrow = pool.par_reduce_sum(2, &|r| r.len() as f64);
+        assert_eq!(narrow, 2.0);
+    }
+
+    #[test]
+    fn pool_grained_uses_fewer_chunks() {
+        let pool = PoolBackend::new(4);
+        let calls = AtomicUsize::new(0);
+        let indices = AtomicUsize::new(0);
+        pool.par_for_grained(1000, 600, &|r| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            indices.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        // ceil(1000/600) = 2 chunks despite 4 workers.
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(indices.load(Ordering::Relaxed), 1000);
     }
 
     #[test]

@@ -60,11 +60,19 @@ impl PerflogRecord {
         m.insert("build_hash", Value::from(self.build_hash.as_str()));
         m.insert(
             "job_id",
-            self.job_id.map(|j| Value::Int(j as i64)).unwrap_or(Value::Null),
+            self.job_id
+                .map(|j| Value::Int(j as i64))
+                .unwrap_or(Value::Null),
         );
         m.insert("num_tasks", Value::Int(self.num_tasks as i64));
-        m.insert("num_tasks_per_node", Value::Int(self.num_tasks_per_node as i64));
-        m.insert("num_cpus_per_task", Value::Int(self.num_cpus_per_task as i64));
+        m.insert(
+            "num_tasks_per_node",
+            Value::Int(self.num_tasks_per_node as i64),
+        );
+        m.insert(
+            "num_cpus_per_task",
+            Value::Int(self.num_cpus_per_task as i64),
+        );
         let foms: Vec<Value> = self
             .foms
             .iter()
@@ -115,7 +123,11 @@ impl PerflogRecord {
                     .get("value")
                     .and_then(Value::as_float)
                     .ok_or_else(|| PerflogError("fom missing value".into()))?,
-                unit: f.get("unit").and_then(Value::as_str).unwrap_or("").to_string(),
+                unit: f
+                    .get("unit")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             });
         }
         let mut extras = Vec::new();
@@ -132,7 +144,10 @@ impl PerflogRecord {
             environ: str_at("environ")?,
             spec: str_at("spec")?,
             build_hash: str_at("build_hash")?,
-            job_id: doc.get_path("job_id").and_then(Value::as_int).map(|j| j as u64),
+            job_id: doc
+                .get_path("job_id")
+                .and_then(Value::as_int)
+                .map(|j| j as u64),
             num_tasks: int_at("num_tasks")? as u32,
             num_tasks_per_node: int_at("num_tasks_per_node")? as u32,
             num_cpus_per_task: int_at("num_cpus_per_task")? as u32,
@@ -271,8 +286,16 @@ mod tests {
             num_tasks_per_node: 1,
             num_cpus_per_task: 40,
             foms: vec![
-                Fom { name: "Triad".into(), value: fom, unit: "MB/s".into() },
-                Fom { name: "Copy".into(), value: fom * 0.9, unit: "MB/s".into() },
+                Fom {
+                    name: "Triad".into(),
+                    value: fom,
+                    unit: "MB/s".into(),
+                },
+                Fom {
+                    name: "Copy".into(),
+                    value: fom * 0.9,
+                    unit: "MB/s".into(),
+                },
             ],
             extras: vec![("array_size".into(), "33554432".into())],
         }

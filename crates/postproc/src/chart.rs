@@ -95,7 +95,9 @@ impl BarChart {
         let height = 50 + group_h * n_cats;
         let width = margin_left + plot_w + 120;
         let max = self.max_value().max(f64::MIN_POSITIVE);
-        let palette = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+        let palette = [
+            "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+        ];
 
         let mut svg = format!(
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="12">"#
@@ -159,12 +161,25 @@ impl Heatmap {
         let rows: Vec<String> = rows.into_iter().map(Into::into).collect();
         let cols: Vec<String> = cols.into_iter().map(Into::into).collect();
         let cells = vec![vec![None; cols.len()]; rows.len()];
-        Heatmap { title: title.to_string(), rows, cols, cells }
+        Heatmap {
+            title: title.to_string(),
+            rows,
+            cols,
+            cells,
+        }
     }
 
     pub fn set(&mut self, row: &str, col: &str, value: f64) {
-        let r = self.rows.iter().position(|x| x == row).expect("unknown heatmap row");
-        let c = self.cols.iter().position(|x| x == col).expect("unknown heatmap column");
+        let r = self
+            .rows
+            .iter()
+            .position(|x| x == row)
+            .expect("unknown heatmap row");
+        let c = self
+            .cols
+            .iter()
+            .position(|x| x == col)
+            .expect("unknown heatmap column");
         self.cells[r][c] = Some(value);
     }
 
@@ -269,7 +284,9 @@ impl Heatmap {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -281,8 +298,11 @@ mod tests {
         let mut c = BarChart::new("t", "GB/s").with_categories(vec!["a", "b"]);
         c.add_series("s", vec![100.0, 50.0]);
         let text = c.render_text();
-        let bars: Vec<usize> =
-            text.lines().skip(1).map(|l| l.matches('#').count()).collect();
+        let bars: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('#').count())
+            .collect();
         assert_eq!(bars[0], 50, "max bar fills the width");
         assert_eq!(bars[1], 25);
     }

@@ -58,7 +58,9 @@ impl PlotConfig {
     pub fn from_yaml(yaml: &str) -> Result<PlotConfig, ConfigError> {
         let doc = tinycfg::parse(yaml).map_err(|e| ConfigError::Parse(e.to_string()))?;
         let str_field = |name: &'static str| -> Option<String> {
-            doc.get_path(name).and_then(Value::as_str).map(str::to_string)
+            doc.get_path(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
         };
         let x_axis = str_field("x_axis").ok_or(ConfigError::MissingField("x_axis"))?;
         let value = str_field("value").unwrap_or_else(|| "value".to_string());
@@ -74,7 +76,10 @@ impl PlotConfig {
             series: str_field("series"),
             value,
             unit: str_field("unit").unwrap_or_default(),
-            scale: doc.get_path("scale").and_then(Value::as_float).unwrap_or(1.0),
+            scale: doc
+                .get_path("scale")
+                .and_then(Value::as_float)
+                .unwrap_or(1.0),
             filters,
         })
     }
@@ -92,8 +97,11 @@ impl PlotConfig {
     /// Build the configured bar chart from an assimilated frame.
     pub fn bar_chart(&self, df: &DataFrame) -> Result<BarChart, ConfigError> {
         let filtered = self.filtered(df)?;
-        let categories: Vec<String> =
-            filtered.unique(&self.x_axis)?.iter().map(|c| c.to_string()).collect();
+        let categories: Vec<String> = filtered
+            .unique(&self.x_axis)?
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         let mut chart = BarChart::new(&self.title, &self.unit)
             .with_categories(categories.iter().map(String::as_str).collect::<Vec<_>>());
 
@@ -182,10 +190,8 @@ mod tests {
 
     #[test]
     fn series_split() {
-        let cfg = PlotConfig::from_yaml(
-            "x_axis: system\nseries: environ\nfilters: {fom: Triad}\n",
-        )
-        .unwrap();
+        let cfg = PlotConfig::from_yaml("x_axis: system\nseries: environ\nfilters: {fom: Triad}\n")
+            .unwrap();
         let chart = cfg.bar_chart(&frame()).unwrap();
         assert_eq!(chart.series().len(), 2);
         // icc has no archer2 data → NaN hole.
@@ -196,10 +202,8 @@ mod tests {
 
     #[test]
     fn scale_applied() {
-        let cfg = PlotConfig::from_yaml(
-            "x_axis: system\nscale: 0.001\nfilters: {fom: Copy}\n",
-        )
-        .unwrap();
+        let cfg =
+            PlotConfig::from_yaml("x_axis: system\nscale: 0.001\nfilters: {fom: Copy}\n").unwrap();
         let chart = cfg.bar_chart(&frame()).unwrap();
         let (_, values) = &chart.series()[0];
         assert!((values[0] - 0.25).abs() < 1e-12);
@@ -208,6 +212,9 @@ mod tests {
     #[test]
     fn unknown_filter_column_is_error() {
         let cfg = PlotConfig::from_yaml("x_axis: system\nfilters: {nope: 1}\n").unwrap();
-        assert!(matches!(cfg.bar_chart(&frame()), Err(ConfigError::Frame(_))));
+        assert!(matches!(
+            cfg.bar_chart(&frame()),
+            Err(ConfigError::Frame(_))
+        ));
     }
 }

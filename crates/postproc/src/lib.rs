@@ -84,8 +84,16 @@ mod tests {
             num_tasks_per_node: 1,
             num_cpus_per_task: 16,
             foms: vec![
-                Fom { name: "Triad".into(), value: triad, unit: "MB/s".into() },
-                Fom { name: "Copy".into(), value: triad * 0.8, unit: "MB/s".into() },
+                Fom {
+                    name: "Triad".into(),
+                    value: triad,
+                    unit: "MB/s".into(),
+                },
+                Fom {
+                    name: "Copy".into(),
+                    value: triad * 0.8,
+                    unit: "MB/s".into(),
+                },
             ],
             extras: vec![],
         });
@@ -94,8 +102,7 @@ mod tests {
 
     #[test]
     fn assimilation_merges_systems() {
-        let df =
-            assimilate(&[log_for("archer2", 300_000.0), log_for("csd3", 210_000.0)]).unwrap();
+        let df = assimilate(&[log_for("archer2", 300_000.0), log_for("csd3", 210_000.0)]).unwrap();
         assert_eq!(df.n_rows(), 4);
         assert_eq!(df.unique("system").unwrap().len(), 2);
     }
@@ -107,8 +114,7 @@ mod tests {
 
     #[test]
     fn end_to_end_yaml_to_chart() {
-        let df =
-            assimilate(&[log_for("archer2", 300_000.0), log_for("csd3", 210_000.0)]).unwrap();
+        let df = assimilate(&[log_for("archer2", 300_000.0), log_for("csd3", 210_000.0)]).unwrap();
         let cfg = PlotConfig::from_yaml(
             "title: Triad\nx_axis: system\nvalue: value\nfilters: {fom: Triad}\n",
         )

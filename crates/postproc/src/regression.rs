@@ -68,7 +68,10 @@ impl RegressionPolicy {
     /// Judge `new` against `history` (time-ordered, oldest first).
     pub fn check(&self, history: &[f64], new: f64) -> Verdict {
         if history.len() < self.min_history {
-            return Verdict::InsufficientHistory { have: history.len(), need: self.min_history };
+            return Verdict::InsufficientHistory {
+                have: history.len(),
+                need: self.min_history,
+            };
         }
         let n = history.len() as f64;
         let mean = history.iter().sum::<f64>() / n;
@@ -86,9 +89,17 @@ impl RegressionPolicy {
             Direction::LowerIsBetter => z < -self.sigma_threshold,
         };
         if worse {
-            Verdict::Regression { z_score: z, mean, std }
+            Verdict::Regression {
+                z_score: z,
+                mean,
+                std,
+            }
         } else if better {
-            Verdict::Improvement { z_score: z, mean, std }
+            Verdict::Improvement {
+                z_score: z,
+                mean,
+                std,
+            }
         } else {
             Verdict::Ok { z_score: z }
         }
@@ -140,7 +151,10 @@ impl History {
     /// Judge the latest point against everything before it.
     pub fn check_latest(&self, policy: &RegressionPolicy) -> Verdict {
         match self.points.split_last() {
-            None => Verdict::InsufficientHistory { have: 0, need: policy.min_history },
+            None => Verdict::InsufficientHistory {
+                have: 0,
+                need: policy.min_history,
+            },
             Some((&(_, latest), rest)) => {
                 let history: Vec<f64> = rest.iter().map(|&(_, v)| v).collect();
                 policy.check(&history, latest)
@@ -175,7 +189,10 @@ mod tests {
     #[test]
     fn stable_series_is_ok() {
         let history = [100.0, 101.0, 99.5, 100.2, 100.8];
-        assert!(matches!(policy().check(&history, 100.3), Verdict::Ok { .. }));
+        assert!(matches!(
+            policy().check(&history, 100.3),
+            Verdict::Ok { .. }
+        ));
     }
 
     #[test]
@@ -184,27 +201,42 @@ mod tests {
         let v = policy().check(&history, 80.0);
         assert!(v.is_regression(), "{v:?}");
         // And a jump is an improvement.
-        assert!(matches!(policy().check(&history, 120.0), Verdict::Improvement { .. }));
+        assert!(matches!(
+            policy().check(&history, 120.0),
+            Verdict::Improvement { .. }
+        ));
     }
 
     #[test]
     fn direction_flips_for_runtimes() {
         let history = [10.0, 10.1, 9.9, 10.05, 10.0];
         let p = policy().lower_is_better();
-        assert!(p.check(&history, 14.0).is_regression(), "slower runtime regresses");
-        assert!(matches!(p.check(&history, 7.0), Verdict::Improvement { .. }));
+        assert!(
+            p.check(&history, 14.0).is_regression(),
+            "slower runtime regresses"
+        );
+        assert!(matches!(
+            p.check(&history, 7.0),
+            Verdict::Improvement { .. }
+        ));
     }
 
     #[test]
     fn short_history_refuses_to_judge() {
         let v = policy().check(&[100.0, 101.0], 50.0);
-        assert!(matches!(v, Verdict::InsufficientHistory { have: 2, need: 5 }));
+        assert!(matches!(
+            v,
+            Verdict::InsufficientHistory { have: 2, need: 5 }
+        ));
     }
 
     #[test]
     fn flat_history_does_not_flag_noise() {
         let history = [100.0; 10];
-        assert!(matches!(policy().check(&history, 100.05), Verdict::Ok { .. }));
+        assert!(matches!(
+            policy().check(&history, 100.05),
+            Verdict::Ok { .. }
+        ));
         assert!(policy().check(&history, 90.0).is_regression());
     }
 

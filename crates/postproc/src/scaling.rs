@@ -42,7 +42,12 @@ impl SeriesPlot {
         if x0 <= 0.0 || y0 <= 0.0 {
             return None;
         }
-        Some(points.iter().map(|&(x, y)| (x, (y / y0) / (x / x0))).collect())
+        Some(
+            points
+                .iter()
+                .map(|&(x, y)| (x, (y / y0) / (x / x0)))
+                .collect(),
+        )
     }
 
     /// Aligned-text rendering: one row per x, one column per series.
@@ -78,14 +83,19 @@ impl SeriesPlot {
     pub fn render_svg(&self) -> String {
         let (w, h) = (640.0f64, 400.0f64);
         let (ml, mr, mt, mb) = (70.0, 130.0, 40.0, 50.0);
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
         let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
         let (_, y_max) = bounds(all.iter().map(|p| p.1));
         let y_min = 0.0;
         let sx = |x: f64| ml + (x - x_min) / (x_max - x_min).max(1e-12) * (w - ml - mr);
         let sy = |y: f64| h - mb - (y - y_min) / (y_max - y_min).max(1e-12) * (h - mt - mb);
-        let palette = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+        let palette = [
+            "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+        ];
 
         let mut svg = format!(
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="sans-serif" font-size="12">"#
@@ -119,8 +129,10 @@ impl SeriesPlot {
         ));
         for (si, (label, pts)) in self.series.iter().enumerate() {
             let color = palette[si % palette.len()];
-            let path: Vec<String> =
-                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             if !path.is_empty() {
                 svg.push_str(&format!(
                     r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
@@ -161,7 +173,9 @@ fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -170,7 +184,10 @@ mod tests {
 
     fn plot() -> SeriesPlot {
         let mut p = SeriesPlot::new("strong scaling", "ranks", "MDOF/s");
-        p.add_series("archer2", vec![(1.0, 10.0), (2.0, 19.0), (4.0, 34.0), (8.0, 52.0)]);
+        p.add_series(
+            "archer2",
+            vec![(1.0, 10.0), (2.0, 19.0), (4.0, 34.0), (8.0, 52.0)],
+        );
         p.add_series("csd3", vec![(1.0, 12.0), (4.0, 40.0)]);
         p
     }
@@ -190,7 +207,10 @@ mod tests {
         let text = plot().render_text();
         assert!(text.contains("archer2"));
         // csd3 has no rank-2 point: a dash appears.
-        let rank2_line = text.lines().find(|l| l.trim_start().starts_with('2')).unwrap();
+        let rank2_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('2'))
+            .unwrap();
         assert!(rank2_line.contains('-'), "{rank2_line}");
     }
 

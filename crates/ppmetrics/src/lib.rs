@@ -74,7 +74,10 @@ impl EfficiencySet {
 
     /// Record a platform the application ran on.
     pub fn add(&mut self, platform: &str, measured: f64, peak: f64) {
-        self.entries.push((platform.to_string(), Some(architectural_efficiency(measured, peak))));
+        self.entries.push((
+            platform.to_string(),
+            Some(architectural_efficiency(measured, peak)),
+        ));
     }
 
     /// Record a platform the application could not run on.
@@ -91,7 +94,10 @@ impl EfficiencySet {
     }
 
     pub fn get(&self, platform: &str) -> Option<Option<f64>> {
-        self.entries.iter().find(|(p, _)| p == platform).map(|(_, e)| *e)
+        self.entries
+            .iter()
+            .find(|(p, _)| p == platform)
+            .map(|(_, e)| *e)
     }
 
     /// The ΦΦ metric over this set.
@@ -121,7 +127,10 @@ pub fn with_efficiency_column(
     peaks: &[(String, f64)],
 ) -> Result<DataFrame, dframe::FrameError> {
     df.with_column("efficiency", |row| {
-        let platform = row.get(platform_column).and_then(Cell::as_str).unwrap_or_default();
+        let platform = row
+            .get(platform_column)
+            .and_then(Cell::as_str)
+            .unwrap_or_default();
         let value = row.get("value").and_then(Cell::as_float);
         let peak = peaks.iter().find(|(p, _)| p == platform).map(|&(_, v)| v);
         match (value, peak) {
@@ -195,13 +204,25 @@ mod tests {
     #[test]
     fn efficiency_column() {
         let mut df = DataFrame::new(vec!["platform", "value"]);
-        df.push_row(vec![Cell::from("a"), Cell::from(50.0)]).unwrap();
-        df.push_row(vec![Cell::from("b"), Cell::from(30.0)]).unwrap();
-        df.push_row(vec![Cell::from("c"), Cell::from(10.0)]).unwrap();
+        df.push_row(vec![Cell::from("a"), Cell::from(50.0)])
+            .unwrap();
+        df.push_row(vec![Cell::from("b"), Cell::from(30.0)])
+            .unwrap();
+        df.push_row(vec![Cell::from("c"), Cell::from(10.0)])
+            .unwrap();
         let peaks = vec![("a".to_string(), 100.0), ("b".to_string(), 60.0)];
         let out = with_efficiency_column(&df, "platform", &peaks).unwrap();
-        assert_eq!(out.column("efficiency").unwrap().get(0).as_float(), Some(0.5));
-        assert_eq!(out.column("efficiency").unwrap().get(1).as_float(), Some(0.5));
-        assert!(out.column("efficiency").unwrap().get(2).is_null(), "no peak for c");
+        assert_eq!(
+            out.column("efficiency").unwrap().get(0).as_float(),
+            Some(0.5)
+        );
+        assert_eq!(
+            out.column("efficiency").unwrap().get(1).as_float(),
+            Some(0.5)
+        );
+        assert!(
+            out.column("efficiency").unwrap().get(2).is_null(),
+            "no peak for c"
+        );
     }
 }

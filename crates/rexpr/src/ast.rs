@@ -32,7 +32,10 @@ impl CharClass {
 
     /// `\d`
     pub fn digit() -> CharClass {
-        CharClass { ranges: vec![ClassRange { lo: '0', hi: '9' }], negated: false }
+        CharClass {
+            ranges: vec![ClassRange { lo: '0', hi: '9' }],
+            negated: false,
+        }
     }
 
     /// `\w` (ASCII word characters)
@@ -100,7 +103,12 @@ pub enum Ast {
     /// Alternation between sub-patterns, tried left to right.
     Alternate(Vec<Ast>),
     /// Repetition: `min..=max` copies (`max == usize::MAX` for unbounded).
-    Repeat { node: Box<Ast>, min: usize, max: usize, greed: Greed },
+    Repeat {
+        node: Box<Ast>,
+        min: usize,
+        max: usize,
+        greed: Greed,
+    },
     /// Capturing group with 1-based index.
     Group { index: usize, node: Box<Ast> },
     /// Non-capturing group.

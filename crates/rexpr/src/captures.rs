@@ -10,7 +10,11 @@ pub struct Match<'h> {
 
 impl<'h> Match<'h> {
     pub(crate) fn new(haystack: &'h str, start: usize, end: usize) -> Match<'h> {
-        Match { haystack, start, end }
+        Match {
+            haystack,
+            start,
+            end,
+        }
     }
 
     /// Start byte offset, inclusive.
@@ -70,7 +74,11 @@ impl<'h> Captures<'h> {
                 _ => None,
             })
             .collect();
-        Captures { haystack, spans, names }
+        Captures {
+            haystack,
+            spans,
+            names,
+        }
     }
 
     /// Group `i` (0 is the whole match), if it participated in the match.

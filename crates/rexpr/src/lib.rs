@@ -66,8 +66,11 @@ impl Regex {
         // Case folding: lowercase the pattern's chars; haystacks fold at
         // match time. ASCII folding never changes byte lengths, so the
         // reported offsets stay valid for the original haystack.
-        let effective: String =
-            if case_insensitive { body.to_ascii_lowercase() } else { body.clone() };
+        let effective: String = if case_insensitive {
+            body.to_ascii_lowercase()
+        } else {
+            body.clone()
+        };
         let parsed = parser::parse(&effective)?;
         Ok(Regex {
             pattern: pattern.to_string(),
@@ -100,7 +103,8 @@ impl Regex {
 
     /// Leftmost match, if any.
     pub fn find<'h>(&self, haystack: &'h str) -> Option<Match<'h>> {
-        self.captures(haystack).map(|c| c.get(0).expect("group 0 always set on a match"))
+        self.captures(haystack)
+            .map(|c| c.get(0).expect("group 0 always set on a match"))
     }
 
     /// Leftmost match with all capture groups.
@@ -112,7 +116,10 @@ impl Regex {
     /// `start` (which must lie on a char boundary).
     pub fn captures_at<'h>(&self, haystack: &'h str, start: usize) -> Option<Captures<'h>> {
         let chars: Vec<(usize, char)> = if self.case_insensitive {
-            haystack.char_indices().map(|(i, c)| (i, c.to_ascii_lowercase())).collect()
+            haystack
+                .char_indices()
+                .map(|(i, c)| (i, c.to_ascii_lowercase()))
+                .collect()
         } else {
             haystack.char_indices().collect()
         };
@@ -127,12 +134,18 @@ impl Regex {
         if start == 0 {
             begin = 0;
         }
-        let anchored_start = matches!(self.ast, Ast::Concat(ref v) if v.first() == Some(&Ast::StartAnchor));
+        let anchored_start =
+            matches!(self.ast, Ast::Concat(ref v) if v.first() == Some(&Ast::StartAnchor));
         for at in begin..=chars.len() {
             let mut slots = vec![None; self.n_groups * 2];
             slots[0] = Some(at);
             if matcher::match_at(&self.ast, &chars, at, &mut slots) {
-                return Some(Captures::from_slots(haystack, &chars, &slots, self.names.clone()));
+                return Some(Captures::from_slots(
+                    haystack,
+                    &chars,
+                    &slots,
+                    self.names.clone(),
+                ));
             }
             if anchored_start && at == begin {
                 // `^...` can only match at the start position.
@@ -144,12 +157,22 @@ impl Regex {
 
     /// Iterator over all non-overlapping matches in `haystack`.
     pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> FindIter<'r, 'h> {
-        FindIter { re: self, haystack, at: 0, done: false }
+        FindIter {
+            re: self,
+            haystack,
+            at: 0,
+            done: false,
+        }
     }
 
     /// Iterator over captures of all non-overlapping matches.
     pub fn captures_iter<'r, 'h>(&'r self, haystack: &'h str) -> CapturesIter<'r, 'h> {
-        CapturesIter { re: self, haystack, at: 0, done: false }
+        CapturesIter {
+            re: self,
+            haystack,
+            at: 0,
+            done: false,
+        }
     }
 
     /// Replace the first match with `replacement` (no `$n` expansion).
@@ -467,7 +490,9 @@ mod tests {
         assert_eq!(caps.get(1).unwrap().as_str(), "812.554");
 
         let re = Regex::new(r"GFLOP/s rating of:\s*(?P<gf>[\d.]+)").unwrap();
-        let caps = re.captures("Final summary: GFLOP/s rating of: 24.01").unwrap();
+        let caps = re
+            .captures("Final summary: GFLOP/s rating of: 24.01")
+            .unwrap();
         assert_eq!(caps.name("gf").unwrap().as_str(), "24.01");
 
         let re = Regex::new(r"average\s+(\d+\.\d+e?[-+]?\d*)").unwrap();

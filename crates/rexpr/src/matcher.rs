@@ -10,7 +10,12 @@ use crate::ast::{is_word_char, Ast, Greed};
 
 /// Try to match `ast` at char index `at`. On success returns `true` with
 /// `slots` populated (slot 1 = end of the whole match).
-pub fn match_at(ast: &Ast, chars: &[(usize, char)], at: usize, slots: &mut [Option<usize>]) -> bool {
+pub fn match_at(
+    ast: &Ast,
+    chars: &[(usize, char)],
+    at: usize,
+    slots: &mut [Option<usize>],
+) -> bool {
     m(ast, chars, at, slots, &Cont::Done)
 }
 
@@ -62,7 +67,14 @@ fn run_cont(
                 false
             }
         }
-        Cont::Rep { node, min, max, greed, start, cont } => {
+        Cont::Rep {
+            node,
+            min,
+            max,
+            greed,
+            start,
+            cont,
+        } => {
             if *min == 0 && at == *start {
                 // The iteration that just completed consumed nothing; more
                 // iterations would loop forever, so stop repeating here.
@@ -100,15 +112,17 @@ fn rep(
     if max == 0 {
         return run_cont(cont, chars, at, slots);
     }
-    let next =
-        Cont::Rep { node, min: 0, max: max.saturating_sub(1), greed, start: at, cont };
+    let next = Cont::Rep {
+        node,
+        min: 0,
+        max: max.saturating_sub(1),
+        greed,
+        start: at,
+        cont,
+    };
     match greed {
-        Greed::Greedy => {
-            m(node, chars, at, slots, &next) || run_cont(cont, chars, at, slots)
-        }
-        Greed::Lazy => {
-            run_cont(cont, chars, at, slots) || m(node, chars, at, slots, &next)
-        }
+        Greed::Greedy => m(node, chars, at, slots, &next) || run_cont(cont, chars, at, slots),
+        Greed::Lazy => run_cont(cont, chars, at, slots) || m(node, chars, at, slots, &next),
     }
 }
 
@@ -136,9 +150,12 @@ fn m(
         Ast::NotWordBoundary => !at_word_boundary(chars, at) && run_cont(cont, chars, at, slots),
         Ast::Concat(nodes) => run_cont(&Cont::Seq(nodes, cont), chars, at, slots),
         Ast::Alternate(branches) => branches.iter().any(|b| m(b, chars, at, slots, cont)),
-        Ast::Repeat { node, min, max, greed } => {
-            rep(node, *min, *max, *greed, chars, at, slots, cont)
-        }
+        Ast::Repeat {
+            node,
+            min,
+            max,
+            greed,
+        } => rep(node, *min, *max, *greed, chars, at, slots, cont),
         Ast::Group { index, node } => {
             let i = *index;
             let (old_s, old_e) = (slots[2 * i], slots[2 * i + 1]);
@@ -156,10 +173,16 @@ fn m(
 }
 
 fn at_word_boundary(chars: &[(usize, char)], at: usize) -> bool {
-    let before = at.checked_sub(1).and_then(|i| chars.get(i)).map(|&(_, c)| is_word_char(c));
+    let before = at
+        .checked_sub(1)
+        .and_then(|i| chars.get(i))
+        .map(|&(_, c)| is_word_char(c));
     let after = chars.get(at).map(|&(_, c)| is_word_char(c));
     matches!(
         (before, after),
-        (None, Some(true)) | (Some(true), None) | (Some(false), Some(true)) | (Some(true), Some(false))
+        (None, Some(true))
+            | (Some(true), None)
+            | (Some(false), Some(true))
+            | (Some(true), Some(false))
     )
 }

@@ -14,7 +14,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -31,7 +35,12 @@ pub struct Parsed {
 /// Parse `pattern` into an AST, counting capture groups.
 pub fn parse(pattern: &str) -> Result<Parsed, ParseError> {
     let chars: Vec<char> = pattern.chars().collect();
-    let mut p = Parser { chars, pos: 0, next_group: 1, names: Vec::new() };
+    let mut p = Parser {
+        chars,
+        pos: 0,
+        next_group: 1,
+        names: Vec::new(),
+    };
     let ast = p.parse_alternation()?;
     if p.pos < p.chars.len() {
         return Err(p.err(format!("unexpected character `{}`", p.chars[p.pos])));
@@ -42,7 +51,11 @@ pub fn parse(pattern: &str) -> Result<Parsed, ParseError> {
         Ast::Concat(v) => Ast::Concat(v),
         other => Ast::Concat(vec![other]),
     };
-    Ok(Parsed { ast, n_groups: p.next_group, names: p.names })
+    Ok(Parsed {
+        ast,
+        n_groups: p.next_group,
+        names: p.names,
+    })
 }
 
 struct Parser {
@@ -54,7 +67,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, message: String) -> ParseError {
-        ParseError { position: self.pos, message }
+        ParseError {
+            position: self.pos,
+            message,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -138,8 +154,17 @@ impl Parser {
         ) {
             return Err(self.err("quantifier applied to an anchor".to_string()));
         }
-        let greed = if self.eat('?') { Greed::Lazy } else { Greed::Greedy };
-        Ok(Ast::Repeat { node: Box::new(atom), min, max, greed })
+        let greed = if self.eat('?') {
+            Greed::Lazy
+        } else {
+            Greed::Greedy
+        };
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greed,
+        })
     }
 
     /// Attempt to read `{n}`, `{n,}`, `{n,m}` starting at the current `{`.
@@ -160,7 +185,9 @@ impl Parser {
         if lo_digits.is_empty() {
             return Ok(None);
         }
-        let lo: usize = lo_digits.parse().map_err(|_| self.err("repeat count too large".into()))?;
+        let lo: usize = lo_digits
+            .parse()
+            .map_err(|_| self.err("repeat count too large".into()))?;
         match self.chars.get(i) {
             Some('}') => Ok(Some((lo, lo, i + 1 - self.pos))),
             Some(',') => {
@@ -180,8 +207,9 @@ impl Parser {
                 let hi = if hi_digits.is_empty() {
                     usize::MAX
                 } else {
-                    let hi: usize =
-                        hi_digits.parse().map_err(|_| self.err("repeat count too large".into()))?;
+                    let hi: usize = hi_digits
+                        .parse()
+                        .map_err(|_| self.err("repeat count too large".into()))?;
                     if hi < lo {
                         return Err(ParseError {
                             position: self.pos,
@@ -270,7 +298,10 @@ impl Parser {
                 self.names.push((name, index));
             }
             let inner = self.parse_alternation()?;
-            Ast::Group { index, node: Box::new(inner) }
+            Ast::Group {
+                index,
+                node: Box::new(inner),
+            }
         } else {
             let inner = self.parse_alternation()?;
             Ast::NonCapturing(Box::new(inner))
@@ -319,9 +350,7 @@ impl Parser {
                     ClassItem::Class(cls) => {
                         // Embedded predefined class: splice its ranges.
                         if cls.negated {
-                            return Err(
-                                self.err("negated class escape inside a class".to_string())
-                            );
+                            return Err(self.err("negated class escape inside a class".to_string()));
                         }
                         ranges.extend(cls.ranges);
                         continue;
@@ -356,7 +385,9 @@ impl Parser {
 
     fn parse_class_escape(&mut self) -> Result<ClassItem, ParseError> {
         // The `\` is already consumed.
-        let c = self.bump().ok_or_else(|| self.err("trailing backslash in class".into()))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("trailing backslash in class".into()))?;
         Ok(match c {
             'd' => ClassItem::Class(CharClass::digit()),
             'w' => ClassItem::Class(CharClass::word()),
@@ -371,8 +402,12 @@ impl Parser {
     }
 
     fn parse_hex_escape(&mut self) -> Result<char, ParseError> {
-        let h1 = self.bump().ok_or_else(|| self.err("truncated \\x escape".into()))?;
-        let h2 = self.bump().ok_or_else(|| self.err("truncated \\x escape".into()))?;
+        let h1 = self
+            .bump()
+            .ok_or_else(|| self.err("truncated \\x escape".into()))?;
+        let h2 = self
+            .bump()
+            .ok_or_else(|| self.err("truncated \\x escape".into()))?;
         let hex: String = [h1, h2].iter().collect();
         let v = u8::from_str_radix(&hex, 16)
             .map_err(|_| self.err(format!("invalid hex escape \\x{hex}")))?;
@@ -381,7 +416,9 @@ impl Parser {
 
     fn parse_escape(&mut self) -> Result<Ast, ParseError> {
         // The `\` is already consumed.
-        let c = self.bump().ok_or_else(|| self.err("trailing backslash".into()))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("trailing backslash".into()))?;
         Ok(match c {
             'd' => Ast::Class(CharClass::digit()),
             'D' => Ast::Class(CharClass::digit().negate()),

@@ -11,7 +11,11 @@ use crate::platform::{ExternalPkg, Interconnect, Partition, SchedulerKind, Syste
 use crate::processor::{CacheLevel, Processor, ProcessorKind};
 
 fn cache(level: u8, mb: u64, bw: f64) -> CacheLevel {
-    CacheLevel { level, total_bytes: mb * 1024 * 1024, bandwidth_gbs: bw }
+    CacheLevel {
+        level,
+        total_bytes: mb * 1024 * 1024,
+        bandwidth_gbs: bw,
+    }
 }
 
 /// Marvell ThunderX2 @ 2.5 GHz, dual 32-core (Isambard XCI).
@@ -143,7 +147,10 @@ fn v100() -> Processor {
 }
 
 fn hdr_infiniband() -> Interconnect {
-    Interconnect { bandwidth_gbs: 25.0, latency_s: 1.4e-6 }
+    Interconnect {
+        bandwidth_gbs: 25.0,
+        latency_s: 1.4e-6,
+    }
 }
 
 /// Build the full catalog.
@@ -157,7 +164,10 @@ pub fn all_systems() -> Vec<System> {
                 rome_7742(),
                 5860,
                 // HPE Slingshot.
-                Interconnect { bandwidth_gbs: 25.0, latency_s: 1.7e-6 },
+                Interconnect {
+                    bandwidth_gbs: 25.0,
+                    latency_s: 1.7e-6,
+                },
                 0.92,
                 vec!["gcc@11.2.0".into(), "cce@15.0.0".into()],
             )],
@@ -177,7 +187,10 @@ pub fn all_systems() -> Vec<System> {
                 360,
                 // Low-latency HDR200 fabric: coarse levels stay efficient,
                 // which produces the paper's l2 > l1 inversion in Table 4.
-                Interconnect { bandwidth_gbs: 25.0, latency_s: 0.9e-6 },
+                Interconnect {
+                    bandwidth_gbs: 25.0,
+                    latency_s: 0.9e-6,
+                },
                 0.85,
                 vec!["gcc@11.1.0".into(), "icc@2021.4".into()],
             )],
@@ -212,7 +225,10 @@ pub fn all_systems() -> Vec<System> {
                 thunderx2(),
                 328,
                 // Cray XC50 Aries.
-                Interconnect { bandwidth_gbs: 14.0, latency_s: 1.8e-6 },
+                Interconnect {
+                    bandwidth_gbs: 14.0,
+                    latency_s: 1.8e-6,
+                },
                 0.88,
                 vec!["gcc@10.3.0".into(), "arm@21.0".into(), "cce@12.0".into()],
             )],
@@ -233,7 +249,10 @@ pub fn all_systems() -> Vec<System> {
                     // Small multi-architecture comparison system: modest
                     // fabric and stack — the paper's Table 4 shows it ~4x
                     // behind CSD3 on the same microarchitecture.
-                    Interconnect { bandwidth_gbs: 10.0, latency_s: 3.0e-6 },
+                    Interconnect {
+                        bandwidth_gbs: 10.0,
+                        latency_s: 3.0e-6,
+                    },
                     0.24,
                     vec!["gcc@9.2.0".into(), "gcc@10.3.0".into(), "gcc@12.1.0".into()],
                 ),
@@ -241,7 +260,10 @@ pub fn all_systems() -> Vec<System> {
                     "volta",
                     v100(),
                     2,
-                    Interconnect { bandwidth_gbs: 10.0, latency_s: 3.0e-6 },
+                    Interconnect {
+                        bandwidth_gbs: 10.0,
+                        latency_s: 3.0e-6,
+                    },
                     0.24,
                     vec!["gcc@9.2.0".into(), "nvhpc@22.9".into()],
                 ),
@@ -278,7 +300,10 @@ pub fn all_systems() -> Vec<System> {
                 "default",
                 generic_host(),
                 1,
-                Interconnect { bandwidth_gbs: 10.0, latency_s: 1e-6 },
+                Interconnect {
+                    bandwidth_gbs: 10.0,
+                    latency_s: 1e-6,
+                },
                 1.0,
                 vec!["rustc".into()],
             )],
@@ -291,7 +316,9 @@ pub fn all_systems() -> Vec<System> {
 /// Only used for the `native` pseudo-system's metadata; real timing comes
 /// from the clock when running natively.
 fn generic_host() -> Processor {
-    let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(4);
     Processor::new(
         "generic",
         "local host",
@@ -387,6 +414,9 @@ mod tests {
     #[test]
     fn milan_l3_is_512mb() {
         let (s, _) = resolve("noctua2").unwrap();
-        assert_eq!(s.default_partition().processor().llc_bytes(), 512 * 1024 * 1024);
+        assert_eq!(
+            s.default_partition().processor().llc_bytes(),
+            512 * 1024 * 1024
+        );
     }
 }

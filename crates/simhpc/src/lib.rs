@@ -45,8 +45,8 @@ pub mod processor;
 pub mod telemetry;
 
 pub use platform::{Interconnect, Partition, Platform, System};
-pub use telemetry::Telemetry;
 pub use processor::{CacheLevel, Processor, ProcessorKind};
+pub use telemetry::Telemetry;
 
 #[cfg(test)]
 mod tests {
@@ -54,8 +54,18 @@ mod tests {
 
     #[test]
     fn catalog_systems_present() {
-        for name in ["archer2", "csd3", "cosma8", "isambard", "isambard-macs", "noctua2"] {
-            assert!(crate::catalog::system(name).is_some(), "missing system {name}");
+        for name in [
+            "archer2",
+            "csd3",
+            "cosma8",
+            "isambard",
+            "isambard-macs",
+            "noctua2",
+        ] {
+            assert!(
+                crate::catalog::system(name).is_some(),
+                "missing system {name}"
+            );
         }
         assert!(crate::catalog::system("unknown-system").is_none());
     }
@@ -94,38 +104,63 @@ mod tests {
 
     #[test]
     fn more_threads_never_slower_for_streaming() {
-        let part = crate::catalog::system("archer2").unwrap().partition("rome").unwrap().clone();
+        let part = crate::catalog::system("archer2")
+            .unwrap()
+            .partition("rome")
+            .unwrap()
+            .clone();
         let cost = KernelCost::streaming(3 * (1u64 << 27) * 8);
         let mut last = f64::INFINITY;
         for threads in [1, 2, 4, 8, 16, 32, 64, 128] {
             let t = part.platform().kernel_time(&cost, threads, 1.0);
-            assert!(t <= last * 1.0001, "threads={threads} slower than fewer threads");
+            assert!(
+                t <= last * 1.0001,
+                "threads={threads} slower than fewer threads"
+            );
             last = t;
         }
     }
 
     #[test]
     fn single_thread_is_memory_limited() {
-        let part =
-            crate::catalog::system("isambard-macs").unwrap().partition("cascadelake").unwrap().clone();
+        let part = crate::catalog::system("isambard-macs")
+            .unwrap()
+            .partition("cascadelake")
+            .unwrap()
+            .clone();
         let bytes = 3 * (1u64 << 25) * 8;
-        let t1 = part.platform().kernel_time(&KernelCost::streaming(bytes), 1, 1.0);
-        let t40 = part.platform().kernel_time(&KernelCost::streaming(bytes), 40, 1.0);
+        let t1 = part
+            .platform()
+            .kernel_time(&KernelCost::streaming(bytes), 1, 1.0);
+        let t40 = part
+            .platform()
+            .kernel_time(&KernelCost::streaming(bytes), 40, 1.0);
         let ratio = t1 / t40;
-        assert!(ratio > 5.0, "single thread should be much slower (got {ratio:.1}x)");
+        assert!(
+            ratio > 5.0,
+            "single thread should be much slower (got {ratio:.1}x)"
+        );
     }
 
     #[test]
     fn cache_resident_working_set_is_faster() {
         // Milan has 512 MB of L3; a small working set must report a higher
         // apparent bandwidth than a main-memory-sized one.
-        let part = crate::catalog::system("noctua2").unwrap().partition("milan").unwrap().clone();
+        let part = crate::catalog::system("noctua2")
+            .unwrap()
+            .partition("milan")
+            .unwrap()
+            .clone();
         let small = 3 * (1u64 << 22) * 8; // 100 MB — fits in L3
         let large = 3 * (1u64 << 29) * 8; // 12.9 GB — does not
-        let bw_small =
-            small as f64 / part.platform().kernel_time(&KernelCost::streaming(small), 128, 1.0);
-        let bw_large =
-            large as f64 / part.platform().kernel_time(&KernelCost::streaming(large), 128, 1.0);
+        let bw_small = small as f64
+            / part
+                .platform()
+                .kernel_time(&KernelCost::streaming(small), 128, 1.0);
+        let bw_large = large as f64
+            / part
+                .platform()
+                .kernel_time(&KernelCost::streaming(large), 128, 1.0);
         assert!(
             bw_small > 1.5 * bw_large,
             "cache-resident run should look faster: {bw_small:.2e} vs {bw_large:.2e}"
@@ -134,9 +169,18 @@ mod tests {
 
     #[test]
     fn gpu_launch_overhead_dominates_tiny_kernels() {
-        let part = crate::catalog::system("isambard-macs").unwrap().partition("volta").unwrap().clone();
-        let tiny = part.platform().kernel_time(&KernelCost::streaming(1024), 80, 1.0);
-        assert!(tiny >= 5e-6, "tiny kernels should pay launch latency, got {tiny}");
+        let part = crate::catalog::system("isambard-macs")
+            .unwrap()
+            .partition("volta")
+            .unwrap()
+            .clone();
+        let tiny = part
+            .platform()
+            .kernel_time(&KernelCost::streaming(1024), 80, 1.0);
+        assert!(
+            tiny >= 5e-6,
+            "tiny kernels should pay launch latency, got {tiny}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl NoiseModel {
     /// Noise stream for one (system, benchmark, seed) run context.
     pub fn for_run(system: &str, benchmark: &str, seed: u64) -> NoiseModel {
         let h = fnv1a(&[system.as_bytes(), benchmark.as_bytes(), &seed.to_le_bytes()]);
-        NoiseModel { rng: SplitMix64::new(h), sigma: 0.02 }
+        NoiseModel {
+            rng: SplitMix64::new(h),
+            sigma: 0.02,
+        }
     }
 
     /// Override the noise amplitude.
@@ -87,8 +90,11 @@ impl NoiseModel {
     /// occasional larger straggler.
     pub fn perturb(&mut self, time: f64) -> f64 {
         let gauss = self.sample_gauss().abs() * self.sigma;
-        let straggler =
-            if self.rng.next_f64() < 0.01 { self.rng.next_f64() * 0.05 } else { 0.0 };
+        let straggler = if self.rng.next_f64() < 0.01 {
+            self.rng.next_f64() * 0.05
+        } else {
+            0.0
+        };
         time * (1.0 + gauss + straggler)
     }
 

@@ -20,12 +20,22 @@ pub struct KernelCost {
 impl KernelCost {
     /// A pure streaming kernel (copy/scale/add/triad).
     pub fn streaming(bytes: u64) -> KernelCost {
-        KernelCost { bytes, flops: bytes / 8, working_set: bytes, sync_points: 1 }
+        KernelCost {
+            bytes,
+            flops: bytes / 8,
+            working_set: bytes,
+            sync_points: 1,
+        }
     }
 
     /// A compute + data kernel with explicit byte and flop counts.
     pub fn new(bytes: u64, flops: u64) -> KernelCost {
-        KernelCost { bytes, flops, working_set: bytes, sync_points: 1 }
+        KernelCost {
+            bytes,
+            flops,
+            working_set: bytes,
+            sync_points: 1,
+        }
     }
 
     /// Override the resident working-set size.

@@ -35,7 +35,10 @@ pub struct ExternalPkg {
 
 impl ExternalPkg {
     pub fn new(name: &str, version: &str) -> ExternalPkg {
-        ExternalPkg { name: name.to_string(), version: version.to_string() }
+        ExternalPkg {
+            name: name.to_string(),
+            version: version.to_string(),
+        }
     }
 }
 
@@ -130,7 +133,12 @@ impl System {
         partitions: Vec<Partition>,
         externals: Vec<ExternalPkg>,
     ) -> System {
-        System { name: name.to_string(), scheduler, partitions, externals }
+        System {
+            name: name.to_string(),
+            scheduler,
+            partitions,
+            externals,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -161,7 +169,10 @@ impl System {
 
     /// Version of an external package, if installed.
     pub fn external_version(&self, name: &str) -> Option<&str> {
-        self.externals.iter().find(|e| e.name == name).map(|e| e.version.as_str())
+        self.externals
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.version.as_str())
     }
 }
 
@@ -225,7 +236,10 @@ impl Platform<'_> {
         let node_threads = (threads * ranks_per_node).min(self.processor().total_cores());
         let compute = self.kernel_time(&node_cost, node_threads, model_eff);
         let comm = if nodes_used > 1 || ranks > 1 {
-            let per_sync = self.partition.interconnect().transfer_time(halo_bytes_per_sync)
+            let per_sync = self
+                .partition
+                .interconnect()
+                .transfer_time(halo_bytes_per_sync)
                 * (ranks as f64).log2().max(1.0);
             cost.sync_points.max(1) as f64 * per_sync / self.partition.system_factor()
         } else {
@@ -253,13 +267,20 @@ mod tests {
             10.0,
             8.0,
             1e-6,
-            vec![CacheLevel { level: 3, total_bytes: 32 << 20, bandwidth_gbs: 400.0 }],
+            vec![CacheLevel {
+                level: 3,
+                total_bytes: 32 << 20,
+                bandwidth_gbs: 400.0,
+            }],
         );
         Partition::new(
             "std",
             p,
             4,
-            Interconnect { bandwidth_gbs: 10.0, latency_s: 1e-6 },
+            Interconnect {
+                bandwidth_gbs: 10.0,
+                latency_s: 1e-6,
+            },
             0.9,
             vec!["gcc".into()],
         )
@@ -302,7 +323,10 @@ mod tests {
 
     #[test]
     fn interconnect_transfer_time() {
-        let ic = Interconnect { bandwidth_gbs: 10.0, latency_s: 2e-6 };
+        let ic = Interconnect {
+            bandwidth_gbs: 10.0,
+            latency_s: 2e-6,
+        };
         let t = ic.transfer_time(10_000_000_000);
         assert!((t - 1.0).abs() < 0.01);
         assert!(ic.transfer_time(0) == 2e-6);

@@ -61,7 +61,10 @@ impl Processor {
         launch_overhead_s: f64,
         caches: Vec<CacheLevel>,
     ) -> Processor {
-        assert!(sockets > 0 && cores_per_socket > 0, "topology must be non-empty");
+        assert!(
+            sockets > 0 && cores_per_socket > 0,
+            "topology must be non-empty"
+        );
         assert!(
             (0.0..1.0).contains(&stream_efficiency) && stream_efficiency > 0.0,
             "stream efficiency must be in (0, 1)"
@@ -171,8 +174,7 @@ impl Processor {
         if working_set > 0 && working_set <= self.llc_bytes() {
             // Cache-resident: bandwidth follows the LLC, which also scales
             // with participating cores but saturates higher.
-            let cache_limit =
-                (threads * self.per_core_bw_gbs * 2.0).min(self.llc_bandwidth_gbs());
+            let cache_limit = (threads * self.per_core_bw_gbs * 2.0).min(self.llc_bandwidth_gbs());
             cache_limit.max(scaling)
         } else {
             scaling
@@ -205,7 +207,11 @@ mod tests {
             12.0,
             16.0,
             2e-6,
-            vec![CacheLevel { level: 3, total_bytes: 64 << 20, bandwidth_gbs: 800.0 }],
+            vec![CacheLevel {
+                level: 3,
+                total_bytes: 64 << 20,
+                bandwidth_gbs: 800.0,
+            }],
         )
     }
 

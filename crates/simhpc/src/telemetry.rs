@@ -72,8 +72,8 @@ pub fn capture(
 ) -> Telemetry {
     let proc = partition.processor();
     let tdp = tdp_watts(proc);
-    let utilization = (threads.min(proc.total_cores()) as f64 / proc.total_cores() as f64)
-        .clamp(0.0, 1.0);
+    let utilization =
+        (threads.min(proc.total_cores()) as f64 / proc.total_cores() as f64).clamp(0.0, 1.0);
     const IDLE_FRACTION: f64 = 0.3;
     let node_power = tdp * (IDLE_FRACTION + (1.0 - IDLE_FRACTION) * utilization);
     let total_power = node_power * nodes.max(1) as f64;

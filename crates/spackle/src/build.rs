@@ -70,7 +70,10 @@ pub struct InstallOptions {
 
 impl Default for InstallOptions {
     fn default() -> InstallOptions {
-        InstallOptions { rebuild_root: true, seconds_per_cost: 30.0 }
+        InstallOptions {
+            rebuild_root: true,
+            seconds_per_cost: 30.0,
+        }
     }
 }
 
@@ -87,11 +90,17 @@ impl InstallReport {
     }
 
     pub fn n_built(&self) -> usize {
-        self.records.iter().filter(|r| r.action == BuildAction::Built).count()
+        self.records
+            .iter()
+            .filter(|r| r.action == BuildAction::Built)
+            .count()
     }
 
     pub fn n_cached(&self) -> usize {
-        self.records.iter().filter(|r| r.action == BuildAction::Cached).count()
+        self.records
+            .iter()
+            .filter(|r| r.action == BuildAction::Cached)
+            .count()
     }
 }
 
@@ -148,7 +157,10 @@ pub fn install(spec: &ConcreteSpec, store: &mut Store, opts: InstallOptions) -> 
             steps,
         });
     }
-    InstallReport { records, total_time_s: total }
+    InstallReport {
+        records,
+        total_time_s: total,
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +195,10 @@ mod tests {
         install(&spec, &mut store, InstallOptions::default());
         let report = install(&spec, &mut store, InstallOptions::default());
         assert_eq!(report.n_built(), 1, "Principle 3: root rebuilt every time");
-        assert_eq!(report.record_for("hpgmg").unwrap().action, BuildAction::Built);
+        assert_eq!(
+            report.record_for("hpgmg").unwrap().action,
+            BuildAction::Built
+        );
         assert_eq!(report.n_cached(), spec.nodes().len() - 1);
     }
 
@@ -195,7 +210,10 @@ mod tests {
         let report = install(
             &spec,
             &mut store,
-            InstallOptions { rebuild_root: false, ..InstallOptions::default() },
+            InstallOptions {
+                rebuild_root: false,
+                ..InstallOptions::default()
+            },
         );
         assert_eq!(report.n_built(), 0);
     }
@@ -222,6 +240,10 @@ mod tests {
         let mut store = Store::new();
         let report = install(&spec, &mut store, InstallOptions::default());
         let root = report.record_for("hpgmg").unwrap();
-        assert!(root.steps.iter().any(|s| s.contains("CC=gcc@12.1.0")), "{:?}", root.steps);
+        assert!(
+            root.steps.iter().any(|s| s.contains("CC=gcc@12.1.0")),
+            "{:?}",
+            root.steps
+        );
     }
 }

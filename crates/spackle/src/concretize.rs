@@ -27,18 +27,29 @@ pub struct Target {
 
 impl Target {
     pub fn cpu(vendor: &str, arch: &str) -> Target {
-        Target { kind: "cpu".into(), vendor: vendor.to_lowercase(), arch: arch.to_lowercase() }
+        Target {
+            kind: "cpu".into(),
+            vendor: vendor.to_lowercase(),
+            arch: arch.to_lowercase(),
+        }
     }
 
     pub fn gpu(vendor: &str) -> Target {
-        Target { kind: "gpu".into(), vendor: vendor.to_lowercase(), arch: "ptx".into() }
+        Target {
+            kind: "gpu".into(),
+            vendor: vendor.to_lowercase(),
+            arch: "ptx".into(),
+        }
     }
 
     /// Does a conflict's `on_processor` matcher apply to this target?
     /// The matcher may name a kind ("cpu"/"gpu"), a vendor, or an arch.
     pub fn matches(&self, matcher: &str) -> bool {
         let m = matcher.to_lowercase();
-        m == self.kind || m == self.vendor || m == self.arch || (m == "arm" && self.arch == "aarch64")
+        m == self.kind
+            || m == self.vendor
+            || m == self.arch
+            || (m == "arm" && self.arch == "aarch64")
     }
 }
 
@@ -65,17 +76,22 @@ impl SystemContext {
     }
 
     pub fn with_external(mut self, name: &str, version: &str) -> SystemContext {
-        self.externals.push((name.to_string(), Version::new(version)));
+        self.externals
+            .push((name.to_string(), Version::new(version)));
         self
     }
 
     pub fn with_compiler(mut self, name: &str, version: &str) -> SystemContext {
-        self.compilers.push((name.to_string(), Version::new(version)));
+        self.compilers
+            .push((name.to_string(), Version::new(version)));
         self
     }
 
     fn external_version(&self, name: &str, req: &VersionReq) -> Option<&Version> {
-        self.externals.iter().find(|(n, v)| n == name && req.matches(v)).map(|(_, v)| v)
+        self.externals
+            .iter()
+            .find(|(n, v)| n == name && req.matches(v))
+            .map(|(_, v)| v)
     }
 
     fn compiler_version(&self, name: &str, req: &VersionReq) -> Option<&Version> {
@@ -153,19 +169,16 @@ impl ConcreteSpec {
 
     /// The node satisfying virtual `name` (e.g. which MPI was chosen).
     pub fn provider_of(&self, virtual_name: &str) -> Option<&ConcretePackage> {
-        self.nodes.iter().find(|n| n.satisfies.iter().any(|s| s == virtual_name))
+        self.nodes
+            .iter()
+            .find(|n| n.satisfies.iter().any(|s| s == virtual_name))
     }
 
     /// Install order: dependencies before dependents (deterministic).
     pub fn topo_order(&self) -> Vec<&ConcretePackage> {
         let mut order: Vec<usize> = Vec::with_capacity(self.nodes.len());
         let mut state = vec![0u8; self.nodes.len()]; // 0 new, 1 visiting, 2 done
-        fn visit(
-            nodes: &[ConcretePackage],
-            i: usize,
-            state: &mut [u8],
-            order: &mut Vec<usize>,
-        ) {
+        fn visit(nodes: &[ConcretePackage], i: usize, state: &mut [u8], order: &mut Vec<usize>) {
             if state[i] != 0 {
                 return;
             }
@@ -210,13 +223,36 @@ impl fmt::Display for ConcreteSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConcretizeError {
     UnknownPackage(String),
-    UnknownVariant { package: String, variant: String },
-    BadVariantValue { package: String, variant: String, value: String, allowed: Vec<String> },
-    NoSatisfyingVersion { package: String, requirement: String },
-    NoProvider { virtual_name: String },
-    NoCompiler { name: String, requirement: String },
-    Conflict { package: String, reason: String },
-    Contradiction { package: String, a: String, b: String },
+    UnknownVariant {
+        package: String,
+        variant: String,
+    },
+    BadVariantValue {
+        package: String,
+        variant: String,
+        value: String,
+        allowed: Vec<String>,
+    },
+    NoSatisfyingVersion {
+        package: String,
+        requirement: String,
+    },
+    NoProvider {
+        virtual_name: String,
+    },
+    NoCompiler {
+        name: String,
+        requirement: String,
+    },
+    Conflict {
+        package: String,
+        reason: String,
+    },
+    Contradiction {
+        package: String,
+        a: String,
+        b: String,
+    },
 }
 
 impl fmt::Display for ConcretizeError {
@@ -226,25 +262,42 @@ impl fmt::Display for ConcretizeError {
             ConcretizeError::UnknownVariant { package, variant } => {
                 write!(f, "package `{package}` has no variant `{variant}`")
             }
-            ConcretizeError::BadVariantValue { package, variant, value, allowed } => write!(
+            ConcretizeError::BadVariantValue {
+                package,
+                variant,
+                value,
+                allowed,
+            } => write!(
                 f,
                 "`{value}` is not a valid value for `{package}` variant `{variant}` (allowed: {})",
                 allowed.join(", ")
             ),
-            ConcretizeError::NoSatisfyingVersion { package, requirement } => {
+            ConcretizeError::NoSatisfyingVersion {
+                package,
+                requirement,
+            } => {
                 write!(f, "no version of `{package}` satisfies `{requirement}`")
             }
             ConcretizeError::NoProvider { virtual_name } => {
-                write!(f, "no provider available for virtual package `{virtual_name}`")
+                write!(
+                    f,
+                    "no provider available for virtual package `{virtual_name}`"
+                )
             }
             ConcretizeError::NoCompiler { name, requirement } => {
-                write!(f, "compiler `{name}{requirement}` not available on this system")
+                write!(
+                    f,
+                    "compiler `{name}{requirement}` not available on this system"
+                )
             }
             ConcretizeError::Conflict { package, reason } => {
                 write!(f, "conflict concretizing `{package}`: {reason}")
             }
             ConcretizeError::Contradiction { package, a, b } => {
-                write!(f, "contradictory constraints on `{package}`: `{a}` vs `{b}`")
+                write!(
+                    f,
+                    "contradictory constraints on `{package}`: `{a}` vs `{b}`"
+                )
             }
         }
     }
@@ -263,11 +316,25 @@ pub fn concretize(
     repo: &Repo,
     ctx: &SystemContext,
 ) -> Result<ConcreteSpec, ConcretizeError> {
-    let mut cz = Concretizer { repo, ctx, nodes: Vec::new(), dep_constraints: spec.deps.clone() };
+    let mut cz = Concretizer {
+        repo,
+        ctx,
+        nodes: Vec::new(),
+        dep_constraints: spec.deps.clone(),
+    };
     // Resolve the root compiler first: everything inherits it.
     let compiler = cz.resolve_compiler(spec)?;
-    let root = cz.resolve(&spec.name, spec.version.clone(), Some(spec), compiler.clone(), &[])?;
-    let mut spec_out = ConcreteSpec { nodes: cz.nodes, root };
+    let root = cz.resolve(
+        &spec.name,
+        spec.version.clone(),
+        Some(spec),
+        compiler.clone(),
+        &[],
+    )?;
+    let mut spec_out = ConcreteSpec {
+        nodes: cz.nodes,
+        root,
+    };
     compute_hashes(&mut spec_out);
     Ok(spec_out)
 }
@@ -281,10 +348,7 @@ struct Concretizer<'a> {
 }
 
 impl Concretizer<'_> {
-    fn resolve_compiler(
-        &self,
-        spec: &Spec,
-    ) -> Result<Option<(String, Version)>, ConcretizeError> {
+    fn resolve_compiler(&self, spec: &Spec) -> Result<Option<(String, Version)>, ConcretizeError> {
         match &spec.compiler {
             Some(req) => {
                 // An unversioned request (`%gcc`) means "the system default
@@ -342,13 +406,13 @@ impl Concretizer<'_> {
         let mut compiler = compiler;
         for c in &self.dep_constraints.clone() {
             if c.name == name {
-                req = req.intersect(&c.version).ok_or_else(|| {
-                    ConcretizeError::Contradiction {
+                req = req
+                    .intersect(&c.version)
+                    .ok_or_else(|| ConcretizeError::Contradiction {
                         package: name.to_string(),
                         a: req.to_string(),
                         b: c.version.to_string(),
-                    }
-                })?;
+                    })?;
                 cli_variants.extend(c.variants.clone());
                 if let Some(creq) = &c.compiler {
                     let v = self
@@ -416,15 +480,19 @@ impl Concretizer<'_> {
             .clone();
 
         // Resolve variants: defaults, overridden by the CLI spec.
-        let mut variants: Vec<(String, VariantSetting)> =
-            recipe.variants.iter().map(|v| (v.name.clone(), v.default.clone())).collect();
+        let mut variants: Vec<(String, VariantSetting)> = recipe
+            .variants
+            .iter()
+            .map(|v| (v.name.clone(), v.default.clone()))
+            .collect();
         for (vname, setting) in &cli_variants {
-            let decl = recipe.variant_decl(vname).ok_or_else(|| {
-                ConcretizeError::UnknownVariant {
-                    package: name.to_string(),
-                    variant: vname.clone(),
-                }
-            })?;
+            let decl =
+                recipe
+                    .variant_decl(vname)
+                    .ok_or_else(|| ConcretizeError::UnknownVariant {
+                        package: name.to_string(),
+                        variant: vname.clone(),
+                    })?;
             if let VariantSetting::Value(val) = setting {
                 if !decl.allowed.is_empty() && !decl.allowed.iter().any(|a| a == val) {
                     return Err(ConcretizeError::BadVariantValue {
@@ -435,7 +503,10 @@ impl Concretizer<'_> {
                     });
                 }
             }
-            let slot = variants.iter_mut().find(|(n, _)| n == vname).expect("declared above");
+            let slot = variants
+                .iter_mut()
+                .find(|(n, _)| n == vname)
+                .expect("declared above");
             slot.1 = setting.clone();
         }
 
@@ -501,14 +572,18 @@ impl Concretizer<'_> {
         stack: &[String],
     ) -> Result<usize, ConcretizeError> {
         // Already satisfied in this DAG?
-        if let Some(i) =
-            self.nodes.iter().position(|n| n.satisfies.iter().any(|s| s == virtual_name))
+        if let Some(i) = self
+            .nodes
+            .iter()
+            .position(|n| n.satisfies.iter().any(|s| s == virtual_name))
         {
             return Ok(i);
         }
         let providers = self.repo.providers_of(virtual_name);
         if providers.is_empty() {
-            return Err(ConcretizeError::NoProvider { virtual_name: virtual_name.to_string() });
+            return Err(ConcretizeError::NoProvider {
+                virtual_name: virtual_name.to_string(),
+            });
         }
         // 1. A `^provider` constraint on the command line picks explicitly.
         for c in &self.dep_constraints.clone() {
@@ -565,8 +640,11 @@ fn compute_hashes(spec: &mut ConcreteSpec) {
     };
     for i in order {
         let mut material = spec.nodes[i].render();
-        let deps: Vec<String> =
-            spec.nodes[i].deps.iter().map(|&d| spec.nodes[d].hash.clone()).collect();
+        let deps: Vec<String> = spec.nodes[i]
+            .deps
+            .iter()
+            .map(|&d| spec.nodes[d].hash.clone())
+            .collect();
         material.push('|');
         material.push_str(&deps.join(","));
         spec.nodes[i].hash = short_hash(&material);
@@ -624,7 +702,10 @@ mod tests {
         let mpi = c.provider_of("mpi").unwrap();
         assert_eq!(mpi.name, "openmpi");
         assert_eq!(mpi.version.as_str(), "4.0.4");
-        assert!(!mpi.external, "no openmpi external on archer2 — must build it");
+        assert!(
+            !mpi.external,
+            "no openmpi external on archer2 — must build it"
+        );
     }
 
     #[test]
@@ -637,7 +718,7 @@ mod tests {
         let py = c.node("python").unwrap();
         assert!(!py.external);
         assert_eq!(py.version.as_str(), "3.10.12"); // newest in repo
-        // zlib pulled in transitively only for built python.
+                                                    // zlib pulled in transitively only for built python.
         assert!(c.node("zlib").is_some());
         let mpi = c.provider_of("mpi").unwrap();
         assert_eq!(mpi.name, "openmpi", "preference order picks openmpi");
@@ -652,8 +733,8 @@ mod tests {
         let err = concretize(&spec, &repo, &ctx).unwrap_err();
         assert!(matches!(err, ConcretizeError::Conflict { .. }));
 
-        let gpu_ctx = SystemContext::new("gpu-sys", Target::gpu("nvidia"))
-            .with_compiler("gcc", "12.1.0");
+        let gpu_ctx =
+            SystemContext::new("gpu-sys", Target::gpu("nvidia")).with_compiler("gcc", "12.1.0");
         let ok = concretize(&spec, &repo, &gpu_ctx).unwrap();
         assert!(ok.node("cuda").is_some(), "cuda toolkit pulled in");
     }
@@ -676,7 +757,10 @@ mod tests {
         let amd = SystemContext::new("archer2", Target::cpu("amd", "x86_64"))
             .with_compiler("gcc", "11.2.0");
         let spec = Spec::parse("hpcg impl=avx2").unwrap();
-        assert!(concretize(&spec, &repo, &amd).is_err(), "Table 2: Intel-avx2 N/A on AMD");
+        assert!(
+            concretize(&spec, &repo, &amd).is_err(),
+            "Table 2: Intel-avx2 N/A on AMD"
+        );
         let intel = SystemContext::new("csd3", Target::cpu("intel", "x86_64"))
             .with_compiler("gcc", "11.2.0");
         assert!(concretize(&spec, &repo, &intel).is_ok());
@@ -711,7 +795,11 @@ mod tests {
         let ctx = ctx_archer2();
         let a = concretize(&Spec::parse("hpgmg%gcc").unwrap(), &repo, &ctx).unwrap();
         let b = concretize(&Spec::parse("hpgmg%gcc").unwrap(), &repo, &ctx).unwrap();
-        assert_eq!(a.dag_hash(), b.dag_hash(), "concretization must be deterministic");
+        assert_eq!(
+            a.dag_hash(),
+            b.dag_hash(),
+            "concretization must be deterministic"
+        );
         let c = concretize(&Spec::parse("hpgmg%gcc ~fv").unwrap(), &repo, &ctx).unwrap();
         assert_ne!(a.dag_hash(), c.dag_hash(), "variants must change the hash");
         assert_eq!(a.dag_hash().len(), 7);

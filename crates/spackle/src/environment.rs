@@ -21,7 +21,11 @@ pub struct Environment {
 
 impl Environment {
     pub fn new(name: &str) -> Environment {
-        Environment { name: name.to_string(), specs: Vec::new(), lock: Vec::new() }
+        Environment {
+            name: name.to_string(),
+            specs: Vec::new(),
+            lock: Vec::new(),
+        }
     }
 
     /// Load an environment from a spack.yaml-style document:
@@ -173,7 +177,9 @@ mod tests {
         let locked = doc.get_path("locked").unwrap().as_list().unwrap();
         assert_eq!(locked.len(), 1);
         let nodes = locked[0].get("nodes").unwrap().as_list().unwrap();
-        assert!(nodes.iter().any(|n| n.get("name").unwrap().as_str() == Some("openmpi")));
+        assert!(nodes
+            .iter()
+            .any(|n| n.get("name").unwrap().as_str() == Some("openmpi")));
         // The openmpi node is the site external.
         let mpi = nodes
             .iter()

@@ -65,7 +65,11 @@ pub fn context_for(system: &simhpc::System, partition: &simhpc::Partition) -> Sy
     let target = if proc.is_gpu() {
         Target::gpu(&vendor)
     } else {
-        let arch = if vendor == "marvell" { "aarch64" } else { "x86_64" };
+        let arch = if vendor == "marvell" {
+            "aarch64"
+        } else {
+            "x86_64"
+        };
         Target::cpu(&vendor, arch)
     };
     let mut ctx = SystemContext::new(system.name(), target);
@@ -105,7 +109,11 @@ mod tests {
                 gcc,
                 "{sys_name}: gcc version"
             );
-            assert_eq!(c.node("python").unwrap().version.as_str(), python, "{sys_name}: python");
+            assert_eq!(
+                c.node("python").unwrap().version.as_str(),
+                python,
+                "{sys_name}: python"
+            );
             let mpi = c.provider_of("mpi").unwrap();
             assert_eq!(mpi.name, mpi_name, "{sys_name}: MPI library");
             assert_eq!(mpi.version.as_str(), mpi_ver, "{sys_name}: MPI version");

@@ -32,7 +32,11 @@ impl VariantDecl {
     pub fn boolean(name: &str, default: bool, description: &str) -> VariantDecl {
         VariantDecl {
             name: name.to_string(),
-            default: if default { VariantSetting::On } else { VariantSetting::Off },
+            default: if default {
+                VariantSetting::On
+            } else {
+                VariantSetting::Off
+            },
             description: description.to_string(),
             allowed: Vec::new(),
         }
@@ -179,7 +183,10 @@ mod tests {
     fn best_version_picks_highest_matching() {
         let r = Recipe::new("gcc", &["9.2.0", "10.3.0", "11.2.0", "12.1.0"]);
         assert_eq!(r.best_version(&VersionReq::Any).unwrap().as_str(), "12.1.0");
-        assert_eq!(r.best_version(&VersionReq::parse("10")).unwrap().as_str(), "10.3.0");
+        assert_eq!(
+            r.best_version(&VersionReq::parse("10")).unwrap().as_str(),
+            "10.3.0"
+        );
         assert!(r.best_version(&VersionReq::parse("13")).is_none());
     }
 
@@ -192,9 +199,7 @@ mod tests {
         assert!(When::Always.holds(&vars));
         assert!(When::VariantIs("mpi".into(), VariantSetting::On).holds(&vars));
         assert!(!When::VariantIs("mpi".into(), VariantSetting::Off).holds(&vars));
-        assert!(
-            When::VariantIs("model".into(), VariantSetting::Value("cuda".into())).holds(&vars)
-        );
+        assert!(When::VariantIs("model".into(), VariantSetting::Value("cuda".into())).holds(&vars));
         assert!(!When::VariantIs("missing".into(), VariantSetting::On).holds(&vars));
     }
 }

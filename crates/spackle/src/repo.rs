@@ -51,7 +51,10 @@ impl Repo {
 
     /// All recipes that provide the virtual package `virtual_name`.
     pub fn providers_of(&self, virtual_name: &str) -> Vec<&Recipe> {
-        self.recipes.iter().filter(|r| r.provides.iter().any(|p| p == virtual_name)).collect()
+        self.recipes
+            .iter()
+            .filter(|r| r.provides.iter().any(|p| p == virtual_name))
+            .collect()
     }
 
     /// Is `name` a virtual package (has providers but no recipe of its own)?
@@ -146,7 +149,12 @@ fn builtin_recipes() -> Vec<Recipe> {
                 HPCG_IMPLS,
                 "algorithm/implementation variant (§3.2)",
             ))
-            .with_dep_when("mpi", "", DepKind::Link, When::VariantIs("mpi".into(), VariantSetting::On))
+            .with_dep_when(
+                "mpi",
+                "",
+                DepKind::Link,
+                When::VariantIs("mpi".into(), VariantSetting::On),
+            )
             .with_conflict(Conflict {
                 when: When::VariantIs("impl".into(), VariantSetting::Value("avx2".into())),
                 on_processor: Some("amd".into()),
@@ -159,7 +167,11 @@ fn builtin_recipes() -> Vec<Recipe> {
             })
             .with_build_cost(3.0),
         Recipe::new("hpgmg", &["0.4", "1.0"])
-            .with_variant(VariantDecl::boolean("fv", true, "build the finite-volume solver"))
+            .with_variant(VariantDecl::boolean(
+                "fv",
+                true,
+                "build the finite-volume solver",
+            ))
             .with_dep("mpi", "", DepKind::Link)
             .with_dep("python", "", DepKind::Build)
             .with_build_cost(2.5),
@@ -185,9 +197,12 @@ fn builtin_recipes() -> Vec<Recipe> {
             .with_dep("hwloc", "", DepKind::Link)
             .with_build_cost(8.0),
         // ---- supporting packages -----------------------------------------
-        Recipe::new("python", &["2.7.15", "3.7.5", "3.8.2", "3.8.6", "3.10.4", "3.10.12"])
-            .with_dep("zlib", "1.2:", DepKind::Link)
-            .with_build_cost(10.0),
+        Recipe::new(
+            "python",
+            &["2.7.15", "3.7.5", "3.8.2", "3.8.6", "3.10.4", "3.10.12"],
+        )
+        .with_dep("zlib", "1.2:", DepKind::Link)
+        .with_build_cost(10.0),
         Recipe::new("cmake", &["3.23.1", "3.26.3"]).with_build_cost(5.0),
         Recipe::new("cuda", &["11.4", "12.0"]).with_build_cost(15.0),
         Recipe::new("kokkos", &["3.7.01", "4.0.01"])
@@ -211,9 +226,16 @@ mod tests {
     #[test]
     fn builtin_has_all_study_packages() {
         let r = Repo::builtin();
-        for name in
-            ["babelstream", "hpcg", "hpgmg", "stream", "gcc", "openmpi", "cray-mpich", "python"]
-        {
+        for name in [
+            "babelstream",
+            "hpcg",
+            "hpgmg",
+            "stream",
+            "gcc",
+            "openmpi",
+            "cray-mpich",
+            "python",
+        ] {
             assert!(r.get(name).is_some(), "missing recipe {name}");
         }
     }
@@ -222,7 +244,11 @@ mod tests {
     fn mpi_is_virtual_with_providers() {
         let r = Repo::builtin();
         assert!(r.is_virtual("mpi"));
-        let providers: Vec<&str> = r.providers_of("mpi").iter().map(|p| p.name.as_str()).collect();
+        let providers: Vec<&str> = r
+            .providers_of("mpi")
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
         assert!(providers.contains(&"openmpi"));
         assert!(providers.contains(&"cray-mpich"));
         assert!(providers.contains(&"mvapich"));
@@ -244,7 +270,9 @@ mod tests {
         let r = Repo::builtin();
         let recipe = r.get("babelstream").unwrap();
         for m in BABELSTREAM_MODELS {
-            let decl = recipe.variant_decl(m).unwrap_or_else(|| panic!("missing variant {m}"));
+            let decl = recipe
+                .variant_decl(m)
+                .unwrap_or_else(|| panic!("missing variant {m}"));
             assert_eq!(decl.default, VariantSetting::Off, "models default off");
         }
     }

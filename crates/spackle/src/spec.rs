@@ -72,14 +72,19 @@ impl std::error::Error for SpecParseError {}
 impl Spec {
     /// A bare spec with just a package name.
     pub fn named(name: &str) -> Spec {
-        Spec { name: name.to_string(), ..Spec::default() }
+        Spec {
+            name: name.to_string(),
+            ..Spec::default()
+        }
     }
 
     /// Parse the full spec grammar.
     pub fn parse(text: &str) -> Result<Spec, SpecParseError> {
         let mut tokens = tokenize(text)?;
         if tokens.is_empty() {
-            return Err(SpecParseError { message: "empty spec".into() });
+            return Err(SpecParseError {
+                message: "empty spec".into(),
+            });
         }
         // Split the token stream into root + ^dep segments.
         let mut segments: Vec<Vec<Token>> = vec![Vec::new()];
@@ -93,7 +98,9 @@ impl Spec {
         let mut root = parse_segment(&segments[0])?;
         for seg in &segments[1..] {
             if seg.is_empty() {
-                return Err(SpecParseError { message: "dangling `^`".into() });
+                return Err(SpecParseError {
+                    message: "dangling `^`".into(),
+                });
             }
             root.deps.push(parse_segment(seg)?);
         }
@@ -102,7 +109,10 @@ impl Spec {
 
     /// The variant setting for `name`, if given.
     pub fn variant(&self, name: &str) -> Option<&VariantSetting> {
-        self.variants.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.variants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Set (or replace) a variant.
@@ -120,7 +130,10 @@ impl Spec {
 
     /// Constrain the compiler.
     pub fn with_compiler(mut self, name: &str, version: VersionReq) -> Spec {
-        self.compiler = Some(CompilerReq { name: name.to_string(), version });
+        self.compiler = Some(CompilerReq {
+            name: name.to_string(),
+            version,
+        });
         self
     }
 
@@ -267,8 +280,10 @@ fn parse_segment(tokens: &[Token]) -> Result<Spec, SpecParseError> {
                     });
                     after_percent = false;
                 } else {
-                    compiler =
-                        Some(CompilerReq { name: c.clone(), version: VersionReq::Any });
+                    compiler = Some(CompilerReq {
+                        name: c.clone(),
+                        version: VersionReq::Any,
+                    });
                     after_percent = true;
                 }
             }
@@ -281,14 +296,17 @@ fn parse_segment(tokens: &[Token]) -> Result<Spec, SpecParseError> {
                 after_percent = false;
             }
             Token::KeyVal(k, v) => {
-                spec.variants.push((k.clone(), VariantSetting::Value(v.clone())));
+                spec.variants
+                    .push((k.clone(), VariantSetting::Value(v.clone())));
                 after_percent = false;
             }
             Token::Caret => unreachable!("segments split on Caret"),
         }
     }
     if spec.name.is_empty() {
-        return Err(SpecParseError { message: "spec has no package name".into() });
+        return Err(SpecParseError {
+            message: "spec has no package name".into(),
+        });
     }
     spec.compiler = compiler;
     Ok(spec)
@@ -337,7 +355,10 @@ mod tests {
     #[test]
     fn parse_key_value_variant() {
         let s = Spec::parse("babelstream model=cuda").unwrap();
-        assert_eq!(s.variant("model"), Some(&VariantSetting::Value("cuda".into())));
+        assert_eq!(
+            s.variant("model"),
+            Some(&VariantSetting::Value("cuda".into()))
+        );
     }
 
     #[test]

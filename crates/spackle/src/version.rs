@@ -27,7 +27,10 @@ impl Version {
                 Err(_) => Part::Alpha(p.to_string()),
             })
             .collect();
-        Version { parts, text: text.to_string() }
+        Version {
+            parts,
+            text: text.to_string(),
+        }
     }
 
     pub fn as_str(&self) -> &str {
@@ -113,8 +116,16 @@ impl VersionReq {
             return VersionReq::Exact(Version::new(exact));
         }
         if let Some((lo, hi)) = text.split_once(':') {
-            let lo = if lo.is_empty() { None } else { Some(Version::new(lo)) };
-            let hi = if hi.is_empty() { None } else { Some(Version::new(hi)) };
+            let lo = if lo.is_empty() {
+                None
+            } else {
+                Some(Version::new(lo))
+            };
+            let hi = if hi.is_empty() {
+                None
+            } else {
+                Some(Version::new(hi))
+            };
             return VersionReq::Range(lo, hi);
         }
         VersionReq::Series(Version::new(text))
@@ -268,8 +279,12 @@ mod tests {
         assert!(!i.matches(&v("1.5")));
         assert!(!i.matches(&v("1.1")));
 
-        assert!(VersionReq::parse("=1.2").intersect(&VersionReq::parse("2:")).is_none());
-        let s = VersionReq::parse("11.2").intersect(&VersionReq::parse("11")).unwrap();
+        assert!(VersionReq::parse("=1.2")
+            .intersect(&VersionReq::parse("2:"))
+            .is_none());
+        let s = VersionReq::parse("11.2")
+            .intersect(&VersionReq::parse("11"))
+            .unwrap();
         assert!(s.matches(&v("11.2.0")));
         assert!(!s.matches(&v("11.3.0")));
     }

@@ -139,8 +139,11 @@ fn parse_variant(pkg: &str, v: &Value) -> Result<VariantDecl, RepoLoadError> {
         .get("name")
         .and_then(Value::as_str)
         .ok_or_else(|| err(format!("`{pkg}` variant missing `name`")))?;
-    let description =
-        v.get("description").and_then(Value::as_str).unwrap_or("").to_string();
+    let description = v
+        .get("description")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
     match v.get("values").and_then(Value::as_list) {
         Some(values) => {
             let allowed: Vec<String> = values.iter().map(|x| x.scalar_string()).collect();
@@ -154,7 +157,12 @@ fn parse_variant(pkg: &str, v: &Value) -> Result<VariantDecl, RepoLoadError> {
                 )));
             }
             let allowed_refs: Vec<&str> = allowed.iter().map(String::as_str).collect();
-            Ok(VariantDecl::choice(name, &default, &allowed_refs, &description))
+            Ok(VariantDecl::choice(
+                name,
+                &default,
+                &allowed_refs,
+                &description,
+            ))
         }
         None => {
             let default = v.get("default").and_then(Value::as_bool).unwrap_or(false);
@@ -171,11 +179,16 @@ fn parse_when(pkg: &str, text: &str) -> Result<When, RepoLoadError> {
     } else if let Some(name) = text.strip_prefix('~') {
         Ok(When::VariantIs(name.to_string(), VariantSetting::Off))
     } else if let Some((k, v)) = text.split_once('=') {
-        Ok(When::VariantIs(k.to_string(), VariantSetting::Value(v.to_string())))
+        Ok(When::VariantIs(
+            k.to_string(),
+            VariantSetting::Value(v.to_string()),
+        ))
     } else if text.is_empty() || text == "always" {
         Ok(When::Always)
     } else {
-        Err(err(format!("`{pkg}`: cannot parse when-condition `{text}`")))
+        Err(err(format!(
+            "`{pkg}`: cannot parse when-condition `{text}`"
+        )))
     }
 }
 
@@ -214,7 +227,10 @@ packages:
         assert_eq!(n, 2);
         assert!(repo.get("lfric-bench").is_some());
         // The new provider joins the mpi pool.
-        assert!(repo.providers_of("mpi").iter().any(|r| r.name == "site-mpi"));
+        assert!(repo
+            .providers_of("mpi")
+            .iter()
+            .any(|r| r.name == "site-mpi"));
     }
 
     #[test]
@@ -246,7 +262,8 @@ packages:
     #[test]
     fn shadowing_builtin_recipe() {
         let mut repo = Repo::builtin();
-        repo.load_yaml("packages:\n  - {name: stream, versions: [99.0]}\n").unwrap();
+        repo.load_yaml("packages:\n  - {name: stream, versions: [99.0]}\n")
+            .unwrap();
         assert_eq!(repo.get("stream").unwrap().versions[0].as_str(), "99.0");
     }
 
@@ -254,8 +271,12 @@ packages:
     fn bad_documents_rejected() {
         let mut repo = Repo::empty();
         assert!(repo.load_yaml("nothing: here").is_err());
-        assert!(repo.load_yaml("packages:\n  - {versions: [1.0]}\n").is_err());
-        assert!(repo.load_yaml("packages:\n  - {name: x, versions: []}\n").is_err());
+        assert!(repo
+            .load_yaml("packages:\n  - {versions: [1.0]}\n")
+            .is_err());
+        assert!(repo
+            .load_yaml("packages:\n  - {name: x, versions: []}\n")
+            .is_err());
         assert!(repo
             .load_yaml("packages:\n  - {name: x, versions: [1.0], dependencies: [{name: y, kind: weird}]}\n")
             .is_err());
@@ -266,8 +287,14 @@ packages:
 
     #[test]
     fn when_condition_grammar() {
-        assert_eq!(parse_when("p", "+mpi").unwrap(), When::VariantIs("mpi".into(), VariantSetting::On));
-        assert_eq!(parse_when("p", "~mpi").unwrap(), When::VariantIs("mpi".into(), VariantSetting::Off));
+        assert_eq!(
+            parse_when("p", "+mpi").unwrap(),
+            When::VariantIs("mpi".into(), VariantSetting::On)
+        );
+        assert_eq!(
+            parse_when("p", "~mpi").unwrap(),
+            When::VariantIs("mpi".into(), VariantSetting::Off)
+        );
         assert_eq!(
             parse_when("p", "precision=single").unwrap(),
             When::VariantIs("precision".into(), VariantSetting::Value("single".into()))

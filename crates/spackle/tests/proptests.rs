@@ -5,7 +5,11 @@ use spackle::{Spec, Version, VersionReq};
 
 fn version_string() -> impl Strategy<Value = String> {
     prop::collection::vec(0u64..50, 1..4).prop_map(|parts| {
-        parts.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(".")
+        parts
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
     })
 }
 

@@ -121,8 +121,10 @@ fn flow_yaml(v: &Value) -> String {
             format!("[{}]", inner.join(", "))
         }
         Value::Map(m) => {
-            let inner: Vec<String> =
-                m.iter().map(|(k, v)| format!("{}: {}", yaml_key(k), flow_yaml(v))).collect();
+            let inner: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{}: {}", yaml_key(k), flow_yaml(v)))
+                .collect();
             format!("{{{}}}", inner.join(", "))
         }
         // Inside flow context, the flow metacharacters also force quoting.
@@ -169,7 +171,9 @@ fn needs_quoting(s: &str) -> bool {
         || s.ends_with(':')
         || s.starts_with("- ")
         || s == "-"
-        || s.starts_with(['#', '[', ']', '{', '}', '"', '\'', '&', '*', '!', '|', '>', '%', '@'])
+        || s.starts_with([
+            '#', '[', ']', '{', '}', '"', '\'', '&', '*', '!', '|', '>', '%', '@',
+        ])
         || s.contains(" #")
         || s.contains('\n')
         || s.contains('\t')
@@ -298,7 +302,10 @@ mod tests {
         let v = Value::Float(2.0);
         let s = yaml_scalar(&v);
         assert_eq!(s, "2.0");
-        assert!(matches!(super::super::parse::parse_scalar(&s, 1).unwrap(), Value::Float(_)));
+        assert!(matches!(
+            super::super::parse::parse_scalar(&s, 1).unwrap(),
+            Value::Float(_)
+        ));
     }
 
     #[test]

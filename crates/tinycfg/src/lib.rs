@@ -86,10 +86,12 @@ mod tests {
 
     #[test]
     fn quoted_strings_preserved() {
-        let v = parse(r#"a: "123"
+        let v = parse(
+            r#"a: "123"
 b: '  padded '
-c: "with # hash""#)
-            .unwrap();
+c: "with # hash""#,
+        )
+        .unwrap();
         assert_eq!(v.get_path("a").unwrap().as_str(), Some("123"));
         assert_eq!(v.get_path("b").unwrap().as_str(), Some("  padded "));
         assert_eq!(v.get_path("c").unwrap().as_str(), Some("with # hash"));

@@ -13,7 +13,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "config parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "config parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -30,9 +34,16 @@ pub fn parse(src: &str) -> Result<Value, ParseError> {
         }
         let indent = stripped.len() - stripped.trim_start().len();
         if stripped[..indent].contains('\t') {
-            return Err(ParseError { line: lineno, message: "tabs are not allowed in indentation".into() });
+            return Err(ParseError {
+                line: lineno,
+                message: "tabs are not allowed in indentation".into(),
+            });
         }
-        lines.push(Line { indent, text: stripped.trim_start().to_string(), lineno });
+        lines.push(Line {
+            indent,
+            text: stripped.trim_start().to_string(),
+            lineno,
+        });
     }
     if lines.is_empty() {
         return Ok(Value::Null);
@@ -85,13 +96,19 @@ struct BlockParser {
 
 impl BlockParser {
     fn err(&self, lineno: usize, message: impl Into<String>) -> ParseError {
-        ParseError { line: lineno, message: message.into() }
+        ParseError {
+            line: lineno,
+            message: message.into(),
+        }
     }
 
     fn parse_value(&mut self, indent: usize) -> Result<Value, ParseError> {
         let line = self.lines[self.idx].clone();
         if line.indent != indent {
-            return Err(self.err(line.lineno, format!("expected indent {indent}, found {}", line.indent)));
+            return Err(self.err(
+                line.lineno,
+                format!("expected indent {indent}, found {}", line.indent),
+            ));
         }
         if line.text == "-" || line.text.starts_with("- ") {
             self.parse_sequence(indent)
@@ -128,8 +145,11 @@ impl BlockParser {
                 // following lines at that indent join the same block.
                 let rest = line.text[2..].trim_start();
                 let offset = line.text.len() - rest.len();
-                self.lines[self.idx] =
-                    Line { indent: indent + offset, text: rest.to_string(), lineno: line.lineno };
+                self.lines[self.idx] = Line {
+                    indent: indent + offset,
+                    text: rest.to_string(),
+                    lineno: line.lineno,
+                };
                 items.push(self.parse_value(indent + offset)?);
             }
         }
@@ -214,7 +234,11 @@ fn find_key_colon(text: &str) -> Option<usize> {
 /// Parse a one-line scalar or flow collection.
 pub(crate) fn parse_scalar(text: &str, lineno: usize) -> Result<Value, ParseError> {
     let text = text.trim();
-    let mut fp = FlowParser { chars: text.chars().collect(), pos: 0, lineno };
+    let mut fp = FlowParser {
+        chars: text.chars().collect(),
+        pos: 0,
+        lineno,
+    };
     let v = fp.parse_flow_value()?;
     fp.skip_ws();
     if fp.pos < fp.chars.len() {
@@ -233,7 +257,10 @@ struct FlowParser {
 
 impl FlowParser {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.lineno, message: message.into() }
+        ParseError {
+            line: self.lineno,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -409,7 +436,10 @@ mod tests {
         assert_eq!(split_key("a:"), Some(("a".to_string(), "")));
         assert_eq!(split_key("a:b"), None);
         assert_eq!(split_key("plain scalar"), None);
-        assert_eq!(split_key("\"quoted key\": v"), Some(("quoted key".to_string(), "v")));
+        assert_eq!(
+            split_key("\"quoted key\": v"),
+            Some(("quoted key".to_string(), "v"))
+        );
         // URL-ish values don't split on the scheme colon.
         assert_eq!(
             split_key("url: https://example.com"),
@@ -447,7 +477,10 @@ mod tests {
         let v = parse_scalar("[[1, 2], {a: [3]}]", 1).unwrap();
         let outer = v.as_list().unwrap();
         assert_eq!(outer[0].as_list().unwrap().len(), 2);
-        assert_eq!(outer[1].get_path("a").unwrap().as_list().unwrap()[0].as_int(), Some(3));
+        assert_eq!(
+            outer[1].get_path("a").unwrap().as_list().unwrap()[0].as_int(),
+            Some(3)
+        );
     }
 
     #[test]

@@ -33,15 +33,15 @@ fn document() -> impl Strategy<Value = Value> {
 /// Floats compare within rounding noise after a text round-trip.
 fn approx_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Float(x), Value::Float(y)) => {
-            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
-        }
+        (Value::Float(x), Value::Float(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
         (Value::List(x), Value::List(y)) => {
             x.len() == y.len() && x.iter().zip(y).all(|(a, b)| approx_eq(a, b))
         }
         (Value::Map(x), Value::Map(y)) => {
             x.len() == y.len()
-                && x.iter().zip(y.iter()).all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
         }
         _ => a == b,
     }

@@ -54,8 +54,12 @@ fn main() {
         df.push_row(vec![
             dframe::Cell::from(c.model.as_str()),
             dframe::Cell::from(c.platform.as_str()),
-            c.triad_mbs.map(dframe::Cell::from).unwrap_or(dframe::Cell::Null),
-            c.efficiency.map(dframe::Cell::from).unwrap_or(dframe::Cell::Null),
+            c.triad_mbs
+                .map(dframe::Cell::from)
+                .unwrap_or(dframe::Cell::Null),
+            c.efficiency
+                .map(dframe::Cell::from)
+                .unwrap_or(dframe::Cell::Null),
         ])
         .expect("schema");
     }
@@ -85,7 +89,12 @@ fn bench_figure2() -> (postproc::Heatmap, Vec<Fig2Cell>) {
     let mut cells = Vec::new();
     for (spec, label, exp) in PLATFORMS {
         let (sys, part) = simhpc::catalog::resolve(spec).expect("catalog");
-        let peak_mbs = sys.partition(&part).expect("partition").processor().peak_mem_bw_gbs() * 1e3;
+        let peak_mbs = sys
+            .partition(&part)
+            .expect("partition")
+            .processor()
+            .peak_mem_bw_gbs()
+            * 1e3;
         let mut h = Harness::new(RunOptions::on_system(spec));
         for model in &models {
             let case = cases::babelstream(*model, 1usize << *exp);

@@ -14,11 +14,16 @@ use benchapps::hpcg::HpcgVariant;
 use benchkit::prelude::*;
 
 fn main() {
-    let platforms = [("isambard-macs:cascadelake", "Intel Cascade Lake", 40u32),
-                     ("archer2", "AMD Rome", 128u32)];
+    let platforms = [
+        ("isambard-macs:cascadelake", "Intel Cascade Lake", 40u32),
+        ("archer2", "AMD Rome", 128u32),
+    ];
 
     println!("HPCG variants, GFLOP/s (single node, MPI only):\n");
-    println!("{:<18} {:>20} {:>12}", "Variant", platforms[0].1, platforms[1].1);
+    println!(
+        "{:<18} {:>20} {:>12}",
+        "Variant", platforms[0].1, platforms[1].1
+    );
 
     let mut results: Vec<(HpcgVariant, Option<f64>, Option<f64>)> = Vec::new();
     for variant in HpcgVariant::all() {
@@ -33,7 +38,12 @@ fn main() {
             row.push(gf);
         }
         let fmt = |v: Option<f64>| v.map(|g| format!("{g:.1}")).unwrap_or_else(|| "N/A".into());
-        println!("{:<18} {:>20} {:>12}", variant.label(), fmt(row[0]), fmt(row[1]));
+        println!(
+            "{:<18} {:>20} {:>12}",
+            variant.label(),
+            fmt(row[0]),
+            fmt(row[1])
+        );
         results.push((*variant, row[0], row[1]));
     }
 

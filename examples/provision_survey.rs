@@ -28,11 +28,16 @@ fn main() {
 
     // The benchmark sweep itself (the paper's Table 4).
     println!("HPGMG-FV Figures of Merit (10^6 DOF/s), args `7 8`, 8 ranks / 2 per node:\n");
-    println!("{:<28} {:>8} {:>8} {:>8} {:>12}", "System", "l0", "l1", "l2", "queue wait");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>12}",
+        "System", "l0", "l1", "l2", "queue wait"
+    );
     let mut perflogs: Vec<String> = Vec::new();
     for spec_name in SYSTEMS {
         let mut h = Harness::new(RunOptions::on_system(spec_name));
-        let report = h.run_case(&cases::hpgmg()).expect("Table 4 systems support HPGMG");
+        let report = h
+            .run_case(&cases::hpgmg())
+            .expect("Table 4 systems support HPGMG");
         let level = |name: &str| report.record.fom(name).expect("level FOM").value / 1e6;
         println!(
             "{:<28} {:>8.2} {:>8.2} {:>8.2} {:>11.3}s",
@@ -70,5 +75,8 @@ fn main() {
     // One sample P5 artifact: the generated job script for ARCHER2.
     let mut h = Harness::new(RunOptions::on_system("archer2"));
     let report = h.run_case(&cases::hpgmg()).expect("runs");
-    println!("\nGenerated ARCHER2 job script (Principle 5):\n{}", report.job_script);
+    println!(
+        "\nGenerated ARCHER2 job script (Principle 5):\n{}",
+        report.job_script
+    );
 }

@@ -17,7 +17,9 @@ fn main() {
     // 2. Run it on two simulated systems from the catalog. Each run goes
     //    through the full pipeline: spec → concretize → build → submit →
     //    run → sanity → FOM extraction → perflog.
-    let study = Study::new("quickstart").with_case(case).on_systems(&["archer2", "csd3"]);
+    let study = Study::new("quickstart")
+        .with_case(case)
+        .on_systems(&["archer2", "csd3"]);
     let results = study.run();
     println!(
         "ran {} combinations ({} skipped, {} failed)\n",
@@ -46,5 +48,8 @@ fn main() {
 
     // 5. And the portable summary: the Pennycook PP metric across the set.
     let set = results.efficiency_set("babelstream_omp", "Triad", &peaks);
-    println!("\nPerformance portability (harmonic mean of efficiencies): {:.3}", set.pp());
+    println!(
+        "\nPerformance portability (harmonic mean of efficiencies): {:.3}",
+        set.pp()
+    );
 }

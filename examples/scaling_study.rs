@@ -53,8 +53,10 @@ fn main() {
     println!("\nParallel efficiency relative to the smallest run:");
     for system in systems {
         if let Some(eff) = plot.parallel_efficiency(system) {
-            let cells: Vec<String> =
-                eff.iter().map(|(x, e)| format!("{x:.0}r:{:.0}%", e * 100.0)).collect();
+            let cells: Vec<String> = eff
+                .iter()
+                .map(|(x, e)| format!("{x:.0}r:{:.0}%", e * 100.0))
+                .collect();
             println!("  {system:<8} {}", cells.join("  "));
         }
     }

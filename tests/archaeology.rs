@@ -18,31 +18,58 @@ fn lockfile_records_enough_to_replay_the_build() {
 
     // The lockfile is self-describing YAML that reparses...
     let doc = tinycfg::parse(&yaml).expect("lockfile parses");
-    assert_eq!(doc.get_path("system").and_then(tinycfg::Value::as_str), Some("archer2"));
-    let locked = doc.get_path("locked").and_then(tinycfg::Value::as_list).expect("entries");
+    assert_eq!(
+        doc.get_path("system").and_then(tinycfg::Value::as_str),
+        Some("archer2")
+    );
+    let locked = doc
+        .get_path("locked")
+        .and_then(tinycfg::Value::as_list)
+        .expect("entries");
     assert_eq!(locked.len(), 2);
 
     // ...and pins every node to an exact version + hash, flagging what the
     // site provided vs what was built.
     for entry in locked {
-        for node in entry.get("nodes").and_then(tinycfg::Value::as_list).expect("nodes") {
-            let version =
-                node.get("version").and_then(tinycfg::Value::as_str).expect("version");
+        for node in entry
+            .get("nodes")
+            .and_then(tinycfg::Value::as_list)
+            .expect("nodes")
+        {
+            let version = node
+                .get("version")
+                .and_then(tinycfg::Value::as_str)
+                .expect("version");
             assert!(!version.is_empty());
-            let hash = node.get("hash").and_then(tinycfg::Value::as_str).expect("hash");
+            let hash = node
+                .get("hash")
+                .and_then(tinycfg::Value::as_str)
+                .expect("hash");
             assert_eq!(hash.len(), 7);
-            assert!(node.get("external").and_then(tinycfg::Value::as_bool).is_some());
+            assert!(node
+                .get("external")
+                .and_then(tinycfg::Value::as_bool)
+                .is_some());
         }
     }
     // The HPGMG entry reuses ARCHER2's cray-mpich external.
     let hpgmg = &locked[0];
-    let nodes = hpgmg.get("nodes").and_then(tinycfg::Value::as_list).expect("nodes");
+    let nodes = hpgmg
+        .get("nodes")
+        .and_then(tinycfg::Value::as_list)
+        .expect("nodes");
     let mpich = nodes
         .iter()
         .find(|n| n.get("name").and_then(tinycfg::Value::as_str) == Some("cray-mpich"))
         .expect("cray-mpich node");
-    assert_eq!(mpich.get("external").and_then(tinycfg::Value::as_bool), Some(true));
-    assert_eq!(mpich.get("version").and_then(tinycfg::Value::as_str), Some("8.1.23"));
+    assert_eq!(
+        mpich.get("external").and_then(tinycfg::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        mpich.get("version").and_then(tinycfg::Value::as_str),
+        Some("8.1.23")
+    );
 }
 
 #[test]
@@ -54,7 +81,10 @@ fn rerunning_from_the_same_definitions_reproduces_hashes_and_foms() {
     let run = || {
         let mut h = Harness::new(RunOptions::on_system("cosma8"));
         let report = h.run_case(&cases::hpgmg()).expect("runs");
-        (report.dag_hash.clone(), report.record.fom("l0").expect("l0").value)
+        (
+            report.dag_hash.clone(),
+            report.record.fom("l0").expect("l0").value,
+        )
     };
     let (hash_a, fom_a) = run();
     let (hash_b, fom_b) = run();
@@ -67,10 +97,17 @@ fn perflog_alone_suffices_to_rebuild_the_analysis() {
     // Collect, serialize to JSONL, drop everything else, re-analyse.
     let jsonl = {
         let mut h = Harness::new(RunOptions::on_system("csd3"));
-        for model in [parkern::Model::Omp, parkern::Model::Kokkos, parkern::Model::StdRanges] {
-            h.run_case(&cases::babelstream(model, 1 << 27)).expect("runs");
+        for model in [
+            parkern::Model::Omp,
+            parkern::Model::Kokkos,
+            parkern::Model::StdRanges,
+        ] {
+            h.run_case(&cases::babelstream(model, 1 << 27))
+                .expect("runs");
         }
-        h.perflog("csd3", "babelstream").expect("perflog exists").to_jsonl()
+        h.perflog("csd3", "babelstream")
+            .expect("perflog exists")
+            .to_jsonl()
     };
 
     let frame = postproc::assimilate(&[jsonl]).expect("parses");
@@ -101,7 +138,10 @@ fn perflog_alone_suffices_to_rebuild_the_analysis() {
 fn job_scripts_replayable_across_scheduler_dialects() {
     // The same case renders a valid script for each site dialect.
     let case = cases::hpgmg();
-    for (system, marker) in [("archer2", "#SBATCH"), ("isambard-macs:cascadelake", "#PBS")] {
+    for (system, marker) in [
+        ("archer2", "#SBATCH"),
+        ("isambard-macs:cascadelake", "#PBS"),
+    ] {
         let mut h = Harness::new(RunOptions::on_system(system));
         let report = h.run_case(&case).expect("runs");
         assert!(

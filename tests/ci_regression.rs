@@ -11,7 +11,8 @@ fn nightly_runs(system: &str, nights: u64) -> String {
     let mut combined = String::new();
     for night in 0..nights {
         let mut h = Harness::new(RunOptions::on_system(system).with_seed(1000 + night));
-        h.run_case(&cases::babelstream(parkern::Model::Omp, 1 << 27)).expect("runs");
+        h.run_case(&cases::babelstream(parkern::Model::Omp, 1 << 27))
+            .expect("runs");
         let log = h.perflog(
             system.split(':').next().expect("system name"),
             "babelstream",
@@ -55,7 +56,10 @@ fn injected_regression_is_flagged() {
     let degraded = history.points.last().expect("points").1 * 0.5;
     history.points.push((history.points.len() as u64, degraded));
     let verdict = history.check_latest(&RegressionPolicy::default());
-    assert!(verdict.is_regression(), "halved bandwidth must flag: {verdict:?}");
+    assert!(
+        verdict.is_regression(),
+        "halved bandwidth must flag: {verdict:?}"
+    );
 }
 
 #[test]
@@ -81,7 +85,11 @@ fn cross_system_portability_tracked_over_time() {
             .efficiency_set(
                 "babelstream_omp",
                 "Triad",
-                &[("archer2", 409_600.0), ("csd3", 282_000.0), ("noctua2", 409_600.0)],
+                &[
+                    ("archer2", 409_600.0),
+                    ("csd3", 282_000.0),
+                    ("noctua2", 409_600.0),
+                ],
             )
             .pp()
     };

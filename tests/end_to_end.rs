@@ -25,10 +25,19 @@ fn full_workflow_produces_consistent_artifacts() {
     for row in frame.rows() {
         let spec = row.get("spec").and_then(Cell::as_str).expect("spec column");
         assert!(spec.contains('@'), "spec pins versions: {spec}");
-        let hash = row.get("build_hash").and_then(Cell::as_str).expect("hash column");
+        let hash = row
+            .get("build_hash")
+            .and_then(Cell::as_str)
+            .expect("hash column");
         assert_eq!(hash.len(), 7);
-        let environ = row.get("environ").and_then(Cell::as_str).expect("environ column");
-        assert!(environ.starts_with("gcc@"), "environ records the compiler: {environ}");
+        let environ = row
+            .get("environ")
+            .and_then(Cell::as_str)
+            .expect("environ column");
+        assert!(
+            environ.starts_with("gcc@"),
+            "environ records the compiler: {environ}"
+        );
     }
 
     // 4. Plot from a YAML config without touching the data by hand (P6).
@@ -43,7 +52,9 @@ fn full_workflow_produces_consistent_artifacts() {
 
     // 5. Efficiency analysis: both systems below theoretical peak.
     for (system, peak) in [("archer2", 409_600.0), ("csd3", 282_000.0)] {
-        let triad = results.mean_fom("babelstream_omp", system, "Triad").expect("ran");
+        let triad = results
+            .mean_fom("babelstream_omp", system, "Triad")
+            .expect("ran");
         let eff = ppmetrics::architectural_efficiency(triad, peak);
         assert!(eff > 0.4 && eff < 1.0, "{system} efficiency {eff}");
     }
@@ -66,7 +77,10 @@ fn perflog_files_roundtrip_through_assimilation() {
     assert_eq!(frame.unique("system").expect("col").len(), 3);
 
     // Group-by works across the assimilated set.
-    let means = frame.group_by(&["system"]).mean("value").expect("aggregates");
+    let means = frame
+        .group_by(&["system"])
+        .mean("value")
+        .expect("aggregates");
     assert_eq!(means.n_rows(), 3);
 }
 
@@ -113,7 +127,11 @@ fn scheduler_provenance_reaches_the_perflog() {
     let mut h = Harness::new(RunOptions::on_system("archer2"));
     let report = h.run_case(&cases::hpgmg()).expect("runs");
     // Queue wait recorded as an extra.
-    assert!(report.record.extras.iter().any(|(k, _)| k == "queue_wait_s"));
+    assert!(report
+        .record
+        .extras
+        .iter()
+        .any(|(k, _)| k == "queue_wait_s"));
     // Job id assigned by the scheduler.
     assert!(report.record.job_id.is_some());
     // SLURM dialect script (ARCHER2), with the paper's exact layout.

@@ -50,7 +50,10 @@ fn energy_scales_with_problem_size() {
 fn slower_platform_spends_more_energy_for_the_same_solve() {
     let run = |system: &str| {
         let mut h = Harness::new(RunOptions::on_system(system));
-        h.run_case(&cases::hpgmg()).expect("hpgmg runs").telemetry.energy_j
+        h.run_case(&cases::hpgmg())
+            .expect("hpgmg runs")
+            .telemetry
+            .energy_j
     };
     // Identical HPGMG configuration; Isambard-MACS takes ~4x longer than
     // CSD3 (Table 4), so it burns substantially more energy even at a
@@ -86,12 +89,18 @@ fn telemetry_lands_in_the_perflog_for_postprocessing() {
         .expect("avg_power_w recorded");
     assert!(energy > 0.0);
     // Dual-socket Rome: between the 30% idle floor and full TDP.
-    assert!((150.0..=600.0).contains(&power), "power {power} W out of band");
+    assert!(
+        (150.0..=600.0).contains(&power),
+        "power {power} W out of band"
+    );
     let network: u64 = record
         .extras
         .iter()
         .find(|(k, _)| k == "network_bytes")
         .and_then(|(_, v)| v.parse().ok())
         .expect("network_bytes recorded");
-    assert!(network > 0, "HPGMG is a multi-node job: halo traffic expected");
+    assert!(
+        network > 0,
+        "HPGMG is a multi-node job: halo traffic expected"
+    );
 }

@@ -8,7 +8,8 @@ use benchkit::PRINCIPLES;
 
 fn audited_report(system: &str, case: TestCase) -> harness::CaseReport {
     let mut h = Harness::new(RunOptions::on_system(system));
-    h.run_case(&case).unwrap_or_else(|e| panic!("case on {system} failed: {e}"))
+    h.run_case(&case)
+        .unwrap_or_else(|e| panic!("case on {system} failed: {e}"))
 }
 
 #[test]
@@ -29,11 +30,13 @@ fn all_principles_hold_for_hpcg_and_hpgmg() {
         cases::hpcg(benchapps::hpcg::HpcgVariant::MatrixFree, 40),
     );
     for p in PRINCIPLES {
-        p.audit(&report).unwrap_or_else(|e| panic!("P{} violated for HPCG: {e}", p.number()));
+        p.audit(&report)
+            .unwrap_or_else(|e| panic!("P{} violated for HPCG: {e}", p.number()));
     }
     let report = audited_report("csd3", cases::hpgmg());
     for p in PRINCIPLES {
-        p.audit(&report).unwrap_or_else(|e| panic!("P{} violated for HPGMG: {e}", p.number()));
+        p.audit(&report)
+            .unwrap_or_else(|e| panic!("P{} violated for HPGMG: {e}", p.number()));
     }
 }
 
@@ -41,9 +44,15 @@ fn all_principles_hold_for_hpcg_and_hpgmg() {
 fn principles_carry_paper_statements() {
     // The API preserves the paper's wording (abbreviated sanity check).
     use benchkit::Principle;
-    assert!(Principle::EfficiencyFom.statement().contains("Figure of Merit"));
-    assert!(Principle::RebuildEveryRun.statement().contains("Rebuild the benchmark every time"));
-    assert!(Principle::CaptureRunSteps.statement().contains("default environment"));
+    assert!(Principle::EfficiencyFom
+        .statement()
+        .contains("Figure of Merit"));
+    assert!(Principle::RebuildEveryRun
+        .statement()
+        .contains("Rebuild the benchmark every time"));
+    assert!(Principle::CaptureRunSteps
+        .statement()
+        .contains("default environment"));
     assert_eq!(PRINCIPLES.len(), 6);
     for (i, p) in PRINCIPLES.iter().enumerate() {
         assert_eq!(p.number() as usize, i + 1);
@@ -63,6 +72,8 @@ fn p3_violation_detected_when_rebuilds_disabled() {
         "the audit must catch the stale binary"
     );
     // The other principles still hold.
-    assert!(benchkit::Principle::CaptureBuildSteps.audit(&second).is_ok());
+    assert!(benchkit::Principle::CaptureBuildSteps
+        .audit(&second)
+        .is_ok());
     assert!(benchkit::Principle::CaptureRunSteps.audit(&second).is_ok());
 }

@@ -42,24 +42,42 @@ fn figure2_shape() {
     let omp_cl = map.get("omp", "cascadelake").expect("omp/cl");
     let omp_tx2 = map.get("omp", "thunderx2").expect("omp/tx2");
     let omp_milan = map.get("omp", "milan").expect("omp/milan");
-    assert!(omp_cl > omp_tx2, "paper: better utilisation on Intel than ThunderX2");
-    assert!(omp_milan > omp_tx2, "paper: better utilisation on AMD than ThunderX2");
+    assert!(
+        omp_cl > omp_tx2,
+        "paper: better utilisation on Intel than ThunderX2"
+    );
+    assert!(
+        omp_milan > omp_tx2,
+        "paper: better utilisation on AMD than ThunderX2"
+    );
     assert!(omp_cl > 0.6 && omp_milan > 0.6);
 
     // 3. std-ranges is single-threaded: far below std-data/std-indices.
     for platform in ["cascadelake", "thunderx2", "milan"] {
         let ranges = map.get("std-ranges", platform).expect("std-ranges runs");
         let data = map.get("std-data", platform).expect("std-data runs");
-        assert!(data > 5.0 * ranges, "{platform}: std-data {data} vs std-ranges {ranges}");
+        assert!(
+            data > 5.0 * ranges,
+            "{platform}: std-data {data} vs std-ranges {ranges}"
+        );
     }
 
     // 4. The unavailable combinations: CUDA/OpenCL starred on all CPUs,
     //    TBB starred on ThunderX2, CPU models starred on the GPU.
     for cpu in ["cascadelake", "thunderx2", "milan"] {
-        assert!(map.get("cuda", cpu).is_none(), "cuda must be starred on {cpu}");
-        assert!(map.get("ocl", cpu).is_none(), "ocl must be starred on {cpu}");
+        assert!(
+            map.get("cuda", cpu).is_none(),
+            "cuda must be starred on {cpu}"
+        );
+        assert!(
+            map.get("ocl", cpu).is_none(),
+            "ocl must be starred on {cpu}"
+        );
     }
-    assert!(map.get("tbb", "thunderx2").is_none(), "the paper's TBB-on-Thunder star");
+    assert!(
+        map.get("tbb", "thunderx2").is_none(),
+        "the paper's TBB-on-Thunder star"
+    );
     assert!(map.get("omp", "v100").is_none());
 
     // 5. Abstraction ordering: direct OpenMP ≥ Kokkos on every CPU.
@@ -78,7 +96,12 @@ fn figure2_shape() {
     // 7. No cell exceeds 1.0: the 2^29 Milan size defeats its 512 MB L3.
     for cell in &cells {
         if let Some(eff) = cell.efficiency {
-            assert!(eff < 1.0, "{}/{} efficiency {eff} above peak", cell.model, cell.platform);
+            assert!(
+                eff < 1.0,
+                "{}/{} efficiency {eff} above peak",
+                cell.model,
+                cell.platform
+            );
         }
     }
 }
@@ -95,13 +118,41 @@ fn table2_values_and_eq1_ratios() {
             .as_float()
     };
     // Paper's Table 2, ±25%.
-    assert!(close(get("Original (CSR)", "Intel Cascade Lake").expect("csr cl"), 24.0, 0.25));
-    assert!(close(get("Intel-avx2 (CSR)", "Intel Cascade Lake").expect("avx2 cl"), 39.0, 0.25));
-    assert!(close(get("Matrix-free", "Intel Cascade Lake").expect("mf cl"), 51.0, 0.25));
-    assert!(close(get("LFRic", "Intel Cascade Lake").expect("lfric cl"), 18.5, 0.25));
-    assert!(close(get("Original (CSR)", "AMD Rome").expect("csr rome"), 39.2, 0.25));
-    assert!(close(get("Matrix-free", "AMD Rome").expect("mf rome"), 124.2, 0.25));
-    assert!(close(get("LFRic", "AMD Rome").expect("lfric rome"), 56.0, 0.25));
+    assert!(close(
+        get("Original (CSR)", "Intel Cascade Lake").expect("csr cl"),
+        24.0,
+        0.25
+    ));
+    assert!(close(
+        get("Intel-avx2 (CSR)", "Intel Cascade Lake").expect("avx2 cl"),
+        39.0,
+        0.25
+    ));
+    assert!(close(
+        get("Matrix-free", "Intel Cascade Lake").expect("mf cl"),
+        51.0,
+        0.25
+    ));
+    assert!(close(
+        get("LFRic", "Intel Cascade Lake").expect("lfric cl"),
+        18.5,
+        0.25
+    ));
+    assert!(close(
+        get("Original (CSR)", "AMD Rome").expect("csr rome"),
+        39.2,
+        0.25
+    ));
+    assert!(close(
+        get("Matrix-free", "AMD Rome").expect("mf rome"),
+        124.2,
+        0.25
+    ));
+    assert!(close(
+        get("LFRic", "AMD Rome").expect("lfric rome"),
+        56.0,
+        0.25
+    ));
     // N/A cell: the Intel binary on AMD.
     assert!(get("Intel-avx2 (CSR)", "AMD Rome").is_none());
 
@@ -110,7 +161,10 @@ fn table2_values_and_eq1_ratios() {
     assert!(close(e_i, 1.625, 0.15), "E_I = {e_i}");
     assert!(close(e_a_cl, 2.125, 0.15), "E_A(CL) = {e_a_cl}");
     assert!(close(e_a_rome, 3.168, 0.15), "E_A(Rome) = {e_a_rome}");
-    assert!(e_a_cl > e_i, "algorithmic beats implementation optimization");
+    assert!(
+        e_a_cl > e_i,
+        "algorithmic beats implementation optimization"
+    );
     assert!(e_a_rome > e_a_cl, "algorithmic gain larger on AMD");
 }
 
@@ -160,10 +214,19 @@ fn table4_shape_and_bands() {
 
     // Shape claims: CSD3 fastest, Isambard slowest, ~4x platform gap
     // between the two Cascade Lake systems.
-    let l0s = ["ARCHER2 (Rome)", "COSMA8 (Rome)", "CSD3 (Cascade Lake)", "Isambard (Cascade Lake)"]
-        .map(|s| get(s, "l0"));
+    let l0s = [
+        "ARCHER2 (Rome)",
+        "COSMA8 (Rome)",
+        "CSD3 (Cascade Lake)",
+        "Isambard (Cascade Lake)",
+    ]
+    .map(|s| get(s, "l0"));
     assert!(l0s[2] > l0s[0] && l0s[0] > l0s[1] && l0s[1] > l0s[3]);
-    assert!(l0s[2] / l0s[3] > 3.0, "platform gap {:.1}x", l0s[2] / l0s[3]);
+    assert!(
+        l0s[2] / l0s[3] > 3.0,
+        "platform gap {:.1}x",
+        l0s[2] / l0s[3]
+    );
 
     // Levels decrease for CSD3 and ARCHER2; COSMA8 shows the l2 >= l1
     // inversion the paper reports.

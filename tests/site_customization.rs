@@ -46,8 +46,7 @@ fn spack_yaml_environment_locks_per_system() {
     for system in ["archer2", "cosma8"] {
         let sys = simhpc::catalog::system(system).expect("catalog");
         let ctx = spackle::context_for(&sys, sys.default_partition());
-        let mut env =
-            spackle::Environment::from_yaml("excalibur-tests", env_yaml).expect("parses");
+        let mut env = spackle::Environment::from_yaml("excalibur-tests", env_yaml).expect("parses");
         env.concretize_all(&repo, &ctx).expect("concretizes");
         assert!(env.is_locked());
         let lock = env.lockfile_yaml(&ctx);
@@ -109,8 +108,9 @@ fn cli_survey_matches_library_study() {
         .expect("triad in CLI output");
 
     let mut h = Harness::new(RunOptions::on_system("noctua2").with_seed(42));
-    let report =
-        h.run_case(&cases::babelstream(parkern::Model::Omp, 1 << 25)).expect("runs");
+    let report = h
+        .run_case(&cases::babelstream(parkern::Model::Omp, 1 << 25))
+        .expect("runs");
     let lib_triad = report.record.fom("Triad").expect("triad").value;
     assert_eq!(cli_triad, lib_triad, "CLI and library must agree exactly");
 }

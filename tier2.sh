@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-2 verification: style and lint gates on top of the tier-1
+# build+test cycle (ROADMAP.md). Run from the repo root.
+#
+#   ./tier2.sh
+#
+# Both gates are hard: formatting must be rustfmt-clean and the whole
+# workspace (all targets, vendored stubs included) must be clippy-clean
+# with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier2: cargo fmt --check =="
+cargo fmt --check
+
+echo "== tier2: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier2 OK"

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with genuine (if short) wall-clock timing.
+//! There are no statistics, plots, or saved baselines: each benchmark runs a
+//! brief warm-up then a fixed number of timed batches and prints the best
+//! per-iteration time, which is enough to compare kernels side by side.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Marker for wall-clock measurement (the only kind supported here).
+    pub struct WallTime;
+}
+
+/// How work scales per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark's display identity: `name` or `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    batches: u32,
+    iters_per_batch: u64,
+    best_ns_per_iter: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: let caches/allocators settle and estimate cost.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        // Aim each batch at ~2ms of work so Instant overhead is negligible,
+        // bounded so expensive routines still finish quickly.
+        let est_ns = once.as_nanos().max(1);
+        self.iters_per_batch = ((2_000_000 / est_ns).clamp(1, 10_000)) as u64;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        *self.best_ns_per_iter = best;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    batches: u32,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Map criterion's sample count onto our batch count, bounded to keep
+        // stub runs fast.
+        self.batches = (n as u32).clamp(3, 30);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut best = f64::NAN;
+        let mut b = Bencher {
+            batches: self.batches,
+            iters_per_batch: 1,
+            best_ns_per_iter: &mut best,
+        };
+        f(&mut b);
+        self.report(&id, best);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut best = f64::NAN;
+        let mut b = Bencher {
+            batches: self.batches,
+            iters_per_batch: 1,
+            best_ns_per_iter: &mut best,
+        };
+        f(&mut b, input);
+        self.report(&id, best);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, ns: f64) {
+        let mut line = format!("{}/{:<40} {:>12}/iter", self.name, id.id, human_time(ns));
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gibs = bytes as f64 / ns; // bytes/ns == GB/s
+                line.push_str(&format!("  {gibs:>8.2} GB/s"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let melems = n as f64 / ns * 1_000.0; // elems/ns -> Melem/s
+                line.push_str(&format!("  {melems:>8.1} Melem/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            batches: 10,
+            _measurement: PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(8 * 1024));
+        g.bench_function(BenchmarkId::from_parameter("sum"), |b| {
+            let v: Vec<u64> = (0..1024).collect();
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("a", 4).id, "a/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("lit").id, "lit");
+    }
+}

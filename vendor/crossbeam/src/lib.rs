@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two slivers of crossbeam this workspace uses:
+//!
+//! * [`scope`] — scoped threads with crossbeam's `Result`-returning shape,
+//!   implemented on `std::thread::scope` (stable since 1.63);
+//! * [`channel`] — unbounded MPSC channels re-exported from
+//!   `std::sync::mpsc` (the workspace never needs MPMC receive).
+
+use std::any::Any;
+
+/// The error payload crossbeam reports when a scoped thread panicked.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// A handle to a thread spawned inside [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// The spawner passed to the closure given to [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives `&Scope` (ignored by all
+    /// call sites in this workspace) to match crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let captured = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&captured)),
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Unlike `std::thread::scope`
+/// this does not propagate child panics as a panic: it returns `Err` with the
+/// first panic payload, matching crossbeam's API.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's constructor name.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn scope_reports_panic_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_disconnects_when_senders_drop() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.recv().is_err());
+    }
+}

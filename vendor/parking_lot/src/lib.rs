@@ -1,0 +1,155 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! vendors the *subset* of the parking_lot API it actually uses — `Mutex`
+//! (whose `lock()` returns a guard directly, with no poisoning) and
+//! `Condvar` (whose `wait` takes `&mut MutexGuard`) — implemented on top of
+//! `std::sync`. Poisoning is deliberately swallowed, matching parking_lot's
+//! semantics: a panicking critical section does not wedge every later lock.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutex whose `lock()` returns the guard directly (no poison `Result`).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable compatible with [`Mutex`]: `wait` reacquires the
+/// lock in place through the `&mut` guard.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: we move the std guard out, block on the std condvar (which
+        // consumes and returns it), and write the reacquired guard back. The
+        // only code between read and write is `Condvar::wait`, whose poison
+        // error still carries the guard, so `guard.inner` is always
+        // reinitialized before anyone can observe it.
+        unsafe {
+            let taken = std::ptr::read(&guard.inner);
+            let reacquired = self.inner.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(&mut guard.inner, reacquired);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_data() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let mut guard = m.lock();
+            while !*guard {
+                cv.wait(&mut guard);
+            }
+            assert!(*guard);
+        });
+    }
+}

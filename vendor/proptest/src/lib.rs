@@ -1,0 +1,862 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates registry, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_recursive` / `boxed`;
+//! * strategies for numeric ranges, `bool`/integer `any::<T>()`, `Just`,
+//!   tuples, regex-like string patterns (`"[a-z]{1,6}"`),
+//!   `prop::collection::vec` / `hash_set`, and `prop::option::of`;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed sequence, there is **no shrinking** (the failing input
+//! is printed as generated), and regression files are ignored.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy, Union};
+}
+
+/// Deterministic generator: SplitMix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` failed: the input is outside the property's domain.
+    Reject,
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking: a strategy simply produces values from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, map: f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, map: f }
+    }
+
+    /// Recursive strategies: `f` receives the strategy for the *previous*
+    /// depth level and returns the strategy for one level up. Generation
+    /// picks a random depth in `0..=depth` per case.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            recurse: Arc::new(move |inner| f(inner).boxed()),
+            depth,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Arc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.base.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.map)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    recurse: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut s = self.base.clone();
+        for _ in 0..levels {
+            s = (self.recurse)(s);
+        }
+        s.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    pub options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---- numeric range strategies -----------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as u128 % width as u128) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128) - (lo as i128) + 1;
+                let off = (rng.next_u64() as u128 % width as u128) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ---- any::<T>() --------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, roughly log-uniform over magnitude: enough for tests.
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mag * (2f64).powi(exp)
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- tuples ------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0: 0);
+tuple_strategy!(S0: 0, S1: 1);
+tuple_strategy!(S0: 0, S1: 1, S2: 2);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
+
+// ---- regex-like string strategies --------------------------------------
+
+/// One generatable unit of a pattern: a set of characters plus a repeat
+/// range.
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn expand_escape(c: char, into: &mut Vec<char>) {
+    match c {
+        'd' => into.extend('0'..='9'),
+        'w' => {
+            into.extend('a'..='z');
+            into.extend('A'..='Z');
+            into.extend('0'..='9');
+            into.push('_');
+        }
+        's' => into.extend([' ', '\t', '\n']),
+        'n' => into.push('\n'),
+        't' => into.push('\t'),
+        'r' => into.push('\r'),
+        other => into.push(other),
+    }
+}
+
+/// Parse the subset of regex syntax the workspace's strategies use:
+/// character classes with ranges and escapes, literals, `.`, and the
+/// quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut choices = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        expand_escape(chars[i + 1], &mut choices);
+                        i += 2;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        choices.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        choices.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+            }
+            '\\' if i + 1 < chars.len() => {
+                expand_escape(chars[i + 1], &mut choices);
+                i += 2;
+            }
+            '.' => {
+                choices.extend(' '..='~');
+                i += 1;
+            }
+            c => {
+                choices.push(c);
+                i += 1;
+            }
+        }
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern `{pattern}`"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo: usize = lo.trim().parse().expect("quantifier lower bound");
+                            let hi: usize = if hi.trim().is_empty() {
+                                lo + 8
+                            } else {
+                                hi.trim().parse().expect("quantifier upper bound")
+                            };
+                            (lo, hi)
+                        }
+                        None => {
+                            let n: usize = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern `{pattern}`"
+        );
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---- collections and option --------------------------------------------
+
+/// Anything usable as a collection size specification.
+pub trait IntoSizeRange {
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let (lo, hi) = self.size.bounds();
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: IntoSizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let (lo, hi) = self.size.bounds();
+            let target = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = HashSet::new();
+            // Duplicates may shrink the set below target; retry a bounded
+            // number of times so narrow domains cannot loop forever.
+            for _ in 0..target.saturating_mul(50).max(100) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: IntoSizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Bias toward Some, like real proptest.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+// ---- runner ------------------------------------------------------------
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Drives one property: runs `cases` deterministic cases, panicking on the
+/// first failure with the offending input already formatted by the macro.
+pub fn run_property(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    // Deterministic base seed per test name, so failures reproduce.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(20).max(1000);
+    let mut i = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(h ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        i += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property `{test_name}`: too many rejected inputs \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{test_name}` failed at case {i}: {msg}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        TestRng,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// Allow `proptest::option::of`, `proptest::collection::vec` paths from the
+// crate root as in real proptest.
+pub use prelude::prop;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "prop_assert_eq: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "prop_assert_eq: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left != *right, "prop_assert_ne: both sides are {:?}", left);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union { options: vec![$($crate::Strategy::boxed($strategy)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all below or the
+    // catch-all would re-match `@cfg` input and recurse forever.
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)*
+                // Freshly generated inputs for each case; the closure body
+                // reports failures via prop_assert*/prop_assume.
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    )*};
+    // With a leading #![proptest_config(...)] attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    // Without one: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z]{2,5}".generate(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 5, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for _ in 0..100 {
+            let s = r"\d+".generate(&mut rng);
+            assert!(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()));
+        }
+        for _ in 0..100 {
+            let s = "[a-zA-Z_][a-zA-Z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+        }
+        for _ in 0..100 {
+            let s = "[ -~\n]{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..500 {
+            let v = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-50i64..-10).generate(&mut rng);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let collect = || {
+            let mut seen = Vec::new();
+            run_property("det", &ProptestConfig::with_cases(10), |rng| {
+                seen.push(rng.next_u64());
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires strategies, assume and assert together.
+        #[test]
+        fn macro_smoke(n in 1usize..50, v in prop::collection::vec(0u32..10, 0..5), flag in any::<bool>()) {
+            prop_assume!(n != 13);
+            prop_assert!((1..50).contains(&n));
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(flag as u32 * 2 / 2, flag as u32);
+        }
+    }
+
+    fn run_property(
+        name: &str,
+        cfg: &ProptestConfig,
+        f: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        crate::run_property(name, cfg, f)
+    }
+}
