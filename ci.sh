@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The one-command CI recipe (ROADMAP.md): every gate a nightly pipeline
+# would run, in dependency order. Run from the repo root.
+#
+#   ./ci.sh
+#
+# Stages:
+#   1. tier2.sh  — rustfmt-clean, clippy-clean (warnings are errors)
+#   2. tests     — the whole workspace, vendored stubs included
+#   3. bench     — one criterion smoke bench, so the harness that the
+#                  regression pipeline depends on is known to run
+set -euo pipefail
+cd "$(dirname "$0")"
+
+./tier2.sh
+
+echo "== ci: cargo test --workspace =="
+cargo test -q --workspace
+
+echo "== ci: cargo bench smoke (framework) =="
+cargo bench -p bench --bench framework
+
+echo "ci OK"

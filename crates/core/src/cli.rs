@@ -30,12 +30,14 @@ pub enum Command {
     },
     /// `spec <spack-spec> --system <spec>` — concretize and print.
     Spec { spec: String, system: String },
-    /// `survey --system a --system b -c x -c y [--seed N] [--jobs N]`
+    /// `survey --system a --system b -c x -c y [--seed N] [--jobs N]
+    /// [--warm-store]`
     Survey {
         benchmarks: Vec<String>,
         systems: Vec<String>,
         seed: u64,
         jobs: usize,
+        warm_store: bool,
     },
     /// `help`
     Help,
@@ -59,9 +61,13 @@ USAGE:
     benchkit list-systems
     benchkit list-benchmarks
     benchkit run -c <benchmark> --system <system[:partition]> [--seed N] [--repeats N]
-    benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N]
+    benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N] [--warm-store]
         --jobs N runs N (benchmark, system) combinations concurrently
         (0 = one per available core); the report is identical to --jobs 1.
+        --warm-store shares one package store per system so its cases
+        reuse dependency builds (accounting stays deterministic: the
+        first case in case order is attributed each shared build).
+        Outcomes stream as they complete, in grid order.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -85,6 +91,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "list-benchmarks" => Ok(Command::ListBenchmarks),
         "run" => {
             let opts = parse_options(&rest)?;
+            if opts.warm_store {
+                return Err(CliError(
+                    "run: `--warm-store` only applies to `survey`".into(),
+                ));
+            }
             let benchmark = opts
                 .cases
                 .first()
@@ -115,6 +126,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 systems: opts.systems,
                 seed: opts.seed,
                 jobs: opts.jobs,
+                warm_store: opts.warm_store,
             })
         }
         "spec" => {
@@ -150,6 +162,7 @@ struct Options {
     seed: u64,
     repeats: u32,
     jobs: usize,
+    warm_store: bool,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -168,6 +181,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         seed: 42,
         repeats: 1,
         jobs: 1,
+        warm_store: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -191,6 +205,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--jobs" | "-j" => {
                 let v = take_value(args, &mut i, "--jobs")?;
                 opts.jobs = v.parse().map_err(|_| CliError(format!("bad jobs `{v}`")))?;
+            }
+            "--warm-store" => {
+                opts.warm_store = true;
+                i += 1;
             }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
@@ -241,10 +259,12 @@ pub fn case_by_name(name: &str) -> Result<TestCase, CliError> {
     )))
 }
 
-/// Execute a parsed command, writing human-readable output.
+/// Execute a parsed command, writing human-readable output. The writer is
+/// `Send` because `survey` streams outcome lines from worker threads as
+/// grid cells complete (the ordered flush).
 pub fn execute(
     cmd: Command,
-    out: &mut dyn std::io::Write,
+    out: &mut (dyn std::io::Write + Send),
 ) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => writeln!(out, "{USAGE}")?,
@@ -311,13 +331,42 @@ pub fn execute(
             systems,
             seed,
             jobs,
+            warm_store,
         } => {
-            let mut study = Study::new("cli-survey").with_seed(seed).with_jobs(jobs);
+            let mut study = Study::new("cli-survey")
+                .with_seed(seed)
+                .with_jobs(jobs)
+                .with_warm_store(warm_store);
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
             }
             study = study.on_systems(&systems.iter().map(String::as_str).collect::<Vec<_>>());
-            let results = study.run();
+            // Stream one line per grid cell as soon as it (and every
+            // earlier cell) finishes; the flush order is canonical, so
+            // this output is byte-identical for any --jobs count.
+            let results = {
+                let shared = std::sync::Mutex::new(&mut *out);
+                study.run_with_progress(&|p| {
+                    let status = match p.outcome {
+                        harness::SuiteOutcome::Ran(r) => format!(
+                            "ok ({} built, {} cached, build {:.1}s)",
+                            r.packages_built, r.packages_cached, r.build_time_s
+                        ),
+                        harness::SuiteOutcome::Skipped(reason) => format!("skip: {reason}"),
+                        harness::SuiteOutcome::Failed(err) => format!("FAIL: {err}"),
+                    };
+                    let mut o = shared.lock().expect("survey writer poisoned");
+                    writeln!(
+                        o,
+                        "[{}/{}] {} on {}: {status}",
+                        p.index + 1,
+                        p.total,
+                        p.case,
+                        p.system
+                    )
+                    .ok();
+                })
+            };
             writeln!(
                 out,
                 "ran {}  skipped {}  failed {}",
@@ -325,6 +374,15 @@ pub fn execute(
                 results.report.n_skipped(),
                 results.report.n_failed()
             )?;
+            if warm_store {
+                writeln!(
+                    out,
+                    "warm store: {} built, {} reused, {:.1}s total build time",
+                    results.report.total_packages_built(),
+                    results.report.total_packages_cached(),
+                    results.report.total_build_time_s()
+                )?;
+            }
             write!(out, "{}", results.frame())?;
         }
         Command::Spec { spec, system } => {
@@ -382,14 +440,35 @@ mod tests {
                 systems,
                 seed,
                 jobs,
+                warm_store,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
                 assert_eq!(seed, 42);
                 assert_eq!(jobs, 1, "serial by default");
+                assert!(!warm_store, "cold by default");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_survey_warm_store() {
+        let cmd = parse(&argv(
+            "survey -c hpgmg --system archer2 --warm-store --jobs 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Survey {
+                warm_store, jobs, ..
+            } => {
+                assert!(warm_store);
+                assert_eq!(jobs, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Only survey takes it.
+        assert!(parse(&argv("run -c hpgmg --system archer2 --warm-store")).is_err());
     }
 
     #[test]
@@ -478,7 +557,7 @@ mod tests {
     }
 
     #[test]
-    fn execute_survey_counts() {
+    fn execute_survey_counts_and_streams() {
         let mut buf = Vec::new();
         execute(
             Command::Survey {
@@ -486,11 +565,68 @@ mod tests {
                 systems: vec!["csd3".into(), "isambard-macs:volta".into()],
                 seed: 42,
                 jobs: 2,
+                warm_store: false,
             },
             &mut buf,
         )
         .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("ran 1  skipped 1  failed 0"), "{text}");
+        // One streamed line per grid cell, in canonical order.
+        assert!(
+            text.contains("[1/2] babelstream_cuda on csd3: skip"),
+            "{text}"
+        );
+        assert!(
+            text.contains("[2/2] babelstream_cuda on isambard-macs:volta: ok"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn warm_survey_is_byte_identical_for_any_jobs_count() {
+        // The acceptance criterion: `benchkit survey --warm-store --jobs N`
+        // produces a byte-identical report for N ∈ {1, 2, 8}, with
+        // packages reused on multi-case systems.
+        let run_at = |jobs: usize| {
+            let mut buf = Vec::new();
+            execute(
+                Command::Survey {
+                    benchmarks: vec![
+                        "babelstream_omp".into(),
+                        "babelstream_tbb".into(),
+                        "hpgmg".into(),
+                    ],
+                    systems: vec!["csd3".into(), "archer2".into()],
+                    seed: 7,
+                    jobs,
+                    warm_store: true,
+                },
+                &mut buf,
+            )
+            .unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let serial = run_at(1);
+        assert!(
+            serial.contains("[1/6] babelstream_omp on csd3: ok"),
+            "{serial}"
+        );
+        assert!(serial.contains("cached"), "{serial}");
+        // Multi-case systems reuse dependency builds.
+        let warm_line = serial
+            .lines()
+            .find(|l| l.starts_with("warm store:"))
+            .expect("warm summary present");
+        let reused: usize = warm_line
+            .split(" built, ")
+            .nth(1)
+            .and_then(|s| s.split(" reused").next())
+            .and_then(|s| s.parse().ok())
+            .expect("reused count parses");
+        assert!(reused > 0, "{warm_line}");
+        for jobs in [2, 8] {
+            assert_eq!(serial, run_at(jobs), "jobs={jobs}");
+        }
     }
 }

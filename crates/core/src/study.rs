@@ -3,7 +3,7 @@
 //! back an assimilated frame plus analysis helpers.
 
 use dframe::{Cell, DataFrame};
-use harness::{SuiteReport, SuiteRunner, TestCase};
+use harness::{SuiteProgress, SuiteReport, SuiteRunner, TestCase};
 use postproc::Heatmap;
 use ppmetrics::EfficiencySet;
 
@@ -15,6 +15,7 @@ pub struct Study {
     systems: Vec<String>,
     seed: u64,
     jobs: usize,
+    warm_store: bool,
 }
 
 impl Study {
@@ -25,6 +26,7 @@ impl Study {
             systems: Vec::new(),
             seed: 42,
             jobs: 1,
+            warm_store: false,
         }
     }
 
@@ -56,12 +58,27 @@ impl Study {
         self
     }
 
+    /// Share one package store per system across the study's cases, so
+    /// multi-case systems reuse dependency builds (the results stay
+    /// identical; only build accounting and wall-clock change).
+    pub fn with_warm_store(mut self, warm: bool) -> Study {
+        self.warm_store = warm;
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
+        self.run_with_progress(&|_| {})
+    }
+
+    /// Execute the full workflow, streaming each (case, system) outcome
+    /// to `on_flush` in canonical grid order as soon as it completes.
+    pub fn run_with_progress(&self, on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync)) -> StudyResults {
         let runner = SuiteRunner::new(&self.systems.iter().map(String::as_str).collect::<Vec<_>>())
             .with_seed(self.seed)
-            .with_jobs(self.jobs);
-        let report = runner.run(&self.cases);
+            .with_jobs(self.jobs)
+            .with_warm_store(self.warm_store);
+        let report = runner.run_with_progress(&self.cases, on_flush);
         StudyResults {
             name: self.name.clone(),
             report,
@@ -218,6 +235,39 @@ mod tests {
         assert_eq!(
             serial.mean_fom("babelstream_omp", "archer2", "Triad"),
             parallel.mean_fom("babelstream_omp", "archer2", "Triad"),
+        );
+    }
+
+    #[test]
+    fn warm_study_streams_and_matches_cold_foms() {
+        use std::sync::Mutex;
+        let build = |warm| {
+            Study::new("warmth")
+                .with_case(cases::babelstream(Model::Omp, 1 << 22))
+                .with_case(cases::babelstream(Model::Tbb, 1 << 22))
+                .on_systems(&["csd3"])
+                .with_seed(5)
+                .with_warm_store(warm)
+        };
+        let cold = build(false).run();
+        let streamed = Mutex::new(Vec::new());
+        let warm = build(true).with_jobs(2).run_with_progress(&|p| {
+            streamed
+                .lock()
+                .unwrap()
+                .push(format!("{}/{}", p.case, p.system));
+        });
+        // Same FOMs, warmer store.
+        assert_eq!(
+            cold.mean_fom("babelstream_omp", "csd3", "Triad"),
+            warm.mean_fom("babelstream_omp", "csd3", "Triad"),
+        );
+        assert_eq!(cold.frame().to_string(), warm.frame().to_string());
+        assert!(warm.report.total_packages_cached() > 0);
+        // Streamed every cell in canonical order.
+        assert_eq!(
+            streamed.into_inner().unwrap(),
+            vec!["babelstream_omp/csd3", "babelstream_tbb/csd3"]
         );
     }
 

@@ -31,12 +31,28 @@ impl DataFrame {
             let cells: Vec<String> = self
                 .columns()
                 .iter()
-                .map(|c| quote_field(&c.get(i).to_string()))
+                .map(|c| render_cell(c.get(i)))
                 .collect();
             out.push_str(&cells.join(","));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Render one cell as a CSV field. String cells whose text would re-infer
+/// as another type (`"42"`, `"true"`, `""`, `"1e3"`, ...) are quoted so the
+/// reader can tell them apart from genuine numerics/bools/nulls.
+fn render_cell(cell: &Cell) -> String {
+    match cell {
+        Cell::Str(s) => {
+            if !matches!(Cell::infer(s), Cell::Str(_)) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                quote_field(s)
+            }
+        }
+        other => quote_field(&other.to_string()),
     }
 }
 
@@ -48,7 +64,26 @@ fn quote_field(s: &str) -> String {
     }
 }
 
+/// One parsed CSV field, remembering whether any part of it was quoted.
+/// Quotedness is the writer's type marker: a quoted `"42"` is the string
+/// `42`, an unquoted `42` is the integer.
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+impl Field {
+    fn cell(&self) -> Cell {
+        if self.quoted {
+            Cell::Str(self.text.clone())
+        } else {
+            Cell::infer(&self.text)
+        }
+    }
+}
+
 /// Parse CSV text (with header) into a frame, inferring cell types.
+/// Quoted fields always parse as strings (see [`Field`]).
 pub fn from_csv(text: &str) -> Result<DataFrame, CsvError> {
     let records = parse_records(text)?;
     let mut iter = records.into_iter();
@@ -56,6 +91,7 @@ pub fn from_csv(text: &str) -> Result<DataFrame, CsvError> {
         Some(h) => h,
         None => return Ok(DataFrame::default()),
     };
+    let header: Vec<String> = header.into_iter().map(|f| f.text).collect();
     let mut df = DataFrame::new(header.clone());
     for (i, record) in iter.enumerate() {
         if record.len() != header.len() {
@@ -64,7 +100,7 @@ pub fn from_csv(text: &str) -> Result<DataFrame, CsvError> {
                 message: format!("expected {} fields, got {}", header.len(), record.len()),
             });
         }
-        let cells = record.iter().map(|f| Cell::infer(f)).collect();
+        let cells = record.iter().map(Field::cell).collect();
         df.push_row(cells).expect("arity checked");
     }
     Ok(df)
@@ -72,14 +108,19 @@ pub fn from_csv(text: &str) -> Result<DataFrame, CsvError> {
 
 /// Split text into records of fields, honouring quotes (fields may contain
 /// embedded newlines).
-fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+fn parse_records(text: &str) -> Result<Vec<Vec<Field>>, CsvError> {
     let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
+    let mut record: Vec<Field> = Vec::new();
     let mut field = String::new();
+    let mut quoted = false;
     let mut chars = text.chars().peekable();
     let mut in_quotes = false;
     let mut any = false;
 
+    let take = |field: &mut String, quoted: &mut bool| Field {
+        text: std::mem::take(field),
+        quoted: std::mem::take(quoted),
+    };
     while let Some(c) = chars.next() {
         any = true;
         if in_quotes {
@@ -96,13 +137,16 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    quoted = true;
+                }
                 ',' => {
-                    record.push(std::mem::take(&mut field));
+                    record.push(take(&mut field, &mut quoted));
                 }
                 '\r' => {} // swallow CR of CRLF
                 '\n' => {
-                    record.push(std::mem::take(&mut field));
+                    record.push(take(&mut field, &mut quoted));
                     records.push(std::mem::take(&mut record));
                 }
                 c => field.push(c),
@@ -115,8 +159,8 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
             message: "unterminated quote".into(),
         });
     }
-    if any && (!field.is_empty() || !record.is_empty()) {
-        record.push(field);
+    if any && (!field.is_empty() || quoted || !record.is_empty()) {
+        record.push(take(&mut field, &mut quoted));
         records.push(record);
     }
     Ok(records)
@@ -173,5 +217,42 @@ mod tests {
         let df = from_csv("").unwrap();
         assert_eq!(df.n_rows(), 0);
         assert_eq!(df.n_cols(), 0);
+    }
+
+    #[test]
+    fn numeric_looking_strings_survive_roundtrip() {
+        // The bug: Str("42") serialized unquoted and re-read as Int(42).
+        let mut df = DataFrame::new(vec!["a", "b", "c", "d"]);
+        df.push_row(vec![
+            Cell::Str("42".into()),
+            Cell::Str("true".into()),
+            Cell::Str("1e3".into()),
+            Cell::Int(42),
+        ])
+        .unwrap();
+        let text = df.to_csv();
+        assert_eq!(text, "a,b,c,d\n\"42\",\"true\",\"1e3\",42\n");
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.column("a").unwrap().get(0), &Cell::Str("42".into()));
+        assert_eq!(back.column("b").unwrap().get(0), &Cell::Str("true".into()));
+        assert_eq!(back.column("c").unwrap().get(0), &Cell::Str("1e3".into()));
+        assert_eq!(back.column("d").unwrap().get(0), &Cell::Int(42));
+    }
+
+    #[test]
+    fn empty_string_vs_null_roundtrip() {
+        let mut df = DataFrame::new(vec!["a", "b"]);
+        df.push_row(vec![Cell::Str(String::new()), Cell::Null])
+            .unwrap();
+        let back = from_csv(&df.to_csv()).unwrap();
+        assert_eq!(back.column("a").unwrap().get(0), &Cell::Str(String::new()));
+        assert_eq!(back.column("b").unwrap().get(0), &Cell::Null);
+    }
+
+    #[test]
+    fn quoted_numeric_field_reads_as_string() {
+        let df = from_csv("a,b\n\"7\",7\n").unwrap();
+        assert_eq!(df.column("a").unwrap().get(0), &Cell::Str("7".into()));
+        assert_eq!(df.column("b").unwrap().get(0), &Cell::Int(7));
     }
 }

@@ -9,6 +9,11 @@ fn cell() -> impl Strategy<Value = Cell> {
         any::<i64>().prop_map(Cell::Int),
         (-1e9f64..1e9).prop_map(Cell::Float),
         "[a-z]{0,8}".prop_map(Cell::Str),
+        // Adversarial strings that would re-infer as other types if the
+        // writer failed to quote them: digits, floats, bools, empty.
+        "-?[0-9]{1,6}(\\.[0-9]{1,3})?".prop_map(Cell::Str),
+        prop_oneof![Just("true"), Just("false"), Just(""), Just("1e3")]
+            .prop_map(|s| Cell::Str(s.to_string())),
         any::<bool>().prop_map(Cell::Bool),
     ]
 }
@@ -29,19 +34,18 @@ fn frame(max_rows: usize) -> impl Strategy<Value = DataFrame> {
 }
 
 proptest! {
-    /// CSV round-trip preserves shape and numeric content.
+    /// CSV round-trip preserves shape AND every cell's type and value:
+    /// quoted fields come back as strings, so Str("42") never collapses
+    /// into Int(42) (the PR-2 quotedness bugfix).
     #[test]
-    fn csv_roundtrip_preserves_shape(df in frame(20)) {
+    fn csv_roundtrip_preserves_cells(df in frame(20)) {
         let text = df.to_csv();
         let back = dframe::from_csv(&text).unwrap();
         prop_assert_eq!(back.n_rows(), df.n_rows());
         prop_assert_eq!(back.n_cols(), df.n_cols());
-        // Ints survive exactly.
         for (ca, cb) in df.columns().iter().zip(back.columns()) {
             for i in 0..df.n_rows() {
-                if let Cell::Int(v) = ca.get(i) {
-                    prop_assert_eq!(cb.get(i).as_int(), Some(*v));
-                }
+                prop_assert_eq!(ca.get(i), cb.get(i), "row {}", i);
             }
         }
     }

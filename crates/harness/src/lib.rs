@@ -21,8 +21,8 @@
 mod pipeline;
 mod suite;
 
-pub use pipeline::{CaseReport, Harness, HarnessError, RunOptions};
-pub use suite::{SuiteOutcome, SuiteReport, SuiteRunner};
+pub use pipeline::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions};
+pub use suite::{SuiteOutcome, SuiteProgress, SuiteReport, SuiteRunner};
 
 use benchapps::babelstream::BabelStreamConfig;
 use benchapps::hpcg::HpcgConfig;

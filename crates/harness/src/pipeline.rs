@@ -125,10 +125,25 @@ pub struct CaseReport {
     pub stdout: String,
 }
 
+/// The build stage's output: everything `run_prepared` needs to continue
+/// the pipeline without touching a package store again. In warm-store
+/// sweeps the suite runner computes these in canonical case order so cache
+/// attribution never depends on job scheduling.
+#[derive(Debug, Clone)]
+pub struct PreparedBuild {
+    /// The concretized DAG (P2/P4 provenance).
+    pub concrete: spackle::ConcreteSpec,
+    /// What was built vs reused, with simulated build times.
+    pub install: spackle::InstallReport,
+}
+
 /// The harness session: owns the package store, run counter, and perflogs.
 pub struct Harness {
     repo: spackle::Repo,
     store: spackle::Store,
+    /// When set, installs go to this shared store instead of the
+    /// session-private one (warm-store mode).
+    shared_store: Option<spackle::SharedStore>,
     options: RunOptions,
     sequence: u64,
     /// Perflogs keyed by (system, benchmark) — ReFrame's directory layout.
@@ -140,6 +155,7 @@ impl Harness {
         Harness {
             repo: spackle::Repo::builtin(),
             store: spackle::Store::new(),
+            shared_store: None,
             options,
             sequence: 0,
             perflogs: BTreeMap::new(),
@@ -149,6 +165,15 @@ impl Harness {
     /// Override the recipe repository (site-local repo layering).
     pub fn with_repo(mut self, repo: spackle::Repo) -> Harness {
         self.repo = repo;
+        self
+    }
+
+    /// Install into a store shared with other sessions (warm-store mode).
+    /// Cache accounting then depends on install order across sessions;
+    /// callers needing deterministic attribution must serialize their
+    /// `prepare_build` calls canonically (see `SuiteRunner`).
+    pub fn with_shared_store(mut self, store: spackle::SharedStore) -> Harness {
+        self.shared_store = Some(store);
         self
     }
 
@@ -167,18 +192,24 @@ impl Harness {
         self.perflogs.iter()
     }
 
-    /// Run one case through the full pipeline on the session's system.
-    pub fn run_case(&mut self, case: &TestCase) -> Result<CaseReport, HarnessError> {
-        // -- setup: resolve the platform --------------------------------
+    /// Resolve the session's `--system` spec in the simhpc catalog.
+    fn resolve_platform(
+        &self,
+    ) -> Result<(simhpc::System, String, simhpc::Partition), HarnessError> {
         let (system, partition_name) = simhpc::catalog::resolve(&self.options.system)
             .ok_or_else(|| HarnessError::UnknownSystem(self.options.system.clone()))?;
         let partition = system
             .partition(&partition_name)
             .expect("resolve() returns existing partitions")
             .clone();
-        let proc = partition.processor().clone();
+        Ok((system, partition_name, partition))
+    }
 
-        // -- build: concretize + install via spackle (P2-P4) -------------
+    /// The build stage alone: concretize + install via spackle (P2–P4).
+    /// Warm-store sweeps call this serially in case order to fix cache
+    /// attribution, then fan the prepared builds out to parallel jobs.
+    pub fn prepare_build(&mut self, case: &TestCase) -> Result<PreparedBuild, HarnessError> {
+        let (system, _, partition) = self.resolve_platform()?;
         let spec = spackle::Spec::parse(&case.spack_spec)
             .map_err(|e| HarnessError::BadSpec(e.to_string()))?;
         let ctx = spackle::context_for(&system, &partition);
@@ -186,14 +217,33 @@ impl Harness {
             spackle::ConcretizeError::Conflict { .. } => HarnessError::Unsupported(e.to_string()),
             other => HarnessError::ConcretizeFailed(other.to_string()),
         })?;
-        let install = spackle::install(
-            &concrete,
-            &mut self.store,
-            spackle::InstallOptions {
-                rebuild_root: self.options.rebuild_every_run,
-                ..spackle::InstallOptions::default()
-            },
-        );
+        let opts = spackle::InstallOptions {
+            rebuild_root: self.options.rebuild_every_run,
+            ..spackle::InstallOptions::default()
+        };
+        let install = match &self.shared_store {
+            Some(shared) => spackle::install(&concrete, &mut shared.lock(), opts),
+            None => spackle::install(&concrete, &mut self.store, opts),
+        };
+        Ok(PreparedBuild { concrete, install })
+    }
+
+    /// Run one case through the full pipeline on the session's system.
+    pub fn run_case(&mut self, case: &TestCase) -> Result<CaseReport, HarnessError> {
+        let prepared = self.prepare_build(case)?;
+        self.run_prepared(case, prepared)
+    }
+
+    /// Continue the pipeline after the build stage:
+    /// **submit → run → sanity → performance → perflog**.
+    pub fn run_prepared(
+        &mut self,
+        case: &TestCase,
+        prepared: PreparedBuild,
+    ) -> Result<CaseReport, HarnessError> {
+        let (system, partition_name, partition) = self.resolve_platform()?;
+        let proc = partition.processor().clone();
+        let PreparedBuild { concrete, install } = prepared;
         let environ = concrete
             .root()
             .compiler
@@ -539,6 +589,44 @@ mod tests {
             .iter()
             .all(|(k, _)| k != "build_job_id"));
         assert_eq!(second.queue_wait_s, 0.0);
+    }
+
+    #[test]
+    fn prepared_build_runs_identically_to_run_case() {
+        // The split API (prepare_build + run_prepared) is the same
+        // pipeline as run_case, just with the build stage detachable.
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let mut whole = Harness::new(RunOptions::on_system("csd3"));
+        let direct = whole.run_case(&case).unwrap();
+        let mut split = Harness::new(RunOptions::on_system("csd3"));
+        let prepared = split.prepare_build(&case).unwrap();
+        let via_split = split.run_prepared(&case, prepared).unwrap();
+        assert_eq!(direct.record, via_split.record);
+        assert_eq!(direct.packages_built, via_split.packages_built);
+        assert_eq!(direct.build_time_s, via_split.build_time_s);
+    }
+
+    #[test]
+    fn shared_store_warms_across_sessions() {
+        // Two sessions sharing one store: the second reuses the first's
+        // dependency builds while still rebuilding its root (P3).
+        let shared = spackle::Store::new().into_shared();
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let mut first =
+            Harness::new(RunOptions::on_system("csd3")).with_shared_store(shared.clone());
+        let cold = first.run_case(&case).unwrap();
+        assert_eq!(cold.packages_cached, 0);
+        let mut second =
+            Harness::new(RunOptions::on_system("csd3")).with_shared_store(shared.clone());
+        let warm = second.run_case(&case).unwrap();
+        assert_eq!(warm.packages_built, 1, "root only (P3)");
+        assert!(warm.packages_cached > 0, "deps came from the shared store");
+        // FOMs are store-independent.
+        assert_eq!(
+            cold.record.fom("Triad").unwrap().value,
+            warm.record.fom("Triad").unwrap().value
+        );
+        assert_eq!(shared.lock().len(), cold.packages_built);
     }
 
     #[test]

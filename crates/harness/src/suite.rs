@@ -3,7 +3,7 @@
 //! systems in one invocation, with unsupported combinations recorded as
 //! skips (the `*` boxes of Figure 2) rather than aborting the sweep.
 
-use crate::{CaseReport, Harness, HarnessError, RunOptions, TestCase};
+use crate::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions, TestCase};
 use perflogs::Perflog;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,6 +68,44 @@ impl SuiteReport {
             .find(|(c, s, _)| c == case && s == system)
             .map(|(_, _, o)| o)
     }
+
+    /// Packages built across every ran combination.
+    pub fn total_packages_built(&self) -> usize {
+        self.ran_reports().map(|r| r.packages_built).sum()
+    }
+
+    /// Packages reused from the (shared or private) store across every ran
+    /// combination — the warm-store mode's savings are visible here.
+    pub fn total_packages_cached(&self) -> usize {
+        self.ran_reports().map(|r| r.packages_cached).sum()
+    }
+
+    /// Total simulated build time across the sweep.
+    pub fn total_build_time_s(&self) -> f64 {
+        self.ran_reports().map(|r| r.build_time_s).sum()
+    }
+
+    fn ran_reports(&self) -> impl Iterator<Item = &CaseReport> {
+        self.outcomes.iter().filter_map(|(_, _, o)| match o {
+            SuiteOutcome::Ran(r) => Some(r.as_ref()),
+            _ => None,
+        })
+    }
+}
+
+/// One streamed grid cell, handed to the progress callback the moment it
+/// and every earlier cell are complete (the ordered flush). `index` walks
+/// the canonical (system, case) grid order; sequence numbers on ran
+/// records are already renumbered when the callback sees them.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteProgress<'a> {
+    /// 0-based position in (system-major, case-minor) grid order.
+    pub index: usize,
+    /// Total grid cells in the sweep.
+    pub total: usize,
+    pub case: &'a str,
+    pub system: &'a str,
+    pub outcome: &'a SuiteOutcome,
 }
 
 /// What one hermetic (system, case) job hands back for reassembly.
@@ -77,20 +115,45 @@ struct JobResult {
     key: Option<(String, String)>,
 }
 
+/// The ordered-flush cursor: protects the canonical emission point of the
+/// stream and the per-system run counter used to renumber sequences.
+struct FlushState {
+    /// Next grid index waiting to be flushed.
+    next: usize,
+    /// Successful runs flushed so far for the system currently streaming.
+    sequence: u64,
+}
+
 /// Sweeps cases across systems with a bounded worker pool.
 ///
-/// Every (system, case) combination is a *hermetic* job: it gets a fresh
-/// harness session (cold package store, fresh run counter), so jobs are
-/// order-independent and the report is identical for any `jobs` count.
-/// Outcomes are reassembled in deterministic (system, case) order and
-/// perflog sequence numbers are renumbered per system in case order, as a
-/// serial sweep would have assigned them.
+/// Every (system, case) combination is a job on its own harness session,
+/// so jobs are order-independent and the report is identical for any
+/// `jobs` count. Two store modes:
+///
+/// * **cold** (default): every job concretizes and installs against a
+///   fresh store — fully hermetic, every dependency rebuilt per cell;
+/// * **warm** ([`SuiteRunner::with_warm_store`]): each system shares one
+///   [`spackle::SharedStore`] across its cases, the way the old serial
+///   runner (and Spack's build cache) reused dependency builds. To keep
+///   `packages_cached` / `build_time_s` independent of job scheduling,
+///   the build stage runs as a serial *prepass* in canonical case order
+///   (first-build-wins attribution: the first case in case order pays for
+///   each shared dependency), and jobs then execute the prepared builds
+///   in parallel. Root packages still rebuild every run (P3).
+///
+/// Outcomes stream through an **ordered flush**: a grid cell is emitted to
+/// the progress callback as soon as it and every earlier cell (system-
+/// major, case-minor order) are done, with perflog sequence numbers
+/// renumbered per system in case order exactly as a serial sweep would
+/// have assigned them.
 pub struct SuiteRunner {
     pub systems: Vec<String>,
     pub seed: u64,
     /// Concurrent jobs; 1 runs inline on the caller, 0 means auto
     /// ([`parkern::default_workers`]).
     pub jobs: usize,
+    /// Share one package store per system across its cases.
+    pub warm_store: bool,
 }
 
 impl SuiteRunner {
@@ -99,6 +162,7 @@ impl SuiteRunner {
             systems: systems.iter().map(|s| s.to_string()).collect(),
             seed: 42,
             jobs: 1,
+            warm_store: false,
         }
     }
 
@@ -113,12 +177,37 @@ impl SuiteRunner {
         self
     }
 
-    /// Run one (system, case) combination in a fresh harness session.
-    fn run_job(&self, cases: &[TestCase], job: usize) -> JobResult {
-        let system = &self.systems[job / cases.len()];
-        let case = &cases[job % cases.len()];
-        let mut harness = Harness::new(RunOptions::on_system(system).with_seed(self.seed));
-        match harness.run_case(case) {
+    /// Reuse dependency builds across cases on the same system (see the
+    /// type-level docs for the determinism rule).
+    pub fn with_warm_store(mut self, warm: bool) -> SuiteRunner {
+        self.warm_store = warm;
+        self
+    }
+
+    fn job_options(&self, system: &str) -> RunOptions {
+        RunOptions::on_system(system).with_seed(self.seed)
+    }
+
+    /// Warm-store prepass: per system, run the build stage serially in
+    /// case order against that system's shared store. This fixes cache
+    /// attribution canonically — whatever the later job schedule, the
+    /// accounting is the one a serial sweep would have produced.
+    fn prepare_warm(&self, cases: &[TestCase]) -> Vec<Result<PreparedBuild, HarnessError>> {
+        let mut prepared = Vec::with_capacity(self.systems.len() * cases.len());
+        for system in &self.systems {
+            let store = spackle::SharedStore::new();
+            let mut harness =
+                Harness::new(self.job_options(system)).with_shared_store(store.clone());
+            for case in cases {
+                prepared.push(harness.prepare_build(case));
+            }
+        }
+        prepared
+    }
+
+    /// Classify a pipeline result into a suite outcome.
+    fn classify(case: &TestCase, result: Result<CaseReport, HarnessError>) -> JobResult {
+        match result {
             Ok(report) => JobResult {
                 key: Some((report.record.system.clone(), case.app.name().to_string())),
                 outcome: SuiteOutcome::Ran(Box::new(report)),
@@ -134,20 +223,98 @@ impl SuiteRunner {
         }
     }
 
-    /// Pull jobs off the shared index until none remain.
-    fn work(&self, cases: &[TestCase], slots: &[Mutex<Option<JobResult>>], next: &AtomicUsize) {
+    /// Run one (system, case) combination in a fresh harness session.
+    fn run_job(
+        &self,
+        cases: &[TestCase],
+        prepared: Option<&[Result<PreparedBuild, HarnessError>]>,
+        job: usize,
+    ) -> JobResult {
+        let system = &self.systems[job / cases.len()];
+        let case = &cases[job % cases.len()];
+        let mut harness = Harness::new(self.job_options(system));
+        let result = match prepared {
+            // Warm mode: the build already ran in the canonical prepass.
+            Some(builds) => builds[job]
+                .clone()
+                .and_then(|build| harness.run_prepared(case, build)),
+            None => harness.run_case(case),
+        };
+        Self::classify(case, result)
+    }
+
+    /// Pull jobs off the shared index until none remain, flushing the
+    /// outcome stream after every completion.
+    #[allow(clippy::too_many_arguments)]
+    fn work(
+        &self,
+        cases: &[TestCase],
+        prepared: Option<&[Result<PreparedBuild, HarnessError>]>,
+        slots: &[Mutex<Option<JobResult>>],
+        next: &AtomicUsize,
+        flush: &Mutex<FlushState>,
+        on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
+    ) {
         loop {
             let job = next.fetch_add(1, Ordering::Relaxed);
             if job >= slots.len() {
                 return;
             }
-            let result = self.run_job(cases, job);
+            let result = self.run_job(cases, prepared, job);
             *slots[job].lock().expect("job slot poisoned") = Some(result);
+            self.flush_ready(cases, slots, flush, on_flush);
+        }
+    }
+
+    /// Advance the ordered flush: emit every contiguous completed cell
+    /// starting at the cursor, renumbering ran sequences per system in
+    /// case order. Serialized by the flush lock, so the stream is emitted
+    /// in canonical grid order no matter which workers finish when.
+    fn flush_ready(
+        &self,
+        cases: &[TestCase],
+        slots: &[Mutex<Option<JobResult>>],
+        flush: &Mutex<FlushState>,
+        on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
+    ) {
+        let mut state = flush.lock().expect("flush state poisoned");
+        while state.next < slots.len() {
+            let mut slot = slots[state.next].lock().expect("job slot poisoned");
+            let Some(result) = slot.as_mut() else {
+                break; // an earlier cell is still running
+            };
+            let ci = state.next % cases.len();
+            if ci == 0 {
+                state.sequence = 0; // new system starts counting afresh
+            }
+            if let SuiteOutcome::Ran(report) = &mut result.outcome {
+                state.sequence += 1;
+                report.record.sequence = state.sequence;
+            }
+            on_flush(SuiteProgress {
+                index: state.next,
+                total: slots.len(),
+                case: &cases[ci].name,
+                system: &self.systems[state.next / cases.len()],
+                outcome: &result.outcome,
+            });
+            state.next += 1;
         }
     }
 
     /// Run every case on every system.
     pub fn run(&self, cases: &[TestCase]) -> SuiteReport {
+        self.run_with_progress(cases, &|_| {})
+    }
+
+    /// Run every case on every system, streaming outcomes to `on_flush`
+    /// in canonical grid order as soon as each cell (and every earlier
+    /// one) completes.
+    pub fn run_with_progress(
+        &self,
+        cases: &[TestCase],
+        on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
+    ) -> SuiteReport {
         let n_jobs = self.systems.len() * cases.len();
         let jobs = if self.jobs == 0 {
             parkern::default_workers()
@@ -155,43 +322,46 @@ impl SuiteRunner {
             self.jobs
         };
         let workers = jobs.min(n_jobs).max(1);
-
-        let mut results: Vec<Option<JobResult>> = if workers <= 1 {
-            (0..n_jobs)
-                .map(|job| Some(self.run_job(cases, job)))
-                .collect()
+        let prepared = if self.warm_store {
+            Some(self.prepare_warm(cases))
         } else {
-            let slots: Vec<Mutex<Option<JobResult>>> =
-                (0..n_jobs).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
+            None
+        };
+        let prepared = prepared.as_deref();
+
+        let slots: Vec<Mutex<Option<JobResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let flush = Mutex::new(FlushState {
+            next: 0,
+            sequence: 0,
+        });
+        if workers <= 1 {
+            self.work(cases, prepared, &slots, &next, &flush, on_flush);
+        } else {
             std::thread::scope(|s| {
                 // The caller is a worker too; spawn only workers - 1.
                 for _ in 1..workers {
-                    s.spawn(|| self.work(cases, &slots, &next));
+                    s.spawn(|| self.work(cases, prepared, &slots, &next, &flush, on_flush));
                 }
-                self.work(cases, &slots, &next);
+                self.work(cases, prepared, &slots, &next, &flush, on_flush);
             });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("job slot poisoned"))
-                .collect()
-        };
+        }
+        let mut results: Vec<Option<JobResult>> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("job slot poisoned"))
+            .collect();
 
-        // Deterministic reassembly: (system, case) order, with perflog
-        // sequence numbers renumbered exactly as a serial one-session-per-
-        // system sweep would count its successful runs.
+        // Deterministic reassembly in (system, case) order. Sequence
+        // numbers were already renumbered by the ordered flush.
         let mut outcomes = Vec::with_capacity(n_jobs);
         let mut perflogs = Vec::new();
         for (si, system) in self.systems.iter().enumerate() {
             let mut merged: BTreeMap<(String, String), Perflog> = BTreeMap::new();
-            let mut sequence = 0u64;
             for (ci, case) in cases.iter().enumerate() {
-                let JobResult { mut outcome, key } = results[si * cases.len() + ci]
+                let JobResult { outcome, key } = results[si * cases.len() + ci]
                     .take()
                     .expect("every job slot filled");
-                if let SuiteOutcome::Ran(report) = &mut outcome {
-                    sequence += 1;
-                    report.record.sequence = sequence;
+                if let SuiteOutcome::Ran(report) = &outcome {
                     let key = key.expect("ran jobs carry a perflog key");
                     merged.entry(key).or_default().append(report.record.clone());
                 }
@@ -330,5 +500,158 @@ mod tests {
         let cases = vec![cases::babelstream(Model::Omp, 1 << 20)];
         let report = SuiteRunner::new(&["csd3"]).with_jobs(0).run(&cases);
         assert_eq!(report.n_ran(), 1);
+    }
+
+    fn multi_case_suite() -> Vec<TestCase> {
+        vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::hpgmg(),
+        ]
+    }
+
+    #[test]
+    fn warm_store_reuses_dependency_builds() {
+        let cases = multi_case_suite();
+        let cold = SuiteRunner::new(&["csd3"]).run(&cases);
+        let warm = SuiteRunner::new(&["csd3"])
+            .with_warm_store(true)
+            .run(&cases);
+        // Warm mode builds strictly less and reuses strictly more.
+        assert!(
+            warm.total_packages_built() < cold.total_packages_built(),
+            "warm {} < cold {}",
+            warm.total_packages_built(),
+            cold.total_packages_built()
+        );
+        assert!(warm.total_packages_cached() > 0, "multi-case system reuses");
+        assert!(warm.total_build_time_s() < cold.total_build_time_s());
+        // First case in case order pays for shared deps (first-build-wins);
+        // P3 still rebuilds every root.
+        for (case, _, outcome) in &warm.outcomes {
+            if let SuiteOutcome::Ran(r) = outcome {
+                assert!(r.packages_built >= 1, "{case}: root rebuilt (P3)");
+            }
+        }
+        let first = match warm.outcome("babelstream_omp", "csd3").unwrap() {
+            SuiteOutcome::Ran(r) => r,
+            other => panic!("{other:?}"),
+        };
+        let second = match warm.outcome("babelstream_tbb", "csd3").unwrap() {
+            SuiteOutcome::Ran(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first.packages_cached, 0, "case 0 starts cold");
+        assert!(second.packages_cached > 0, "case 1 reuses case 0's deps");
+    }
+
+    #[test]
+    fn warm_and_cold_runs_yield_identical_foms() {
+        // The store only affects build accounting; measured FOMs must be
+        // bit-for-bit the same whether dependencies were reused or not.
+        let cases = multi_case_suite();
+        let systems = ["csd3", "archer2"];
+        let cold = SuiteRunner::new(&systems).with_seed(3).run(&cases);
+        let warm = SuiteRunner::new(&systems)
+            .with_seed(3)
+            .with_warm_store(true)
+            .with_jobs(4)
+            .run(&cases);
+        for (case, system, outcome) in &cold.outcomes {
+            let warm_outcome = warm.outcome(case, system).unwrap();
+            match (outcome, warm_outcome) {
+                (SuiteOutcome::Ran(c), SuiteOutcome::Ran(w)) => {
+                    assert_eq!(c.record.foms, w.record.foms, "{case} on {system}");
+                }
+                (a, b) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "{case} on {system}: {a:?} vs {b:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_store_report_is_identical_for_any_jobs_count() {
+        // The tentpole invariant re-pinned with the shared store: cache
+        // accounting is canonicalized by the prepass, so the full report
+        // (outcomes, built/cached counts, perflogs) is byte-identical for
+        // any worker count.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Cuda, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::hpgmg(),
+        ];
+        let systems = ["isambard-macs:cascadelake", "isambard-macs:volta", "csd3"];
+        let run = |jobs| {
+            SuiteRunner::new(&systems)
+                .with_seed(7)
+                .with_warm_store(true)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        let serial = run(1);
+        for jobs in [2, 8] {
+            let parallel = run(jobs);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                serial.combined_frame().to_string(),
+                parallel.combined_frame().to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_flush_is_ordered_and_complete() {
+        // Whatever the jobs count, the progress callback must see every
+        // grid cell exactly once, in canonical (system, case) order, with
+        // renumbered sequences — and the streamed text must match the
+        // jobs=1 stream byte for byte.
+        let cases = multi_case_suite();
+        let systems = ["csd3", "archer2"];
+        let stream_at = |jobs: usize, warm: bool| {
+            let lines = Mutex::new(Vec::new());
+            SuiteRunner::new(&systems)
+                .with_jobs(jobs)
+                .with_warm_store(warm)
+                .run_with_progress(&cases, &|p| {
+                    let label = match p.outcome {
+                        SuiteOutcome::Ran(r) => format!(
+                            "ran seq={} built={} cached={}",
+                            r.record.sequence, r.packages_built, r.packages_cached
+                        ),
+                        SuiteOutcome::Skipped(_) => "skipped".to_string(),
+                        SuiteOutcome::Failed(_) => "failed".to_string(),
+                    };
+                    lines.lock().unwrap().push(format!(
+                        "[{}/{}] {} on {}: {label}",
+                        p.index + 1,
+                        p.total,
+                        p.case,
+                        p.system
+                    ));
+                });
+            lines.into_inner().unwrap()
+        };
+        let serial = stream_at(1, true);
+        assert_eq!(serial.len(), systems.len() * cases.len());
+        assert!(serial[0].starts_with("[1/6] babelstream_omp on csd3: ran seq=1"));
+        assert!(serial[3].contains("on archer2: ran seq=1"), "{serial:?}");
+        for jobs in [2, 8] {
+            assert_eq!(serial, stream_at(jobs, true), "jobs={jobs}");
+        }
+        // Cold mode streams in the same canonical order too.
+        let cold = stream_at(4, false);
+        assert_eq!(cold.len(), serial.len());
+        for (a, b) in serial.iter().zip(&cold) {
+            let cell = |s: &str| s.split(':').next().unwrap().to_string();
+            assert_eq!(cell(a), cell(b), "same cell order");
+        }
     }
 }

@@ -107,6 +107,19 @@ impl PerflogRecord {
                 .and_then(Value::as_int)
                 .ok_or_else(|| PerflogError(format!("missing integer field `{key}`")))
         };
+        // Counters must not wrap: `"num_tasks": -1` is a malformed record,
+        // not 4294967295 tasks.
+        let uint_at = |key: &str| -> Result<u64, PerflogError> {
+            let v = int_at(key)?;
+            u64::try_from(v)
+                .map_err(|_| PerflogError(format!("field `{key}` must be non-negative, got {v}")))
+        };
+        let u32_at = |key: &str| -> Result<u32, PerflogError> {
+            let v = int_at(key)?;
+            u32::try_from(v).map_err(|_| {
+                PerflogError(format!("field `{key}` out of range for a count, got {v}"))
+            })
+        };
         let mut foms = Vec::new();
         for f in doc
             .get_path("foms")
@@ -136,21 +149,24 @@ impl PerflogRecord {
                 extras.push((k.to_string(), v.scalar_string()));
             }
         }
+        let job_id = match doc.get_path("job_id").and_then(Value::as_int) {
+            Some(j) => Some(u64::try_from(j).map_err(|_| {
+                PerflogError(format!("field `job_id` must be non-negative, got {j}"))
+            })?),
+            None => None,
+        };
         Ok(PerflogRecord {
-            sequence: int_at("sequence")? as u64,
+            sequence: uint_at("sequence")?,
             benchmark: str_at("benchmark")?,
             system: str_at("system")?,
             partition: str_at("partition")?,
             environ: str_at("environ")?,
             spec: str_at("spec")?,
             build_hash: str_at("build_hash")?,
-            job_id: doc
-                .get_path("job_id")
-                .and_then(Value::as_int)
-                .map(|j| j as u64),
-            num_tasks: int_at("num_tasks")? as u32,
-            num_tasks_per_node: int_at("num_tasks_per_node")? as u32,
-            num_cpus_per_task: int_at("num_cpus_per_task")? as u32,
+            job_id,
+            num_tasks: u32_at("num_tasks")?,
+            num_tasks_per_node: u32_at("num_tasks_per_node")?,
+            num_cpus_per_task: u32_at("num_cpus_per_task")?,
             foms,
             extras,
         })
@@ -326,6 +342,37 @@ mod tests {
         assert!(Perflog::from_jsonl("{not json").is_err());
         assert!(PerflogRecord::from_json_line("{}").is_err());
         assert!(PerflogRecord::from_json_line(r#"{"sequence": 1}"#).is_err());
+    }
+
+    #[test]
+    fn negative_counters_rejected_not_wrapped() {
+        // The bug: `as u64` / `as u32` casts silently turned -1 into
+        // 4294967295. Every integer field must instead fail to parse.
+        let good = record(3, "archer2", 1000.0).to_json_line();
+        for field in [
+            "sequence",
+            "num_tasks",
+            "num_tasks_per_node",
+            "num_cpus_per_task",
+            "job_id",
+        ] {
+            let bad = regex_free_set_int(&good, field, -1);
+            let err = PerflogRecord::from_json_line(&bad).unwrap_err();
+            assert!(
+                err.0.contains(field),
+                "field `{field}`: expected validation error, got {err:?}"
+            );
+        }
+        // A record with every counter non-negative still parses.
+        assert!(PerflogRecord::from_json_line(&good).is_ok());
+    }
+
+    /// Set `"key":<int>` to `value` in a compact JSON line (test helper).
+    fn regex_free_set_int(line: &str, key: &str, value: i64) -> String {
+        let marker = format!("\"{key}\":");
+        let start = line.find(&marker).expect("key present") + marker.len();
+        let end = start + line[start..].find([',', '}']).expect("value terminated");
+        format!("{}{}{}", &line[..start], value, &line[end..])
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::concretize::ConcreteSpec;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// What happened to one package during an install.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +56,34 @@ impl Store {
 
     pub fn is_empty(&self) -> bool {
         self.installed.is_empty()
+    }
+
+    /// Wrap this store for shared use across threads.
+    pub fn into_shared(self) -> SharedStore {
+        SharedStore(Arc::new(Mutex::new(self)))
+    }
+}
+
+/// A [`Store`] shared between concurrent installers — the warm-store mode
+/// of the suite executor: one store per system, behind a lock, so the
+/// (system × case) grid reuses dependency builds the way Spack's build
+/// cache does across test cases on the same machine.
+///
+/// Cache *accounting* against a shared store depends on who installs
+/// first; callers that need deterministic attribution (the suite runner's
+/// byte-identical-report invariant) must serialize their installs in a
+/// canonical order — see `harness::SuiteRunner`'s warm prepass.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore(Arc<Mutex<Store>>);
+
+impl SharedStore {
+    pub fn new() -> SharedStore {
+        SharedStore::default()
+    }
+
+    /// Lock the store for an install (or inspection).
+    pub fn lock(&self) -> MutexGuard<'_, Store> {
+        self.0.lock().expect("shared store poisoned")
     }
 }
 
@@ -232,6 +261,19 @@ mod tests {
         assert_eq!(py.action, BuildAction::External);
         assert_eq!(py.build_time_s, 0.0);
         assert!(py.steps[0].contains("use system python@3.10.12"));
+    }
+
+    #[test]
+    fn shared_store_reuses_across_lock_scopes() {
+        let spec = concrete();
+        let shared = Store::new().into_shared();
+        let first = install(&spec, &mut shared.lock(), InstallOptions::default());
+        assert_eq!(first.n_cached(), 0);
+        // A clone refers to the same underlying store: deps now cache.
+        let alias = shared.clone();
+        let second = install(&spec, &mut alias.lock(), InstallOptions::default());
+        assert_eq!(second.n_built(), 1, "root rebuilt, deps reused");
+        assert_eq!(second.n_cached(), spec.nodes().len() - 1);
     }
 
     #[test]

@@ -44,7 +44,9 @@ mod spec;
 mod version;
 mod yaml_repo;
 
-pub use build::{install, BuildAction, BuildRecord, InstallOptions, InstallReport, Store};
+pub use build::{
+    install, BuildAction, BuildRecord, InstallOptions, InstallReport, SharedStore, Store,
+};
 pub use concretize::{
     concretize, ConcretePackage, ConcreteSpec, ConcretizeError, SystemContext, Target,
 };

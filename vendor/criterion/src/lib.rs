@@ -4,9 +4,10 @@
 //! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
 //! `Throughput`, `black_box`, and the `criterion_group!` /
 //! `criterion_main!` macros — with genuine (if short) wall-clock timing.
-//! There are no statistics, plots, or saved baselines: each benchmark runs a
-//! brief warm-up then a fixed number of timed batches and prints the best
-//! per-iteration time, which is enough to compare kernels side by side.
+//! There are no plots or saved baselines: each benchmark runs a brief
+//! warm-up then a fixed number of timed batches and prints the minimum and
+//! median per-iteration times, so runs expose their spread (a wide
+//! min/median gap means a noisy measurement) instead of only the best case.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -58,11 +59,40 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Per-batch timing samples for one benchmark, in ns per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    ns_per_iter: Vec<f64>,
+}
+
+impl Samples {
+    /// Fastest observed batch.
+    pub fn min_ns(&self) -> f64 {
+        self.ns_per_iter.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Median batch: the robust central estimate the regression pipeline
+    /// should compare run to run (the min only bounds the noise floor).
+    pub fn median_ns(&self) -> f64 {
+        if self.ns_per_iter.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.ns_per_iter.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        }
+    }
+}
+
 /// Passed to the benchmark closure; `iter` runs and times the payload.
 pub struct Bencher<'a> {
     batches: u32,
     iters_per_batch: u64,
-    best_ns_per_iter: &'a mut f64,
+    samples: &'a mut Samples,
 }
 
 impl Bencher<'_> {
@@ -76,18 +106,15 @@ impl Bencher<'_> {
         let est_ns = once.as_nanos().max(1);
         self.iters_per_batch = ((2_000_000 / est_ns).clamp(1, 10_000)) as u64;
 
-        let mut best = f64::INFINITY;
+        self.samples.ns_per_iter.clear();
         for _ in 0..self.batches {
             let start = Instant::now();
             for _ in 0..self.iters_per_batch {
                 black_box(routine());
             }
             let ns = start.elapsed().as_nanos() as f64 / self.iters_per_batch as f64;
-            if ns < best {
-                best = ns;
-            }
+            self.samples.ns_per_iter.push(ns);
         }
-        *self.best_ns_per_iter = best;
     }
 }
 
@@ -138,14 +165,14 @@ impl<M> BenchmarkGroup<'_, M> {
         F: FnMut(&mut Bencher<'_>),
     {
         let id = id.into();
-        let mut best = f64::NAN;
+        let mut samples = Samples::default();
         let mut b = Bencher {
             batches: self.batches,
             iters_per_batch: 1,
-            best_ns_per_iter: &mut best,
+            samples: &mut samples,
         };
         f(&mut b);
-        self.report(&id, best);
+        self.report(&id, &samples);
         self
     }
 
@@ -160,26 +187,34 @@ impl<M> BenchmarkGroup<'_, M> {
         F: FnMut(&mut Bencher<'_>, &I),
     {
         let id = id.into();
-        let mut best = f64::NAN;
+        let mut samples = Samples::default();
         let mut b = Bencher {
             batches: self.batches,
             iters_per_batch: 1,
-            best_ns_per_iter: &mut best,
+            samples: &mut samples,
         };
         f(&mut b, input);
-        self.report(&id, best);
+        self.report(&id, &samples);
         self
     }
 
-    fn report(&self, id: &BenchmarkId, ns: f64) {
-        let mut line = format!("{}/{:<40} {:>12}/iter", self.name, id.id, human_time(ns));
+    fn report(&self, id: &BenchmarkId, samples: &Samples) {
+        let (min, med) = (samples.min_ns(), samples.median_ns());
+        let mut line = format!(
+            "{}/{:<40} min {:>10}  med {:>10} /iter",
+            self.name,
+            id.id,
+            human_time(min),
+            human_time(med)
+        );
+        // Throughput from the median: the min only bounds the noise floor.
         match self.throughput {
             Some(Throughput::Bytes(bytes)) => {
-                let gibs = bytes as f64 / ns; // bytes/ns == GB/s
+                let gibs = bytes as f64 / med; // bytes/ns == GB/s
                 line.push_str(&format!("  {gibs:>8.2} GB/s"));
             }
             Some(Throughput::Elements(n)) => {
-                let melems = n as f64 / ns * 1_000.0; // elems/ns -> Melem/s
+                let melems = n as f64 / med * 1_000.0; // elems/ns -> Melem/s
                 line.push_str(&format!("  {melems:>8.1} Melem/s"));
             }
             None => {}
