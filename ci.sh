@@ -9,6 +9,8 @@
 #   2. tests     — the whole workspace, vendored stubs included
 #   3. bench     — one criterion smoke bench, so the harness that the
 #                  regression pipeline depends on is known to run
+#   4. faults    — fault-injection smoke: the same seeded faulty survey
+#                  run twice must produce byte-identical reports
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,5 +21,25 @@ cargo test -q --workspace
 
 echo "== ci: cargo bench smoke (framework) =="
 cargo bench -p bench --bench framework
+
+echo "== ci: fault-injection smoke (deterministic replay) =="
+cargo build -q --release -p benchkit
+faulty_survey() {
+    # The survey exits nonzero when a cell ultimately fails; for this
+    # smoke only determinism matters, so capture output and exit status.
+    ./target/release/benchkit survey -c babelstream_omp -c hpgmg \
+        --system csd3 --system archer2 \
+        --fault-profile flaky --seed 7 --max-retries 2 --jobs 4 \
+        && status=0 || status=$?
+    echo "exit:$status"
+}
+first="$(faulty_survey)"
+second="$(faulty_survey)"
+if [ "$first" != "$second" ]; then
+    echo "fault-injection smoke FAILED: two identical invocations diverged" >&2
+    diff <(printf '%s\n' "$first") <(printf '%s\n' "$second") >&2 || true
+    exit 1
+fi
+echo "fault smoke OK (replay byte-identical, $(printf '%s\n' "$first" | tail -1))"
 
 echo "ci OK"

@@ -101,6 +101,8 @@ pub enum LayoutError {
     },
     /// Unknown account or QoS.
     BadAccounting(String),
+    /// `requeue` asked for a job that is not in a requeueable state.
+    NotRequeueable(String),
 }
 
 impl fmt::Display for LayoutError {
@@ -126,6 +128,7 @@ impl fmt::Display for LayoutError {
                 )
             }
             LayoutError::BadAccounting(msg) => write!(f, "accounting error: {msg}"),
+            LayoutError::NotRequeueable(msg) => write!(f, "cannot requeue: {msg}"),
         }
     }
 }
@@ -140,6 +143,9 @@ pub enum JobState {
     Completed,
     TimedOut,
     Cancelled,
+    /// A node died under the job; the node is drained, the job is
+    /// requeueable (SLURM's `NODE_FAIL`).
+    NodeFail,
 }
 
 /// A job inside the scheduler.
@@ -155,6 +161,14 @@ pub struct Job {
     pub run_time_s: f64,
     /// Nodes allocated while running.
     pub allocated_nodes: Vec<u32>,
+    /// Earliest simulated time the job may start (`--begin`; used for
+    /// requeue backoff). Zero means immediately eligible.
+    pub eligible_time: f64,
+    /// Injected node failure: the job's first node dies this many seconds
+    /// into the run (fault injection; `None` = healthy run).
+    pub fail_after_s: Option<f64>,
+    /// How many times the job has been requeued.
+    pub requeues: u32,
 }
 
 impl Job {

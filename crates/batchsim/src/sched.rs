@@ -42,6 +42,16 @@ impl Accounting {
     }
 }
 
+/// How a dependent job relates to its parent (SLURM's `--dependency`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Start only after the parent completed successfully (`afterok`).
+    AfterOk,
+    /// Start only after the parent terminated *un*successfully
+    /// (`afternotok`) — the requeue/cleanup hook.
+    AfterNotOk,
+}
+
 /// A batch scheduler over one homogeneous partition.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
@@ -54,9 +64,11 @@ pub struct Scheduler {
     running: Vec<Job>,
     finished: Vec<Job>,
     free_nodes: Vec<u32>,
+    /// Nodes taken out of service by injected node failures.
+    drained_nodes: Vec<u32>,
     accounting: Accounting,
-    /// `afterok` dependencies: job → must-complete-first job.
-    dependencies: BTreeMap<JobId, JobId>,
+    /// Dependencies: job → (parent job, kind).
+    dependencies: BTreeMap<JobId, (JobId, DepKind)>,
 }
 
 impl Scheduler {
@@ -71,6 +83,7 @@ impl Scheduler {
             running: Vec::new(),
             finished: Vec::new(),
             free_nodes: (0..total_nodes).collect(),
+            drained_nodes: Vec::new(),
             accounting: Accounting::default(),
             dependencies: BTreeMap::new(),
         }
@@ -93,9 +106,37 @@ impl Scheduler {
         self.free_nodes.len() as u32
     }
 
+    /// Nodes drained by injected node failures (out of service).
+    pub fn drained_nodes(&self) -> &[u32] {
+        &self.drained_nodes
+    }
+
     /// Submit a job whose true runtime (from the platform model) is
     /// `run_time_s`. Returns its id, or a layout/accounting error.
     pub fn submit(&mut self, request: JobRequest, run_time_s: f64) -> Result<JobId, LayoutError> {
+        self.enqueue(request, run_time_s, None, 0.0)
+    }
+
+    /// Submit a job with an injected node failure: `fail_after_s` seconds
+    /// into the run, one of its nodes dies, the job ends in
+    /// [`JobState::NodeFail`], and the node is drained. `None` injects
+    /// nothing (identical to [`Scheduler::submit`]).
+    pub fn submit_with_fault(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        fail_after_s: Option<f64>,
+    ) -> Result<JobId, LayoutError> {
+        self.enqueue(request, run_time_s, fail_after_s, 0.0)
+    }
+
+    fn enqueue(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        fail_after_s: Option<f64>,
+        eligible_time: f64,
+    ) -> Result<JobId, LayoutError> {
         request.validate(self.cores_per_node)?;
         if request.nodes_needed() > self.total_nodes {
             return Err(LayoutError::PartitionTooSmall {
@@ -120,6 +161,9 @@ impl Scheduler {
             end_time: None,
             run_time_s,
             allocated_nodes: Vec::new(),
+            eligible_time,
+            fail_after_s,
+            requeues: 0,
         });
         self.schedule_pass();
         Ok(id)
@@ -134,69 +178,192 @@ impl Scheduler {
         run_time_s: f64,
         after: JobId,
     ) -> Result<JobId, LayoutError> {
+        self.submit_dependent(request, run_time_s, after, DepKind::AfterOk, None)
+    }
+
+    /// [`Scheduler::submit_after`] with an injected node failure on the
+    /// dependent job (see [`Scheduler::submit_with_fault`]).
+    pub fn submit_after_with_fault(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        after: JobId,
+        fail_after_s: Option<f64>,
+    ) -> Result<JobId, LayoutError> {
+        self.submit_dependent(request, run_time_s, after, DepKind::AfterOk, fail_after_s)
+    }
+
+    /// Submit a job that only starts if `after` terminated
+    /// *unsuccessfully* (SLURM's `--dependency=afternotok:<id>`): the
+    /// classic hook for requeue/cleanup jobs. If the parent completes
+    /// successfully, the dependent job is cancelled.
+    pub fn submit_after_notok(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        after: JobId,
+    ) -> Result<JobId, LayoutError> {
+        self.submit_dependent(request, run_time_s, after, DepKind::AfterNotOk, None)
+    }
+
+    fn submit_dependent(
+        &mut self,
+        request: JobRequest,
+        run_time_s: f64,
+        after: JobId,
+        kind: DepKind,
+        fail_after_s: Option<f64>,
+    ) -> Result<JobId, LayoutError> {
         if self.job(after).is_none() {
             return Err(LayoutError::BadAccounting(format!(
                 "dependency on unknown job {after}"
             )));
         }
-        let id = self.submit(request, run_time_s)?;
-        self.dependencies.insert(id, after);
-        // submit() may have eagerly started it; pull it back if the
-        // dependency is not yet satisfied.
-        if !self.dependency_satisfied(id) {
-            if let Some(pos) = self.running.iter().position(|j| j.id == id) {
-                let mut job = self.running.remove(pos);
-                self.free_nodes.append(&mut job.allocated_nodes);
-                self.free_nodes.sort_unstable();
-                job.state = JobState::Pending;
-                job.start_time = None;
-                job.end_time = None;
-                self.pending.insert(0, job);
-            }
+        // Register the dependency only after a successful enqueue, but
+        // make sure the eager schedule_pass inside enqueue cannot start
+        // the job before the dependency is known: enqueue with an
+        // eligibility hold, then clear it.
+        let id = self.enqueue(request, run_time_s, fail_after_s, f64::INFINITY)?;
+        self.dependencies.insert(id, (after, kind));
+        if let Some(job) = self.pending.iter_mut().find(|j| j.id == id) {
+            job.eligible_time = 0.0;
         }
+        self.schedule_pass();
         Ok(id)
+    }
+
+    /// Put a finished `NodeFail`/`TimedOut` job back in the queue
+    /// (`scontrol requeue`): same id, same request, fresh run. The job
+    /// becomes eligible `delay_s` seconds from now (retry backoff) and may
+    /// carry a new injected fault. Drained nodes stay out of service.
+    pub fn requeue(
+        &mut self,
+        id: JobId,
+        run_time_s: f64,
+        fail_after_s: Option<f64>,
+        delay_s: f64,
+    ) -> Result<(), LayoutError> {
+        let pos = self
+            .finished
+            .iter()
+            .position(|j| j.id == id)
+            .ok_or_else(|| LayoutError::NotRequeueable(format!("job {id} is not finished")))?;
+        let state = self.finished[pos].state;
+        if !matches!(state, JobState::NodeFail | JobState::TimedOut) {
+            return Err(LayoutError::NotRequeueable(format!(
+                "job {id} ended in state {state:?}"
+            )));
+        }
+        let mut job = self.finished.remove(pos);
+        job.state = JobState::Pending;
+        job.start_time = None;
+        job.end_time = None;
+        job.allocated_nodes.clear();
+        job.run_time_s = run_time_s;
+        job.fail_after_s = fail_after_s;
+        job.eligible_time = self.now + delay_s.max(0.0);
+        job.requeues += 1;
+        self.pending.push(job);
+        self.schedule_pass();
+        Ok(())
     }
 
     /// Is `id` free of unmet dependencies?
     fn dependency_satisfied(&self, id: JobId) -> bool {
         match self.dependencies.get(&id) {
             None => true,
-            Some(dep) => self
-                .finished
-                .iter()
-                .any(|j| j.id == *dep && j.state == JobState::Completed),
+            Some((dep, kind)) => self.finished.iter().any(|j| {
+                j.id == *dep
+                    && match kind {
+                        DepKind::AfterOk => j.state == JobState::Completed,
+                        DepKind::AfterNotOk => j.state != JobState::Completed,
+                    }
+            }),
         }
     }
 
-    /// Cancel a pending job.
+    /// Can `id`'s dependency never be satisfied any more?
+    fn dependency_impossible(&self, id: JobId) -> bool {
+        match self.dependencies.get(&id) {
+            None => false,
+            Some((dep, kind)) => self.finished.iter().any(|j| {
+                j.id == *dep
+                    && match kind {
+                        DepKind::AfterOk => j.state != JobState::Completed,
+                        DepKind::AfterNotOk => j.state == JobState::Completed,
+                    }
+            }),
+        }
+    }
+
+    /// Cancel a pending or running job. Cancelling a running job releases
+    /// its nodes immediately and charges only the elapsed core-seconds.
     pub fn cancel(&mut self, id: JobId) -> bool {
         if let Some(pos) = self.pending.iter().position(|j| j.id == id) {
             let mut job = self.pending.remove(pos);
             job.state = JobState::Cancelled;
             job.end_time = Some(self.now);
             self.finished.push(job);
-            true
-        } else {
-            false
+            return true;
         }
+        if let Some(pos) = self.running.iter().position(|j| j.id == id) {
+            let mut job = self.running.remove(pos);
+            job.state = JobState::Cancelled;
+            job.end_time = Some(self.now);
+            self.free_nodes.extend(job.allocated_nodes.iter().copied());
+            self.free_nodes.sort_unstable();
+            let elapsed = self.now - job.start_time.expect("running jobs have start times");
+            let cores = job.request.nodes_needed() as f64 * job.request.cores_per_node() as f64;
+            self.accounting
+                .charge(&job.request.account, elapsed * cores);
+            self.finished.push(job);
+            self.schedule_pass();
+            return true;
+        }
+        false
     }
 
     /// Advance simulated time until every submitted job has finished.
     pub fn run_to_completion(&mut self) {
-        while !self.running.is_empty() || !self.pending.is_empty() {
+        self.advance_to(f64::INFINITY);
+    }
+
+    /// Process completion events until `t` (inclusive); jobs still running
+    /// at `t` keep running and `now` advances to `t` at most. Passing
+    /// `f64::INFINITY` drains the whole schedule.
+    pub fn advance_to(&mut self, t: f64) {
+        loop {
+            self.schedule_pass();
             if self.running.is_empty() {
-                self.schedule_pass();
-                if self.running.is_empty() {
-                    // Remaining jobs are blocked on dependencies that can
-                    // never complete (e.g. the parent timed out): cancel
-                    // them, as SLURM does with DependencyNeverSatisfied.
-                    let blocked: Vec<JobId> = self.pending.iter().map(|j| j.id).collect();
-                    for id in blocked {
-                        self.cancel(id);
-                    }
+                if self.pending.is_empty() {
                     break;
                 }
-                continue;
+                // Nothing running, nothing startable right now. Either a
+                // job is merely waiting out its eligibility hold (requeue
+                // backoff) — jump to it — or the rest can never start:
+                // cancel them, as SLURM does (DependencyNeverSatisfied,
+                // or a drained partition too small for the request).
+                let next_eligible = self
+                    .pending
+                    .iter()
+                    .filter(|j| !self.dependency_impossible(j.id))
+                    .filter(|j| j.eligible_time > self.now)
+                    .map(|j| j.eligible_time)
+                    .fold(f64::INFINITY, f64::min);
+                if next_eligible.is_finite() && next_eligible <= t {
+                    self.now = next_eligible;
+                    continue;
+                }
+                if next_eligible.is_finite() {
+                    // The next wake-up lies beyond the horizon.
+                    self.now = self.now.max(t);
+                    break;
+                }
+                let blocked: Vec<JobId> = self.pending.iter().map(|j| j.id).collect();
+                for id in blocked {
+                    self.cancel(id);
+                }
+                break;
             }
             // Next completion event.
             let (idx, end) = self
@@ -206,22 +373,36 @@ impl Scheduler {
                 .map(|(i, j)| (i, j.end_time.expect("running jobs have end times")))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("running non-empty");
+            if end > t {
+                self.now = self.now.max(t);
+                break;
+            }
             self.now = end;
             let mut job = self.running.remove(idx);
-            let limit_hit = job.run_time_s > job.request.time_limit_s;
-            job.state = if limit_hit {
+            let natural = job.run_time_s.min(job.request.time_limit_s);
+            let node_failed = job.fail_after_s.is_some_and(|f| f < natural);
+            job.state = if node_failed {
+                JobState::NodeFail
+            } else if job.run_time_s > job.request.time_limit_s {
                 JobState::TimedOut
             } else {
                 JobState::Completed
             };
-            self.free_nodes.extend(job.allocated_nodes.iter().copied());
+            // A node failure drains the failed node; the rest return to
+            // the pool. The job record keeps its full allocation for
+            // post-mortem analysis.
+            let mut released = job.allocated_nodes.clone();
+            if node_failed {
+                let failed = released.remove(0);
+                self.drained_nodes.push(failed);
+            }
+            self.free_nodes.extend(released);
             self.free_nodes.sort_unstable();
             let elapsed = job.end_time.expect("set at start") - job.start_time.expect("set");
             let cores = job.request.nodes_needed() as f64 * job.request.cores_per_node() as f64;
             self.accounting
                 .charge(&job.request.account, elapsed * cores);
             self.finished.push(job);
-            self.schedule_pass();
         }
     }
 
@@ -231,6 +412,7 @@ impl Scheduler {
             Policy::Fifo => {
                 while let Some(head) = self.pending.first() {
                     if head.request.nodes_needed() <= self.free_node_count()
+                        && head.eligible_time <= self.now
                         && self.dependency_satisfied(head.id)
                     {
                         let job = self.pending.remove(0);
@@ -248,6 +430,7 @@ impl Scheduler {
                         return;
                     };
                     if head.request.nodes_needed() <= self.free_node_count()
+                        && head.eligible_time <= self.now
                         && self.dependency_satisfied(head.id)
                     {
                         let job = self.pending.remove(0);
@@ -259,11 +442,14 @@ impl Scheduler {
                 let Some(head) = self.pending.first() else {
                     return;
                 };
-                let reserve_at = self.earliest_start_for(head.request.nodes_needed());
+                let reserve_at = self
+                    .earliest_start_for(head.request.nodes_needed())
+                    .max(head.eligible_time);
                 let mut i = 1;
                 while i < self.pending.len() {
                     let cand = &self.pending[i];
                     let fits_now = cand.request.nodes_needed() <= self.free_node_count()
+                        && cand.eligible_time <= self.now
                         && self.dependency_satisfied(cand.id);
                     // Conservative: a backfilled job must finish (by its
                     // limit) before the head's reservation, or be small
@@ -317,7 +503,10 @@ impl Scheduler {
         job.allocated_nodes = self.free_nodes.drain(..n).collect();
         job.state = JobState::Running;
         job.start_time = Some(self.now);
-        let actual = job.run_time_s.min(job.request.time_limit_s);
+        let mut actual = job.run_time_s.min(job.request.time_limit_s);
+        if let Some(fail_at) = job.fail_after_s {
+            actual = actual.min(fail_at);
+        }
         job.end_time = Some(self.now + actual);
         self.running.push(job);
     }
@@ -359,10 +548,15 @@ impl Scheduler {
         if makespan <= 0.0 {
             return 0.0;
         }
+        if self.total_nodes == 0 {
+            return 0.0;
+        }
+        // Every job that actually started occupied its nodes from start to
+        // end — including ones that were killed, cancelled, or lost a node.
         let busy: f64 = self
             .finished
             .iter()
-            .filter(|j| j.state == JobState::Completed || j.state == JobState::TimedOut)
+            .filter(|j| j.start_time.is_some())
             .map(|j| {
                 (j.end_time.expect("finished") - j.start_time.expect("ran"))
                     * j.request.nodes_needed() as f64
@@ -552,6 +746,163 @@ mod tests {
             assert_eq!(s.job(id).unwrap().state, JobState::Completed);
         }
         assert!(s.job(run).unwrap().start_time.unwrap() >= s.job(build).unwrap().end_time.unwrap());
+    }
+
+    #[test]
+    fn empty_schedule_has_no_nan_stats() {
+        let s = Scheduler::new(Policy::Fifo, 4, 16);
+        assert_eq!(s.mean_wait_time(), 0.0);
+        assert_eq!(s.utilization(), 0.0);
+        // Degenerate partition: still no NaN.
+        let z = Scheduler::new(Policy::Fifo, 0, 16);
+        assert_eq!(z.utilization(), 0.0);
+        // A schedule whose only job is cancelled at t=0 has zero makespan.
+        let mut c = Scheduler::new(Policy::Fifo, 1, 16);
+        let a = c.submit(req("a", 1, 10.0), 5.0).unwrap();
+        let b = c.submit(req("b", 1, 10.0), 5.0).unwrap();
+        c.cancel(a);
+        c.cancel(b);
+        assert_eq!(c.mean_wait_time(), 0.0);
+        assert!(c.utilization().is_finite());
+    }
+
+    #[test]
+    fn cancel_running_job_releases_nodes_and_charges_elapsed() {
+        let mut s = Scheduler::new(Policy::Fifo, 2, 16);
+        let a = s.submit(req("a", 2, 100.0), 50.0).unwrap();
+        assert_eq!(s.free_node_count(), 0, "a holds both nodes");
+        s.advance_to(10.0);
+        assert!(s.cancel(a), "cancel a running job");
+        assert_eq!(s.free_node_count(), 2, "nodes released immediately");
+        let j = s.job(a).unwrap();
+        assert_eq!(j.state, JobState::Cancelled);
+        assert_eq!(j.end_time, Some(10.0));
+        // 2 nodes x 1 core x 10 s elapsed — not the full 50 s runtime.
+        assert!((s.accounting().usage_core_seconds("default") - 20.0).abs() < 1e-9);
+        // The freed nodes are immediately reusable.
+        let b = s.submit(req("b", 2, 100.0), 5.0).unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(b).unwrap().state, JobState::Completed);
+    }
+
+    #[test]
+    fn injected_node_failure_drains_node_and_allows_requeue() {
+        let mut s = Scheduler::new(Policy::Fifo, 4, 16);
+        let id = s
+            .submit_with_fault(req("a", 2, 100.0), 50.0, Some(20.0))
+            .unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::NodeFail);
+        assert_eq!(j.end_time, Some(20.0), "killed at the failure instant");
+        assert_eq!(s.drained_nodes().len(), 1);
+        assert_eq!(s.free_node_count(), 3, "survivor node returned to pool");
+        // Requeue with a healthy rerun and a 30 s backoff.
+        s.requeue(id, 50.0, None, 30.0).unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::Completed);
+        assert_eq!(j.requeues, 1);
+        assert!(
+            j.start_time.unwrap() >= 50.0,
+            "second run honours the backoff: started {:?}",
+            j.start_time
+        );
+        // The drained node never came back.
+        assert_eq!(s.free_node_count() + 2, 4 - 1 + 2 - 1 + 1);
+        assert_eq!(s.drained_nodes().len(), 1);
+    }
+
+    #[test]
+    fn completed_job_is_not_requeueable() {
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let id = s.submit(req("a", 1, 100.0), 5.0).unwrap();
+        s.run_to_completion();
+        assert!(matches!(
+            s.requeue(id, 5.0, None, 0.0),
+            Err(LayoutError::NotRequeueable(_))
+        ));
+        assert!(s.requeue(JobId(99), 5.0, None, 0.0).is_err());
+    }
+
+    #[test]
+    fn timed_out_job_is_requeueable() {
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let id = s.submit(req("slow", 1, 10.0), 100.0).unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(id).unwrap().state, JobState::TimedOut);
+        s.requeue(id, 5.0, None, 60.0).unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::Completed);
+        assert!(
+            (j.start_time.unwrap() - 70.0).abs() < 1e-9,
+            "10 s end + 60 s backoff"
+        );
+    }
+
+    #[test]
+    fn afternotok_runs_only_after_parent_failure() {
+        // Failing parent: the cleanup job runs.
+        let mut s = Scheduler::new(Policy::Fifo, 2, 16);
+        let parent = s.submit(req("slow", 1, 10.0), 100.0).unwrap();
+        let cleanup = s
+            .submit_after_notok(req("cleanup", 1, 10.0), 2.0, parent)
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(parent).unwrap().state, JobState::TimedOut);
+        assert_eq!(s.job(cleanup).unwrap().state, JobState::Completed);
+        assert!(s.job(cleanup).unwrap().start_time.unwrap() >= 10.0);
+
+        // Succeeding parent: the cleanup job is cancelled.
+        let mut s = Scheduler::new(Policy::Fifo, 2, 16);
+        let parent = s.submit(req("ok", 1, 100.0), 10.0).unwrap();
+        let cleanup = s
+            .submit_after_notok(req("cleanup", 1, 10.0), 2.0, parent)
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(parent).unwrap().state, JobState::Completed);
+        assert_eq!(s.job(cleanup).unwrap().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn fault_before_time_limit_wins() {
+        // Run would time out at 10 s but the node dies at 4 s: NodeFail.
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let id = s
+            .submit_with_fault(req("x", 1, 10.0), 100.0, Some(4.0))
+            .unwrap();
+        s.run_to_completion();
+        let j = s.job(id).unwrap();
+        assert_eq!(j.state, JobState::NodeFail);
+        assert_eq!(j.end_time, Some(4.0));
+        // Fault *after* the limit never fires: the job is killed first.
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let id = s
+            .submit_with_fault(req("y", 1, 10.0), 100.0, Some(40.0))
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(id).unwrap().state, JobState::TimedOut);
+        assert!(s.drained_nodes().is_empty());
+    }
+
+    #[test]
+    fn fully_drained_partition_cancels_unstartable_jobs() {
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16);
+        let a = s
+            .submit_with_fault(req("a", 1, 100.0), 50.0, Some(5.0))
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(a).unwrap().state, JobState::NodeFail);
+        assert_eq!(s.free_node_count(), 0, "only node drained");
+        // Requeue cannot ever start: no nodes left in service.
+        s.requeue(a, 50.0, None, 0.0).unwrap();
+        s.run_to_completion();
+        assert_eq!(
+            s.job(a).unwrap().state,
+            JobState::Cancelled,
+            "unstartable requeue is cancelled, not stuck pending"
+        );
     }
 
     #[test]

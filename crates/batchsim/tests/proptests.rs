@@ -143,3 +143,168 @@ proptest! {
         prop_assert_eq!(fifo.finished_jobs().len(), bf.finished_jobs().len());
     }
 }
+
+/// One step of a randomized fault/resilience scenario.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit a job, possibly carrying an injected node failure.
+    Submit {
+        nodes: u32,
+        run_s: f64,
+        limit_s: f64,
+        fail_after: Option<f64>,
+    },
+    /// Cancel some previously accepted job (pending or running).
+    Cancel { pick: usize },
+    /// Let simulated time advance past the next few completion events.
+    Advance { dt: f64 },
+    /// Requeue some previously accepted job with a backoff delay (only
+    /// legal for NodeFail/TimedOut jobs; illegal picks are rejected).
+    Requeue {
+        pick: usize,
+        run_s: f64,
+        delay_s: f64,
+    },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    // The submit arm appears twice to bias sequences toward a populated
+    // queue (the vendored prop_oneof! is uniform, without weights).
+    fn submit() -> impl Strategy<Value = Op> {
+        (
+            1u32..8,
+            1.0f64..80.0,
+            5.0f64..60.0,
+            prop::option::of(0.5f64..50.0),
+        )
+            .prop_map(|(nodes, run_s, limit_s, fail_after)| Op::Submit {
+                nodes,
+                run_s,
+                limit_s,
+                fail_after,
+            })
+    }
+    let op = prop_oneof![
+        submit(),
+        submit(),
+        (0usize..32).prop_map(|pick| Op::Cancel { pick }),
+        (1.0f64..120.0).prop_map(|dt| Op::Advance { dt }),
+        (0usize..32, 1.0f64..40.0, 0.0f64..90.0).prop_map(|(pick, run_s, delay_s)| Op::Requeue {
+            pick,
+            run_s,
+            delay_s
+        }),
+    ];
+    prop::collection::vec(op, 1..40)
+}
+
+const OP_NODES: u32 = 8;
+
+fn run_ops(policy: Policy, ops: &[Op]) -> Scheduler {
+    let mut s = Scheduler::new(policy, OP_NODES, 64);
+    let mut ids = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Submit {
+                nodes,
+                run_s,
+                limit_s,
+                fail_after,
+            } => {
+                let req = JobRequest::new(&format!("j{i}"), *nodes, 1, 1).with_time_limit(*limit_s);
+                if let Ok(id) = s.submit_with_fault(req, *run_s, *fail_after) {
+                    ids.push(id);
+                }
+            }
+            Op::Cancel { pick } => {
+                if !ids.is_empty() {
+                    s.cancel(ids[pick % ids.len()]);
+                }
+            }
+            Op::Advance { dt } => {
+                let t = s.now() + dt;
+                s.advance_to(t);
+            }
+            Op::Requeue {
+                pick,
+                run_s,
+                delay_s,
+            } => {
+                if !ids.is_empty() {
+                    // Most picks are not requeueable; errors are the point.
+                    let _ = s.requeue(ids[pick % ids.len()], *run_s, None, *delay_s);
+                }
+            }
+        }
+    }
+    s.run_to_completion();
+    s
+}
+
+proptest! {
+    /// After any submit/cancel/timeout/requeue sequence drains: every
+    /// accepted job reaches a terminal state (nothing stuck pending), and
+    /// no node is leaked — free + drained accounts for the whole partition.
+    #[test]
+    fn fault_sequences_conserve_nodes_and_terminate(
+        ops in ops(),
+        backfill in any::<bool>(),
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run_ops(policy, &ops);
+        for j in s.finished_jobs() {
+            prop_assert!(
+                matches!(
+                    j.state,
+                    JobState::Completed
+                        | JobState::TimedOut
+                        | JobState::Cancelled
+                        | JobState::NodeFail
+                ),
+                "job {} not terminal: {:?}",
+                j.id,
+                j.state
+            );
+            if let (Some(st), Some(en)) = (j.start_time, j.end_time) {
+                prop_assert!(st >= j.submit_time);
+                prop_assert!(en >= st);
+            }
+        }
+        // Node conservation: the drain ledger plus the free pool is the
+        // whole partition, and no node appears in both.
+        let drained = s.drained_nodes();
+        let mut seen = drained.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), drained.len(), "node drained twice");
+        prop_assert_eq!(
+            s.free_node_count() + drained.len() as u32,
+            OP_NODES,
+            "nodes leaked: {} free + {} drained != {}",
+            s.free_node_count(),
+            drained.len(),
+            OP_NODES
+        );
+        // Statistics never go non-finite, whatever happened.
+        prop_assert!(s.mean_wait_time().is_finite());
+        prop_assert!(s.utilization().is_finite());
+    }
+
+    /// Fault sequences replay deterministically: same ops, same schedule.
+    #[test]
+    fn fault_sequences_are_deterministic(ops in ops(), backfill in any::<bool>()) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let a = run_ops(policy, &ops);
+        let b = run_ops(policy, &ops);
+        prop_assert_eq!(a.finished_jobs().len(), b.finished_jobs().len());
+        for (ja, jb) in a.finished_jobs().iter().zip(b.finished_jobs()) {
+            prop_assert_eq!(ja.id, jb.id);
+            prop_assert_eq!(ja.state, jb.state);
+            prop_assert_eq!(ja.start_time, jb.start_time);
+            prop_assert_eq!(ja.end_time, jb.end_time);
+            prop_assert_eq!(ja.requeues, jb.requeues);
+            prop_assert_eq!(&ja.allocated_nodes, &jb.allocated_nodes);
+        }
+        prop_assert_eq!(a.drained_nodes(), b.drained_nodes());
+    }
+}

@@ -31,13 +31,18 @@ pub enum Command {
     /// `spec <spack-spec> --system <spec>` — concretize and print.
     Spec { spec: String, system: String },
     /// `survey --system a --system b -c x -c y [--seed N] [--jobs N]
-    /// [--warm-store]`
+    /// [--warm-store] [--fault-profile NAME] [--max-retries N]
+    /// [--fail-fast] [--quarantine K]`
     Survey {
         benchmarks: Vec<String>,
         systems: Vec<String>,
         seed: u64,
         jobs: usize,
         warm_store: bool,
+        fault_profile: String,
+        max_retries: u32,
+        fail_fast: bool,
+        quarantine: u32,
     },
     /// `help`
     Help,
@@ -62,12 +67,20 @@ USAGE:
     benchkit list-benchmarks
     benchkit run -c <benchmark> --system <system[:partition]> [--seed N] [--repeats N]
     benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N] [--warm-store]
+                    [--fault-profile NAME] [--max-retries N] [--fail-fast] [--quarantine K]
         --jobs N runs N (benchmark, system) combinations concurrently
         (0 = one per available core); the report is identical to --jobs 1.
         --warm-store shares one package store per system so its cases
         reuse dependency builds (accounting stays deterministic: the
         first case in case order is attributed each shared build).
         Outcomes stream as they complete, in grid order.
+        --fault-profile NAME injects seeded deterministic faults (build
+        failures, node failures, timeouts); NAME is one of none, flaky,
+        brutal. The same --seed and profile replay the same faults at
+        any --jobs count. --max-retries N bounds per-stage retries
+        (default 2). --fail-fast skips every cell after the first
+        failure; --quarantine K skips a system's remaining cells after
+        K consecutive failures. Exits nonzero if any cell fails.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -95,6 +108,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError(
                     "run: `--warm-store` only applies to `survey`".into(),
                 ));
+            }
+            for (set, flag) in [
+                (opts.fault_profile.is_some(), "--fault-profile"),
+                (opts.max_retries.is_some(), "--max-retries"),
+                (opts.fail_fast, "--fail-fast"),
+                (opts.quarantine.is_some(), "--quarantine"),
+            ] {
+                if set {
+                    return Err(CliError(format!("run: `{flag}` only applies to `survey`")));
+                }
             }
             let benchmark = opts
                 .cases
@@ -127,6 +150,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: opts.seed,
                 jobs: opts.jobs,
                 warm_store: opts.warm_store,
+                fault_profile: opts.fault_profile.unwrap_or_else(|| "none".to_string()),
+                max_retries: opts.max_retries.unwrap_or(2),
+                fail_fast: opts.fail_fast,
+                quarantine: opts.quarantine.unwrap_or(0),
             })
         }
         "spec" => {
@@ -163,6 +190,10 @@ struct Options {
     repeats: u32,
     jobs: usize,
     warm_store: bool,
+    fault_profile: Option<String>,
+    max_retries: Option<u32>,
+    fail_fast: bool,
+    quarantine: Option<u32>,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -182,6 +213,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         repeats: 1,
         jobs: 1,
         warm_store: false,
+        fault_profile: None,
+        max_retries: None,
+        fail_fast: false,
+        quarantine: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -209,6 +244,34 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--warm-store" => {
                 opts.warm_store = true;
                 i += 1;
+            }
+            "--fault-profile" => {
+                let v = take_value(args, &mut i, "--fault-profile")?;
+                if simhpc::faults::FaultProfile::from_name(&v).is_none() {
+                    return Err(CliError(format!(
+                        "unknown fault profile `{v}` (known: {})",
+                        simhpc::faults::FaultProfile::known_names().join(", ")
+                    )));
+                }
+                opts.fault_profile = Some(v);
+            }
+            "--max-retries" => {
+                let v = take_value(args, &mut i, "--max-retries")?;
+                opts.max_retries = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad max-retries `{v}`")))?,
+                );
+            }
+            "--fail-fast" => {
+                opts.fail_fast = true;
+                i += 1;
+            }
+            "--quarantine" => {
+                let v = take_value(args, &mut i, "--quarantine")?;
+                opts.quarantine = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad quarantine `{v}`")))?,
+                );
             }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
@@ -332,11 +395,21 @@ pub fn execute(
             seed,
             jobs,
             warm_store,
+            fault_profile,
+            max_retries,
+            fail_fast,
+            quarantine,
         } => {
+            let profile = simhpc::faults::FaultProfile::from_name(&fault_profile)
+                .ok_or_else(|| CliError(format!("unknown fault profile `{fault_profile}`")))?;
             let mut study = Study::new("cli-survey")
                 .with_seed(seed)
                 .with_jobs(jobs)
-                .with_warm_store(warm_store);
+                .with_warm_store(warm_store)
+                .with_fault_profile(profile.clone())
+                .with_max_retries(max_retries)
+                .with_fail_fast(fail_fast)
+                .with_quarantine(quarantine);
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
             }
@@ -348,10 +421,17 @@ pub fn execute(
                 let shared = std::sync::Mutex::new(&mut *out);
                 study.run_with_progress(&|p| {
                     let status = match p.outcome {
-                        harness::SuiteOutcome::Ran(r) => format!(
-                            "ok ({} built, {} cached, build {:.1}s)",
-                            r.packages_built, r.packages_cached, r.build_time_s
-                        ),
+                        harness::SuiteOutcome::Ran(r) => {
+                            let mut s = format!(
+                                "ok ({} built, {} cached, build {:.1}s",
+                                r.packages_built, r.packages_cached, r.build_time_s
+                            );
+                            if r.retries > 0 {
+                                s.push_str(&format!(", {} retries", r.retries));
+                            }
+                            s.push(')');
+                            s
+                        }
                         harness::SuiteOutcome::Skipped(reason) => format!("skip: {reason}"),
                         harness::SuiteOutcome::Failed(err) => format!("FAIL: {err}"),
                     };
@@ -374,6 +454,17 @@ pub fn execute(
                 results.report.n_skipped(),
                 results.report.n_failed()
             )?;
+            if !profile.is_none() {
+                writeln!(
+                    out,
+                    "fault profile `{}`: {} faults injected, {} retries, {:.1}s simulated time lost, {} quarantined",
+                    profile.name,
+                    results.report.total_faults_injected(),
+                    results.report.total_retries(),
+                    results.report.total_time_lost_s(),
+                    results.report.n_quarantined()
+                )?;
+            }
             if warm_store {
                 writeln!(
                     out,
@@ -384,6 +475,14 @@ pub fn execute(
                 )?;
             }
             write!(out, "{}", results.frame())?;
+            let failed = results.report.n_failed();
+            if failed > 0 {
+                return Err(CliError(format!(
+                    "survey: {failed} of {} cells failed",
+                    results.report.outcomes.len()
+                ))
+                .into());
+            }
         }
         Command::Spec { spec, system } => {
             let (sys, part_name) = simhpc::catalog::resolve(&system)
@@ -441,12 +540,20 @@ mod tests {
                 seed,
                 jobs,
                 warm_store,
+                fault_profile,
+                max_retries,
+                fail_fast,
+                quarantine,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
                 assert_eq!(seed, 42);
                 assert_eq!(jobs, 1, "serial by default");
                 assert!(!warm_store, "cold by default");
+                assert_eq!(fault_profile, "none", "no faults by default");
+                assert_eq!(max_retries, 2);
+                assert!(!fail_fast);
+                assert_eq!(quarantine, 0, "quarantine off by default");
             }
             other => panic!("{other:?}"),
         }
@@ -484,6 +591,52 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("survey -c hpgmg --system archer2 --jobs nope")).is_err());
+    }
+
+    #[test]
+    fn parse_survey_fault_flags() {
+        let cmd = parse(&argv(
+            "survey -c hpgmg --system archer2 --fault-profile flaky --max-retries 5 \
+             --fail-fast --quarantine 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Survey {
+                fault_profile,
+                max_retries,
+                fail_fast,
+                quarantine,
+                ..
+            } => {
+                assert_eq!(fault_profile, "flaky");
+                assert_eq!(max_retries, 5);
+                assert!(fail_fast);
+                assert_eq!(quarantine, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown profiles are rejected at parse time, with the catalog.
+        let err = parse(&argv(
+            "survey -c hpgmg --system archer2 --fault-profile wat",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown fault profile"), "{err}");
+        assert!(err.contains("flaky"), "{err}");
+        assert!(parse(&argv("survey -c x --system y --max-retries nope")).is_err());
+        assert!(parse(&argv("survey -c x --system y --quarantine nope")).is_err());
+        // Fault flags apply to survey only.
+        for flags in [
+            "--fault-profile flaky",
+            "--max-retries 1",
+            "--fail-fast",
+            "--quarantine 2",
+        ] {
+            assert!(
+                parse(&argv(&format!("run -c hpgmg --system archer2 {flags}"))).is_err(),
+                "run should reject {flags}"
+            );
+        }
     }
 
     #[test]
@@ -566,6 +719,10 @@ mod tests {
                 seed: 42,
                 jobs: 2,
                 warm_store: false,
+                fault_profile: "none".into(),
+                max_retries: 2,
+                fail_fast: false,
+                quarantine: 0,
             },
             &mut buf,
         )
@@ -601,6 +758,10 @@ mod tests {
                     seed: 7,
                     jobs,
                     warm_store: true,
+                    fault_profile: "none".into(),
+                    max_retries: 2,
+                    fail_fast: false,
+                    quarantine: 0,
                 },
                 &mut buf,
             )
@@ -611,6 +772,10 @@ mod tests {
         assert!(
             serial.contains("[1/6] babelstream_omp on csd3: ok"),
             "{serial}"
+        );
+        assert!(
+            !serial.contains("fault profile"),
+            "no resilience line without faults: {serial}"
         );
         assert!(serial.contains("cached"), "{serial}");
         // Multi-case systems reuse dependency builds.
@@ -627,6 +792,91 @@ mod tests {
         assert!(reused > 0, "{warm_line}");
         for jobs in [2, 8] {
             assert_eq!(serial, run_at(jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn faulty_survey_streams_retries_and_replays_byte_identically() {
+        // A flaky survey replays byte-identically at any jobs count, and
+        // the streamed `ok` lines surface retry counts when faults bit.
+        let run_at = |seed: u64, jobs: usize| {
+            let mut buf = Vec::new();
+            let result = execute(
+                Command::Survey {
+                    benchmarks: vec!["babelstream_omp".into(), "hpgmg".into()],
+                    systems: vec!["csd3".into(), "archer2".into()],
+                    seed,
+                    jobs,
+                    warm_store: false,
+                    fault_profile: "flaky".into(),
+                    max_retries: 4,
+                    fail_fast: false,
+                    quarantine: 0,
+                },
+                &mut buf,
+            );
+            (
+                String::from_utf8(buf).unwrap(),
+                result.err().map(|e| e.to_string()),
+            )
+        };
+        // Find a seed where faults were injected yet every cell recovered.
+        let seed = (0..30)
+            .find(|&s| {
+                let (text, err) = run_at(s, 1);
+                err.is_none() && text.contains(" retries")
+            })
+            .expect("some seed in 0..30 recovers from injected faults");
+        let (serial, serial_err) = run_at(seed, 1);
+        assert!(serial_err.is_none(), "all cells recovered");
+        assert!(serial.contains("fault profile `flaky`:"), "{serial}");
+        assert!(!serial.contains("0 faults injected"), "{serial}");
+        for jobs in [2, 8] {
+            let (text, err) = run_at(seed, jobs);
+            assert_eq!(serial, text, "jobs={jobs}");
+            assert_eq!(serial_err, err, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn survey_exits_nonzero_when_a_cell_fails() {
+        // Under the brutal profile with no retries some seed fails a cell;
+        // execute must return Err (→ exit 1) while still writing the
+        // streamed lines, summary, and frame.
+        let run_at = |seed: u64, jobs: usize| {
+            let mut buf = Vec::new();
+            let result = execute(
+                Command::Survey {
+                    benchmarks: vec!["babelstream_omp".into()],
+                    systems: vec!["csd3".into(), "archer2".into()],
+                    seed,
+                    jobs,
+                    warm_store: false,
+                    fault_profile: "brutal".into(),
+                    max_retries: 0,
+                    fail_fast: false,
+                    quarantine: 0,
+                },
+                &mut buf,
+            );
+            (
+                String::from_utf8(buf).unwrap(),
+                result.err().map(|e| e.to_string()),
+            )
+        };
+        let seed = (0..30)
+            .find(|&s| run_at(s, 1).1.is_some())
+            .expect("some seed in 0..30 fails a cell under brutal/no-retries");
+        let (text, err) = run_at(seed, 1);
+        let err = err.unwrap();
+        assert!(err.contains("cells failed"), "{err}");
+        assert!(text.contains("FAIL:"), "{text}");
+        assert!(text.contains("fault profile `brutal`:"), "{text}");
+        // The failure exit is just as deterministic as the report.
+        for jobs in [2, 8] {
+            let (t, e) = run_at(seed, jobs);
+            assert_eq!(text, t, "jobs={jobs}");
+            assert_eq!(Some(err.clone()), e, "jobs={jobs}");
         }
     }
 }

@@ -6,6 +6,7 @@ use dframe::{Cell, DataFrame};
 use harness::{SuiteProgress, SuiteReport, SuiteRunner, TestCase};
 use postproc::Heatmap;
 use ppmetrics::EfficiencySet;
+use simhpc::faults::FaultProfile;
 
 /// A benchmarking study: cases × systems.
 #[derive(Debug, Default)]
@@ -16,6 +17,10 @@ pub struct Study {
     seed: u64,
     jobs: usize,
     warm_store: bool,
+    fault_profile: FaultProfile,
+    max_retries: u32,
+    fail_fast: bool,
+    quarantine: u32,
 }
 
 impl Study {
@@ -27,6 +32,10 @@ impl Study {
             seed: 42,
             jobs: 1,
             warm_store: false,
+            fault_profile: FaultProfile::none(),
+            max_retries: 2,
+            fail_fast: false,
+            quarantine: 0,
         }
     }
 
@@ -66,6 +75,35 @@ impl Study {
         self
     }
 
+    /// Inject seeded deterministic faults (builds, node failures,
+    /// timeouts) from a named profile. The default profile is `none`,
+    /// which leaves every run untouched.
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Study {
+        self.fault_profile = profile;
+        self
+    }
+
+    /// How many times each faulted stage is retried before the cell is
+    /// reported failed.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Study {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Skip every grid cell after the first failure (in canonical grid
+    /// order, so the report is still identical at any `--jobs` count).
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Study {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Quarantine a system after `k` consecutive failures: its remaining
+    /// cells are skipped with an explicit reason. `0` disables.
+    pub fn with_quarantine(mut self, k: u32) -> Study {
+        self.quarantine = k;
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
         self.run_with_progress(&|_| {})
@@ -77,7 +115,11 @@ impl Study {
         let runner = SuiteRunner::new(&self.systems.iter().map(String::as_str).collect::<Vec<_>>())
             .with_seed(self.seed)
             .with_jobs(self.jobs)
-            .with_warm_store(self.warm_store);
+            .with_warm_store(self.warm_store)
+            .with_fault_profile(self.fault_profile.clone())
+            .with_max_retries(self.max_retries)
+            .with_fail_fast(self.fail_fast)
+            .with_quarantine(self.quarantine);
         let report = runner.run_with_progress(&self.cases, on_flush);
         StudyResults {
             name: self.name.clone(),

@@ -4,6 +4,7 @@ use crate::TestCase;
 use batchsim::{JobRequest, Policy, Scheduler};
 use benchapps::{BenchError, ExecutionMode};
 use perflogs::{Fom, Perflog, PerflogRecord};
+use simhpc::faults::{self, Fault, FaultInjector, FaultProfile};
 use simhpc::platform::SchedulerKind;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -23,6 +24,12 @@ pub struct RunOptions {
     pub account: String,
     /// QoS (`--qos=standard` on ARCHER2).
     pub qos: String,
+    /// Injected fault profile (`--fault-profile`); defaults to `none`,
+    /// which leaves every pipeline byte-identical to the fault-free world.
+    pub fault_profile: FaultProfile,
+    /// How many times a faulted build/run stage is retried before the
+    /// case is declared failed (`--max-retries`).
+    pub max_retries: u32,
 }
 
 impl RunOptions {
@@ -33,11 +40,23 @@ impl RunOptions {
             rebuild_every_run: true,
             account: "ec176".to_string(),
             qos: "standard".to_string(),
+            fault_profile: FaultProfile::none(),
+            max_retries: 2,
         }
     }
 
     pub fn with_seed(mut self, seed: u64) -> RunOptions {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> RunOptions {
+        self.fault_profile = profile;
+        self
+    }
+
+    pub fn with_max_retries(mut self, max_retries: u32) -> RunOptions {
+        self.max_retries = max_retries;
         self
     }
 }
@@ -65,6 +84,35 @@ pub enum HarnessError {
         expected: f64,
     },
     BenchFailed(String),
+    /// An injected transient build failure (fault injection).
+    BuildFault(String),
+    /// The run job lost a node (`NODE_FAIL`).
+    NodeFailed(String),
+    /// The run job was killed at its wall-time limit.
+    JobTimedOut(String),
+    /// The case failed for `cause` after the retry budget was exhausted;
+    /// carries the resilience accounting for the whole attempt chain.
+    AfterFaults {
+        attempts: u32,
+        faults_injected: u32,
+        time_lost_s: f64,
+        cause: Box<HarnessError>,
+    },
+}
+
+impl HarnessError {
+    /// Resilience accounting, when this error wraps a retry chain.
+    pub fn fault_stats(&self) -> Option<(u32, u32, f64)> {
+        match self {
+            HarnessError::AfterFaults {
+                attempts,
+                faults_injected,
+                time_lost_s,
+                ..
+            } => Some((*attempts, *faults_injected, *time_lost_s)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for HarnessError {
@@ -98,6 +146,21 @@ impl fmt::Display for HarnessError {
                 )
             }
             HarnessError::BenchFailed(m) => write!(f, "benchmark failed: {m}"),
+            HarnessError::BuildFault(m) => write!(f, "transient build failure: {m}"),
+            HarnessError::NodeFailed(m) => write!(f, "node failure: {m}"),
+            HarnessError::JobTimedOut(m) => write!(f, "job timed out: {m}"),
+            HarnessError::AfterFaults {
+                attempts,
+                faults_injected,
+                time_lost_s,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "failed after {attempts} attempts ({faults_injected} faults injected, \
+                     {time_lost_s:.1}s lost): {cause}"
+                )
+            }
         }
     }
 }
@@ -123,6 +186,12 @@ pub struct CaseReport {
     pub telemetry: simhpc::Telemetry,
     /// Raw benchmark output.
     pub stdout: String,
+    /// Resilience accounting across build + run: retries performed,
+    /// faults injected, and simulated time lost to them. All zero in the
+    /// default (no-fault) profile.
+    pub retries: u32,
+    pub faults_injected: u32,
+    pub time_lost_s: f64,
 }
 
 /// The build stage's output: everything `run_prepared` needs to continue
@@ -135,6 +204,10 @@ pub struct PreparedBuild {
     pub concrete: spackle::ConcreteSpec,
     /// What was built vs reused, with simulated build times.
     pub install: spackle::InstallReport,
+    /// Build-stage resilience accounting (zero in the no-fault profile).
+    pub retries: u32,
+    pub faults_injected: u32,
+    pub time_lost_s: f64,
 }
 
 /// The harness session: owns the package store, run counter, and perflogs.
@@ -209,7 +282,7 @@ impl Harness {
     /// Warm-store sweeps call this serially in case order to fix cache
     /// attribution, then fan the prepared builds out to parallel jobs.
     pub fn prepare_build(&mut self, case: &TestCase) -> Result<PreparedBuild, HarnessError> {
-        let (system, _, partition) = self.resolve_platform()?;
+        let (system, partition_name, partition) = self.resolve_platform()?;
         let spec = spackle::Spec::parse(&case.spack_spec)
             .map_err(|e| HarnessError::BadSpec(e.to_string()))?;
         let ctx = spackle::context_for(&system, &partition);
@@ -217,6 +290,36 @@ impl Harness {
             spackle::ConcretizeError::Conflict { .. } => HarnessError::Unsupported(e.to_string()),
             other => HarnessError::ConcretizeFailed(other.to_string()),
         })?;
+        // Injected transient build failures: each faulted attempt costs a
+        // backoff wait; only a clean attempt touches the package store, so
+        // cache attribution is unchanged by however many retries happened.
+        let injector = FaultInjector::new(self.options.fault_profile.clone(), self.options.seed);
+        let mut attempt = 1u32;
+        let mut faults = 0u32;
+        let mut time_lost = 0.0f64;
+        while injector
+            .build_fault(system.name(), &case.name, attempt)
+            .is_some()
+        {
+            faults += 1;
+            if attempt > self.options.max_retries {
+                let err = self.fail(
+                    case,
+                    system.name(),
+                    &partition_name,
+                    attempt,
+                    faults,
+                    time_lost,
+                    HarnessError::BuildFault(format!(
+                        "build of `{}` failed on attempt {attempt}",
+                        case.name
+                    )),
+                );
+                return Err(err);
+            }
+            time_lost += faults::backoff_s(attempt);
+            attempt += 1;
+        }
         let opts = spackle::InstallOptions {
             rebuild_root: self.options.rebuild_every_run,
             ..spackle::InstallOptions::default()
@@ -225,7 +328,64 @@ impl Harness {
             Some(shared) => spackle::install(&concrete, &mut shared.lock(), opts),
             None => spackle::install(&concrete, &mut self.store, opts),
         };
-        Ok(PreparedBuild { concrete, install })
+        Ok(PreparedBuild {
+            concrete,
+            install,
+            retries: attempt - 1,
+            faults_injected: faults,
+            time_lost_s: time_lost,
+        })
+    }
+
+    /// Record an ultimately-failed case in the perflog (`result=fail`)
+    /// instead of silently dropping the cell, wrapping the cause in the
+    /// retry-chain accounting when any faults were injected.
+    #[allow(clippy::too_many_arguments)]
+    fn fail(
+        &mut self,
+        case: &TestCase,
+        system: &str,
+        partition: &str,
+        attempts: u32,
+        faults_injected: u32,
+        time_lost_s: f64,
+        cause: HarnessError,
+    ) -> HarnessError {
+        let err = if faults_injected > 0 {
+            HarnessError::AfterFaults {
+                attempts,
+                faults_injected,
+                time_lost_s,
+                cause: Box::new(cause),
+            }
+        } else {
+            cause
+        };
+        self.sequence += 1;
+        let mut extras = case.extras.clone();
+        extras.push(("result".to_string(), "fail".to_string()));
+        extras.push(("attempt".to_string(), attempts.to_string()));
+        extras.push(("error".to_string(), err.to_string()));
+        let record = PerflogRecord {
+            sequence: self.sequence,
+            benchmark: case.name.clone(),
+            system: system.to_string(),
+            partition: partition.to_string(),
+            environ: String::new(),
+            spec: case.spack_spec.clone(),
+            build_hash: String::new(),
+            job_id: None,
+            num_tasks: case.num_tasks,
+            num_tasks_per_node: case.num_tasks_per_node,
+            num_cpus_per_task: case.num_cpus_per_task,
+            foms: Vec::new(),
+            extras,
+        };
+        self.perflogs
+            .entry((system.to_string(), case.app.name().to_string()))
+            .or_default()
+            .append(record);
+        err
     }
 
     /// Run one case through the full pipeline on the session's system.
@@ -243,7 +403,18 @@ impl Harness {
     ) -> Result<CaseReport, HarnessError> {
         let (system, partition_name, partition) = self.resolve_platform()?;
         let proc = partition.processor().clone();
-        let PreparedBuild { concrete, install } = prepared;
+        let PreparedBuild {
+            concrete,
+            install,
+            retries: build_retries,
+            faults_injected: build_faults,
+            time_lost_s: build_lost,
+        } = prepared;
+        // Resilience accounting accumulates over the whole case: the build
+        // stage's chain (from `prepare_build`) plus the run attempts below.
+        let mut retries = build_retries;
+        let mut faults = build_faults;
+        let mut time_lost = build_lost;
         let environ = concrete
             .root()
             .compiler
@@ -261,10 +432,22 @@ impl Harness {
                 seed: self.options.seed,
             }
         };
-        let output = case.app.run(&mode).map_err(|e| match e {
-            BenchError::Unsupported(m) => HarnessError::Unsupported(m),
-            other => HarnessError::BenchFailed(other.to_string()),
-        })?;
+        let output = match case.app.run(&mode) {
+            Ok(o) => o,
+            Err(BenchError::Unsupported(m)) => return Err(HarnessError::Unsupported(m)),
+            Err(other) => {
+                let cause = HarnessError::BenchFailed(other.to_string());
+                return Err(self.fail(
+                    case,
+                    system.name(),
+                    &partition_name,
+                    1,
+                    faults,
+                    time_lost,
+                    cause,
+                ));
+            }
+        };
 
         // -- submit: the scheduler sees the same layout (P5) --------------
         let cpus_per_task = if case.num_cpus_per_task == 0 {
@@ -273,6 +456,7 @@ impl Harness {
         } else {
             case.num_cpus_per_task
         };
+        let time_limit_s = (output.wall_time_s * 10.0).max(60.0);
         let request = JobRequest::new(
             &case.name,
             case.num_tasks,
@@ -281,7 +465,7 @@ impl Harness {
         )
         .with_account(&self.options.account)
         .with_qos(&self.options.qos)
-        .with_time_limit((output.wall_time_s * 10.0).max(60.0));
+        .with_time_limit(time_limit_s);
         let policy = match system.scheduler() {
             SchedulerKind::Slurm => Policy::Backfill,
             SchedulerKind::Pbs => Policy::Fifo,
@@ -304,16 +488,101 @@ impl Harness {
         } else {
             None
         };
-        let job_id = match build_job {
-            Some(b) => sched
-                .submit_after(request.clone(), output.wall_time_s, b)
-                .map_err(|e| HarnessError::SchedulerRejected(e.to_string()))?,
-            None => sched
-                .submit(request.clone(), output.wall_time_s)
-                .map_err(|e| HarnessError::SchedulerRejected(e.to_string()))?,
+        // Injected run faults shape the scheduled job: a Timeout fault
+        // overruns the wall-time limit (the scheduler kills the job); a
+        // NodeFail fault kills a node partway through the run.
+        let injector = FaultInjector::new(self.options.fault_profile.clone(), self.options.seed);
+        let fault_params = |fault: Option<Fault>| -> (f64, Option<f64>) {
+            match fault {
+                None | Some(Fault::BuildFail) => (output.wall_time_s, None),
+                Some(Fault::Timeout) => ((time_limit_s * 1.25).max(output.wall_time_s), None),
+                Some(Fault::NodeFail { at_frac }) => {
+                    let run = output.wall_time_s.min(time_limit_s);
+                    (output.wall_time_s, Some(at_frac * run))
+                }
+            }
         };
+        let mut run_attempt = 1u32;
+        let mut fault = injector.run_fault(system.name(), &case.name, run_attempt);
+        if fault.is_some() {
+            faults += 1;
+        }
+        let (run_time_s, fail_after_s) = fault_params(fault);
+        let submitted = match build_job {
+            Some(b) => sched.submit_after_with_fault(request.clone(), run_time_s, b, fail_after_s),
+            None => sched.submit_with_fault(request.clone(), run_time_s, fail_after_s),
+        };
+        let job_id = match submitted {
+            Ok(id) => id,
+            Err(e) => {
+                let cause = HarnessError::SchedulerRejected(e.to_string());
+                return Err(self.fail(
+                    case,
+                    system.name(),
+                    &partition_name,
+                    run_attempt,
+                    faults,
+                    time_lost,
+                    cause,
+                ));
+            }
+        };
+        // Retry loop: a NodeFail/TimedOut attempt within budget is
+        // requeued after a bounded exponential backoff, possibly drawing a
+        // fresh fault for the next attempt. Everything happens in
+        // simulated time; the accounting is deterministic per seed.
         sched.run_to_completion();
-        let job = sched.job(job_id).expect("submitted job exists").clone();
+        let job = loop {
+            let j = sched.job(job_id).expect("submitted job exists").clone();
+            let elapsed = match (j.start_time, j.end_time) {
+                (Some(st), Some(en)) => en - st,
+                _ => 0.0,
+            };
+            match j.state {
+                batchsim::JobState::Completed => break j,
+                batchsim::JobState::NodeFail | batchsim::JobState::TimedOut
+                    if run_attempt <= self.options.max_retries =>
+                {
+                    let backoff = faults::backoff_s(run_attempt);
+                    time_lost += elapsed + backoff;
+                    retries += 1;
+                    run_attempt += 1;
+                    fault = injector.run_fault(system.name(), &case.name, run_attempt);
+                    if fault.is_some() {
+                        faults += 1;
+                    }
+                    let (run_time_s, fail_after_s) = fault_params(fault);
+                    sched
+                        .requeue(job_id, run_time_s, fail_after_s, backoff)
+                        .expect("NodeFail/TimedOut jobs are requeueable");
+                    sched.run_to_completion();
+                }
+                terminal => {
+                    time_lost += elapsed;
+                    let cause = match terminal {
+                        batchsim::JobState::NodeFail => HarnessError::NodeFailed(format!(
+                            "job lost a node on attempt {run_attempt} (retry budget exhausted)"
+                        )),
+                        batchsim::JobState::TimedOut => HarnessError::JobTimedOut(format!(
+                            "job exceeded its {time_limit_s:.0}s limit on attempt {run_attempt} \
+                             (retry budget exhausted)"
+                        )),
+                        other => HarnessError::NodeFailed(format!(
+                            "requeued job could not start (state {other:?}): partition drained"
+                        )),
+                    };
+                    return Err(self.fail(
+                        case,
+                        system.name(),
+                        &partition_name,
+                        run_attempt,
+                        faults,
+                        time_lost,
+                        cause,
+                    ));
+                }
+            }
+        };
         let job_script = batchsim::render_script(
             system.scheduler(),
             &request,
@@ -332,10 +601,19 @@ impl Harness {
         let sanity = rexpr::Regex::new(&case.sanity_pattern)
             .map_err(|e| HarnessError::BadSpec(format!("bad sanity pattern: {e}")))?;
         if !sanity.is_match(&output.stdout) {
-            return Err(HarnessError::SanityFailed {
+            let cause = HarnessError::SanityFailed {
                 pattern: case.sanity_pattern.clone(),
                 stdout_head: output.stdout.chars().take(60).collect(),
-            });
+            };
+            return Err(self.fail(
+                case,
+                system.name(),
+                &partition_name,
+                run_attempt,
+                faults,
+                time_lost,
+                cause,
+            ));
         }
 
         // -- performance: extract FOMs (P6) -------------------------------
@@ -343,23 +621,25 @@ impl Harness {
         for var in &case.perf_vars {
             let re = rexpr::Regex::new(&var.pattern)
                 .map_err(|e| HarnessError::BadSpec(format!("bad perf pattern: {e}")))?;
-            let caps = re
+            let value = re
                 .captures(&output.stdout)
-                .ok_or_else(|| HarnessError::FomNotFound {
+                .and_then(|caps| caps.get(1).map(|m| m.as_str().to_string()))
+                .and_then(|text| text.parse::<f64>().ok());
+            let Some(value) = value else {
+                let cause = HarnessError::FomNotFound {
                     name: var.name.clone(),
                     pattern: var.pattern.clone(),
-                })?;
-            let text = caps
-                .get(1)
-                .ok_or_else(|| HarnessError::FomNotFound {
-                    name: var.name.clone(),
-                    pattern: var.pattern.clone(),
-                })?
-                .as_str();
-            let value: f64 = text.parse().map_err(|_| HarnessError::FomNotFound {
-                name: var.name.clone(),
-                pattern: var.pattern.clone(),
-            })?;
+                };
+                return Err(self.fail(
+                    case,
+                    system.name(),
+                    &partition_name,
+                    run_attempt,
+                    faults,
+                    time_lost,
+                    cause,
+                ));
+            };
             foms.push(Fom {
                 name: var.name.clone(),
                 value,
@@ -369,11 +649,20 @@ impl Harness {
         for (fom_name, reference) in &case.references {
             if let Some(f) = foms.iter().find(|f| &f.name == fom_name) {
                 if !reference.check(f.value) {
-                    return Err(HarnessError::ReferenceFailed {
+                    let cause = HarnessError::ReferenceFailed {
                         fom: fom_name.clone(),
                         measured: f.value,
                         expected: reference.value,
-                    });
+                    };
+                    return Err(self.fail(
+                        case,
+                        system.name(),
+                        &partition_name,
+                        run_attempt,
+                        faults,
+                        time_lost,
+                        cause,
+                    ));
                 }
             }
         }
@@ -406,6 +695,11 @@ impl Harness {
             "network_bytes".to_string(),
             telemetry.network_bytes.to_string(),
         ));
+        // Only faulted cases carry retry provenance: the default (no-fault)
+        // profile must stay byte-identical to the pre-fault-injection world.
+        if faults > 0 {
+            extras.push(("attempt".to_string(), run_attempt.to_string()));
+        }
         let record = PerflogRecord {
             sequence: self.sequence,
             benchmark: case.name.clone(),
@@ -437,6 +731,9 @@ impl Harness {
             queue_wait_s: job.wait_time().unwrap_or(0.0),
             telemetry,
             stdout: output.stdout,
+            retries,
+            faults_injected: faults,
+            time_lost_s: time_lost,
         })
     }
 }
@@ -524,9 +821,94 @@ mod tests {
             h.run_case(&case),
             Err(HarnessError::SanityFailed { .. })
         ));
+        // The cell is not silently dropped: a failure record (no FOMs,
+        // result=fail) lands in the perflog instead.
+        let log = h.perflog("csd3", "babelstream").expect("failure recorded");
+        assert_eq!(log.len(), 1);
+        let rec = &log.records()[0];
+        assert!(rec.foms.is_empty(), "no FOM on sanity failure");
+        assert!(rec.extras.iter().any(|(k, v)| k == "result" && v == "fail"));
+        assert!(rec.extras.iter().any(|(k, v)| k == "attempt" && v == "1"));
+        assert!(rec.extras.iter().any(|(k, _)| k == "error"));
+    }
+
+    #[test]
+    fn no_fault_profile_changes_nothing() {
+        // The default profile must leave records byte-identical to the
+        // pre-fault-injection pipeline: no attempt extra, zero accounting.
+        let mut h = Harness::new(RunOptions::on_system("csd3"));
+        let report = h
+            .run_case(&cases::babelstream(Model::Omp, 1 << 22))
+            .unwrap();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.time_lost_s, 0.0);
+        assert!(report.record.extras.iter().all(|(k, _)| k != "attempt"));
+        assert!(report.record.extras.iter().all(|(k, _)| k != "result"));
+    }
+
+    #[test]
+    fn flaky_runs_retry_and_replay_identically() {
+        let run = |seed: u64| {
+            let opts = RunOptions::on_system("csd3")
+                .with_seed(seed)
+                .with_fault_profile(simhpc::faults::FaultProfile::flaky())
+                .with_max_retries(4);
+            let mut h = Harness::new(opts);
+            h.run_case(&cases::babelstream(Model::Omp, 1 << 22))
+        };
+        // Scan a few seeds: with flaky rates and 4 retries, at least one
+        // seed must inject a fault and still complete.
+        let mut saw_retry = false;
+        for seed in 0..20 {
+            if let Ok(report) = run(seed) {
+                if report.faults_injected > 0 {
+                    saw_retry = true;
+                    assert!(report.retries > 0, "injected fault must force a retry");
+                    assert!(report.time_lost_s > 0.0, "retries cost simulated time");
+                    assert!(report.record.extras.iter().any(|(k, _)| k == "attempt"));
+                    // Determinism: the same seed replays the same chain.
+                    let again = run(seed).unwrap();
+                    assert_eq!(report.record, again.record);
+                    assert_eq!(report.retries, again.retries);
+                    assert_eq!(report.time_lost_s, again.time_lost_s);
+                    break;
+                }
+            }
+        }
+        assert!(saw_retry, "no seed in 0..20 injected a recoverable fault");
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_fault_accounting() {
+        // With zero retries under the brutal profile, some seed must
+        // exhaust its budget; the error then carries the fault accounting
+        // and the perflog holds a failure record.
+        let mut saw_exhaustion = false;
+        for seed in 0..30 {
+            let opts = RunOptions::on_system("csd3")
+                .with_seed(seed)
+                .with_fault_profile(simhpc::faults::FaultProfile::brutal())
+                .with_max_retries(0);
+            let mut h = Harness::new(opts);
+            match h.run_case(&cases::babelstream(Model::Omp, 1 << 22)) {
+                Err(err @ HarnessError::AfterFaults { .. }) => {
+                    let (attempts, injected, lost) = err.fault_stats().unwrap();
+                    assert_eq!(attempts, 1, "no retries allowed");
+                    assert!(injected >= 1);
+                    assert!(lost >= 0.0);
+                    let log = h.perflog("csd3", "babelstream").expect("failure recorded");
+                    let rec = &log.records()[0];
+                    assert!(rec.extras.iter().any(|(k, v)| k == "result" && v == "fail"));
+                    saw_exhaustion = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
         assert!(
-            h.perflog("csd3", "babelstream").is_none(),
-            "no FOM on sanity failure"
+            saw_exhaustion,
+            "no seed in 0..30 exhausted the retry budget"
         );
     }
 

@@ -5,8 +5,9 @@
 
 use crate::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions, TestCase};
 use perflogs::Perflog;
+use simhpc::faults::FaultProfile;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// What happened to one (case, system) combination.
@@ -26,6 +27,36 @@ impl SuiteOutcome {
 
     pub fn skipped(&self) -> bool {
         matches!(self, SuiteOutcome::Skipped(_))
+    }
+
+    /// Retries this cell performed (build + run attempt chains).
+    pub fn retries(&self) -> u32 {
+        match self {
+            SuiteOutcome::Ran(r) => r.retries,
+            SuiteOutcome::Failed(e) => e
+                .fault_stats()
+                .map(|(a, _, _)| a.saturating_sub(1))
+                .unwrap_or(0),
+            SuiteOutcome::Skipped(_) => 0,
+        }
+    }
+
+    /// Faults injected into this cell.
+    pub fn faults_injected(&self) -> u32 {
+        match self {
+            SuiteOutcome::Ran(r) => r.faults_injected,
+            SuiteOutcome::Failed(e) => e.fault_stats().map(|(_, f, _)| f).unwrap_or(0),
+            SuiteOutcome::Skipped(_) => 0,
+        }
+    }
+
+    /// Simulated time this cell lost to faults and backoff.
+    pub fn time_lost_s(&self) -> f64 {
+        match self {
+            SuiteOutcome::Ran(r) => r.time_lost_s,
+            SuiteOutcome::Failed(e) => e.fault_stats().map(|(_, _, t)| t).unwrap_or(0.0),
+            SuiteOutcome::Skipped(_) => 0.0,
+        }
     }
 }
 
@@ -91,6 +122,34 @@ impl SuiteReport {
             _ => None,
         })
     }
+
+    /// Retries performed across the sweep (build + run attempt chains).
+    pub fn total_retries(&self) -> u32 {
+        self.outcomes.iter().map(|(_, _, o)| o.retries()).sum()
+    }
+
+    /// Faults injected across the sweep.
+    pub fn total_faults_injected(&self) -> u32 {
+        self.outcomes
+            .iter()
+            .map(|(_, _, o)| o.faults_injected())
+            .sum()
+    }
+
+    /// Simulated time lost to faults and retry backoff across the sweep.
+    pub fn total_time_lost_s(&self) -> f64 {
+        self.outcomes.iter().map(|(_, _, o)| o.time_lost_s()).sum()
+    }
+
+    /// Cells skipped by per-system quarantine.
+    pub fn n_quarantined(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| {
+                matches!(o, SuiteOutcome::Skipped(reason) if reason.starts_with("quarantined"))
+            })
+            .count()
+    }
 }
 
 /// One streamed grid cell, handed to the progress callback the moment it
@@ -122,6 +181,28 @@ struct FlushState {
     next: usize,
     /// Successful runs flushed so far for the system currently streaming.
     sequence: u64,
+    /// Consecutive *emitted* failures for the system currently streaming
+    /// (quarantine trigger; resets at each system boundary and on a run).
+    consecutive: u32,
+    /// Whether any cell has been emitted as Failed (fail-fast trigger).
+    failed_any: bool,
+}
+
+/// Shared coordination state for one sweep: result slots, the job-claim
+/// counter, the ordered-flush cursor, and the short-circuit signals.
+struct SweepState {
+    slots: Vec<Mutex<Option<JobResult>>>,
+    next: AtomicUsize,
+    flush: Mutex<FlushState>,
+    /// Lowest grid index known to hold a genuine failure (fail-fast).
+    /// Workers may skip claiming any job behind it: the flush pass
+    /// demotes those cells canonically anyway, so skipping only saves
+    /// work, never changes the report.
+    first_failure: AtomicUsize,
+    /// Per-system quarantine flags, set only by the ordered flush (so a
+    /// set flag implies every later claim for that system will be
+    /// demoted at flush time — claims are monotonic past the cursor).
+    quarantined: Vec<AtomicBool>,
 }
 
 /// Sweeps cases across systems with a bounded worker pool.
@@ -154,6 +235,17 @@ pub struct SuiteRunner {
     pub jobs: usize,
     /// Share one package store per system across its cases.
     pub warm_store: bool,
+    /// Injected fault profile for every cell (`--fault-profile`).
+    pub fault_profile: FaultProfile,
+    /// Per-stage retry budget for every cell (`--max-retries`).
+    pub max_retries: u32,
+    /// Stop scheduling new cells after the first failure (`--fail-fast`):
+    /// every cell behind the first failed one is reported as skipped.
+    pub fail_fast: bool,
+    /// After this many *consecutive* failures on one system, skip that
+    /// system's remaining cells with an explicit reason (`--quarantine`).
+    /// 0 disables quarantine.
+    pub quarantine: u32,
 }
 
 impl SuiteRunner {
@@ -163,6 +255,10 @@ impl SuiteRunner {
             seed: 42,
             jobs: 1,
             warm_store: false,
+            fault_profile: FaultProfile::none(),
+            max_retries: 2,
+            fail_fast: false,
+            quarantine: 0,
         }
     }
 
@@ -184,8 +280,35 @@ impl SuiteRunner {
         self
     }
 
+    /// Inject faults from `profile` into every cell of the sweep.
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> SuiteRunner {
+        self.fault_profile = profile;
+        self
+    }
+
+    /// Per-stage retry budget before a cell is declared failed.
+    pub fn with_max_retries(mut self, max_retries: u32) -> SuiteRunner {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Skip every cell after the first failure.
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> SuiteRunner {
+        self.fail_fast = fail_fast;
+        self
+    }
+
+    /// Quarantine a system after `k` consecutive failures (0 = off).
+    pub fn with_quarantine(mut self, k: u32) -> SuiteRunner {
+        self.quarantine = k;
+        self
+    }
+
     fn job_options(&self, system: &str) -> RunOptions {
-        RunOptions::on_system(system).with_seed(self.seed)
+        RunOptions::on_system(system)
+            .with_seed(self.seed)
+            .with_fault_profile(self.fault_profile.clone())
+            .with_max_retries(self.max_retries)
     }
 
     /// Warm-store prepass: per system, run the build stage serially in
@@ -244,25 +367,40 @@ impl SuiteRunner {
     }
 
     /// Pull jobs off the shared index until none remain, flushing the
-    /// outcome stream after every completion.
-    #[allow(clippy::too_many_arguments)]
+    /// outcome stream after every completion. Jobs provably behind a
+    /// failure (fail-fast) or inside a quarantined system are not run at
+    /// all; their placeholder result is demoted canonically at flush time.
     fn work(
         &self,
         cases: &[TestCase],
         prepared: Option<&[Result<PreparedBuild, HarnessError>]>,
-        slots: &[Mutex<Option<JobResult>>],
-        next: &AtomicUsize,
-        flush: &Mutex<FlushState>,
+        state: &SweepState,
         on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
     ) {
         loop {
-            let job = next.fetch_add(1, Ordering::Relaxed);
-            if job >= slots.len() {
+            let job = state.next.fetch_add(1, Ordering::Relaxed);
+            if job >= state.slots.len() {
                 return;
             }
-            let result = self.run_job(cases, prepared, job);
-            *slots[job].lock().expect("job slot poisoned") = Some(result);
-            self.flush_ready(cases, slots, flush, on_flush);
+            let short_circuit = (self.fail_fast
+                && state.first_failure.load(Ordering::Relaxed) < job)
+                || (self.quarantine > 0
+                    && state.quarantined[job / cases.len()].load(Ordering::Relaxed));
+            let result = if short_circuit {
+                // Never executed; the flush pass stamps the real reason.
+                JobResult {
+                    outcome: SuiteOutcome::Skipped("not run".to_string()),
+                    key: None,
+                }
+            } else {
+                let result = self.run_job(cases, prepared, job);
+                if matches!(result.outcome, SuiteOutcome::Failed(_)) {
+                    state.first_failure.fetch_min(job, Ordering::Relaxed);
+                }
+                result
+            };
+            *state.slots[job].lock().expect("job slot poisoned") = Some(result);
+            self.flush_ready(cases, state, on_flush);
         }
     }
 
@@ -270,35 +408,63 @@ impl SuiteRunner {
     /// starting at the cursor, renumbering ran sequences per system in
     /// case order. Serialized by the flush lock, so the stream is emitted
     /// in canonical grid order no matter which workers finish when.
+    ///
+    /// Fail-fast and quarantine are applied *here*, at the canonical
+    /// emission point: cell i is demoted based only on cells < i, so the
+    /// decision is identical at every `jobs` count even when a worker
+    /// raced ahead and actually ran the cell.
     fn flush_ready(
         &self,
         cases: &[TestCase],
-        slots: &[Mutex<Option<JobResult>>],
-        flush: &Mutex<FlushState>,
+        state: &SweepState,
         on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
     ) {
-        let mut state = flush.lock().expect("flush state poisoned");
-        while state.next < slots.len() {
-            let mut slot = slots[state.next].lock().expect("job slot poisoned");
+        let mut cursor = state.flush.lock().expect("flush state poisoned");
+        while cursor.next < state.slots.len() {
+            let mut slot = state.slots[cursor.next].lock().expect("job slot poisoned");
             let Some(result) = slot.as_mut() else {
                 break; // an earlier cell is still running
             };
-            let ci = state.next % cases.len();
+            let ci = cursor.next % cases.len();
+            let si = cursor.next / cases.len();
             if ci == 0 {
-                state.sequence = 0; // new system starts counting afresh
+                cursor.sequence = 0; // new system starts counting afresh
+                cursor.consecutive = 0;
             }
-            if let SuiteOutcome::Ran(report) = &mut result.outcome {
-                state.sequence += 1;
-                report.record.sequence = state.sequence;
+            if self.fail_fast && cursor.failed_any {
+                result.outcome =
+                    SuiteOutcome::Skipped("not run: --fail-fast after earlier failure".to_string());
+                result.key = None;
+            } else if self.quarantine > 0 && cursor.consecutive >= self.quarantine {
+                result.outcome = SuiteOutcome::Skipped(format!(
+                    "quarantined: {} consecutive failures on {}",
+                    self.quarantine, self.systems[si]
+                ));
+                result.key = None;
+            }
+            match &mut result.outcome {
+                SuiteOutcome::Ran(report) => {
+                    cursor.sequence += 1;
+                    report.record.sequence = cursor.sequence;
+                    cursor.consecutive = 0;
+                }
+                SuiteOutcome::Failed(_) => {
+                    cursor.failed_any = true;
+                    cursor.consecutive += 1;
+                    if self.quarantine > 0 && cursor.consecutive >= self.quarantine {
+                        state.quarantined[si].store(true, Ordering::Relaxed);
+                    }
+                }
+                SuiteOutcome::Skipped(_) => {}
             }
             on_flush(SuiteProgress {
-                index: state.next,
-                total: slots.len(),
+                index: cursor.next,
+                total: state.slots.len(),
                 case: &cases[ci].name,
-                system: &self.systems[state.next / cases.len()],
+                system: &self.systems[si],
                 outcome: &result.outcome,
             });
-            state.next += 1;
+            cursor.next += 1;
         }
     }
 
@@ -329,24 +495,33 @@ impl SuiteRunner {
         };
         let prepared = prepared.as_deref();
 
-        let slots: Vec<Mutex<Option<JobResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let flush = Mutex::new(FlushState {
-            next: 0,
-            sequence: 0,
-        });
+        let state = SweepState {
+            slots: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            flush: Mutex::new(FlushState {
+                next: 0,
+                sequence: 0,
+                consecutive: 0,
+                failed_any: false,
+            }),
+            first_failure: AtomicUsize::new(usize::MAX),
+            quarantined: (0..self.systems.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        };
         if workers <= 1 {
-            self.work(cases, prepared, &slots, &next, &flush, on_flush);
+            self.work(cases, prepared, &state, on_flush);
         } else {
             std::thread::scope(|s| {
                 // The caller is a worker too; spawn only workers - 1.
                 for _ in 1..workers {
-                    s.spawn(|| self.work(cases, prepared, &slots, &next, &flush, on_flush));
+                    s.spawn(|| self.work(cases, prepared, &state, on_flush));
                 }
-                self.work(cases, prepared, &slots, &next, &flush, on_flush);
+                self.work(cases, prepared, &state, on_flush);
             });
         }
-        let mut results: Vec<Option<JobResult>> = slots
+        let mut results: Vec<Option<JobResult>> = state
+            .slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("job slot poisoned"))
             .collect();
@@ -605,6 +780,170 @@ mod tests {
                 parallel.combined_frame().to_string()
             );
         }
+    }
+
+    /// A case that always fails its reference check (no fault needed).
+    fn failing_case(tag: &str) -> TestCase {
+        let mut case = cases::babelstream(Model::Omp, 1 << 22)
+            .with_reference("Triad", crate::Reference::within(1.0, 0.05));
+        case.name = format!("babelstream_bad_{tag}");
+        case
+    }
+
+    #[test]
+    fn faulty_suite_reports_are_byte_identical_across_jobs() {
+        // The tentpole pin: with a nonzero fault profile the whole report —
+        // outcomes, retry accounting, perflogs — replays byte-identically
+        // at any worker count, because faults are keyed per
+        // (system, case, attempt), never drawn from shared mutable state.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::hpgmg(),
+        ];
+        let systems = ["csd3", "archer2"];
+        let run = |seed: u64, jobs: usize| {
+            SuiteRunner::new(&systems)
+                .with_seed(seed)
+                .with_fault_profile(FaultProfile::flaky())
+                .with_max_retries(2)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        // Find a seed whose sweep actually injects faults, so the pin
+        // exercises the retry machinery rather than the clean path.
+        let seed = (0..20)
+            .find(|&s| run(s, 1).total_faults_injected() > 0)
+            .expect("some seed in 0..20 must inject faults under flaky");
+        let serial = run(seed, 1);
+        assert!(serial.total_retries() > 0 || serial.n_failed() > 0);
+        for jobs in [2, 8] {
+            let parallel = run(seed, jobs);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "jobs={jobs} diverged under fault injection"
+            );
+            assert_eq!(
+                serial.combined_frame().to_string(),
+                parallel.combined_frame().to_string()
+            );
+            assert_eq!(serial.total_retries(), parallel.total_retries());
+            assert_eq!(
+                serial.total_faults_injected(),
+                parallel.total_faults_injected()
+            );
+            assert_eq!(serial.total_time_lost_s(), parallel.total_time_lost_s());
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_everything_after_first_failure() {
+        // Grid (system-major): csd3 × [good, bad, good], archer2 × [...].
+        // The failure at cell 2 must skip every later cell, canonically at
+        // any worker count.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            failing_case("x"),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let systems = ["csd3", "archer2"];
+        let run = |jobs| {
+            SuiteRunner::new(&systems)
+                .with_fail_fast(true)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        let serial = run(1);
+        assert_eq!(serial.n_failed(), 1, "only the first failure is reported");
+        assert!(serial.outcomes[0].2.ran());
+        assert!(matches!(serial.outcomes[1].2, SuiteOutcome::Failed(_)));
+        for (case, system, outcome) in &serial.outcomes[2..] {
+            match outcome {
+                SuiteOutcome::Skipped(reason) => assert!(
+                    reason.contains("--fail-fast"),
+                    "{case} on {system}: {reason}"
+                ),
+                other => panic!("{case} on {system} not skipped: {other:?}"),
+            }
+        }
+        for jobs in [2, 8] {
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{:?}", run(jobs)),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_skips_rest_of_system_after_k_consecutive_failures() {
+        // Two failing cases in a row trip the K=2 quarantine; the rest of
+        // that system is skipped with an explicit reason, and the next
+        // system starts with a clean slate (and trips it again itself).
+        let cases = vec![
+            failing_case("a"),
+            failing_case("b"),
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let systems = ["csd3", "archer2"];
+        let run = |jobs| {
+            SuiteRunner::new(&systems)
+                .with_quarantine(2)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        let serial = run(1);
+        assert_eq!(
+            serial.n_failed(),
+            4,
+            "2 failures per system before the trip"
+        );
+        assert_eq!(serial.n_quarantined(), 4, "2 quarantined cells per system");
+        for (si, system) in systems.iter().enumerate() {
+            let base = si * cases.len();
+            assert!(matches!(serial.outcomes[base].2, SuiteOutcome::Failed(_)));
+            assert!(matches!(
+                serial.outcomes[base + 1].2,
+                SuiteOutcome::Failed(_)
+            ));
+            for cell in &serial.outcomes[base + 2..base + 4] {
+                match &cell.2 {
+                    SuiteOutcome::Skipped(reason) => {
+                        assert!(
+                            reason.starts_with("quarantined: 2 consecutive failures"),
+                            "{reason}"
+                        );
+                        assert!(reason.contains(system), "{reason}");
+                    }
+                    other => panic!("expected quarantine skip, got {other:?}"),
+                }
+            }
+        }
+        for jobs in [2, 8] {
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{:?}", run(jobs)),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_run_between_failures_resets_the_quarantine_counter() {
+        // fail, run, fail, run: consecutive failures never reach 2, so
+        // nothing is quarantined.
+        let cases = vec![
+            failing_case("a"),
+            cases::babelstream(Model::Omp, 1 << 22),
+            failing_case("b"),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let report = SuiteRunner::new(&["csd3"]).with_quarantine(2).run(&cases);
+        assert_eq!(report.n_failed(), 2);
+        assert_eq!(report.n_ran(), 2);
+        assert_eq!(report.n_quarantined(), 0);
     }
 
     #[test]

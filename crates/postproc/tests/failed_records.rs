@@ -1,0 +1,96 @@
+//! Failed runs must not pollute FOM statistics.
+//!
+//! The harness records failed/retried runs in the perflog (with
+//! `result=fail` / `attempt=N` extras and no FOMs) instead of silently
+//! dropping them — the archaeology principle. The postprocessing pipeline
+//! consumes the assimilated frame, where a record contributes one row per
+//! FOM, so failure records must contribute nothing to means, histories,
+//! or regression verdicts.
+
+use perflogs::{Fom, Perflog, PerflogRecord};
+use postproc::{History, RegressionPolicy, Verdict};
+
+fn ok_record(seq: u64, triad: f64) -> PerflogRecord {
+    PerflogRecord {
+        sequence: seq,
+        benchmark: "babelstream_omp".into(),
+        system: "csd3".into(),
+        partition: "cclake".into(),
+        environ: "gcc@9.2.0".into(),
+        spec: "babelstream%gcc@9.2.0 +omp".into(),
+        build_hash: "abcdefg".into(),
+        job_id: Some(100 + seq),
+        num_tasks: 1,
+        num_tasks_per_node: 1,
+        num_cpus_per_task: 56,
+        foms: vec![Fom {
+            name: "Triad".into(),
+            value: triad,
+            unit: "MB/s".into(),
+        }],
+        extras: vec![("attempt".into(), "1".into())],
+    }
+}
+
+fn failed_record(seq: u64, attempt: u32) -> PerflogRecord {
+    PerflogRecord {
+        foms: Vec::new(),
+        job_id: None,
+        extras: vec![
+            ("result".into(), "fail".into()),
+            ("attempt".into(), attempt.to_string()),
+            ("error".into(), "node failure on csd3 (job requeued)".into()),
+        ],
+        ..ok_record(seq, 0.0)
+    }
+}
+
+/// Interleave failures into a healthy series: every statistic the
+/// pipeline computes must match the failure-free series exactly.
+#[test]
+fn postproc_ignores_failed_records() {
+    let mut clean = Perflog::new();
+    let mut faulty = Perflog::new();
+    let values = [100.0, 101.0, 99.5, 100.4, 100.1, 99.9];
+    let mut seq = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if i % 2 == 1 {
+            faulty.append(failed_record(seq, 3));
+            seq += 1;
+        }
+        clean.append(ok_record(seq, v));
+        faulty.append(ok_record(seq, v));
+        seq += 1;
+    }
+    assert_eq!(faulty.len(), clean.len() + 3, "failures are recorded");
+
+    // Failure records flatten to zero frame rows (no FOMs).
+    let clean_frame = clean.to_frame();
+    let faulty_frame = faulty.to_frame();
+    assert_eq!(clean_frame.n_rows(), values.len());
+    assert_eq!(faulty_frame.n_rows(), clean_frame.n_rows());
+
+    // Histories — and therefore regression verdicts — are identical.
+    let hist = |frame| History::from_frame(frame, "babelstream_omp", "csd3", "Triad").unwrap();
+    let clean_hist = hist(&clean_frame);
+    let faulty_hist = hist(&faulty_frame);
+    assert_eq!(clean_hist.points, faulty_hist.points);
+    let policy = RegressionPolicy::default();
+    assert!(matches!(
+        faulty_hist.check_latest(&policy),
+        Verdict::Ok { .. }
+    ));
+
+    // And the failure evidence survives the JSONL round trip for
+    // archaeology, without growing any FOM rows.
+    let reparsed = Perflog::from_jsonl(&faulty.to_jsonl()).unwrap();
+    assert_eq!(reparsed.records(), faulty.records());
+    let fails: Vec<_> = reparsed
+        .records()
+        .iter()
+        .filter(|r| r.extras.iter().any(|(k, v)| k == "result" && v == "fail"))
+        .collect();
+    assert_eq!(fails.len(), 3);
+    assert!(fails.iter().all(|r| r.foms.is_empty()));
+    assert_eq!(reparsed.to_frame().n_rows(), clean_frame.n_rows());
+}

@@ -1,0 +1,262 @@
+//! Deterministic fault injection.
+//!
+//! Real benchmarking campaigns on ARCHER2/CSD3-class systems lose cells to
+//! node failures, job timeouts, and flaky builds. A framework that claims
+//! reproducibility (P4/P5) must therefore make *failure handling itself*
+//! reproducible: the same seed and fault profile must produce the same
+//! faults, the same retries, and the same final report — at any worker
+//! count. This module is the single source of injected faults for the
+//! whole stack.
+//!
+//! Determinism comes from the draw keying, not from draw order: every
+//! fault is drawn from a fresh [`SplitMix64`] stream seeded by the
+//! `(profile, run seed, system, case, stage, attempt)` tuple via
+//! [`fnv1a`]. Two workers racing over a suite grid therefore see exactly
+//! the faults a serial sweep would have seen, whatever order the jobs run
+//! in.
+
+use crate::noise::{fnv1a, SplitMix64};
+
+/// A named fault-rate profile: per-attempt probabilities of each injected
+/// fault class. Profiles are identified by name so that the name can key
+/// the deterministic draw streams (two profiles with equal rates but
+/// different names draw differently — the name is part of the experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    pub name: String,
+    /// Probability that one build attempt fails transiently.
+    pub build_fail_p: f64,
+    /// Probability that one run attempt loses a node mid-job.
+    pub node_fail_p: f64,
+    /// Probability that one run attempt overruns its time limit.
+    pub timeout_p: f64,
+}
+
+impl FaultProfile {
+    /// The default: nothing ever fails (the pre-fault-injection world).
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            name: "none".to_string(),
+            build_fail_p: 0.0,
+            node_fail_p: 0.0,
+            timeout_p: 0.0,
+        }
+    }
+
+    /// Occasional transient failures: the weather of a healthy production
+    /// system. With one or two retries almost every cell still completes.
+    pub fn flaky() -> FaultProfile {
+        FaultProfile {
+            name: "flaky".to_string(),
+            build_fail_p: 0.20,
+            node_fail_p: 0.12,
+            timeout_p: 0.08,
+        }
+    }
+
+    /// A system having a very bad day; used to exercise retry exhaustion,
+    /// quarantine, and fail-fast paths.
+    pub fn brutal() -> FaultProfile {
+        FaultProfile {
+            name: "brutal".to_string(),
+            build_fail_p: 0.55,
+            node_fail_p: 0.35,
+            timeout_p: 0.25,
+        }
+    }
+
+    /// Look a profile up by name (the `--fault-profile` argument).
+    pub fn from_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" | "off" => Some(FaultProfile::none()),
+            "flaky" => Some(FaultProfile::flaky()),
+            "brutal" => Some(FaultProfile::brutal()),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`FaultProfile::from_name`].
+    pub fn known_names() -> &'static [&'static str] {
+        &["none", "flaky", "brutal"]
+    }
+
+    /// True when no fault can ever be drawn (the fast path the default
+    /// pipeline takes; it must stay byte-identical to the pre-fault code).
+    pub fn is_none(&self) -> bool {
+        self.build_fail_p <= 0.0 && self.node_fail_p <= 0.0 && self.timeout_p <= 0.0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile::none()
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The build stage fails transiently (spurious compiler/network error).
+    BuildFail,
+    /// A node dies after `at_frac` of the job's runtime has elapsed.
+    NodeFail { at_frac: f64 },
+    /// The job overruns its wall-time limit and is killed by the scheduler.
+    Timeout,
+}
+
+/// Draws faults for one run context. Stateless between draws: each
+/// `(system, case, stage, attempt)` tuple owns an independent stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    seed: u64,
+}
+
+impl FaultInjector {
+    pub fn new(profile: FaultProfile, seed: u64) -> FaultInjector {
+        FaultInjector { profile, seed }
+    }
+
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    fn stream(&self, system: &str, case: &str, stage: &str, attempt: u32) -> SplitMix64 {
+        let h = fnv1a(&[
+            self.profile.name.as_bytes(),
+            &self.seed.to_le_bytes(),
+            system.as_bytes(),
+            case.as_bytes(),
+            stage.as_bytes(),
+            &attempt.to_le_bytes(),
+        ]);
+        SplitMix64::new(h)
+    }
+
+    /// Fault (if any) injected into build attempt `attempt` (1-based) of
+    /// `case` on `system`.
+    pub fn build_fault(&self, system: &str, case: &str, attempt: u32) -> Option<Fault> {
+        if self.profile.is_none() {
+            return None;
+        }
+        let mut rng = self.stream(system, case, "build", attempt);
+        (rng.next_f64() < self.profile.build_fail_p).then_some(Fault::BuildFail)
+    }
+
+    /// Fault (if any) injected into run attempt `attempt` (1-based) of
+    /// `case` on `system`.
+    pub fn run_fault(&self, system: &str, case: &str, attempt: u32) -> Option<Fault> {
+        if self.profile.is_none() {
+            return None;
+        }
+        let mut rng = self.stream(system, case, "run", attempt);
+        let u = rng.next_f64();
+        if u < self.profile.node_fail_p {
+            // Fail somewhere strictly inside the run, never at 0 or 100%.
+            Some(Fault::NodeFail {
+                at_frac: 0.05 + 0.9 * rng.next_f64(),
+            })
+        } else if u < self.profile.node_fail_p + self.profile.timeout_p {
+            Some(Fault::Timeout)
+        } else {
+            None
+        }
+    }
+}
+
+/// Bounded exponential backoff (simulated seconds) before retry number
+/// `retry` (1-based): 30 s, 60 s, 120 s, ... capped at 480 s. Deliberately
+/// jitter-free so that retry schedules replay byte-identically.
+pub fn backoff_s(retry: u32) -> f64 {
+    let exp = retry.saturating_sub(1).min(16);
+    (30.0 * f64::from(1u32 << exp)).min(480.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_never_faults() {
+        let inj = FaultInjector::new(FaultProfile::none(), 42);
+        for attempt in 1..100 {
+            assert_eq!(inj.build_fault("archer2", "hpgmg", attempt), None);
+            assert_eq!(inj.run_fault("archer2", "hpgmg", attempt), None);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_keyed() {
+        let inj = FaultInjector::new(FaultProfile::brutal(), 7);
+        let a: Vec<_> = (1..50).map(|i| inj.run_fault("csd3", "x", i)).collect();
+        let b: Vec<_> = (1..50).map(|i| inj.run_fault("csd3", "x", i)).collect();
+        assert_eq!(a, b, "same key, same faults");
+        let c: Vec<_> = (1..50).map(|i| inj.run_fault("archer2", "x", i)).collect();
+        assert_ne!(a, c, "different system, different stream");
+        let d: Vec<_> = (1..50)
+            .map(|i| FaultInjector::new(FaultProfile::brutal(), 8).run_fault("csd3", "x", i))
+            .collect();
+        assert_ne!(a, d, "different seed, different stream");
+    }
+
+    #[test]
+    fn draw_order_is_irrelevant() {
+        // The suite-parallelism guarantee: draws commute because each key
+        // owns its stream.
+        let inj = FaultInjector::new(FaultProfile::brutal(), 3);
+        let forward: Vec<_> = (1..20).map(|i| inj.run_fault("s", "c", i)).collect();
+        let mut reverse: Vec<_> = (1..20).rev().map(|i| inj.run_fault("s", "c", i)).collect();
+        reverse.reverse();
+        assert_eq!(forward, reverse);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let inj = FaultInjector::new(FaultProfile::flaky(), 11);
+        let n = 5000;
+        let build_faults = (1..=n)
+            .filter(|&i| inj.build_fault("sys", "case", i).is_some())
+            .count();
+        let frac = build_faults as f64 / n as f64;
+        assert!((frac - 0.20).abs() < 0.03, "build fault rate {frac}");
+        let mut node = 0;
+        let mut timeout = 0;
+        for i in 1..=n {
+            match inj.run_fault("sys", "case", i) {
+                Some(Fault::NodeFail { at_frac }) => {
+                    assert!((0.05..0.95).contains(&at_frac));
+                    node += 1;
+                }
+                Some(Fault::Timeout) => timeout += 1,
+                Some(Fault::BuildFail) => panic!("run stage cannot draw build faults"),
+                None => {}
+            }
+        }
+        assert!((node as f64 / n as f64 - 0.12).abs() < 0.03);
+        assert!((timeout as f64 / n as f64 - 0.08).abs() < 0.03);
+    }
+
+    #[test]
+    fn profile_lookup() {
+        assert_eq!(
+            FaultProfile::from_name("flaky"),
+            Some(FaultProfile::flaky())
+        );
+        assert_eq!(FaultProfile::from_name("off"), Some(FaultProfile::none()));
+        assert!(FaultProfile::from_name("nope").is_none());
+        assert!(FaultProfile::none().is_none());
+        assert!(!FaultProfile::flaky().is_none());
+        for name in FaultProfile::known_names() {
+            assert!(FaultProfile::from_name(name).is_some());
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_s(1), 30.0);
+        assert_eq!(backoff_s(2), 60.0);
+        assert_eq!(backoff_s(3), 120.0);
+        assert_eq!(backoff_s(5), 480.0, "capped");
+        assert_eq!(backoff_s(40), 480.0, "no overflow at silly retry counts");
+    }
+}

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod catalog;
+pub mod faults;
 pub mod noise;
 pub mod perf;
 pub mod platform;
