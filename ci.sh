@@ -11,6 +11,9 @@
 #                  regression pipeline depends on is known to run
 #   4. faults    — fault-injection smoke: the same seeded faulty survey
 #                  run twice must produce byte-identical reports
+#   5. resume    — crash-recovery smoke: a checkpointed survey killed
+#                  mid-run (--interrupt-after, exit 3) and resumed must
+#                  reproduce the uninterrupted output byte for byte
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,5 +44,32 @@ if [ "$first" != "$second" ]; then
     exit 1
 fi
 echo "fault smoke OK (replay byte-identical, $(printf '%s\n' "$first" | tail -1))"
+
+echo "== ci: kill-and-resume smoke (checkpointed survey) =="
+ckpt_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir"' EXIT
+resumable_survey() {
+    # $1: extra flags (checkpoint/resume/interrupt); output ends in exit:N.
+    # shellcheck disable=SC2086
+    ./target/release/benchkit survey -c babelstream_omp -c hpgmg \
+        --system csd3 --system archer2 \
+        --fault-profile flaky --seed 7 --max-retries 2 --jobs 4 \
+        $1 && status=0 || status=$?
+    echo "exit:$status"
+}
+uninterrupted="$(resumable_survey "")"
+interrupted="$(resumable_survey "--checkpoint $ckpt_dir --interrupt-after 2")"
+if [ "$(printf '%s\n' "$interrupted" | tail -1)" != "exit:3" ]; then
+    echo "resume smoke FAILED: --interrupt-after did not exit 3" >&2
+    printf '%s\n' "$interrupted" >&2
+    exit 1
+fi
+resumed="$(resumable_survey "--resume $ckpt_dir")"
+if [ "$resumed" != "$uninterrupted" ]; then
+    echo "resume smoke FAILED: resumed survey diverged from uninterrupted run" >&2
+    diff <(printf '%s\n' "$uninterrupted") <(printf '%s\n' "$resumed") >&2 || true
+    exit 1
+fi
+echo "resume smoke OK (killed after 2 cells, resumed byte-identical)"
 
 echo "ci OK"

@@ -31,7 +31,7 @@ mod sched;
 mod script;
 
 pub use job::{Job, JobId, JobRequest, JobState, LayoutError};
-pub use sched::{Accounting, Policy, Scheduler};
+pub use sched::{Accounting, NodeEvent, Policy, Scheduler};
 pub use script::render_script;
 
 #[cfg(test)]

@@ -52,6 +52,23 @@ pub enum DepKind {
     AfterNotOk,
 }
 
+/// One node-pool state change, timestamped in simulated seconds. The
+/// ledger is append-only and ordered by event time, so a post-mortem can
+/// reconstruct exactly which nodes were out of service when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeEvent {
+    /// A node failure took `node` out of service at `at`. With healing
+    /// enabled, `repair_at` is the instant it returns; without, `None`
+    /// (drained forever, the pre-heal behavior).
+    NodeDrained {
+        node: u32,
+        at: f64,
+        repair_at: Option<f64>,
+    },
+    /// A repaired node rejoined the free pool at `at`.
+    NodeRepaired { node: u32, at: f64 },
+}
+
 /// A batch scheduler over one homogeneous partition.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
@@ -66,6 +83,14 @@ pub struct Scheduler {
     free_nodes: Vec<u32>,
     /// Nodes taken out of service by injected node failures.
     drained_nodes: Vec<u32>,
+    /// Simulated repair time for a drained node; `None` disables healing
+    /// (a drained node never returns — byte-identical to the pre-heal
+    /// scheduler).
+    heal_window_s: Option<f64>,
+    /// Drained nodes awaiting repair: `(repair_at, node)`.
+    repairing: Vec<(f64, u32)>,
+    /// Ordered drain/repair ledger.
+    events: Vec<NodeEvent>,
     accounting: Accounting,
     /// Dependencies: job → (parent job, kind).
     dependencies: BTreeMap<JobId, (JobId, DepKind)>,
@@ -84,6 +109,9 @@ impl Scheduler {
             finished: Vec::new(),
             free_nodes: (0..total_nodes).collect(),
             drained_nodes: Vec::new(),
+            heal_window_s: None,
+            repairing: Vec::new(),
+            events: Vec::new(),
             accounting: Accounting::default(),
             dependencies: BTreeMap::new(),
         }
@@ -92,6 +120,21 @@ impl Scheduler {
     pub fn with_accounting(mut self, accounting: Accounting) -> Scheduler {
         self.accounting = accounting;
         self
+    }
+
+    /// Enable node healing: every node drained by an injected failure
+    /// returns to the free pool `window_s` simulated seconds later, via a
+    /// [`NodeEvent::NodeRepaired`] event. The window models one repair
+    /// ticket for the whole partition, so callers should derive it once
+    /// per system (see `simhpc::FaultInjector::repair_window_s`).
+    pub fn with_heal(mut self, window_s: f64) -> Scheduler {
+        self.heal_window_s = Some(window_s.max(0.0));
+        self
+    }
+
+    /// The drain/repair ledger, ordered by event time.
+    pub fn node_events(&self) -> &[NodeEvent] {
+        &self.events
     }
 
     pub fn now(&self) -> f64 {
@@ -333,16 +376,26 @@ impl Scheduler {
     /// `f64::INFINITY` drains the whole schedule.
     pub fn advance_to(&mut self, t: f64) {
         loop {
+            self.apply_due_repairs();
             self.schedule_pass();
+            let next_repair = self.next_repair_time();
             if self.running.is_empty() {
                 if self.pending.is_empty() {
+                    // No work left, but the pool may still be healing:
+                    // drain repairs within the horizon so the partition
+                    // ends the window at full (repaired) strength.
+                    if next_repair.is_finite() && next_repair <= t {
+                        self.now = self.now.max(next_repair);
+                        continue;
+                    }
                     break;
                 }
                 // Nothing running, nothing startable right now. Either a
                 // job is merely waiting out its eligibility hold (requeue
-                // backoff) — jump to it — or the rest can never start:
-                // cancel them, as SLURM does (DependencyNeverSatisfied,
-                // or a drained partition too small for the request).
+                // backoff) or a node repair will refill the pool — jump to
+                // the nearer wake-up — or the rest can never start: cancel
+                // them, as SLURM does (DependencyNeverSatisfied, or a
+                // drained partition too small for the request).
                 let next_eligible = self
                     .pending
                     .iter()
@@ -350,11 +403,12 @@ impl Scheduler {
                     .filter(|j| j.eligible_time > self.now)
                     .map(|j| j.eligible_time)
                     .fold(f64::INFINITY, f64::min);
-                if next_eligible.is_finite() && next_eligible <= t {
-                    self.now = next_eligible;
+                let wake = next_eligible.min(next_repair);
+                if wake.is_finite() && wake <= t {
+                    self.now = self.now.max(wake);
                     continue;
                 }
-                if next_eligible.is_finite() {
+                if wake.is_finite() {
                     // The next wake-up lies beyond the horizon.
                     self.now = self.now.max(t);
                     break;
@@ -365,7 +419,7 @@ impl Scheduler {
                 }
                 break;
             }
-            // Next completion event.
+            // Next completion event — unless a node repair comes first.
             let (idx, end) = self
                 .running
                 .iter()
@@ -373,6 +427,14 @@ impl Scheduler {
                 .map(|(i, j)| (i, j.end_time.expect("running jobs have end times")))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("running non-empty");
+            if next_repair < end {
+                if next_repair > t {
+                    self.now = self.now.max(t);
+                    break;
+                }
+                self.now = next_repair;
+                continue;
+            }
             if end > t {
                 self.now = self.now.max(t);
                 break;
@@ -395,6 +457,15 @@ impl Scheduler {
             if node_failed {
                 let failed = released.remove(0);
                 self.drained_nodes.push(failed);
+                let repair_at = self.heal_window_s.map(|w| self.now + w);
+                if let Some(at) = repair_at {
+                    self.repairing.push((at, failed));
+                }
+                self.events.push(NodeEvent::NodeDrained {
+                    node: failed,
+                    at: self.now,
+                    repair_at,
+                });
             }
             self.free_nodes.extend(released);
             self.free_nodes.sort_unstable();
@@ -403,6 +474,36 @@ impl Scheduler {
             self.accounting
                 .charge(&job.request.account, elapsed * cores);
             self.finished.push(job);
+        }
+    }
+
+    /// Earliest outstanding repair instant, `INFINITY` when none.
+    fn next_repair_time(&self) -> f64 {
+        self.repairing
+            .iter()
+            .map(|&(at, _)| at)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Return every node whose repair time has arrived to the free pool,
+    /// recording exactly one [`NodeEvent::NodeRepaired`] per drain.
+    fn apply_due_repairs(&mut self) {
+        let mut healed = false;
+        let mut i = 0;
+        while i < self.repairing.len() {
+            let (at, node) = self.repairing[i];
+            if at <= self.now {
+                self.repairing.remove(i);
+                self.drained_nodes.retain(|&n| n != node);
+                self.free_nodes.push(node);
+                self.events.push(NodeEvent::NodeRepaired { node, at });
+                healed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if healed {
+            self.free_nodes.sort_unstable();
         }
     }
 
@@ -903,6 +1004,76 @@ mod tests {
             JobState::Cancelled,
             "unstartable requeue is cancelled, not stuck pending"
         );
+    }
+
+    #[test]
+    fn heal_returns_drained_node_after_window() {
+        let mut s = Scheduler::new(Policy::Fifo, 2, 16).with_heal(100.0);
+        let a = s
+            .submit_with_fault(req("a", 2, 100.0), 50.0, Some(20.0))
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(a).unwrap().state, JobState::NodeFail);
+        assert!(s.drained_nodes().is_empty(), "healed by completion");
+        assert_eq!(s.free_node_count(), 2, "pool restored");
+        let repaired: Vec<_> = s
+            .node_events()
+            .iter()
+            .filter(|e| matches!(e, NodeEvent::NodeRepaired { .. }))
+            .collect();
+        assert_eq!(repaired.len(), 1, "exactly one repair per drain");
+        assert_eq!(
+            repaired[0],
+            &NodeEvent::NodeRepaired { node: 0, at: 120.0 },
+            "fail at 20 s + 100 s window"
+        );
+        assert!(matches!(
+            s.node_events()[0],
+            NodeEvent::NodeDrained {
+                node: 0,
+                at,
+                repair_at: Some(r)
+            } if at == 20.0 && r == 120.0
+        ));
+    }
+
+    #[test]
+    fn heal_lets_fully_drained_partition_recover() {
+        // The no-heal twin of this setup is
+        // `fully_drained_partition_cancels_unstartable_jobs`: there the
+        // requeue is cancelled forever. With healing the requeue waits for
+        // the repair and completes.
+        let mut s = Scheduler::new(Policy::Fifo, 1, 16).with_heal(200.0);
+        let a = s
+            .submit_with_fault(req("a", 1, 100.0), 50.0, Some(5.0))
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.job(a).unwrap().state, JobState::NodeFail);
+        s.requeue(a, 50.0, None, 0.0).unwrap();
+        s.run_to_completion();
+        let j = s.job(a).unwrap();
+        assert_eq!(j.state, JobState::Completed, "repair made it startable");
+        assert!(
+            (j.start_time.unwrap() - 205.0).abs() < 1e-9,
+            "starts at the repair instant (5 s fail + 200 s window)"
+        );
+        assert_eq!(s.free_node_count(), 1);
+    }
+
+    #[test]
+    fn without_heal_no_repair_events_are_emitted() {
+        let mut s = Scheduler::new(Policy::Fifo, 2, 16);
+        s.submit_with_fault(req("a", 1, 100.0), 50.0, Some(5.0))
+            .unwrap();
+        s.run_to_completion();
+        assert_eq!(s.drained_nodes().len(), 1, "drained forever");
+        assert!(matches!(
+            s.node_events(),
+            [NodeEvent::NodeDrained {
+                repair_at: None,
+                ..
+            }]
+        ));
     }
 
     #[test]

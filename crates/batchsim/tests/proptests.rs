@@ -1,6 +1,6 @@
 //! Property tests: scheduler invariants under random workloads.
 
-use batchsim::{JobRequest, JobState, Policy, Scheduler};
+use batchsim::{JobRequest, JobState, NodeEvent, Policy, Scheduler};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -201,7 +201,14 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 const OP_NODES: u32 = 8;
 
 fn run_ops(policy: Policy, ops: &[Op]) -> Scheduler {
+    run_ops_healing(policy, ops, None)
+}
+
+fn run_ops_healing(policy: Policy, ops: &[Op], heal_window_s: Option<f64>) -> Scheduler {
     let mut s = Scheduler::new(policy, OP_NODES, 64);
+    if let Some(w) = heal_window_s {
+        s = s.with_heal(w);
+    }
     let mut ids = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         match op {
@@ -306,5 +313,80 @@ proptest! {
             prop_assert_eq!(&ja.allocated_nodes, &jb.allocated_nodes);
         }
         prop_assert_eq!(a.drained_nodes(), b.drained_nodes());
+    }
+
+    /// Healing invariants, under arbitrary interleavings of submit,
+    /// cancel, advance, and requeue: a drained node is never allocated to
+    /// a job that starts inside its repair window, every drain is repaired
+    /// exactly once, and the pool ends at full strength.
+    #[test]
+    fn heal_never_schedules_drained_nodes_and_restores_the_pool(
+        ops in ops(),
+        backfill in any::<bool>(),
+        window in 1.0f64..500.0,
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run_ops_healing(policy, &ops, Some(window));
+        // Every drain carries its repair instant and is matched by exactly
+        // one repair of the same node at that instant.
+        let mut drains = Vec::new();
+        let mut repairs = Vec::new();
+        for e in s.node_events() {
+            match *e {
+                NodeEvent::NodeDrained { node, at, repair_at } => {
+                    let r = repair_at.expect("healing scheduler always schedules repairs");
+                    prop_assert!((r - (at + window)).abs() < 1e-9);
+                    drains.push((node, at, r));
+                }
+                NodeEvent::NodeRepaired { node, at } => repairs.push((node, at)),
+            }
+        }
+        prop_assert_eq!(drains.len(), repairs.len(), "one repair per drain");
+        for &(node, _, r) in &drains {
+            prop_assert_eq!(
+                repairs.iter().filter(|&&(n, at)| n == node && at == r).count(),
+                1,
+                "node {} repaired exactly once at its repair instant",
+                node
+            );
+        }
+        // No job ever starts on a node inside one of its repair windows.
+        for j in s.finished_jobs() {
+            let Some(st) = j.start_time else { continue };
+            for n in &j.allocated_nodes {
+                for &(node, at, r) in &drains {
+                    prop_assert!(
+                        node != *n || st < at || st >= r,
+                        "job {} started on node {} at {} inside drain window [{}, {})",
+                        j.id, n, st, at, r
+                    );
+                }
+            }
+        }
+        // Draining the schedule drains the repair queue too: the pool is
+        // restored to full strength exactly once per node.
+        prop_assert!(s.drained_nodes().is_empty(), "all drains healed");
+        prop_assert_eq!(s.free_node_count(), OP_NODES, "pool restored");
+    }
+
+    /// Healing replays deterministically, drain/repair ledger included.
+    #[test]
+    fn heal_sequences_are_deterministic(
+        ops in ops(),
+        backfill in any::<bool>(),
+        window in 1.0f64..500.0,
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let a = run_ops_healing(policy, &ops, Some(window));
+        let b = run_ops_healing(policy, &ops, Some(window));
+        prop_assert_eq!(a.node_events(), b.node_events());
+        prop_assert_eq!(a.finished_jobs().len(), b.finished_jobs().len());
+        for (ja, jb) in a.finished_jobs().iter().zip(b.finished_jobs()) {
+            prop_assert_eq!(ja.id, jb.id);
+            prop_assert_eq!(ja.state, jb.state);
+            prop_assert_eq!(ja.start_time, jb.start_time);
+            prop_assert_eq!(ja.end_time, jb.end_time);
+            prop_assert_eq!(&ja.allocated_nodes, &jb.allocated_nodes);
+        }
     }
 }

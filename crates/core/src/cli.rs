@@ -31,8 +31,9 @@ pub enum Command {
     /// `spec <spack-spec> --system <spec>` — concretize and print.
     Spec { spec: String, system: String },
     /// `survey --system a --system b -c x -c y [--seed N] [--jobs N]
-    /// [--warm-store] [--fault-profile NAME] [--max-retries N]
-    /// [--fail-fast] [--quarantine K]`
+    /// [--warm-store] [--fault-profile [SYS=]NAME]... [--max-retries N]
+    /// [--fail-fast] [--quarantine K] [--heal] [--checkpoint DIR |
+    /// --resume DIR] [--interrupt-after N]`
     Survey {
         benchmarks: Vec<String>,
         systems: Vec<String>,
@@ -40,9 +41,20 @@ pub enum Command {
         jobs: usize,
         warm_store: bool,
         fault_profile: String,
+        /// Per-system overrides: (system spec, profile name).
+        fault_overrides: Vec<(String, String)>,
         max_retries: u32,
         fail_fast: bool,
         quarantine: u32,
+        /// Return drained nodes after each system's repair window.
+        heal: bool,
+        /// Journal completed cells into this directory (fresh journal).
+        checkpoint: Option<String>,
+        /// Continue an interrupted survey from this directory's journal.
+        resume: Option<String>,
+        /// Abort the process (exit 3) after this many cells have been
+        /// journaled — a deterministic crash for resume testing.
+        interrupt_after: Option<usize>,
     },
     /// `help`
     Help,
@@ -67,7 +79,9 @@ USAGE:
     benchkit list-benchmarks
     benchkit run -c <benchmark> --system <system[:partition]> [--seed N] [--repeats N]
     benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N] [--warm-store]
-                    [--fault-profile NAME] [--max-retries N] [--fail-fast] [--quarantine K]
+                    [--fault-profile [SYS=]NAME]... [--max-retries N] [--fail-fast]
+                    [--quarantine K] [--heal] [--checkpoint DIR | --resume DIR]
+                    [--interrupt-after N]
         --jobs N runs N (benchmark, system) combinations concurrently
         (0 = one per available core); the report is identical to --jobs 1.
         --warm-store shares one package store per system so its cases
@@ -77,10 +91,21 @@ USAGE:
         --fault-profile NAME injects seeded deterministic faults (build
         failures, node failures, timeouts); NAME is one of none, flaky,
         brutal. The same --seed and profile replay the same faults at
-        any --jobs count. --max-retries N bounds per-stage retries
-        (default 2). --fail-fast skips every cell after the first
+        any --jobs count. --fault-profile SYS=NAME overrides the profile
+        for one system (repeatable). --max-retries N bounds per-stage
+        retries (default 2). --fail-fast skips every cell after the first
         failure; --quarantine K skips a system's remaining cells after
-        K consecutive failures. Exits nonzero if any cell fails.
+        K consecutive failures. --heal returns nodes drained by failures
+        to service after a per-system deterministic repair window.
+        --checkpoint DIR journals each completed cell durably so an
+        interrupted survey can be continued with --resume DIR; the
+        resumed report is byte-identical to an uninterrupted run, and a
+        journal from a different configuration is refused. Checkpoint
+        directories also remember per-system failure streaks: a system
+        quarantined in an earlier study is probed with a single canary
+        cell before being readmitted. --interrupt-after N aborts the
+        process (exit 3) after N cells, for crash drills.
+        Exits nonzero if any cell fails.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -110,10 +135,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 ));
             }
             for (set, flag) in [
-                (opts.fault_profile.is_some(), "--fault-profile"),
+                (!opts.fault_profiles.is_empty(), "--fault-profile"),
                 (opts.max_retries.is_some(), "--max-retries"),
                 (opts.fail_fast, "--fail-fast"),
                 (opts.quarantine.is_some(), "--quarantine"),
+                (opts.heal, "--heal"),
+                (opts.checkpoint.is_some(), "--checkpoint"),
+                (opts.resume.is_some(), "--resume"),
+                (opts.interrupt_after.is_some(), "--interrupt-after"),
             ] {
                 if set {
                     return Err(CliError(format!("run: `{flag}` only applies to `survey`")));
@@ -144,16 +173,60 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if opts.systems.is_empty() {
                 return Err(CliError("survey: at least one `--system`".into()));
             }
+            if opts.checkpoint.is_some() && opts.resume.is_some() {
+                return Err(CliError(
+                    "survey: `--checkpoint` and `--resume` are mutually exclusive \
+                     (--resume continues an existing checkpoint directory)"
+                        .into(),
+                ));
+            }
+            // Split repeated --fault-profile values into the base profile
+            // (bare NAME, at most once) and per-system overrides
+            // (SYS=NAME, at most once per system, SYS must be surveyed).
+            let mut fault_profile: Option<String> = None;
+            let mut fault_overrides: Vec<(String, String)> = Vec::new();
+            for value in &opts.fault_profiles {
+                match value.split_once('=') {
+                    None => {
+                        if fault_profile.is_some() {
+                            return Err(CliError(format!(
+                                "survey: duplicate base `--fault-profile {value}` \
+                                 (use SYS=NAME for per-system overrides)"
+                            )));
+                        }
+                        fault_profile = Some(value.clone());
+                    }
+                    Some((system, name)) => {
+                        if !opts.systems.iter().any(|s| s == system) {
+                            return Err(CliError(format!(
+                                "survey: `--fault-profile {value}` names system `{system}` \
+                                 which is not in the surveyed `--system` list"
+                            )));
+                        }
+                        if fault_overrides.iter().any(|(s, _)| s == system) {
+                            return Err(CliError(format!(
+                                "survey: duplicate `--fault-profile` override for `{system}`"
+                            )));
+                        }
+                        fault_overrides.push((system.to_string(), name.to_string()));
+                    }
+                }
+            }
             Ok(Command::Survey {
                 benchmarks: opts.cases,
                 systems: opts.systems,
                 seed: opts.seed,
                 jobs: opts.jobs,
                 warm_store: opts.warm_store,
-                fault_profile: opts.fault_profile.unwrap_or_else(|| "none".to_string()),
+                fault_profile: fault_profile.unwrap_or_else(|| "none".to_string()),
+                fault_overrides,
                 max_retries: opts.max_retries.unwrap_or(2),
                 fail_fast: opts.fail_fast,
                 quarantine: opts.quarantine.unwrap_or(0),
+                heal: opts.heal,
+                checkpoint: opts.checkpoint,
+                resume: opts.resume,
+                interrupt_after: opts.interrupt_after,
             })
         }
         "spec" => {
@@ -190,10 +263,16 @@ struct Options {
     repeats: u32,
     jobs: usize,
     warm_store: bool,
-    fault_profile: Option<String>,
+    /// Raw repeated `--fault-profile` values (`NAME` or `SYS=NAME`);
+    /// split into base + overrides by the survey arm.
+    fault_profiles: Vec<String>,
     max_retries: Option<u32>,
     fail_fast: bool,
     quarantine: Option<u32>,
+    heal: bool,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    interrupt_after: Option<usize>,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -213,10 +292,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         repeats: 1,
         jobs: 1,
         warm_store: false,
-        fault_profile: None,
+        fault_profiles: Vec::new(),
         max_retries: None,
         fail_fast: false,
         quarantine: None,
+        heal: false,
+        checkpoint: None,
+        resume: None,
+        interrupt_after: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -247,13 +330,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--fault-profile" => {
                 let v = take_value(args, &mut i, "--fault-profile")?;
-                if simhpc::faults::FaultProfile::from_name(&v).is_none() {
+                // `SYS=NAME` overrides one system; bare `NAME` is the base.
+                let name = v.split_once('=').map(|(_, n)| n).unwrap_or(&v);
+                if simhpc::faults::FaultProfile::from_name(name).is_none() {
                     return Err(CliError(format!(
-                        "unknown fault profile `{v}` (known: {})",
+                        "unknown fault profile `{name}` (known: {})",
                         simhpc::faults::FaultProfile::known_names().join(", ")
                     )));
                 }
-                opts.fault_profile = Some(v);
+                opts.fault_profiles.push(v);
             }
             "--max-retries" => {
                 let v = take_value(args, &mut i, "--max-retries")?;
@@ -271,6 +356,23 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 opts.quarantine = Some(
                     v.parse()
                         .map_err(|_| CliError(format!("bad quarantine `{v}`")))?,
+                );
+            }
+            "--heal" => {
+                opts.heal = true;
+                i += 1;
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(take_value(args, &mut i, "--checkpoint")?);
+            }
+            "--resume" => {
+                opts.resume = Some(take_value(args, &mut i, "--resume")?);
+            }
+            "--interrupt-after" => {
+                let v = take_value(args, &mut i, "--interrupt-after")?;
+                opts.interrupt_after = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad interrupt-after `{v}`")))?,
                 );
             }
             other if other.starts_with("--system=") => {
@@ -396,9 +498,14 @@ pub fn execute(
             jobs,
             warm_store,
             fault_profile,
+            fault_overrides,
             max_retries,
             fail_fast,
             quarantine,
+            heal,
+            checkpoint,
+            resume,
+            interrupt_after,
         } => {
             let profile = simhpc::faults::FaultProfile::from_name(&fault_profile)
                 .ok_or_else(|| CliError(format!("unknown fault profile `{fault_profile}`")))?;
@@ -409,7 +516,19 @@ pub fn execute(
                 .with_fault_profile(profile.clone())
                 .with_max_retries(max_retries)
                 .with_fail_fast(fail_fast)
-                .with_quarantine(quarantine);
+                .with_quarantine(quarantine)
+                .with_heal(heal);
+            for (system, name) in &fault_overrides {
+                let p = simhpc::faults::FaultProfile::from_name(name)
+                    .ok_or_else(|| CliError(format!("unknown fault profile `{name}`")))?;
+                study = study.with_fault_override(system, p);
+            }
+            if let Some(dir) = &checkpoint {
+                study = study.with_checkpoint(std::path::Path::new(dir));
+            }
+            if let Some(dir) = &resume {
+                study = study.with_resume(std::path::Path::new(dir));
+            }
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
             }
@@ -417,9 +536,10 @@ pub fn execute(
             // Stream one line per grid cell as soon as it (and every
             // earlier cell) finishes; the flush order is canonical, so
             // this output is byte-identical for any --jobs count.
+            let flushed = std::sync::atomic::AtomicUsize::new(0);
             let results = {
                 let shared = std::sync::Mutex::new(&mut *out);
-                study.run_with_progress(&|p| {
+                study.try_run_with_progress(&|p| {
                     let status = match p.outcome {
                         harness::SuiteOutcome::Ran(r) => {
                             let mut s = format!(
@@ -445,7 +565,15 @@ pub fn execute(
                         p.system
                     )
                     .ok();
-                })
+                    // The crash drill: die hard after the cell budget. The
+                    // journal entry for this cell was already fsync'd, so a
+                    // --resume picks up exactly here.
+                    let n = flushed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    if interrupt_after.is_some_and(|budget| n >= budget) {
+                        o.flush().ok();
+                        std::process::exit(3);
+                    }
+                })?
             };
             writeln!(
                 out,
@@ -454,15 +582,41 @@ pub fn execute(
                 results.report.n_skipped(),
                 results.report.n_failed()
             )?;
-            if !profile.is_none() {
-                writeln!(
-                    out,
+            let any_faults =
+                !profile.is_none() || fault_overrides.iter().any(|(_, name)| name != "none");
+            if any_faults {
+                let mut line = format!(
                     "fault profile `{}`: {} faults injected, {} retries, {:.1}s simulated time lost, {} quarantined",
                     profile.name,
                     results.report.total_faults_injected(),
                     results.report.total_retries(),
                     results.report.total_time_lost_s(),
                     results.report.n_quarantined()
+                );
+                if heal {
+                    line.push_str(&format!(
+                        ", {} nodes repaired",
+                        results.report.total_nodes_repaired()
+                    ));
+                }
+                writeln!(out, "{line}")?;
+            }
+            if !fault_overrides.is_empty() {
+                let rendered: Vec<String> = fault_overrides
+                    .iter()
+                    .map(|(s, n)| format!("{s}={n}"))
+                    .collect();
+                writeln!(out, "fault overrides: {}", rendered.join(", "))?;
+            }
+            for (system, readmitted) in &results.report.canaries {
+                writeln!(
+                    out,
+                    "canary: {system} {}",
+                    if *readmitted {
+                        "readmitted after probe"
+                    } else {
+                        "still quarantined (canary failed)"
+                    }
                 )?;
             }
             if warm_store {
@@ -541,9 +695,14 @@ mod tests {
                 jobs,
                 warm_store,
                 fault_profile,
+                fault_overrides,
                 max_retries,
                 fail_fast,
                 quarantine,
+                heal,
+                checkpoint,
+                resume,
+                interrupt_after,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
@@ -551,9 +710,14 @@ mod tests {
                 assert_eq!(jobs, 1, "serial by default");
                 assert!(!warm_store, "cold by default");
                 assert_eq!(fault_profile, "none", "no faults by default");
+                assert!(fault_overrides.is_empty(), "no overrides by default");
                 assert_eq!(max_retries, 2);
                 assert!(!fail_fast);
                 assert_eq!(quarantine, 0, "quarantine off by default");
+                assert!(!heal, "healing off by default");
+                assert_eq!(checkpoint, None, "no checkpointing by default");
+                assert_eq!(resume, None);
+                assert_eq!(interrupt_after, None);
             }
             other => panic!("{other:?}"),
         }
@@ -640,6 +804,113 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_profile_overrides() {
+        let cmd = parse(&argv(
+            "survey -c hpgmg --system archer2 --system csd3 \
+             --fault-profile flaky --fault-profile csd3=brutal",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Survey {
+                fault_profile,
+                fault_overrides,
+                ..
+            } => {
+                assert_eq!(fault_profile, "flaky");
+                assert_eq!(
+                    fault_overrides,
+                    vec![("csd3".to_string(), "brutal".to_string())]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown profile inside an override is caught at parse time.
+        let err = parse(&argv(
+            "survey -c hpgmg --system csd3 --fault-profile csd3=wat",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown fault profile `wat`"), "{err}");
+        // Overriding a system that is not surveyed is an error.
+        let err = parse(&argv(
+            "survey -c hpgmg --system csd3 --fault-profile archer2=flaky",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("not in the surveyed"), "{err}");
+        // Duplicate override for the same system is an error.
+        let err = parse(&argv(
+            "survey -c hpgmg --system csd3 \
+             --fault-profile csd3=flaky --fault-profile csd3=brutal",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("duplicate `--fault-profile` override"),
+            "{err}"
+        );
+        // So is a duplicate base profile.
+        let err = parse(&argv(
+            "survey -c hpgmg --system csd3 --fault-profile flaky --fault-profile brutal",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("duplicate base"), "{err}");
+    }
+
+    #[test]
+    fn parse_checkpoint_heal_and_interrupt_flags() {
+        let cmd = parse(&argv(
+            "survey -c hpgmg --system csd3 --heal --checkpoint /tmp/ck --interrupt-after 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Survey {
+                heal,
+                checkpoint,
+                resume,
+                interrupt_after,
+                ..
+            } => {
+                assert!(heal);
+                assert_eq!(checkpoint.as_deref(), Some("/tmp/ck"));
+                assert_eq!(resume, None);
+                assert_eq!(interrupt_after, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("survey -c hpgmg --system csd3 --resume /tmp/ck")).unwrap() {
+            Command::Survey {
+                checkpoint, resume, ..
+            } => {
+                assert_eq!(checkpoint, None);
+                assert_eq!(resume.as_deref(), Some("/tmp/ck"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Checkpoint and resume are mutually exclusive.
+        let err = parse(&argv(
+            "survey -c hpgmg --system csd3 --checkpoint /a --resume /b",
+        ))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(parse(&argv("survey -c x --system y --interrupt-after nope")).is_err());
+        // All of them are survey-only.
+        for flags in [
+            "--heal",
+            "--checkpoint /a",
+            "--resume /a",
+            "--interrupt-after 1",
+        ] {
+            assert!(
+                parse(&argv(&format!("run -c hpgmg --system csd3 {flags}"))).is_err(),
+                "run should reject {flags}"
+            );
+        }
+    }
+
+    #[test]
     fn parse_misc() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
@@ -720,9 +991,14 @@ mod tests {
                 jobs: 2,
                 warm_store: false,
                 fault_profile: "none".into(),
+                fault_overrides: vec![],
                 max_retries: 2,
                 fail_fast: false,
                 quarantine: 0,
+                heal: false,
+                checkpoint: None,
+                resume: None,
+                interrupt_after: None,
             },
             &mut buf,
         )
@@ -759,9 +1035,14 @@ mod tests {
                     jobs,
                     warm_store: true,
                     fault_profile: "none".into(),
+                    fault_overrides: vec![],
                     max_retries: 2,
                     fail_fast: false,
                     quarantine: 0,
+                    heal: false,
+                    checkpoint: None,
+                    resume: None,
+                    interrupt_after: None,
                 },
                 &mut buf,
             )
@@ -809,9 +1090,14 @@ mod tests {
                     jobs,
                     warm_store: false,
                     fault_profile: "flaky".into(),
+                    fault_overrides: vec![],
                     max_retries: 4,
                     fail_fast: false,
                     quarantine: 0,
+                    heal: false,
+                    checkpoint: None,
+                    resume: None,
+                    interrupt_after: None,
                 },
                 &mut buf,
             );
@@ -853,9 +1139,14 @@ mod tests {
                     jobs,
                     warm_store: false,
                     fault_profile: "brutal".into(),
+                    fault_overrides: vec![],
                     max_retries: 0,
                     fail_fast: false,
                     quarantine: 0,
+                    heal: false,
+                    checkpoint: None,
+                    resume: None,
+                    interrupt_after: None,
                 },
                 &mut buf,
             );
@@ -878,5 +1169,176 @@ mod tests {
             assert_eq!(text, t, "jobs={jobs}");
             assert_eq!(Some(err.clone()), e, "jobs={jobs}");
         }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "benchkit-cli-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A Survey command with every knob at its default.
+    fn survey(benchmarks: &[&str], systems: &[&str]) -> Command {
+        Command::Survey {
+            benchmarks: benchmarks.iter().map(|s| s.to_string()).collect(),
+            systems: systems.iter().map(|s| s.to_string()).collect(),
+            seed: 42,
+            jobs: 1,
+            warm_store: false,
+            fault_profile: "none".into(),
+            fault_overrides: vec![],
+            max_retries: 2,
+            fail_fast: false,
+            quarantine: 0,
+            heal: false,
+            checkpoint: None,
+            resume: None,
+            interrupt_after: None,
+        }
+    }
+
+    fn run_cmd(cmd: Command) -> (String, Option<String>) {
+        let mut buf = Vec::new();
+        let result = execute(cmd, &mut buf);
+        (
+            String::from_utf8(buf).unwrap(),
+            result.err().map(|e| e.to_string()),
+        )
+    }
+
+    #[test]
+    fn checkpointed_survey_resumes_byte_identically() {
+        // The acceptance pin at the CLI layer: a survey interrupted after
+        // k cells and resumed with --resume reproduces the uninterrupted
+        // stdout byte for byte, at --jobs 1, 2 and 8. Interruption is
+        // simulated by truncating the journal to k records.
+        let base = tmpdir("resume-full");
+        let make = |jobs: usize, dir: &std::path::Path, resume: bool| {
+            let mut cmd = survey(&["babelstream_omp", "hpgmg"], &["csd3", "archer2"]);
+            if let Command::Survey {
+                seed,
+                jobs: j,
+                fault_profile,
+                max_retries,
+                checkpoint,
+                resume: r,
+                ..
+            } = &mut cmd
+            {
+                *seed = 3;
+                *j = jobs;
+                *fault_profile = "flaky".into();
+                *max_retries = 4;
+                let d = Some(dir.to_string_lossy().into_owned());
+                if resume {
+                    *r = d;
+                } else {
+                    *checkpoint = d;
+                }
+            }
+            cmd
+        };
+        let (full_text, full_err) = run_cmd(make(1, &base, false));
+        let journal =
+            std::fs::read_to_string(base.join(harness::checkpoint::JOURNAL_FILE)).unwrap();
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 cells");
+        for k in [1, 3] {
+            for jobs in [1, 2, 8] {
+                let dir = tmpdir(&format!("resume-{k}-{jobs}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(
+                    dir.join(harness::checkpoint::JOURNAL_FILE),
+                    lines[..=k].join("\n") + "\n",
+                )
+                .unwrap();
+                let (text, err) = run_cmd(make(jobs, &dir, true));
+                assert_eq!(text, full_text, "k={k} jobs={jobs}");
+                assert_eq!(err, full_err, "k={k} jobs={jobs}");
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+        // Resuming under a different seed is refused loudly.
+        let dir = tmpdir("resume-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(harness::checkpoint::JOURNAL_FILE), &journal).unwrap();
+        let mut wrong = make(1, &dir, true);
+        if let Command::Survey { seed, .. } = &mut wrong {
+            *seed = 4;
+        }
+        let (_, err) = run_cmd(wrong);
+        let err = err.expect("mismatched resume must fail");
+        assert!(err.contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn canary_verdicts_and_override_lines_are_reported() {
+        // Study 1 under brutal/no-retries fails a system and trips the
+        // K=1 quarantine; study 2 against the same checkpoint directory
+        // reports the canary decision on stdout.
+        let scan = |seed: u64| {
+            let dir = tmpdir(&format!("canary-{seed}"));
+            let make = |s| {
+                let mut cmd = survey(&["babelstream_omp"], &["csd3", "archer2"]);
+                if let Command::Survey {
+                    seed,
+                    fault_profile,
+                    max_retries,
+                    quarantine,
+                    heal,
+                    checkpoint,
+                    ..
+                } = &mut cmd
+                {
+                    *seed = s;
+                    *fault_profile = "brutal".into();
+                    *max_retries = 0;
+                    *quarantine = 1;
+                    *heal = true;
+                    *checkpoint = Some(dir.to_string_lossy().into_owned());
+                }
+                cmd
+            };
+            let (_, first_err) = run_cmd(make(seed));
+            let second = run_cmd(make(seed));
+            let _ = std::fs::remove_dir_all(&dir);
+            (first_err, second.0)
+        };
+        let (_, second_text) = (0..30)
+            .map(scan)
+            .find(|(first_err, _)| first_err.is_some())
+            .expect("some seed in 0..30 fails a cell under brutal/no-retries");
+        assert!(second_text.contains("canary: "), "{second_text}");
+        assert!(
+            second_text.contains("still quarantined (canary failed)")
+                || second_text.contains("readmitted after probe"),
+            "{second_text}"
+        );
+        // Healing surveys extend the resilience line with repair counts.
+        assert!(second_text.contains("nodes repaired"), "{second_text}");
+        // Per-system overrides are echoed so reports are self-describing.
+        let mut cmd = survey(&["babelstream_omp"], &["csd3", "archer2"]);
+        if let Command::Survey {
+            fault_profile,
+            fault_overrides,
+            max_retries,
+            ..
+        } = &mut cmd
+        {
+            *fault_profile = "flaky".into();
+            *fault_overrides = vec![("archer2".to_string(), "none".to_string())];
+            *max_retries = 6;
+        }
+        let (text, _) = run_cmd(cmd);
+        assert!(text.contains("fault overrides: archer2=none"), "{text}");
+        assert!(text.contains("fault profile `flaky`:"), "{text}");
     }
 }

@@ -3,10 +3,12 @@
 //! back an assimilated frame plus analysis helpers.
 
 use dframe::{Cell, DataFrame};
+use harness::checkpoint::CheckpointError;
 use harness::{SuiteProgress, SuiteReport, SuiteRunner, TestCase};
 use postproc::Heatmap;
 use ppmetrics::EfficiencySet;
 use simhpc::faults::FaultProfile;
+use std::path::{Path, PathBuf};
 
 /// A benchmarking study: cases × systems.
 #[derive(Debug, Default)]
@@ -21,6 +23,9 @@ pub struct Study {
     max_retries: u32,
     fail_fast: bool,
     quarantine: u32,
+    fault_overrides: Vec<(String, FaultProfile)>,
+    heal: bool,
+    checkpoint: Option<(PathBuf, bool)>,
 }
 
 impl Study {
@@ -36,6 +41,9 @@ impl Study {
             max_retries: 2,
             fail_fast: false,
             quarantine: 0,
+            fault_overrides: Vec::new(),
+            heal: false,
+            checkpoint: None,
         }
     }
 
@@ -104,6 +112,33 @@ impl Study {
         self
     }
 
+    /// Override the fault profile for one system (`--fault-profile
+    /// sys=name`); other systems keep the base profile.
+    pub fn with_fault_override(mut self, system: &str, profile: FaultProfile) -> Study {
+        self.fault_overrides.push((system.to_string(), profile));
+        self
+    }
+
+    /// Return drained nodes to service after each system's deterministic
+    /// repair window (`--heal`).
+    pub fn with_heal(mut self, heal: bool) -> Study {
+        self.heal = heal;
+        self
+    }
+
+    /// Journal each completed cell to `dir` so an interrupted study can
+    /// be resumed (`--checkpoint`). Also enables quarantine memory.
+    pub fn with_checkpoint(mut self, dir: &Path) -> Study {
+        self.checkpoint = Some((dir.to_path_buf(), false));
+        self
+    }
+
+    /// Resume an interrupted study from the journal in `dir` (`--resume`).
+    pub fn with_resume(mut self, dir: &Path) -> Study {
+        self.checkpoint = Some((dir.to_path_buf(), true));
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
         self.run_with_progress(&|_| {})
@@ -111,20 +146,41 @@ impl Study {
 
     /// Execute the full workflow, streaming each (case, system) outcome
     /// to `on_flush` in canonical grid order as soon as it completes.
+    /// Panics on checkpoint errors — use [`Study::try_run_with_progress`]
+    /// when checkpointing is configured.
     pub fn run_with_progress(&self, on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync)) -> StudyResults {
-        let runner = SuiteRunner::new(&self.systems.iter().map(String::as_str).collect::<Vec<_>>())
-            .with_seed(self.seed)
-            .with_jobs(self.jobs)
-            .with_warm_store(self.warm_store)
-            .with_fault_profile(self.fault_profile.clone())
-            .with_max_retries(self.max_retries)
-            .with_fail_fast(self.fail_fast)
-            .with_quarantine(self.quarantine);
-        let report = runner.run_with_progress(&self.cases, on_flush);
-        StudyResults {
+        self.try_run_with_progress(on_flush)
+            .expect("checkpointing failed")
+    }
+
+    /// [`Study::run_with_progress`] with checkpoint errors surfaced.
+    pub fn try_run_with_progress(
+        &self,
+        on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
+    ) -> Result<StudyResults, CheckpointError> {
+        let mut runner =
+            SuiteRunner::new(&self.systems.iter().map(String::as_str).collect::<Vec<_>>())
+                .with_seed(self.seed)
+                .with_jobs(self.jobs)
+                .with_warm_store(self.warm_store)
+                .with_fault_profile(self.fault_profile.clone())
+                .with_max_retries(self.max_retries)
+                .with_fail_fast(self.fail_fast)
+                .with_quarantine(self.quarantine)
+                .with_heal(self.heal);
+        for (system, profile) in &self.fault_overrides {
+            runner = runner.with_fault_override(system, profile.clone());
+        }
+        match &self.checkpoint {
+            Some((dir, true)) => runner = runner.with_resume(dir),
+            Some((dir, false)) => runner = runner.with_checkpoint(dir),
+            None => {}
+        }
+        let report = runner.try_run_with_progress(&self.cases, on_flush)?;
+        Ok(StudyResults {
             name: self.name.clone(),
             report,
-        }
+        })
     }
 }
 

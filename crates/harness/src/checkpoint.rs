@@ -1,0 +1,685 @@
+//! Crash-safe suite checkpoints and cross-study quarantine memory.
+//!
+//! The paper's nightly-pipeline use case (§6) runs multi-hour surveys; a
+//! crash halfway through must not cost the night. The suite runner
+//! therefore journals every *flushed* grid cell to an append-only
+//! JSON-lines file in the checkpoint directory, fsync'd per record. The
+//! ordered flush emits cells strictly in canonical (system-major,
+//! case-minor) order, so the journal is always a contiguous prefix of the
+//! grid — resuming is "replay the prefix, run the remainder", and the
+//! resumed report is byte-identical to an uninterrupted run at any
+//! `--jobs` count.
+//!
+//! The journal's first line is a header binding the study configuration
+//! (systems, cases, seed, fault profile and overrides, retry/fail-fast/
+//! quarantine/heal settings, and the quarantine-memory snapshot the run
+//! started from). Resuming under a different configuration is a hard
+//! [`CheckpointError::ConfigMismatch`] — never silent reuse. A torn or
+//! truncated trailing record (the crash arrived mid-write) is detected,
+//! discarded, and re-run; everything before it is trusted because each
+//! append was flushed to disk before the cell was reported upstream.
+//!
+//! The directory also holds `quarantine.json`: the per-system trailing
+//! consecutive-failure streaks of the last *completed* study. A later
+//! study against the same directory starts any system whose streak
+//! reached its `--quarantine` threshold in canary mode (see
+//! `SuiteRunner`).
+
+use crate::{CaseReport, HarnessError, SuiteOutcome};
+use perflogs::PerflogRecord;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tinycfg::{Map, Value};
+
+/// Journal file name inside the checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Quarantine-memory file name inside the checkpoint directory.
+pub const QUARANTINE_FILE: &str = "quarantine.json";
+const FORMAT_VERSION: i64 = 1;
+
+/// How the suite runner uses a checkpoint directory.
+#[derive(Debug, Clone)]
+pub enum CheckpointMode {
+    /// `--checkpoint DIR`: start a fresh journal (any previous journal is
+    /// truncated), but honour the directory's quarantine memory.
+    Fresh(PathBuf),
+    /// `--resume DIR`: validate the journal header against the current
+    /// study configuration, replay its completed cells, run the rest.
+    Resume(PathBuf),
+}
+
+impl CheckpointMode {
+    pub fn dir(&self) -> &Path {
+        match self {
+            CheckpointMode::Fresh(d) | CheckpointMode::Resume(d) => d,
+        }
+    }
+}
+
+/// Why a checkpoint could not be created, resumed, or appended to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    Io(String),
+    /// The journal was written by a different study configuration.
+    /// Resuming it would silently mix two experiments, so it is refused.
+    ConfigMismatch {
+        expected: String,
+        found: String,
+    },
+    /// The journal is structurally damaged beyond the tolerated torn
+    /// trailing record (e.g. no header line at all).
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint does not match this study configuration \
+                 (expected header {expected}, found {found}); \
+                 refusing to resume a different experiment"
+            ),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint journal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e.to_string())
+    }
+}
+
+/// Everything a journal binds. Two runs with equal bindings are the same
+/// experiment (`--jobs` is deliberately absent: the worker count never
+/// changes the report, so a survey may resume at a different parallelism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyBinding {
+    pub systems: Vec<String>,
+    pub cases: Vec<String>,
+    pub seed: u64,
+    pub warm_store: bool,
+    /// Base fault profile name.
+    pub profile: String,
+    /// Per-system profile overrides, in override order: (system, profile).
+    pub overrides: Vec<(String, String)>,
+    pub max_retries: u32,
+    pub fail_fast: bool,
+    pub quarantine: u32,
+    pub heal: bool,
+    /// Quarantine-memory snapshot the run started from. Binding it means
+    /// a resume sees exactly the canary decisions of the interrupted run.
+    pub streaks: Vec<(String, u32)>,
+}
+
+impl StudyBinding {
+    /// The header line (compact JSON). Equality of header lines is the
+    /// definition of "same experiment".
+    pub fn header_line(&self) -> String {
+        let mut m = Map::new();
+        m.insert("format", Value::from("benchkit-checkpoint"));
+        m.insert("version", Value::Int(FORMAT_VERSION));
+        m.insert("systems", str_list(&self.systems));
+        m.insert("cases", str_list(&self.cases));
+        m.insert("seed", Value::Int(self.seed as i64));
+        m.insert("warm_store", Value::Bool(self.warm_store));
+        m.insert("profile", Value::from(self.profile.as_str()));
+        let mut overrides = Map::new();
+        for (system, profile) in &self.overrides {
+            overrides.insert(system.clone(), Value::from(profile.as_str()));
+        }
+        m.insert("overrides", Value::Map(overrides));
+        m.insert("max_retries", Value::Int(i64::from(self.max_retries)));
+        m.insert("fail_fast", Value::Bool(self.fail_fast));
+        m.insert("quarantine", Value::Int(i64::from(self.quarantine)));
+        m.insert("heal", Value::Bool(self.heal));
+        let mut streaks = Map::new();
+        for (system, n) in &self.streaks {
+            streaks.insert(system.clone(), Value::Int(i64::from(*n)));
+        }
+        m.insert("streaks", Value::Map(streaks));
+        Value::Map(m).to_json()
+    }
+}
+
+fn str_list(items: &[String]) -> Value {
+    Value::List(items.iter().map(|s| Value::from(s.as_str())).collect())
+}
+
+/// One journal record replayed during resume.
+#[derive(Debug)]
+pub struct ReplayedCell {
+    pub case: String,
+    pub system: String,
+    pub outcome: SuiteOutcome,
+}
+
+/// The append side of a checkpoint journal. Records are written one JSON
+/// line at a time and fsync'd before the cell is reported upstream, so a
+/// crash at any instant leaves at worst one torn trailing record.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Start a fresh journal in `dir` (creating the directory), write the
+    /// binding header, and fsync it.
+    pub fn create(dir: &Path, binding: &StudyBinding) -> Result<Journal, CheckpointError> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = File::create(dir.join(JOURNAL_FILE))?;
+        writeln!(file, "{}", binding.header_line())?;
+        file.sync_data()?;
+        Ok(Journal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Open an existing journal for continuation: validate its header
+    /// against `binding`, parse the contiguous prefix of completed cells,
+    /// discard a torn/truncated trailing record (and truncate the file
+    /// back to the valid prefix so appends continue cleanly), and return
+    /// the replayable cells in grid order.
+    pub fn resume(
+        dir: &Path,
+        binding: &StudyBinding,
+    ) -> Result<(Journal, Vec<ReplayedCell>), CheckpointError> {
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CheckpointError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let Some(header_end) = text.find('\n') else {
+            return Err(CheckpointError::Corrupt(
+                "journal has no complete header line".to_string(),
+            ));
+        };
+        let header = &text[..header_end];
+        let expected = binding.header_line();
+        if header != expected {
+            return Err(CheckpointError::ConfigMismatch {
+                expected,
+                found: header.to_string(),
+            });
+        }
+        let mut valid_len = header_end + 1;
+        let mut cells = Vec::new();
+        let mut rest = &text[valid_len..];
+        // A record is trusted only if its line is complete (newline-
+        // terminated) *and* parses as the next grid cell. The first record
+        // that fails either test is where the crash landed: discard it and
+        // anything after — those cells simply re-run.
+        while let Some(line_end) = rest.find('\n') {
+            match parse_cell(&rest[..line_end], cells.len()) {
+                Ok(cell) => {
+                    cells.push(cell);
+                    valid_len += line_end + 1;
+                    rest = &rest[line_end + 1..];
+                }
+                Err(_) => break,
+            }
+        }
+        let mut file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+            },
+            cells,
+        ))
+    }
+
+    /// Append one flushed cell and fsync it. Called by the ordered flush
+    /// (already serialized), so records land strictly in grid order.
+    pub fn append(
+        &self,
+        index: usize,
+        case: &str,
+        system: &str,
+        outcome: &SuiteOutcome,
+    ) -> Result<(), CheckpointError> {
+        let mut m = Map::new();
+        m.insert("cell", Value::Int(index as i64));
+        m.insert("case", Value::from(case));
+        m.insert("system", Value::from(system));
+        m.insert("outcome", outcome_to_value(outcome));
+        let mut file = self.file.lock().expect("journal file poisoned");
+        writeln!(file, "{}", Value::Map(m).to_json())?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+fn parse_cell(line: &str, expected_index: usize) -> Result<ReplayedCell, CheckpointError> {
+    let doc =
+        tinycfg::parse(line).map_err(|e| CheckpointError::Corrupt(format!("bad record: {e}")))?;
+    let index = doc
+        .get_path("cell")
+        .and_then(Value::as_int)
+        .ok_or_else(|| CheckpointError::Corrupt("record missing `cell`".to_string()))?;
+    if index != expected_index as i64 {
+        return Err(CheckpointError::Corrupt(format!(
+            "record out of order: expected cell {expected_index}, found {index}"
+        )));
+    }
+    let str_at = |key: &str| -> Result<String, CheckpointError> {
+        doc.get_path(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("record missing `{key}`")))
+    };
+    Ok(ReplayedCell {
+        case: str_at("case")?,
+        system: str_at("system")?,
+        outcome: outcome_from_value(
+            doc.get_path("outcome")
+                .ok_or_else(|| CheckpointError::Corrupt("record missing `outcome`".to_string()))?,
+        )?,
+    })
+}
+
+fn outcome_to_value(outcome: &SuiteOutcome) -> Value {
+    let mut m = Map::new();
+    match outcome {
+        SuiteOutcome::Ran(report) => m.insert("ran", report_to_value(report)),
+        SuiteOutcome::Skipped(reason) => m.insert("skipped", Value::from(reason.as_str())),
+        SuiteOutcome::Failed(err) => {
+            // The journal preserves the rendered message and the
+            // resilience stats — everything the report surfaces — rather
+            // than the full error tree; replayed failures come back as
+            // `HarnessError::Replayed` and render byte-identically.
+            let mut fm = Map::new();
+            fm.insert("message", Value::from(err.to_string()));
+            fm.insert(
+                "stats",
+                match err.fault_stats() {
+                    Some((attempts, faults, lost)) => Value::List(vec![
+                        Value::Int(i64::from(attempts)),
+                        Value::Int(i64::from(faults)),
+                        Value::Float(lost),
+                    ]),
+                    None => Value::Null,
+                },
+            );
+            m.insert("failed", Value::Map(fm))
+        }
+    }
+    Value::Map(m)
+}
+
+fn outcome_from_value(v: &Value) -> Result<SuiteOutcome, CheckpointError> {
+    if let Some(report) = v.get("ran") {
+        return Ok(SuiteOutcome::Ran(Box::new(report_from_value(report)?)));
+    }
+    if let Some(reason) = v.get("skipped").and_then(Value::as_str) {
+        return Ok(SuiteOutcome::Skipped(reason.to_string()));
+    }
+    if let Some(failed) = v.get("failed") {
+        let message = failed
+            .get("message")
+            .and_then(Value::as_str)
+            .ok_or_else(|| CheckpointError::Corrupt("failed cell missing message".to_string()))?
+            .to_string();
+        let stats = match failed.get("stats") {
+            None | Some(Value::Null) => None,
+            Some(Value::List(items)) if items.len() == 3 => {
+                let attempts = int_as_u32(&items[0], "stats.attempts")?;
+                let faults = int_as_u32(&items[1], "stats.faults")?;
+                let lost = items[2].as_float().ok_or_else(|| {
+                    CheckpointError::Corrupt("stats.time_lost not a float".to_string())
+                })?;
+                Some((attempts, faults, lost))
+            }
+            Some(other) => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "failed cell has malformed stats: {other:?}"
+                )))
+            }
+        };
+        return Ok(SuiteOutcome::Failed(HarnessError::Replayed {
+            message,
+            stats,
+        }));
+    }
+    Err(CheckpointError::Corrupt(
+        "outcome is none of ran/skipped/failed".to_string(),
+    ))
+}
+
+fn report_to_value(report: &CaseReport) -> Value {
+    let mut m = Map::new();
+    m.insert("record", report.record.to_value());
+    m.insert(
+        "concrete_rendered",
+        Value::from(report.concrete_rendered.as_str()),
+    );
+    m.insert("dag_hash", Value::from(report.dag_hash.as_str()));
+    m.insert("packages_built", Value::Int(report.packages_built as i64));
+    m.insert("packages_cached", Value::Int(report.packages_cached as i64));
+    m.insert("build_time_s", Value::Float(report.build_time_s));
+    m.insert("job_script", Value::from(report.job_script.as_str()));
+    m.insert("queue_wait_s", Value::Float(report.queue_wait_s));
+    let mut t = Map::new();
+    t.insert("avg_power_w", Value::Float(report.telemetry.avg_power_w));
+    t.insert("energy_j", Value::Float(report.telemetry.energy_j));
+    t.insert(
+        "network_bytes",
+        Value::Int(report.telemetry.network_bytes as i64),
+    );
+    t.insert(
+        "total_power_w",
+        Value::Float(report.telemetry.total_power_w),
+    );
+    m.insert("telemetry", Value::Map(t));
+    m.insert("stdout", Value::from(report.stdout.as_str()));
+    m.insert("retries", Value::Int(i64::from(report.retries)));
+    m.insert(
+        "faults_injected",
+        Value::Int(i64::from(report.faults_injected)),
+    );
+    m.insert("time_lost_s", Value::Float(report.time_lost_s));
+    m.insert(
+        "nodes_repaired",
+        Value::Int(i64::from(report.nodes_repaired)),
+    );
+    Value::Map(m)
+}
+
+fn report_from_value(v: &Value) -> Result<CaseReport, CheckpointError> {
+    let str_at = |key: &str| -> Result<String, CheckpointError> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("report missing string `{key}`")))
+    };
+    let float_at = |key: &str| -> Result<f64, CheckpointError> {
+        v.get(key)
+            .and_then(Value::as_float)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("report missing float `{key}`")))
+    };
+    let usize_at = |key: &str| -> Result<usize, CheckpointError> {
+        let i = v
+            .get(key)
+            .and_then(Value::as_int)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("report missing int `{key}`")))?;
+        usize::try_from(i)
+            .map_err(|_| CheckpointError::Corrupt(format!("`{key}` must be non-negative: {i}")))
+    };
+    let u32_at = |key: &str| -> Result<u32, CheckpointError> {
+        let value = v
+            .get(key)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("report missing int `{key}`")))?;
+        int_as_u32(value, key)
+    };
+    let record = PerflogRecord::from_value(
+        v.get("record")
+            .ok_or_else(|| CheckpointError::Corrupt("report missing `record`".to_string()))?,
+    )
+    .map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+    let telemetry_at = |key: &str| -> Result<f64, CheckpointError> {
+        v.get("telemetry")
+            .and_then(|t| t.get(key))
+            .and_then(Value::as_float)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("telemetry missing `{key}`")))
+    };
+    let network_bytes = v
+        .get("telemetry")
+        .and_then(|t| t.get("network_bytes"))
+        .and_then(Value::as_int)
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| CheckpointError::Corrupt("telemetry missing `network_bytes`".to_string()))?;
+    Ok(CaseReport {
+        record,
+        concrete_rendered: str_at("concrete_rendered")?,
+        dag_hash: str_at("dag_hash")?,
+        packages_built: usize_at("packages_built")?,
+        packages_cached: usize_at("packages_cached")?,
+        build_time_s: float_at("build_time_s")?,
+        job_script: str_at("job_script")?,
+        queue_wait_s: float_at("queue_wait_s")?,
+        telemetry: simhpc::Telemetry {
+            avg_power_w: telemetry_at("avg_power_w")?,
+            energy_j: telemetry_at("energy_j")?,
+            network_bytes,
+            total_power_w: telemetry_at("total_power_w")?,
+        },
+        stdout: str_at("stdout")?,
+        retries: u32_at("retries")?,
+        faults_injected: u32_at("faults_injected")?,
+        time_lost_s: float_at("time_lost_s")?,
+        nodes_repaired: u32_at("nodes_repaired")?,
+    })
+}
+
+fn int_as_u32(v: &Value, what: &str) -> Result<u32, CheckpointError> {
+    v.as_int()
+        .and_then(|i| u32::try_from(i).ok())
+        .ok_or_else(|| CheckpointError::Corrupt(format!("`{what}` must be a non-negative count")))
+}
+
+/// Load the per-system consecutive-failure streaks persisted by the last
+/// completed study in `dir`. Missing file = no memory (empty).
+pub fn load_streaks(dir: &Path) -> Result<Vec<(String, u32)>, CheckpointError> {
+    let path = dir.join(QUARANTINE_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
+    };
+    let doc = tinycfg::parse(text.trim())
+        .map_err(|e| CheckpointError::Corrupt(format!("bad quarantine memory: {e}")))?;
+    let mut streaks = Vec::new();
+    if let Some(m) = doc.get_path("streaks").and_then(Value::as_map) {
+        for (system, v) in m.iter() {
+            let n = v
+                .as_int()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| {
+                    CheckpointError::Corrupt(format!("bad streak for `{system}`: {v:?}"))
+                })?;
+            streaks.push((system.to_string(), n));
+        }
+    }
+    Ok(streaks)
+}
+
+/// Persist the per-system streaks at the end of a completed study
+/// (systems with streak 0 are omitted — absence means healthy).
+pub fn save_streaks(dir: &Path, streaks: &[(String, u32)]) -> Result<(), CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let mut m = Map::new();
+    m.insert("format", Value::from("benchkit-quarantine"));
+    m.insert("version", Value::Int(FORMAT_VERSION));
+    let mut sm = Map::new();
+    for (system, n) in streaks {
+        if *n > 0 {
+            sm.insert(system.clone(), Value::Int(i64::from(*n)));
+        }
+    }
+    m.insert("streaks", Value::Map(sm));
+    let mut file = File::create(dir.join(QUARANTINE_FILE))?;
+    writeln!(file, "{}", Value::Map(m).to_json())?;
+    file.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "benchkit-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn binding() -> StudyBinding {
+        StudyBinding {
+            systems: vec!["csd3".to_string(), "archer2".to_string()],
+            cases: vec!["babelstream_omp".to_string(), "hpgmg_fv".to_string()],
+            seed: 7,
+            warm_store: false,
+            profile: "flaky".to_string(),
+            overrides: vec![("archer2".to_string(), "brutal".to_string())],
+            max_retries: 2,
+            fail_fast: false,
+            quarantine: 2,
+            heal: true,
+            streaks: vec![("csd3".to_string(), 3)],
+        }
+    }
+
+    #[test]
+    fn outcome_serialization_round_trips() {
+        let skipped = SuiteOutcome::Skipped("unsupported on this platform: no gpu".to_string());
+        let failed = SuiteOutcome::Failed(HarnessError::AfterFaults {
+            attempts: 3,
+            faults_injected: 2,
+            time_lost_s: 145.5,
+            cause: Box::new(HarnessError::NodeFailed("lost a node".to_string())),
+        });
+        for outcome in [&skipped, &failed] {
+            let v = outcome_to_value(outcome);
+            let line = v.to_json();
+            let back =
+                outcome_from_value(&tinycfg::parse(&line).expect("journal lines parse")).unwrap();
+            // Replay preserves what reports consume: the rendered message
+            // and the resilience stats.
+            let rendered = |o: &SuiteOutcome| match o {
+                SuiteOutcome::Ran(_) => "ran".to_string(),
+                SuiteOutcome::Skipped(r) => format!("skip {r}"),
+                SuiteOutcome::Failed(e) => format!("fail {e}"),
+            };
+            assert_eq!(rendered(&back), rendered(outcome));
+            assert_eq!(back.retries(), outcome.retries());
+            assert_eq!(back.faults_injected(), outcome.faults_injected());
+            assert_eq!(back.time_lost_s(), outcome.time_lost_s());
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_and_discards_torn_tail() {
+        let dir = tmpdir("torn");
+        let b = binding();
+        let journal = Journal::create(&dir, &b).unwrap();
+        journal
+            .append(
+                0,
+                "babelstream_omp",
+                "csd3",
+                &SuiteOutcome::Skipped("no".into()),
+            )
+            .unwrap();
+        journal
+            .append(
+                1,
+                "hpgmg_fv",
+                "csd3",
+                &SuiteOutcome::Failed(HarnessError::Replayed {
+                    message: "boom".to_string(),
+                    stats: Some((3, 2, 99.5)),
+                }),
+            )
+            .unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: a torn, newline-less trailing record.
+        let path = dir.join(JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"cell\":2,\"case\":\"trunc").unwrap();
+        drop(f);
+        let (journal, cells) = Journal::resume(&dir, &b).unwrap();
+        assert_eq!(cells.len(), 2, "torn record discarded");
+        assert_eq!(cells[0].case, "babelstream_omp");
+        assert!(cells[0].outcome.skipped());
+        match &cells[1].outcome {
+            SuiteOutcome::Failed(e) => {
+                assert_eq!(e.to_string(), "boom");
+                assert_eq!(e.fault_stats(), Some((3, 2, 99.5)));
+            }
+            other => panic!("expected replayed failure, got {other:?}"),
+        }
+        // The torn bytes are gone: the next append lands on a clean line.
+        journal
+            .append(2, "x", "archer2", &SuiteOutcome::Skipped("later".into()))
+            .unwrap();
+        drop(journal);
+        let (_, cells) = Journal::resume(&dir, &b).unwrap();
+        assert_eq!(cells.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_binding_is_a_hard_error() {
+        let dir = tmpdir("mismatch");
+        drop(Journal::create(&dir, &binding()).unwrap());
+        let mut other = binding();
+        other.seed = 8;
+        match Journal::resume(&dir, &other) {
+            Err(CheckpointError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        // Every bound knob participates, including the memory snapshot.
+        let mut other = binding();
+        other.streaks.clear();
+        assert!(matches!(
+            Journal::resume(&dir, &other),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_records_are_discarded_from_first_deviation() {
+        let dir = tmpdir("order");
+        let b = binding();
+        let journal = Journal::create(&dir, &b).unwrap();
+        journal
+            .append(0, "a", "csd3", &SuiteOutcome::Skipped("s".into()))
+            .unwrap();
+        // A record claiming the wrong cell index (disk corruption): the
+        // prefix before it survives, it and later records do not.
+        journal
+            .append(5, "b", "csd3", &SuiteOutcome::Skipped("s".into()))
+            .unwrap();
+        journal
+            .append(2, "c", "csd3", &SuiteOutcome::Skipped("s".into()))
+            .unwrap();
+        drop(journal);
+        let (_, cells) = Journal::resume(&dir, &b).unwrap();
+        assert_eq!(cells.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_memory_round_trips_and_defaults_empty() {
+        let dir = tmpdir("streaks");
+        assert_eq!(load_streaks(&dir).unwrap(), vec![]);
+        save_streaks(
+            &dir,
+            &[
+                ("csd3".to_string(), 0),
+                ("archer2".to_string(), 4),
+                ("cosma8".to_string(), 1),
+            ],
+        )
+        .unwrap();
+        // Zero streaks are dropped; nonzero ones survive.
+        assert_eq!(
+            load_streaks(&dir).unwrap(),
+            vec![("archer2".to_string(), 4), ("cosma8".to_string(), 1)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

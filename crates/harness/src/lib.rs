@@ -18,6 +18,7 @@
 //! are captured (P4/P5), and results land in a machine-readable perflog
 //! (P6).
 
+pub mod checkpoint;
 mod pipeline;
 mod suite;
 

@@ -30,6 +30,10 @@ pub struct RunOptions {
     /// How many times a faulted build/run stage is retried before the
     /// case is declared failed (`--max-retries`).
     pub max_retries: u32,
+    /// Heal drained nodes after the system's deterministic repair window
+    /// (`--heal`); off by default, which keeps every schedule
+    /// byte-identical to the never-repair world.
+    pub heal: bool,
 }
 
 impl RunOptions {
@@ -42,6 +46,7 @@ impl RunOptions {
             qos: "standard".to_string(),
             fault_profile: FaultProfile::none(),
             max_retries: 2,
+            heal: false,
         }
     }
 
@@ -57,6 +62,11 @@ impl RunOptions {
 
     pub fn with_max_retries(mut self, max_retries: u32) -> RunOptions {
         self.max_retries = max_retries;
+        self
+    }
+
+    pub fn with_heal(mut self, heal: bool) -> RunOptions {
+        self.heal = heal;
         self
     }
 }
@@ -98,6 +108,15 @@ pub enum HarnessError {
         time_lost_s: f64,
         cause: Box<HarnessError>,
     },
+    /// A failure replayed from a checkpoint journal. Preserves the
+    /// original error's rendered message and resilience accounting so
+    /// every consumer (CLI stream, markdown report, suite totals) emits
+    /// byte-identical output without the journal having to encode the
+    /// full error tree.
+    Replayed {
+        message: String,
+        stats: Option<(u32, u32, f64)>,
+    },
 }
 
 impl HarnessError {
@@ -110,6 +129,7 @@ impl HarnessError {
                 time_lost_s,
                 ..
             } => Some((*attempts, *faults_injected, *time_lost_s)),
+            HarnessError::Replayed { stats, .. } => *stats,
             _ => None,
         }
     }
@@ -161,6 +181,7 @@ impl fmt::Display for HarnessError {
                      {time_lost_s:.1}s lost): {cause}"
                 )
             }
+            HarnessError::Replayed { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -192,6 +213,9 @@ pub struct CaseReport {
     pub retries: u32,
     pub faults_injected: u32,
     pub time_lost_s: f64,
+    /// Nodes returned to service by `--heal` during this cell's schedule
+    /// (always zero without healing).
+    pub nodes_repaired: u32,
 }
 
 /// The build stage's output: everything `run_prepared` needs to continue
@@ -472,6 +496,17 @@ impl Harness {
             SchedulerKind::Local => Policy::Backfill,
         };
         let mut sched = Scheduler::new(policy, partition.nodes().max(1), proc.total_cores().max(1));
+        // Injected run faults shape the scheduled job (below); with --heal
+        // the scheduler also repairs drained nodes after the system-wide
+        // repair window, which every cell on this system derives
+        // identically from (profile, seed, system).
+        let injector = FaultInjector::new(self.options.fault_profile.clone(), self.options.seed);
+        if self.options.heal {
+            let window = injector.repair_window_s(system.name());
+            if window > 0.0 {
+                sched = sched.with_heal(window);
+            }
+        }
         // P3 makes the build part of every run: when packages were built,
         // a build job precedes the benchmark job via an `afterok`
         // dependency, exactly as a site CI pipeline would chain them.
@@ -491,7 +526,6 @@ impl Harness {
         // Injected run faults shape the scheduled job: a Timeout fault
         // overruns the wall-time limit (the scheduler kills the job); a
         // NodeFail fault kills a node partway through the run.
-        let injector = FaultInjector::new(self.options.fault_profile.clone(), self.options.seed);
         let fault_params = |fault: Option<Fault>| -> (f64, Option<f64>) {
             match fault {
                 None | Some(Fault::BuildFail) => (output.wall_time_s, None),
@@ -720,6 +754,12 @@ impl Harness {
             .or_default()
             .append(record.clone());
 
+        let nodes_repaired = sched
+            .node_events()
+            .iter()
+            .filter(|e| matches!(e, batchsim::NodeEvent::NodeRepaired { .. }))
+            .count() as u32;
+
         Ok(CaseReport {
             record,
             concrete_rendered: concrete.to_string(),
@@ -734,6 +774,7 @@ impl Harness {
             retries,
             faults_injected: faults,
             time_lost_s: time_lost,
+            nodes_repaired,
         })
     }
 }

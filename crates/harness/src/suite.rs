@@ -3,10 +3,12 @@
 //! systems in one invocation, with unsupported combinations recorded as
 //! skips (the `*` boxes of Figure 2) rather than aborting the sweep.
 
+use crate::checkpoint::{self, CheckpointError, CheckpointMode, Journal, StudyBinding};
 use crate::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions, TestCase};
 use perflogs::Perflog;
 use simhpc::faults::FaultProfile;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -67,6 +69,9 @@ pub struct SuiteReport {
     pub outcomes: Vec<(String, String, SuiteOutcome)>,
     /// Perflogs collected per (system, benchmark family).
     pub perflogs: Vec<((String, String), Perflog)>,
+    /// Canary verdicts for systems that started quarantined by memory:
+    /// (system spec, readmitted?). Empty unless quarantine memory fired.
+    pub canaries: Vec<(String, bool)>,
 }
 
 impl SuiteReport {
@@ -141,6 +146,11 @@ impl SuiteReport {
         self.outcomes.iter().map(|(_, _, o)| o.time_lost_s()).sum()
     }
 
+    /// Nodes returned to service by healing across the sweep.
+    pub fn total_nodes_repaired(&self) -> u32 {
+        self.ran_reports().map(|r| r.nodes_repaired).sum()
+    }
+
     /// Cells skipped by per-system quarantine.
     pub fn n_quarantined(&self) -> usize {
         self.outcomes
@@ -186,6 +196,9 @@ struct FlushState {
     consecutive: u32,
     /// Whether any cell has been emitted as Failed (fail-fast trigger).
     failed_any: bool,
+    /// Whether the current system's canary cell was emitted as Failed
+    /// (demotes the system's remaining cells; resets per system).
+    canary_failed: bool,
 }
 
 /// Shared coordination state for one sweep: result slots, the job-claim
@@ -203,6 +216,22 @@ struct SweepState {
     /// set flag implies every later claim for that system will be
     /// demoted at flush time — claims are monotonic past the cursor).
     quarantined: Vec<AtomicBool>,
+    /// Per-system canary flag from quarantine memory: `Some(streak)` when
+    /// the system enters this study on probation with that many prior
+    /// consecutive failures.
+    canary: Vec<Option<u32>>,
+    /// Canary verdicts in system order: (system, readmitted?). Appended
+    /// only by the ordered flush, so the order is deterministic.
+    canary_verdicts: Mutex<Vec<(String, bool)>>,
+    /// Checkpoint journal, when the sweep is checkpointed. Appends happen
+    /// at flush time, before the progress callback sees the cell, so a
+    /// reported cell is always durable.
+    journal: Option<Journal>,
+    /// Grid cells below this index were replayed from the journal and are
+    /// not re-appended.
+    journal_from: usize,
+    /// First journal append failure (surfaced after the sweep).
+    journal_error: Mutex<Option<CheckpointError>>,
 }
 
 /// Sweeps cases across systems with a bounded worker pool.
@@ -246,6 +275,16 @@ pub struct SuiteRunner {
     /// system's remaining cells with an explicit reason (`--quarantine`).
     /// 0 disables quarantine.
     pub quarantine: u32,
+    /// Per-system fault-profile overrides (`--fault-profile sys=name`):
+    /// the named system draws faults from its own profile instead of the
+    /// base one.
+    pub fault_overrides: Vec<(String, FaultProfile)>,
+    /// Return drained nodes to service after the system's deterministic
+    /// repair window (`--heal`). Off = drained nodes stay down, exactly
+    /// the pre-heal behavior.
+    pub heal: bool,
+    /// Checkpoint directory and mode (`--checkpoint` / `--resume`).
+    pub checkpoint: Option<CheckpointMode>,
 }
 
 impl SuiteRunner {
@@ -259,6 +298,9 @@ impl SuiteRunner {
             max_retries: 2,
             fail_fast: false,
             quarantine: 0,
+            fault_overrides: Vec::new(),
+            heal: false,
+            checkpoint: None,
         }
     }
 
@@ -304,11 +346,46 @@ impl SuiteRunner {
         self
     }
 
+    /// Override the fault profile for one system (later builders do not
+    /// replace earlier ones; duplicates are a CLI-level error).
+    pub fn with_fault_override(mut self, system: &str, profile: FaultProfile) -> SuiteRunner {
+        self.fault_overrides.push((system.to_string(), profile));
+        self
+    }
+
+    /// Heal drained nodes after each system's deterministic repair window.
+    pub fn with_heal(mut self, heal: bool) -> SuiteRunner {
+        self.heal = heal;
+        self
+    }
+
+    /// Journal every completed cell to `dir` (fresh journal).
+    pub fn with_checkpoint(mut self, dir: &Path) -> SuiteRunner {
+        self.checkpoint = Some(CheckpointMode::Fresh(dir.to_path_buf()));
+        self
+    }
+
+    /// Resume an interrupted sweep from the journal in `dir`.
+    pub fn with_resume(mut self, dir: &Path) -> SuiteRunner {
+        self.checkpoint = Some(CheckpointMode::Resume(dir.to_path_buf()));
+        self
+    }
+
+    /// The fault profile a given system draws from (override or base).
+    pub fn profile_for(&self, system: &str) -> &FaultProfile {
+        self.fault_overrides
+            .iter()
+            .find(|(s, _)| s == system)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.fault_profile)
+    }
+
     fn job_options(&self, system: &str) -> RunOptions {
         RunOptions::on_system(system)
             .with_seed(self.seed)
-            .with_fault_profile(self.fault_profile.clone())
+            .with_fault_profile(self.profile_for(system).clone())
             .with_max_retries(self.max_retries)
+            .with_heal(self.heal)
     }
 
     /// Warm-store prepass: per system, run the build stage serially in
@@ -430,10 +507,20 @@ impl SuiteRunner {
             if ci == 0 {
                 cursor.sequence = 0; // new system starts counting afresh
                 cursor.consecutive = 0;
+                cursor.canary_failed = false;
             }
             if self.fail_fast && cursor.failed_any {
                 result.outcome =
                     SuiteOutcome::Skipped("not run: --fail-fast after earlier failure".to_string());
+                result.key = None;
+            } else if cursor.canary_failed {
+                // The system entered this study on probation and its canary
+                // cell just failed: everything else on it is skipped.
+                result.outcome = SuiteOutcome::Skipped(format!(
+                    "quarantined: canary failed on {} ({} prior consecutive failures)",
+                    self.systems[si],
+                    state.canary[si].unwrap_or(0)
+                ));
                 result.key = None;
             } else if self.quarantine > 0 && cursor.consecutive >= self.quarantine {
                 result.outcome = SuiteOutcome::Skipped(format!(
@@ -457,6 +544,35 @@ impl SuiteRunner {
                 }
                 SuiteOutcome::Skipped(_) => {}
             }
+            // Canary verdict: the probing cell readmits the system (any
+            // non-failure) or condemns the rest of its row.
+            if ci == 0 && state.canary[si].is_some() {
+                let failed = matches!(result.outcome, SuiteOutcome::Failed(_));
+                if failed {
+                    cursor.canary_failed = true;
+                    state.quarantined[si].store(true, Ordering::Relaxed);
+                }
+                state
+                    .canary_verdicts
+                    .lock()
+                    .expect("canary verdicts poisoned")
+                    .push((self.systems[si].clone(), !failed));
+            }
+            // Make the cell durable before anyone hears about it: a crash
+            // from here on resumes at this cell or later, never before it.
+            if let Some(journal) = &state.journal {
+                if cursor.next >= state.journal_from {
+                    if let Err(e) = journal.append(
+                        cursor.next,
+                        &cases[ci].name,
+                        &self.systems[si],
+                        &result.outcome,
+                    ) {
+                        let mut slot = state.journal_error.lock().expect("journal error poisoned");
+                        slot.get_or_insert(e);
+                    }
+                }
+            }
             on_flush(SuiteProgress {
                 index: cursor.next,
                 total: state.slots.len(),
@@ -473,14 +589,55 @@ impl SuiteRunner {
         self.run_with_progress(cases, &|_| {})
     }
 
-    /// Run every case on every system, streaming outcomes to `on_flush`
-    /// in canonical grid order as soon as each cell (and every earlier
-    /// one) completes.
+    /// Run every case on every system, streaming outcomes to `on_flush`.
+    /// Panics on checkpoint errors — use [`SuiteRunner::try_run_with_progress`]
+    /// when a checkpoint directory is configured.
     pub fn run_with_progress(
         &self,
         cases: &[TestCase],
         on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
     ) -> SuiteReport {
+        self.try_run_with_progress(cases, on_flush)
+            .expect("checkpointing failed")
+    }
+
+    /// [`SuiteRunner::run`] with checkpoint errors surfaced.
+    pub fn try_run(&self, cases: &[TestCase]) -> Result<SuiteReport, CheckpointError> {
+        self.try_run_with_progress(cases, &|_| {})
+    }
+
+    /// Build the study-identity header this sweep binds its journal to.
+    fn binding(&self, cases: &[TestCase], streaks: &[(String, u32)]) -> StudyBinding {
+        StudyBinding {
+            systems: self.systems.clone(),
+            cases: cases.iter().map(|c| c.name.clone()).collect(),
+            seed: self.seed,
+            warm_store: self.warm_store,
+            profile: self.fault_profile.name.clone(),
+            overrides: self
+                .fault_overrides
+                .iter()
+                .map(|(s, p)| (s.clone(), p.name.clone()))
+                .collect(),
+            max_retries: self.max_retries,
+            fail_fast: self.fail_fast,
+            quarantine: self.quarantine,
+            heal: self.heal,
+            streaks: streaks.to_vec(),
+        }
+    }
+
+    /// Run every case on every system, streaming outcomes to `on_flush`
+    /// in canonical grid order as soon as each cell (and every earlier
+    /// one) completes. With a checkpoint configured, every flushed cell is
+    /// journaled durably before it is streamed, completed cells of a
+    /// resumed sweep are replayed instead of re-run, and quarantine
+    /// memory from earlier studies puts flaky systems on canary probation.
+    pub fn try_run_with_progress(
+        &self,
+        cases: &[TestCase],
+        on_flush: &(dyn Fn(SuiteProgress<'_>) + Sync),
+    ) -> Result<SuiteReport, CheckpointError> {
         let n_jobs = self.systems.len() * cases.len();
         let jobs = if self.jobs == 0 {
             parkern::default_workers()
@@ -488,6 +645,40 @@ impl SuiteRunner {
             self.jobs
         };
         let workers = jobs.min(n_jobs).max(1);
+
+        // Quarantine memory: systems whose trailing streak in an earlier
+        // study reached the threshold start on canary probation.
+        let streaks = match &self.checkpoint {
+            Some(mode) => checkpoint::load_streaks(mode.dir())?,
+            None => Vec::new(),
+        };
+        let canary: Vec<Option<u32>> = self
+            .systems
+            .iter()
+            .map(|sys| {
+                if self.quarantine == 0 {
+                    return None;
+                }
+                streaks
+                    .iter()
+                    .find(|(s, _)| s == sys)
+                    .and_then(|(_, n)| (*n >= self.quarantine).then_some(*n))
+            })
+            .collect();
+
+        let (journal, replayed) = match &self.checkpoint {
+            Some(CheckpointMode::Fresh(dir)) => (
+                Some(Journal::create(dir, &self.binding(cases, &streaks))?),
+                Vec::new(),
+            ),
+            Some(CheckpointMode::Resume(dir)) => {
+                let (j, cells) = Journal::resume(dir, &self.binding(cases, &streaks))?;
+                (Some(j), cells)
+            }
+            None => (None, Vec::new()),
+        };
+        let replay_count = replayed.len().min(n_jobs);
+
         let prepared = if self.warm_store {
             Some(self.prepare_warm(cases))
         } else {
@@ -497,18 +688,47 @@ impl SuiteRunner {
 
         let state = SweepState {
             slots: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
-            next: AtomicUsize::new(0),
+            next: AtomicUsize::new(replay_count),
             flush: Mutex::new(FlushState {
                 next: 0,
                 sequence: 0,
                 consecutive: 0,
                 failed_any: false,
+                canary_failed: false,
             }),
             first_failure: AtomicUsize::new(usize::MAX),
             quarantined: (0..self.systems.len())
                 .map(|_| AtomicBool::new(false))
                 .collect(),
+            canary,
+            canary_verdicts: Mutex::new(Vec::new()),
+            journal,
+            journal_from: replay_count,
+            journal_error: Mutex::new(None),
         };
+        // Prefill replayed cells. The ordered flush re-walks them exactly
+        // as the interrupted run did — every demotion and sequence number
+        // is recomputed deterministically — so the stream and the report
+        // come out byte-identical to an uninterrupted sweep.
+        for (i, cell) in replayed.into_iter().enumerate().take(n_jobs) {
+            let key = match &cell.outcome {
+                SuiteOutcome::Ran(r) => Some((
+                    r.record.system.clone(),
+                    cases[i % cases.len()].app.name().to_string(),
+                )),
+                _ => None,
+            };
+            if matches!(cell.outcome, SuiteOutcome::Failed(_)) {
+                state.first_failure.fetch_min(i, Ordering::Relaxed);
+            }
+            *state.slots[i].lock().expect("job slot poisoned") = Some(JobResult {
+                outcome: cell.outcome,
+                key,
+            });
+        }
+        if replay_count > 0 {
+            self.flush_ready(cases, &state, on_flush);
+        }
         if workers <= 1 {
             self.work(cases, prepared, &state, on_flush);
         } else {
@@ -520,6 +740,18 @@ impl SuiteRunner {
                 self.work(cases, prepared, &state, on_flush);
             });
         }
+        if let Some(e) = state
+            .journal_error
+            .lock()
+            .expect("journal error poisoned")
+            .take()
+        {
+            return Err(e);
+        }
+        let canaries = state
+            .canary_verdicts
+            .into_inner()
+            .expect("canary verdicts poisoned");
         let mut results: Vec<Option<JobResult>> = state
             .slots
             .into_iter()
@@ -544,7 +776,39 @@ impl SuiteRunner {
             }
             perflogs.extend(merged);
         }
-        SuiteReport { outcomes, perflogs }
+        let report = SuiteReport {
+            outcomes,
+            perflogs,
+            canaries,
+        };
+        // The study completed: persist each system's trailing consecutive-
+        // failure streak (continuing any unreset prior streak) so the next
+        // study against this directory knows who to canary.
+        if let Some(mode) = &self.checkpoint {
+            let trailing: Vec<(String, u32)> = self
+                .systems
+                .iter()
+                .enumerate()
+                .map(|(si, system)| {
+                    let prior = streaks
+                        .iter()
+                        .find(|(s, _)| s == system)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(0);
+                    let mut streak = prior;
+                    for ci in 0..cases.len() {
+                        match &report.outcomes[si * cases.len() + ci].2 {
+                            SuiteOutcome::Ran(_) => streak = 0,
+                            SuiteOutcome::Failed(_) => streak += 1,
+                            SuiteOutcome::Skipped(_) => {}
+                        }
+                    }
+                    (system.clone(), streak)
+                })
+                .collect();
+            checkpoint::save_streaks(mode.dir(), &trailing)?;
+        }
+        Ok(report)
     }
 }
 
@@ -933,17 +1197,294 @@ mod tests {
     #[test]
     fn a_run_between_failures_resets_the_quarantine_counter() {
         // fail, run, fail, run: consecutive failures never reach 2, so
-        // nothing is quarantined.
+        // nothing is quarantined — and the reset is canonical at any
+        // worker count (the counter lives in the ordered flush).
         let cases = vec![
             failing_case("a"),
             cases::babelstream(Model::Omp, 1 << 22),
             failing_case("b"),
             cases::babelstream(Model::Tbb, 1 << 22),
         ];
-        let report = SuiteRunner::new(&["csd3"]).with_quarantine(2).run(&cases);
-        assert_eq!(report.n_failed(), 2);
-        assert_eq!(report.n_ran(), 2);
-        assert_eq!(report.n_quarantined(), 0);
+        let run = |jobs| {
+            SuiteRunner::new(&["csd3", "archer2"])
+                .with_quarantine(2)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        let serial = run(1);
+        assert_eq!(serial.n_failed(), 4);
+        assert_eq!(serial.n_ran(), 4);
+        assert_eq!(serial.n_quarantined(), 0);
+        for jobs in [2, 8] {
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{:?}", run(jobs)),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "benchkit-suite-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Render a report down to what every consumer (CLI stream, markdown,
+    /// frames) can observe. Resumed failures are `HarnessError::Replayed`
+    /// internally, so reports are compared on this rendering, not Debug.
+    fn rendered(report: &SuiteReport) -> String {
+        let mut out = String::new();
+        for (case, system, outcome) in &report.outcomes {
+            let label = match outcome {
+                SuiteOutcome::Ran(r) => format!(
+                    "ran seq={} built={} cached={} retries={} faults={} lost={} repaired={}",
+                    r.record.sequence,
+                    r.packages_built,
+                    r.packages_cached,
+                    r.retries,
+                    r.faults_injected,
+                    r.time_lost_s,
+                    r.nodes_repaired
+                ),
+                SuiteOutcome::Skipped(reason) => format!("skip {reason}"),
+                SuiteOutcome::Failed(e) => format!("fail {e} stats={:?}", e.fault_stats()),
+            };
+            out.push_str(&format!("{case} on {system}: {label}\n"));
+        }
+        out.push_str(&format!("canaries={:?}\n", report.canaries));
+        out.push_str(&report.combined_frame().to_string());
+        out
+    }
+
+    #[test]
+    fn interrupted_checkpoint_resume_is_byte_identical() {
+        // The tentpole pin: a checkpointed sweep interrupted after any k
+        // cells and resumed at any worker count must reproduce the
+        // uninterrupted report and stream exactly. Interruption is
+        // simulated by truncating the journal to its first k records.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            failing_case("mid"),
+            cases::hpgmg(),
+        ];
+        let systems = ["csd3", "archer2"];
+        let make = |jobs: usize| {
+            SuiteRunner::new(&systems)
+                .with_seed(11)
+                .with_fault_profile(FaultProfile::flaky())
+                .with_quarantine(3)
+                .with_jobs(jobs)
+        };
+        let stream_of = |runner: SuiteRunner| {
+            let lines = Mutex::new(Vec::new());
+            let report = runner
+                .try_run_with_progress(&cases, &|p| {
+                    let label = match p.outcome {
+                        SuiteOutcome::Ran(r) => format!("ran seq={}", r.record.sequence),
+                        SuiteOutcome::Skipped(reason) => format!("skip {reason}"),
+                        SuiteOutcome::Failed(e) => format!("fail {e}"),
+                    };
+                    lines.lock().unwrap().push(format!(
+                        "[{}/{}] {} on {}: {label}",
+                        p.index + 1,
+                        p.total,
+                        p.case,
+                        p.system
+                    ));
+                })
+                .unwrap();
+            (report, lines.into_inner().unwrap())
+        };
+        let base = tmpdir("resume-base");
+        let (full, full_stream) = stream_of(make(1).with_checkpoint(&base));
+        let total = systems.len() * cases.len();
+        assert_eq!(full_stream.len(), total);
+        let journal = std::fs::read_to_string(base.join(checkpoint::JOURNAL_FILE)).unwrap();
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), total + 1, "header + one record per cell");
+        let want = rendered(&full);
+        for k in [0, 1, 3, total] {
+            for jobs in [1, 2, 8] {
+                let dir = tmpdir(&format!("resume-{k}-{jobs}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                let prefix = lines[..=k].join("\n") + "\n";
+                std::fs::write(dir.join(checkpoint::JOURNAL_FILE), prefix).unwrap();
+                let (resumed, stream) = stream_of(make(jobs).with_resume(&dir));
+                assert_eq!(rendered(&resumed), want, "k={k} jobs={jobs}");
+                assert_eq!(stream, full_stream, "k={k} jobs={jobs}");
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_records_are_rerun_and_mismatched_configs_rejected() {
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let dir = tmpdir("torn-suite");
+        let make = || SuiteRunner::new(&["csd3"]).with_seed(5);
+        let full = make().with_checkpoint(&dir).try_run(&cases).unwrap();
+        // Chop the last record in half mid-write: the resume discards it,
+        // re-runs that cell, and still matches the uninterrupted report.
+        let path = dir.join(checkpoint::JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 40];
+        assert!(!torn.ends_with('\n'), "cut lands mid-record");
+        std::fs::write(&path, torn).unwrap();
+        let resumed = make().with_resume(&dir).try_run(&cases).unwrap();
+        assert_eq!(rendered(&resumed), rendered(&full));
+        // A different seed is a different experiment: hard error.
+        match make().with_seed(6).with_resume(&dir).try_run(&cases) {
+            Err(CheckpointError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        // So is a different fault profile.
+        assert!(matches!(
+            make()
+                .with_fault_profile(FaultProfile::flaky())
+                .with_resume(&dir)
+                .try_run(&cases),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flaky_system_is_canaried_in_the_next_study() {
+        // Study 1 trips quarantine on csd3; study 2 against the same
+        // checkpoint directory probes it with a single canary cell, which
+        // fails, so the rest of the system is skipped; study 3 leads with
+        // a passing case, so the canary readmits the system.
+        let dir = tmpdir("canary");
+        let bad_suite = vec![
+            failing_case("a"),
+            failing_case("b"),
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let study = |jobs| {
+            SuiteRunner::new(&["csd3"])
+                .with_quarantine(2)
+                .with_jobs(jobs)
+                .with_checkpoint(&dir)
+        };
+        let first = study(1).try_run(&bad_suite).unwrap();
+        assert!(first.canaries.is_empty(), "no memory on the first study");
+        assert_eq!(first.n_failed(), 2);
+        assert_eq!(first.n_quarantined(), 2);
+        // Snapshot the memory study 2 starts from: later studies advance
+        // the streak, and the jobs-canonicality reruns below must each see
+        // this same state.
+        let memory = std::fs::read(dir.join(checkpoint::QUARANTINE_FILE)).unwrap();
+        let second = study(1).try_run(&bad_suite).unwrap();
+        assert_eq!(second.canaries, vec![("csd3".to_string(), false)]);
+        assert_eq!(second.n_failed(), 1, "only the canary cell runs");
+        for (case, _, outcome) in &second.outcomes[1..] {
+            match outcome {
+                SuiteOutcome::Skipped(reason) => assert_eq!(
+                    reason, "quarantined: canary failed on csd3 (2 prior consecutive failures)",
+                    "{case}"
+                ),
+                other => panic!("{case}: expected canary skip, got {other:?}"),
+            }
+        }
+        // The canary decision is flush-canonical: same at any jobs count.
+        // Each study advances the quarantine memory (streak 2 -> 3), so
+        // the snapshot study 2 started from is restored before each rerun.
+        let reference = rendered(&second);
+        for jobs in [2, 8] {
+            std::fs::write(dir.join(checkpoint::QUARANTINE_FILE), &memory).unwrap();
+            assert_eq!(
+                rendered(&study(jobs).try_run(&bad_suite).unwrap()),
+                reference,
+                "jobs={jobs}"
+            );
+        }
+        std::fs::write(dir.join(checkpoint::QUARANTINE_FILE), &memory).unwrap();
+        // Study 3: a passing canary readmits the system on the spot.
+        let good_first = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            failing_case("a"),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let third = study(1).try_run(&good_first).unwrap();
+        assert_eq!(third.canaries, vec![("csd3".to_string(), true)]);
+        assert!(third.outcomes[0].2.ran());
+        assert_eq!(third.n_failed(), 1, "embedded failure runs normally");
+        assert_eq!(third.n_ran(), 2);
+        // Study 3 ended on a success, so the streak is clean: no canary.
+        let fourth = study(1).try_run(&good_first).unwrap();
+        assert!(fourth.canaries.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn healing_repairs_nodes_and_off_matches_default_exactly() {
+        let cases = vec![cases::babelstream(Model::Omp, 1 << 22), cases::hpgmg()];
+        let run = |heal: bool, seed: u64| {
+            SuiteRunner::new(&["csd3"])
+                .with_seed(seed)
+                .with_fault_profile(FaultProfile::brutal())
+                .with_max_retries(4)
+                .with_heal(heal)
+                .run(&cases)
+        };
+        // Find a seed whose sweep actually loses (and then repairs) a node.
+        let seed = (0..40)
+            .find(|&s| run(true, s).total_nodes_repaired() > 0)
+            .expect("some seed in 0..40 must drain a node under brutal");
+        let healed = run(true, seed);
+        assert!(healed.total_nodes_repaired() > 0);
+        // Without healing the same sweep repairs nothing, and is exactly
+        // the report the pre-heal runner produced (heal defaults off).
+        let unhealed = run(false, seed);
+        assert_eq!(unhealed.total_nodes_repaired(), 0);
+        let default_runner = SuiteRunner::new(&["csd3"])
+            .with_seed(seed)
+            .with_fault_profile(FaultProfile::brutal())
+            .with_max_retries(4)
+            .run(&cases);
+        assert_eq!(format!("{unhealed:?}"), format!("{default_runner:?}"));
+        // Healing replays byte-identically across worker counts too.
+        let healed_parallel = SuiteRunner::new(&["csd3"])
+            .with_seed(seed)
+            .with_fault_profile(FaultProfile::brutal())
+            .with_max_retries(4)
+            .with_heal(true)
+            .with_jobs(4)
+            .run(&cases);
+        assert_eq!(format!("{healed:?}"), format!("{healed_parallel:?}"));
+    }
+
+    #[test]
+    fn per_system_fault_overrides_pick_the_right_profile() {
+        let runner = SuiteRunner::new(&["csd3", "archer2"])
+            .with_fault_profile(FaultProfile::flaky())
+            .with_fault_override("archer2", FaultProfile::none());
+        assert_eq!(runner.profile_for("csd3").name, "flaky");
+        assert_eq!(runner.profile_for("archer2").name, "none");
+        // An override to `none` really shields the system: its cells can
+        // never inject faults, whatever the base profile does.
+        let cases = vec![cases::babelstream(Model::Omp, 1 << 22), cases::hpgmg()];
+        let report = runner.with_seed(3).run(&cases);
+        for (case, system, outcome) in &report.outcomes {
+            if system == "archer2" {
+                assert_eq!(
+                    outcome.faults_injected(),
+                    0,
+                    "{case} on {system} is shielded by the none override"
+                );
+            }
+        }
     }
 
     #[test]

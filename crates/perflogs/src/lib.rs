@@ -50,6 +50,13 @@ impl PerflogRecord {
 
     /// Serialize as a single JSON line.
     pub fn to_json_line(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// The record as a `tinycfg` value tree — the building block both for
+    /// [`PerflogRecord::to_json_line`] and for containers that embed
+    /// records in larger documents (the harness checkpoint journal).
+    pub fn to_value(&self) -> Value {
         let mut m = Map::new();
         m.insert("sequence", Value::Int(self.sequence as i64));
         m.insert("benchmark", Value::from(self.benchmark.as_str()));
@@ -90,12 +97,18 @@ impl PerflogRecord {
             extras.insert(k.clone(), Value::from(v.as_str()));
         }
         m.insert("extras", Value::Map(extras));
-        Value::Map(m).to_json()
+        Value::Map(m)
     }
 
     /// Parse one JSON line back into a record.
     pub fn from_json_line(line: &str) -> Result<PerflogRecord, PerflogError> {
-        let doc = parse_json(line)?;
+        Self::from_value(&parse_json(line)?)
+    }
+
+    /// Reconstruct a record from a `tinycfg` value tree (inverse of
+    /// [`PerflogRecord::to_value`]), with the same strict counter
+    /// validation as [`PerflogRecord::from_json_line`].
+    pub fn from_value(doc: &Value) -> Result<PerflogRecord, PerflogError> {
         let str_at = |key: &str| -> Result<String, PerflogError> {
             doc.get_path(key)
                 .and_then(Value::as_str)

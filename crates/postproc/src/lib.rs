@@ -47,7 +47,10 @@ pub mod scaling;
 
 pub use chart::{BarChart, Heatmap};
 pub use config::{ConfigError, PlotConfig};
-pub use regression::{Direction, History, RegressionPolicy, Verdict};
+pub use regression::{
+    criterion_history, parse_criterion_log, CriterionPoint, Direction, History, RegressionPolicy,
+    Verdict,
+};
 pub use scaling::SeriesPlot;
 
 use dframe::DataFrame;

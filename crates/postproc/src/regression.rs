@@ -178,6 +178,71 @@ impl History {
     }
 }
 
+/// One measurement recovered from a criterion machine line (the bench
+/// harness emits one JSON object per benchmark, marked by the
+/// `"criterion"` version key, alongside its human-readable report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriterionPoint {
+    pub group: String,
+    pub id: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+}
+
+/// Parse criterion's machine-readable lines out of mixed bench output.
+/// Human-readable lines, malformed JSON, and null (degenerate) timings are
+/// skipped rather than treated as errors — bench logs are advisory input.
+pub fn parse_criterion_log(text: &str) -> Vec<CriterionPoint> {
+    let mut points = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"criterion\"") {
+            continue;
+        }
+        let Ok(v) = tinycfg::parse(line) else {
+            continue;
+        };
+        let float = |key: &str| v.get(key).and_then(tinycfg::Value::as_float);
+        let string = |key: &str| Some(v.get(key)?.as_str()?.to_string());
+        let (Some(group), Some(id)) = (string("group"), string("id")) else {
+            continue;
+        };
+        let (Some(min_ns), Some(median_ns)) = (float("min_ns"), float("median_ns")) else {
+            continue;
+        };
+        points.push(CriterionPoint {
+            group,
+            id,
+            min_ns,
+            median_ns,
+        });
+    }
+    points
+}
+
+/// Assemble a regression [`History`] for one benchmark from successive
+/// bench-run logs (oldest first): the run index becomes the sequence, the
+/// median time the tracked value. Judge it with a lower-is-better policy —
+/// these are times, not rates.
+pub fn criterion_history<S: AsRef<str>>(runs: &[S], group: &str, id: &str) -> History {
+    let points = runs
+        .iter()
+        .enumerate()
+        .flat_map(|(seq, run)| {
+            parse_criterion_log(run.as_ref())
+                .into_iter()
+                .filter(|p| p.group == group && p.id == id)
+                .map(move |p| (seq as u64, p.median_ns))
+        })
+        .collect();
+    History {
+        benchmark: group.to_string(),
+        system: "bench".to_string(),
+        fom: id.to_string(),
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +331,51 @@ mod tests {
         assert_eq!(h.points.len(), 6);
         assert!(h.check_latest(&RegressionPolicy::default()).is_regression());
         assert_eq!(h.sparkline().chars().count(), 6);
+    }
+
+    #[test]
+    fn criterion_machine_lines_feed_the_regression_tracker() {
+        // Fabricate a bench log per run with the real emitter, so this test
+        // pins the producer and the loader to the same format.
+        let run_log = |median: f64| {
+            let samples = criterion::Samples::from_ns(vec![median - 1.0, median, median + 2.0]);
+            format!(
+                "kernels/sgemm/128   min 9.0 ns  med 10.0 ns /iter\n{}\n",
+                criterion::machine_line(
+                    "kernels",
+                    "sgemm/128",
+                    &samples,
+                    Some(criterion::Throughput::Elements(128)),
+                )
+            )
+        };
+        let pts = parse_criterion_log(&run_log(10.0));
+        assert_eq!(pts.len(), 1, "human-readable lines are skipped");
+        assert_eq!(pts[0].group, "kernels");
+        assert_eq!(pts[0].id, "sgemm/128");
+        assert!((pts[0].median_ns - 10.0).abs() < 1e-9);
+        assert!((pts[0].min_ns - 9.0).abs() < 1e-9);
+        // Degenerate (empty-sample) lines drop out instead of erroring.
+        let null_line =
+            criterion::machine_line("kernels", "empty", &criterion::Samples::default(), None);
+        assert!(parse_criterion_log(&null_line).is_empty());
+        assert!(parse_criterion_log("{\"criterion\" not json").is_empty());
+
+        // Six nightly runs, the last one 50% slower: a lower-is-better
+        // policy flags it.
+        let runs: Vec<String> = [10.0, 10.2, 9.9, 10.1, 10.0, 15.0]
+            .iter()
+            .map(|&m| run_log(m))
+            .collect();
+        let h = criterion_history(&runs, "kernels", "sgemm/128");
+        assert_eq!(h.points.len(), 6);
+        assert_eq!(h.points[5], (5, 15.0));
+        let v = h.check_latest(&RegressionPolicy::default().lower_is_better());
+        assert!(v.is_regression(), "{v:?}");
+        // The wrong id yields an empty series, not a panic.
+        assert!(criterion_history(&runs, "kernels", "other")
+            .points
+            .is_empty());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct FaultProfile {
     pub node_fail_p: f64,
     /// Probability that one run attempt overruns its time limit.
     pub timeout_p: f64,
+    /// Mean simulated repair time for a drained node (seconds). Zero means
+    /// a drained node never comes back (the pre-heal world). The actual
+    /// window for a given system is drawn once per `(profile, seed,
+    /// system)` by [`FaultInjector::repair_window_s`], so every cell on
+    /// that system observes the same outage length.
+    pub repair_window_s: f64,
 }
 
 impl FaultProfile {
@@ -40,6 +46,7 @@ impl FaultProfile {
             build_fail_p: 0.0,
             node_fail_p: 0.0,
             timeout_p: 0.0,
+            repair_window_s: 0.0,
         }
     }
 
@@ -51,6 +58,7 @@ impl FaultProfile {
             build_fail_p: 0.20,
             node_fail_p: 0.12,
             timeout_p: 0.08,
+            repair_window_s: 1800.0,
         }
     }
 
@@ -62,6 +70,7 @@ impl FaultProfile {
             build_fail_p: 0.55,
             node_fail_p: 0.35,
             timeout_p: 0.25,
+            repair_window_s: 3600.0,
         }
     }
 
@@ -162,6 +171,27 @@ impl FaultInjector {
             None
         }
     }
+
+    /// The simulated repair window (seconds) for a drained node on
+    /// `system`. The draw is keyed only by `(profile, seed, system)` — not
+    /// by case or attempt — so every cell the suite runs on that system
+    /// sees the *same* outage length: node failures are correlated per
+    /// system, exactly like a real partition waiting on one repair ticket.
+    /// The window is jittered in `[0.5, 1.5)`× the profile mean and is
+    /// zero when the profile cannot fail nodes or never repairs them.
+    pub fn repair_window_s(&self, system: &str) -> f64 {
+        if self.profile.is_none() || self.profile.repair_window_s <= 0.0 {
+            return 0.0;
+        }
+        let h = fnv1a(&[
+            self.profile.name.as_bytes(),
+            &self.seed.to_le_bytes(),
+            system.as_bytes(),
+            b"repair",
+        ]);
+        let mut rng = SplitMix64::new(h);
+        self.profile.repair_window_s * (0.5 + rng.next_f64())
+    }
 }
 
 /// Bounded exponential backoff (simulated seconds) before retry number
@@ -249,6 +279,29 @@ mod tests {
         for name in FaultProfile::known_names() {
             assert!(FaultProfile::from_name(name).is_some());
         }
+    }
+
+    #[test]
+    fn repair_window_is_deterministic_per_system_and_zero_when_unfaulted() {
+        let inj = FaultInjector::new(FaultProfile::flaky(), 9);
+        let w = inj.repair_window_s("archer2");
+        assert_eq!(w, inj.repair_window_s("archer2"), "same key, same window");
+        assert!(
+            (900.0..2700.0).contains(&w),
+            "window {w} within jitter band of the profile mean"
+        );
+        assert_ne!(
+            w,
+            inj.repair_window_s("csd3"),
+            "different system, different outage"
+        );
+        assert_ne!(
+            w,
+            FaultInjector::new(FaultProfile::flaky(), 10).repair_window_s("archer2"),
+            "different seed, different outage"
+        );
+        let none = FaultInjector::new(FaultProfile::none(), 9);
+        assert_eq!(none.repair_window_s("archer2"), 0.0);
     }
 
     #[test]

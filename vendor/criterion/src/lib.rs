@@ -66,6 +66,12 @@ pub struct Samples {
 }
 
 impl Samples {
+    /// Build samples from raw per-iteration timings (ns). Public so tools
+    /// that consume the machine-readable output can construct fixtures.
+    pub fn from_ns(ns_per_iter: Vec<f64>) -> Samples {
+        Samples { ns_per_iter }
+    }
+
     /// Fastest observed batch.
     pub fn min_ns(&self) -> f64 {
         self.ns_per_iter.iter().copied().fold(f64::NAN, f64::min)
@@ -128,6 +134,53 @@ fn human_time(ns: f64) -> String {
     } else {
         format!("{:.3} s", ns / 1_000_000_000.0)
     }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_num(v: f64) -> String {
+    // JSON has no NaN/Inf; an empty or degenerate sample reports null so
+    // downstream loaders can drop the point instead of failing to parse.
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The machine-readable result line for one benchmark, emitted alongside the
+/// human-readable report so CI pipelines can ingest timings without scraping
+/// the aligned text (one JSON object per line, marked by the `"criterion"`
+/// version key).
+pub fn machine_line(
+    group: &str,
+    id: &str,
+    samples: &Samples,
+    throughput: Option<Throughput>,
+) -> String {
+    let mut line = format!(
+        "{{\"criterion\": 1, \"group\": \"{}\", \"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}",
+        json_escape(group),
+        json_escape(id),
+        json_num(samples.min_ns()),
+        json_num(samples.median_ns()),
+    );
+    match throughput {
+        Some(Throughput::Bytes(b)) => line.push_str(&format!(", \"bytes\": {b}")),
+        Some(Throughput::Elements(n)) => line.push_str(&format!(", \"elements\": {n}")),
+        None => {}
+    }
+    line.push('}');
+    line
 }
 
 /// A named collection of related benchmarks sharing configuration.
@@ -220,6 +273,10 @@ impl<M> BenchmarkGroup<'_, M> {
             None => {}
         }
         println!("{line}");
+        println!(
+            "{}",
+            machine_line(&self.name, &id.id, samples, self.throughput)
+        );
     }
 
     pub fn finish(&mut self) {}
@@ -286,6 +343,21 @@ mod tests {
             b.iter(|| v.iter().sum::<u64>())
         });
         g.finish();
+    }
+
+    #[test]
+    fn machine_line_is_one_json_object() {
+        let s = Samples::from_ns(vec![10.0, 12.0, 11.0]);
+        let line = machine_line("grp", "a/4", &s, Some(Throughput::Bytes(64)));
+        assert_eq!(
+            line,
+            "{\"criterion\": 1, \"group\": \"grp\", \"id\": \"a/4\", \
+             \"min_ns\": 10.000, \"median_ns\": 11.000, \"bytes\": 64}"
+        );
+        // Degenerate samples must still parse as JSON: null, not NaN.
+        let empty = machine_line("g", "x\"y", &Samples::default(), None);
+        assert!(empty.contains("\"min_ns\": null"), "{empty}");
+        assert!(empty.contains("x\\\"y"), "{empty}");
     }
 
     #[test]
