@@ -14,6 +14,12 @@
 #   5. resume    — crash-recovery smoke: a checkpointed survey killed
 #                  mid-run (--interrupt-after, exit 3) and resumed must
 #                  reproduce the uninterrupted output byte for byte
+#   6. nightly   — persistent-store smoke: a cold survey populates
+#                  --store, a warm rerun reuses it with identical FOM
+#                  tables, a corrupted entry is quarantined (not fatal),
+#                  and both gc subcommands run without deleting
+#                  quarantine memory; then the criterion bench log joins
+#                  a history digest (postproc::criterion_history)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,7 +29,10 @@ echo "== ci: cargo test --workspace =="
 cargo test -q --workspace
 
 echo "== ci: cargo bench smoke (framework) =="
-cargo bench -p bench --bench framework
+# Keep the machine-readable criterion lines: stage 6 digests them
+# against history (postproc::criterion_history closes the loop).
+bench_log="$(mktemp)"
+cargo bench -p bench --bench framework | tee "$bench_log"
 
 echo "== ci: fault-injection smoke (deterministic replay) =="
 cargo build -q --release -p benchkit
@@ -47,7 +56,7 @@ echo "fault smoke OK (replay byte-identical, $(printf '%s\n' "$first" | tail -1)
 
 echo "== ci: kill-and-resume smoke (checkpointed survey) =="
 ckpt_dir="$(mktemp -d)"
-trap 'rm -rf "$ckpt_dir"' EXIT
+trap 'rm -rf "$ckpt_dir" "$bench_log"' EXIT
 resumable_survey() {
     # $1: extra flags (checkpoint/resume/interrupt); output ends in exit:N.
     # shellcheck disable=SC2086
@@ -71,5 +80,80 @@ if [ "$resumed" != "$uninterrupted" ]; then
     exit 1
 fi
 echo "resume smoke OK (killed after 2 cells, resumed byte-identical)"
+
+echo "== ci: nightly-rerun smoke (persistent store) =="
+nightly_dir="$(mktemp -d)"
+trap 'rm -rf "$ckpt_dir" "$bench_log" "$nightly_dir"' EXIT
+store_dir="$nightly_dir/store"
+nightly_survey() {
+    ./target/release/benchkit survey -c babelstream_omp -c babelstream_tbb \
+        --system csd3 --system archer2 \
+        --seed 7 --jobs 4 --store "$store_dir" \
+        --checkpoint "$nightly_dir/ck-$1"
+}
+# Keep the FOM tables, drop the build accounting that legitimately
+# changes between cold and warm runs (streamed cell lines, store line).
+fom_view() { grep -v -e '^store: ' -e '^\[' ; }
+cold="$(nightly_survey cold)"
+warm="$(nightly_survey warm)"
+case "$warm" in
+*"store: 0 hits"*)
+    echo "nightly smoke FAILED: warm rerun reused nothing" >&2
+    printf '%s\n' "$warm" >&2
+    exit 1
+    ;;
+esac
+if [ "$(printf '%s\n' "$cold" | fom_view)" != "$(printf '%s\n' "$warm" | fom_view)" ]; then
+    echo "nightly smoke FAILED: warm FOM tables diverged from cold" >&2
+    diff <(printf '%s\n' "$cold" | fom_view) <(printf '%s\n' "$warm" | fom_view) >&2 || true
+    exit 1
+fi
+# Corrupt one store entry: the rerun must quarantine it and rebuild
+# cold with identical FOMs — never fail the study.
+victim="$(ls "$store_dir"/entries/*.json | head -1)"
+printf 'garbage' | dd of="$victim" bs=1 seek=5 count=7 conv=notrunc status=none
+corrupted="$(nightly_survey corrupted)"
+case "$corrupted" in
+*"store: "*" 1 quarantined"*) ;;
+*)
+    echo "nightly smoke FAILED: corrupted entry was not quarantined" >&2
+    printf '%s\n' "$corrupted" >&2
+    exit 1
+    ;;
+esac
+if [ "$(printf '%s\n' "$cold" | fom_view)" != "$(printf '%s\n' "$corrupted" | fom_view)" ]; then
+    echo "nightly smoke FAILED: corrupted-then-rebuilt FOM tables diverged" >&2
+    exit 1
+fi
+[ -n "$(ls "$store_dir/corrupt" 2>/dev/null)" ] || {
+    echo "nightly smoke FAILED: no quarantined file in corrupt/" >&2
+    exit 1
+}
+# Both garbage collectors run; neither may delete quarantine memory.
+./target/release/benchkit store gc "$store_dir" --keep 5
+./target/release/benchkit checkpoint gc "$nightly_dir/ck-cold"
+./target/release/benchkit checkpoint gc "$nightly_dir/ck-warm"
+[ -n "$(ls "$store_dir/corrupt" 2>/dev/null)" ] || {
+    echo "nightly smoke FAILED: store gc deleted quarantined entries" >&2
+    exit 1
+}
+[ -f "$nightly_dir/ck-cold/quarantine.json" ] || {
+    echo "nightly smoke FAILED: checkpoint gc deleted quarantine memory" >&2
+    exit 1
+}
+echo "nightly smoke OK (cold, warm reuse, corruption quarantined, gc ran)"
+
+echo "== ci: bench history digest (criterion regression loop) =="
+# Each CI run contributes one criterion log; digest the accumulated
+# history (here: stage 3's log replayed as a synthetic 6-run history so
+# the digest has enough points to judge — a real nightly keeps one log
+# per night next to the store directory and passes them oldest first).
+history=()
+for i in 1 2 3 4 5 6; do
+    cp "$bench_log" "$nightly_dir/bench-history-$i.json"
+    history+=("$nightly_dir/bench-history-$i.json")
+done
+./target/release/benchkit bench-digest "${history[@]}"
+echo "bench digest OK"
 
 echo "ci OK"

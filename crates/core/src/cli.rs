@@ -55,7 +55,19 @@ pub enum Command {
         /// Abort the process (exit 3) after this many cells have been
         /// journaled — a deterministic crash for resume testing.
         interrupt_after: Option<usize>,
+        /// Persistent package store directory (`--store DIR`): warm
+        /// builds from it, persist new builds back into it.
+        store: Option<String>,
     },
+    /// `store gc <dir> [--keep K]` — evict entries not referenced by the
+    /// last K studies.
+    StoreGc { dir: String, keep: usize },
+    /// `checkpoint gc <dir> [--force]` — drop a completed study's journal,
+    /// keeping quarantine memory.
+    CheckpointGc { dir: String, force: bool },
+    /// `bench-digest <log>...` — median-regression digest over criterion
+    /// JSON logs, oldest first.
+    BenchDigest { logs: Vec<String> },
     /// `help`
     Help,
 }
@@ -81,7 +93,7 @@ USAGE:
     benchkit survey -c <benchmark>... --system <system>... [--seed N] [--jobs N] [--warm-store]
                     [--fault-profile [SYS=]NAME]... [--max-retries N] [--fail-fast]
                     [--quarantine K] [--heal] [--checkpoint DIR | --resume DIR]
-                    [--interrupt-after N]
+                    [--interrupt-after N] [--store DIR]
         --jobs N runs N (benchmark, system) combinations concurrently
         (0 = one per available core); the report is identical to --jobs 1.
         --warm-store shares one package store per system so its cases
@@ -105,7 +117,22 @@ USAGE:
         quarantined in an earlier study is probed with a single canary
         cell before being readmitted. --interrupt-after N aborts the
         process (exit 3) after N cells, for crash drills.
+        --store DIR warms builds from a crash-safe persistent package
+        store that survives across studies (entries are checksummed;
+        corrupt ones are quarantined to DIR/corrupt/ and rebuilt cold;
+        a concurrent holder of DIR degrades the run to an in-memory
+        warm store). FOMs are identical cold vs. warm.
         Exits nonzero if any cell fails.
+    benchkit store gc <dir> [--keep K]
+        Evict store entries not referenced by the last K studies
+        (default 5). Never touches quarantined entries in DIR/corrupt/.
+    benchkit checkpoint gc <dir> [--force]
+        Drop the study journal once its study completed, keeping
+        quarantine memory. An incomplete journal is refused unless
+        --force.
+    benchkit bench-digest <log>...
+        Median-regression digest over criterion JSON logs (oldest
+        first): one sparkline + verdict per benchmark id.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -143,6 +170,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 (opts.checkpoint.is_some(), "--checkpoint"),
                 (opts.resume.is_some(), "--resume"),
                 (opts.interrupt_after.is_some(), "--interrupt-after"),
+                (opts.store.is_some(), "--store"),
             ] {
                 if set {
                     return Err(CliError(format!("run: `{flag}` only applies to `survey`")));
@@ -227,7 +255,76 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint: opts.checkpoint,
                 resume: opts.resume,
                 interrupt_after: opts.interrupt_after,
+                store: opts.store,
             })
+        }
+        "store" => match rest.first().map(String::as_str) {
+            Some("gc") => {
+                let mut dir = None;
+                let mut keep = 5usize;
+                let mut i = 1;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--keep" => {
+                            let v = take_value(&rest, &mut i, "--keep")?;
+                            keep = v.parse().map_err(|_| CliError(format!("bad keep `{v}`")))?;
+                        }
+                        other if !other.starts_with('-') && dir.is_none() => {
+                            dir = Some(other.to_string());
+                            i += 1;
+                        }
+                        other => {
+                            return Err(CliError(format!(
+                                "store gc: unexpected argument `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Command::StoreGc {
+                    dir: dir.ok_or_else(|| CliError("store gc: missing <dir>".into()))?,
+                    keep,
+                })
+            }
+            _ => Err(CliError(
+                "store: expected a subcommand: `store gc <dir> [--keep K]`".into(),
+            )),
+        },
+        "checkpoint" => match rest.first().map(String::as_str) {
+            Some("gc") => {
+                let mut dir = None;
+                let mut force = false;
+                for arg in &rest[1..] {
+                    match arg.as_str() {
+                        "--force" => force = true,
+                        other if !other.starts_with('-') && dir.is_none() => {
+                            dir = Some(other.to_string());
+                        }
+                        other => {
+                            return Err(CliError(format!(
+                                "checkpoint gc: unexpected argument `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Command::CheckpointGc {
+                    dir: dir.ok_or_else(|| CliError("checkpoint gc: missing <dir>".into()))?,
+                    force,
+                })
+            }
+            _ => Err(CliError(
+                "checkpoint: expected a subcommand: `checkpoint gc <dir> [--force]`".into(),
+            )),
+        },
+        "bench-digest" => {
+            if rest.is_empty() {
+                return Err(CliError("bench-digest: at least one <log> file".into()));
+            }
+            if let Some(flag) = rest.iter().find(|a| a.starts_with('-')) {
+                return Err(CliError(format!(
+                    "bench-digest: unexpected argument `{flag}`"
+                )));
+            }
+            Ok(Command::BenchDigest { logs: rest })
         }
         "spec" => {
             let mut positional = None;
@@ -273,6 +370,7 @@ struct Options {
     checkpoint: Option<String>,
     resume: Option<String>,
     interrupt_after: Option<usize>,
+    store: Option<String>,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -300,6 +398,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         checkpoint: None,
         resume: None,
         interrupt_after: None,
+        store: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -374,6 +473,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     v.parse()
                         .map_err(|_| CliError(format!("bad interrupt-after `{v}`")))?,
                 );
+            }
+            "--store" => {
+                opts.store = Some(take_value(args, &mut i, "--store")?);
             }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
@@ -506,6 +608,7 @@ pub fn execute(
             checkpoint,
             resume,
             interrupt_after,
+            store,
         } => {
             let profile = simhpc::faults::FaultProfile::from_name(&fault_profile)
                 .ok_or_else(|| CliError(format!("unknown fault profile `{fault_profile}`")))?;
@@ -528,6 +631,9 @@ pub fn execute(
             }
             if let Some(dir) = &resume {
                 study = study.with_resume(std::path::Path::new(dir));
+            }
+            if let Some(dir) = &store {
+                study = study.with_store(std::path::Path::new(dir));
             }
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
@@ -628,12 +734,104 @@ pub fn execute(
                     results.report.total_build_time_s()
                 )?;
             }
+            if let Some(stats) = &results.report.store {
+                let mut line = format!(
+                    "store: {} hits, {} misses, {} quarantined, {} persisted",
+                    stats.hits, stats.misses, stats.quarantined, stats.persisted
+                );
+                if let Some(reason) = &stats.degraded {
+                    line.push_str(&format!(" (degraded to in-memory warm store: {reason})"));
+                }
+                writeln!(out, "{line}")?;
+            }
             write!(out, "{}", results.frame())?;
             let failed = results.report.n_failed();
             if failed > 0 {
                 return Err(CliError(format!(
                     "survey: {failed} of {} cells failed",
                     results.report.outcomes.len()
+                ))
+                .into());
+            }
+        }
+        Command::StoreGc { dir, keep } => {
+            let path = std::path::Path::new(&dir);
+            let mut disk = spackle::DiskStore::open(path).map_err(|e| CliError(match e {
+                spackle::DiskStoreError::Busy { pid, .. } => format!(
+                    "store gc: `{dir}` is locked by a live process (pid {pid}); retry once its study finishes"
+                ),
+                other => format!("store gc: {other}"),
+            }))?;
+            let report = disk
+                .gc(keep)
+                .map_err(|e| CliError(format!("store gc: {e}")))?;
+            writeln!(
+                out,
+                "store gc: kept {}, evicted {} (referenced by the last {} studies)",
+                report.kept, report.evicted, report.studies_considered
+            )?;
+        }
+        Command::CheckpointGc { dir, force } => {
+            match harness::checkpoint::gc(std::path::Path::new(&dir), force)? {
+                harness::checkpoint::GcOutcome::Collected { cells, forced } => writeln!(
+                    out,
+                    "checkpoint gc: collected journal ({cells} cells{}); quarantine memory kept",
+                    if forced { ", forced" } else { "" }
+                )?,
+                harness::checkpoint::GcOutcome::NoJournal => {
+                    writeln!(out, "checkpoint gc: no journal in `{dir}`")?;
+                }
+            }
+        }
+        Command::BenchDigest { logs } => {
+            // Oldest first: each file is one bench run; the last file's
+            // medians are judged against all earlier ones.
+            let mut runs = Vec::new();
+            for path in &logs {
+                runs.push(
+                    std::fs::read_to_string(path).map_err(|e| {
+                        CliError(format!("bench-digest: cannot read `{path}`: {e}"))
+                    })?,
+                );
+            }
+            // Every (group, id) pair seen in any run, sorted for a stable
+            // digest regardless of log ordering quirks.
+            let mut ids = std::collections::BTreeSet::new();
+            for run in &runs {
+                for p in postproc::parse_criterion_log(run) {
+                    ids.insert((p.group, p.id));
+                }
+            }
+            if ids.is_empty() {
+                return Err(CliError(
+                    "bench-digest: no criterion records in the given logs".into(),
+                )
+                .into());
+            }
+            // Bench medians are wall times: lower is better.
+            let policy = postproc::RegressionPolicy::default().lower_is_better();
+            let mut regressions = 0usize;
+            for (group, id) in &ids {
+                let history = postproc::criterion_history(&runs, group, id);
+                let verdict = history.check_latest(&policy);
+                let verdict_text = match &verdict {
+                    postproc::Verdict::Ok { z_score } => format!("ok (z={z_score:.2})"),
+                    postproc::Verdict::Regression { z_score, .. } => {
+                        regressions += 1;
+                        format!("REGRESSION (z={z_score:.2})")
+                    }
+                    postproc::Verdict::Improvement { z_score, .. } => {
+                        format!("improvement (z={z_score:.2})")
+                    }
+                    postproc::Verdict::InsufficientHistory { have, need } => {
+                        format!("insufficient history ({have}/{need})")
+                    }
+                };
+                writeln!(out, "{group}/{id}: {} {verdict_text}", history.sparkline())?;
+            }
+            if regressions > 0 {
+                return Err(CliError(format!(
+                    "bench-digest: {regressions} benchmark(s) regressed"
                 ))
                 .into());
             }
@@ -703,6 +901,7 @@ mod tests {
                 checkpoint,
                 resume,
                 interrupt_after,
+                store,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
@@ -718,6 +917,7 @@ mod tests {
                 assert_eq!(checkpoint, None, "no checkpointing by default");
                 assert_eq!(resume, None);
                 assert_eq!(interrupt_after, None);
+                assert_eq!(store, None, "no persistent store by default");
             }
             other => panic!("{other:?}"),
         }
@@ -999,6 +1199,7 @@ mod tests {
                 checkpoint: None,
                 resume: None,
                 interrupt_after: None,
+                store: None,
             },
             &mut buf,
         )
@@ -1043,6 +1244,7 @@ mod tests {
                     checkpoint: None,
                     resume: None,
                     interrupt_after: None,
+                    store: None,
                 },
                 &mut buf,
             )
@@ -1098,6 +1300,7 @@ mod tests {
                     checkpoint: None,
                     resume: None,
                     interrupt_after: None,
+                    store: None,
                 },
                 &mut buf,
             );
@@ -1147,6 +1350,7 @@ mod tests {
                     checkpoint: None,
                     resume: None,
                     interrupt_after: None,
+                    store: None,
                 },
                 &mut buf,
             );
@@ -1200,6 +1404,7 @@ mod tests {
             checkpoint: None,
             resume: None,
             interrupt_after: None,
+            store: None,
         }
     }
 
@@ -1340,5 +1545,179 @@ mod tests {
         let (text, _) = run_cmd(cmd);
         assert!(text.contains("fault overrides: archer2=none"), "{text}");
         assert!(text.contains("fault profile `flaky`:"), "{text}");
+    }
+
+    #[test]
+    fn parse_store_flag_and_subcommands() {
+        match parse(&argv("survey -c hpgmg --system csd3 --store /tmp/st")).unwrap() {
+            Command::Survey { store, .. } => assert_eq!(store.as_deref(), Some("/tmp/st")),
+            other => panic!("{other:?}"),
+        }
+        // `run` does not take a persistent store.
+        assert!(parse(&argv("run -c hpgmg --system csd3 --store /tmp/st")).is_err());
+
+        assert_eq!(
+            parse(&argv("store gc /tmp/st")).unwrap(),
+            Command::StoreGc {
+                dir: "/tmp/st".into(),
+                keep: 5
+            }
+        );
+        assert_eq!(
+            parse(&argv("store gc /tmp/st --keep 2")).unwrap(),
+            Command::StoreGc {
+                dir: "/tmp/st".into(),
+                keep: 2
+            }
+        );
+        assert!(parse(&argv("store gc")).is_err(), "missing dir");
+        assert!(parse(&argv("store")).is_err(), "missing subcommand");
+        assert!(parse(&argv("store gc /tmp/st --keep nope")).is_err());
+
+        assert_eq!(
+            parse(&argv("checkpoint gc /tmp/ck")).unwrap(),
+            Command::CheckpointGc {
+                dir: "/tmp/ck".into(),
+                force: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("checkpoint gc /tmp/ck --force")).unwrap(),
+            Command::CheckpointGc {
+                dir: "/tmp/ck".into(),
+                force: true
+            }
+        );
+        assert!(parse(&argv("checkpoint gc")).is_err(), "missing dir");
+        assert!(parse(&argv("checkpoint")).is_err(), "missing subcommand");
+
+        assert_eq!(
+            parse(&argv("bench-digest a.json b.json")).unwrap(),
+            Command::BenchDigest {
+                logs: vec!["a.json".into(), "b.json".into()]
+            }
+        );
+        assert!(parse(&argv("bench-digest")).is_err(), "missing logs");
+        assert!(parse(&argv("bench-digest --wat")).is_err());
+    }
+
+    #[test]
+    fn survey_with_store_reports_accounting_and_gc_runs() {
+        // Cold study populates the store; a warm rerun hits it; the FOM
+        // frame is byte-identical. Then both gc subcommands run against
+        // the artifacts the surveys left behind.
+        let store_dir = tmpdir("cli-store");
+        let ck_dir = tmpdir("cli-store-ck");
+        let make = |checkpoint: bool| {
+            let mut cmd = survey(&["babelstream_omp", "babelstream_tbb"], &["csd3"]);
+            if let Command::Survey {
+                store,
+                checkpoint: ck,
+                ..
+            } = &mut cmd
+            {
+                *store = Some(store_dir.to_string_lossy().into_owned());
+                if checkpoint {
+                    *ck = Some(ck_dir.to_string_lossy().into_owned());
+                }
+            }
+            cmd
+        };
+        let (cold, cold_err) = run_cmd(make(false));
+        assert!(cold_err.is_none(), "{cold_err:?}");
+        assert!(
+            cold.contains("store: 0 hits,"),
+            "cold run misses everything: {cold}"
+        );
+        let (warm, warm_err) = run_cmd(make(true));
+        assert!(warm_err.is_none(), "{warm_err:?}");
+        let store_line = warm
+            .lines()
+            .find(|l| l.starts_with("store: "))
+            .expect("accounting line present");
+        let hits: usize = store_line
+            .strip_prefix("store: ")
+            .and_then(|s| s.split(" hits").next())
+            .and_then(|s| s.parse().ok())
+            .expect("hits count parses");
+        assert!(hits > 0, "{store_line}");
+        // Build accounting (the streamed per-cell `built/cached` lines and
+        // the store line) legitimately differs between cold and warm runs;
+        // the outcome counts and the FOM frame must not.
+        let strip = |text: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with("store: ") && !l.starts_with('['))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+
+        // store gc keeps everything the last studies referenced.
+        let (text, err) = run_cmd(Command::StoreGc {
+            dir: store_dir.to_string_lossy().into_owned(),
+            keep: 5,
+        });
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("store gc: kept "), "{text}");
+        assert!(text.contains("evicted 0"), "{text}");
+
+        // checkpoint gc collects the completed journal, keeping memory.
+        let (text, err) = run_cmd(Command::CheckpointGc {
+            dir: ck_dir.to_string_lossy().into_owned(),
+            force: false,
+        });
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("collected journal"), "{text}");
+        assert!(!ck_dir.join(harness::checkpoint::JOURNAL_FILE).exists());
+
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let _ = std::fs::remove_dir_all(&ck_dir);
+    }
+
+    #[test]
+    fn bench_digest_renders_and_flags_regressions() {
+        let dir = tmpdir("cli-digest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |median: f64| {
+            format!(
+                "{{\"criterion\": true, \"group\": \"suite\", \"id\": \"symgs\", \
+                 \"min_ns\": {median}, \"median_ns\": {median}}}\n"
+            )
+        };
+        let mut logs = Vec::new();
+        for (i, median) in [100.0, 101.0, 99.0, 100.5, 100.2, 99.8, 100.1, 100.3]
+            .iter()
+            .enumerate()
+        {
+            let path = dir.join(format!("run-{i}.json"));
+            std::fs::write(&path, line(*median)).unwrap();
+            logs.push(path.to_string_lossy().into_owned());
+        }
+        // A healthy history digests cleanly.
+        let (text, err) = run_cmd(Command::BenchDigest { logs: logs.clone() });
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("suite/symgs: "), "{text}");
+        assert!(text.contains("ok (z="), "{text}");
+        // A 3x slowdown in the newest run is a regression (lower is
+        // better for wall times) and a nonzero exit.
+        let bad = dir.join("run-bad.json");
+        std::fs::write(&bad, line(300.0)).unwrap();
+        logs.push(bad.to_string_lossy().into_owned());
+        let (text, err) = run_cmd(Command::BenchDigest { logs });
+        let err = err.expect("regression must fail the digest");
+        assert!(err.contains("regressed"), "{err}");
+        assert!(text.contains("REGRESSION"), "{text}");
+        // Unreadable and empty inputs fail loudly, not silently.
+        let (_, err) = run_cmd(Command::BenchDigest {
+            logs: vec![dir.join("nope.json").to_string_lossy().into_owned()],
+        });
+        assert!(err.unwrap().contains("cannot read"), "unreadable log");
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "no criterion lines here\n").unwrap();
+        let (_, err) = run_cmd(Command::BenchDigest {
+            logs: vec![empty.to_string_lossy().into_owned()],
+        });
+        assert!(err.unwrap().contains("no criterion records"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

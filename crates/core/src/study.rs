@@ -26,6 +26,7 @@ pub struct Study {
     fault_overrides: Vec<(String, FaultProfile)>,
     heal: bool,
     checkpoint: Option<(PathBuf, bool)>,
+    store: Option<PathBuf>,
 }
 
 impl Study {
@@ -44,6 +45,7 @@ impl Study {
             fault_overrides: Vec::new(),
             heal: false,
             checkpoint: None,
+            store: None,
         }
     }
 
@@ -139,6 +141,14 @@ impl Study {
         self
     }
 
+    /// Warm builds from (and persist new builds to) the crash-safe
+    /// persistent package store at `dir` (`--store`). Store trouble
+    /// degrades to an in-memory warm store; it never fails the study.
+    pub fn with_store(mut self, dir: &Path) -> Study {
+        self.store = Some(dir.to_path_buf());
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
         self.run_with_progress(&|_| {})
@@ -175,6 +185,9 @@ impl Study {
             Some((dir, true)) => runner = runner.with_resume(dir),
             Some((dir, false)) => runner = runner.with_checkpoint(dir),
             None => {}
+        }
+        if let Some(dir) = &self.store {
+            runner = runner.with_store(dir);
         }
         let report = runner.try_run_with_progress(&self.cases, on_flush)?;
         Ok(StudyResults {

@@ -72,6 +72,12 @@ pub enum CheckpointError {
     /// The journal is structurally damaged beyond the tolerated torn
     /// trailing record (e.g. no header line at all).
     Corrupt(String),
+    /// `checkpoint gc` refused to collect a journal whose study never
+    /// reached its terminal record (use `--force` to collect anyway).
+    Incomplete {
+        have: usize,
+        want: usize,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -85,6 +91,11 @@ impl fmt::Display for CheckpointError {
                  refusing to resume a different experiment"
             ),
             CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint journal: {m}"),
+            CheckpointError::Incomplete { have, want } => write!(
+                f,
+                "journal holds {have} of {want} cells — the study never \
+                 completed; resume it or pass --force to collect anyway"
+            ),
         }
     }
 }
@@ -106,6 +117,9 @@ pub struct StudyBinding {
     pub cases: Vec<String>,
     pub seed: u64,
     pub warm_store: bool,
+    /// Whether the study was backed by a persistent disk store. Bound so
+    /// a resume cannot silently switch store modes mid-study.
+    pub store: bool,
     /// Base fault profile name.
     pub profile: String,
     /// Per-system profile overrides, in override order: (system, profile).
@@ -130,6 +144,7 @@ impl StudyBinding {
         m.insert("cases", str_list(&self.cases));
         m.insert("seed", Value::Int(self.seed as i64));
         m.insert("warm_store", Value::Bool(self.warm_store));
+        m.insert("store", Value::Bool(self.store));
         m.insert("profile", Value::from(self.profile.as_str()));
         let mut overrides = Map::new();
         for (system, profile) in &self.overrides {
@@ -464,33 +479,56 @@ fn int_as_u32(v: &Value, what: &str) -> Result<u32, CheckpointError> {
 }
 
 /// Load the per-system consecutive-failure streaks persisted by the last
-/// completed study in `dir`. Missing file = no memory (empty).
+/// completed study in `dir`. Missing file = no memory (empty). A torn or
+/// unreadable file means the memory is lost, not that the study must die:
+/// warn and start fresh — quarantine memory is an optimization, and the
+/// atomic rewrite in [`save_streaks`] makes this path unreachable except
+/// after external damage.
 pub fn load_streaks(dir: &Path) -> Result<Vec<(String, u32)>, CheckpointError> {
     let path = dir.join(QUARANTINE_FILE);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
+        Err(e) => {
+            eprintln!(
+                "warning: quarantine memory unreadable ({}: {e}); starting fresh",
+                path.display()
+            );
+            return Ok(Vec::new());
+        }
     };
-    let doc = tinycfg::parse(text.trim())
-        .map_err(|e| CheckpointError::Corrupt(format!("bad quarantine memory: {e}")))?;
+    let doc = match tinycfg::parse(text.trim()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "warning: quarantine memory corrupt ({}: {e}); starting fresh",
+                path.display()
+            );
+            return Ok(Vec::new());
+        }
+    };
     let mut streaks = Vec::new();
     if let Some(m) = doc.get_path("streaks").and_then(Value::as_map) {
         for (system, v) in m.iter() {
-            let n = v
-                .as_int()
-                .and_then(|i| u32::try_from(i).ok())
-                .ok_or_else(|| {
-                    CheckpointError::Corrupt(format!("bad streak for `{system}`: {v:?}"))
-                })?;
-            streaks.push((system.to_string(), n));
+            match v.as_int().and_then(|i| u32::try_from(i).ok()) {
+                Some(n) => streaks.push((system.to_string(), n)),
+                None => {
+                    eprintln!(
+                        "warning: quarantine memory corrupt (bad streak for `{system}`); \
+                         starting fresh"
+                    );
+                    return Ok(Vec::new());
+                }
+            }
         }
     }
     Ok(streaks)
 }
 
 /// Persist the per-system streaks at the end of a completed study
-/// (systems with streak 0 are omitted — absence means healthy).
+/// (systems with streak 0 are omitted — absence means healthy). Written
+/// atomically (temp + fsync + rename) so a crash mid-write can never
+/// corrupt cross-study quarantine memory.
 pub fn save_streaks(dir: &Path, streaks: &[(String, u32)]) -> Result<(), CheckpointError> {
     std::fs::create_dir_all(dir)?;
     let mut m = Map::new();
@@ -503,10 +541,76 @@ pub fn save_streaks(dir: &Path, streaks: &[(String, u32)]) -> Result<(), Checkpo
         }
     }
     m.insert("streaks", Value::Map(sm));
-    let mut file = File::create(dir.join(QUARANTINE_FILE))?;
-    writeln!(file, "{}", Value::Map(m).to_json())?;
-    file.sync_data()?;
+    let text = format!("{}\n", Value::Map(m).to_json());
+    spackle::write_atomic(&dir.join(QUARANTINE_FILE), &text)?;
     Ok(())
+}
+
+/// Outcome of [`gc`] on one checkpoint directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcOutcome {
+    /// The journal was removed; `cells` records were collected.
+    /// `quarantine.json` is always left in place.
+    Collected { cells: usize, forced: bool },
+    /// No journal in the directory — nothing to collect.
+    NoJournal,
+}
+
+/// `benchkit checkpoint gc`: drop the study journal from `dir` once its
+/// study has completed, keeping `quarantine.json` (cross-study memory
+/// outlives any one journal). A journal whose study never reached its
+/// terminal record is refused with [`CheckpointError::Incomplete`] unless
+/// `force` — an interrupted study is exactly what checkpoints exist to
+/// save.
+pub fn gc(dir: &Path, force: bool) -> Result<GcOutcome, CheckpointError> {
+    let path = dir.join(JOURNAL_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(GcOutcome::NoJournal),
+        Err(e) => return Err(CheckpointError::Io(format!("{}: {e}", path.display()))),
+    };
+    // How many cells does the bound study have, and how many landed?
+    let verdict: Result<(usize, usize), CheckpointError> = (|| {
+        let header_end = text
+            .find('\n')
+            .ok_or_else(|| CheckpointError::Corrupt("journal has no header line".to_string()))?;
+        let doc = tinycfg::parse(&text[..header_end])
+            .map_err(|e| CheckpointError::Corrupt(format!("bad journal header: {e}")))?;
+        let len_of = |key: &str| -> Result<usize, CheckpointError> {
+            doc.get_path(key)
+                .and_then(Value::as_list)
+                .map(<[Value]>::len)
+                .ok_or_else(|| CheckpointError::Corrupt(format!("header missing `{key}`")))
+        };
+        let want = len_of("systems")? * len_of("cases")?;
+        let mut have = 0;
+        for line in text[header_end + 1..].lines() {
+            if parse_cell(line, have).is_err() {
+                break;
+            }
+            have += 1;
+        }
+        Ok((have, want))
+    })();
+    let (cells, forced) = match verdict {
+        Ok((have, want)) if have >= want => (have, false),
+        Ok((have, want)) => {
+            if !force {
+                return Err(CheckpointError::Incomplete { have, want });
+            }
+            (have, true)
+        }
+        Err(e) => {
+            // Structurally damaged journal: refuse by default (the user
+            // should look at it), collect under force.
+            if !force {
+                return Err(e);
+            }
+            (0, true)
+        }
+    };
+    std::fs::remove_file(&path)?;
+    Ok(GcOutcome::Collected { cells, forced })
 }
 
 #[cfg(test)]
@@ -531,6 +635,7 @@ mod tests {
             cases: vec!["babelstream_omp".to_string(), "hpgmg_fv".to_string()],
             seed: 7,
             warm_store: false,
+            store: false,
             profile: "flaky".to_string(),
             overrides: vec![("archer2".to_string(), "brutal".to_string())],
             max_retries: 2,
@@ -680,6 +785,114 @@ mod tests {
             load_streaks(&dir).unwrap(),
             vec![("archer2".to_string(), 4), ("cosma8".to_string(), 1)]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_quarantine_memory_warns_and_starts_fresh() {
+        let dir = tmpdir("torn-streaks");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crash mid-write under the old in-place rewrite could leave any
+        // of these on disk; none may panic or error — memory starts fresh.
+        for torn in [
+            "",
+            "{\"format\":\"benchkit-quar",
+            "not json",
+            "{\"streaks\":{\"csd3\":\"x\"}}",
+        ] {
+            std::fs::write(dir.join(QUARANTINE_FILE), torn).unwrap();
+            assert_eq!(load_streaks(&dir).unwrap(), vec![], "torn content {torn:?}");
+        }
+        // And a fresh save repairs the file for the next study.
+        save_streaks(&dir, &[("csd3".to_string(), 2)]).unwrap();
+        assert_eq!(load_streaks(&dir).unwrap(), vec![("csd3".to_string(), 2)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_streaks_leaves_no_temp_files() {
+        let dir = tmpdir("atomic-streaks");
+        save_streaks(&dir, &[("archer2".to_string(), 1)]).unwrap();
+        save_streaks(&dir, &[("archer2".to_string(), 2)]).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![QUARANTINE_FILE.to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A journal for `binding()`'s 2×2 grid with `n` completed cells.
+    fn journal_with_cells(dir: &Path, n: usize) {
+        let journal = Journal::create(dir, &binding()).unwrap();
+        for i in 0..n {
+            journal
+                .append(i, "case", "sys", &SuiteOutcome::Skipped("s".into()))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_collects_completed_journal_and_keeps_quarantine() {
+        let dir = tmpdir("gc-done");
+        journal_with_cells(&dir, 4); // 2 systems × 2 cases = terminal
+        save_streaks(&dir, &[("csd3".to_string(), 3)]).unwrap();
+        assert_eq!(
+            gc(&dir, false).unwrap(),
+            GcOutcome::Collected {
+                cells: 4,
+                forced: false
+            }
+        );
+        assert!(!dir.join(JOURNAL_FILE).exists());
+        assert_eq!(
+            load_streaks(&dir).unwrap(),
+            vec![("csd3".to_string(), 3)],
+            "gc must never delete quarantine memory"
+        );
+        // Idempotent: a second pass finds nothing.
+        assert_eq!(gc(&dir, false).unwrap(), GcOutcome::NoJournal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_refuses_incomplete_journal_without_force() {
+        let dir = tmpdir("gc-incomplete");
+        journal_with_cells(&dir, 2); // interrupted: 2 of 4 cells
+        match gc(&dir, false) {
+            Err(CheckpointError::Incomplete { have: 2, want: 4 }) => {}
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+        assert!(dir.join(JOURNAL_FILE).exists(), "refusal must not delete");
+        assert_eq!(
+            gc(&dir, true).unwrap(),
+            GcOutcome::Collected {
+                cells: 2,
+                forced: true
+            }
+        );
+        assert!(!dir.join(JOURNAL_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_refuses_headerless_journal_without_force() {
+        let dir = tmpdir("gc-headerless");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(JOURNAL_FILE), "garbage with no newline").unwrap();
+        assert!(matches!(gc(&dir, false), Err(CheckpointError::Corrupt(_))));
+        assert!(matches!(
+            gc(&dir, true),
+            Ok(GcOutcome::Collected { forced: true, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_on_empty_dir_is_a_noop() {
+        let dir = tmpdir("gc-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(gc(&dir, false).unwrap(), GcOutcome::NoJournal);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -23,7 +23,7 @@ mod pipeline;
 mod suite;
 
 pub use pipeline::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions};
-pub use suite::{SuiteOutcome, SuiteProgress, SuiteReport, SuiteRunner};
+pub use suite::{StoreStats, SuiteOutcome, SuiteProgress, SuiteReport, SuiteRunner};
 
 use benchapps::babelstream::BabelStreamConfig;
 use benchapps::hpcg::HpcgConfig;

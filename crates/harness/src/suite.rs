@@ -7,8 +7,9 @@ use crate::checkpoint::{self, CheckpointError, CheckpointMode, Journal, StudyBin
 use crate::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions, TestCase};
 use perflogs::Perflog;
 use simhpc::faults::FaultProfile;
-use std::collections::BTreeMap;
-use std::path::Path;
+use spackle::{BuildAction, DiskStore, StoreEntry};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -62,6 +63,27 @@ impl SuiteOutcome {
     }
 }
 
+/// Persistent-store accounting for one sweep (`--store`). Counted against
+/// the verified resident set at open, attributed by the canonical warm
+/// prepass — so the numbers are identical at any `--jobs` count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Dependency installs satisfied by an entry that was resident on disk.
+    pub hits: usize,
+    /// Packages built that no verified disk entry could have satisfied.
+    /// (Forced P3 root rebuilds of resident entries are neither hit nor
+    /// miss: the store could not legally serve them.)
+    pub misses: usize,
+    /// Entries quarantined to `corrupt/` while opening the store.
+    pub quarantined: usize,
+    /// New entries persisted after the study completed.
+    pub persisted: usize,
+    /// Why the sweep fell back to a plain in-memory warm store (lock
+    /// contention, I/O trouble), if it did. The study itself never fails
+    /// because of the store.
+    pub degraded: Option<String>,
+}
+
 /// The result of a full sweep.
 #[derive(Debug)]
 pub struct SuiteReport {
@@ -72,6 +94,8 @@ pub struct SuiteReport {
     /// Canary verdicts for systems that started quarantined by memory:
     /// (system spec, readmitted?). Empty unless quarantine memory fired.
     pub canaries: Vec<(String, bool)>,
+    /// Persistent-store accounting; `None` unless `--store` was given.
+    pub store: Option<StoreStats>,
 }
 
 impl SuiteReport {
@@ -285,6 +309,10 @@ pub struct SuiteRunner {
     pub heal: bool,
     /// Checkpoint directory and mode (`--checkpoint` / `--resume`).
     pub checkpoint: Option<CheckpointMode>,
+    /// Persistent package store directory (`--store`). Implies the warm
+    /// prepass; each system's shared store is seeded from verified disk
+    /// entries, and new builds are persisted once the study completes.
+    pub store: Option<PathBuf>,
 }
 
 impl SuiteRunner {
@@ -301,6 +329,7 @@ impl SuiteRunner {
             fault_overrides: Vec::new(),
             heal: false,
             checkpoint: None,
+            store: None,
         }
     }
 
@@ -371,6 +400,15 @@ impl SuiteRunner {
         self
     }
 
+    /// Warm each system's store from the persistent store at `dir` and
+    /// persist new builds there once the study completes. Implies the
+    /// warm prepass. Store trouble (lock contention, corruption, I/O)
+    /// degrades to an in-memory warm store — it never fails the study.
+    pub fn with_store(mut self, dir: &Path) -> SuiteRunner {
+        self.store = Some(dir.to_path_buf());
+        self
+    }
+
     /// The fault profile a given system draws from (override or base).
     pub fn profile_for(&self, system: &str) -> &FaultProfile {
         self.fault_overrides
@@ -391,11 +429,21 @@ impl SuiteRunner {
     /// Warm-store prepass: per system, run the build stage serially in
     /// case order against that system's shared store. This fixes cache
     /// attribution canonically — whatever the later job schedule, the
-    /// accounting is the one a serial sweep would have produced.
-    fn prepare_warm(&self, cases: &[TestCase]) -> Vec<Result<PreparedBuild, HarnessError>> {
+    /// accounting is the one a serial sweep would have produced. With a
+    /// persistent store open, each system's store starts seeded with the
+    /// verified on-disk entries, so cross-study reuse shows up as cached
+    /// dependency installs.
+    fn prepare_warm(
+        &self,
+        cases: &[TestCase],
+        disk: Option<&DiskStore>,
+    ) -> Vec<Result<PreparedBuild, HarnessError>> {
         let mut prepared = Vec::with_capacity(self.systems.len() * cases.len());
         for system in &self.systems {
             let store = spackle::SharedStore::new();
+            if let Some(disk) = disk {
+                disk.seed_into(&mut store.lock());
+            }
             let mut harness =
                 Harness::new(self.job_options(system)).with_shared_store(store.clone());
             for case in cases {
@@ -613,6 +661,7 @@ impl SuiteRunner {
             cases: cases.iter().map(|c| c.name.clone()).collect(),
             seed: self.seed,
             warm_store: self.warm_store,
+            store: self.store.is_some(),
             profile: self.fault_profile.name.clone(),
             overrides: self
                 .fault_overrides
@@ -679,12 +728,32 @@ impl SuiteRunner {
         };
         let replay_count = replayed.len().min(n_jobs);
 
-        let prepared = if self.warm_store {
-            Some(self.prepare_warm(cases))
+        // Persistent store: open softly — lock contention, corruption, or
+        // I/O trouble degrades to the plain in-memory warm store below; the
+        // study never fails because of the store.
+        let mut store_stats = self.store.as_ref().map(|_| StoreStats::default());
+        let mut disk = None;
+        if let Some(dir) = &self.store {
+            let stats = store_stats.as_mut().expect("stats allocated with --store");
+            match DiskStore::open(dir) {
+                Ok(d) => {
+                    stats.quarantined = d.quarantined().len();
+                    disk = Some(d);
+                }
+                Err(e) => {
+                    let reason = e.to_string();
+                    eprintln!("warning: degrading to in-memory warm store: {reason}");
+                    stats.degraded = Some(reason);
+                }
+            }
+        }
+
+        let prepared_builds = if self.warm_store || self.store.is_some() {
+            Some(self.prepare_warm(cases, disk.as_ref()))
         } else {
             None
         };
-        let prepared = prepared.as_deref();
+        let prepared = prepared_builds.as_deref();
 
         let state = SweepState {
             slots: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
@@ -748,6 +817,70 @@ impl SuiteRunner {
         {
             return Err(e);
         }
+        // Persistent-store accounting and persist-at-completion. Hits and
+        // misses are counted against the resident set loaded at open, as
+        // attributed by the canonical prepass; then — only now that the
+        // sweep has completed — new entries and this study's reference
+        // record go to disk. An interrupted run leaves the store untouched,
+        // which keeps `--resume` byte-identical.
+        if let (Some(stats), Some(disk)) = (store_stats.as_mut(), disk.as_mut()) {
+            let mut to_persist: Vec<StoreEntry> = Vec::new();
+            let mut queued: BTreeSet<&str> = BTreeSet::new();
+            let mut refs: BTreeSet<String> = BTreeSet::new();
+            for build in prepared_builds.iter().flatten().flatten() {
+                for record in &build.install.records {
+                    match record.action {
+                        BuildAction::Cached => {
+                            refs.insert(record.hash.clone());
+                            if disk.resident(&record.hash) {
+                                stats.hits += 1;
+                            }
+                        }
+                        BuildAction::Built => {
+                            refs.insert(record.hash.clone());
+                            if disk.resident(&record.hash) {
+                                // A forced P3 root rebuild of a resident
+                                // entry: the store could not legally serve
+                                // it, so it is neither hit nor miss.
+                                continue;
+                            }
+                            stats.misses += 1;
+                            if !queued.insert(record.hash.as_str()) {
+                                continue;
+                            }
+                            if let Some(node) = build
+                                .concrete
+                                .nodes()
+                                .iter()
+                                .find(|n| n.hash == record.hash)
+                            {
+                                to_persist.push(StoreEntry {
+                                    hash: record.hash.clone(),
+                                    render: node.render(),
+                                    record: record.clone(),
+                                });
+                            }
+                        }
+                        BuildAction::External => {}
+                    }
+                }
+            }
+            for entry in &to_persist {
+                match disk.persist(entry) {
+                    Ok(()) => stats.persisted += 1,
+                    Err(e) => {
+                        stats.degraded = Some(format!("persist failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            if stats.degraded.is_none() {
+                if let Err(e) = disk.append_refs(&refs) {
+                    stats.degraded = Some(format!("reference log append failed: {e}"));
+                }
+            }
+        }
+
         let canaries = state
             .canary_verdicts
             .into_inner()
@@ -780,6 +913,7 @@ impl SuiteRunner {
             outcomes,
             perflogs,
             canaries,
+            store: store_stats,
         };
         // The study completed: persist each system's trailing consecutive-
         // failure streak (continuing any unreset prior streak) so the next
@@ -1533,5 +1667,178 @@ mod tests {
             let cell = |s: &str| s.split(':').next().unwrap().to_string();
             assert_eq!(cell(a), cell(b), "same cell order");
         }
+    }
+
+    /// FOMs of every ran cell, rendered — the invariant currency of the
+    /// persistent store: cold, warm, and corrupted-then-rebuilt runs must
+    /// agree on this exactly.
+    fn foms_of(report: &SuiteReport) -> String {
+        let mut out = String::new();
+        for (case, system, outcome) in &report.outcomes {
+            if let SuiteOutcome::Ran(r) = outcome {
+                out.push_str(&format!("{case} on {system}: {:?}\n", r.record.foms));
+            }
+        }
+        out.push_str(&report.combined_frame().to_string());
+        out
+    }
+
+    #[test]
+    fn persistent_store_cold_then_warm_reuses_and_keeps_foms() {
+        let dir = tmpdir("store-nightly");
+        let cases = multi_case_suite();
+        let systems = ["csd3", "archer2"];
+        let run = || {
+            SuiteRunner::new(&systems)
+                .with_seed(5)
+                .with_store(&dir)
+                .run(&cases)
+        };
+        let cold = run();
+        let stats = cold.store.as_ref().unwrap();
+        assert_eq!(stats.hits, 0, "nothing resident on a cold store");
+        assert!(stats.misses > 0);
+        assert!(stats.persisted > 0, "cold run populates the store");
+        assert_eq!(stats.degraded, None);
+        assert_eq!(stats.quarantined, 0);
+
+        let warm = run();
+        let stats = warm.store.as_ref().unwrap();
+        assert!(stats.hits > 0, "second study reuses persisted builds");
+        assert_eq!(stats.misses, 0, "everything buildable is resident");
+        assert_eq!(stats.persisted, 0, "nothing new to persist");
+        assert_eq!(stats.degraded, None);
+        assert_eq!(
+            foms_of(&cold),
+            foms_of(&warm),
+            "FOMs identical cold vs warm"
+        );
+        // Warm builds genuinely skip dependency work: every cell's deps
+        // come from the disk-seeded store, only roots rebuild (P3).
+        assert!(warm.total_packages_built() < cold.total_packages_built());
+        assert!(warm.total_packages_cached() > cold.total_packages_cached());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_entry_quarantines_and_rebuilds_identically() {
+        let dir = tmpdir("store-corrupt");
+        let cases = multi_case_suite();
+        let systems = ["csd3"];
+        let run = || {
+            SuiteRunner::new(&systems)
+                .with_seed(9)
+                .with_store(&dir)
+                .run(&cases)
+        };
+        let cold = run();
+        // Flip one byte in the middle of one stored entry.
+        let victim = std::fs::read_dir(dir.join("entries"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let healed = run();
+        let stats = healed.store.as_ref().unwrap();
+        assert_eq!(stats.quarantined, 1, "the flipped entry is quarantined");
+        assert_eq!(stats.degraded, None, "corruption never fails the study");
+        assert!(stats.misses > 0, "the quarantined cell rebuilt cold");
+        assert!(stats.persisted > 0, "the rebuild re-persisted the entry");
+        assert_eq!(healed.n_failed(), 0);
+        assert_eq!(
+            foms_of(&cold),
+            foms_of(&healed),
+            "FOMs identical after corruption + rebuild"
+        );
+        assert!(victim.exists(), "rebuilt entry is back on disk");
+        assert!(
+            dir.join("corrupt")
+                .join(victim.file_name().unwrap())
+                .exists(),
+            "corrupt original kept for forensics"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_lock_contention_degrades_to_in_memory_warm() {
+        let dir = tmpdir("store-busy");
+        let held = spackle::DiskStore::open(&dir).unwrap();
+        let cases = multi_case_suite();
+        let report = SuiteRunner::new(&["csd3"])
+            .with_seed(2)
+            .with_store(&dir)
+            .run(&cases);
+        let stats = report.store.as_ref().unwrap();
+        assert!(
+            stats.degraded.as_deref().unwrap_or("").contains("locked"),
+            "{:?}",
+            stats.degraded
+        );
+        assert_eq!((stats.hits, stats.misses, stats.persisted), (0, 0, 0));
+        assert_eq!(report.n_failed(), 0, "the study itself still runs");
+        // It behaved as an in-memory warm store: later cases reused deps.
+        assert!(report.total_packages_cached() > 0);
+        // And the held store saw no interference.
+        assert!(held.is_empty());
+        drop(held);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_runs_are_byte_identical_at_any_jobs() {
+        let cases = multi_case_suite();
+        let systems = ["csd3", "archer2"];
+        let observe = |jobs: usize| {
+            let dir = tmpdir(&format!("store-jobs-{jobs}"));
+            let run = || {
+                SuiteRunner::new(&systems)
+                    .with_seed(13)
+                    .with_store(&dir)
+                    .with_jobs(jobs)
+                    .run(&cases)
+            };
+            let cold = run();
+            let warm = run();
+            let out = format!(
+                "cold {:?}\n{}warm {:?}\n{}",
+                cold.store.as_ref().unwrap(),
+                rendered(&cold),
+                warm.store.as_ref().unwrap(),
+                rendered(&warm)
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        };
+        let serial = observe(1);
+        for jobs in [2, 8] {
+            assert_eq!(serial, observe(jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn resuming_with_different_store_mode_is_refused() {
+        let ckpt = tmpdir("store-binding");
+        let store = tmpdir("store-binding-store");
+        let cases = vec![cases::babelstream(Model::Omp, 1 << 22)];
+        SuiteRunner::new(&["csd3"])
+            .with_checkpoint(&ckpt)
+            .with_store(&store)
+            .try_run(&cases)
+            .unwrap();
+        // Dropping --store on resume would silently change the experiment.
+        let err = SuiteRunner::new(&["csd3"])
+            .with_resume(&ckpt)
+            .try_run(&cases)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let _ = std::fs::remove_dir_all(&store);
     }
 }

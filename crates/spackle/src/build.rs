@@ -38,7 +38,7 @@ pub struct BuildRecord {
 /// The install store: content-hash keyed, like Spack's opt/spack tree.
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    installed: BTreeMap<String, String>, // hash -> package render
+    pub(crate) installed: BTreeMap<String, String>, // hash -> package render
 }
 
 impl Store {

@@ -1,0 +1,886 @@
+//! Crash-safe on-disk package store shared across studies.
+//!
+//! `--warm-store` shares builds *within* a study; this module persists the
+//! content-hash-keyed store to disk so nightly reruns start warm (ROADMAP:
+//! "persist a store across studies"). Because a shared cache can lie in many
+//! ways — torn writes, bit rot, concurrent writers — every layer here is
+//! hardened the same way the checkpoint journal is:
+//!
+//! * **Entries** (`DIR/entries/<hash>.json`) are written atomically
+//!   (temp file + fsync + rename) and carry an FNV-1a checksum over an
+//!   embedded payload string, so the checksum is byte-exact regardless of
+//!   how the outer JSON is formatted. The payload keeps the rendered
+//!   package *and* its full [`BuildRecord`] provenance — Principle 4: the
+//!   captured build steps persist with the artifact.
+//! * **Corruption quarantines, never errors.** A checksum mismatch or
+//!   unparsable entry is moved to `DIR/corrupt/` and logged in
+//!   `DIR/corrupt/quarantine.jsonl`; the caller simply sees a cold cell
+//!   and rebuilds. Flipping any byte of any entry must degrade, not panic.
+//! * **Locking** is advisory via `DIR/.lock` holding the writer's PID and
+//!   acquisition time. A lock whose PID is dead is taken over; a live one
+//!   yields [`DiskStoreError::Busy`] so the caller can degrade to an
+//!   in-memory warm store.
+//! * **Reference log** (`DIR/refs.jsonl`) appends one JSONL record per
+//!   study listing the hashes it used — same append-only discipline as the
+//!   checkpoint journal, recovered to the longest valid prefix. `gc`
+//!   evicts entries not referenced by the last K studies and never touches
+//!   the quarantine directory.
+
+use crate::build::{BuildAction, BuildRecord, Store};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Format marker for entry files; bump `ENTRY_VERSION` on layout changes.
+const ENTRY_FORMAT: &str = "spackle-store-entry";
+const ENTRY_VERSION: i64 = 1;
+
+const ENTRIES_DIR: &str = "entries";
+const CORRUPT_DIR: &str = "corrupt";
+const QUARANTINE_LOG: &str = "quarantine.jsonl";
+const REFS_FILE: &str = "refs.jsonl";
+const LOCK_FILE: &str = ".lock";
+
+/// Errors from opening or maintaining a disk store.
+#[derive(Debug)]
+pub enum DiskStoreError {
+    /// Filesystem trouble (context + source message).
+    Io(String),
+    /// Another live process holds `DIR/.lock`.
+    Busy { pid: u32, acquired_unix: i64 },
+}
+
+impl fmt::Display for DiskStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskStoreError::Io(msg) => write!(f, "store I/O: {msg}"),
+            DiskStoreError::Busy { pid, acquired_unix } => write!(
+                f,
+                "store locked by live pid {pid} (since unix {acquired_unix})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiskStoreError {}
+
+fn io_err(context: &str, err: std::io::Error) -> DiskStoreError {
+    DiskStoreError::Io(format!("{context}: {err}"))
+}
+
+/// One persisted package: its content hash, rendered spec, and the full
+/// build provenance captured when it was first built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    pub hash: String,
+    pub render: String,
+    pub record: BuildRecord,
+}
+
+fn action_str(a: &BuildAction) -> &'static str {
+    match a {
+        BuildAction::Built => "built",
+        BuildAction::Cached => "cached",
+        BuildAction::External => "external",
+    }
+}
+
+fn action_from(s: &str) -> Option<BuildAction> {
+    match s {
+        "built" => Some(BuildAction::Built),
+        "cached" => Some(BuildAction::Cached),
+        "external" => Some(BuildAction::External),
+        _ => None,
+    }
+}
+
+impl StoreEntry {
+    /// Serialize to the on-disk entry format: an outer JSON object holding
+    /// a checksum and the payload *as a string*, so the checksum covers
+    /// exact bytes rather than a particular key ordering.
+    pub fn encode(&self) -> String {
+        let payload = self.payload_json();
+        let mut outer = tinycfg::Map::new();
+        outer.insert("format", tinycfg::Value::Str(ENTRY_FORMAT.to_string()));
+        outer.insert("version", tinycfg::Value::Int(ENTRY_VERSION));
+        outer.insert(
+            "checksum",
+            tinycfg::Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+        );
+        outer.insert("payload", tinycfg::Value::Str(payload));
+        let mut text = tinycfg::Value::Map(outer).to_json();
+        text.push('\n');
+        text
+    }
+
+    fn payload_json(&self) -> String {
+        let mut rec = tinycfg::Map::new();
+        rec.insert("package", tinycfg::Value::Str(self.record.package.clone()));
+        rec.insert("version", tinycfg::Value::Str(self.record.version.clone()));
+        rec.insert("hash", tinycfg::Value::Str(self.record.hash.clone()));
+        rec.insert(
+            "action",
+            tinycfg::Value::Str(action_str(&self.record.action).to_string()),
+        );
+        rec.insert(
+            "build_time_s",
+            tinycfg::Value::Float(self.record.build_time_s),
+        );
+        rec.insert(
+            "steps",
+            tinycfg::Value::List(
+                self.record
+                    .steps
+                    .iter()
+                    .map(|s| tinycfg::Value::Str(s.clone()))
+                    .collect(),
+            ),
+        );
+        let mut m = tinycfg::Map::new();
+        m.insert("hash", tinycfg::Value::Str(self.hash.clone()));
+        m.insert("render", tinycfg::Value::Str(self.render.clone()));
+        m.insert("record", tinycfg::Value::Map(rec));
+        tinycfg::Value::Map(m).to_json()
+    }
+
+    /// Parse and verify an on-disk entry. Any deviation — bad UTF-8, bad
+    /// JSON, wrong format marker, checksum mismatch, missing field —
+    /// returns `Err` with a human-readable reason (the quarantine log line).
+    pub fn decode(text: &str) -> Result<StoreEntry, String> {
+        let outer = tinycfg::parse(text).map_err(|e| format!("unparsable entry: {e}"))?;
+        let format = outer
+            .get_path("format")
+            .and_then(|v| v.as_str())
+            .ok_or("missing format marker")?;
+        if format != ENTRY_FORMAT {
+            return Err(format!("unknown format marker {format:?}"));
+        }
+        let version = outer
+            .get_path("version")
+            .and_then(|v| v.as_int())
+            .ok_or("missing version")?;
+        if version != ENTRY_VERSION {
+            return Err(format!("unsupported entry version {version}"));
+        }
+        let checksum = outer
+            .get_path("checksum")
+            .and_then(|v| v.as_str())
+            .ok_or("missing checksum")?;
+        let payload = outer
+            .get_path("payload")
+            .and_then(|v| v.as_str())
+            .ok_or("missing payload")?;
+        let actual = format!("{:016x}", fnv1a64(payload.as_bytes()));
+        if actual != checksum {
+            return Err(format!(
+                "checksum mismatch: recorded {checksum}, computed {actual}"
+            ));
+        }
+        let inner = tinycfg::parse(payload).map_err(|e| format!("unparsable payload: {e}"))?;
+        let get_str = |v: &tinycfg::Value, path: &str| -> Result<String, String> {
+            v.get_path(path)
+                .and_then(|x| x.as_str().map(str::to_string))
+                .ok_or_else(|| format!("missing field {path}"))
+        };
+        let record = BuildRecord {
+            package: get_str(&inner, "record.package")?,
+            version: get_str(&inner, "record.version")?,
+            hash: get_str(&inner, "record.hash")?,
+            action: action_from(&get_str(&inner, "record.action")?)
+                .ok_or("unknown build action")?,
+            build_time_s: inner
+                .get_path("record.build_time_s")
+                .and_then(|v| v.as_float())
+                .ok_or("missing field record.build_time_s")?,
+            steps: inner
+                .get_path("record.steps")
+                .and_then(|v| v.as_list())
+                .ok_or("missing field record.steps")?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or("non-string step"))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let entry = StoreEntry {
+            hash: get_str(&inner, "hash")?,
+            render: get_str(&inner, "render")?,
+            record,
+        };
+        // Canonical-form check: the writer only ever emits `encode()`
+        // output, so any deviation — even in bytes the parser would
+        // tolerate, like trailing whitespace — means the file was not
+        // written by us intact.
+        if entry.encode() != text {
+            return Err("entry is not in canonical form".to_string());
+        }
+        Ok(entry)
+    }
+}
+
+/// FNV-1a, 64-bit — small, dependency-free, and plenty to catch torn
+/// writes and bit flips (this is an integrity check, not a defense
+/// against an adversary who can also rewrite the checksum).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write `content` to `path` atomically: temp file in the same directory,
+/// fsync, then rename over the destination.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// A note about one quarantined entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineNote {
+    pub file: String,
+    pub reason: String,
+}
+
+/// Outcome of a `gc` pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcReport {
+    pub kept: usize,
+    pub evicted: usize,
+    pub studies_considered: usize,
+}
+
+/// Holds `DIR/.lock` for the lifetime of the store; removed on drop.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Seconds since the unix epoch (0 if the clock is before 1970).
+fn unix_now() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0)
+}
+
+/// Is `pid` a live process? On Linux, `/proc/<pid>` existence is the
+/// cheapest advisory answer; elsewhere assume dead (single-host tooling).
+fn pid_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// The on-disk store: loaded entries, quarantine records from this open,
+/// and the advisory lock held until drop.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    entries: BTreeSet<String>,
+    renders: std::collections::BTreeMap<String, String>,
+    quarantined: Vec<QuarantineNote>,
+    _lock: LockGuard,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) the store at `dir`.
+    ///
+    /// Acquires the advisory lock — a live competing writer yields
+    /// [`DiskStoreError::Busy`]; a stale lock (dead PID or unreadable
+    /// lock file) is taken over. Every resident entry is verified; bad
+    /// ones are moved to `dir/corrupt/` and recorded in
+    /// [`DiskStore::quarantined`], never returned as errors.
+    pub fn open(dir: &Path) -> Result<DiskStore, DiskStoreError> {
+        fs::create_dir_all(dir.join(ENTRIES_DIR)).map_err(|e| io_err("creating entries dir", e))?;
+        fs::create_dir_all(dir.join(CORRUPT_DIR)).map_err(|e| io_err("creating corrupt dir", e))?;
+        let lock = Self::acquire_lock(dir)?;
+        let mut store = DiskStore {
+            dir: dir.to_path_buf(),
+            entries: BTreeSet::new(),
+            renders: std::collections::BTreeMap::new(),
+            quarantined: Vec::new(),
+            _lock: lock,
+        };
+        store.load_entries()?;
+        Ok(store)
+    }
+
+    fn acquire_lock(dir: &Path) -> Result<LockGuard, DiskStoreError> {
+        let path = dir.join(LOCK_FILE);
+        for _ in 0..2 {
+            let mut m = tinycfg::Map::new();
+            m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
+            m.insert("acquired_unix", tinycfg::Value::Int(unix_now()));
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let body = tinycfg::Value::Map(m).to_json();
+                    f.write_all(body.as_bytes())
+                        .and_then(|_| f.sync_data())
+                        .map_err(|e| io_err("writing lock file", e))?;
+                    return Ok(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Somebody holds (or held) the lock: stale locks from
+                    // dead PIDs are taken over, live ones report Busy.
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| tinycfg::parse(&text).ok())
+                        .map(|v| {
+                            (
+                                v.get_path("pid").and_then(|p| p.as_int()),
+                                v.get_path("acquired_unix")
+                                    .and_then(|t| t.as_int())
+                                    .unwrap_or(0),
+                            )
+                        });
+                    match holder {
+                        Some((Some(pid), acquired_unix)) if pid >= 0 && pid_alive(pid as u32) => {
+                            return Err(DiskStoreError::Busy {
+                                pid: pid as u32,
+                                acquired_unix,
+                            });
+                        }
+                        _ => {
+                            // Dead or unreadable: take over and retry once.
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(io_err("creating lock file", e)),
+            }
+        }
+        Err(DiskStoreError::Io(
+            "lock takeover raced with another writer".to_string(),
+        ))
+    }
+
+    fn load_entries(&mut self) -> Result<(), DiskStoreError> {
+        let entries_dir = self.dir.join(ENTRIES_DIR);
+        let mut names: Vec<PathBuf> = fs::read_dir(&entries_dir)
+            .map_err(|e| io_err("listing entries", e))?
+            .filter_map(|r| r.ok().map(|d| d.path()))
+            .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+            .collect();
+        names.sort();
+        for path in names {
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let verdict = match fs::read(&path) {
+                Err(e) => Err(format!("unreadable: {e}")),
+                Ok(bytes) => match String::from_utf8(bytes) {
+                    Err(_) => Err("not valid UTF-8".to_string()),
+                    Ok(text) => StoreEntry::decode(&text).and_then(|entry| {
+                        if entry.hash == stem {
+                            Ok(entry)
+                        } else {
+                            Err(format!(
+                                "hash {} does not match file name {stem}",
+                                entry.hash
+                            ))
+                        }
+                    }),
+                },
+            };
+            match verdict {
+                Ok(entry) => {
+                    self.entries.insert(entry.hash.clone());
+                    self.renders.insert(entry.hash, entry.render);
+                }
+                Err(reason) => self.quarantine(&path, reason),
+            }
+        }
+        Ok(())
+    }
+
+    /// Move a bad entry aside and log why. Quarantine never fails the
+    /// open: if even the move fails we record the reason and carry on —
+    /// the entry is simply not resident, so the cell rebuilds cold.
+    fn quarantine(&mut self, path: &Path, reason: String) {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let dest = self.dir.join(CORRUPT_DIR).join(&name);
+        let moved = fs::rename(path, &dest).is_ok();
+        let mut m = tinycfg::Map::new();
+        m.insert("file", tinycfg::Value::Str(name.clone()));
+        m.insert("reason", tinycfg::Value::Str(reason.clone()));
+        m.insert("quarantined_unix", tinycfg::Value::Int(unix_now()));
+        m.insert("moved", tinycfg::Value::Bool(moved));
+        let line = format!("{}\n", tinycfg::Value::Map(m).to_json());
+        if let Ok(mut f) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(CORRUPT_DIR).join(QUARANTINE_LOG))
+        {
+            let _ = f.write_all(line.as_bytes()).and_then(|_| f.sync_data());
+        }
+        eprintln!("warning: store quarantined {name}: {reason}");
+        self.quarantined.push(QuarantineNote { file: name, reason });
+    }
+
+    /// Root directory of this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Is `hash` resident (verified) on disk as of open?
+    pub fn resident(&self, hash: &str) -> bool {
+        self.entries.contains(hash)
+    }
+
+    /// Number of verified resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries quarantined while opening this store.
+    pub fn quarantined(&self) -> &[QuarantineNote] {
+        &self.quarantined
+    }
+
+    /// Seed an in-memory [`Store`] with every verified resident entry, so
+    /// installs against it see warm dependency builds.
+    pub fn seed_into(&self, store: &mut Store) {
+        for (hash, render) in &self.renders {
+            store.installed.insert(hash.clone(), render.clone());
+        }
+    }
+
+    /// Persist one entry atomically. Overwrites any same-hash entry (the
+    /// content hash makes that a no-op in practice).
+    pub fn persist(&mut self, entry: &StoreEntry) -> Result<(), DiskStoreError> {
+        let path = self
+            .dir
+            .join(ENTRIES_DIR)
+            .join(format!("{}.json", entry.hash));
+        write_atomic(&path, &entry.encode()).map_err(|e| io_err("persisting entry", e))?;
+        self.entries.insert(entry.hash.clone());
+        self.renders
+            .insert(entry.hash.clone(), entry.render.clone());
+        Ok(())
+    }
+
+    /// Append one study's reference record to `refs.jsonl` (fsync'd). The
+    /// study number is one past the longest valid prefix of the log, so a
+    /// torn tail from a crash is simply overwritten by growth.
+    pub fn append_refs(&self, hashes: &BTreeSet<String>) -> Result<(), DiskStoreError> {
+        let path = self.dir.join(REFS_FILE);
+        let prior = match fs::read_to_string(&path) {
+            Ok(text) => parse_ref_log(&text).len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(io_err("reading reference log", e)),
+        };
+        let mut m = tinycfg::Map::new();
+        m.insert("study", tinycfg::Value::Int(prior as i64 + 1));
+        m.insert(
+            "refs",
+            tinycfg::Value::List(
+                hashes
+                    .iter()
+                    .map(|h| tinycfg::Value::Str(h.clone()))
+                    .collect(),
+            ),
+        );
+        let line = format!("{}\n", tinycfg::Value::Map(m).to_json());
+        // Rewrite the valid prefix + the new record atomically, dropping
+        // any torn tail left by a previous crash.
+        let mut text = match fs::read_to_string(&path) {
+            Ok(old) => parse_ref_log_lines(&old).join(""),
+            Err(_) => String::new(),
+        };
+        text.push_str(&line);
+        write_atomic(&path, &text).map_err(|e| io_err("appending reference log", e))
+    }
+
+    /// Evict entries not referenced by the last `keep_last` studies.
+    /// Quarantined files under `corrupt/` are never touched.
+    pub fn gc(&mut self, keep_last: usize) -> Result<GcReport, DiskStoreError> {
+        let path = self.dir.join(REFS_FILE);
+        let studies = match fs::read_to_string(&path) {
+            Ok(text) => parse_ref_log(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("reading reference log", e)),
+        };
+        let start = studies.len().saturating_sub(keep_last);
+        let live: BTreeSet<&String> = studies[start..].iter().flatten().collect();
+        let mut evicted = 0;
+        let doomed: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|h| !live.contains(h))
+            .cloned()
+            .collect();
+        for hash in doomed {
+            let path = self.dir.join(ENTRIES_DIR).join(format!("{hash}.json"));
+            fs::remove_file(&path).map_err(|e| io_err("evicting entry", e))?;
+            self.entries.remove(&hash);
+            self.renders.remove(&hash);
+            evicted += 1;
+        }
+        Ok(GcReport {
+            kept: self.entries.len(),
+            evicted,
+            studies_considered: studies.len().min(keep_last),
+        })
+    }
+}
+
+/// Parse the reference log to its longest valid prefix: each line must be
+/// a JSON map with an in-order `study` number and a list of string refs.
+/// The first deviation (torn tail, garbage, out-of-order study) ends the
+/// prefix — everything before it is trusted, everything after discarded.
+pub fn parse_ref_log(text: &str) -> Vec<Vec<String>> {
+    let mut studies = Vec::new();
+    for line in text.split_inclusive('\n') {
+        match parse_ref_line(line, studies.len() + 1) {
+            Some(refs) => studies.push(refs),
+            None => break,
+        }
+    }
+    studies
+}
+
+/// The raw lines of the longest valid prefix (each including its `\n`).
+fn parse_ref_log_lines(text: &str) -> Vec<&str> {
+    let mut lines = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if parse_ref_line(line, lines.len() + 1).is_some() {
+            lines.push(line);
+        } else {
+            break;
+        }
+    }
+    lines
+}
+
+fn parse_ref_line(line: &str, expect_study: usize) -> Option<Vec<String>> {
+    // A record is only valid if its newline made it to disk.
+    let body = line.strip_suffix('\n')?;
+    let v = tinycfg::parse(body).ok()?;
+    let study = v.get_path("study")?.as_int()?;
+    if study != expect_study as i64 {
+        return None;
+    }
+    v.get_path("refs")?
+        .as_list()?
+        .iter()
+        .map(|r| r.as_str().map(str::to_string))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "spackle-diskstore-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(hash: &str) -> StoreEntry {
+        StoreEntry {
+            hash: hash.to_string(),
+            render: format!("demo@1.0 /{hash}"),
+            record: BuildRecord {
+                package: "demo".to_string(),
+                version: "1.0".to_string(),
+                hash: hash.to_string(),
+                action: BuildAction::Built,
+                build_time_s: 12.5,
+                steps: vec![
+                    "fetch demo-1.0.tar.gz".to_string(),
+                    format!("install /opt/store/demo-{hash}"),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let e = entry("abc123");
+        let decoded = StoreEntry::decode(&e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn quoting_hazards_round_trip() {
+        let mut e = entry("h4sh");
+        e.render = "weird \"quoted\" render \\ with tab\t and nl\n end".to_string();
+        e.record.steps = vec!["step with \"quotes\" and \\backslash\\".to_string()];
+        let decoded = StoreEntry::decode(&e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn persist_then_reopen_is_resident() {
+        let dir = tmpdir("reopen");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.persist(&entry("aaa")).unwrap();
+            store.persist(&entry("bbb")).unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.resident("aaa") && store.resident("bbb"));
+        assert!(store.quarantined().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_into_warms_an_in_memory_store() {
+        let dir = tmpdir("seed");
+        let mut disk = DiskStore::open(&dir).unwrap();
+        disk.persist(&entry("ccc")).unwrap();
+        let mut mem = Store::new();
+        disk.seed_into(&mut mem);
+        assert!(mem.contains("ccc"));
+        assert_eq!(mem.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance criterion: flipping ANY single byte of a stored
+    /// entry must quarantine it on the next open — never a panic, never a
+    /// silently wrong resident entry.
+    #[test]
+    fn any_single_byte_flip_quarantines() {
+        let dir = tmpdir("byteflip");
+        let bytes = {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.persist(&entry("flip")).unwrap();
+            fs::read(dir.join("entries/flip.json")).unwrap()
+        };
+        for offset in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[offset] ^= 0x01;
+            let path = dir.join("entries/flip.json");
+            fs::write(&path, &mutated).unwrap();
+            let store = DiskStore::open(&dir).unwrap();
+            assert!(
+                !store.resident("flip"),
+                "offset {offset}: corrupt entry stayed resident"
+            );
+            assert_eq!(
+                store.quarantined().len(),
+                1,
+                "offset {offset}: expected exactly one quarantine"
+            );
+            assert!(
+                dir.join("corrupt/flip.json").exists(),
+                "offset {offset}: entry not moved to corrupt/"
+            );
+            fs::remove_file(dir.join("corrupt/flip.json")).unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_is_logged() {
+        let dir = tmpdir("qlog");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.persist(&entry("logme")).unwrap();
+        }
+        fs::write(dir.join("entries/logme.json"), b"garbage").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.quarantined().len(), 1);
+        let log = fs::read_to_string(dir.join("corrupt/quarantine.jsonl")).unwrap();
+        assert!(log.contains("logme.json"), "{log}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hash_filename_mismatch_quarantines() {
+        let dir = tmpdir("rename");
+        let text = entry("real").encode();
+        fs::create_dir_all(dir.join("entries")).unwrap();
+        fs::write(dir.join("entries/fake.json"), text).unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.quarantined().len(), 1);
+        assert!(!store.resident("real") && !store.resident("fake"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_lock_reports_busy() {
+        let dir = tmpdir("busy");
+        let _held = DiskStore::open(&dir).unwrap();
+        match DiskStore::open(&dir) {
+            Err(DiskStoreError::Busy { pid, .. }) => {
+                assert_eq!(pid, std::process::id())
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_lock_is_taken_over() {
+        let dir = tmpdir("stale");
+        // A PID far above any real pid_max: /proc/<pid> cannot exist.
+        fs::write(dir.join(".lock"), "{\"pid\":999999999,\"acquired_unix\":1}").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_lock_is_taken_over() {
+        let dir = tmpdir("junklock");
+        fs::write(dir.join(".lock"), "not json at all").unwrap();
+        assert!(DiskStore::open(&dir).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_released_on_drop() {
+        let dir = tmpdir("release");
+        {
+            let _s = DiskStore::open(&dir).unwrap();
+            assert!(dir.join(".lock").exists());
+        }
+        assert!(!dir.join(".lock").exists());
+        assert!(DiskStore::open(&dir).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refs_log_appends_in_order() {
+        let dir = tmpdir("refs");
+        let store = DiskStore::open(&dir).unwrap();
+        let one: BTreeSet<String> = ["a".to_string()].into();
+        let two: BTreeSet<String> = ["a".to_string(), "b".to_string()].into();
+        store.append_refs(&one).unwrap();
+        store.append_refs(&two).unwrap();
+        let text = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+        let parsed = parse_ref_log(&text);
+        assert_eq!(
+            parsed,
+            vec![
+                vec!["a".to_string()],
+                vec!["a".to_string(), "b".to_string()]
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Crash simulation: truncate the reference log at EVERY byte offset
+    /// and assert recovery to the longest valid prefix — then that a new
+    /// append self-heals the log.
+    #[test]
+    fn refs_log_truncation_recovers_longest_valid_prefix() {
+        let dir = tmpdir("truncate");
+        let store = DiskStore::open(&dir).unwrap();
+        for n in 0..3usize {
+            let refs: BTreeSet<String> = (0..=n).map(|i| format!("hash-{i}")).collect();
+            store.append_refs(&refs).unwrap();
+        }
+        let full = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+        let complete = parse_ref_log(&full);
+        assert_eq!(complete.len(), 3);
+        // Offsets where each full record (incl. newline) ends.
+        let mut boundaries = vec![0usize];
+        for (i, b) in full.bytes().enumerate() {
+            if b == b'\n' {
+                boundaries.push(i + 1);
+            }
+        }
+        for cut in 0..=full.len() {
+            let truncated = &full[..cut];
+            let parsed = parse_ref_log(truncated);
+            let expect = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(
+                parsed.len(),
+                expect,
+                "cut at byte {cut}: wrong prefix length"
+            );
+            assert_eq!(parsed[..], complete[..expect], "cut at byte {cut}");
+            // A post-crash append must heal: drop the torn tail, number
+            // the new study after the valid prefix.
+            fs::write(dir.join("refs.jsonl"), truncated).unwrap();
+            let refs: BTreeSet<String> = ["post-crash".to_string()].into();
+            store.append_refs(&refs).unwrap();
+            let healed = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+            let reparsed = parse_ref_log(&healed);
+            assert_eq!(
+                reparsed.len(),
+                expect + 1,
+                "cut at byte {cut}: append did not heal"
+            );
+            assert_eq!(reparsed[expect], vec!["post-crash".to_string()]);
+            fs::write(dir.join("refs.jsonl"), &full).unwrap();
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_recent_refs_and_spares_quarantine() {
+        let dir = tmpdir("gc");
+        let mut store = DiskStore::open(&dir).unwrap();
+        for h in ["old", "mid", "new"] {
+            store.persist(&entry(h)).unwrap();
+        }
+        // Plant a quarantined file: gc must never remove it.
+        fs::write(dir.join("corrupt/dead.json"), b"junk").unwrap();
+        store.append_refs(&["old".to_string()].into()).unwrap();
+        store.append_refs(&["mid".to_string()].into()).unwrap();
+        store
+            .append_refs(&["new".to_string(), "mid".to_string()].into())
+            .unwrap();
+        let report = store.gc(2).unwrap();
+        assert_eq!(report.evicted, 1, "only `old` falls outside the window");
+        assert_eq!(report.kept, 2);
+        assert!(!store.resident("old"));
+        assert!(store.resident("mid") && store.resident("new"));
+        assert!(!dir.join("entries/old.json").exists());
+        assert!(
+            dir.join("corrupt/dead.json").exists(),
+            "gc must never delete quarantine memory"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_with_no_refs_evicts_everything_unreferenced() {
+        let dir = tmpdir("gc-empty");
+        let mut store = DiskStore::open(&dir).unwrap();
+        store.persist(&entry("orphan")).unwrap();
+        let report = store.gc(5).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.studies_considered, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -37,6 +37,7 @@
 
 mod build;
 mod concretize;
+mod diskstore;
 mod environment;
 mod recipe;
 mod repo;
@@ -49,6 +50,10 @@ pub use build::{
 };
 pub use concretize::{
     concretize, ConcretePackage, ConcreteSpec, ConcretizeError, SystemContext, Target,
+};
+pub use diskstore::{
+    fnv1a64, parse_ref_log, write_atomic, DiskStore, DiskStoreError, GcReport, QuarantineNote,
+    StoreEntry,
 };
 pub use environment::Environment;
 pub use recipe::{Conflict, DepDecl, DepKind, Recipe, VariantDecl, When};

@@ -1,7 +1,8 @@
-//! Property tests for version semantics and the spec grammar.
+//! Property tests for version semantics, the spec grammar, and the
+//! on-disk store entry format.
 
 use proptest::prelude::*;
-use spackle::{Spec, Version, VersionReq};
+use spackle::{BuildAction, BuildRecord, Spec, StoreEntry, Version, VersionReq};
 
 fn version_string() -> impl Strategy<Value = String> {
     prop::collection::vec(0u64..50, 1..4).prop_map(|parts| {
@@ -102,5 +103,81 @@ proptest! {
     #[test]
     fn spec_parser_total(text in "[ -~]{0,40}") {
         let _ = Spec::parse(&text);
+    }
+}
+
+/// Hostile-but-printable strings: full printable ASCII (including `"` and
+/// `\`, the JSON quoting hazards) plus the escape-sensitive whitespace
+/// characters the emitter must encode.
+fn hazard_string() -> impl Strategy<Value = String> {
+    "[ -~\\n\\t\\r]{0,24}"
+}
+
+fn store_entry() -> impl Strategy<Value = StoreEntry> {
+    (
+        hazard_string(),
+        hazard_string(),
+        (
+            hazard_string(),
+            hazard_string(),
+            0u32..4,
+            0u32..100_000,
+            prop::collection::vec(hazard_string(), 0..4),
+        ),
+    )
+        .prop_map(|(hash, render, (package, version, action, time8, steps))| {
+            let action = match action % 3 {
+                0 => BuildAction::Built,
+                1 => BuildAction::Cached,
+                _ => BuildAction::External,
+            };
+            StoreEntry {
+                hash: hash.clone(),
+                render,
+                record: BuildRecord {
+                    package,
+                    version,
+                    hash,
+                    action,
+                    // n/8 is exactly representable, so the float survives
+                    // the textual round trip bit-for-bit.
+                    build_time_s: f64::from(time8) / 8.0,
+                    steps,
+                },
+            }
+        })
+}
+
+proptest! {
+    /// Any store entry — arbitrary names, hashes, renders, and steps,
+    /// including quoting hazards — survives the on-disk format.
+    #[test]
+    fn store_entry_roundtrip(entry in store_entry()) {
+        let encoded = entry.encode();
+        let decoded = StoreEntry::decode(&encoded)
+            .unwrap_or_else(|e| panic!("decode failed: {e}\nencoded: {encoded}"));
+        prop_assert_eq!(decoded, entry);
+    }
+
+    /// Truncating an encoded entry anywhere never round-trips silently:
+    /// decode either errors (→ quarantine) or the file was untouched.
+    #[test]
+    fn store_entry_truncation_never_passes(entry in store_entry(), frac in 0.0f64..1.0) {
+        let encoded = entry.encode();
+        let cut = ((encoded.len() as f64) * frac) as usize;
+        // Cut at a char boundary at or below the chosen byte offset.
+        let mut cut = cut.min(encoded.len());
+        while !encoded.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if cut < encoded.len() {
+            prop_assert!(StoreEntry::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// The decoder never panics on arbitrary printable input.
+    #[test]
+    fn store_entry_decoder_total(text in "[ -~\\n\\t\\r]{0,60}") {
+        let _ = StoreEntry::decode(&text);
     }
 }
