@@ -7,8 +7,9 @@
 # Stages:
 #   1. tier2.sh  — rustfmt-clean, clippy-clean (warnings are errors)
 #   2. tests     — the whole workspace, vendored stubs included
-#   3. bench     — one criterion smoke bench, so the harness that the
-#                  regression pipeline depends on is known to run
+#   3. bench     — criterion smoke benches: the framework bench plus the
+#                  kernel roofline suite (STREAM GB/s, CSR-vs-SELL SpMV)
+#                  whose machine-readable logs feed the stage-6 digest
 #   4. faults    — fault-injection smoke: the same seeded faulty survey
 #                  run twice must produce byte-identical reports
 #   5. resume    — crash-recovery smoke: a checkpointed survey killed
@@ -18,8 +19,11 @@
 #                  --store, a warm rerun reuses it with identical FOM
 #                  tables, a corrupted entry is quarantined (not fatal),
 #                  and both gc subcommands run without deleting
-#                  quarantine memory; then the criterion bench log joins
-#                  a history digest (postproc::criterion_history)
+#                  quarantine memory; then the criterion bench logs join
+#                  a history digest (postproc::criterion_history) with
+#                  --min-speedup floors pinning the roofline relations
+#                  (triad bandwidth within 1.5x of copy, SELL-C-sigma
+#                  SpMV at least 1.2x CSR)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -28,11 +32,14 @@ cd "$(dirname "$0")"
 echo "== ci: cargo test --workspace =="
 cargo test -q --workspace
 
-echo "== ci: cargo bench smoke (framework) =="
+echo "== ci: cargo bench smoke (framework + kernels) =="
 # Keep the machine-readable criterion lines: stage 6 digests them
-# against history (postproc::criterion_history closes the loop).
+# against history (postproc::criterion_history closes the loop) and
+# asserts the kernel speedup floors.
 bench_log="$(mktemp)"
+kern_log="$(mktemp)"
 cargo bench -p bench --bench framework | tee "$bench_log"
+cargo bench -p bench --bench kernels | tee "$kern_log"
 
 echo "== ci: fault-injection smoke (deterministic replay) =="
 cargo build -q --release -p benchkit
@@ -56,7 +63,7 @@ echo "fault smoke OK (replay byte-identical, $(printf '%s\n' "$first" | tail -1)
 
 echo "== ci: kill-and-resume smoke (checkpointed survey) =="
 ckpt_dir="$(mktemp -d)"
-trap 'rm -rf "$ckpt_dir" "$bench_log"' EXIT
+trap 'rm -rf "$ckpt_dir" "$bench_log" "$kern_log"' EXIT
 resumable_survey() {
     # $1: extra flags (checkpoint/resume/interrupt); output ends in exit:N.
     # shellcheck disable=SC2086
@@ -83,7 +90,7 @@ echo "resume smoke OK (killed after 2 cells, resumed byte-identical)"
 
 echo "== ci: nightly-rerun smoke (persistent store) =="
 nightly_dir="$(mktemp -d)"
-trap 'rm -rf "$ckpt_dir" "$bench_log" "$nightly_dir"' EXIT
+trap 'rm -rf "$ckpt_dir" "$bench_log" "$kern_log" "$nightly_dir"' EXIT
 store_dir="$nightly_dir/store"
 nightly_survey() {
     ./target/release/benchkit survey -c babelstream_omp -c babelstream_tbb \
@@ -150,10 +157,15 @@ echo "== ci: bench history digest (criterion regression loop) =="
 # per night next to the store directory and passes them oldest first).
 history=()
 for i in 1 2 3 4 5 6; do
-    cp "$bench_log" "$nightly_dir/bench-history-$i.json"
+    cat "$bench_log" "$kern_log" > "$nightly_dir/bench-history-$i.json"
     history+=("$nightly_dir/bench-history-$i.json")
 done
-./target/release/benchkit bench-digest "${history[@]}"
+# The --min-speedup floors pin the roofline relations on the newest log:
+# triad must stay within 1.5x of copy bandwidth (speed ratio >= 1/1.5)
+# and the SELL-C-sigma layout must beat CSR SpMV by at least 1.2x.
+./target/release/benchkit bench-digest "${history[@]}" \
+    --min-speedup "stream_gbs/copy:stream_gbs/triad:0.66" \
+    --min-speedup "spmv_layout/csr:spmv_layout/sell:1.2"
 echo "bench digest OK"
 
 echo "ci OK"

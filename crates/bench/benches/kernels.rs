@@ -148,5 +148,80 @@ fn bench_symgs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_triad, bench_dot, bench_spmv, bench_symgs);
+fn bench_stream_gbs(c: &mut Criterion) {
+    // Roofline floor, digested by ci.sh: all six STREAM-style kernels at a
+    // working-set size (32 MB/array) that defeats L2, on one pooled
+    // backend. `bench-digest --min-speedup` asserts triad stays within
+    // 1.5× of copy bandwidth — a regression here means a kernel fell off
+    // the vectorized path.
+    const M: usize = 1 << 22;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
+    let backend = PoolBackend::new(threads);
+    let mut group = c.benchmark_group("stream_gbs");
+    group.sample_size(10);
+    let a: Vec<f64> = (0..M).map(|i| (i % 64) as f64).collect();
+    let b: Vec<f64> = vec![1.5f64; M];
+    let mut out = vec![0.0f64; M];
+    // STREAM's counting convention: bytes of useful traffic per kernel.
+    group.throughput(Throughput::Bytes((2 * M * 8) as u64));
+    group.bench_function("copy", |bench| {
+        bench.iter(|| kernels::copy(&backend, &a, &mut out));
+    });
+    group.bench_function("mul", |bench| {
+        bench.iter(|| kernels::mul(&backend, 0.4, &a, &mut out));
+    });
+    group.throughput(Throughput::Bytes((3 * M * 8) as u64));
+    group.bench_function("add", |bench| {
+        bench.iter(|| kernels::add(&backend, &a, &b, &mut out));
+    });
+    group.bench_function("triad", |bench| {
+        bench.iter(|| kernels::triad(&backend, 0.4, &a, &b, &mut out));
+    });
+    group.throughput(Throughput::Bytes((2 * M * 8) as u64));
+    group.bench_function("dot", |bench| {
+        bench.iter(|| criterion::black_box(kernels::dot(&backend, &a, &b)));
+    });
+    group.throughput(Throughput::Bytes((3 * M * 8) as u64));
+    group.bench_function("waxpby", |bench| {
+        bench.iter(|| kernels::waxpby(&backend, 0.4, &a, 0.6, &b, &mut out));
+    });
+    group.finish();
+}
+
+fn bench_spmv_layout(c: &mut Criterion) {
+    // CSR vs SELL-C-σ on the same 27-point matrix, single-threaded so the
+    // digest measures layout (vectorized slices vs scalar rows), not
+    // parallel scaling. `bench-digest --min-speedup` asserts SELL ≥ 1.2×.
+    let mut group = c.benchmark_group("spmv_layout");
+    group.sample_size(10);
+    let problem = benchapps::hpcg::Problem::cube(32);
+    let n = problem.n();
+    group.throughput(Throughput::Elements(n as u64));
+    use benchapps::hpcg::Operator;
+    let serial = || Box::new(SerialBackend) as Box<dyn Backend>;
+    let csr = benchapps::hpcg::CsrOperator::poisson27_with_backend(&problem, serial());
+    let sell = benchapps::hpcg::SellOperator::poisson27_with_backend(&problem, serial());
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+    let mut y = vec![0.0; n];
+    group.bench_function("csr", |bench| {
+        bench.iter(|| csr.apply(&x, &mut y));
+    });
+    group.bench_function("sell", |bench| {
+        bench.iter(|| sell.apply(&x, &mut y));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_triad,
+    bench_dot,
+    bench_spmv,
+    bench_symgs,
+    bench_stream_gbs,
+    bench_spmv_layout
+);
 criterion_main!(benches);

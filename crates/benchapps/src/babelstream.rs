@@ -5,6 +5,7 @@
 //! Triad bandwidth in MBytes/sec, extracted by the harness from the output
 //! table exactly as ReFrame does from the real BabelStream.
 
+use crate::scratch::Arena;
 use crate::{BenchError, ExecutionMode, RunOutput, SIM_EXECUTION_CAP};
 use parkern::{kernels, Model};
 use simhpc::noise::NoiseModel;
@@ -70,18 +71,27 @@ fn kernel_bytes(n: usize) -> [(&'static str, u64); 5] {
 
 /// Run BabelStream.
 pub fn run(config: &BabelStreamConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
+    run_with(config, mode, &mut Arena::new())
+}
+
+/// [`run`] drawing the kernel arrays from a caller-owned arena.
+pub fn run_with(
+    config: &BabelStreamConfig,
+    mode: &ExecutionMode,
+    arena: &mut Arena,
+) -> Result<RunOutput, BenchError> {
     if config.array_size == 0 || config.reps == 0 {
         return Err(BenchError::BadConfig(
             "array size and reps must be positive".into(),
         ));
     }
     match mode {
-        ExecutionMode::Native => run_native(config),
+        ExecutionMode::Native => run_native(config, arena),
         ExecutionMode::Simulated {
             partition,
             system,
             seed,
-        } => run_simulated(config, partition, system, *seed),
+        } => run_simulated(config, partition, system, *seed, arena),
     }
 }
 
@@ -92,11 +102,12 @@ fn execute_and_validate(
     n: usize,
     reps: usize,
     threads: usize,
+    arena: &mut Arena,
 ) -> Result<[Vec<f64>; 5], BenchError> {
     let backend = config.model.host_backend(threads);
-    let mut a = vec![INIT_A; n];
-    let mut b = vec![INIT_B; n];
-    let mut c = vec![INIT_C; n];
+    let mut a = arena.take(n, INIT_A);
+    let mut b = arena.take(n, INIT_B);
+    let mut c = arena.take(n, INIT_C);
     let mut times: [Vec<f64>; 5] = Default::default();
     let mut dot_sum = 0.0;
     for _ in 0..reps {
@@ -127,6 +138,9 @@ fn execute_and_validate(
     }
     let err_a = (a[0] - va).abs() / va.abs();
     let err_dot = (dot_sum - va * vb * n as f64).abs() / (va * vb * n as f64).abs();
+    for v in [a, b, c] {
+        arena.give(v);
+    }
     if err_a > 1e-8 {
         return Err(BenchError::ValidationFailed(format!(
             "array a error {err_a:.3e}"
@@ -140,7 +154,7 @@ fn execute_and_validate(
     Ok(times)
 }
 
-fn run_native(config: &BabelStreamConfig) -> Result<RunOutput, BenchError> {
+fn run_native(config: &BabelStreamConfig, arena: &mut Arena) -> Result<RunOutput, BenchError> {
     let host = simhpc::catalog::system("native").expect("native system always present");
     let cores = host.default_partition().processor().total_cores();
     let threads = config.threads.unwrap_or(
@@ -149,8 +163,13 @@ fn run_native(config: &BabelStreamConfig) -> Result<RunOutput, BenchError> {
             .threads_on(host.default_partition().processor())
             .min(cores),
     );
+    // Implicit counts respect the harness's oversubscription cap.
+    let threads = (threads as usize).min(match config.threads {
+        Some(_) => usize::MAX,
+        None => parkern::default_workers(),
+    });
     let start = Instant::now();
-    let times = execute_and_validate(config, config.array_size, config.reps, threads as usize)?;
+    let times = execute_and_validate(config, config.array_size, config.reps, threads, arena)?;
     let rates = rates_from_times(config.array_size, &times);
     let wall = start.elapsed().as_secs_f64();
     Ok(RunOutput {
@@ -164,6 +183,7 @@ fn run_simulated(
     partition: &simhpc::Partition,
     system: &str,
     seed: u64,
+    arena: &mut Arena,
 ) -> Result<RunOutput, BenchError> {
     let proc = partition.processor();
     if !config.model.available_on(proc) {
@@ -175,11 +195,8 @@ fn run_simulated(
     }
     // Run the real numerics at a capped size for validation.
     let exec_n = config.array_size.min(SIM_EXECUTION_CAP);
-    let host_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(8);
-    execute_and_validate(config, exec_n, 3.min(config.reps), host_threads)?;
+    let host_threads = parkern::default_workers().min(8);
+    execute_and_validate(config, exec_n, 3.min(config.reps), host_threads, arena)?;
 
     // Model the timing at the full requested size.
     let threads = config.threads.unwrap_or(config.model.threads_on(proc));

@@ -1,6 +1,7 @@
 //! Preconditioned conjugate gradient, HPCG-style.
 
 use super::ops::Operator;
+use crate::scratch::Arena;
 
 /// Convergence statistics from one CG solve.
 #[derive(Debug, Clone)]
@@ -37,16 +38,34 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// CG. Stops after `max_iters` or when the relative residual drops below
 /// `tolerance`.
 pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> CgStats {
+    pcg_with(op, b, max_iters, tolerance, &mut Arena::new())
+}
+
+/// [`pcg`] drawing its five working vectors from `arena` and returning
+/// them afterwards, so repeated solves (harness repetitions, retries,
+/// survey cells) allocate nothing in steady state. The buffers arrive with
+/// exactly the contents a fresh allocation would have, so results are
+/// byte-identical to [`pcg`].
+pub fn pcg_with(
+    op: &dyn Operator,
+    b: &[f64],
+    max_iters: usize,
+    tolerance: f64,
+    arena: &mut Arena,
+) -> CgStats {
     let n = op.n();
     assert_eq!(b.len(), n, "rhs length must match the operator");
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // r = b - A·0
-    let mut z = vec![0.0; n];
-    let mut ap = vec![0.0; n];
+    let mut x = arena.take(n, 0.0);
+    let mut r = arena.take_copy(b); // r = b - A·0
+    let mut z = arena.take(n, 0.0);
+    let mut ap = arena.take(n, 0.0);
 
     let norm0 = dot(&r, &r).sqrt();
     let mut residuals = vec![norm0];
     if norm0 == 0.0 {
+        for v in [x, r, z, ap] {
+            arena.give(v);
+        }
         return CgStats {
             iterations: 0,
             residuals,
@@ -56,7 +75,7 @@ pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> Cg
     // z = M⁻¹ r via one SymGS sweep from zero.
     z.fill(0.0);
     op.symgs(&r, &mut z);
-    let mut p = z.clone();
+    let mut p = arena.take_copy(&z);
     let mut rz = dot(&r, &z);
     let mut iterations = 0;
 
@@ -85,6 +104,9 @@ pub fn pcg(op: &dyn Operator, b: &[f64], max_iters: usize, tolerance: f64) -> Cg
         for i in 0..n {
             p[i] = z[i] + beta * p[i];
         }
+    }
+    for v in [x, r, z, ap, p] {
+        arena.give(v);
     }
     CgStats {
         iterations,
@@ -137,6 +159,24 @@ mod tests {
                 stats.final_relative_residual()
             );
         }
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_identical() {
+        // Solving repeatedly from one arena must give exactly the bits a
+        // fresh-allocation solve gives (buffers arrive re-zeroed).
+        let p = Problem::cube(6);
+        let op = CsrOperator::poisson27(&p);
+        let fresh = pcg(&op, &p.rhs, 30, 1e-10);
+        let mut arena = Arena::new();
+        for round in 0..3 {
+            let again = pcg_with(&op, &p.rhs, 30, 1e-10, &mut arena);
+            assert_eq!(again.iterations, fresh.iterations, "round {round}");
+            for (a, b) in again.residuals.iter().zip(&fresh.residuals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+            }
+        }
+        assert!(arena.pooled() > 0, "solve buffers should be pooled");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   Compressed Sparse Row form, indirect addressing throughout;
 //! * **Intel-avx2** — the vendor-optimized binary: same algorithm, blocked
 //!   matrix layout that roughly halves index traffic (Intel CPUs only);
+//! * **SELL-C-σ** — the assembled operator stored in sliced-ELLPACK form:
+//!   bitwise the same CG trajectory as CSR, but the SpMV runs rows as
+//!   independent SIMD lanes (see DESIGN.md "Roofline kernels");
 //! * **Matrix-free** — the 27-point operator applied without assembling the
 //!   matrix: coefficients are compile-time constants, no gather;
 //! * **LFRic** — a symmetrized Helmholtz operator from the Met Office
@@ -23,10 +26,10 @@ pub mod distributed;
 mod ops;
 mod problem;
 
-pub use cg::{pcg, CgStats};
+pub use cg::{pcg, pcg_with, CgStats};
 pub use ops::{
     build as build_operator, build_with_backend as build_operator_with_backend, CsrOperator,
-    LfricOperator, MatrixFreeOperator, Operator,
+    LfricOperator, MatrixFreeOperator, Operator, SellOperator,
 };
 pub use problem::Problem;
 
@@ -34,11 +37,14 @@ use crate::{BenchError, ExecutionMode, RunOutput};
 use simhpc::noise::NoiseModel;
 use std::time::Instant;
 
-/// The paper's four variants.
+/// The paper's four variants, plus the SELL-C-σ layout of the assembled
+/// operator (same math as CSR — bitwise-identical CG — vector-friendly
+/// storage).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HpcgVariant {
     Csr,
     IntelAvx2,
+    Sell,
     MatrixFree,
     Lfric,
 }
@@ -48,6 +54,7 @@ impl HpcgVariant {
         &[
             HpcgVariant::Csr,
             HpcgVariant::IntelAvx2,
+            HpcgVariant::Sell,
             HpcgVariant::MatrixFree,
             HpcgVariant::Lfric,
         ]
@@ -58,6 +65,7 @@ impl HpcgVariant {
         match self {
             HpcgVariant::Csr => "Original (CSR)",
             HpcgVariant::IntelAvx2 => "Intel-avx2 (CSR)",
+            HpcgVariant::Sell => "SELL-C-sigma",
             HpcgVariant::MatrixFree => "Matrix-free",
             HpcgVariant::Lfric => "LFRic",
         }
@@ -68,6 +76,7 @@ impl HpcgVariant {
         match self {
             HpcgVariant::Csr => "csr",
             HpcgVariant::IntelAvx2 => "avx2",
+            HpcgVariant::Sell => "sell",
             HpcgVariant::MatrixFree => "matfree",
             HpcgVariant::Lfric => "lfric",
         }
@@ -125,6 +134,16 @@ impl Default for HpcgConfig {
 
 /// Run HPCG and produce output in the real benchmark's summary format.
 pub fn run(config: &HpcgConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
+    run_with(config, mode, &mut crate::scratch::Arena::new())
+}
+
+/// [`run`] drawing CG working vectors from a caller-owned arena, so the
+/// harness can reuse buffers across repetitions and cells.
+pub fn run_with(
+    config: &HpcgConfig,
+    mode: &ExecutionMode,
+    arena: &mut crate::scratch::Arena,
+) -> Result<RunOutput, BenchError> {
     if config.local_dim < 4 {
         return Err(BenchError::BadConfig(
             "local dimension must be at least 4".into(),
@@ -145,7 +164,13 @@ pub fn run(config: &HpcgConfig, mode: &ExecutionMode) -> Result<RunOutput, Bench
         ),
         _ => ops::build(config.variant, &problem),
     };
-    let stats = pcg(op.as_ref(), &problem.rhs, config.iterations.min(60), 1e-10);
+    let stats = pcg_with(
+        op.as_ref(),
+        &problem.rhs,
+        config.iterations.min(60),
+        1e-10,
+        arena,
+    );
     let native_elapsed = start.elapsed().as_secs_f64();
     if !stats.converging() {
         return Err(BenchError::ValidationFailed(format!(

@@ -49,6 +49,7 @@ pub fn build_with_backend(
         HpcgVariant::Csr | HpcgVariant::IntelAvx2 => {
             Box::new(CsrOperator::poisson27_with_backend(problem, backend))
         }
+        HpcgVariant::Sell => Box::new(SellOperator::poisson27_with_backend(problem, backend)),
         HpcgVariant::MatrixFree => Box::new(MatrixFreeOperator::with_backend(problem, backend)),
         HpcgVariant::Lfric => Box::new(LfricOperator::with_backend(problem, backend)),
     }
@@ -263,6 +264,57 @@ impl Operator for CsrOperator {
     }
 }
 
+/// The assembled 27-point operator with its SpMV in SELL-C-σ layout
+/// (`kernels::SellMatrix`): the layout conversion happens once at
+/// construction, and `apply` runs rows as independent SIMD/ILP lanes
+/// instead of CSR's serial per-row FMA chain. SymGS sweeps delegate to the
+/// embedded CSR operator — same arrays, same arithmetic order — and the
+/// SELL lanes accumulate each row in CSR's k-ascending order, so the whole
+/// CG trajectory is bitwise identical to [`CsrOperator`]'s.
+pub struct SellOperator {
+    csr: CsrOperator,
+    sell: kernels::SellMatrix,
+}
+
+impl SellOperator {
+    /// σ sorting window for the SELL conversion: large enough to pack
+    /// equal-length boundary rows into uniform slices, small enough that
+    /// the gather pattern stays close to the natural row order.
+    pub const SIGMA: usize = 64;
+
+    /// Assemble on the serial backend.
+    pub fn poisson27(p: &Problem) -> SellOperator {
+        SellOperator::poisson27_with_backend(p, Box::new(SerialBackend))
+    }
+
+    /// Assemble with an explicit execution backend.
+    pub fn poisson27_with_backend(p: &Problem, backend: Box<dyn Backend>) -> SellOperator {
+        let csr = CsrOperator::poisson27_with_backend(p, backend);
+        let sell =
+            kernels::SellMatrix::from_csr(&csr.row_ptr, &csr.col_idx, &csr.values, Self::SIGMA);
+        SellOperator { csr, sell }
+    }
+
+    /// Stored entries including slice padding (layout overhead measure).
+    pub fn stored_entries(&self) -> usize {
+        self.sell.stored_entries()
+    }
+}
+
+impl Operator for SellOperator {
+    fn n(&self) -> usize {
+        self.csr.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        kernels::spmv_sell(&*self.csr.backend, &self.sell, x, y);
+    }
+
+    fn symgs(&self, r: &[f64], z: &mut [f64]) {
+        self.csr.symgs(r, z);
+    }
+}
+
 /// The same 27-point operator applied matrix-free: neighbours are
 /// enumerated on the fly, coefficients are compile-time constants.
 pub struct MatrixFreeOperator {
@@ -299,6 +351,29 @@ impl MatrixFreeOperator {
     /// `x` must point at `n()` readable elements, none concurrently written
     /// at the neighbour offsets of `(ix, iy, iz)`.
     unsafe fn neighbour_sum_raw(&self, x: *const f64, ix: usize, iy: usize, iz: usize) -> f64 {
+        // Interior points (the bulk) take a branch-free path: the 26
+        // neighbour offsets become compile-time constants, so the triple
+        // loop fully unrolls. The accumulation order is the same
+        // (dz, dy, dx)-ascending order as the boundary path, so both round
+        // identically.
+        if ix >= 1 && ix + 1 < self.nx && iy >= 1 && iy + 1 < self.ny && iz >= 1 && iz + 1 < self.nz
+        {
+            let i = ((iz * self.ny + iy) * self.nx + ix) as i64;
+            let mut s = 0.0;
+            for dz in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 && dz == 0 {
+                            continue;
+                        }
+                        let j = (i + (dz * self.ny as i64 + dy) * self.nx as i64 + dx) as usize;
+                        // SAFETY: interior ⇒ all 26 neighbours in bounds.
+                        s += unsafe { *x.add(j) };
+                    }
+                }
+            }
+            return s;
+        }
         let mut s = 0.0;
         for dz in -1i64..=1 {
             for dy in -1i64..=1 {
@@ -621,6 +696,97 @@ mod tests {
     }
 
     #[test]
+    fn sell_apply_matches_csr_bitwise() {
+        let p = Problem::cube(9);
+        let csr = CsrOperator::poisson27(&p);
+        let sell = SellOperator::poisson27(&p);
+        // Padding exists (boundary rows are shorter) but is bounded.
+        assert!(sell.stored_entries() >= csr.nnz());
+        let x: Vec<f64> = (0..p.n()).map(|i| (i as f64 * 0.11).cos() * 2.0).collect();
+        let mut y_csr = vec![0.0; p.n()];
+        let mut y_sell = vec![f64::NAN; p.n()];
+        csr.apply(&x, &mut y_csr);
+        sell.apply(&x, &mut y_sell);
+        for i in 0..p.n() {
+            assert_eq!(y_sell[i].to_bits(), y_csr[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn cg_residuals_bitwise_identical_across_backends_and_worker_counts() {
+        // Wrappers pinning the SymGS sweep to the coloured ordering, so the
+        // whole CG trajectory is worker-count independent (the production
+        // `symgs` picks lexicographic at one worker — a different, equally
+        // valid preconditioner).
+        struct Colored<O>(O);
+        impl Operator for Colored<CsrOperator> {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                self.0.apply(x, y)
+            }
+            fn symgs(&self, r: &[f64], z: &mut [f64]) {
+                self.0.symgs_colored(r, z)
+            }
+        }
+        impl Operator for Colored<SellOperator> {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                self.0.apply(x, y)
+            }
+            fn symgs(&self, r: &[f64], z: &mut [f64]) {
+                self.0.csr.symgs_colored(r, z)
+            }
+        }
+
+        let p = Problem::cube(12);
+        let reference = pcg(&Colored(CsrOperator::poisson27(&p)), &p.rhs, 25, 1e-10);
+        assert!(reference.iterations > 0);
+        for workers in [1usize, 2, 8] {
+            let backends: Vec<Box<dyn Backend>> = vec![
+                Box::new(ThreadsBackend::new(workers)),
+                Box::new(CrossbeamBackend::new(workers)),
+                Box::new(PoolBackend::new(workers)),
+            ];
+            for backend in backends {
+                let label = backend.label();
+                let stats = pcg(
+                    &Colored(CsrOperator::poisson27_with_backend(&p, backend)),
+                    &p.rhs,
+                    25,
+                    1e-10,
+                );
+                assert_eq!(stats.iterations, reference.iterations, "{label}");
+                for (i, (a, b)) in stats.residuals.iter().zip(&reference.residuals).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "residual {i} diverged on {label} at {workers} workers"
+                    );
+                }
+            }
+            // SELL follows the same trajectory bit-for-bit: same matrix
+            // arrays, same per-row summation order, same sweeps.
+            let sell = pcg(
+                &Colored(SellOperator::poisson27_with_backend(
+                    &p,
+                    Box::new(PoolBackend::new(workers)),
+                )),
+                &p.rhs,
+                25,
+                1e-10,
+            );
+            assert_eq!(sell.iterations, reference.iterations);
+            for (a, b) in sell.residuals.iter().zip(&reference.residuals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sell at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
     fn csr_nnz_count() {
         let p = Problem::cube(4);
         let csr = CsrOperator::poisson27(&p);
@@ -714,6 +880,7 @@ mod tests {
         let p = Problem::cube(5);
         let ops: Vec<Box<dyn Operator>> = vec![
             Box::new(CsrOperator::poisson27(&p)),
+            Box::new(SellOperator::poisson27(&p)),
             Box::new(MatrixFreeOperator::new(&p)),
             Box::new(LfricOperator::new(&p)),
         ];
@@ -736,6 +903,7 @@ mod tests {
         let p = Problem::cube(5);
         let ops: Vec<Box<dyn Operator>> = vec![
             Box::new(CsrOperator::poisson27(&p)),
+            Box::new(SellOperator::poisson27(&p)),
             Box::new(MatrixFreeOperator::new(&p)),
             Box::new(LfricOperator::new(&p)),
         ];

@@ -27,6 +27,7 @@
 pub mod babelstream;
 pub mod hpcg;
 pub mod hpgmg;
+pub mod scratch;
 pub mod stream;
 
 use simhpc::Partition;

@@ -4,6 +4,7 @@
 //! uses STREAM's counting convention (write-allocate traffic is *not*
 //! counted) as the example of a FOM that measures useful data movement.
 
+use crate::scratch::Arena;
 use crate::{BenchError, ExecutionMode, RunOutput, SIM_EXECUTION_CAP};
 use parkern::{kernels, Model};
 use simhpc::noise::NoiseModel;
@@ -41,6 +42,15 @@ fn counted_bytes(n: usize) -> [(&'static str, u64); 4] {
 
 /// Run STREAM.
 pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
+    run_with(config, mode, &mut Arena::new())
+}
+
+/// [`run`] drawing the kernel arrays from a caller-owned arena.
+pub fn run_with(
+    config: &StreamConfig,
+    mode: &ExecutionMode,
+    arena: &mut Arena,
+) -> Result<RunOutput, BenchError> {
     if config.array_size == 0 || config.reps == 0 {
         return Err(BenchError::BadConfig(
             "array size and reps must be positive".into(),
@@ -48,13 +58,14 @@ pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, Ben
     }
     let (times, n) = match mode {
         ExecutionMode::Native => {
-            let threads = config.threads.unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get() as u32)
-                    .unwrap_or(4)
-            });
+            // Implicit thread counts go through `default_workers`, so the
+            // harness's oversubscription cap applies under `--jobs N`.
+            let threads = config
+                .threads
+                .map(|t| t as usize)
+                .unwrap_or_else(parkern::default_workers);
             (
-                execute(config.array_size, config.reps, threads as usize)?,
+                execute(config.array_size, config.reps, threads, arena)?,
                 config.array_size,
             )
         }
@@ -64,7 +75,12 @@ pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, Ben
             seed,
         } => {
             let exec_n = config.array_size.min(SIM_EXECUTION_CAP);
-            execute(exec_n, 2.min(config.reps), 4)?;
+            execute(
+                exec_n,
+                2.min(config.reps),
+                parkern::default_workers().min(4),
+                arena,
+            )?;
             let proc = partition.processor();
             if proc.is_gpu() {
                 return Err(BenchError::Unsupported("STREAM is a CPU benchmark".into()));
@@ -109,12 +125,21 @@ pub fn run(config: &StreamConfig, mode: &ExecutionMode) -> Result<RunOutput, Ben
     })
 }
 
-fn execute(n: usize, reps: usize, threads: usize) -> Result<[Vec<f64>; 4], BenchError> {
+fn execute(
+    n: usize,
+    reps: usize,
+    threads: usize,
+    arena: &mut Arena,
+) -> Result<[Vec<f64>; 4], BenchError> {
     let backend = Model::Omp.host_backend(threads);
-    let a = vec![1.0f64; n];
-    let mut b = vec![2.0f64; n];
-    let mut c = vec![0.0f64; n];
+    let a = arena.take(n, 1.0);
+    let mut b = arena.take(n, 2.0);
+    let mut c = arena.take(n, 0.0);
+    // The triad target is taken once and reused: the timed repetition loop
+    // below allocates nothing.
+    let mut a2 = arena.take(n, 0.0);
     let mut times: [Vec<f64>; 4] = Default::default();
+    let mut failed = false;
     for _ in 0..reps {
         let t = Instant::now();
         kernels::copy(backend.as_ref(), &a, &mut c);
@@ -126,12 +151,18 @@ fn execute(n: usize, reps: usize, threads: usize) -> Result<[Vec<f64>; 4], Bench
         kernels::add(backend.as_ref(), &a, &b, &mut c);
         times[2].push(t.elapsed().as_secs_f64());
         let t = Instant::now();
-        let mut a2 = vec![0.0f64; n];
         kernels::triad(backend.as_ref(), 3.0, &b, &c, &mut a2);
         times[3].push(t.elapsed().as_secs_f64());
         if (a2[0] - (b[0] + 3.0 * c[0])).abs() > 1e-12 {
-            return Err(BenchError::ValidationFailed("triad mismatch".into()));
+            failed = true;
+            break;
         }
+    }
+    for v in [a, b, c, a2] {
+        arena.give(v);
+    }
+    if failed {
+        return Err(BenchError::ValidationFailed("triad mismatch".into()));
     }
     Ok(times)
 }

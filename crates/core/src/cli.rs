@@ -66,8 +66,13 @@ pub enum Command {
     /// keeping quarantine memory.
     CheckpointGc { dir: String, force: bool },
     /// `bench-digest <log>...` — median-regression digest over criterion
-    /// JSON logs, oldest first.
-    BenchDigest { logs: Vec<String> },
+    /// JSON logs, oldest first, plus cross-benchmark speedup floors
+    /// (`--min-speedup BASE_GROUP/BASE_ID:TARGET_GROUP/TARGET_ID:RATIO`)
+    /// judged on the newest log.
+    BenchDigest {
+        logs: Vec<String>,
+        min_speedups: Vec<String>,
+    },
     /// `help`
     Help,
 }
@@ -130,9 +135,13 @@ USAGE:
         Drop the study journal once its study completed, keeping
         quarantine memory. An incomplete journal is refused unless
         --force.
-    benchkit bench-digest <log>...
+    benchkit bench-digest <log>... [--min-speedup BG/BI:TG/TI:R]...
         Median-regression digest over criterion JSON logs (oldest
         first): one sparkline + verdict per benchmark id.
+        --min-speedup asserts, on the newest log, that benchmark
+        TG/TI runs at least R times the speed of BG/BI (speed =
+        declared bytes/elements per iteration over the fastest
+        time). Exits nonzero when a floor is missed.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
@@ -316,15 +325,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             )),
         },
         "bench-digest" => {
-            if rest.is_empty() {
+            let mut logs = Vec::new();
+            let mut min_speedups = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--min-speedup" => {
+                        min_speedups.push(take_value(&rest, &mut i, "--min-speedup")?);
+                    }
+                    other if !other.starts_with('-') => {
+                        logs.push(other.to_string());
+                        i += 1;
+                    }
+                    other => {
+                        return Err(CliError(format!(
+                            "bench-digest: unexpected argument `{other}`"
+                        )))
+                    }
+                }
+            }
+            if logs.is_empty() {
                 return Err(CliError("bench-digest: at least one <log> file".into()));
             }
-            if let Some(flag) = rest.iter().find(|a| a.starts_with('-')) {
-                return Err(CliError(format!(
-                    "bench-digest: unexpected argument `{flag}`"
-                )));
-            }
-            Ok(Command::BenchDigest { logs: rest })
+            Ok(Command::BenchDigest { logs, min_speedups })
         }
         "spec" => {
             let mut positional = None;
@@ -783,7 +806,7 @@ pub fn execute(
                 }
             }
         }
-        Command::BenchDigest { logs } => {
+        Command::BenchDigest { logs, min_speedups } => {
             // Oldest first: each file is one bench run; the last file's
             // medians are judged against all earlier ones.
             let mut runs = Vec::new();
@@ -829,9 +852,58 @@ pub fn execute(
                 };
                 writeln!(out, "{group}/{id}: {} {verdict_text}", history.sparkline())?;
             }
+            // Cross-benchmark speedup floors, judged on the newest run:
+            // `--min-speedup BG/BI:TG/TI:R` requires speed(TG/TI) ≥
+            // R × speed(BG/BI), where speed is the declared per-iteration
+            // work (bytes or elements) over the fastest time. This is how
+            // CI pins roofline relations (triad within 1.5× of copy
+            // bandwidth, SELL ≥ 1.2× CSR) rather than absolute times.
+            let newest = postproc::parse_criterion_log(runs.last().expect("nonempty logs"));
+            let mut floors_missed = 0usize;
+            for spec in &min_speedups {
+                let parsed = (|| {
+                    let mut parts = spec.splitn(3, ':');
+                    let base = parts.next()?.split_once('/')?;
+                    let target = parts.next()?.split_once('/')?;
+                    let ratio: f64 = parts.next()?.parse().ok()?;
+                    Some((base, target, ratio))
+                })();
+                let Some(((bg, bi), (tg, ti), ratio)) = parsed else {
+                    return Err(CliError(format!(
+                        "bench-digest: bad --min-speedup `{spec}` \
+                         (want BASEGROUP/BASEID:TARGETGROUP/TARGETID:RATIO)"
+                    ))
+                    .into());
+                };
+                let find = |g: &str, id: &str| newest.iter().find(|p| p.group == g && p.id == id);
+                let (Some(base), Some(target)) = (find(bg, bi), find(tg, ti)) else {
+                    return Err(CliError(format!(
+                        "bench-digest: --min-speedup `{spec}`: \
+                         benchmark missing from the newest log"
+                    ))
+                    .into());
+                };
+                let actual = target.speed() / base.speed();
+                let verdict = if actual >= ratio {
+                    "ok"
+                } else {
+                    floors_missed += 1;
+                    "FLOOR MISSED"
+                };
+                writeln!(
+                    out,
+                    "{tg}/{ti} vs {bg}/{bi}: {actual:.2}x (floor {ratio}x) {verdict}"
+                )?;
+            }
             if regressions > 0 {
                 return Err(CliError(format!(
                     "bench-digest: {regressions} benchmark(s) regressed"
+                ))
+                .into());
+            }
+            if floors_missed > 0 {
+                return Err(CliError(format!(
+                    "bench-digest: {floors_missed} speedup floor(s) missed"
                 ))
                 .into());
             }
@@ -1594,10 +1666,25 @@ mod tests {
         assert_eq!(
             parse(&argv("bench-digest a.json b.json")).unwrap(),
             Command::BenchDigest {
-                logs: vec!["a.json".into(), "b.json".into()]
+                logs: vec!["a.json".into(), "b.json".into()],
+                min_speedups: vec![]
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench-digest a.json --min-speedup g/base:g/fast:1.2 --min-speedup x/a:y/b:0.5"
+            ))
+            .unwrap(),
+            Command::BenchDigest {
+                logs: vec!["a.json".into()],
+                min_speedups: vec!["g/base:g/fast:1.2".into(), "x/a:y/b:0.5".into()]
             }
         );
         assert!(parse(&argv("bench-digest")).is_err(), "missing logs");
+        assert!(
+            parse(&argv("bench-digest --min-speedup")).is_err(),
+            "flag needs a value"
+        );
         assert!(parse(&argv("bench-digest --wat")).is_err());
     }
 
@@ -1694,7 +1781,10 @@ mod tests {
             logs.push(path.to_string_lossy().into_owned());
         }
         // A healthy history digests cleanly.
-        let (text, err) = run_cmd(Command::BenchDigest { logs: logs.clone() });
+        let (text, err) = run_cmd(Command::BenchDigest {
+            logs: logs.clone(),
+            min_speedups: vec![],
+        });
         assert!(err.is_none(), "{err:?}");
         assert!(text.contains("suite/symgs: "), "{text}");
         assert!(text.contains("ok (z="), "{text}");
@@ -1703,21 +1793,85 @@ mod tests {
         let bad = dir.join("run-bad.json");
         std::fs::write(&bad, line(300.0)).unwrap();
         logs.push(bad.to_string_lossy().into_owned());
-        let (text, err) = run_cmd(Command::BenchDigest { logs });
+        let (text, err) = run_cmd(Command::BenchDigest {
+            logs,
+            min_speedups: vec![],
+        });
         let err = err.expect("regression must fail the digest");
         assert!(err.contains("regressed"), "{err}");
         assert!(text.contains("REGRESSION"), "{text}");
         // Unreadable and empty inputs fail loudly, not silently.
         let (_, err) = run_cmd(Command::BenchDigest {
             logs: vec![dir.join("nope.json").to_string_lossy().into_owned()],
+            min_speedups: vec![],
         });
         assert!(err.unwrap().contains("cannot read"), "unreadable log");
         let empty = dir.join("empty.json");
         std::fs::write(&empty, "no criterion lines here\n").unwrap();
         let (_, err) = run_cmd(Command::BenchDigest {
             logs: vec![empty.to_string_lossy().into_owned()],
+            min_speedups: vec![],
         });
         assert!(err.unwrap().contains("no criterion records"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_digest_min_speedup_floors() {
+        let dir = tmpdir("cli-digest-floor");
+        std::fs::create_dir_all(&dir).unwrap();
+        // One run: copy moves 16 bytes in 2 ns (8 bytes/ns), triad moves
+        // 24 bytes in 4 ns (6 bytes/ns) → triad speed is 0.75x of copy.
+        // The elements-only point exercises the other work unit, and the
+        // bare point (no throughput) falls back to inverse time.
+        let log = dir.join("run.json");
+        std::fs::write(
+            &log,
+            "{\"criterion\": 1, \"group\": \"g\", \"id\": \"copy\", \
+              \"min_ns\": 2, \"median_ns\": 2, \"bytes\": 16}\n\
+             {\"criterion\": 1, \"group\": \"g\", \"id\": \"triad\", \
+              \"min_ns\": 4, \"median_ns\": 4, \"bytes\": 24}\n\
+             {\"criterion\": 1, \"group\": \"s\", \"id\": \"csr\", \
+              \"min_ns\": 10, \"median_ns\": 10, \"elements\": 100}\n\
+             {\"criterion\": 1, \"group\": \"s\", \"id\": \"sell\", \
+              \"min_ns\": 5, \"median_ns\": 5, \"elements\": 100}\n",
+        )
+        .unwrap();
+        let logs = vec![log.to_string_lossy().into_owned()];
+        let digest = |specs: &[&str]| {
+            run_cmd(Command::BenchDigest {
+                logs: logs.clone(),
+                min_speedups: specs.iter().map(|s| s.to_string()).collect(),
+            })
+        };
+        // Both floors hold: triad ≥ 0.66× copy, sell ≥ 1.2× csr (it's 2x).
+        let (text, err) = digest(&["g/copy:g/triad:0.66", "s/csr:s/sell:1.2"]);
+        assert!(err.is_none(), "{err:?}");
+        assert!(
+            text.contains("g/triad vs g/copy: 0.75x (floor 0.66x) ok"),
+            "{text}"
+        );
+        assert!(
+            text.contains("s/sell vs s/csr: 2.00x (floor 1.2x) ok"),
+            "{text}"
+        );
+        // A floor above the measured ratio fails the digest.
+        let (text, err) = digest(&["g/copy:g/triad:0.9"]);
+        assert!(text.contains("FLOOR MISSED"), "{text}");
+        assert!(err.unwrap().contains("floor(s) missed"));
+        // Malformed specs and absent benchmarks fail loudly.
+        assert!(digest(&["nonsense"])
+            .1
+            .unwrap()
+            .contains("bad --min-speedup"));
+        assert!(digest(&["g/copy:g/triad:fast"])
+            .1
+            .unwrap()
+            .contains("bad --min-speedup"));
+        assert!(digest(&["g/copy:g/nope:1.0"])
+            .1
+            .unwrap()
+            .contains("missing from the newest log"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

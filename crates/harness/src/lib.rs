@@ -43,11 +43,23 @@ pub enum App {
 impl App {
     /// Execute the application.
     pub fn run(&self, mode: &ExecutionMode) -> Result<RunOutput, BenchError> {
+        self.run_with(mode, &mut benchapps::scratch::Arena::new())
+    }
+
+    /// Execute the application, drawing working vectors from a caller-owned
+    /// arena so repeated runs (repetitions, retries, survey cells) are
+    /// allocation-free in steady state. Results are byte-identical to
+    /// [`App::run`].
+    pub fn run_with(
+        &self,
+        mode: &ExecutionMode,
+        arena: &mut benchapps::scratch::Arena,
+    ) -> Result<RunOutput, BenchError> {
         match self {
-            App::BabelStream(cfg) => benchapps::babelstream::run(cfg, mode),
-            App::Hpcg(cfg) => benchapps::hpcg::run(cfg, mode),
+            App::BabelStream(cfg) => benchapps::babelstream::run_with(cfg, mode, arena),
+            App::Hpcg(cfg) => benchapps::hpcg::run_with(cfg, mode, arena),
             App::Hpgmg(cfg) => benchapps::hpgmg::run(cfg, mode),
-            App::Stream(cfg) => benchapps::stream::run(cfg, mode),
+            App::Stream(cfg) => benchapps::stream::run_with(cfg, mode, arena),
         }
     }
 

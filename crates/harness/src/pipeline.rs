@@ -245,6 +245,9 @@ pub struct Harness {
     sequence: u64,
     /// Perflogs keyed by (system, benchmark) — ReFrame's directory layout.
     perflogs: BTreeMap<(String, String), Perflog>,
+    /// Scratch buffers reused across every case this harness runs, so
+    /// steady-state repetitions allocate no working vectors.
+    arena: benchapps::scratch::Arena,
 }
 
 impl Harness {
@@ -256,6 +259,7 @@ impl Harness {
             options,
             sequence: 0,
             perflogs: BTreeMap::new(),
+            arena: benchapps::scratch::Arena::new(),
         }
     }
 
@@ -456,7 +460,7 @@ impl Harness {
                 seed: self.options.seed,
             }
         };
-        let output = match case.app.run(&mode) {
+        let output = match case.app.run_with(&mode, &mut self.arena) {
             Ok(o) => o,
             Err(BenchError::Unsupported(m)) => return Err(HarnessError::Unsupported(m)),
             Err(other) => {

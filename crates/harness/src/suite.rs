@@ -695,6 +695,34 @@ impl SuiteRunner {
         };
         let workers = jobs.min(n_jobs).max(1);
 
+        // Oversubscription guard: with `workers` cells running concurrently,
+        // clamp each cell's *implicit* kernel-thread count so that
+        // jobs × threads ≤ the machine's parallelism. An explicit
+        // BENCHKIT_THREADS (or per-case `threads` setting) always wins.
+        // The guard restores the previous cap on every exit path.
+        struct CapGuard(usize);
+        impl Drop for CapGuard {
+            fn drop(&mut self) {
+                parkern::set_worker_cap(self.0);
+            }
+        }
+        let _cap_guard = if workers > 1 && std::env::var("BENCHKIT_THREADS").is_err() {
+            let machine = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            let cap = (machine / workers).max(1);
+            let prev = parkern::worker_cap();
+            parkern::set_worker_cap(cap);
+            eprintln!(
+                "note: clamping per-cell kernel threads to {cap} \
+                 ({machine} cores / {workers} concurrent jobs); \
+                 set BENCHKIT_THREADS to override"
+            );
+            Some(CapGuard(prev))
+        } else {
+            None
+        };
+
         // Quarantine memory: systems whose trailing streak in an earlier
         // study reached the threshold start on canary probation.
         let streaks = match &self.checkpoint {

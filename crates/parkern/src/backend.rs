@@ -2,6 +2,44 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on reduction pieces in the default [`Backend::par_reduce_sum`]:
+/// partials live in a fixed stack array so reductions never allocate, at any
+/// worker count.
+const MAX_REDUCE_PIECES: usize = 128;
+
+/// Raw-pointer wrapper for the default reduction's stack partials. Safety:
+/// each piece index is written by exactly one `par_for` chunk.
+#[derive(Clone, Copy)]
+struct PartialsPtr(*mut f64);
+unsafe impl Send for PartialsPtr {}
+unsafe impl Sync for PartialsPtr {}
+
+impl PartialsPtr {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one worker.
+    unsafe fn write(&self, i: usize, v: f64) {
+        *self.0.add(i) = v;
+    }
+}
+
+/// Process-wide cap on implicit worker counts (0 = uncapped), applied by
+/// [`default_workers`] when `BENCHKIT_THREADS` is not set explicitly. The
+/// harness uses this to stop `--jobs N` cells from oversubscribing the
+/// machine with `N × available_parallelism` kernel threads.
+static WORKER_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap implicit worker counts at `cap` (0 clears the cap). An explicit
+/// `BENCHKIT_THREADS` setting always wins over the cap.
+pub fn set_worker_cap(cap: usize) {
+    WORKER_CAP.store(cap, Ordering::Release);
+}
+
+/// The current implicit-worker cap (0 = uncapped).
+pub fn worker_cap() -> usize {
+    WORKER_CAP.load(Ordering::Acquire)
+}
 
 /// A data-parallel execution backend.
 ///
@@ -30,7 +68,31 @@ pub trait Backend: Send + Sync {
     }
 
     /// Sum the per-chunk partial results of `body` over `0..n`.
-    fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64;
+    ///
+    /// The default is allocation-free at any worker count: partials land in
+    /// a fixed stack array (at most [`MAX_REDUCE_PIECES`] pieces) written
+    /// through disjoint `par_for` chunks, then summed in piece order on the
+    /// calling thread.
+    fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let pieces = self.workers().min(n).min(MAX_REDUCE_PIECES);
+        if pieces <= 1 {
+            return body(0..n);
+        }
+        let mut partials = [0.0f64; MAX_REDUCE_PIECES];
+        let slots = PartialsPtr(partials.as_mut_ptr());
+        self.par_for(pieces, &|pr: Range<usize>| {
+            for p in pr {
+                let r = chunk_range(n, pieces, p).expect("in-range piece");
+                // SAFETY: piece indices are disjoint across par_for chunks,
+                // so each slot is written by exactly one worker.
+                unsafe { slots.write(p, body(r)) };
+            }
+        });
+        partials[..pieces].iter().sum()
+    }
 
     /// Backend label for logs.
     fn label(&self) -> &'static str;
@@ -69,21 +131,34 @@ pub(crate) fn grained_pieces(n: usize, grain: usize, workers: usize) -> usize {
 }
 
 /// Worker count to use when none is specified: `BENCHKIT_THREADS` if set to
-/// a positive integer, otherwise [`std::thread::available_parallelism`].
+/// a positive integer, otherwise [`std::thread::available_parallelism`]
+/// clamped by [`worker_cap`] (an explicit `BENCHKIT_THREADS` ignores the
+/// cap — the user asked for that count).
 pub fn default_workers() -> usize {
-    workers_from_env(std::env::var("BENCHKIT_THREADS").ok().as_deref())
+    capped_workers(
+        std::env::var("BENCHKIT_THREADS").ok().as_deref(),
+        worker_cap(),
+    )
 }
 
-/// Testable core of [`default_workers`]: parse an override, falling back to
-/// the machine's available parallelism.
-pub(crate) fn workers_from_env(var: Option<&str>) -> usize {
-    var.and_then(|v| v.trim().parse::<usize>().ok())
+/// Testable core of [`default_workers`]: an explicit positive override wins
+/// outright; otherwise the machine's available parallelism, clamped to
+/// `cap` when `cap > 0` (never below one worker).
+pub(crate) fn capped_workers(var: Option<&str>, cap: usize) -> usize {
+    if let Some(n) = var
+        .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    {
+        return n;
+    }
+    let machine = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    if cap == 0 {
+        machine
+    } else {
+        machine.min(cap).max(1)
+    }
 }
 
 /// Sequential reference backend.
@@ -167,29 +242,6 @@ impl Backend for ThreadsBackend {
         });
     }
 
-    fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
-        if n == 0 {
-            return 0.0;
-        }
-        let pieces = self.workers.min(n);
-        if pieces <= 1 {
-            return body(0..n);
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..pieces - 1)
-                .map(|i| {
-                    let r = chunk_range(n, pieces, i).expect("in-range chunk");
-                    scope.spawn(move || body(r))
-                })
-                .collect();
-            let own = body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
-            own + handles
-                .into_iter()
-                .map(|h| h.join().expect("kernel worker panicked"))
-                .sum::<f64>()
-        })
-    }
-
     fn label(&self) -> &'static str {
         "threads"
     }
@@ -241,30 +293,6 @@ impl Backend for CrossbeamBackend {
             body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
         })
         .expect("kernel worker panicked");
-    }
-
-    fn par_reduce_sum(&self, n: usize, body: &(dyn Fn(Range<usize>) -> f64 + Sync)) -> f64 {
-        if n == 0 {
-            return 0.0;
-        }
-        let pieces = self.workers.min(n);
-        if pieces <= 1 {
-            return body(0..n);
-        }
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = (0..pieces - 1)
-                .map(|i| {
-                    let r = chunk_range(n, pieces, i).expect("in-range chunk");
-                    scope.spawn(move |_| body(r))
-                })
-                .collect();
-            let own = body(chunk_range(n, pieces, pieces - 1).expect("in-range chunk"));
-            own + handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .sum::<f64>()
-        })
-        .expect("kernel worker panicked")
     }
 
     fn label(&self) -> &'static str {
@@ -340,13 +368,48 @@ mod tests {
 
     #[test]
     fn workers_from_env_override() {
-        assert_eq!(workers_from_env(Some("3")), 3);
-        assert_eq!(workers_from_env(Some(" 12 ")), 12);
-        let fallback = workers_from_env(None);
+        assert_eq!(capped_workers(Some("3"), 0), 3);
+        assert_eq!(capped_workers(Some(" 12 "), 0), 12);
+        let fallback = capped_workers(None, 0);
         assert!(fallback >= 1);
         // Junk and zero fall back to machine parallelism.
-        assert_eq!(workers_from_env(Some("0")), fallback);
-        assert_eq!(workers_from_env(Some("lots")), fallback);
+        assert_eq!(capped_workers(Some("0"), 0), fallback);
+        assert_eq!(capped_workers(Some("lots"), 0), fallback);
+    }
+
+    #[test]
+    fn capped_workers_clamps_only_implicit_counts() {
+        let machine = capped_workers(None, 0);
+        // Explicit BENCHKIT_THREADS beats the cap in both directions.
+        assert_eq!(capped_workers(Some("12"), 2), 12);
+        assert_eq!(capped_workers(Some("1"), 8), 1);
+        // Implicit counts clamp to the cap, never below one worker.
+        assert_eq!(capped_workers(None, 1), 1);
+        assert_eq!(capped_workers(None, machine + 10), machine);
+        assert_eq!(capped_workers(None, 0), machine);
+        // Junk overrides fall through to the capped machine count.
+        assert_eq!(capped_workers(Some("lots"), 1), 1);
+    }
+
+    #[test]
+    fn worker_cap_round_trips() {
+        // Other tests may run concurrently in this process, but none touch
+        // the cap, so a set/read/clear sequence is safe.
+        assert_eq!(worker_cap(), 0);
+        set_worker_cap(3);
+        assert_eq!(worker_cap(), 3);
+        set_worker_cap(0);
+        assert_eq!(worker_cap(), 0);
+    }
+
+    #[test]
+    fn default_reduce_uses_stack_partials_for_many_workers() {
+        // More workers than MAX_REDUCE_PIECES must still sum correctly
+        // (pieces saturate at the stack-array bound).
+        let b = ThreadsBackend::new(MAX_REDUCE_PIECES + 9);
+        let n = 10 * MAX_REDUCE_PIECES;
+        let got = b.par_reduce_sum(n, &|r| r.map(|i| i as f64).sum());
+        assert_eq!(got, (n * (n - 1)) as f64 / 2.0);
     }
 
     #[test]

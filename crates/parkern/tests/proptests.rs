@@ -96,6 +96,63 @@ proptest! {
         }
     }
 
+    /// SELL-C-σ SpMV equals CSR SpMV bit-for-bit on arbitrary sparse
+    /// matrices (same per-row summation order), including empty rows and
+    /// fully dense rows.
+    #[test]
+    fn spmv_sell_matches_csr_exactly(
+        kind in 0u8..4,
+        workers in 1usize..6,
+        sigma in 1usize..100,
+        ncols in 1usize..40,
+        rows in prop::collection::vec(prop::collection::vec((0usize..40, -100.0f64..100.0), 0..40), 1..60),
+        dense_row in prop::option::of(0usize..60),
+    ) {
+        let backend = backend_for(kind, workers);
+        // Assemble CSR with sorted, deduplicated columns per row; one row
+        // is optionally forced fully dense.
+        let mut row_ptr = vec![0usize];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut values = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if dense_row == Some(i) {
+                for c in 0..ncols {
+                    col_idx.push(c as u32);
+                    values.push(c as f64 * 0.5 - 1.0);
+                }
+            } else {
+                let mut entries: Vec<(usize, f64)> = row
+                    .iter()
+                    .map(|&(c, v)| (c % ncols, v))
+                    .collect();
+                entries.sort_by_key(|&(c, _)| c);
+                entries.dedup_by_key(|&mut (c, _)| c);
+                for (c, v) in entries {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let nrows = rows.len();
+        let x: Vec<f64> = (0..ncols).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let mut y_csr = vec![0.0; nrows];
+        kernels::spmv_csr(&SerialBackend, &row_ptr, &col_idx, &values, &x, &mut y_csr);
+        let sell = kernels::SellMatrix::from_csr(&row_ptr, &col_idx, &values, sigma);
+        let mut y_sell = vec![f64::NAN; nrows];
+        kernels::spmv_sell(backend.as_ref(), &sell, &x, &mut y_sell);
+        for i in 0..nrows {
+            prop_assert_eq!(
+                y_sell[i].to_bits(),
+                y_csr[i].to_bits(),
+                "row {} differs: sell {} vs csr {}",
+                i,
+                y_sell[i],
+                y_csr[i]
+            );
+        }
+    }
+
     /// Model availability is consistent: a model that claims GPU device
     /// never runs on CPUs and vice versa.
     #[test]

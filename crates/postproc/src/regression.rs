@@ -187,6 +187,18 @@ pub struct CriterionPoint {
     pub id: String,
     pub min_ns: f64,
     pub median_ns: f64,
+    /// Work per iteration, when the bench declared a throughput: bytes
+    /// moved or elements processed. Lets consumers compare *speeds*
+    /// (work/time) across benchmarks whose per-iteration work differs.
+    pub work: Option<f64>,
+}
+
+impl CriterionPoint {
+    /// Best-case speed in work units per nanosecond (1.0/ns when no
+    /// throughput was declared, i.e. plain inverse time).
+    pub fn speed(&self) -> f64 {
+        self.work.unwrap_or(1.0) / self.min_ns
+    }
 }
 
 /// Parse criterion's machine-readable lines out of mixed bench output.
@@ -215,6 +227,7 @@ pub fn parse_criterion_log(text: &str) -> Vec<CriterionPoint> {
             id,
             min_ns,
             median_ns,
+            work: float("bytes").or_else(|| float("elements")),
         });
     }
     points
@@ -355,6 +368,26 @@ mod tests {
         assert_eq!(pts[0].id, "sgemm/128");
         assert!((pts[0].median_ns - 10.0).abs() < 1e-9);
         assert!((pts[0].min_ns - 9.0).abs() < 1e-9);
+        // The declared throughput (elements here, bytes alike) comes back
+        // as per-iteration work, so speeds are comparable across benches.
+        assert_eq!(pts[0].work, Some(128.0));
+        assert!((pts[0].speed() - 128.0 / 9.0).abs() < 1e-9);
+        let bytes_line = criterion::machine_line(
+            "kernels",
+            "copy",
+            &criterion::Samples::from_ns(vec![4.0]),
+            Some(criterion::Throughput::Bytes(64)),
+        );
+        assert_eq!(parse_criterion_log(&bytes_line)[0].work, Some(64.0));
+        let plain = criterion::machine_line(
+            "kernels",
+            "plain",
+            &criterion::Samples::from_ns(vec![4.0]),
+            None,
+        );
+        let plain_pt = &parse_criterion_log(&plain)[0];
+        assert_eq!(plain_pt.work, None);
+        assert!((plain_pt.speed() - 0.25).abs() < 1e-9);
         // Degenerate (empty-sample) lines drop out instead of erroring.
         let null_line =
             criterion::machine_line("kernels", "empty", &criterion::Samples::default(), None);

@@ -80,8 +80,9 @@ pub const BABELSTREAM_MODELS: &[&str] = &[
     "serial",
 ];
 
-/// The HPCG algorithm/implementation variants of §3.2 / Table 2.
-pub const HPCG_IMPLS: &[&str] = &["csr", "avx2", "matfree", "lfric"];
+/// The HPCG algorithm/implementation variants of §3.2 / Table 2, plus the
+/// SELL-C-σ layout extension (`sell`, DESIGN.md § "Roofline kernels").
+pub const HPCG_IMPLS: &[&str] = &["csr", "avx2", "matfree", "lfric", "sell"];
 
 fn builtin_recipes() -> Vec<Recipe> {
     vec![
