@@ -24,6 +24,12 @@
 #                  --min-speedup floors pinning the roofline relations
 #                  (triad bandwidth within 1.5x of copy, SELL-C-sigma
 #                  SpMV at least 1.2x CSR)
+#   7. rank      — cross-system comparison smoke: two surveys export
+#                  perflogs (--perflog), `rank` and `cmp` over them must
+#                  be byte-identical at --jobs 1/2/8, a self-comparison
+#                  must classify every cell unchanged, and a synthetic
+#                  rank flip must fail `bench-digest --rank` (exit 1)
+#                  while a stable pair passes
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -167,5 +173,68 @@ done
     --min-speedup "stream_gbs/copy:stream_gbs/triad:0.66" \
     --min-speedup "spmv_layout/csr:spmv_layout/sell:1.2"
 echo "bench digest OK"
+
+echo "== ci: cross-system rank/cmp smoke =="
+# Two small surveys export perflogs; rank and cmp over them must not
+# depend on the worker count, and a self-comparison must be all-unchanged.
+study_a="$nightly_dir/study-a"
+study_b="$nightly_dir/study-b"
+./target/release/benchkit survey -c babelstream_omp \
+    --system csd3 --system archer2 --seed 7 --perflog "$study_a" >/dev/null
+./target/release/benchkit survey -c babelstream_omp \
+    --system csd3 --system archer2 --seed 8 --perflog "$study_b" >/dev/null
+rank1="$(./target/release/benchkit rank "$study_a" --jobs 1)"
+for j in 2 8; do
+    rankj="$(./target/release/benchkit rank "$study_a" --jobs "$j")"
+    if [ "$rank1" != "$rankj" ]; then
+        echo "rank smoke FAILED: --jobs $j diverged from --jobs 1" >&2
+        diff <(printf '%s\n' "$rank1") <(printf '%s\n' "$rankj") >&2 || true
+        exit 1
+    fi
+done
+case "$rank1" in
+*"1.0000"*) ;;
+*)
+    echo "rank smoke FAILED: no best-system score in output" >&2
+    printf '%s\n' "$rank1" >&2
+    exit 1
+    ;;
+esac
+cmp1="$(./target/release/benchkit cmp "$study_a" "$study_b" --jobs 1)"
+for j in 2 8; do
+    cmpj="$(./target/release/benchkit cmp "$study_a" "$study_b" --jobs "$j")"
+    if [ "$cmp1" != "$cmpj" ]; then
+        echo "cmp smoke FAILED: --jobs $j diverged from --jobs 1" >&2
+        diff <(printf '%s\n' "$cmp1") <(printf '%s\n' "$cmpj") >&2 || true
+        exit 1
+    fi
+done
+selfcmp="$(./target/release/benchkit cmp "$study_a" "$study_a")"
+case "$selfcmp" in
+*" 0 improved, 0 regressed,"*) ;;
+*)
+    echo "cmp smoke FAILED: self-comparison found changes" >&2
+    printf '%s\n' "$selfcmp" >&2
+    exit 1
+    ;;
+esac
+# A rank flip between the two newest logs must fail the digest loudly;
+# a stable pair must pass. (Synthetic criterion logs: sell beats csr in
+# old.json and stable.json, csr beats sell in flipped.json.)
+rank_log() {
+    printf '{"criterion": 1, "group": "spmv", "id": "sell", "min_ns": %s, "median_ns": %s, "elements": 100}\n' "$1" "$1"
+    printf '{"criterion": 1, "group": "spmv", "id": "csr", "min_ns": 10, "median_ns": 10, "elements": 100}\n'
+}
+rank_log 5 > "$nightly_dir/rank-old.json"
+rank_log 6 > "$nightly_dir/rank-stable.json"
+rank_log 50 > "$nightly_dir/rank-flipped.json"
+./target/release/benchkit bench-digest \
+    "$nightly_dir/rank-old.json" "$nightly_dir/rank-stable.json" --rank spmv
+if ./target/release/benchkit bench-digest \
+    "$nightly_dir/rank-old.json" "$nightly_dir/rank-flipped.json" --rank spmv; then
+    echo "rank smoke FAILED: bench-digest --rank accepted a rank flip" >&2
+    exit 1
+fi
+echo "rank/cmp smoke OK (jobs-invariant, self-cmp unchanged, flip gated)"
 
 echo "ci OK"

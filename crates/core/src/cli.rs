@@ -58,6 +58,29 @@ pub enum Command {
         /// Persistent package store directory (`--store DIR`): warm
         /// builds from it, persist new builds back into it.
         store: Option<String>,
+        /// Write one `<system>-<benchmark>.jsonl` perflog per surveyed
+        /// (system, benchmark family) into this directory (`--perflog`),
+        /// the input format of `rank` and `cmp`.
+        perflog: Option<String>,
+    },
+    /// `rank <perflog-or-dir>... [--lower-is-better] [--markdown]
+    /// [--jobs N]` — geometric-mean-speedup ranking of systems across
+    /// every (benchmark, FOM) cell of a study.
+    Rank {
+        inputs: Vec<String>,
+        lower_is_better: bool,
+        markdown: bool,
+        jobs: usize,
+    },
+    /// `cmp <study-a> <study-b> [--threshold PCT] [--lower-is-better]
+    /// [--markdown] [--jobs N]` — cell-by-cell deltas between two studies.
+    Cmp {
+        study_a: String,
+        study_b: String,
+        threshold_pct: f64,
+        lower_is_better: bool,
+        markdown: bool,
+        jobs: usize,
     },
     /// `store gc <dir> [--keep K]` — evict entries not referenced by the
     /// last K studies.
@@ -72,6 +95,10 @@ pub enum Command {
     BenchDigest {
         logs: Vec<String>,
         min_speedups: Vec<String>,
+        /// `--rank GROUP` (repeatable): fail the digest when the
+        /// speed-ranking of GROUP's benchmark ids flipped between the
+        /// second-newest and the newest log.
+        rank_groups: Vec<String>,
     },
     /// `help`
     Help,
@@ -127,7 +154,25 @@ USAGE:
         corrupt ones are quarantined to DIR/corrupt/ and rebuilt cold;
         a concurrent holder of DIR degrades the run to an in-memory
         warm store). FOMs are identical cold vs. warm.
+        --perflog DIR writes one <system>-<benchmark>.jsonl perflog per
+        surveyed (system, benchmark) into DIR — the input of `rank`
+        and `cmp`.
         Exits nonzero if any cell fails.
+    benchkit rank <perflog-or-dir>... [--lower-is-better] [--markdown] [--jobs N]
+        Rank systems by the geometric mean of their per-cell speedup
+        against the best system, one cell per (benchmark, FOM) pair.
+        Inputs are perflog JSONL files or directories of them (e.g. a
+        `survey --perflog` directory). Missing, non-finite, and
+        non-positive cells are excluded from the mean and reported —
+        never silently dropped. Output is byte-identical at any --jobs.
+    benchkit cmp <study-a> <study-b> [--threshold PCT] [--lower-is-better]
+                 [--markdown] [--jobs N]
+        Cell-by-cell comparison of two studies (perflog files or
+        directories): each (benchmark, FOM, system) cell is classified
+        improved / regressed / unchanged (within --threshold percent,
+        default 2), missing on either side, or incomparable
+        (non-finite or non-positive baseline). Informational: always
+        exits 0 when both studies parse.
     benchkit store gc <dir> [--keep K]
         Evict store entries not referenced by the last K studies
         (default 5). Never touches quarantined entries in DIR/corrupt/.
@@ -135,19 +180,25 @@ USAGE:
         Drop the study journal once its study completed, keeping
         quarantine memory. An incomplete journal is refused unless
         --force.
-    benchkit bench-digest <log>... [--min-speedup BG/BI:TG/TI:R]...
+    benchkit bench-digest <log>... [--min-speedup BG/BI:TG/TI:R]... [--rank GROUP]...
         Median-regression digest over criterion JSON logs (oldest
         first): one sparkline + verdict per benchmark id.
         --min-speedup asserts, on the newest log, that benchmark
         TG/TI runs at least R times the speed of BG/BI (speed =
         declared bytes/elements per iteration over the fastest
         time). Exits nonzero when a floor is missed.
+        --rank GROUP asserts the speed-ranking of GROUP's benchmark
+        ids is the same in the newest log as in the one before it;
+        a rank flip exits nonzero.
     benchkit spec <spack-spec> --system <system>
     benchkit help
 
 EXAMPLES:
     benchkit run -c babelstream_omp --system isambard-macs:cascadelake
     benchkit survey -c babelstream_omp -c hpgmg --system archer2 --system csd3
+    benchkit survey -c hpgmg --system archer2 --system csd3 --perflog study-a/
+    benchkit rank study-a/
+    benchkit cmp study-a/ study-b/ --threshold 5
     benchkit spec 'hpgmg%gcc' --system archer2
 ";
 
@@ -180,6 +231,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 (opts.resume.is_some(), "--resume"),
                 (opts.interrupt_after.is_some(), "--interrupt-after"),
                 (opts.store.is_some(), "--store"),
+                (opts.perflog.is_some(), "--perflog"),
             ] {
                 if set {
                     return Err(CliError(format!("run: `{flag}` only applies to `survey`")));
@@ -265,6 +317,98 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 resume: opts.resume,
                 interrupt_after: opts.interrupt_after,
                 store: opts.store,
+                perflog: opts.perflog,
+            })
+        }
+        "rank" => {
+            let mut inputs = Vec::new();
+            let mut lower_is_better = false;
+            let mut markdown = false;
+            let mut jobs = 1usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--lower-is-better" => {
+                        lower_is_better = true;
+                        i += 1;
+                    }
+                    "--markdown" => {
+                        markdown = true;
+                        i += 1;
+                    }
+                    "--jobs" | "-j" => {
+                        let v = take_value(&rest, &mut i, "--jobs")?;
+                        jobs = v.parse().map_err(|_| CliError(format!("bad jobs `{v}`")))?;
+                    }
+                    other if !other.starts_with('-') => {
+                        inputs.push(other.to_string());
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("rank: unexpected argument `{other}`"))),
+                }
+            }
+            if inputs.is_empty() {
+                return Err(CliError(
+                    "rank: at least one perflog file or directory".into(),
+                ));
+            }
+            Ok(Command::Rank {
+                inputs,
+                lower_is_better,
+                markdown,
+                jobs,
+            })
+        }
+        "cmp" => {
+            let mut studies = Vec::new();
+            let mut threshold_pct = 2.0f64;
+            let mut lower_is_better = false;
+            let mut markdown = false;
+            let mut jobs = 1usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--threshold" => {
+                        let v = take_value(&rest, &mut i, "--threshold")?;
+                        threshold_pct = v
+                            .parse()
+                            .ok()
+                            .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                            .ok_or_else(|| {
+                                CliError(format!(
+                                    "bad threshold `{v}` (want a finite percentage ≥ 0)"
+                                ))
+                            })?;
+                    }
+                    "--lower-is-better" => {
+                        lower_is_better = true;
+                        i += 1;
+                    }
+                    "--markdown" => {
+                        markdown = true;
+                        i += 1;
+                    }
+                    "--jobs" | "-j" => {
+                        let v = take_value(&rest, &mut i, "--jobs")?;
+                        jobs = v.parse().map_err(|_| CliError(format!("bad jobs `{v}`")))?;
+                    }
+                    other if !other.starts_with('-') => {
+                        studies.push(other.to_string());
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("cmp: unexpected argument `{other}`"))),
+                }
+            }
+            let [study_a, study_b]: [String; 2] = studies.try_into().map_err(|_| {
+                CliError("cmp: exactly two studies (perflog files or directories)".into())
+            })?;
+            Ok(Command::Cmp {
+                study_a,
+                study_b,
+                threshold_pct,
+                lower_is_better,
+                markdown,
+                jobs,
             })
         }
         "store" => match rest.first().map(String::as_str) {
@@ -327,11 +471,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "bench-digest" => {
             let mut logs = Vec::new();
             let mut min_speedups = Vec::new();
+            let mut rank_groups = Vec::new();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--min-speedup" => {
                         min_speedups.push(take_value(&rest, &mut i, "--min-speedup")?);
+                    }
+                    "--rank" => {
+                        rank_groups.push(take_value(&rest, &mut i, "--rank")?);
                     }
                     other if !other.starts_with('-') => {
                         logs.push(other.to_string());
@@ -347,7 +495,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if logs.is_empty() {
                 return Err(CliError("bench-digest: at least one <log> file".into()));
             }
-            Ok(Command::BenchDigest { logs, min_speedups })
+            if !rank_groups.is_empty() && logs.len() < 2 {
+                return Err(CliError(
+                    "bench-digest: `--rank` needs at least two logs to compare".into(),
+                ));
+            }
+            Ok(Command::BenchDigest {
+                logs,
+                min_speedups,
+                rank_groups,
+            })
         }
         "spec" => {
             let mut positional = None;
@@ -394,6 +551,7 @@ struct Options {
     resume: Option<String>,
     interrupt_after: Option<usize>,
     store: Option<String>,
+    perflog: Option<String>,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -422,6 +580,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         resume: None,
         interrupt_after: None,
         store: None,
+        perflog: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -500,6 +659,9 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--store" => {
                 opts.store = Some(take_value(args, &mut i, "--store")?);
             }
+            "--perflog" => {
+                opts.perflog = Some(take_value(args, &mut i, "--perflog")?);
+            }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
                 i += 1;
@@ -547,6 +709,49 @@ pub fn case_by_name(name: &str) -> Result<TestCase, CliError> {
     Err(CliError(format!(
         "unknown benchmark `{name}` — try `benchkit list-benchmarks`"
     )))
+}
+
+/// Read perflog JSONL inputs — files, or directories whose `*.jsonl`
+/// entries are read in name order — into one assimilated FOM frame.
+fn load_fom_frame(inputs: &[String]) -> Result<dframe::DataFrame, CliError> {
+    let mut texts = Vec::new();
+    for input in inputs {
+        let path = std::path::Path::new(input);
+        let mut files = Vec::new();
+        if path.is_dir() {
+            let entries = std::fs::read_dir(path)
+                .map_err(|e| CliError(format!("cannot read directory `{input}`: {e}")))?;
+            let mut logs: Vec<std::path::PathBuf> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                .collect();
+            logs.sort();
+            if logs.is_empty() {
+                return Err(CliError(format!(
+                    "`{input}`: no .jsonl perflogs in directory"
+                )));
+            }
+            files.extend(logs);
+        } else {
+            files.push(path.to_path_buf());
+        }
+        for f in files {
+            texts.push(
+                std::fs::read_to_string(&f)
+                    .map_err(|e| CliError(format!("cannot read `{}`: {e}", f.display())))?,
+            );
+        }
+    }
+    postproc::assimilate(&texts).map_err(|e| CliError(format!("bad perflog: {e}")))
+}
+
+fn rank_direction(lower_is_better: bool) -> postproc::Direction {
+    if lower_is_better {
+        postproc::Direction::LowerIsBetter
+    } else {
+        postproc::Direction::HigherIsBetter
+    }
 }
 
 /// Execute a parsed command, writing human-readable output. The writer is
@@ -632,6 +837,7 @@ pub fn execute(
             resume,
             interrupt_after,
             store,
+            perflog,
         } => {
             let profile = simhpc::faults::FaultProfile::from_name(&fault_profile)
                 .ok_or_else(|| CliError(format!("unknown fault profile `{fault_profile}`")))?;
@@ -768,6 +974,33 @@ pub fn execute(
                 writeln!(out, "{line}")?;
             }
             write!(out, "{}", results.frame())?;
+            // Perflogs are written even when cells failed: a partial study
+            // is still comparable, and the gaps surface as explicit
+            // missing cells in `rank`/`cmp` rather than vanishing.
+            if let Some(dir) = &perflog {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    CliError(format!("survey: cannot create `{}`: {e}", dir.display()))
+                })?;
+                let mut written = 0usize;
+                for ((system, benchmark), log) in &results.report.perflogs {
+                    let sanitize = |s: &str| s.replace([':', '/'], "_");
+                    let path = dir.join(format!(
+                        "{}-{}.jsonl",
+                        sanitize(system),
+                        sanitize(benchmark)
+                    ));
+                    std::fs::write(&path, log.to_jsonl()).map_err(|e| {
+                        CliError(format!("survey: cannot write `{}`: {e}", path.display()))
+                    })?;
+                    written += 1;
+                }
+                writeln!(
+                    out,
+                    "perflogs: {written} files written to {}",
+                    dir.display()
+                )?;
+            }
             let failed = results.report.n_failed();
             if failed > 0 {
                 return Err(CliError(format!(
@@ -776,6 +1009,59 @@ pub fn execute(
                 ))
                 .into());
             }
+        }
+        Command::Rank {
+            inputs,
+            lower_is_better,
+            markdown,
+            jobs,
+        } => {
+            let frame = load_fom_frame(&inputs).map_err(|e| CliError(format!("rank: {e}")))?;
+            let policy = postproc::RankPolicy {
+                direction: rank_direction(lower_is_better),
+                jobs,
+            };
+            let ranking = postproc::rank_frame(&frame, &policy)
+                .map_err(|e| CliError(format!("rank: {e}")))?;
+            write!(
+                out,
+                "{}",
+                if markdown {
+                    ranking.render_markdown()
+                } else {
+                    ranking.render_text()
+                }
+            )?;
+        }
+        Command::Cmp {
+            study_a,
+            study_b,
+            threshold_pct,
+            lower_is_better,
+            markdown,
+            jobs,
+        } => {
+            let a = load_fom_frame(std::slice::from_ref(&study_a))
+                .map_err(|e| CliError(format!("cmp: {e}")))?;
+            let b = load_fom_frame(std::slice::from_ref(&study_b))
+                .map_err(|e| CliError(format!("cmp: {e}")))?;
+            let policy = postproc::CmpPolicy {
+                threshold_pct,
+                direction: rank_direction(lower_is_better),
+                jobs,
+            };
+            let comparison =
+                postproc::cmp_frames(&a, &b, &policy).map_err(|e| CliError(format!("cmp: {e}")))?;
+            writeln!(out, "comparing A={study_a} to B={study_b}")?;
+            write!(
+                out,
+                "{}",
+                if markdown {
+                    comparison.render_markdown()
+                } else {
+                    comparison.render_text()
+                }
+            )?;
         }
         Command::StoreGc { dir, keep } => {
             let path = std::path::Path::new(&dir);
@@ -806,7 +1092,11 @@ pub fn execute(
                 }
             }
         }
-        Command::BenchDigest { logs, min_speedups } => {
+        Command::BenchDigest {
+            logs,
+            min_speedups,
+            rank_groups,
+        } => {
             // Oldest first: each file is one bench run; the last file's
             // medians are judged against all earlier ones.
             let mut runs = Vec::new();
@@ -895,6 +1185,62 @@ pub fn execute(
                     "{tg}/{ti} vs {bg}/{bi}: {actual:.2}x (floor {ratio}x) {verdict}"
                 )?;
             }
+            // Rank-flip gate: the speed-ordering of a group's benchmark
+            // ids must agree between the two newest logs. This is the
+            // `postproc::rank` geomean machinery fed with criterion
+            // speeds, so a CI digest can gate on "SELL is still faster
+            // than CSR" instead of absolute times.
+            let mut rank_flips = 0usize;
+            for group in &rank_groups {
+                let frame_for = |run: &String| -> Result<dframe::DataFrame, CliError> {
+                    let mut df = dframe::DataFrame::new(vec![
+                        "benchmark",
+                        "fom",
+                        "system",
+                        "partition",
+                        "value",
+                    ]);
+                    let mut any = false;
+                    for p in postproc::parse_criterion_log(run) {
+                        if p.group == *group {
+                            any = true;
+                            df.push_row(vec![
+                                dframe::Cell::from(group.as_str()),
+                                dframe::Cell::from("speed"),
+                                dframe::Cell::from(p.id.as_str()),
+                                dframe::Cell::Null,
+                                dframe::Cell::from(p.speed()),
+                            ])
+                            .expect("fixed schema");
+                        }
+                    }
+                    if !any {
+                        return Err(CliError(format!(
+                            "bench-digest: --rank `{group}`: no criterion records \
+                             for that group in one of the two newest logs"
+                        )));
+                    }
+                    Ok(df)
+                };
+                let policy = postproc::RankPolicy::default();
+                let previous = postproc::rank_frame(&frame_for(&runs[runs.len() - 2])?, &policy)
+                    .map_err(|e| CliError(format!("bench-digest: --rank `{group}`: {e}")))?;
+                let newest =
+                    postproc::rank_frame(&frame_for(runs.last().expect("nonempty"))?, &policy)
+                        .map_err(|e| CliError(format!("bench-digest: --rank `{group}`: {e}")))?;
+                let render = |r: &postproc::Ranking| r.order().join(" > ");
+                if previous.order() == newest.order() {
+                    writeln!(out, "rank {group}: stable ({})", render(&newest))?;
+                } else {
+                    rank_flips += 1;
+                    writeln!(
+                        out,
+                        "rank {group}: RANK FLIP ({} -> {})",
+                        render(&previous),
+                        render(&newest)
+                    )?;
+                }
+            }
             if regressions > 0 {
                 return Err(CliError(format!(
                     "bench-digest: {regressions} benchmark(s) regressed"
@@ -904,6 +1250,12 @@ pub fn execute(
             if floors_missed > 0 {
                 return Err(CliError(format!(
                     "bench-digest: {floors_missed} speedup floor(s) missed"
+                ))
+                .into());
+            }
+            if rank_flips > 0 {
+                return Err(CliError(format!(
+                    "bench-digest: {rank_flips} benchmark ranking(s) flipped"
                 ))
                 .into());
             }
@@ -974,6 +1326,7 @@ mod tests {
                 resume,
                 interrupt_after,
                 store,
+                perflog,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
@@ -990,6 +1343,7 @@ mod tests {
                 assert_eq!(resume, None);
                 assert_eq!(interrupt_after, None);
                 assert_eq!(store, None, "no persistent store by default");
+                assert_eq!(perflog, None, "no perflog export by default");
             }
             other => panic!("{other:?}"),
         }
@@ -1272,6 +1626,7 @@ mod tests {
                 resume: None,
                 interrupt_after: None,
                 store: None,
+                perflog: None,
             },
             &mut buf,
         )
@@ -1317,6 +1672,7 @@ mod tests {
                     resume: None,
                     interrupt_after: None,
                     store: None,
+                    perflog: None,
                 },
                 &mut buf,
             )
@@ -1373,6 +1729,7 @@ mod tests {
                     resume: None,
                     interrupt_after: None,
                     store: None,
+                    perflog: None,
                 },
                 &mut buf,
             );
@@ -1423,6 +1780,7 @@ mod tests {
                     resume: None,
                     interrupt_after: None,
                     store: None,
+                    perflog: None,
                 },
                 &mut buf,
             );
@@ -1477,6 +1835,7 @@ mod tests {
             resume: None,
             interrupt_after: None,
             store: None,
+            perflog: None,
         }
     }
 
@@ -1667,7 +2026,8 @@ mod tests {
             parse(&argv("bench-digest a.json b.json")).unwrap(),
             Command::BenchDigest {
                 logs: vec!["a.json".into(), "b.json".into()],
-                min_speedups: vec![]
+                min_speedups: vec![],
+                rank_groups: vec![]
             }
         );
         assert_eq!(
@@ -1677,7 +2037,8 @@ mod tests {
             .unwrap(),
             Command::BenchDigest {
                 logs: vec!["a.json".into()],
-                min_speedups: vec!["g/base:g/fast:1.2".into(), "x/a:y/b:0.5".into()]
+                min_speedups: vec!["g/base:g/fast:1.2".into(), "x/a:y/b:0.5".into()],
+                rank_groups: vec![]
             }
         );
         assert!(parse(&argv("bench-digest")).is_err(), "missing logs");
@@ -1784,6 +2145,7 @@ mod tests {
         let (text, err) = run_cmd(Command::BenchDigest {
             logs: logs.clone(),
             min_speedups: vec![],
+            rank_groups: vec![],
         });
         assert!(err.is_none(), "{err:?}");
         assert!(text.contains("suite/symgs: "), "{text}");
@@ -1796,6 +2158,7 @@ mod tests {
         let (text, err) = run_cmd(Command::BenchDigest {
             logs,
             min_speedups: vec![],
+            rank_groups: vec![],
         });
         let err = err.expect("regression must fail the digest");
         assert!(err.contains("regressed"), "{err}");
@@ -1804,6 +2167,7 @@ mod tests {
         let (_, err) = run_cmd(Command::BenchDigest {
             logs: vec![dir.join("nope.json").to_string_lossy().into_owned()],
             min_speedups: vec![],
+            rank_groups: vec![],
         });
         assert!(err.unwrap().contains("cannot read"), "unreadable log");
         let empty = dir.join("empty.json");
@@ -1811,8 +2175,343 @@ mod tests {
         let (_, err) = run_cmd(Command::BenchDigest {
             logs: vec![empty.to_string_lossy().into_owned()],
             min_speedups: vec![],
+            rank_groups: vec![],
         });
         assert!(err.unwrap().contains("no criterion records"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_rank_and_cmp() {
+        assert_eq!(
+            parse(&argv("rank study-a/")).unwrap(),
+            Command::Rank {
+                inputs: vec!["study-a/".into()],
+                lower_is_better: false,
+                markdown: false,
+                jobs: 1,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "rank a.jsonl b.jsonl --lower-is-better --markdown -j 4"
+            ))
+            .unwrap(),
+            Command::Rank {
+                inputs: vec!["a.jsonl".into(), "b.jsonl".into()],
+                lower_is_better: true,
+                markdown: true,
+                jobs: 4,
+            }
+        );
+        assert!(parse(&argv("rank")).is_err(), "missing inputs");
+        assert!(parse(&argv("rank a --wat")).is_err());
+        assert!(parse(&argv("rank a --jobs nope")).is_err());
+
+        assert_eq!(
+            parse(&argv("cmp study-a study-b")).unwrap(),
+            Command::Cmp {
+                study_a: "study-a".into(),
+                study_b: "study-b".into(),
+                threshold_pct: 2.0,
+                lower_is_better: false,
+                markdown: false,
+                jobs: 1,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "cmp a b --threshold 7.5 --lower-is-better --markdown --jobs 2"
+            ))
+            .unwrap(),
+            Command::Cmp {
+                study_a: "a".into(),
+                study_b: "b".into(),
+                threshold_pct: 7.5,
+                lower_is_better: true,
+                markdown: true,
+                jobs: 2,
+            }
+        );
+        assert!(parse(&argv("cmp a")).is_err(), "needs two studies");
+        assert!(parse(&argv("cmp a b c")).is_err(), "exactly two studies");
+        // The threshold must be a usable percentage — a NaN threshold
+        // would make every comparison silently "unchanged".
+        for bad in ["nope", "-3", "NaN", "inf"] {
+            assert!(
+                parse(&argv(&format!("cmp a b --threshold {bad}"))).is_err(),
+                "threshold `{bad}` must be rejected"
+            );
+        }
+
+        // Survey grows --perflog; run rejects it.
+        match parse(&argv("survey -c hpgmg --system csd3 --perflog out/")).unwrap() {
+            Command::Survey { perflog, .. } => assert_eq!(perflog.as_deref(), Some("out/")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("run -c hpgmg --system csd3 --perflog out/")).is_err());
+
+        // bench-digest grows --rank, which needs history to compare.
+        match parse(&argv("bench-digest a.json b.json --rank stream")).unwrap() {
+            Command::BenchDigest { rank_groups, .. } => {
+                assert_eq!(rank_groups, vec!["stream"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&argv("bench-digest a.json --rank stream"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at least two logs"), "{err}");
+    }
+
+    #[test]
+    fn survey_perflog_export_then_rank_end_to_end() {
+        // The tentpole, end to end: survey two systems into a perflog
+        // directory, then rank them — byte-identically at any --jobs.
+        let dir = tmpdir("rank-e2e");
+        let mut cmd = survey(&["babelstream_omp"], &["csd3", "archer2"]);
+        if let Command::Survey { perflog, .. } = &mut cmd {
+            *perflog = Some(dir.to_string_lossy().into_owned());
+        }
+        let (text, err) = run_cmd(cmd);
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("perflogs: 2 files written"), "{text}");
+        assert!(dir.join("csd3-babelstream.jsonl").exists());
+        assert!(dir.join("archer2-babelstream.jsonl").exists());
+
+        let rank_at = |jobs: usize, markdown: bool| {
+            run_cmd(Command::Rank {
+                inputs: vec![dir.to_string_lossy().into_owned()],
+                lower_is_better: false,
+                markdown,
+                jobs,
+            })
+        };
+        let (serial, err) = rank_at(1, false);
+        assert!(err.is_none(), "{err:?}");
+        assert!(serial.contains("ranking 2 systems"), "{serial}");
+        assert!(
+            serial.contains("csd3") && serial.contains("archer2"),
+            "{serial}"
+        );
+        assert!(serial.contains("1.0000"), "best system scores 1: {serial}");
+        for jobs in [2, 8, 0] {
+            assert_eq!(serial, rank_at(jobs, false).0, "jobs={jobs}");
+        }
+        let (md, err) = rank_at(1, true);
+        assert!(err.is_none(), "{err:?}");
+        assert!(md.contains("| rank | system |"), "{md}");
+
+        // Self-comparison: every shared cell is unchanged at any jobs.
+        let cmp_at = |jobs: usize| {
+            run_cmd(Command::Cmp {
+                study_a: dir.to_string_lossy().into_owned(),
+                study_b: dir.to_string_lossy().into_owned(),
+                threshold_pct: 2.0,
+                lower_is_better: false,
+                markdown: false,
+                jobs,
+            })
+        };
+        let (self_cmp, err) = cmp_at(1);
+        assert!(err.is_none(), "{err:?}");
+        assert!(self_cmp.contains(" 0 improved, 0 regressed,"), "{self_cmp}");
+        assert!(!self_cmp.contains("missing in"), "{self_cmp}");
+        for jobs in [2, 8] {
+            assert_eq!(self_cmp, cmp_at(jobs).0, "jobs={jobs}");
+        }
+
+        // Unreadable input fails loudly.
+        let (_, err) = run_cmd(Command::Rank {
+            inputs: vec![dir.join("nope.jsonl").to_string_lossy().into_owned()],
+            lower_is_better: false,
+            markdown: false,
+            jobs: 1,
+        });
+        assert!(err.unwrap().contains("cannot read"), "unreadable perflog");
+        let empty = tmpdir("rank-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let (_, err) = run_cmd(Command::Rank {
+            inputs: vec![empty.to_string_lossy().into_owned()],
+            lower_is_better: false,
+            markdown: false,
+            jobs: 1,
+        });
+        assert!(err.unwrap().contains("no .jsonl perflogs"), "empty dir");
+        std::fs::remove_dir_all(&empty).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// One single-record perflog file per (system, value).
+    fn write_study(dir: &std::path::Path, cells: &[(&str, &str, f64)]) {
+        use perflogs::{Fom, Perflog, PerflogRecord};
+        std::fs::create_dir_all(dir).unwrap();
+        for (system, fom, value) in cells {
+            let mut log = Perflog::new();
+            log.append(PerflogRecord {
+                sequence: 1,
+                benchmark: "babelstream_omp".into(),
+                system: (*system).into(),
+                partition: "".into(),
+                environ: "gcc".into(),
+                spec: "babelstream +omp".into(),
+                build_hash: "cafef00d".into(),
+                job_id: Some(1),
+                num_tasks: 1,
+                num_tasks_per_node: 1,
+                num_cpus_per_task: 1,
+                foms: vec![Fom {
+                    name: (*fom).into(),
+                    value: *value,
+                    unit: "MB/s".into(),
+                }],
+                extras: vec![],
+            });
+            std::fs::write(dir.join(format!("{system}-{fom}.jsonl")), log.to_jsonl()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cmp_classifies_synthetic_studies_and_respects_threshold() {
+        let a = tmpdir("cmp-a");
+        let b = tmpdir("cmp-b");
+        write_study(
+            &a,
+            &[
+                ("up", "Triad", 100.0),
+                ("down", "Triad", 100.0),
+                ("flat", "Triad", 100.0),
+                ("gone", "Triad", 100.0),
+            ],
+        );
+        write_study(
+            &b,
+            &[
+                ("up", "Triad", 110.0),
+                ("down", "Triad", 90.0),
+                ("flat", "Triad", 101.0),
+                ("new", "Triad", 42.0),
+            ],
+        );
+        let cmp_with = |threshold_pct: f64| {
+            run_cmd(Command::Cmp {
+                study_a: a.to_string_lossy().into_owned(),
+                study_b: b.to_string_lossy().into_owned(),
+                threshold_pct,
+                lower_is_better: false,
+                markdown: false,
+                jobs: 1,
+            })
+        };
+        let (text, err) = cmp_with(2.0);
+        assert!(err.is_none(), "cmp is informational: {err:?}");
+        assert!(text.contains("+10.00%"), "{text}");
+        assert!(text.contains("-10.00%"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("missing in A"), "{text}");
+        assert!(text.contains("missing in B"), "{text}");
+        assert!(
+            text.contains("1 improved, 1 regressed, 1 unchanged, 2 missing"),
+            "{text}"
+        );
+        // A wide threshold absorbs both the +10% and the -10%.
+        let (text, _) = cmp_with(15.0);
+        assert!(
+            text.contains("0 improved, 0 regressed, 3 unchanged, 2 missing"),
+            "{text}"
+        );
+        // Lower-is-better flips improved and regressed.
+        let (text, _) = run_cmd(Command::Cmp {
+            study_a: a.to_string_lossy().into_owned(),
+            study_b: b.to_string_lossy().into_owned(),
+            threshold_pct: 2.0,
+            lower_is_better: true,
+            markdown: false,
+            jobs: 1,
+        });
+        assert!(
+            text.contains("1 improved, 1 regressed, 1 unchanged, 2 missing"),
+            "{text}"
+        );
+        let down_line = text.lines().find(|l| l.contains(" down ")).unwrap();
+        assert!(down_line.contains("improved"), "{down_line}");
+        std::fs::remove_dir_all(&a).unwrap();
+        std::fs::remove_dir_all(&b).unwrap();
+    }
+
+    #[test]
+    fn rank_surfaces_nan_and_missing_cells_from_perflogs() {
+        // A NaN FOM in a study must appear as a reported skip in the CLI
+        // output, not win the ranking (total_cmp would sort it first) nor
+        // vanish (f64::min would drop it).
+        let dir = tmpdir("rank-nan");
+        write_study(
+            &dir,
+            &[
+                ("good", "Triad", 100.0),
+                ("better", "Triad", 200.0),
+                ("broken", "Triad", f64::NAN),
+            ],
+        );
+        let (text, err) = run_cmd(Command::Rank {
+            inputs: vec![dir.to_string_lossy().into_owned()],
+            lower_is_better: false,
+            markdown: false,
+            jobs: 1,
+        });
+        assert!(err.is_none(), "{err:?}");
+        let lines: Vec<&str> = text.lines().collect();
+        let pos = |s: &str| lines.iter().position(|l| l.contains(s)).unwrap();
+        assert!(pos("better") < pos("good"), "{text}");
+        assert!(pos("good") < pos("broken"), "NaN system ranks last: {text}");
+        assert!(
+            text.contains("skipped: broken lacks babelstream_omp/Triad (non-finite value NaN)"),
+            "{text}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_digest_rank_flip_gate() {
+        let dir = tmpdir("cli-digest-rank");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = |fast_ns: u32| {
+            format!(
+                "{{\"criterion\": 1, \"group\": \"spmv\", \"id\": \"sell\", \
+                  \"min_ns\": {fast_ns}, \"median_ns\": {fast_ns}, \"elements\": 100}}\n\
+                 {{\"criterion\": 1, \"group\": \"spmv\", \"id\": \"csr\", \
+                  \"min_ns\": 10, \"median_ns\": 10, \"elements\": 100}}\n"
+            )
+        };
+        let write = |name: &str, text: String| {
+            let p = dir.join(name);
+            std::fs::write(&p, text).unwrap();
+            p.to_string_lossy().into_owned()
+        };
+        let old = write("old.json", log(5));
+        let stable = write("stable.json", log(6));
+        let flipped = write("flipped.json", log(50));
+        let digest = |logs: Vec<String>, groups: &[&str]| {
+            run_cmd(Command::BenchDigest {
+                logs,
+                min_speedups: vec![],
+                rank_groups: groups.iter().map(|s| s.to_string()).collect(),
+            })
+        };
+        // sell faster than csr in both logs: stable, exit 0.
+        let (text, err) = digest(vec![old.clone(), stable], &["spmv"]);
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("rank spmv: stable (sell > csr)"), "{text}");
+        // The newest log inverts the order: loud flip, exit nonzero.
+        let (text, err) = digest(vec![old.clone(), flipped], &["spmv"]);
+        assert!(
+            text.contains("RANK FLIP (sell > csr -> csr > sell)"),
+            "{text}"
+        );
+        assert!(err.unwrap().contains("ranking(s) flipped"));
+        // A group absent from the logs fails loudly.
+        let (_, err) = digest(vec![old.clone(), old], &["nope"]);
+        assert!(err.unwrap().contains("no criterion records"), "bad group");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1842,6 +2541,7 @@ mod tests {
             run_cmd(Command::BenchDigest {
                 logs: logs.clone(),
                 min_speedups: specs.iter().map(|s| s.to_string()).collect(),
+                rank_groups: vec![],
             })
         };
         // Both floors hold: triad ≥ 0.66× copy, sell ≥ 1.2× csr (it's 2x).

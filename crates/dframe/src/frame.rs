@@ -210,6 +210,14 @@ impl DataFrame {
     }
 
     /// Stable sort by `column`, ascending or descending.
+    ///
+    /// Float cells are ordered by [`f64::total_cmp`], which places
+    /// non-finite values at the *extremes*: ascending order is
+    /// `-NaN < -inf < finite < +inf < +NaN`. A single NaN FOM therefore
+    /// floats to the top of a descending sort — callers ranking by a
+    /// value column must partition non-finite rows out first (see
+    /// [`DataFrame::partition`]) unless they want corrupt measurements
+    /// to win the ranking.
     pub fn sort_by(&self, column: &str, ascending: bool) -> Result<DataFrame, FrameError> {
         let col = self
             .column(column)
@@ -224,6 +232,33 @@ impl DataFrame {
             }
         });
         Ok(self.take(&order))
+    }
+
+    /// Split rows by a predicate, preserving order: (rows where `pred`
+    /// held, rows where it did not). The canonical use is quarantining
+    /// non-finite values before a ranking sort:
+    ///
+    /// ```
+    /// # use dframe::{Cell, DataFrame};
+    /// # let mut df = DataFrame::new(vec!["value"]);
+    /// # df.push_row(vec![Cell::from(1.0)]).unwrap();
+    /// # df.push_row(vec![Cell::from(f64::NAN)]).unwrap();
+    /// let (finite, rest) = df.partition(|row| {
+    ///     row.get("value").and_then(Cell::as_float).is_some_and(f64::is_finite)
+    /// });
+    /// assert_eq!((finite.n_rows(), rest.n_rows()), (1, 1));
+    /// ```
+    pub fn partition<F: FnMut(&Row<'_>) -> bool>(&self, mut pred: F) -> (DataFrame, DataFrame) {
+        let mut yes = Vec::new();
+        let mut no = Vec::new();
+        for i in 0..self.n_rows {
+            if pred(&self.row(i)) {
+                yes.push(i);
+            } else {
+                no.push(i);
+            }
+        }
+        (self.take(&yes), self.take(&no))
     }
 
     /// New frame with rows in the given index order.

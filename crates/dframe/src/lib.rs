@@ -122,6 +122,76 @@ mod tests {
     }
 
     #[test]
+    fn sort_by_places_nan_at_the_extremes() {
+        // Pin the total_cmp ordering contract for non-finite floats: in a
+        // descending sort a positive NaN outranks every finite value, so a
+        // single corrupt FOM would "win" any ranking that sorts raw values.
+        let mut df = DataFrame::new(vec!["system", "value"]);
+        for (s, v) in [
+            ("fine", 100.0),
+            ("corrupt", f64::NAN),
+            ("best", 250.0),
+            ("overflow", f64::INFINITY),
+        ] {
+            df.push_row(vec![Cell::from(s), Cell::from(v)]).unwrap();
+        }
+        let desc = df.sort_by("value", false).unwrap();
+        let order: Vec<&str> = (0..4)
+            .filter_map(|i| desc.column("system").unwrap().get(i).as_str())
+            .collect();
+        assert_eq!(
+            order,
+            vec!["corrupt", "overflow", "best", "fine"],
+            "NaN above +inf above all finite values in descending order"
+        );
+        // Ascending puts them at the bottom instead.
+        let asc = df.sort_by("value", true).unwrap();
+        assert_eq!(
+            asc.column("system").unwrap().get(3).as_str(),
+            Some("corrupt")
+        );
+    }
+
+    #[test]
+    fn partition_splits_finite_from_nonfinite() {
+        let mut df = DataFrame::new(vec!["system", "value"]);
+        for (s, v) in [
+            ("fine", 100.0),
+            ("corrupt", f64::NAN),
+            ("best", 250.0),
+            ("overflow", f64::INFINITY),
+        ] {
+            df.push_row(vec![Cell::from(s), Cell::from(v)]).unwrap();
+        }
+        let (finite, rest) = df.partition(|row| {
+            row.get("value")
+                .and_then(Cell::as_float)
+                .is_some_and(f64::is_finite)
+        });
+        assert_eq!(finite.n_rows(), 2);
+        assert_eq!(rest.n_rows(), 2);
+        // Order is preserved on both sides, so downstream sorts stay stable.
+        assert_eq!(
+            finite.column("system").unwrap().get(0).as_str(),
+            Some("fine")
+        );
+        assert_eq!(
+            finite.column("system").unwrap().get(1).as_str(),
+            Some("best")
+        );
+        assert_eq!(
+            rest.column("system").unwrap().get(0).as_str(),
+            Some("corrupt")
+        );
+        // Sorting the finite half is now safe for ranking.
+        let ranked = finite.sort_by("value", false).unwrap();
+        assert_eq!(
+            ranked.column("system").unwrap().get(0).as_str(),
+            Some("best")
+        );
+    }
+
+    #[test]
     fn group_by_aggregations() {
         let df = sample();
         let g = df.group_by(&["system"]);

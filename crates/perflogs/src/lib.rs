@@ -86,7 +86,16 @@ impl PerflogRecord {
             .map(|f| {
                 let mut fm = Map::new();
                 fm.insert("name", Value::from(f.name.as_str()));
-                fm.insert("value", Value::Float(f.value));
+                // JSON has no NaN/Inf, and the emitter would write `null`
+                // — which reparses as a *missing* value, silently erasing
+                // a bad measurement. Encode non-finite FOMs as strings so
+                // they round-trip and stay loud in the analysis layer.
+                let value = if f.value.is_finite() {
+                    Value::Float(f.value)
+                } else {
+                    Value::Str(format!("{}", f.value))
+                };
+                fm.insert("value", value);
                 fm.insert("unit", Value::from(f.unit.as_str()));
                 Value::Map(fm)
             })
@@ -145,10 +154,20 @@ impl PerflogRecord {
                     .and_then(Value::as_str)
                     .ok_or_else(|| PerflogError("fom missing name".into()))?
                     .to_string(),
-                value: f
-                    .get("value")
-                    .and_then(Value::as_float)
-                    .ok_or_else(|| PerflogError("fom missing value".into()))?,
+                value: {
+                    let v = f
+                        .get("value")
+                        .ok_or_else(|| PerflogError("fom missing value".into()))?;
+                    // Non-finite values arrive as the strings to_value
+                    // wrote ("NaN", "inf", "-inf"); finite ones as floats.
+                    v.as_float()
+                        .or_else(|| {
+                            v.as_str()
+                                .and_then(|s| s.parse::<f64>().ok())
+                                .filter(|p| !p.is_finite())
+                        })
+                        .ok_or_else(|| PerflogError("fom missing value".into()))?
+                },
                 unit: f
                     .get("unit")
                     .and_then(Value::as_str)
@@ -348,6 +367,31 @@ mod tests {
         assert_eq!(text.lines().count(), 5);
         let back = Perflog::from_jsonl(&text).unwrap();
         assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn nonfinite_fom_round_trips_loudly() {
+        // JSON cannot carry NaN/Inf, and emitting `null` used to make the
+        // whole record unreadable ("fom missing value") — a bad
+        // measurement silently killed its perflog. Non-finite FOMs now
+        // round-trip as quoted strings and stay visible downstream.
+        for (value, check) in [
+            (f64::NAN, (|v: f64| v.is_nan()) as fn(f64) -> bool),
+            (f64::INFINITY, |v| v == f64::INFINITY),
+            (f64::NEG_INFINITY, |v| v == f64::NEG_INFINITY),
+        ] {
+            let r = record(1, "archer2", value);
+            let line = r.to_json_line();
+            let back =
+                PerflogRecord::from_json_line(&line).unwrap_or_else(|e| panic!("{value}: {e}"));
+            assert!(check(back.fom("Triad").unwrap().value), "{line}");
+        }
+        // A finite string value is still rejected: only the emitter's
+        // non-finite encodings are accepted, not stringly-typed floats.
+        let sneaky = record(1, "archer2", 1.0)
+            .to_json_line()
+            .replace("\"value\":1.0", "\"value\":\"1.5\"");
+        assert!(PerflogRecord::from_json_line(&sneaky).is_err());
     }
 
     #[test]

@@ -42,14 +42,18 @@
 
 mod chart;
 mod config;
+pub mod rank;
 pub mod regression;
 pub mod scaling;
 
 pub use chart::{BarChart, Heatmap};
 pub use config::{ConfigError, PlotConfig};
+pub use rank::{
+    cmp_frames, rank_frame, CmpPolicy, Comparison, Delta, RankEntry, RankPolicy, Ranking, Skip,
+};
 pub use regression::{
-    criterion_history, parse_criterion_log, CriterionPoint, Direction, History, RegressionPolicy,
-    Verdict,
+    criterion_history, parse_criterion_log, CriterionPoint, Direction, History, HistoryError,
+    RegressionPolicy, Verdict,
 };
 pub use scaling::SeriesPlot;
 

@@ -1,0 +1,1061 @@
+//! Cross-system ranking and comparison — the paper's P6 (programmatic
+//! assimilation of results) pushed to `rebar rank` / `rebar cmp` polish.
+//!
+//! [`rank_frame`] reduces an assimilated FOM frame to a geometric-mean
+//! speedup ranking of systems: every (benchmark, fom) pair is a *cell*,
+//! each system's cell value is compared against the best value for that
+//! cell, and a system's score is the geometric mean of its per-cell
+//! speedups. [`cmp_frames`] compares the same cells across two studies and
+//! classifies each as improved / regressed / unchanged / missing under a
+//! configurable noise threshold, so CI flags real movement instead of
+//! every wobble.
+//!
+//! Numeric policy, stated once and enforced everywhere:
+//!
+//! * **Missing cells are reported, never silently dropped.** A system
+//!   absent from a cell gets an explicit skip entry; a cell with no usable
+//!   value on *any* system is listed as degenerate.
+//! * **Non-finite FOMs never enter an aggregate.** The per-cell reduction
+//!   propagates NaN/±inf loudly into a skip entry instead of letting
+//!   `f64::min`-style reductions discard them, and rank partitions those
+//!   values out *before* sorting — `total_cmp` would otherwise float a
+//!   single NaN to the top of a descending sort.
+//! * **Zero and negative FOMs are skips, not zeros.** A geometric mean
+//!   over a non-positive factor is undefined; the cell is excluded from
+//!   the mean and reported.
+
+use crate::regression::Direction;
+use dframe::{Cell, DataFrame, FrameError};
+use std::collections::BTreeMap;
+
+/// How to rank: which direction is good, and how many worker threads to
+/// use for the per-system reduction (0 = one per available core). The
+/// output is byte-identical at any `jobs` count: parallelism only chunks
+/// independent per-system reductions, each of which visits its cells in
+/// canonical order.
+#[derive(Debug, Clone)]
+pub struct RankPolicy {
+    pub direction: Direction,
+    pub jobs: usize,
+}
+
+impl Default for RankPolicy {
+    fn default() -> RankPolicy {
+        RankPolicy {
+            direction: Direction::HigherIsBetter,
+            jobs: 1,
+        }
+    }
+}
+
+/// Why a (system, cell) pair did not contribute to the geometric mean.
+#[derive(Debug, Clone)]
+pub enum Skip {
+    /// The system has no measurement for this cell.
+    Missing,
+    /// The measurement is NaN or ±inf.
+    NonFinite(f64),
+    /// The measurement is zero or negative; a geometric mean over it is
+    /// undefined.
+    NonPositive(f64),
+}
+
+/// Payload equality uses `total_cmp`, so `NonFinite(NaN) == NonFinite(NaN)`
+/// holds — skip reports must be comparable in tests and digests even when
+/// the offending value is NaN.
+impl PartialEq for Skip {
+    fn eq(&self, other: &Skip) -> bool {
+        match (self, other) {
+            (Skip::Missing, Skip::Missing) => true,
+            (Skip::NonFinite(a), Skip::NonFinite(b))
+            | (Skip::NonPositive(a), Skip::NonPositive(b)) => a.total_cmp(b).is_eq(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Skip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skip::Missing => write!(f, "missing"),
+            Skip::NonFinite(v) => write!(f, "non-finite value {v}"),
+            Skip::NonPositive(v) => write!(f, "non-positive value {v}"),
+        }
+    }
+}
+
+/// One ranked system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankEntry {
+    /// `system` or `system:partition`.
+    pub entity: String,
+    /// Geometric mean of per-cell speedups vs the best system, in (0, 1];
+    /// `None` when no cell was usable.
+    pub geomean: Option<f64>,
+    /// Cells that contributed to the mean.
+    pub cells_used: usize,
+    /// (cell label, reason) for every cell that did not contribute.
+    pub skipped: Vec<(String, Skip)>,
+}
+
+/// The ranking of every system in a frame, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    pub entries: Vec<RankEntry>,
+    /// Usable cell labels (`benchmark/fom`), canonical order.
+    pub cells: Vec<String>,
+    /// Cells with no usable value on any system — excluded for everyone,
+    /// but reported so a survey-wide outage cannot hide.
+    pub degenerate_cells: Vec<String>,
+    pub direction: Direction,
+}
+
+impl Ranking {
+    /// Entity names in rank order (ties and no-data systems by name).
+    pub fn order(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.entity.clone()).collect()
+    }
+
+    fn table(&self) -> DataFrame {
+        let mut df = DataFrame::new(vec!["rank", "system", "geomean-speedup", "cells"]);
+        for (i, e) in self.entries.iter().enumerate() {
+            let (rank, score) = match e.geomean {
+                Some(g) => (format!("{}", i + 1), format!("{g:.4}")),
+                None => ("-".to_string(), "-".to_string()),
+            };
+            df.push_row(vec![
+                Cell::from(rank),
+                Cell::from(e.entity.as_str()),
+                Cell::from(score),
+                Cell::from(format!("{}/{}", e.cells_used, self.cells.len())),
+            ])
+            .expect("fixed schema");
+        }
+        df
+    }
+
+    fn notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        for e in &self.entries {
+            for (cell, reason) in &e.skipped {
+                notes.push(format!("skipped: {} lacks {cell} ({reason})", e.entity));
+            }
+        }
+        if !self.degenerate_cells.is_empty() {
+            notes.push(format!(
+                "degenerate cells (no usable value on any system): {}",
+                self.degenerate_cells.join(", ")
+            ));
+        }
+        notes
+    }
+
+    /// Aligned-text report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "ranking {} systems over {} cells ({}, geometric mean of per-cell speedup vs best)\n",
+            self.entries.len(),
+            self.cells.len(),
+            direction_label(self.direction),
+        );
+        out.push_str(&self.table().to_string());
+        for note in self.notes() {
+            out.push_str(&note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// GitHub-flavoured-Markdown report.
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!(
+            "## Ranking\n\n{} systems, {} cells, {}; score = geometric mean of per-cell speedup vs best.\n\n",
+            self.entries.len(),
+            self.cells.len(),
+            direction_label(self.direction),
+        );
+        out.push_str(&self.table().to_markdown());
+        let notes = self.notes();
+        if !notes.is_empty() {
+            out.push('\n');
+            for note in notes {
+                out.push_str(&format!("- {note}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn direction_label(d: Direction) -> &'static str {
+    match d {
+        Direction::HigherIsBetter => "higher is better",
+        Direction::LowerIsBetter => "lower is better",
+    }
+}
+
+/// Aggregate a FOM frame to `cell label → entity → value`, where a cell is
+/// one (benchmark, fom) pair and an entity is `system[:partition]`.
+///
+/// Repeats reduce to their mean — but *only* over finite samples, and any
+/// non-finite sample poisons the aggregate (it comes back verbatim) rather
+/// than being filtered away like `GroupBy::mean` would. `None` means every
+/// sample was null.
+fn aggregate_cells(
+    df: &DataFrame,
+) -> Result<BTreeMap<String, BTreeMap<String, Option<f64>>>, FrameError> {
+    for required in ["benchmark", "fom", "system", "value"] {
+        if df.column(required).is_none() {
+            return Err(FrameError::NoSuchColumn(required.to_string()));
+        }
+    }
+    let agg = df
+        .group_by(&["benchmark", "fom", "system", "partition"])
+        .aggregate("value", Some("value"), |members, frame| {
+            let col = frame.column("value").expect("checked above");
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            // A non-finite sample must not vanish into the mean; it
+            // poisons the aggregate. Chosen canonically (NaN dominates,
+            // then `total_cmp`-least) so the result cannot depend on row
+            // order.
+            let mut poison: Option<f64> = None;
+            for &i in members {
+                match col.get(i).as_float() {
+                    Some(v) if v.is_finite() => {
+                        sum += v;
+                        n += 1;
+                    }
+                    Some(v) => {
+                        poison = Some(match poison {
+                            None => v,
+                            Some(p) if p.is_nan() || v.is_nan() => f64::NAN,
+                            Some(p) if v.total_cmp(&p).is_lt() => v,
+                            Some(p) => p,
+                        });
+                    }
+                    None => {}
+                }
+            }
+            match poison {
+                Some(p) => Cell::Float(p),
+                None if n == 0 => Cell::Null,
+                None => Cell::Float(sum / n as f64),
+            }
+        })?;
+    let mut cells: BTreeMap<String, BTreeMap<String, Option<f64>>> = BTreeMap::new();
+    for row in agg.rows() {
+        let text = |col: &str| row.get(col).map(|c| c.to_string()).unwrap_or_default();
+        let (benchmark, fom, system, partition) = (
+            text("benchmark"),
+            text("fom"),
+            text("system"),
+            text("partition"),
+        );
+        let entity = if partition.is_empty() {
+            system
+        } else {
+            format!("{system}:{partition}")
+        };
+        let value = row.get("value").and_then(Cell::as_float);
+        cells
+            .entry(format!("{benchmark}/{fom}"))
+            .or_default()
+            .insert(entity, value);
+    }
+    Ok(cells)
+}
+
+fn usable(v: Option<f64>) -> Option<f64> {
+    v.filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// Run `f` over `items` with up to `jobs` threads (0 = one per core),
+/// returning results in item order regardless of the thread count.
+fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], jobs: usize, f: F) -> Vec<R> {
+    let jobs = match jobs {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+    .min(items.len())
+    .max(1);
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(jobs);
+    let mut chunks: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("rank worker panicked"));
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Rank the systems of an assimilated FOM frame (see module docs for the
+/// aggregation rule and the skip policy).
+pub fn rank_frame(df: &DataFrame, policy: &RankPolicy) -> Result<Ranking, FrameError> {
+    // Quarantine rows whose value is present but non-finite *before* any
+    // sorting or reduction touches them; they re-enter only as explicit
+    // skip reports. (`sort_by` would otherwise rank NaN above everything.)
+    let (clean, poisoned) = df.partition(|row| {
+        row.get("value")
+            .and_then(Cell::as_float)
+            .is_none_or(f64::is_finite)
+    });
+    let mut cells = aggregate_cells(&clean)?;
+    // Re-attach the poisoned rows as non-finite aggregates so every skip
+    // is attributed to the system that produced it.
+    for (cell, by_entity) in aggregate_cells(&poisoned)? {
+        for (entity, value) in by_entity {
+            cells.entry(cell.clone()).or_default().insert(entity, value);
+        }
+    }
+
+    let mut entities: Vec<String> = Vec::new();
+    for by_entity in cells.values() {
+        for entity in by_entity.keys() {
+            if !entities.contains(entity) {
+                entities.push(entity.clone());
+            }
+        }
+    }
+    entities.sort();
+
+    // Per cell: the best usable value, or None for a degenerate cell.
+    let mut usable_cells: Vec<(String, f64)> = Vec::new();
+    let mut degenerate_cells: Vec<String> = Vec::new();
+    for (cell, by_entity) in &cells {
+        let best = by_entity
+            .values()
+            .filter_map(|v| usable(*v))
+            .reduce(|a, b| match policy.direction {
+                Direction::HigherIsBetter => a.max(b),
+                Direction::LowerIsBetter => a.min(b),
+            });
+        match best {
+            Some(best) => usable_cells.push((cell.clone(), best)),
+            None => degenerate_cells.push(cell.clone()),
+        }
+    }
+
+    let score = |entity: &String| -> RankEntry {
+        let mut log_sum = 0.0;
+        let mut used = 0usize;
+        let mut skipped = Vec::new();
+        for (cell, best) in &usable_cells {
+            match cells[cell].get(entity) {
+                Some(&v) => match usable(v) {
+                    Some(v) => {
+                        let speedup = match policy.direction {
+                            Direction::HigherIsBetter => v / best,
+                            Direction::LowerIsBetter => best / v,
+                        };
+                        log_sum += speedup.ln();
+                        used += 1;
+                    }
+                    None => {
+                        let reason = match v {
+                            None => Skip::Missing,
+                            Some(v) if !v.is_finite() => Skip::NonFinite(v),
+                            Some(v) => Skip::NonPositive(v),
+                        };
+                        skipped.push((cell.clone(), reason));
+                    }
+                },
+                None => skipped.push((cell.clone(), Skip::Missing)),
+            }
+        }
+        RankEntry {
+            entity: entity.clone(),
+            geomean: (used > 0).then(|| (log_sum / used as f64).exp()),
+            cells_used: used,
+            skipped,
+        }
+    };
+    let mut entries = par_map(&entities, policy.jobs, score);
+
+    // All geomeans are finite and positive by construction, so this sort
+    // cannot meet a NaN; no-data systems go last, ties break by name.
+    entries.sort_by(|a, b| match (a.geomean, b.geomean) {
+        (Some(x), Some(y)) => y
+            .partial_cmp(&x)
+            .expect("geomeans are finite")
+            .then_with(|| a.entity.cmp(&b.entity)),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.entity.cmp(&b.entity),
+    });
+    Ok(Ranking {
+        entries,
+        cells: usable_cells.into_iter().map(|(c, _)| c).collect(),
+        degenerate_cells,
+        direction: policy.direction,
+    })
+}
+
+/// How to compare two studies: the noise threshold (percent change below
+/// which a cell is "unchanged"), the good direction, and worker threads
+/// for the per-cell classification (0 = one per core; output identical at
+/// any count).
+#[derive(Debug, Clone)]
+pub struct CmpPolicy {
+    pub threshold_pct: f64,
+    pub direction: Direction,
+    pub jobs: usize,
+}
+
+impl Default for CmpPolicy {
+    fn default() -> CmpPolicy {
+        CmpPolicy {
+            threshold_pct: 2.0,
+            direction: Direction::HigherIsBetter,
+            jobs: 1,
+        }
+    }
+}
+
+/// The classified change of one (cell, system) pair between two studies.
+/// `pct` is the raw percent change `(b - a) / a * 100`.
+#[derive(Debug, Clone)]
+pub enum Delta {
+    Improved {
+        a: f64,
+        b: f64,
+        pct: f64,
+    },
+    Regressed {
+        a: f64,
+        b: f64,
+        pct: f64,
+    },
+    Unchanged {
+        a: f64,
+        b: f64,
+        pct: f64,
+    },
+    /// Present only in study B.
+    MissingInA {
+        b: f64,
+    },
+    /// Present only in study A.
+    MissingInB {
+        a: f64,
+    },
+    /// Present in both, but a relative change is undefined (non-finite
+    /// value, or a non-positive baseline).
+    Incomparable {
+        a: Option<f64>,
+        b: Option<f64>,
+    },
+}
+
+/// Payload equality uses `total_cmp` (see [`Skip`]): two deltas carrying
+/// the same NaN measurement compare equal.
+impl PartialEq for Delta {
+    fn eq(&self, other: &Delta) -> bool {
+        fn eq(a: f64, b: f64) -> bool {
+            a.total_cmp(&b).is_eq()
+        }
+        fn eq_opt(a: Option<f64>, b: Option<f64>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => eq(a, b),
+                _ => false,
+            }
+        }
+        use Delta::*;
+        match (self, other) {
+            (
+                Improved { a, b, pct },
+                Improved {
+                    a: a2,
+                    b: b2,
+                    pct: p2,
+                },
+            )
+            | (
+                Regressed { a, b, pct },
+                Regressed {
+                    a: a2,
+                    b: b2,
+                    pct: p2,
+                },
+            )
+            | (
+                Unchanged { a, b, pct },
+                Unchanged {
+                    a: a2,
+                    b: b2,
+                    pct: p2,
+                },
+            ) => eq(*a, *a2) && eq(*b, *b2) && eq(*pct, *p2),
+            (MissingInA { b }, MissingInA { b: b2 }) => eq(*b, *b2),
+            (MissingInB { a }, MissingInB { a: a2 }) => eq(*a, *a2),
+            (Incomparable { a, b }, Incomparable { a: a2, b: b2 }) => {
+                eq_opt(*a, *a2) && eq_opt(*b, *b2)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One compared cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpCell {
+    /// `benchmark/fom`.
+    pub cell: String,
+    pub entity: String,
+    pub delta: Delta,
+}
+
+/// Cell-by-cell deltas between two studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Canonical (cell, entity) order.
+    pub cells: Vec<CmpCell>,
+    pub threshold_pct: f64,
+    pub direction: Direction,
+}
+
+impl Comparison {
+    fn count(&self, f: impl Fn(&Delta) -> bool) -> usize {
+        self.cells.iter().filter(|c| f(&c.delta)).count()
+    }
+
+    pub fn n_improved(&self) -> usize {
+        self.count(|d| matches!(d, Delta::Improved { .. }))
+    }
+
+    pub fn n_regressed(&self) -> usize {
+        self.count(|d| matches!(d, Delta::Regressed { .. }))
+    }
+
+    pub fn n_unchanged(&self) -> usize {
+        self.count(|d| matches!(d, Delta::Unchanged { .. }))
+    }
+
+    pub fn n_missing(&self) -> usize {
+        self.count(|d| matches!(d, Delta::MissingInA { .. } | Delta::MissingInB { .. }))
+    }
+
+    pub fn n_incomparable(&self) -> usize {
+        self.count(|d| matches!(d, Delta::Incomparable { .. }))
+    }
+
+    fn table(&self) -> DataFrame {
+        let fmt = |v: f64| format!("{v:.4}");
+        let opt = |v: Option<f64>| v.map(fmt).unwrap_or_else(|| "-".to_string());
+        let mut df = DataFrame::new(vec!["cell", "system", "A", "B", "delta", "verdict"]);
+        for c in &self.cells {
+            let (a, b, delta, verdict) = match &c.delta {
+                Delta::Improved { a, b, pct } => {
+                    (fmt(*a), fmt(*b), format!("{pct:+.2}%"), "improved")
+                }
+                Delta::Regressed { a, b, pct } => {
+                    (fmt(*a), fmt(*b), format!("{pct:+.2}%"), "REGRESSED")
+                }
+                Delta::Unchanged { a, b, pct } => {
+                    (fmt(*a), fmt(*b), format!("{pct:+.2}%"), "unchanged")
+                }
+                Delta::MissingInA { b } => ("-".into(), fmt(*b), "-".into(), "missing in A"),
+                Delta::MissingInB { a } => (fmt(*a), "-".into(), "-".into(), "missing in B"),
+                Delta::Incomparable { a, b } => (opt(*a), opt(*b), "-".into(), "incomparable"),
+            };
+            df.push_row(vec![
+                Cell::from(c.cell.as_str()),
+                Cell::from(c.entity.as_str()),
+                Cell::from(a),
+                Cell::from(b),
+                Cell::from(delta),
+                Cell::from(verdict),
+            ])
+            .expect("fixed schema");
+        }
+        df
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "summary: {} improved, {} regressed, {} unchanged, {} missing, {} incomparable (threshold {}%, {})",
+            self.n_improved(),
+            self.n_regressed(),
+            self.n_unchanged(),
+            self.n_missing(),
+            self.n_incomparable(),
+            self.threshold_pct,
+            direction_label(self.direction),
+        )
+    }
+
+    /// Aligned-text report.
+    pub fn render_text(&self) -> String {
+        let mut out = self.table().to_string();
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// GitHub-flavoured-Markdown report.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from("## Comparison\n\n");
+        out.push_str(&self.table().to_markdown());
+        out.push('\n');
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+}
+
+/// Compare two assimilated FOM frames cell by cell (see module docs). The
+/// union of (cell, entity) pairs is classified; nothing is dropped.
+pub fn cmp_frames(
+    a: &DataFrame,
+    b: &DataFrame,
+    policy: &CmpPolicy,
+) -> Result<Comparison, FrameError> {
+    assert!(
+        policy.threshold_pct >= 0.0 && policy.threshold_pct.is_finite(),
+        "threshold must be a finite non-negative percentage"
+    );
+    let cells_a = aggregate_cells(a)?;
+    let cells_b = aggregate_cells(b)?;
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for cells in [&cells_a, &cells_b] {
+        for (cell, by_entity) in cells {
+            for entity in by_entity.keys() {
+                let key = (cell.clone(), entity.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    keys.sort();
+
+    let classify = |(cell, entity): &(String, String)| -> CmpCell {
+        let side = |cells: &BTreeMap<String, BTreeMap<String, Option<f64>>>| {
+            cells
+                .get(cell)
+                .and_then(|m| m.get(entity))
+                .copied()
+                .flatten()
+        };
+        let (va, vb) = (side(&cells_a), side(&cells_b));
+        let delta = match (va, vb) {
+            (None, None) => Delta::Incomparable { a: None, b: None },
+            (None, Some(b)) => Delta::MissingInA { b },
+            (Some(a), None) => Delta::MissingInB { a },
+            (Some(a), Some(b)) => {
+                if !a.is_finite() || !b.is_finite() || a <= 0.0 {
+                    Delta::Incomparable {
+                        a: Some(a),
+                        b: Some(b),
+                    }
+                } else {
+                    let pct = (b - a) / a * 100.0;
+                    let good = match policy.direction {
+                        Direction::HigherIsBetter => pct,
+                        Direction::LowerIsBetter => -pct,
+                    };
+                    if good > policy.threshold_pct {
+                        Delta::Improved { a, b, pct }
+                    } else if good < -policy.threshold_pct {
+                        Delta::Regressed { a, b, pct }
+                    } else {
+                        Delta::Unchanged { a, b, pct }
+                    }
+                }
+            }
+        };
+        CmpCell {
+            cell: cell.clone(),
+            entity: entity.clone(),
+            delta,
+        }
+    };
+    Ok(Comparison {
+        cells: par_map(&keys, policy.jobs, classify),
+        threshold_pct: policy.threshold_pct,
+        direction: policy.direction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// rows: (benchmark, fom, system, value)
+    fn frame(rows: &[(&str, &str, &str, f64)]) -> DataFrame {
+        let mut df = DataFrame::new(vec!["benchmark", "fom", "system", "partition", "value"]);
+        for (b, f, s, v) in rows {
+            df.push_row(vec![
+                Cell::from(*b),
+                Cell::from(*f),
+                Cell::from(*s),
+                Cell::Null,
+                Cell::from(*v),
+            ])
+            .unwrap();
+        }
+        df
+    }
+
+    #[test]
+    fn rank_orders_by_geomean_speedup() {
+        // Two cells; a is best at both, b at half speed on each →
+        // geomean(0.5, 0.5) = 0.5; c at 1.0 and 0.25 → geomean 0.5 too,
+        // tie broken by name.
+        let df = frame(&[
+            ("s1", "Triad", "a", 200.0),
+            ("s1", "Triad", "b", 100.0),
+            ("s1", "Triad", "c", 200.0),
+            ("s2", "Triad", "a", 400.0),
+            ("s2", "Triad", "b", 200.0),
+            ("s2", "Triad", "c", 100.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.order(), vec!["a", "b", "c"]);
+        assert_eq!(r.entries[0].geomean, Some(1.0));
+        let b = &r.entries[1];
+        assert!((b.geomean.unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(b.cells_used, 2);
+        assert!(b.skipped.is_empty());
+        let c = &r.entries[2];
+        assert!((c.geomean.unwrap() - 0.5).abs() < 1e-12);
+        // Rendering is deterministic and carries the rank table.
+        let text = r.render_text();
+        assert!(text.contains("ranking 3 systems over 2 cells"), "{text}");
+        assert!(text.contains("1.0000"), "{text}");
+        let md = r.render_markdown();
+        assert!(md.contains("| rank | system |"), "{md}");
+    }
+
+    #[test]
+    fn rank_lower_is_better_inverts_speedup() {
+        // Runtimes: smaller wins. a twice as fast as b.
+        let df = frame(&[("s", "time", "a", 5.0), ("s", "time", "b", 10.0)]);
+        let policy = RankPolicy {
+            direction: Direction::LowerIsBetter,
+            ..RankPolicy::default()
+        };
+        let r = rank_frame(&df, &policy).unwrap();
+        assert_eq!(r.order(), vec!["a", "b"]);
+        assert!((r.entries[1].geomean.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_reports_missing_cells_instead_of_dropping() {
+        // b lacks the second cell: its geomean uses one cell and the gap
+        // is reported explicitly.
+        let df = frame(&[
+            ("s1", "Triad", "a", 100.0),
+            ("s1", "Triad", "b", 50.0),
+            ("s2", "Triad", "a", 100.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        let b = r.entries.iter().find(|e| e.entity == "b").unwrap();
+        assert_eq!(b.cells_used, 1);
+        assert_eq!(b.skipped, vec![("s2/Triad".to_string(), Skip::Missing)]);
+        assert!(r
+            .render_text()
+            .contains("skipped: b lacks s2/Triad (missing)"));
+    }
+
+    #[test]
+    fn rank_empty_intersection_of_cells() {
+        // Disjoint cells: each system is trivially best at its own cell
+        // and reported missing from the other's. No cell is shared, yet
+        // nothing is silently dropped.
+        let df = frame(&[("s1", "Triad", "a", 100.0), ("s2", "Triad", "b", 50.0)]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.cells.len(), 2);
+        for e in &r.entries {
+            assert_eq!(e.geomean, Some(1.0), "{e:?}");
+            assert_eq!(e.cells_used, 1);
+            assert_eq!(e.skipped.len(), 1, "the other cell is reported missing");
+        }
+        assert_eq!(r.order(), vec!["a", "b"], "tie broken by name");
+    }
+
+    #[test]
+    fn rank_zero_and_negative_foms_are_skips() {
+        let df = frame(&[
+            ("s1", "Triad", "a", 100.0),
+            ("s1", "Triad", "b", 0.0),
+            ("s1", "Triad", "c", -3.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.order()[0], "a");
+        let b = r.entries.iter().find(|e| e.entity == "b").unwrap();
+        assert_eq!(b.geomean, None, "no usable cell");
+        assert_eq!(
+            b.skipped,
+            vec![("s1/Triad".to_string(), Skip::NonPositive(0.0))]
+        );
+        let c = r.entries.iter().find(|e| e.entity == "c").unwrap();
+        assert_eq!(
+            c.skipped,
+            vec![("s1/Triad".to_string(), Skip::NonPositive(-3.0))]
+        );
+        // No-data systems rank last, by name, with a `-` score.
+        assert_eq!(r.order(), vec!["a", "b", "c"]);
+        assert!(r.render_text().contains("non-positive value -3"));
+    }
+
+    #[test]
+    fn rank_single_system_study() {
+        let df = frame(&[("s1", "Triad", "a", 100.0), ("s2", "Triad", "a", 5.0)]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!(r.entries[0].geomean, Some(1.0), "alone ⇒ best everywhere");
+        assert_eq!(r.entries[0].cells_used, 2);
+    }
+
+    #[test]
+    fn rank_nonfinite_foms_are_partitioned_out_not_sorted_in() {
+        // The dframe satellite in action: a NaN FOM would win a naive
+        // descending sort (total_cmp puts NaN above +inf). Rank must
+        // instead report it as a skip and rank the finite systems.
+        let df = frame(&[
+            ("s1", "Triad", "a", 100.0),
+            ("s1", "Triad", "b", f64::NAN),
+            ("s1", "Triad", "c", f64::INFINITY),
+            ("s1", "Triad", "d", 200.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.order(), vec!["d", "a", "b", "c"], "finite systems first");
+        let b = r.entries.iter().find(|e| e.entity == "b").unwrap();
+        assert!(matches!(b.skipped[0].1, Skip::NonFinite(v) if v.is_nan()));
+        let c = r.entries.iter().find(|e| e.entity == "c").unwrap();
+        assert_eq!(c.skipped[0].1, Skip::NonFinite(f64::INFINITY));
+        // A NaN among repeats poisons that cell's aggregate rather than
+        // being averaged away.
+        let mut df = frame(&[("s1", "Triad", "a", 100.0), ("s1", "Triad", "b", 90.0)]);
+        df.push_row(vec![
+            Cell::from("s1"),
+            Cell::from("Triad"),
+            Cell::from("b"),
+            Cell::Null,
+            Cell::from(f64::NAN),
+        ])
+        .unwrap();
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        let b = r.entries.iter().find(|e| e.entity == "b").unwrap();
+        assert_eq!(b.cells_used, 0, "poisoned aggregate must not contribute");
+        assert!(matches!(b.skipped[0].1, Skip::NonFinite(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn rank_degenerate_cell_is_reported() {
+        let df = frame(&[
+            ("s1", "Triad", "a", 100.0),
+            ("s2", "Triad", "a", f64::NAN),
+            ("s2", "Triad", "b", 0.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.cells, vec!["s1/Triad"]);
+        assert_eq!(r.degenerate_cells, vec!["s2/Triad"]);
+        assert!(
+            r.render_text().contains("degenerate cells"),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn rank_entities_split_by_partition() {
+        let mut df = DataFrame::new(vec!["benchmark", "fom", "system", "partition", "value"]);
+        for (p, v) in [("cascadelake", 100.0), ("icelake", 150.0)] {
+            df.push_row(vec![
+                Cell::from("s"),
+                Cell::from("Triad"),
+                Cell::from("csd3"),
+                Cell::from(p),
+                Cell::from(v),
+            ])
+            .unwrap();
+        }
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.order(), vec!["csd3:icelake", "csd3:cascadelake"]);
+    }
+
+    #[test]
+    fn rank_missing_column_is_an_error() {
+        let df = DataFrame::new(vec!["benchmark", "fom", "system"]);
+        assert_eq!(
+            rank_frame(&df, &RankPolicy::default()).unwrap_err(),
+            FrameError::NoSuchColumn("value".to_string())
+        );
+    }
+
+    #[test]
+    fn rank_byte_identical_across_jobs() {
+        let mut rows = Vec::new();
+        for s in ["a", "b", "c", "d", "e"] {
+            for (bench, base) in [("s1", 100.0), ("s2", 50.0), ("s3", 75.0)] {
+                rows.push((bench, "Triad", s, base * (1.0 + (s.len() as f64))));
+            }
+        }
+        let rows: Vec<(&str, &str, &str, f64)> = rows;
+        let df = frame(&rows);
+        let serial = rank_frame(&df, &RankPolicy::default()).unwrap();
+        for jobs in [2, 8, 0] {
+            let policy = RankPolicy {
+                jobs,
+                ..RankPolicy::default()
+            };
+            let r = rank_frame(&df, &policy).unwrap();
+            assert_eq!(serial, r, "jobs={jobs}");
+            assert_eq!(serial.render_text(), r.render_text(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cmp_classifies_with_threshold() {
+        let a = frame(&[
+            ("s1", "Triad", "x", 100.0),
+            ("s2", "Triad", "x", 100.0),
+            ("s3", "Triad", "x", 100.0),
+            ("s4", "Triad", "x", 100.0),
+        ]);
+        let b = frame(&[
+            ("s1", "Triad", "x", 110.0), // +10% improved
+            ("s2", "Triad", "x", 95.0),  // -5% regressed
+            ("s3", "Triad", "x", 101.0), // +1% within noise
+            ("s5", "Triad", "x", 50.0),  // new cell
+        ]);
+        let c = cmp_frames(&a, &b, &CmpPolicy::default()).unwrap();
+        assert_eq!(
+            (
+                c.n_improved(),
+                c.n_regressed(),
+                c.n_unchanged(),
+                c.n_missing()
+            ),
+            (1, 1, 1, 2),
+            "{c:?}"
+        );
+        let by_cell = |cell: &str| {
+            c.cells
+                .iter()
+                .find(|x| x.cell == cell)
+                .map(|x| x.delta.clone())
+                .unwrap()
+        };
+        assert!(
+            matches!(by_cell("s1/Triad"), Delta::Improved { pct, .. } if (pct - 10.0).abs() < 1e-9)
+        );
+        assert!(
+            matches!(by_cell("s2/Triad"), Delta::Regressed { pct, .. } if (pct + 5.0).abs() < 1e-9)
+        );
+        assert!(matches!(by_cell("s3/Triad"), Delta::Unchanged { .. }));
+        assert!(matches!(by_cell("s4/Triad"), Delta::MissingInB { a } if a == 100.0));
+        assert!(matches!(by_cell("s5/Triad"), Delta::MissingInA { b } if b == 50.0));
+        // A wider threshold absorbs the 5% drop.
+        let wide = CmpPolicy {
+            threshold_pct: 10.0,
+            ..CmpPolicy::default()
+        };
+        let c = cmp_frames(&a, &b, &wide).unwrap();
+        assert_eq!(
+            (c.n_improved(), c.n_regressed(), c.n_unchanged()),
+            (0, 0, 3)
+        );
+        // Lower-is-better flips the verdicts.
+        let lower = CmpPolicy {
+            direction: Direction::LowerIsBetter,
+            ..CmpPolicy::default()
+        };
+        let c = cmp_frames(&a, &b, &lower).unwrap();
+        assert!(matches!(
+            by_cell_of(&c, "s1/Triad"),
+            Delta::Regressed { .. }
+        ));
+        assert!(matches!(by_cell_of(&c, "s2/Triad"), Delta::Improved { .. }));
+    }
+
+    fn by_cell_of(c: &Comparison, cell: &str) -> Delta {
+        c.cells
+            .iter()
+            .find(|x| x.cell == cell)
+            .map(|x| x.delta.clone())
+            .unwrap()
+    }
+
+    #[test]
+    fn cmp_nonfinite_and_nonpositive_are_incomparable() {
+        let a = frame(&[
+            ("s1", "Triad", "x", f64::NAN),
+            ("s2", "Triad", "x", 0.0),
+            ("s3", "Triad", "x", 100.0),
+        ]);
+        let b = frame(&[
+            ("s1", "Triad", "x", 100.0),
+            ("s2", "Triad", "x", 100.0),
+            ("s3", "Triad", "x", f64::INFINITY),
+        ]);
+        let c = cmp_frames(&a, &b, &CmpPolicy::default()).unwrap();
+        assert_eq!(c.n_incomparable(), 3, "{c:?}");
+        let text = c.render_text();
+        assert!(text.contains("incomparable"), "{text}");
+        assert!(
+            text.contains(
+                "summary: 0 improved, 0 regressed, 0 unchanged, 0 missing, 3 incomparable"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn cmp_renders_table_and_markdown() {
+        let a = frame(&[("s1", "Triad", "x", 100.0)]);
+        let b = frame(&[("s1", "Triad", "x", 120.0)]);
+        let c = cmp_frames(&a, &b, &CmpPolicy::default()).unwrap();
+        let text = c.render_text();
+        assert!(text.contains("+20.00%"), "{text}");
+        assert!(text.contains("improved"), "{text}");
+        assert!(text.contains("threshold 2%"), "{text}");
+        let md = c.render_markdown();
+        assert!(md.contains("| cell | system |"), "{md}");
+    }
+
+    #[test]
+    fn cmp_byte_identical_across_jobs() {
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        for (i, s) in ["a", "b", "c", "d"].iter().enumerate() {
+            for bench in ["s1", "s2", "s3"] {
+                rows_a.push((bench, "Triad", *s, 100.0 + i as f64));
+                rows_b.push((bench, "Triad", *s, 100.0 + 3.0 * i as f64));
+            }
+        }
+        let (a, b) = (frame(&rows_a), frame(&rows_b));
+        let serial = cmp_frames(&a, &b, &CmpPolicy::default()).unwrap();
+        for jobs in [2, 8, 0] {
+            let policy = CmpPolicy {
+                jobs,
+                ..CmpPolicy::default()
+            };
+            let c = cmp_frames(&a, &b, &policy).unwrap();
+            assert_eq!(serial, c, "jobs={jobs}");
+            assert_eq!(serial.render_text(), c.render_text(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn repeats_reduce_to_their_mean() {
+        // Two repeats for system a: mean 150 beats b's 120.
+        let df = frame(&[
+            ("s1", "Triad", "a", 100.0),
+            ("s1", "Triad", "a", 200.0),
+            ("s1", "Triad", "b", 120.0),
+        ]);
+        let r = rank_frame(&df, &RankPolicy::default()).unwrap();
+        assert_eq!(r.order(), vec!["a", "b"]);
+        assert!((r.entries[1].geomean.unwrap() - 0.8).abs() < 1e-12);
+    }
+}

@@ -9,6 +9,42 @@
 //! classifies a new measurement against it.
 
 use dframe::{Cell, DataFrame};
+use std::fmt;
+
+/// Error building a [`History`] from an assimilated frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistoryError {
+    /// The underlying frame operation failed (missing column, ...).
+    Frame(dframe::FrameError),
+    /// A `sequence` cell was negative. Sequences are monotone run
+    /// counters; a negative one means the log is corrupt, and casting it
+    /// to `u64` would wrap it to a huge value that silently reorders the
+    /// history (the same failure mode the perflog parser rejects).
+    NegativeSequence { benchmark: String, sequence: i64 },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Frame(e) => write!(f, "{e}"),
+            HistoryError::NegativeSequence {
+                benchmark,
+                sequence,
+            } => write!(
+                f,
+                "history for `{benchmark}`: sequence must be non-negative, got {sequence}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<dframe::FrameError> for HistoryError {
+    fn from(e: dframe::FrameError) -> HistoryError {
+        HistoryError::Frame(e)
+    }
+}
 
 /// Which direction is good for this FOM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,7 +159,7 @@ impl History {
         benchmark: &str,
         system: &str,
         fom: &str,
-    ) -> Result<History, dframe::FrameError> {
+    ) -> Result<History, HistoryError> {
         let filtered = frame
             .filter_eq("benchmark", &Cell::from(benchmark))?
             .filter_eq("system", &Cell::from(system))?
@@ -131,7 +167,11 @@ impl History {
             .sort_by("sequence", true)?;
         let mut points = Vec::with_capacity(filtered.n_rows());
         for row in filtered.rows() {
-            let seq = row.get("sequence").and_then(Cell::as_int).unwrap_or(0) as u64;
+            let seq = row.get("sequence").and_then(Cell::as_int).unwrap_or(0);
+            let seq = u64::try_from(seq).map_err(|_| HistoryError::NegativeSequence {
+                benchmark: benchmark.to_string(),
+                sequence: seq,
+            })?;
             if let Some(v) = row.get("value").and_then(Cell::as_float) {
                 points.push((seq, v));
             }
@@ -409,6 +449,39 @@ mod tests {
         assert!(criterion_history(&runs, "kernels", "other")
             .points
             .is_empty());
+    }
+
+    #[test]
+    fn negative_sequence_is_rejected_not_wrapped() {
+        // Before the fix, sequence -1 was cast `as u64` into 2^64-1, so a
+        // corrupt record silently sorted itself to the end of the history
+        // and became "the latest run" for regression judging.
+        let mut df = DataFrame::new(vec!["sequence", "benchmark", "system", "fom", "value"]);
+        for (seq, v) in [(1i64, 100.0), (-1, 9999.0), (2, 101.0)] {
+            df.push_row(vec![
+                Cell::from(seq),
+                Cell::from("babelstream_omp"),
+                Cell::from("csd3"),
+                Cell::from("Triad"),
+                Cell::from(v),
+            ])
+            .unwrap();
+        }
+        let err = History::from_frame(&df, "babelstream_omp", "csd3", "Triad").unwrap_err();
+        assert_eq!(
+            err,
+            HistoryError::NegativeSequence {
+                benchmark: "babelstream_omp".into(),
+                sequence: -1
+            }
+        );
+        assert!(err.to_string().contains("non-negative"), "{err}");
+        // A frame error still comes through the same result type.
+        let empty = DataFrame::new(vec!["benchmark"]);
+        assert!(matches!(
+            History::from_frame(&empty, "x", "y", "z"),
+            Err(HistoryError::Frame(_))
+        ));
     }
 
     #[test]

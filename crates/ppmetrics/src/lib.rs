@@ -23,13 +23,24 @@ use dframe::{Cell, DataFrame};
 /// it).
 pub fn architectural_efficiency(measured: f64, peak: f64) -> f64 {
     assert!(peak > 0.0, "peak must be positive");
-    (measured / peak).max(0.0)
+    clamp_low(measured / peak)
 }
 
 /// Measured performance over the best known performance on that platform.
 pub fn application_efficiency(measured: f64, best: f64) -> f64 {
     assert!(best > 0.0, "best must be positive");
-    (measured / best).max(0.0)
+    clamp_low(measured / best)
+}
+
+/// Clamp negatives to zero while letting NaN through: `f64::max(NaN, 0.0)`
+/// returns 0.0, which would silently launder a NaN measurement into a
+/// legitimate-looking efficiency.
+fn clamp_low(e: f64) -> f64 {
+    if e < 0.0 {
+        0.0
+    } else {
+        e
+    }
 }
 
 /// Eq. 1 of the paper: the ratio of a variant's FOM to the original's.
@@ -106,9 +117,19 @@ impl EfficiencySet {
         performance_portability(&effs)
     }
 
-    /// Lowest efficiency among supported platforms.
+    /// Lowest efficiency among supported platforms. A NaN efficiency
+    /// poisons the minimum (the result is NaN), matching
+    /// [`performance_portability`], whose harmonic mean also propagates
+    /// NaN — `f64::min` would instead *discard* the NaN operand and
+    /// silently report the smallest well-formed value.
     pub fn min_efficiency(&self) -> Option<f64> {
-        self.entries.iter().filter_map(|(_, e)| *e).reduce(f64::min)
+        self.entries.iter().filter_map(|(_, e)| *e).reduce(|a, b| {
+            if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else {
+                a.min(b)
+            }
+        })
     }
 
     pub fn entries(&self) -> &[(String, Option<f64>)] {
@@ -199,6 +220,38 @@ mod tests {
         supported.add("a", 80.0, 100.0);
         supported.add("b", 90.0, 100.0);
         assert!(supported.pp() > 0.8 && supported.pp() < 0.9);
+    }
+
+    #[test]
+    fn nan_efficiency_poisons_min_and_pp() {
+        // The fixed behavior: a NaN efficiency must surface, never vanish.
+        // (Before the fix, `reduce(f64::min)` dropped NaN operands, so
+        // min_efficiency reported 0.5 here and the bad platform was
+        // invisible to any ranking built on top.)
+        assert!(architectural_efficiency(f64::NAN, 100.0).is_nan());
+        assert!(application_efficiency(f64::NAN, 100.0).is_nan());
+        assert_eq!(
+            architectural_efficiency(-5.0, 100.0),
+            0.0,
+            "clamp keeps negatives at 0"
+        );
+        let mut set = EfficiencySet::new();
+        set.add("good", 50.0, 100.0);
+        set.add("bad", f64::NAN, 100.0);
+        set.add("fine", 80.0, 100.0);
+        assert!(
+            set.min_efficiency().unwrap().is_nan(),
+            "NaN must propagate through the minimum"
+        );
+        // performance_portability behaves the same way: the harmonic mean
+        // over a NaN efficiency is NaN, so the two reductions agree.
+        assert!(performance_portability(&[Some(0.5), Some(f64::NAN)]).is_nan());
+        assert!(set.pp().is_nan());
+        // Without the NaN, the minimum is the honest smallest value.
+        let mut clean = EfficiencySet::new();
+        clean.add("good", 50.0, 100.0);
+        clean.add("fine", 80.0, 100.0);
+        assert_eq!(clean.min_efficiency(), Some(0.5));
     }
 
     #[test]
