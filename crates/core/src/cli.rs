@@ -15,6 +15,9 @@ use harness::{cases, Harness, RunOptions, TestCase};
 use std::fmt;
 
 /// A parsed CLI invocation.
+// One `Command` exists per process; `Survey` carrying its full engine
+// configuration inline beats boxing for a value never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `list-systems`
@@ -62,6 +65,11 @@ pub enum Command {
         /// (system, benchmark family) into this directory (`--perflog`),
         /// the input format of `rank` and `cmp`.
         perflog: Option<String>,
+        /// External engine subprocess for every case's run stage
+        /// (`--engine SPEC`), speaking the KLV protocol.
+        engine: Option<engine::EngineSpec>,
+        /// Per-case engine overrides (`--engine CASE=SPEC`).
+        engine_overrides: Vec<(String, engine::EngineSpec)>,
     },
     /// `rank <perflog-or-dir>... [--lower-is-better] [--markdown]
     /// [--jobs N]` — geometric-mean-speedup ranking of systems across
@@ -126,6 +134,7 @@ USAGE:
                     [--fault-profile [SYS=]NAME]... [--max-retries N] [--fail-fast]
                     [--quarantine K] [--heal] [--checkpoint DIR | --resume DIR]
                     [--interrupt-after N] [--store DIR]
+                    [--engine [CASE=]SPEC]... [--engine-timeout S]
         --jobs N runs N (benchmark, system) combinations concurrently
         (0 = one per available core); the report is identical to --jobs 1.
         --warm-store shares one package store per system so its cases
@@ -157,6 +166,21 @@ USAGE:
         --perflog DIR writes one <system>-<benchmark>.jsonl perflog per
         surveyed (system, benchmark) into DIR — the input of `rank`
         and `cmp`.
+        --engine SPEC runs every case's run stage in an external engine
+        subprocess speaking the KLV protocol on stdin/stdout (bring
+        your own benchmark). SPEC is either a command line
+        ('./my-engine --fast') or a tinycfg map
+        ('{cmd=[\"./my-engine\"] timeout=30 grace=2'). A crashing,
+        hanging, or garbage-emitting engine is contained per attempt:
+        the failure feeds --max-retries/--fail-fast/--quarantine
+        exactly like an injected fault, with exit_code/signal/
+        timed_out recorded in the perflog; hung engines are killed
+        with SIGTERM, then SIGKILL after the grace window. --engine
+        CASE=SPEC overrides the engine for one case (repeatable).
+        --engine-timeout S sets the default deadline for specs that
+        carry none (rejected at parse time unless finite and > 0).
+        Checkpoints bind the engine configuration: a journal written
+        in one engine mode refuses to resume in another.
         Exits nonzero if any cell fails.
     benchkit rank <perflog-or-dir>... [--lower-is-better] [--markdown] [--jobs N]
         Rank systems by the geometric mean of their per-cell speedup
@@ -232,6 +256,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 (opts.interrupt_after.is_some(), "--interrupt-after"),
                 (opts.store.is_some(), "--store"),
                 (opts.perflog.is_some(), "--perflog"),
+                (!opts.engines.is_empty(), "--engine"),
+                (opts.engine_timeout.is_some(), "--engine-timeout"),
             ] {
                 if set {
                     return Err(CliError(format!("run: `{flag}` only applies to `survey`")));
@@ -301,6 +327,57 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                 }
             }
+            // Split repeated --engine values into the base engine (bare
+            // SPEC, at most once) and per-case overrides (CASE=SPEC, at
+            // most once per case, CASE must be surveyed). A value counts
+            // as an override only when everything before its first `=` is
+            // shaped like a benchmark name, so engine commands containing
+            // `=` (e.g. `./engine --mode=fast`) still parse as base specs.
+            let default_timeout = opts.engine_timeout.unwrap_or(engine::DEFAULT_TIMEOUT_S);
+            let parse_spec = |raw: &str| {
+                engine::EngineSpec::parse(raw, default_timeout)
+                    .map_err(|e| CliError(format!("survey: bad `--engine` spec `{raw}`: {e}")))
+            };
+            let case_shaped = |name: &str| {
+                !name.is_empty()
+                    && name
+                        .bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+            };
+            let mut engine_spec: Option<engine::EngineSpec> = None;
+            let mut engine_overrides: Vec<(String, engine::EngineSpec)> = Vec::new();
+            for value in &opts.engines {
+                match value.split_once('=').filter(|(case, _)| case_shaped(case)) {
+                    None => {
+                        if engine_spec.is_some() {
+                            return Err(CliError(format!(
+                                "survey: duplicate base `--engine {value}` \
+                                 (use CASE=SPEC for per-case overrides)"
+                            )));
+                        }
+                        engine_spec = Some(parse_spec(value)?);
+                    }
+                    Some((case, spec)) => {
+                        if !opts.cases.iter().any(|c| c == case) {
+                            return Err(CliError(format!(
+                                "survey: `--engine {value}` names case `{case}` \
+                                 which is not in the surveyed `-c` list"
+                            )));
+                        }
+                        if engine_overrides.iter().any(|(c, _)| c == case) {
+                            return Err(CliError(format!(
+                                "survey: duplicate `--engine` override for `{case}`"
+                            )));
+                        }
+                        engine_overrides.push((case.to_string(), parse_spec(spec)?));
+                    }
+                }
+            }
+            if opts.engine_timeout.is_some() && opts.engines.is_empty() {
+                return Err(CliError(
+                    "survey: `--engine-timeout` requires `--engine`".into(),
+                ));
+            }
             Ok(Command::Survey {
                 benchmarks: opts.cases,
                 systems: opts.systems,
@@ -318,6 +395,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 interrupt_after: opts.interrupt_after,
                 store: opts.store,
                 perflog: opts.perflog,
+                engine: engine_spec,
+                engine_overrides,
             })
         }
         "rank" => {
@@ -552,6 +631,12 @@ struct Options {
     interrupt_after: Option<usize>,
     store: Option<String>,
     perflog: Option<String>,
+    /// Raw repeated `--engine` values (`SPEC` or `CASE=SPEC`); split into
+    /// base + overrides by the survey arm.
+    engines: Vec<String>,
+    /// `--engine-timeout S`: default deadline for engine specs that do
+    /// not set their own. Validated (finite, positive) at parse time.
+    engine_timeout: Option<f64>,
 }
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
@@ -581,6 +666,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         interrupt_after: None,
         store: None,
         perflog: None,
+        engines: Vec::new(),
+        engine_timeout: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -661,6 +748,20 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             }
             "--perflog" => {
                 opts.perflog = Some(take_value(args, &mut i, "--perflog")?);
+            }
+            "--engine" => {
+                opts.engines.push(take_value(args, &mut i, "--engine")?);
+            }
+            "--engine-timeout" => {
+                let v = take_value(args, &mut i, "--engine-timeout")?;
+                let timeout: f64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad engine-timeout `{v}`")))?;
+                // Zero, negative and non-finite deadlines are rejected
+                // here, not at the first engine launch hours into a sweep.
+                engine::validate_timeout(timeout)
+                    .map_err(|e| CliError(format!("bad engine-timeout `{v}`: {e}")))?;
+                opts.engine_timeout = Some(timeout);
             }
             other if other.starts_with("--system=") => {
                 opts.systems.push(other["--system=".len()..].to_string());
@@ -838,6 +939,8 @@ pub fn execute(
             interrupt_after,
             store,
             perflog,
+            engine,
+            engine_overrides,
         } => {
             let profile = simhpc::faults::FaultProfile::from_name(&fault_profile)
                 .ok_or_else(|| CliError(format!("unknown fault profile `{fault_profile}`")))?;
@@ -863,6 +966,10 @@ pub fn execute(
             }
             if let Some(dir) = &store {
                 study = study.with_store(std::path::Path::new(dir));
+            }
+            study = study.with_engine(engine.clone());
+            for (case, spec) in &engine_overrides {
+                study = study.with_engine_override(case, spec.clone());
             }
             for b in &benchmarks {
                 study = study.with_case(case_by_name(b)?);
@@ -917,6 +1024,12 @@ pub fn execute(
                 results.report.n_skipped(),
                 results.report.n_failed()
             )?;
+            if let Some(spec) = &engine {
+                writeln!(out, "engine: {}", spec.render())?;
+            }
+            for (case, spec) in &engine_overrides {
+                writeln!(out, "engine override: {case}={}", spec.render())?;
+            }
             let any_faults =
                 !profile.is_none() || fault_overrides.iter().any(|(_, name)| name != "none");
             if any_faults {
@@ -1327,6 +1440,8 @@ mod tests {
                 interrupt_after,
                 store,
                 perflog,
+                engine,
+                engine_overrides,
             } => {
                 assert_eq!(benchmarks, vec!["hpgmg", "babelstream_omp"]);
                 assert_eq!(systems, vec!["archer2", "csd3"]);
@@ -1344,6 +1459,8 @@ mod tests {
                 assert_eq!(interrupt_after, None);
                 assert_eq!(store, None, "no persistent store by default");
                 assert_eq!(perflog, None, "no perflog export by default");
+                assert_eq!(engine, None, "in-process run stage by default");
+                assert!(engine_overrides.is_empty());
             }
             other => panic!("{other:?}"),
         }
@@ -1381,6 +1498,89 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("survey -c hpgmg --system archer2 --jobs nope")).is_err());
+    }
+
+    #[test]
+    fn parse_survey_engine_flags() {
+        // argv() splits on whitespace, so engine specs with embedded
+        // spaces are built as explicit vectors here.
+        let args = |tail: &[&str]| -> Vec<String> {
+            ["survey", "-c", "hpgmg", "--system", "archer2"]
+                .iter()
+                .copied()
+                .chain(tail.iter().copied())
+                .map(str::to_string)
+                .collect()
+        };
+        let cmd = parse(&args(&["--engine", "./stub --ok"])).unwrap();
+        match cmd {
+            Command::Survey {
+                engine,
+                engine_overrides,
+                ..
+            } => {
+                let spec = engine.expect("base engine parsed");
+                assert_eq!(spec.cmd, vec!["./stub", "--ok"]);
+                assert_eq!(spec.timeout_s, engine::DEFAULT_TIMEOUT_S);
+                assert!(engine_overrides.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // --engine-timeout applies to specs that don't pin their own.
+        let cmd = parse(&args(&["--engine", "./stub", "--engine-timeout", "30"])).unwrap();
+        match cmd {
+            Command::Survey { engine, .. } => {
+                assert_eq!(engine.unwrap().timeout_s, 30.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A `=` inside the command is not a per-case override: the text
+        // left of it is not shaped like a benchmark name.
+        let cmd = parse(&args(&["--engine", "./eng --mode=fast"])).unwrap();
+        match cmd {
+            Command::Survey {
+                engine,
+                engine_overrides,
+                ..
+            } => {
+                assert_eq!(engine.unwrap().cmd, vec!["./eng", "--mode=fast"]);
+                assert!(engine_overrides.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // CASE=SPEC is an override when CASE is a surveyed benchmark.
+        let cmd = parse(&args(&["--engine", "hpgmg=./special --hpgmg"])).unwrap();
+        match cmd {
+            Command::Survey {
+                engine,
+                engine_overrides,
+                ..
+            } => {
+                assert_eq!(engine, None, "override only, no base engine");
+                assert_eq!(engine_overrides.len(), 1);
+                assert_eq!(engine_overrides[0].0, "hpgmg");
+                assert_eq!(engine_overrides[0].1.cmd, vec!["./special", "--hpgmg"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Overrides must name a surveyed case; duplicates are rejected.
+        assert!(parse(&args(&["--engine", "babelstream_omp=./x"])).is_err());
+        assert!(parse(&args(&["--engine", "./a", "--engine", "./b"])).is_err());
+        assert!(parse(&args(&["--engine", "hpgmg=./a", "--engine", "hpgmg=./b"])).is_err());
+        // The deadline is validated at parse time, not at first launch.
+        for bad in ["0", "-1", "nan", "inf", "nope", ""] {
+            assert!(
+                parse(&args(&["--engine", "./stub", "--engine-timeout", bad])).is_err(),
+                "engine-timeout `{bad}` must be a parse error"
+            );
+        }
+        // --engine-timeout is meaningless without an engine.
+        assert!(parse(&args(&["--engine-timeout", "30"])).is_err());
+        // An empty spec has no command to run.
+        assert!(parse(&args(&["--engine", ""])).is_err());
+        // Only survey takes engine flags.
+        assert!(parse(&argv("run -c hpgmg --system archer2 --engine ./stub")).is_err());
+        assert!(parse(&argv("run -c hpgmg --system archer2 --engine-timeout 5")).is_err());
     }
 
     #[test]
@@ -1627,6 +1827,8 @@ mod tests {
                 interrupt_after: None,
                 store: None,
                 perflog: None,
+                engine: None,
+                engine_overrides: Vec::new(),
             },
             &mut buf,
         )
@@ -1673,6 +1875,8 @@ mod tests {
                     interrupt_after: None,
                     store: None,
                     perflog: None,
+                    engine: None,
+                    engine_overrides: Vec::new(),
                 },
                 &mut buf,
             )
@@ -1730,6 +1934,8 @@ mod tests {
                     interrupt_after: None,
                     store: None,
                     perflog: None,
+                    engine: None,
+                    engine_overrides: Vec::new(),
                 },
                 &mut buf,
             );
@@ -1781,6 +1987,8 @@ mod tests {
                     interrupt_after: None,
                     store: None,
                     perflog: None,
+                    engine: None,
+                    engine_overrides: Vec::new(),
                 },
                 &mut buf,
             );
@@ -1802,6 +2010,83 @@ mod tests {
             let (t, e) = run_at(seed, jobs);
             assert_eq!(text, t, "jobs={jobs}");
             assert_eq!(Some(err.clone()), e, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn execute_survey_with_engine_prints_config_and_replays() {
+        // Scale retry backoff to zero so the crashing override retries
+        // instantly; the nominal schedule is still charged to time-lost.
+        std::env::set_var(simhpc::faults::BACKOFF_SCALE_ENV, "0");
+        let sh = |script: &str| engine::EngineSpec {
+            cmd: vec!["/bin/sh".into(), "-c".into(), script.into()],
+            timeout_s: 10.0,
+            grace_s: 0.5,
+        };
+        let ok = sh(r#"cat >/dev/null
+out='Function    MBytes/sec
+Copy        150000.0
+Mul         151000.0
+Add         152000.0
+Triad       153000.0
+Dot         154000.0'
+printf 'wall:8:0.250000\n'
+printf 'stdout:%d:%s\n' "$(printf %s "$out" | wc -c)" "$out"
+printf 'done:0:\n'
+"#);
+        let crashing = sh("cat >/dev/null; echo kaput >&2; exit 11");
+        let run_at = |jobs: usize| {
+            let mut buf = Vec::new();
+            let result = execute(
+                Command::Survey {
+                    benchmarks: vec!["babelstream_omp".into(), "babelstream_tbb".into()],
+                    systems: vec!["csd3".into()],
+                    seed: 42,
+                    jobs,
+                    warm_store: false,
+                    fault_profile: "none".into(),
+                    fault_overrides: vec![],
+                    max_retries: 1,
+                    fail_fast: false,
+                    quarantine: 0,
+                    heal: false,
+                    checkpoint: None,
+                    resume: None,
+                    interrupt_after: None,
+                    store: None,
+                    perflog: None,
+                    engine: Some(ok.clone()),
+                    engine_overrides: vec![("babelstream_tbb".into(), crashing.clone())],
+                },
+                &mut buf,
+            );
+            (
+                String::from_utf8(buf).unwrap(),
+                result.err().map(|e| e.to_string()),
+            )
+        };
+        let (text, err) = run_at(1);
+        assert!(
+            err.as_deref().unwrap_or("").contains("cells failed"),
+            "{err:?}"
+        );
+        assert!(text.contains("[1/2] babelstream_omp on csd3: ok"), "{text}");
+        assert!(text.contains("babelstream_tbb on csd3: FAIL:"), "{text}");
+        assert!(text.contains("engine failure"), "{text}");
+        // The engine configuration is echoed into the report so a reader
+        // can tell a BYOB survey from an in-process one.
+        assert!(text.contains(&format!("engine: {}", ok.render())), "{text}");
+        assert!(
+            text.contains(&format!(
+                "engine override: babelstream_tbb={}",
+                crashing.render()
+            )),
+            "{text}"
+        );
+        for jobs in [2, 8] {
+            let (t, e) = run_at(jobs);
+            assert_eq!(text, t, "jobs={jobs}");
+            assert_eq!(err, e, "jobs={jobs}");
         }
     }
 
@@ -1836,6 +2121,8 @@ mod tests {
             interrupt_after: None,
             store: None,
             perflog: None,
+            engine: None,
+            engine_overrides: Vec::new(),
         }
     }
 

@@ -27,6 +27,8 @@ pub struct Study {
     heal: bool,
     checkpoint: Option<(PathBuf, bool)>,
     store: Option<PathBuf>,
+    engine: Option<engine::EngineSpec>,
+    engine_overrides: Vec<(String, engine::EngineSpec)>,
 }
 
 impl Study {
@@ -46,6 +48,8 @@ impl Study {
             heal: false,
             checkpoint: None,
             store: None,
+            engine: None,
+            engine_overrides: Vec::new(),
         }
     }
 
@@ -149,6 +153,20 @@ impl Study {
         self
     }
 
+    /// Run every case's run stage in an external engine subprocess
+    /// speaking the KLV protocol (`--engine`). Engine failures are
+    /// contained per attempt; they never abort the study.
+    pub fn with_engine(mut self, spec: Option<engine::EngineSpec>) -> Study {
+        self.engine = spec;
+        self
+    }
+
+    /// Override the engine for one case (`--engine case=SPEC`).
+    pub fn with_engine_override(mut self, case: &str, spec: engine::EngineSpec) -> Study {
+        self.engine_overrides.push((case.to_string(), spec));
+        self
+    }
+
     /// Execute the full workflow: build, run, extract on every system.
     pub fn run(&self) -> StudyResults {
         self.run_with_progress(&|_| {})
@@ -188,6 +206,10 @@ impl Study {
         }
         if let Some(dir) = &self.store {
             runner = runner.with_store(dir);
+        }
+        runner = runner.with_engine(self.engine.clone());
+        for (case, spec) in &self.engine_overrides {
+            runner = runner.with_engine_override(case, spec.clone());
         }
         let report = runner.try_run_with_progress(&self.cases, on_flush)?;
         Ok(StudyResults {

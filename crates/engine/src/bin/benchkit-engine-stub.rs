@@ -1,0 +1,131 @@
+//! `benchkit-engine-stub` — a reference engine for the benchkit KLV
+//! protocol, plus deliberately adversarial variants for hardening tests.
+//!
+//! ```text
+//! benchkit-engine-stub [FLAGS]
+//!
+//!   (no flags)       read a request, reply with a well-formed report
+//!   --crash [CODE]   read the request, then exit CODE (default 42)
+//!   --hang           read the request, then never reply
+//!   --ignore-term    with --hang: ignore SIGTERM so only SIGKILL works
+//!   --garbage        reply with non-KLV bytes (including invalid UTF-8)
+//!   --partial        reply with a frame that declares more bytes than it
+//!                    writes, then exit 0 (a truncated stream)
+//!   --no-done        reply with valid frames but no `done` terminator
+//!   --stderr-noise   also write invalid UTF-8 noise to stderr
+//! ```
+//!
+//! The well-formed report is synthesized deterministically from the
+//! request's `(seed, system, case)`, shaped like the named benchmark
+//! family so the harness's stock regexes extract FOMs from it.
+
+use std::io::{Read, Write};
+use std::process::exit;
+
+use engine::proto::EngineRequest;
+use engine::stub::synthesize;
+
+/// Ignore SIGTERM (no libc crate; declare the one function needed).
+#[cfg(unix)]
+fn ignore_sigterm() {
+    extern "C" {
+        fn signal(sig: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    const SIG_IGN: usize = 1;
+    unsafe {
+        signal(SIGTERM, SIG_IGN);
+    }
+}
+
+#[cfg(not(unix))]
+fn ignore_sigterm() {}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut crash: Option<i32> = None;
+    let mut hang = false;
+    let mut garbage = false;
+    let mut partial = false;
+    let mut no_done = false;
+    let mut stderr_noise = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--crash" => {
+                crash = Some(42);
+                if let Some(code) = args.get(i + 1).and_then(|a| a.parse().ok()) {
+                    crash = Some(code);
+                    i += 1;
+                }
+            }
+            "--hang" => hang = true,
+            "--ignore-term" => ignore_sigterm(),
+            "--garbage" => garbage = true,
+            "--partial" => partial = true,
+            "--no-done" => no_done = true,
+            "--stderr-noise" => stderr_noise = true,
+            other => {
+                eprintln!("benchkit-engine-stub: unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if stderr_noise {
+        let _ = std::io::stderr().write_all(b"stub stderr noise \xff\xfe\x00 end\n");
+    }
+
+    let mut stdin_bytes = Vec::new();
+    if std::io::stdin().read_to_end(&mut stdin_bytes).is_err() {
+        eprintln!("benchkit-engine-stub: failed reading stdin");
+        exit(2);
+    }
+    let request = match EngineRequest::decode(&stdin_bytes) {
+        Ok(request) => request,
+        Err(err) => {
+            eprintln!("benchkit-engine-stub: bad request: {err}");
+            exit(2);
+        }
+    };
+
+    if let Some(code) = crash {
+        eprintln!(
+            "benchkit-engine-stub: crashing deliberately (case {})",
+            request.case
+        );
+        exit(code);
+    }
+    if hang {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let mut stdout = std::io::stdout();
+    let wrote = if garbage {
+        stdout.write_all(b"\xff\xfeTHIS IS NOT KLV\nrandom: noise ::\n")
+    } else if partial {
+        // Declare 4096 value bytes but write only a few, then stop.
+        stdout.write_all(b"wall:8:0.100000\nstdout:4096:only this much")
+    } else {
+        let report = synthesize(&request);
+        let mut wire = Vec::new();
+        engine::klv::Frame::text("wall", &format!("{:.6}", report.wall_time_s))
+            .expect("static key")
+            .encode_into(&mut wire);
+        engine::klv::Frame::new("stdout", report.stdout.into_bytes())
+            .expect("static key")
+            .encode_into(&mut wire);
+        if !no_done {
+            engine::klv::Frame::new("done", Vec::new())
+                .expect("static key")
+                .encode_into(&mut wire);
+        }
+        stdout.write_all(&wire)
+    };
+    if wrote.and_then(|()| stdout.flush()).is_err() {
+        exit(3);
+    }
+}

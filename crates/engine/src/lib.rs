@@ -1,0 +1,35 @@
+//! `engine` — the process-isolated benchmark engine protocol.
+//!
+//! A survey cell normally runs its benchmark in-process (`benchapps`).
+//! This crate lets a cell drive **any external binary** instead: the
+//! harness spawns the engine, writes a request as KLV frames on its
+//! stdin ([`proto::EngineRequest`]), and reads a KLV report back from its
+//! stdout ([`proto::EngineReport`]) under a wall-clock deadline with
+//! SIGTERM → grace → SIGKILL escalation ([`process::run_attempt`]).
+//!
+//! The design goal is *containment*: a crashing, hanging, or
+//! garbage-emitting engine must never take the survey down. Every failure
+//! mode surfaces as a structured [`process::AttemptFailure`] carrying the
+//! process facts (`exit_code`, `signal`, `timed_out`) that the harness
+//! feeds into its retry/quarantine machinery and perflog extras.
+//!
+//! Layers:
+//!
+//! * [`klv`] — the total frame codec (any bytes → frames or
+//!   [`klv::ProtocolError`], never a panic);
+//! * [`proto`] — the request/report conversation on top of frames;
+//! * [`spec`] — command-line engine specs ([`spec::EngineSpec`]);
+//! * [`process`] — one contained subprocess attempt;
+//! * [`stub`] — the deterministic reference engine behind
+//!   `benchkit-engine-stub`.
+
+pub mod klv;
+pub mod process;
+pub mod proto;
+pub mod spec;
+pub mod stub;
+
+pub use klv::{Decoder, Frame, ProtocolError};
+pub use process::{run_attempt, AttemptFailure};
+pub use proto::{EngineReport, EngineRequest, ReportError, RequestError};
+pub use spec::{validate_timeout, EngineSpec, SpecError, DEFAULT_GRACE_S, DEFAULT_TIMEOUT_S};

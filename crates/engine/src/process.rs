@@ -1,0 +1,422 @@
+//! Running one engine attempt as a contained subprocess.
+//!
+//! [`run_attempt`] owns the whole lifecycle: spawn, write the request to
+//! stdin, drain stdout/stderr on reader threads into bounded buffers
+//! (draining continues past the cap so a chatty engine cannot deadlock on
+//! a full pipe), poll for exit against the wall-clock deadline, escalate
+//! SIGTERM → grace → SIGKILL on overrun, and always reap the child so no
+//! zombie outlives the attempt. Every way the engine can misbehave maps to
+//! a structured [`AttemptFailure`]; the function itself never panics on
+//! engine behavior and never blocks indefinitely.
+
+use std::io::{Read, Write};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::proto::{EngineReport, EngineRequest};
+use crate::spec::EngineSpec;
+
+/// Most engine-report bytes kept from stdout (16 MiB, the KLV value cap
+/// plus framing headroom).
+const MAX_STDOUT_BYTES: usize = 17 * 1024 * 1024;
+/// Most stderr bytes kept for diagnostics.
+const MAX_STDERR_BYTES: usize = 64 * 1024;
+/// Longest stderr excerpt quoted in failure messages, characters.
+const STDERR_HEAD_CHARS: usize = 200;
+/// Exit-poll interval while waiting on the child.
+const POLL: Duration = Duration::from_millis(2);
+
+/// One contained engine failure: what happened, plus the process status
+/// facts the perflog records (`exit_code` / `signal` / `timed_out`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// Exit code, if the process exited normally. May be negative on
+    /// platforms that report such codes — preserved as `i64`, never
+    /// wrapped through an unsigned type.
+    pub exit_code: Option<i64>,
+    /// Terminating signal, if the process was killed by one.
+    pub signal: Option<i64>,
+    /// Whether the wall-clock deadline expired and the harness killed it.
+    pub timed_out: bool,
+    /// What went wrong, in one deterministic sentence.
+    pub detail: String,
+    /// First line of the engine's stderr (lossy UTF-8, bounded), or empty.
+    pub stderr_head: String,
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.detail)?;
+        if !self.stderr_head.is_empty() {
+            write!(f, " [stderr: {}]", self.stderr_head)?;
+        }
+        Ok(())
+    }
+}
+
+impl AttemptFailure {
+    fn plain(detail: String) -> AttemptFailure {
+        AttemptFailure {
+            exit_code: None,
+            signal: None,
+            timed_out: false,
+            detail,
+            stderr_head: String::new(),
+        }
+    }
+}
+
+/// Status facts extracted from an [`ExitStatus`] without wraparound.
+fn status_facts(status: ExitStatus) -> (Option<i64>, Option<i64>) {
+    let exit_code = status.code().map(i64::from);
+    #[cfg(unix)]
+    let signal = {
+        use std::os::unix::process::ExitStatusExt;
+        status.signal().map(i64::from)
+    };
+    #[cfg(not(unix))]
+    let signal = None;
+    (exit_code, signal)
+}
+
+/// Send SIGTERM to `pid`. The workspace has no libc crate, so the one
+/// syscall wrapper we need is declared directly.
+#[cfg(unix)]
+fn send_sigterm(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    // A stale pid is harmless here: we only signal a child we have not
+    // yet reaped, so the pid cannot have been recycled.
+    unsafe {
+        kill(pid as i32, SIGTERM);
+    }
+}
+
+#[cfg(not(unix))]
+fn send_sigterm(_pid: u32) {}
+
+/// Drain a pipe to EOF on a thread, keeping at most `cap` bytes. The
+/// result comes back over a channel so the caller can bound its wait: a
+/// grandchild the engine leaked may hold the pipe's write end open past
+/// the engine's own death, and joining the thread directly would block on
+/// it.
+fn drain_capped<R: Read + Send + 'static>(
+    mut pipe: R,
+    cap: usize,
+) -> std::sync::mpsc::Receiver<Vec<u8>> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut chunk = [0u8; 8192];
+        let mut kept = Vec::new();
+        loop {
+            match pipe.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    let room = cap.saturating_sub(kept.len());
+                    kept.extend_from_slice(&chunk[..n.min(room)]);
+                }
+            }
+        }
+        let _ = tx.send(kept);
+    });
+    rx
+}
+
+/// How long to wait for a reader after the engine exited cleanly. EOF is
+/// normally immediate; this only bites when the engine leaked a child
+/// that inherited its stdout/stderr, and then the attempt degrades to a
+/// contained protocol failure instead of hanging the survey.
+const READER_WAIT_OK: Duration = Duration::from_secs(5);
+/// How long to wait for a reader after the engine died or was killed —
+/// its output is diagnostic only at that point.
+const READER_WAIT_DEAD: Duration = Duration::from_millis(500);
+
+fn collect_reader(reader: Option<std::sync::mpsc::Receiver<Vec<u8>>>, wait: Duration) -> Vec<u8> {
+    reader
+        .and_then(|rx| rx.recv_timeout(wait).ok())
+        .unwrap_or_default()
+}
+
+/// First line of stderr, lossy and bounded, for failure messages.
+fn stderr_head(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes)
+        .lines()
+        .next()
+        .unwrap_or("")
+        .chars()
+        .take(STDERR_HEAD_CHARS)
+        .collect()
+}
+
+/// Wait for the child until `deadline`, escalating if it overruns.
+/// Returns the exit status and whether the deadline fired.
+fn await_exit(child: &mut Child, spec: &EngineSpec) -> std::io::Result<(ExitStatus, bool)> {
+    let deadline = Instant::now() + Duration::from_secs_f64(spec.timeout_s);
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok((status, false));
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(POLL);
+    }
+    // Deadline overrun: SIGTERM, then a grace window, then SIGKILL.
+    send_sigterm(child.id());
+    let grace_deadline = Instant::now() + Duration::from_secs_f64(spec.grace_s);
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok((status, true));
+        }
+        if Instant::now() >= grace_deadline {
+            break;
+        }
+        std::thread::sleep(POLL);
+    }
+    child.kill()?; // SIGKILL; cannot be ignored
+    let status = child.wait()?; // blocking reap — SIGKILL guarantees exit
+    Ok((status, true))
+}
+
+/// Run one engine attempt to completion and parse its report.
+pub fn run_attempt(
+    spec: &EngineSpec,
+    request: &EngineRequest,
+) -> Result<EngineReport, AttemptFailure> {
+    let mut child = match Command::new(&spec.cmd[0])
+        .args(&spec.cmd[1..])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(err) => {
+            return Err(AttemptFailure::plain(format!(
+                "failed to spawn engine `{}`: {err}",
+                spec.cmd[0]
+            )));
+        }
+    };
+
+    // Write the request and close stdin so the engine sees EOF. A broken
+    // pipe just means the engine exited early — the exit status will say
+    // why, so it is not an error here. The request is far smaller than a
+    // pipe buffer, so this cannot block on an engine that never reads.
+    if let Some(mut stdin) = child.stdin.take() {
+        let _ = stdin.write_all(&request.encode());
+    }
+    let stdout_reader = child
+        .stdout
+        .take()
+        .map(|pipe| drain_capped(pipe, MAX_STDOUT_BYTES));
+    let stderr_reader = child
+        .stderr
+        .take()
+        .map(|pipe| drain_capped(pipe, MAX_STDERR_BYTES));
+
+    let waited = await_exit(&mut child, spec);
+    // The child is reaped on every path out of await_exit except an I/O
+    // error from try_wait/kill — make sure of it before reading pipes.
+    if waited.is_err() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let healthy_exit = matches!(&waited, Ok((status, false)) if status.success());
+    let reader_wait = if healthy_exit {
+        READER_WAIT_OK
+    } else {
+        READER_WAIT_DEAD
+    };
+    let stdout_bytes = collect_reader(stdout_reader, reader_wait);
+    let stderr_bytes = collect_reader(stderr_reader, reader_wait);
+
+    let (status, timed_out) = match waited {
+        Ok(pair) => pair,
+        Err(err) => {
+            return Err(AttemptFailure {
+                exit_code: None,
+                signal: None,
+                timed_out: false,
+                detail: format!("failed waiting on engine: {err}"),
+                stderr_head: stderr_head(&stderr_bytes),
+            });
+        }
+    };
+    let (exit_code, signal) = status_facts(status);
+
+    if timed_out {
+        return Err(AttemptFailure {
+            exit_code,
+            signal,
+            timed_out: true,
+            detail: format!(
+                "engine exceeded its {}s deadline and was killed",
+                spec.timeout_s
+            ),
+            stderr_head: stderr_head(&stderr_bytes),
+        });
+    }
+    if let Some(sig) = signal {
+        return Err(AttemptFailure {
+            exit_code,
+            signal,
+            timed_out: false,
+            detail: format!("engine killed by signal {sig}"),
+            stderr_head: stderr_head(&stderr_bytes),
+        });
+    }
+    if exit_code != Some(0) {
+        return Err(AttemptFailure {
+            exit_code,
+            signal,
+            timed_out: false,
+            detail: match exit_code {
+                Some(code) => format!("engine exited with code {code}"),
+                None => "engine exited with unknown status".to_string(),
+            },
+            stderr_head: stderr_head(&stderr_bytes),
+        });
+    }
+
+    let failure = |detail: String| AttemptFailure {
+        exit_code,
+        signal,
+        timed_out: false,
+        detail,
+        stderr_head: stderr_head(&stderr_bytes),
+    };
+    let frames = crate::klv::decode_all(&stdout_bytes)
+        .map_err(|err| failure(format!("engine emitted invalid frames: {err}")))?;
+    EngineReport::from_frames(&frames)
+        .map_err(|err| failure(format!("engine report rejected: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(script: &str, timeout_s: f64) -> EngineSpec {
+        EngineSpec {
+            cmd: vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()],
+            timeout_s,
+            grace_s: 0.2,
+        }
+    }
+
+    fn request() -> EngineRequest {
+        EngineRequest {
+            case: "stream".to_string(),
+            system: "csd3".to_string(),
+            partition: "cascadelake".to_string(),
+            spec: "stream%gcc".to_string(),
+            seed: 1,
+            attempt: 1,
+        }
+    }
+
+    #[test]
+    fn well_behaved_engine_round_trips() {
+        let script = r#"
+body='Solution Validates'
+printf 'wall:8:0.500000\n'
+printf 'stdout:%d:%s\n' "${#body}" "$body"
+printf 'done:0:\n'
+"#;
+        let report = run_attempt(&sh(script, 5.0), &request()).unwrap();
+        assert_eq!(report.wall_time_s, 0.5);
+        assert_eq!(report.stdout, "Solution Validates");
+    }
+
+    #[test]
+    fn nonzero_exit_is_contained() {
+        let err = run_attempt(&sh("echo oops >&2; exit 42", 5.0), &request()).unwrap_err();
+        assert_eq!(err.exit_code, Some(42));
+        assert_eq!(err.signal, None);
+        assert!(!err.timed_out);
+        assert_eq!(err.stderr_head, "oops");
+        assert_eq!(err.detail, "engine exited with code 42");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_death_is_contained() {
+        let err = run_attempt(&sh("kill -9 $$", 5.0), &request()).unwrap_err();
+        assert_eq!(err.signal, Some(9));
+        assert_eq!(err.exit_code, None);
+        assert!(!err.timed_out);
+    }
+
+    #[test]
+    fn hang_is_killed_at_the_deadline() {
+        let started = Instant::now();
+        let err = run_attempt(&sh("sleep 30", 0.2), &request()).unwrap_err();
+        assert!(err.timed_out);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        // sh dies on SIGTERM within the grace window.
+        assert_eq!(err.signal, Some(15));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn sigterm_immune_hang_gets_sigkilled() {
+        let started = Instant::now();
+        let err = run_attempt(
+            &sh("trap '' TERM; while :; do sleep 0.05; done", 0.2),
+            &request(),
+        )
+        .unwrap_err();
+        assert!(err.timed_out);
+        assert_eq!(err.signal, Some(9));
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn garbage_output_is_a_protocol_failure() {
+        let err = run_attempt(&sh("printf 'NOT KLV \\377\\376'", 5.0), &request()).unwrap_err();
+        assert_eq!(err.exit_code, Some(0));
+        assert!(!err.timed_out);
+        assert!(err.detail.contains("invalid frames"), "{}", err.detail);
+    }
+
+    #[test]
+    fn partial_report_is_detected() {
+        // Valid frames, but no `done` terminator.
+        let script = r#"printf 'wall:8:0.500000\n'; printf 'stdout:2:ok\n'"#;
+        let err = run_attempt(&sh(script, 5.0), &request()).unwrap_err();
+        assert!(err.detail.contains("missing `done`"), "{}", err.detail);
+    }
+
+    #[test]
+    fn truncated_frame_is_detected() {
+        // Declares 100 bytes, writes 5, exits 0.
+        let err = run_attempt(&sh("printf 'stdout:100:hello'", 5.0), &request()).unwrap_err();
+        assert!(err.detail.contains("truncated"), "{}", err.detail);
+    }
+
+    #[test]
+    fn non_utf8_stderr_is_captured_lossily() {
+        let err = run_attempt(
+            &sh("printf 'bad \\377\\376 bytes' >&2; exit 3", 5.0),
+            &request(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code, Some(3));
+        assert!(err.stderr_head.starts_with("bad "));
+        assert!(err.stderr_head.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn missing_binary_is_a_spawn_failure() {
+        let spec = EngineSpec {
+            cmd: vec!["/no/such/engine-binary".to_string()],
+            timeout_s: 1.0,
+            grace_s: 0.1,
+        };
+        let err = run_attempt(&spec, &request()).unwrap_err();
+        assert!(err.detail.contains("failed to spawn"), "{}", err.detail);
+        assert_eq!(err.exit_code, None);
+    }
+}

@@ -1,0 +1,219 @@
+//! How a user names an engine on the command line.
+//!
+//! Two forms, both accepted by [`EngineSpec::parse`]:
+//!
+//! * **Plain command** — whitespace-split, e.g.
+//!   `./target/release/benchkit-engine-stub --crash 42`. The per-attempt
+//!   deadline comes from `--engine-timeout` (or its default).
+//! * **tinycfg map** — full control, e.g.
+//!   `{cmd: ["/bin/sh", "-c", "exec my-engine"], timeout: 30, grace: 2}`.
+//!   Use this form when an argument contains whitespace, or to set a
+//!   per-case deadline/grace that differs from the survey-wide one.
+//!
+//! A spec renders canonically with [`EngineSpec::render`]; that string is
+//! what the checkpoint header binds, so a resumed survey must name the
+//! exact same engine configuration or resume is refused.
+
+use tinycfg::Value;
+
+/// Default per-attempt wall-clock deadline, seconds.
+pub const DEFAULT_TIMEOUT_S: f64 = 60.0;
+/// Default SIGTERM→SIGKILL grace window, seconds.
+pub const DEFAULT_GRACE_S: f64 = 1.0;
+
+/// A fully resolved external engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// Argv of the engine process; `cmd[0]` is the executable.
+    pub cmd: Vec<String>,
+    /// Per-attempt wall-clock deadline, seconds. Finite and positive.
+    pub timeout_s: f64,
+    /// Grace between SIGTERM and SIGKILL, seconds. Finite, non-negative.
+    pub grace_s: f64,
+}
+
+/// Why a spec string is not a valid engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad engine spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validate a deadline from any source (CLI flag or spec map). Zero,
+/// negative, and non-finite deadlines are configuration errors — never
+/// something to discover as a hang at run time.
+pub fn validate_timeout(timeout_s: f64) -> Result<(), SpecError> {
+    if !timeout_s.is_finite() || timeout_s <= 0.0 {
+        return Err(SpecError(format!(
+            "timeout must be a finite number of seconds > 0, got {timeout_s}"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_grace(grace_s: f64) -> Result<(), SpecError> {
+    if !grace_s.is_finite() || grace_s < 0.0 {
+        return Err(SpecError(format!(
+            "grace must be a finite number of seconds >= 0, got {grace_s}"
+        )));
+    }
+    Ok(())
+}
+
+impl EngineSpec {
+    /// Parse a command-line engine spec. `default_timeout_s` supplies the
+    /// deadline when the spec does not carry its own (plain form, or map
+    /// form without `timeout`).
+    pub fn parse(input: &str, default_timeout_s: f64) -> Result<EngineSpec, SpecError> {
+        validate_timeout(default_timeout_s)?;
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Err(SpecError("empty engine command".to_string()));
+        }
+        let spec = if trimmed.starts_with('{') {
+            Self::parse_map(trimmed, default_timeout_s)?
+        } else {
+            EngineSpec {
+                cmd: trimmed.split_whitespace().map(str::to_string).collect(),
+                timeout_s: default_timeout_s,
+                grace_s: DEFAULT_GRACE_S,
+            }
+        };
+        if spec.cmd.is_empty() {
+            return Err(SpecError("empty engine command".to_string()));
+        }
+        validate_timeout(spec.timeout_s)?;
+        validate_grace(spec.grace_s)?;
+        Ok(spec)
+    }
+
+    fn parse_map(input: &str, default_timeout_s: f64) -> Result<EngineSpec, SpecError> {
+        let value = tinycfg::parse(input).map_err(|e| SpecError(format!("tinycfg form: {e}")))?;
+        let map = value
+            .as_map()
+            .ok_or_else(|| SpecError("tinycfg form must be a map".to_string()))?;
+        let mut spec = EngineSpec {
+            cmd: Vec::new(),
+            timeout_s: default_timeout_s,
+            grace_s: DEFAULT_GRACE_S,
+        };
+        for (key, value) in map.iter() {
+            match key {
+                "cmd" => {
+                    let list = value
+                        .as_list()
+                        .ok_or_else(|| SpecError("`cmd` must be a list of strings".to_string()))?;
+                    for item in list {
+                        match item.as_str() {
+                            Some(s) => spec.cmd.push(s.to_string()),
+                            None => {
+                                return Err(SpecError(
+                                    "`cmd` must be a list of strings".to_string(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                "timeout" => {
+                    spec.timeout_s = value
+                        .as_float()
+                        .ok_or_else(|| SpecError("`timeout` must be a number".to_string()))?;
+                }
+                "grace" => {
+                    spec.grace_s = value
+                        .as_float()
+                        .ok_or_else(|| SpecError("`grace` must be a number".to_string()))?;
+                }
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown key `{other}` (want cmd, timeout, grace)"
+                    )));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Canonical rendering: a tinycfg map in JSON form. Deterministic, so
+    /// it is safe to bind into checkpoint headers and print in reports.
+    pub fn render(&self) -> String {
+        let mut map = tinycfg::Map::new();
+        map.insert(
+            "cmd",
+            Value::List(self.cmd.iter().map(|s| Value::Str(s.clone())).collect()),
+        );
+        map.insert("timeout", Value::Float(self.timeout_s));
+        map.insert("grace", Value::Float(self.grace_s));
+        Value::Map(map).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_form_splits_on_whitespace() {
+        let spec = EngineSpec::parse("  ./stub --crash 42 ", 5.0).unwrap();
+        assert_eq!(spec.cmd, vec!["./stub", "--crash", "42"]);
+        assert_eq!(spec.timeout_s, 5.0);
+        assert_eq!(spec.grace_s, DEFAULT_GRACE_S);
+    }
+
+    #[test]
+    fn map_form_parses_cmd_timeout_grace() {
+        let spec = EngineSpec::parse(
+            r#"{cmd: ["/bin/sh", "-c", "exec engine --x 'a b'"], timeout: 2.5, grace: 0.25}"#,
+            60.0,
+        )
+        .unwrap();
+        assert_eq!(spec.cmd[2], "exec engine --x 'a b'");
+        assert_eq!(spec.timeout_s, 2.5);
+        assert_eq!(spec.grace_s, 0.25);
+    }
+
+    #[test]
+    fn map_form_inherits_default_timeout() {
+        let spec = EngineSpec::parse(r#"{cmd: ["eng"]}"#, 7.0).unwrap();
+        assert_eq!(spec.timeout_s, 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_timeouts() {
+        for t in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(validate_timeout(t).is_err(), "timeout {t}");
+            assert!(EngineSpec::parse("eng", t).is_err(), "default {t}");
+        }
+        assert!(EngineSpec::parse(r#"{cmd: ["eng"], timeout: 0}"#, 5.0).is_err());
+        assert!(EngineSpec::parse(r#"{cmd: ["eng"], timeout: -3}"#, 5.0).is_err());
+        assert!(EngineSpec::parse(r#"{cmd: ["eng"], grace: -1}"#, 5.0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert!(EngineSpec::parse("", 5.0).is_err());
+        assert!(EngineSpec::parse("   ", 5.0).is_err());
+        assert!(EngineSpec::parse("{cmd: []}", 5.0).is_err());
+        assert!(EngineSpec::parse("{cmd: [1, 2]}", 5.0).is_err());
+        assert!(EngineSpec::parse("{nope: 1}", 5.0).is_err());
+        assert!(EngineSpec::parse("{cmd", 5.0).is_err());
+    }
+
+    #[test]
+    fn render_is_canonical_and_stable() {
+        let spec = EngineSpec::parse("./stub --ok", 5.0).unwrap();
+        assert_eq!(
+            spec.render(),
+            r#"{"cmd":["./stub","--ok"],"timeout":5.0,"grace":1.0}"#
+        );
+        // Identical config from either syntax renders identically.
+        let map =
+            EngineSpec::parse(r#"{cmd: ["./stub", "--ok"], timeout: 5, grace: 1}"#, 60.0).unwrap();
+        assert_eq!(map.render(), spec.render());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the KLV codec: totality (any byte stream decodes or
+//! errors, never panics, never over-reads) and round-tripping under
+//! arbitrary chunk splits.
+
+use engine::klv::{decode_all, encode_all, Decoder, Frame, MAX_VALUE_LEN};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        "[a-z0-9_-]{1,32}",
+        prop::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(key, value)| Frame::new(&key, value).expect("generated frames are valid"))
+}
+
+fn arb_frames() -> impl Strategy<Value = Vec<Frame>> {
+    prop::collection::vec(arb_frame(), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any byte stream decodes or returns a structured error — no panics.
+    #[test]
+    fn decoder_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_all(&bytes);
+    }
+
+    /// Arbitrary bytes *around* valid framing still never panic, and a
+    /// valid prefix is still decoded before the error point.
+    #[test]
+    fn decoder_is_total_on_corrupted_framing(
+        frames in arb_frames(),
+        junk in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let mut wire = encode_all(&frames);
+        wire.extend_from_slice(&junk);
+        // A structured rejection is fine; if the junk happened to extend
+        // into valid frames, the original prefix must still be there.
+        if let Ok(decoded) = decode_all(&wire) {
+            prop_assert!(decoded.len() >= frames.len());
+            prop_assert_eq!(&decoded[..frames.len()], &frames[..]);
+        }
+    }
+
+    /// encode → decode is the identity, whole-stream.
+    #[test]
+    fn frames_round_trip(frames in arb_frames()) {
+        let wire = encode_all(&frames);
+        prop_assert_eq!(decode_all(&wire).unwrap(), frames);
+    }
+
+    /// The incremental decoder yields identical frames no matter how the
+    /// stream is split into chunks.
+    #[test]
+    fn round_trip_survives_random_splits(
+        frames in arb_frames(),
+        cuts in prop::collection::vec(0usize..4096, 0..6),
+    ) {
+        let wire = encode_all(&frames);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (wire.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.insert(0, 0);
+        cuts.push(wire.len());
+
+        let mut decoder = Decoder::new();
+        let mut got = Vec::new();
+        for pair in cuts.windows(2) {
+            got.extend(decoder.push(&wire[pair[0]..pair[1]]).expect("valid stream"));
+        }
+        decoder.finish().expect("complete stream");
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Truncating a non-empty valid stream anywhere strictly inside its
+    /// final frame yields Truncated, and the untouched leading frames
+    /// still decode.
+    #[test]
+    fn truncation_is_detected_and_prefix_preserved(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        cut_back in 1usize..64,
+    ) {
+        let wire = encode_all(&frames);
+        let last_len = frames.last().unwrap().encode().len();
+        let cut = wire.len() - (cut_back % last_len).max(1);
+
+        let mut decoder = Decoder::new();
+        let got = decoder.push(&wire[..cut]).expect("prefix of a valid stream");
+        prop_assert!(decoder.finish().is_err());
+        prop_assert!(got.len() == frames.len() - 1);
+        prop_assert_eq!(&got[..], &frames[..frames.len() - 1]);
+    }
+
+    /// The decoder never "over-reads": bytes after a complete stream are
+    /// untouched by it (decoding the stream, then pushing trailing bytes
+    /// of a new valid frame, yields exactly that frame).
+    #[test]
+    fn no_over_read_across_frame_boundaries(frames in arb_frames(), extra in arb_frame()) {
+        let mut decoder = Decoder::new();
+        let mut got = decoder.push(&encode_all(&frames)).unwrap();
+        got.extend(decoder.push(&extra.encode()).unwrap());
+        decoder.finish().unwrap();
+        let mut want = frames;
+        want.push(extra);
+        prop_assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn oversized_declaration_never_allocates_the_declared_size() {
+    // A malicious engine declares the max length; the decoder must not
+    // reserve MAX_VALUE_LEN bytes up front for it.
+    let header = format!("huge:{MAX_VALUE_LEN}:");
+    let mut decoder = Decoder::new();
+    let frames = decoder.push(header.as_bytes()).unwrap();
+    assert!(frames.is_empty());
+    // Feeding a few real bytes keeps it pending, not exploding.
+    let frames = decoder.push(b"tiny").unwrap();
+    assert!(frames.is_empty());
+    assert!(decoder.finish().is_err());
+}

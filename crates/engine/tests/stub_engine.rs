@@ -1,0 +1,125 @@
+//! End-to-end tests of `run_attempt` against the real stub binary in all
+//! of its adversarial modes. This is the hermetic proof that every engine
+//! failure mode is contained as a structured error.
+
+use std::time::{Duration, Instant};
+
+use engine::process::run_attempt;
+use engine::proto::EngineRequest;
+use engine::spec::EngineSpec;
+
+fn stub(extra: &[&str], timeout_s: f64) -> EngineSpec {
+    let mut cmd = vec![env!("CARGO_BIN_EXE_benchkit-engine-stub").to_string()];
+    cmd.extend(extra.iter().map(|s| s.to_string()));
+    EngineSpec {
+        cmd,
+        timeout_s,
+        grace_s: 0.3,
+    }
+}
+
+fn request(case: &str, seed: u64) -> EngineRequest {
+    EngineRequest {
+        case: case.to_string(),
+        system: "csd3".to_string(),
+        partition: "cascadelake".to_string(),
+        spec: format!("{case}%gcc"),
+        seed,
+        attempt: 1,
+    }
+}
+
+#[test]
+fn stub_replies_with_a_valid_deterministic_report() {
+    let spec = stub(&[], 10.0);
+    let a = run_attempt(&spec, &request("babelstream_omp", 7)).unwrap();
+    let b = run_attempt(&spec, &request("babelstream_omp", 7)).unwrap();
+    assert_eq!(a, b, "same request must produce a byte-identical report");
+    assert!(a.stdout.contains("Function    MBytes/sec"));
+    assert!(a.wall_time_s > 0.0);
+    let other_seed = run_attempt(&spec, &request("babelstream_omp", 8)).unwrap();
+    assert_ne!(a, other_seed);
+}
+
+#[test]
+fn stub_crash_mode_is_contained_with_its_exit_code() {
+    let err = run_attempt(&stub(&["--crash"], 10.0), &request("stream", 1)).unwrap_err();
+    assert_eq!(err.exit_code, Some(42));
+    assert!(!err.timed_out);
+    assert!(err.stderr_head.contains("crashing deliberately"));
+
+    let err = run_attempt(&stub(&["--crash", "7"], 10.0), &request("stream", 1)).unwrap_err();
+    assert_eq!(err.exit_code, Some(7));
+}
+
+#[test]
+fn stub_hang_mode_hits_the_deadline() {
+    let started = Instant::now();
+    let err = run_attempt(&stub(&["--hang"], 0.3), &request("stream", 1)).unwrap_err();
+    assert!(err.timed_out);
+    assert_eq!(err.signal, Some(15), "stub dies on the polite SIGTERM");
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+#[test]
+fn stub_sigterm_immune_hang_is_sigkilled() {
+    let started = Instant::now();
+    let err = run_attempt(
+        &stub(&["--hang", "--ignore-term"], 0.3),
+        &request("stream", 1),
+    )
+    .unwrap_err();
+    assert!(err.timed_out);
+    assert_eq!(err.signal, Some(9), "escalation must reach SIGKILL");
+    assert!(started.elapsed() < Duration::from_secs(10));
+}
+
+#[test]
+fn stub_garbage_mode_is_a_protocol_failure() {
+    let err = run_attempt(&stub(&["--garbage"], 10.0), &request("stream", 1)).unwrap_err();
+    assert_eq!(err.exit_code, Some(0));
+    assert!(err.detail.contains("invalid frames"), "{}", err.detail);
+}
+
+#[test]
+fn stub_partial_mode_is_a_truncation_failure() {
+    let err = run_attempt(&stub(&["--partial"], 10.0), &request("stream", 1)).unwrap_err();
+    assert_eq!(err.exit_code, Some(0));
+    assert!(err.detail.contains("truncated"), "{}", err.detail);
+}
+
+#[test]
+fn stub_no_done_mode_is_partial_output() {
+    let err = run_attempt(&stub(&["--no-done"], 10.0), &request("stream", 1)).unwrap_err();
+    assert!(err.detail.contains("missing `done`"), "{}", err.detail);
+}
+
+#[test]
+fn stub_stderr_noise_is_captured_lossily() {
+    let err = run_attempt(
+        &stub(&["--stderr-noise", "--crash"], 10.0),
+        &request("stream", 1),
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code, Some(42));
+    assert!(err.stderr_head.contains('\u{FFFD}'), "{}", err.stderr_head);
+}
+
+#[test]
+fn every_benchmark_family_is_synthesized() {
+    let spec = stub(&[], 10.0);
+    for (case, marker) in [
+        ("babelstream_omp", "Function    MBytes/sec"),
+        ("hpcg_csr", "result is VALID"),
+        ("hpgmg_fv", "residual reduction="),
+        ("stream", "Solution Validates"),
+        ("custom_workload", "custom_workload"),
+    ] {
+        let report = run_attempt(&spec, &request(case, 3)).unwrap();
+        assert!(
+            report.stdout.contains(marker),
+            "case {case}: {}",
+            report.stdout
+        );
+    }
+}

@@ -38,7 +38,7 @@ use tinycfg::{Map, Value};
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 /// Quarantine-memory file name inside the checkpoint directory.
 pub const QUARANTINE_FILE: &str = "quarantine.json";
-const FORMAT_VERSION: i64 = 1;
+const FORMAT_VERSION: i64 = 2;
 
 /// How the suite runner uses a checkpoint directory.
 #[derive(Debug, Clone)]
@@ -131,6 +131,12 @@ pub struct StudyBinding {
     /// Quarantine-memory snapshot the run started from. Binding it means
     /// a resume sees exactly the canary decisions of the interrupted run.
     pub streaks: Vec<(String, u32)>,
+    /// Canonical rendering of the engine configuration (base spec plus
+    /// per-case overrides), empty when the survey runs in-process. Bound
+    /// so a resume can never cross engine modes: an in-process journal
+    /// resumed with `--engine` (or vice versa, or with a different engine
+    /// command) is a [`CheckpointError::ConfigMismatch`] hard error.
+    pub engine: String,
 }
 
 impl StudyBinding {
@@ -160,6 +166,14 @@ impl StudyBinding {
             streaks.insert(system.clone(), Value::Int(i64::from(*n)));
         }
         m.insert("streaks", Value::Map(streaks));
+        // Always present, `null` for the in-process mode, so the engine
+        // axis is part of every header — never an optional key whose
+        // absence could be confused with "don't care".
+        if self.engine.is_empty() {
+            m.insert("engine", Value::Null);
+        } else {
+            m.insert("engine", Value::from(self.engine.as_str()));
+        }
         Value::Map(m).to_json()
     }
 }
@@ -643,6 +657,7 @@ mod tests {
             quarantine: 2,
             heal: true,
             streaks: vec![("csd3".to_string(), 3)],
+            engine: String::new(),
         }
     }
 

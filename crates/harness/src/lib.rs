@@ -17,11 +17,19 @@
 //! claims: the benchmark is rebuilt every run (P3), the build and run steps
 //! are captured (P4/P5), and results land in a machine-readable perflog
 //! (P6).
+//!
+//! With `--engine`, the run stage instead executes an external subprocess
+//! speaking the KLV protocol (see the `engine` crate): the harness contains
+//! every engine failure mode — crash, hang, garbage output — as a
+//! structured per-attempt error feeding the same retry/quarantine
+//! machinery as injected faults, so a misbehaving engine can never abort a
+//! survey.
 
 pub mod checkpoint;
 mod pipeline;
 mod suite;
 
+pub use engine::{EngineSpec, DEFAULT_TIMEOUT_S};
 pub use pipeline::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions};
 pub use suite::{StoreStats, SuiteOutcome, SuiteProgress, SuiteReport, SuiteRunner};
 

@@ -34,6 +34,13 @@ pub struct RunOptions {
     /// (`--heal`); off by default, which keeps every schedule
     /// byte-identical to the never-repair world.
     pub heal: bool,
+    /// External benchmark engine (`--engine`). When set, the run stage
+    /// executes this subprocess under the KLV protocol instead of the
+    /// in-process `benchapps` path; engine failures (crash, hang, garbage
+    /// output) are contained and retried exactly like injected faults.
+    /// `None` falls back to the in-process path, byte-identical to before
+    /// engines existed.
+    pub engine: Option<engine::EngineSpec>,
 }
 
 impl RunOptions {
@@ -47,6 +54,7 @@ impl RunOptions {
             fault_profile: FaultProfile::none(),
             max_retries: 2,
             heal: false,
+            engine: None,
         }
     }
 
@@ -67,6 +75,11 @@ impl RunOptions {
 
     pub fn with_heal(mut self, heal: bool) -> RunOptions {
         self.heal = heal;
+        self
+    }
+
+    pub fn with_engine(mut self, engine: Option<engine::EngineSpec>) -> RunOptions {
+        self.engine = engine;
         self
     }
 }
@@ -100,6 +113,15 @@ pub enum HarnessError {
     NodeFailed(String),
     /// The run job was killed at its wall-time limit.
     JobTimedOut(String),
+    /// An external engine subprocess failed: crashed, died on a signal,
+    /// overran its deadline, or emitted output the KLV decoder rejected.
+    /// Carries the subprocess facts so perflogs can record them losslessly.
+    EngineFailed {
+        exit_code: Option<i64>,
+        signal: Option<i64>,
+        timed_out: bool,
+        message: String,
+    },
     /// The case failed for `cause` after the retry budget was exhausted;
     /// carries the resilience accounting for the whole attempt chain.
     AfterFaults {
@@ -130,6 +152,21 @@ impl HarnessError {
                 ..
             } => Some((*attempts, *faults_injected, *time_lost_s)),
             HarnessError::Replayed { stats, .. } => *stats,
+            _ => None,
+        }
+    }
+
+    /// Subprocess facts when an external engine caused this failure,
+    /// descending through the retry-chain wrapper.
+    pub fn engine_status(&self) -> Option<(Option<i64>, Option<i64>, bool)> {
+        match self {
+            HarnessError::EngineFailed {
+                exit_code,
+                signal,
+                timed_out,
+                ..
+            } => Some((*exit_code, *signal, *timed_out)),
+            HarnessError::AfterFaults { cause, .. } => cause.engine_status(),
             _ => None,
         }
     }
@@ -169,6 +206,7 @@ impl fmt::Display for HarnessError {
             HarnessError::BuildFault(m) => write!(f, "transient build failure: {m}"),
             HarnessError::NodeFailed(m) => write!(f, "node failure: {m}"),
             HarnessError::JobTimedOut(m) => write!(f, "job timed out: {m}"),
+            HarnessError::EngineFailed { message, .. } => write!(f, "engine failure: {message}"),
             HarnessError::AfterFaults {
                 attempts,
                 faults_injected,
@@ -394,6 +432,17 @@ impl Harness {
         extras.push(("result".to_string(), "fail".to_string()));
         extras.push(("attempt".to_string(), attempts.to_string()));
         extras.push(("error".to_string(), err.to_string()));
+        // Engine failures carry the subprocess facts losslessly (negative
+        // exit codes included — these are i64 strings, never wrapped).
+        if let Some((exit_code, signal, timed_out)) = err.engine_status() {
+            if let Some(code) = exit_code {
+                extras.push(("exit_code".to_string(), code.to_string()));
+            }
+            if let Some(sig) = signal {
+                extras.push(("signal".to_string(), sig.to_string()));
+            }
+            extras.push(("timed_out".to_string(), timed_out.to_string()));
+        }
         let record = PerflogRecord {
             sequence: self.sequence,
             benchmark: case.name.clone(),
@@ -414,6 +463,74 @@ impl Harness {
             .or_default()
             .append(record);
         err
+    }
+
+    /// Execute the run stage in an external engine subprocess under the
+    /// KLV protocol. Every failure mode — nonzero exit, signal death,
+    /// deadline overrun (SIGTERM → grace → SIGKILL), garbage or truncated
+    /// frames — is contained as a structured per-attempt error that feeds
+    /// the same retry/accounting machinery as injected faults: each failed
+    /// attempt counts one fault, charges the nominal backoff schedule to
+    /// `time_lost` (wall-clock sleeps scale via
+    /// `BENCHKIT_ENGINE_BACKOFF_SCALE`), and once the `--max-retries`
+    /// budget is exhausted the case is recorded as `result=fail` with the
+    /// subprocess facts in its extras. The engine never aborts the survey.
+    ///
+    /// Returns the engine's report as a `RunOutput` plus the attempt
+    /// number that succeeded.
+    #[allow(clippy::too_many_arguments)]
+    fn run_engine(
+        &mut self,
+        case: &TestCase,
+        spec: &engine::EngineSpec,
+        system: &str,
+        partition: &str,
+        retries: &mut u32,
+        faults: &mut u32,
+        time_lost: &mut f64,
+    ) -> Result<(benchapps::RunOutput, u32), HarnessError> {
+        let mut attempt = 1u32;
+        loop {
+            let request = engine::EngineRequest {
+                case: case.name.clone(),
+                system: system.to_string(),
+                partition: partition.to_string(),
+                spec: case.spack_spec.clone(),
+                seed: self.options.seed,
+                attempt,
+            };
+            match engine::run_attempt(spec, &request) {
+                Ok(report) => {
+                    return Ok((
+                        benchapps::RunOutput {
+                            stdout: report.stdout,
+                            wall_time_s: report.wall_time_s,
+                        },
+                        attempt,
+                    ));
+                }
+                Err(failure) => {
+                    *faults += 1;
+                    let cause = HarnessError::EngineFailed {
+                        exit_code: failure.exit_code,
+                        signal: failure.signal,
+                        timed_out: failure.timed_out,
+                        message: failure.to_string(),
+                    };
+                    if attempt > self.options.max_retries {
+                        return Err(
+                            self.fail(case, system, partition, attempt, *faults, *time_lost, cause)
+                        );
+                    }
+                    // The charged cost is the nominal deterministic backoff
+                    // schedule; the real sleep is scaled (zero in tests/CI)
+                    // so accounting never depends on wall-clock jitter.
+                    *time_lost += faults::backoff_sleep(attempt);
+                    *retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     /// Run one case through the full pipeline on the session's system.
@@ -460,20 +577,35 @@ impl Harness {
                 seed: self.options.seed,
             }
         };
-        let output = match case.app.run_with(&mode, &mut self.arena) {
-            Ok(o) => o,
-            Err(BenchError::Unsupported(m)) => return Err(HarnessError::Unsupported(m)),
-            Err(other) => {
-                let cause = HarnessError::BenchFailed(other.to_string());
-                return Err(self.fail(
-                    case,
-                    system.name(),
-                    &partition_name,
-                    1,
-                    faults,
-                    time_lost,
-                    cause,
-                ));
+        let engine_mode = self.options.engine.is_some();
+        let (output, engine_attempts) = match self.options.engine.clone() {
+            Some(spec) => self.run_engine(
+                case,
+                &spec,
+                system.name(),
+                &partition_name,
+                &mut retries,
+                &mut faults,
+                &mut time_lost,
+            )?,
+            None => {
+                let output = match case.app.run_with(&mode, &mut self.arena) {
+                    Ok(o) => o,
+                    Err(BenchError::Unsupported(m)) => return Err(HarnessError::Unsupported(m)),
+                    Err(other) => {
+                        let cause = HarnessError::BenchFailed(other.to_string());
+                        return Err(self.fail(
+                            case,
+                            system.name(),
+                            &partition_name,
+                            1,
+                            faults,
+                            time_lost,
+                            cause,
+                        ));
+                    }
+                };
+                (output, 1)
             }
         };
 
@@ -540,8 +672,16 @@ impl Harness {
                 }
             }
         };
-        let mut run_attempt = 1u32;
-        let mut fault = injector.run_fault(system.name(), &case.name, run_attempt);
+        // On the engine path the attempt counter continues from the engine's
+        // own retry chain, and injected *run* faults are not drawn: real
+        // subprocess failures (crash/hang/garbage) already play that role.
+        // Build-stage faults are injected identically in both modes.
+        let mut run_attempt = engine_attempts;
+        let mut fault = if engine_mode {
+            None
+        } else {
+            injector.run_fault(system.name(), &case.name, run_attempt)
+        };
         if fault.is_some() {
             faults += 1;
         }
@@ -1082,5 +1222,148 @@ mod tests {
         let report = h.run_case(&case).unwrap();
         assert!(report.record.fom("Triad").unwrap().value > 0.0);
         assert!(report.job_script.starts_with("#!/bin/bash"));
+    }
+
+    /// A shell engine whose body is `script`. Tests never sleep for real:
+    /// backoff wall-clock is scaled to zero (the var is only ever set to
+    /// "0" here, so concurrent tests cannot race to different values).
+    fn sh_engine(script: &str) -> engine::EngineSpec {
+        std::env::set_var(faults::BACKOFF_SCALE_ENV, "0");
+        engine::EngineSpec {
+            cmd: vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()],
+            timeout_s: 10.0,
+            grace_s: 0.5,
+        }
+    }
+
+    /// Shell fragment emitting a valid KLV report whose stdout satisfies
+    /// the babelstream sanity and perf patterns.
+    const SH_BABELSTREAM_REPORT: &str = r#"
+out='Function    MBytes/sec
+Copy        150000.0
+Mul         151000.0
+Add         152000.0
+Triad       153000.0
+Dot         154000.0'
+printf 'wall:8:0.250000\n'
+printf 'stdout:%d:%s\n' "$(printf %s "$out" | wc -c)" "$out"
+printf 'done:0:\n'
+"#;
+
+    #[test]
+    fn engine_path_runs_a_case_end_to_end() {
+        let script = format!("cat >/dev/null\n{SH_BABELSTREAM_REPORT}");
+        let opts = RunOptions::on_system("csd3").with_engine(Some(sh_engine(&script)));
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let report = h.run_case(&case).unwrap();
+        assert_eq!(report.record.fom("Triad").unwrap().value, 153_000.0);
+        assert!(report.stdout.contains("Function    MBytes/sec"));
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.retries, 0);
+        // The engine's declared wall time drives the scheduler, telemetry
+        // and perflog exactly like an in-process run.
+        assert!(report.record.extras.iter().any(|(k, _)| k == "energy_j"));
+    }
+
+    #[test]
+    fn engine_request_carries_the_cell_identity() {
+        // The engine sees case/system/seed; echo the request back as the
+        // report stdout (plus the sanity/perf body) to prove it arrived.
+        let script = format!(
+            "req=$(cat)\ncase \"$req\" in *babelstream_omp*csd3*) ;; *) exit 9;; esac\n\
+             {SH_BABELSTREAM_REPORT}"
+        );
+        let opts = RunOptions::on_system("csd3").with_engine(Some(sh_engine(&script)));
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        assert!(h.run_case(&case).is_ok());
+    }
+
+    #[test]
+    fn crashing_engine_is_contained_with_subprocess_facts() {
+        let opts = RunOptions::on_system("csd3")
+            .with_engine(Some(sh_engine("echo boom >&2; exit 7")))
+            .with_max_retries(1);
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let err = h.run_case(&case).unwrap_err();
+        // Retry budget 1 → two attempts, both counted as faults, each
+        // failed attempt but the last charging the nominal backoff.
+        assert_eq!(err.fault_stats(), Some((2, 2, 30.0)));
+        assert_eq!(err.engine_status(), Some((Some(7), None, false)));
+        let msg = err.to_string();
+        assert!(msg.contains("engine failure"), "{msg}");
+        assert!(msg.contains("boom"), "stderr head surfaced: {msg}");
+        // The failure landed in the perflog with the subprocess facts.
+        let log = h.perflog("csd3", "babelstream").unwrap();
+        let extras = &log.records()[0].extras;
+        let get = |k: &str| {
+            extras
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(get("result"), Some("fail"));
+        assert_eq!(get("exit_code"), Some("7"));
+        assert_eq!(get("timed_out"), Some("false"));
+        assert_eq!(get("signal"), None, "clean exit carries no signal");
+    }
+
+    #[test]
+    fn garbage_engine_output_is_a_contained_protocol_failure() {
+        let opts = RunOptions::on_system("csd3")
+            .with_engine(Some(sh_engine("cat >/dev/null; echo 'NOT KLV AT ALL!'")))
+            .with_max_retries(0);
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let err = h.run_case(&case).unwrap_err();
+        assert_eq!(err.engine_status(), Some((Some(0), None, false)));
+        assert!(err.to_string().contains("invalid frames"), "{err}");
+    }
+
+    #[test]
+    fn hanging_engine_is_killed_and_contained() {
+        let mut spec = sh_engine("cat >/dev/null; exec sleep 30");
+        spec.timeout_s = 0.3;
+        let opts = RunOptions::on_system("csd3")
+            .with_engine(Some(spec))
+            .with_max_retries(0);
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let started = std::time::Instant::now();
+        let err = h.run_case(&case).unwrap_err();
+        assert!(started.elapsed() < std::time::Duration::from_secs(10));
+        let (_, signal, timed_out) = err.engine_status().unwrap();
+        assert!(timed_out);
+        assert_eq!(signal, Some(15), "sh dies on the polite SIGTERM");
+        let log = h.perflog("csd3", "babelstream").unwrap();
+        let extras = &log.records()[0].extras;
+        assert!(extras.contains(&("timed_out".to_string(), "true".to_string())));
+        assert!(extras.contains(&("signal".to_string(), "15".to_string())));
+    }
+
+    #[test]
+    fn flaky_engine_recovers_within_the_retry_budget() {
+        // Fails on attempt 1, succeeds on attempt 2 (the attempt number
+        // travels in the request, so the engine itself can see it).
+        let script = format!(
+            "req=$(cat)\ncase \"$req\" in *'attempt:1:1'*) echo transient >&2; exit 3;; esac\n\
+             {SH_BABELSTREAM_REPORT}"
+        );
+        let opts = RunOptions::on_system("csd3")
+            .with_engine(Some(sh_engine(&script)))
+            .with_max_retries(2);
+        let mut h = Harness::new(opts);
+        let case = cases::babelstream(Model::Omp, 1 << 22);
+        let report = h.run_case(&case).unwrap();
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.time_lost_s, 30.0, "nominal backoff charged");
+        assert!(report
+            .record
+            .extras
+            .contains(&("attempt".to_string(), "2".to_string())));
+        assert_eq!(report.record.fom("Triad").unwrap().value, 153_000.0);
     }
 }

@@ -313,6 +313,14 @@ pub struct SuiteRunner {
     /// prepass; each system's shared store is seeded from verified disk
     /// entries, and new builds are persisted once the study completes.
     pub store: Option<PathBuf>,
+    /// External engine subprocess for the run stage of every case
+    /// (`--engine`). `None` keeps the in-process path byte-identical to
+    /// the pre-engine world.
+    pub engine: Option<engine::EngineSpec>,
+    /// Per-case engine overrides (`--engine case=SPEC`): the named case
+    /// runs under its own engine instead of the base one (or instead of
+    /// the in-process path when no base engine is set).
+    pub engine_overrides: Vec<(String, engine::EngineSpec)>,
 }
 
 impl SuiteRunner {
@@ -330,6 +338,8 @@ impl SuiteRunner {
             heal: false,
             checkpoint: None,
             store: None,
+            engine: None,
+            engine_overrides: Vec::new(),
         }
     }
 
@@ -409,6 +419,43 @@ impl SuiteRunner {
         self
     }
 
+    /// Run every case's run stage in an external engine subprocess.
+    pub fn with_engine(mut self, spec: Option<engine::EngineSpec>) -> SuiteRunner {
+        self.engine = spec;
+        self
+    }
+
+    /// Override the engine for one case (later builders do not replace
+    /// earlier ones; duplicates are a CLI-level error).
+    pub fn with_engine_override(mut self, case: &str, spec: engine::EngineSpec) -> SuiteRunner {
+        self.engine_overrides.push((case.to_string(), spec));
+        self
+    }
+
+    /// The engine a given case runs under (override, then base), `None`
+    /// for the in-process path.
+    pub fn engine_for(&self, case: &str) -> Option<&engine::EngineSpec> {
+        self.engine_overrides
+            .iter()
+            .find(|(c, _)| c == case)
+            .map(|(_, s)| s)
+            .or(self.engine.as_ref())
+    }
+
+    /// Canonical rendering of the engine configuration for the checkpoint
+    /// header: empty without engines, else the base spec and every
+    /// per-case override in override order.
+    fn engine_binding(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(base) = &self.engine {
+            parts.push(base.render());
+        }
+        for (case, spec) in &self.engine_overrides {
+            parts.push(format!("{case}={}", spec.render()));
+        }
+        parts.join(" ")
+    }
+
     /// The fault profile a given system draws from (override or base).
     pub fn profile_for(&self, system: &str) -> &FaultProfile {
         self.fault_overrides
@@ -480,7 +527,10 @@ impl SuiteRunner {
     ) -> JobResult {
         let system = &self.systems[job / cases.len()];
         let case = &cases[job % cases.len()];
-        let mut harness = Harness::new(self.job_options(system));
+        let options = self
+            .job_options(system)
+            .with_engine(self.engine_for(&case.name).cloned());
+        let mut harness = Harness::new(options);
         let result = match prepared {
             // Warm mode: the build already ran in the canonical prepass.
             Some(builds) => builds[job]
@@ -673,6 +723,7 @@ impl SuiteRunner {
             quarantine: self.quarantine,
             heal: self.heal,
             streaks: streaks.to_vec(),
+            engine: self.engine_binding(),
         }
     }
 
@@ -1868,5 +1919,174 @@ mod tests {
         assert!(matches!(err, CheckpointError::ConfigMismatch { .. }));
         let _ = std::fs::remove_dir_all(&ckpt);
         let _ = std::fs::remove_dir_all(&store);
+    }
+
+    /// A shell engine for suite tests; backoff wall-clock scaled to zero.
+    fn sh_engine(script: &str) -> crate::EngineSpec {
+        std::env::set_var(simhpc::faults::BACKOFF_SCALE_ENV, "0");
+        crate::EngineSpec {
+            cmd: vec!["/bin/sh".to_string(), "-c".to_string(), script.to_string()],
+            timeout_s: 10.0,
+            grace_s: 0.5,
+        }
+    }
+
+    /// Shell engine emitting a valid report for any babelstream case.
+    fn ok_engine() -> crate::EngineSpec {
+        sh_engine(
+            r#"cat >/dev/null
+out='Function    MBytes/sec
+Copy        150000.0
+Mul         151000.0
+Add         152000.0
+Triad       153000.0
+Dot         154000.0'
+printf 'wall:8:0.250000\n'
+printf 'stdout:%d:%s\n' "$(printf %s "$out" | wc -c)" "$out"
+printf 'done:0:\n'
+"#,
+        )
+    }
+
+    #[test]
+    fn engine_survey_is_byte_identical_for_any_jobs_count() {
+        // Tentpole pin on the engine path: a mixed survey — two cases on a
+        // healthy engine, one per-case override crashing every attempt —
+        // reproduces byte-identically at any worker count, failures and
+        // retry accounting included. The crash never aborts the sweep.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::babelstream(Model::Serial, 1 << 22),
+        ];
+        let run = |jobs| {
+            SuiteRunner::new(&["csd3", "archer2"])
+                .with_engine(Some(ok_engine()))
+                .with_engine_override("babelstream_tbb", sh_engine("echo kaput >&2; exit 11"))
+                .with_max_retries(1)
+                .with_jobs(jobs)
+                .run(&cases)
+        };
+        let serial = run(1);
+        assert_eq!(serial.n_ran(), 4);
+        assert_eq!(serial.n_failed(), 2, "the crashing override, per system");
+        match serial.outcome("babelstream_tbb", "csd3").unwrap() {
+            SuiteOutcome::Failed(e) => {
+                assert_eq!(e.engine_status(), Some((Some(11), None, false)));
+                assert_eq!(e.fault_stats(), Some((2, 2, 30.0)));
+            }
+            other => panic!("expected engine failure, got {other:?}"),
+        }
+        for jobs in [2, 8] {
+            assert_eq!(rendered(&serial), rendered(&run(jobs)), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_mode_is_bound_into_the_checkpoint() {
+        // A survey checkpointed under an engine can only resume under the
+        // same engine: resuming in-process (or with a different command)
+        // is a ConfigMismatch hard error, never a silent mode switch.
+        let dir = tmpdir("engine-binding");
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let engined = || SuiteRunner::new(&["csd3"]).with_engine(Some(ok_engine()));
+        let full = engined().with_checkpoint(&dir).try_run(&cases).unwrap();
+        assert_eq!(full.n_ran(), 2);
+        // Same engine resumes cleanly (replaying the completed cells).
+        let resumed = engined().with_resume(&dir).try_run(&cases).unwrap();
+        assert_eq!(rendered(&resumed), rendered(&full));
+        // Dropping --engine switches modes: hard error.
+        assert!(matches!(
+            SuiteRunner::new(&["csd3"])
+                .with_resume(&dir)
+                .try_run(&cases),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        // A different engine command is a different experiment too.
+        assert!(matches!(
+            SuiteRunner::new(&["csd3"])
+                .with_engine(Some(sh_engine("exit 0")))
+                .with_resume(&dir)
+                .try_run(&cases),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        // And so is moving the engine to a per-case override.
+        assert!(matches!(
+            SuiteRunner::new(&["csd3"])
+                .with_engine_override("babelstream_omp", ok_engine())
+                .with_resume(&dir)
+                .try_run(&cases),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_kill_and_resume_is_byte_identical() {
+        // Interrupt an engine survey after k cells (journal truncation),
+        // resume with --engine at several worker counts: stream and report
+        // must match the uninterrupted run exactly.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+        ];
+        let make = || {
+            SuiteRunner::new(&["csd3", "archer2"])
+                .with_engine(Some(ok_engine()))
+                .with_engine_override("babelstream_tbb", sh_engine("exit 5"))
+                .with_max_retries(0)
+        };
+        let base = tmpdir("engine-resume");
+        let full = make().with_checkpoint(&base).try_run(&cases).unwrap();
+        let want = rendered(&full);
+        let journal = std::fs::read_to_string(base.join(checkpoint::JOURNAL_FILE)).unwrap();
+        let lines: Vec<&str> = journal.lines().collect();
+        for k in [1, 2] {
+            for jobs in [1, 2, 8] {
+                let dir = tmpdir(&format!("engine-resume-{k}-{jobs}"));
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(
+                    dir.join(checkpoint::JOURNAL_FILE),
+                    lines[..=k].join("\n") + "\n",
+                )
+                .unwrap();
+                let resumed = make()
+                    .with_jobs(jobs)
+                    .with_resume(&dir)
+                    .try_run(&cases)
+                    .unwrap();
+                assert_eq!(rendered(&resumed), want, "k={k} jobs={jobs}");
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn quarantine_fires_on_consecutive_engine_failures() {
+        // A system whose engine keeps crashing trips quarantine exactly
+        // like injected faults would: K consecutive failures, then the
+        // rest of the system is skipped with an explicit reason.
+        let cases = vec![
+            cases::babelstream(Model::Omp, 1 << 22),
+            cases::babelstream(Model::Tbb, 1 << 22),
+            cases::babelstream(Model::Serial, 1 << 22),
+        ];
+        let report = SuiteRunner::new(&["csd3"])
+            .with_engine(Some(sh_engine("exit 13")))
+            .with_max_retries(0)
+            .with_quarantine(2)
+            .run(&cases);
+        assert_eq!(report.n_failed(), 2);
+        assert_eq!(report.n_quarantined(), 1);
+        match report.outcome("babelstream_serial", "csd3").unwrap() {
+            SuiteOutcome::Skipped(reason) => {
+                assert!(reason.starts_with("quarantined"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
     }
 }

@@ -48,6 +48,23 @@ impl PerflogRecord {
         self.foms.iter().find(|f| f.name == name)
     }
 
+    /// Look up an extra field by key.
+    pub fn extra(&self, key: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Look up an extra field and parse it as a signed integer.
+    ///
+    /// Extras are stored as strings; subprocess facts like `exit_code`
+    /// can legitimately be negative, so this parses through `i64` — never
+    /// an unsigned cast that would wrap `-11` into 18446744073709551605.
+    pub fn int_extra(&self, key: &str) -> Option<i64> {
+        self.extra(key)?.parse().ok()
+    }
+
     /// Serialize as a single JSON line.
     pub fn to_json_line(&self) -> String {
         self.to_value().to_json()
@@ -463,6 +480,32 @@ mod tests {
         let combined = dframe::DataFrame::concat(&[a.to_frame(), b.to_frame()]);
         assert_eq!(combined.n_rows(), 4);
         assert_eq!(combined.unique("system").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn engine_extras_round_trip_losslessly() {
+        // The engine runner records subprocess facts as extras. Exit codes
+        // may be negative, and stderr from a crashing engine is captured
+        // lossily — non-UTF8 bytes become U+FFFD — so both must survive a
+        // JSONL round-trip byte-for-byte.
+        let lossy_stderr = String::from_utf8_lossy(b"kap\xff\xfeut: seg\xc3").into_owned();
+        assert!(lossy_stderr.contains('\u{FFFD}'), "{lossy_stderr:?}");
+        let mut r = record(7, "archer2", 1000.0);
+        r.extras = vec![
+            ("error".into(), "engine failure: engine exited".into()),
+            ("exit_code".into(), "-11".into()),
+            ("signal".into(), "15".into()),
+            ("timed_out".into(), "true".into()),
+            ("stderr".into(), lossy_stderr.clone()),
+        ];
+        let back = PerflogRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.int_extra("exit_code"), Some(-11), "no wraparound");
+        assert_eq!(back.int_extra("signal"), Some(15));
+        assert_eq!(back.extra("timed_out"), Some("true"));
+        assert_eq!(back.extra("stderr"), Some(lossy_stderr.as_str()));
+        assert_eq!(back.extra("nope"), None);
+        assert_eq!(back.int_extra("error"), None, "non-numeric extra");
     }
 
     #[test]

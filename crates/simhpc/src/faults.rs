@@ -202,6 +202,31 @@ pub fn backoff_s(retry: u32) -> f64 {
     (30.0 * f64::from(1u32 << exp)).min(480.0)
 }
 
+/// Scales the *wall-clock* sleep of [`backoff_sleep`] without touching its
+/// accounting. Tests and CI set it to `0` so engine retries are instant;
+/// the charged time-lost stays the nominal schedule either way, keeping
+/// reports byte-identical across machines and scales.
+pub const BACKOFF_SCALE_ENV: &str = "BENCHKIT_ENGINE_BACKOFF_SCALE";
+
+/// Wall-clock backoff for the external-engine path: really sleeps (the
+/// subprocess is a real process, not a simulated job), on the same
+/// jitter-free 30·2ⁿ ≤ 480 s schedule as [`backoff_s`]. Returns the
+/// *nominal* seconds to charge to time-lost accounting — never the
+/// measured elapsed time, so reports stay deterministic.
+pub fn backoff_sleep(retry: u32) -> f64 {
+    let nominal = backoff_s(retry);
+    let scale = std::env::var(BACKOFF_SCALE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s >= 0.0)
+        .unwrap_or(1.0);
+    let actual = (nominal * scale).min(480.0);
+    if actual > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(actual));
+    }
+    nominal
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,5 +336,18 @@ mod tests {
         assert_eq!(backoff_s(3), 120.0);
         assert_eq!(backoff_s(5), 480.0, "capped");
         assert_eq!(backoff_s(40), 480.0, "no overflow at silly retry counts");
+    }
+
+    #[test]
+    fn backoff_sleep_charges_nominal_seconds_regardless_of_scale() {
+        // Scale 0 ⇒ no wall-clock sleep, but the charged (returned) time
+        // is still the nominal schedule so accounting is deterministic.
+        std::env::set_var(BACKOFF_SCALE_ENV, "0");
+        let started = std::time::Instant::now();
+        assert_eq!(backoff_sleep(1), 30.0);
+        assert_eq!(backoff_sleep(3), 120.0);
+        assert_eq!(backoff_sleep(40), 480.0);
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+        std::env::remove_var(BACKOFF_SCALE_ENV);
     }
 }
