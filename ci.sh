@@ -38,6 +38,12 @@
 #                  processes; consecutive crashes trip the quarantine
 #                  breaker; a killed engine survey resumes byte-identically
 #                  with the same engine and refuses to resume in-process
+#   9. torture   — multi-writer store smoke: two concurrent surveys race
+#                  one --store directory, a run under an injected
+#                  torn-write + ENOSPC schedule (BENCHKIT_IOFAULTS), a
+#                  writer killed mid-run and rerun, and --jobs 1/2/8 all
+#                  produce identical FOM views; `store fsck` then passes
+#                  and `store gc` leaves every referenced entry in place
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -130,8 +136,9 @@ if [ "$(printf '%s\n' "$cold" | fom_view)" != "$(printf '%s\n' "$warm" | fom_vie
     exit 1
 fi
 # Corrupt one store entry: the rerun must quarantine it and rebuild
-# cold with identical FOMs — never fail the study.
-victim="$(ls "$store_dir"/entries/*.json | head -1)"
+# cold with identical FOMs — never fail the study. (Entries live under
+# per-shard directories since the store went multi-writer.)
+victim="$(ls "$store_dir"/shard-*/*.json | head -1)"
 printf 'garbage' | dd of="$victim" bs=1 seek=5 count=7 conv=notrunc status=none
 corrupted="$(nightly_survey corrupted)"
 case "$corrupted" in
@@ -367,5 +374,109 @@ case "$crossmode" in
     ;;
 esac
 echo "engine smoke OK (jobs-invariant, 6 adversarial variants contained, no leftovers, quarantine + cross-mode resume gated)"
+
+echo "== ci: multi-writer store torture smoke =="
+# One --store directory shared by many writers: concurrent surveys,
+# injected I/O faults, and a SIGKILL'd writer must never lose a committed
+# entry, corrupt the store, or change a byte of the FOM view.
+mw_dir="$nightly_dir/mw-store"
+mw_survey() {
+    # $1: jobs; $2: checkpoint tag; remaining: extra flags. Ends in exit:N.
+    # MW_STORE overrides the store directory (fault drills get their own).
+    jobs="$1"; tag="$2"; shift 2
+    ./target/release/benchkit survey -c babelstream_omp -c babelstream_tbb \
+        --system csd3 --system archer2 \
+        --seed 7 --jobs "$jobs" --store "${MW_STORE:-$mw_dir}" \
+        --checkpoint "$nightly_dir/ck-mw-$tag" "$@" && status=0 || status=$?
+    echo "exit:$status"
+}
+baseline="$(mw_survey 4 base)"
+if [ "$(printf '%s\n' "$baseline" | tail -1)" != "exit:0" ]; then
+    echo "torture smoke FAILED: baseline survey did not exit 0" >&2
+    printf '%s\n' "$baseline" >&2
+    exit 1
+fi
+# Two live writers race the same store. Shard leases arbitrate: each may
+# skip contended persists, but both reports must match the baseline.
+mw_survey 4 racer-a > "$nightly_dir/mw-a.out" &
+pid_a=$!
+mw_survey 4 racer-b > "$nightly_dir/mw-b.out" &
+pid_b=$!
+wait "$pid_a" "$pid_b"
+for side in a b; do
+    out="$(cat "$nightly_dir/mw-$side.out")"
+    if [ "$(printf '%s\n' "$out" | tail -1)" != "exit:0" ]; then
+        echo "torture smoke FAILED: concurrent writer $side did not exit 0" >&2
+        printf '%s\n' "$out" >&2
+        exit 1
+    fi
+    if [ "$(printf '%s\n' "$out" | fom_view)" != "$(printf '%s\n' "$baseline" | fom_view)" ]; then
+        echo "torture smoke FAILED: concurrent writer $side FOM view diverged" >&2
+        diff <(printf '%s\n' "$baseline" | fom_view) <(printf '%s\n' "$out" | fom_view) >&2 || true
+        exit 1
+    fi
+done
+# Deterministic injected faults (torn writes, ENOSPC, failed fsyncs)
+# scoped to shard and reference-log I/O, against a fresh store so entry
+# persists run under fire: the study must survive with an identical FOM
+# view — only persists may degrade — and every entry that did commit
+# must verify under fsck afterwards.
+faulted="$(MW_STORE="$nightly_dir/mw-faulted" \
+    BENCHKIT_IOFAULTS="seed=11,torn=0.3,enospc=0.2,fsync=0.1,match=shard-|refs/" \
+    mw_survey 4 faulted)"
+if [ "$(printf '%s\n' "$faulted" | tail -1)" != "exit:0" ]; then
+    echo "torture smoke FAILED: faulted survey did not exit 0" >&2
+    printf '%s\n' "$faulted" >&2
+    exit 1
+fi
+if [ "$(printf '%s\n' "$faulted" | fom_view)" != "$(printf '%s\n' "$baseline" | fom_view)" ]; then
+    echo "torture smoke FAILED: faulted FOM view diverged" >&2
+    diff <(printf '%s\n' "$baseline" | fom_view) <(printf '%s\n' "$faulted" | fom_view) >&2 || true
+    exit 1
+fi
+# Kill a writer mid-run (exit 3, no cleanup), then rerun: stale leases
+# are taken over, nothing committed is lost, the FOM view is unchanged.
+killed="$(mw_survey 4 killed --interrupt-after 2)"
+if [ "$(printf '%s\n' "$killed" | tail -1)" != "exit:3" ]; then
+    echo "torture smoke FAILED: --interrupt-after did not exit 3" >&2
+    printf '%s\n' "$killed" >&2
+    exit 1
+fi
+rerun="$(mw_survey 4 rerun)"
+if [ "$(printf '%s\n' "$rerun" | fom_view)" != "$(printf '%s\n' "$baseline" | fom_view)" ]; then
+    echo "torture smoke FAILED: post-kill rerun FOM view diverged" >&2
+    exit 1
+fi
+# The contended-and-tortured store serves any worker count identically.
+for j in 1 2 8; do
+    out="$(mw_survey "$j" "jobs-$j")"
+    if [ "$(printf '%s\n' "$out" | fom_view)" != "$(printf '%s\n' "$baseline" | fom_view)" ]; then
+        echo "torture smoke FAILED: --jobs $j FOM view diverged" >&2
+        exit 1
+    fi
+done
+# After all that: every committed entry still verifies — in the shared
+# store and in the fault-torn one — and gc (merging every writer's
+# reference log) evicts nothing the surveys referenced.
+./target/release/benchkit store fsck "$mw_dir"
+./target/release/benchkit store fsck "$nightly_dir/mw-faulted"
+gc_out="$(./target/release/benchkit store gc "$mw_dir" --keep 10)"
+case "$gc_out" in
+*"evicted 0"*) ;;
+*)
+    echo "torture smoke FAILED: store gc evicted referenced entries" >&2
+    printf '%s\n' "$gc_out" >&2
+    exit 1
+    ;;
+esac
+warmcheck="$(mw_survey 4 warmcheck)"
+case "$warmcheck" in
+*"store: 0 hits"*)
+    echo "torture smoke FAILED: store lost its entries after gc" >&2
+    printf '%s\n' "$warmcheck" >&2
+    exit 1
+    ;;
+esac
+echo "torture smoke OK (2 concurrent writers, injected faults, kill+rerun, jobs-invariant, fsck clean, gc kept refs)"
 
 echo "ci OK"

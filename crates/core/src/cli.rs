@@ -93,6 +93,9 @@ pub enum Command {
     /// `store gc <dir> [--keep K]` — evict entries not referenced by the
     /// last K studies.
     StoreGc { dir: String, keep: usize },
+    /// `store fsck <dir>` — read-only integrity scan; exits nonzero when
+    /// any committed entry fails verification.
+    StoreFsck { dir: String },
     /// `checkpoint gc <dir> [--force]` — drop a completed study's journal,
     /// keeping quarantine memory.
     CheckpointGc { dir: String, force: bool },
@@ -160,9 +163,12 @@ USAGE:
         process (exit 3) after N cells, for crash drills.
         --store DIR warms builds from a crash-safe persistent package
         store that survives across studies (entries are checksummed;
-        corrupt ones are quarantined to DIR/corrupt/ and rebuilt cold;
-        a concurrent holder of DIR degrades the run to an in-memory
-        warm store). FOMs are identical cold vs. warm.
+        corrupt ones are quarantined to DIR/corrupt/ and rebuilt cold).
+        The store is sharded with per-shard lease locks, so several
+        writers — even on different machines sharing DIR — can run
+        concurrently: a shard leased by a live competing writer only
+        skips that shard's persists, never the study, and the report
+        stays byte-identical. FOMs are identical cold vs. warm.
         --perflog DIR writes one <system>-<benchmark>.jsonl perflog per
         surveyed (system, benchmark) into DIR — the input of `rank`
         and `cmp`.
@@ -199,7 +205,16 @@ USAGE:
         exits 0 when both studies parse.
     benchkit store gc <dir> [--keep K]
         Evict store entries not referenced by the last K studies
-        (default 5). Never touches quarantined entries in DIR/corrupt/.
+        (default 5), merging every writer's reference log. Shards
+        leased by a live writer are skipped with a notice; entries
+        referenced by any live-leased writer are never evicted. Never
+        touches quarantined entries in DIR/corrupt/.
+    benchkit store fsck <dir>
+        Read-only integrity scan: verifies every committed entry
+        (checksum, canonical form, shard placement) and reports
+        orphaned temp files, live and expired leases, and reference
+        segments. Exits nonzero when any committed entry is invalid;
+        crash residue (temps, stale leases) is reported but clean.
     benchkit checkpoint gc <dir> [--force]
         Drop the study journal once its study completed, keeping
         quarantine memory. An incomplete journal is refused unless
@@ -517,8 +532,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     keep,
                 })
             }
+            Some("fsck") => {
+                let mut dir = None;
+                for arg in &rest[1..] {
+                    match arg.as_str() {
+                        other if !other.starts_with('-') && dir.is_none() => {
+                            dir = Some(other.to_string());
+                        }
+                        other => {
+                            return Err(CliError(format!(
+                                "store fsck: unexpected argument `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Command::StoreFsck {
+                    dir: dir.ok_or_else(|| CliError("store fsck: missing <dir>".into()))?,
+                })
+            }
             _ => Err(CliError(
-                "store: expected a subcommand: `store gc <dir> [--keep K]`".into(),
+                "store: expected a subcommand: `store gc <dir> [--keep K]` \
+                 or `store fsck <dir>`"
+                    .into(),
             )),
         },
         "checkpoint" => match rest.first().map(String::as_str) {
@@ -1081,6 +1116,20 @@ pub fn execute(
                     "store: {} hits, {} misses, {} quarantined, {} persisted",
                     stats.hits, stats.misses, stats.quarantined, stats.persisted
                 );
+                // Contention annotations only when they happened, so a
+                // clean run's report stays byte-identical to older ones.
+                if stats.persist_skipped > 0 {
+                    line.push_str(&format!(
+                        ", {} skipped (shard leased elsewhere)",
+                        stats.persist_skipped
+                    ));
+                }
+                if stats.shards_contended > 0 {
+                    line.push_str(&format!(
+                        " [{} shards held by a live writer]",
+                        stats.shards_contended
+                    ));
+                }
                 if let Some(reason) = &stats.degraded {
                     line.push_str(&format!(" (degraded to in-memory warm store: {reason})"));
                 }
@@ -1178,20 +1227,74 @@ pub fn execute(
         }
         Command::StoreGc { dir, keep } => {
             let path = std::path::Path::new(&dir);
-            let mut disk = spackle::DiskStore::open(path).map_err(|e| CliError(match e {
-                spackle::DiskStoreError::Busy { pid, .. } => format!(
-                    "store gc: `{dir}` is locked by a live process (pid {pid}); retry once its study finishes"
-                ),
-                other => format!("store gc: {other}"),
-            }))?;
+            let mut disk = spackle::DiskStore::open(path).map_err(|e| {
+                CliError(match e {
+                    spackle::DiskStoreError::Busy { pid, .. } => format!(
+                        "store gc: `{dir}` holds a legacy v1 lock owned by a live process \
+                     (pid {pid}); retry once its study finishes"
+                    ),
+                    other => format!("store gc: {other}"),
+                })
+            })?;
             let report = disk
                 .gc(keep)
                 .map_err(|e| CliError(format!("store gc: {e}")))?;
-            writeln!(
-                out,
+            let mut line = format!(
                 "store gc: kept {}, evicted {} (referenced by the last {} studies)",
                 report.kept, report.evicted, report.studies_considered
+            );
+            if !report.skipped_shards.is_empty() {
+                line.push_str(&format!(
+                    "; skipped {} leased by live writers: {}",
+                    report.skipped_shards.len(),
+                    report.skipped_shards.join(", ")
+                ));
+            }
+            writeln!(out, "{line}")?;
+        }
+        Command::StoreFsck { dir } => {
+            let path = std::path::Path::new(&dir);
+            let report = spackle::fsck(path).map_err(|e| CliError(format!("store fsck: {e}")))?;
+            writeln!(
+                out,
+                "store fsck: {} valid, {} invalid, {} quarantined, \
+                 {} orphaned temps, {} live leases, {} expired leases, \
+                 {} ref segments ({} records)",
+                report.valid,
+                report.invalid.len(),
+                report.quarantined,
+                report.orphan_temps.len(),
+                report.live_leases.len(),
+                report.expired_leases.len(),
+                report.ref_segments,
+                report.ref_records,
             )?;
+            for (file, why) in &report.invalid {
+                writeln!(out, "  invalid {file}: {why}")?;
+            }
+            for temp in &report.orphan_temps {
+                writeln!(out, "  orphaned temp {temp}")?;
+            }
+            for lease in &report.live_leases {
+                writeln!(out, "  live lease {lease}")?;
+            }
+            for lease in &report.expired_leases {
+                writeln!(out, "  expired lease {lease}")?;
+            }
+            if report.legacy_layout {
+                writeln!(
+                    out,
+                    "  note: unmigrated v1 layout (entries/) — \
+                     the next writer will migrate it in place"
+                )?;
+            }
+            if !report.clean() {
+                return Err(CliError(format!(
+                    "store fsck: {} invalid committed entries in `{dir}`",
+                    report.invalid.len()
+                ))
+                .into());
+            }
         }
         Command::CheckpointGc { dir, force } => {
             match harness::checkpoint::gc(std::path::Path::new(&dir), force)? {
@@ -2293,6 +2396,15 @@ printf 'done:0:\n'
         assert!(parse(&argv("store gc /tmp/st --keep nope")).is_err());
 
         assert_eq!(
+            parse(&argv("store fsck /tmp/st")).unwrap(),
+            Command::StoreFsck {
+                dir: "/tmp/st".into()
+            }
+        );
+        assert!(parse(&argv("store fsck")).is_err(), "missing dir");
+        assert!(parse(&argv("store fsck /tmp/st --wat")).is_err());
+
+        assert_eq!(
             parse(&argv("checkpoint gc /tmp/ck")).unwrap(),
             Command::CheckpointGc {
                 dir: "/tmp/ck".into(),
@@ -2405,8 +2517,81 @@ printf 'done:0:\n'
         assert!(text.contains("collected journal"), "{text}");
         assert!(!ck_dir.join(harness::checkpoint::JOURNAL_FILE).exists());
 
+        // The store the surveys left behind passes fsck.
+        let (text, err) = run_cmd(Command::StoreFsck {
+            dir: store_dir.to_string_lossy().into_owned(),
+        });
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains("store fsck: "), "{text}");
+        assert!(text.contains(" 0 invalid"), "{text}");
+
         let _ = std::fs::remove_dir_all(&store_dir);
         let _ = std::fs::remove_dir_all(&ck_dir);
+    }
+
+    #[test]
+    fn contended_store_survey_reports_identically_and_fsck_flags_corruption() {
+        // A second *live* writer holding every shard lease must not change
+        // a single byte of the survey report outside the store accounting
+        // line — the contended run only skips its persists.
+        let clean_dir = tmpdir("cli-store-clean");
+        let busy_dir = tmpdir("cli-store-held");
+        let make = |dir: &std::path::Path| {
+            let mut cmd = survey(&["babelstream_omp"], &["csd3"]);
+            if let Command::Survey { store, .. } = &mut cmd {
+                *store = Some(dir.to_string_lossy().into_owned());
+            }
+            cmd
+        };
+        let (clean_text, err) = run_cmd(make(&clean_dir));
+        assert!(err.is_none(), "{err:?}");
+
+        let mut holder = spackle::DiskStore::open(&busy_dir).unwrap();
+        assert_eq!(holder.acquire_all(), spackle::SHARD_COUNT);
+        let (busy_text, err) = run_cmd(make(&busy_dir));
+        assert!(
+            err.is_none(),
+            "contention must not fail the survey: {err:?}"
+        );
+        assert!(
+            busy_text.contains("skipped (shard leased elsewhere)"),
+            "{busy_text}"
+        );
+        assert!(
+            busy_text.contains("shards held by a live writer"),
+            "{busy_text}"
+        );
+        let strip = |text: &str| {
+            text.lines()
+                .filter(|l| !l.starts_with("store: "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&clean_text),
+            strip(&busy_text),
+            "contended report byte-identical outside the store line"
+        );
+        drop(holder);
+
+        // fsck: the populated store is clean; planting one unreadable
+        // committed entry flips the exit to nonzero and names the file.
+        let (text, err) = run_cmd(Command::StoreFsck {
+            dir: clean_dir.to_string_lossy().into_owned(),
+        });
+        assert!(err.is_none(), "{err:?}");
+        assert!(text.contains(" 0 invalid"), "{text}");
+        let shard = clean_dir.join(spackle::shard_name("deadbeef"));
+        std::fs::create_dir_all(&shard).unwrap();
+        std::fs::write(shard.join("deadbeef.json"), "{not an entry}\n").unwrap();
+        let (text, err) = run_cmd(Command::StoreFsck {
+            dir: clean_dir.to_string_lossy().into_owned(),
+        });
+        assert!(err.is_some(), "invalid committed entry must exit nonzero");
+        assert!(text.contains("deadbeef.json:"), "{text}");
+
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&busy_dir);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Multi-writer disk-store torture helper.
+//!
+//! A tiny CLI around [`spackle::DiskStore`] so integration tests and ci.sh
+//! can hammer one store from *real* separate processes — including
+//! processes that get SIGKILLed mid-write or abort() themselves — which no
+//! in-process thread test can simulate.
+//!
+//! Modes:
+//!
+//! * writer (default): persist `--count` deterministic entries as writer
+//!   `--writer`, appending study refs as it goes. Prints exactly one line
+//!   per entry to stdout — `committed <hash>`, `skipped <hash>`, or
+//!   `error <hash>` — then `done <n_committed>`. A printed `committed` is
+//!   the durability promise the torture test holds us to: that entry must
+//!   be resident on every future open. Fault details go to stderr so the
+//!   stdout transcript is byte-comparable across runs (same seed, same
+//!   schedule).
+//! * `--abort-after K`: abort() immediately after the K-th commit —
+//!   leases, temps, and half-appended refs are left exactly where the
+//!   crash finds them.
+//! * `--hold-secs S`: lease every shard, print `holding <n>`, sleep S
+//!   seconds, exit. The "live competing writer" for degrade tests.
+
+use spackle::{
+    BuildAction, BuildRecord, DiskStore, FaultSpec, IoShim, Persist, StoreEntry, StoreOptions,
+};
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spackle-store-torture DIR --writer W [--seed N] [--count N] \
+         [--faults SPEC] [--refs-every N] [--abort-after N] [--hold-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn entry(hash: &str) -> StoreEntry {
+    StoreEntry {
+        hash: hash.to_string(),
+        render: format!("torture@1.0 /{hash}"),
+        record: BuildRecord {
+            package: "torture".to_string(),
+            version: "1.0".to_string(),
+            hash: hash.to_string(),
+            action: BuildAction::Built,
+            build_time_s: 1.0,
+            steps: vec![format!("install /opt/store/torture-{hash}")],
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut writer = String::new();
+    let mut seed: u64 = 0;
+    let mut count: usize = 16;
+    let mut faults: Option<String> = None;
+    let mut refs_every: usize = 4;
+    let mut abort_after: Option<usize> = None;
+    let mut hold_secs: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--writer" => writer = val("--writer"),
+            "--seed" => seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--count" => count = val("--count").parse().unwrap_or_else(|_| usage()),
+            "--faults" => faults = Some(val("--faults")),
+            "--refs-every" => refs_every = val("--refs-every").parse().unwrap_or_else(|_| usage()),
+            "--abort-after" => {
+                abort_after = Some(val("--abort-after").parse().unwrap_or_else(|_| usage()))
+            }
+            "--hold-secs" => {
+                hold_secs = Some(val("--hold-secs").parse().unwrap_or_else(|_| usage()))
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+            other => {
+                if dir.replace(PathBuf::from(other)).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    if writer.is_empty() {
+        eprintln!("--writer is required");
+        usage();
+    }
+    let io = match faults.as_deref() {
+        None => IoShim::Real,
+        Some(text) => match FaultSpec::parse(text) {
+            Ok(spec) => IoShim::faulty(spec),
+            Err(e) => {
+                eprintln!("bad --faults: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let opts = StoreOptions {
+        writer: Some(writer.clone()),
+        lease_ttl_s: 600,
+        io,
+    };
+    let mut store = match DiskStore::open_with(&dir, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdout = std::io::stdout();
+
+    if let Some(secs) = hold_secs {
+        let held = store.acquire_all();
+        {
+            let mut out = stdout.lock();
+            writeln!(out, "holding {held}").unwrap();
+            out.flush().unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        return;
+    }
+
+    let mut committed: BTreeSet<String> = BTreeSet::new();
+    for i in 0..count {
+        // Entry identity depends only on (writer, seed, i): reruns with
+        // the same arguments draw the same fault schedule for the same
+        // files, so the stdout transcript is reproducible byte for byte.
+        let hash = format!("{writer}-s{seed}-e{i:03}");
+        let line = match store.persist(&entry(&hash)) {
+            Ok(Persist::Written) => {
+                committed.insert(hash.clone());
+                format!("committed {hash}")
+            }
+            Ok(Persist::SkippedContended) => format!("skipped {hash}"),
+            Err(e) => {
+                eprintln!("persist {hash}: {e}");
+                format!("error {hash}")
+            }
+        };
+        {
+            let mut out = stdout.lock();
+            writeln!(out, "{line}").unwrap();
+            out.flush().unwrap();
+        }
+        if abort_after.is_some_and(|k| committed.len() >= k) {
+            // Crash exactly here: no lease release, no temp cleanup, no
+            // refs append — the recovery path owns whatever is left.
+            std::process::abort();
+        }
+        if !committed.is_empty() && (i + 1) % refs_every == 0 {
+            if let Err(e) = store.append_refs(&committed) {
+                eprintln!("append_refs: {e}");
+            }
+            store.renew_leases();
+        }
+    }
+    if !committed.is_empty() {
+        if let Err(e) = store.append_refs(&committed) {
+            eprintln!("append_refs: {e}");
+        }
+    }
+    let mut out = stdout.lock();
+    writeln!(out, "done {}", committed.len()).unwrap();
+}

@@ -1,54 +1,88 @@
-//! Crash-safe on-disk package store shared across studies.
+//! Crash-safe, multi-writer on-disk package store shared across studies.
 //!
 //! `--warm-store` shares builds *within* a study; this module persists the
 //! content-hash-keyed store to disk so nightly reruns start warm (ROADMAP:
-//! "persist a store across studies"). Because a shared cache can lie in many
+//! "persist a store across studies" and its production-scale pivot: N
+//! machines sharing one cache). Because a shared cache can lie in many
 //! ways — torn writes, bit rot, concurrent writers — every layer here is
 //! hardened the same way the checkpoint journal is:
 //!
-//! * **Entries** (`DIR/entries/<hash>.json`) are written atomically
-//!   (temp file + fsync + rename) and carry an FNV-1a checksum over an
-//!   embedded payload string, so the checksum is byte-exact regardless of
-//!   how the outer JSON is formatted. The payload keeps the rendered
-//!   package *and* its full [`BuildRecord`] provenance — Principle 4: the
-//!   captured build steps persist with the artifact.
+//! * **Entries** (`DIR/shard-XX/<hash>.json`, sharded by content-hash
+//!   prefix) are written atomically (temp file + fsync + rename + parent
+//!   directory fsync, through the [`crate::iofault::IoShim`] seam) and
+//!   carry an FNV-1a checksum over an embedded payload string, so the
+//!   checksum is byte-exact regardless of how the outer JSON is
+//!   formatted. The payload keeps the rendered package *and* its full
+//!   [`BuildRecord`] provenance — Principle 4: the captured build steps
+//!   persist with the artifact.
 //! * **Corruption quarantines, never errors.** A checksum mismatch or
 //!   unparsable entry is moved to `DIR/corrupt/` and logged in
 //!   `DIR/corrupt/quarantine.jsonl`; the caller simply sees a cold cell
 //!   and rebuilds. Flipping any byte of any entry must degrade, not panic.
-//! * **Locking** is advisory via `DIR/.lock` holding the writer's PID and
-//!   acquisition time. A lock whose PID is dead is taken over; a live one
-//!   yields [`DiskStoreError::Busy`] so the caller can degrade to an
-//!   in-memory warm store.
-//! * **Reference log** (`DIR/refs.jsonl`) appends one JSONL record per
-//!   study listing the hashes it used — same append-only discipline as the
-//!   checkpoint journal, recovered to the longest valid prefix. `gc`
-//!   evicts entries not referenced by the last K studies and never touches
-//!   the quarantine directory.
+//! * **Leases, not a global lock.** Each shard carries an advisory lease
+//!   file (`shard-XX/.lease`: writer id, PID, expiry) acquired with
+//!   `create_new`, renewed by heartbeat, and taken over when expired or
+//!   held by a dead PID. A live competing writer costs only the contended
+//!   shard — its persists are skipped, everything else proceeds — instead
+//!   of degrading the whole run. Reads need no lease at all: entries are
+//!   immutable once committed and every read is checksum-verified.
+//! * **Reference log** is per-writer: `DIR/refs/<writer>.jsonl` appends
+//!   one JSONL record per study listing the hashes it used — same
+//!   append-only discipline as the checkpoint journal, each segment
+//!   recovered to its longest valid prefix, and the segments merged
+//!   deterministically (by study number, then writer id) at read time.
+//!   `gc` evicts entries not referenced by the last K merged records,
+//!   refuses to evict anything referenced by a writer currently holding a
+//!   live lease, skips (with notice) shards it cannot lease, and never
+//!   touches the quarantine directory.
+//!
+//! Stores written by the v1 single-lock layout (`DIR/entries/` +
+//! `DIR/refs.jsonl` + `DIR/.lock`) are migrated in place on first open
+//! under the old lock's semantics: a live v1 holder still yields
+//! [`DiskStoreError::Busy`], so old readers are never raced.
 
 use crate::build::{BuildAction, BuildRecord, Store};
-use std::collections::BTreeSet;
+use crate::iofault::{write_atomic_with, IoShim};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
+use std::fs::{self, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Format marker for entry files; bump `ENTRY_VERSION` on layout changes.
 const ENTRY_FORMAT: &str = "spackle-store-entry";
 const ENTRY_VERSION: i64 = 1;
 
-const ENTRIES_DIR: &str = "entries";
+/// Store-level format marker (`DIR/store.meta`).
+const STORE_FORMAT: &str = "spackle-store";
+const STORE_VERSION: i64 = 2;
+const STORE_META: &str = "store.meta";
+
+/// Number of content-hash shards; `shard_name` maps a hash to one.
+pub const SHARD_COUNT: usize = 16;
+
 const CORRUPT_DIR: &str = "corrupt";
 const QUARANTINE_LOG: &str = "quarantine.jsonl";
-const REFS_FILE: &str = "refs.jsonl";
-const LOCK_FILE: &str = ".lock";
+const REFS_DIR: &str = "refs";
+const LEASE_FILE: &str = ".lease";
+/// How long a lease lives without renewal before takeover is allowed.
+const DEFAULT_LEASE_TTL_S: i64 = 600;
+
+/// Legacy (v1) single-writer layout, migrated on open.
+const V1_ENTRIES_DIR: &str = "entries";
+const V1_REFS_FILE: &str = "refs.jsonl";
+const V1_LOCK_FILE: &str = ".lock";
+/// Writer id assigned to the migrated v1 reference log segment.
+const V1_WRITER: &str = "v1";
 
 /// Errors from opening or maintaining a disk store.
 #[derive(Debug)]
 pub enum DiskStoreError {
     /// Filesystem trouble (context + source message).
     Io(String),
-    /// Another live process holds `DIR/.lock`.
+    /// A live process holds the legacy v1 whole-store lock, so the v1
+    /// layout cannot be migrated yet.
     Busy { pid: u32, acquired_unix: i64 },
 }
 
@@ -230,23 +264,34 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Write `content` to `path` atomically: temp file in the same directory,
-/// fsync, then rename over the destination.
+/// Write `content` to `path` atomically and durably: temp file in the same
+/// directory, fsync, rename, parent-directory fsync.
 pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
-    let dir = path.parent().unwrap_or_else(|| Path::new("."));
-    let tmp = dir.join(format!(
-        ".tmp-{}-{}",
-        std::process::id(),
-        path.file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default()
-    ));
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(content.as_bytes())?;
-        f.sync_data()?;
-    }
-    fs::rename(&tmp, path)
+    write_atomic_with(&IoShim::Real, path, content)
+}
+
+/// Is `path` a committed entry file? `<hash>.json`, and never a dotfile —
+/// leases and in-flight atomic-write temps are infrastructure.
+fn is_entry_file(path: &Path) -> bool {
+    path.extension().map(|x| x == "json").unwrap_or(false)
+        && !path
+            .file_name()
+            .map(|n| n.to_string_lossy().starts_with('.'))
+            .unwrap_or(true)
+}
+
+/// Shard index for a content hash.
+fn shard_of(hash: &str) -> usize {
+    (fnv1a64(hash.as_bytes()) % SHARD_COUNT as u64) as usize
+}
+
+/// Directory name (`shard-XX`) holding entries for `hash`.
+pub fn shard_name(hash: &str) -> String {
+    format!("shard-{:02x}", shard_of(hash))
+}
+
+fn shard_dir_name(shard: usize) -> String {
+    format!("shard-{shard:02x}")
 }
 
 /// A note about one quarantined entry.
@@ -262,9 +307,98 @@ pub struct GcReport {
     pub kept: usize,
     pub evicted: usize,
     pub studies_considered: usize,
+    /// Shards holding doomed entries that could not be leased (a live
+    /// competing writer): eviction there was skipped, not forced.
+    pub skipped_shards: Vec<String>,
 }
 
-/// Holds `DIR/.lock` for the lifetime of the store; removed on drop.
+/// Outcome of persisting one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Persist {
+    /// The entry is committed and durable on disk.
+    Written,
+    /// The entry's shard is leased by a live competing writer; nothing was
+    /// written. The caller keeps its in-memory copy and the next study
+    /// simply rebuilds the cell.
+    SkippedContended,
+}
+
+/// One writer's advisory claim on a shard, as read from `.lease`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseInfo {
+    pub writer: String,
+    pub pid: u32,
+    pub acquired_unix: i64,
+    pub expires_unix: i64,
+}
+
+impl LeaseInfo {
+    /// A lease is live while its holder's PID exists and it has not
+    /// expired; anything else may be taken over.
+    pub fn is_live(&self, now: i64) -> bool {
+        self.expires_unix >= now && pid_alive(self.pid)
+    }
+}
+
+fn read_lease(path: &Path) -> Option<LeaseInfo> {
+    let text = fs::read_to_string(path).ok()?;
+    let v = tinycfg::parse(&text).ok()?;
+    let pid = v.get_path("pid")?.as_int()?;
+    if pid < 0 {
+        return None;
+    }
+    Some(LeaseInfo {
+        writer: v.get_path("writer")?.as_str()?.to_string(),
+        pid: pid as u32,
+        acquired_unix: v.get_path("acquired_unix")?.as_int()?,
+        expires_unix: v.get_path("expires_unix")?.as_int()?,
+    })
+}
+
+/// One merged reference-log record: study `study` of writer `writer` used
+/// the entries in `refs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefRecord {
+    pub study: usize,
+    pub writer: String,
+    pub refs: Vec<String>,
+}
+
+/// Read and deterministically merge every per-writer reference segment:
+/// each `DIR/refs/<writer>.jsonl` is recovered to its longest valid
+/// prefix, then all records are ordered by (study number, writer id) — a
+/// total order independent of segment file mtimes or scan order.
+pub fn merged_ref_log(dir: &Path) -> Result<Vec<RefRecord>, DiskStoreError> {
+    let refs_dir = dir.join(REFS_DIR);
+    let mut files: Vec<PathBuf> = match fs::read_dir(&refs_dir) {
+        Ok(rd) => rd
+            .filter_map(|r| r.ok().map(|d| d.path()))
+            .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("listing reference segments", e)),
+    };
+    files.sort();
+    let mut records = Vec::new();
+    for path in files {
+        let writer = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = fs::read_to_string(&path).map_err(|e| io_err("reading reference segment", e))?;
+        for (i, refs) in parse_ref_log(&text).into_iter().enumerate() {
+            records.push(RefRecord {
+                study: i + 1,
+                writer: writer.clone(),
+                refs,
+            });
+        }
+    }
+    records.sort_by(|a, b| (a.study, &a.writer).cmp(&(b.study, &b.writer)));
+    Ok(records)
+}
+
+/// Holds the legacy `DIR/.lock` during v1 migration; removed on drop.
 #[derive(Debug)]
 struct LockGuard {
     path: PathBuf,
@@ -290,124 +424,301 @@ fn pid_alive(pid: u32) -> bool {
     Path::new(&format!("/proc/{pid}")).exists()
 }
 
+/// A process-unique default writer id: PID plus a per-process sequence so
+/// two stores opened by one process never share a lease identity.
+fn default_writer() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "w{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Writer ids become file names (`refs/<writer>.jsonl`), so restrict them
+/// to a safe alphabet; anything else falls back to the default id.
+fn sanitize_writer(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().all(|c| c == '.') {
+        return None;
+    }
+    Some(cleaned)
+}
+
+/// How to open a store: the writer's lease identity, lease lifetime, and
+/// the I/O seam (fault injection in tests and torture CI, `Real` in
+/// production).
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Lease identity; `None` derives a process-unique id.
+    pub writer: Option<String>,
+    /// Lease lifetime without renewal; expired leases may be taken over.
+    pub lease_ttl_s: i64,
+    pub io: IoShim,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            writer: None,
+            lease_ttl_s: DEFAULT_LEASE_TTL_S,
+            io: IoShim::from_env(),
+        }
+    }
+}
+
 /// The on-disk store: loaded entries, quarantine records from this open,
-/// and the advisory lock held until drop.
+/// and the per-shard leases held until drop.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
+    writer: String,
+    lease_ttl_s: i64,
+    io: IoShim,
     entries: BTreeSet<String>,
-    renders: std::collections::BTreeMap<String, String>,
+    renders: BTreeMap<String, String>,
     quarantined: Vec<QuarantineNote>,
-    _lock: LockGuard,
+    held: BTreeSet<usize>,
+    contended: BTreeMap<usize, LeaseInfo>,
 }
 
 impl DiskStore {
-    /// Open (creating if needed) the store at `dir`.
+    /// Open (creating if needed) the store at `dir` with default options.
     ///
-    /// Acquires the advisory lock — a live competing writer yields
-    /// [`DiskStoreError::Busy`]; a stale lock (dead PID or unreadable
-    /// lock file) is taken over. Every resident entry is verified; bad
-    /// ones are moved to `dir/corrupt/` and recorded in
+    /// Tries to lease every shard — shards held by a live competing writer
+    /// are recorded as contended (persists to them are skipped), never an
+    /// error. A v1-layout store is migrated first; only a *live v1 lock
+    /// holder* yields [`DiskStoreError::Busy`]. Every resident entry is
+    /// verified; bad ones are moved to `dir/corrupt/` and recorded in
     /// [`DiskStore::quarantined`], never returned as errors.
     pub fn open(dir: &Path) -> Result<DiskStore, DiskStoreError> {
-        fs::create_dir_all(dir.join(ENTRIES_DIR)).map_err(|e| io_err("creating entries dir", e))?;
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Open with explicit writer identity, lease TTL, and I/O shim.
+    pub fn open_with(dir: &Path, opts: StoreOptions) -> Result<DiskStore, DiskStoreError> {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating store dir", e))?;
+        migrate_v1(dir)?;
+        check_or_write_meta(dir, &opts.io)?;
         fs::create_dir_all(dir.join(CORRUPT_DIR)).map_err(|e| io_err("creating corrupt dir", e))?;
-        let lock = Self::acquire_lock(dir)?;
+        fs::create_dir_all(dir.join(REFS_DIR)).map_err(|e| io_err("creating refs dir", e))?;
+        for shard in 0..SHARD_COUNT {
+            fs::create_dir_all(dir.join(shard_dir_name(shard)))
+                .map_err(|e| io_err("creating shard dir", e))?;
+        }
+        let writer = opts
+            .writer
+            .as_deref()
+            .and_then(sanitize_writer)
+            .unwrap_or_else(default_writer);
         let mut store = DiskStore {
             dir: dir.to_path_buf(),
+            writer,
+            lease_ttl_s: opts.lease_ttl_s,
+            io: opts.io,
             entries: BTreeSet::new(),
-            renders: std::collections::BTreeMap::new(),
+            renders: BTreeMap::new(),
             quarantined: Vec::new(),
-            _lock: lock,
+            held: BTreeSet::new(),
+            contended: BTreeMap::new(),
         };
+        // Leases are acquired lazily, per shard, at first persist — a
+        // writer only claims what it actually writes, so K writers share
+        // one store instead of the first open hogging every shard. Here we
+        // only record who currently holds what, for accounting.
+        let now = unix_now();
+        for shard in 0..SHARD_COUNT {
+            if let Some(info) = read_lease(&store.lease_path(shard)) {
+                if info.writer != store.writer && info.is_live(now) {
+                    store.contended.insert(shard, info);
+                }
+            }
+        }
         store.load_entries()?;
         Ok(store)
     }
 
-    fn acquire_lock(dir: &Path) -> Result<LockGuard, DiskStoreError> {
-        let path = dir.join(LOCK_FILE);
-        for _ in 0..2 {
-            let mut m = tinycfg::Map::new();
-            m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
-            m.insert("acquired_unix", tinycfg::Value::Int(unix_now()));
-            match OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut f) => {
-                    let body = tinycfg::Value::Map(m).to_json();
-                    f.write_all(body.as_bytes())
-                        .and_then(|_| f.sync_data())
-                        .map_err(|e| io_err("writing lock file", e))?;
-                    return Ok(LockGuard { path });
+    /// Eagerly lease every shard this handle can (an exclusive-writer
+    /// claim, e.g. for maintenance windows or contention tests). Returns
+    /// the number of shards now held.
+    pub fn acquire_all(&mut self) -> usize {
+        for shard in 0..SHARD_COUNT {
+            self.try_acquire_shard(shard);
+        }
+        self.held.len()
+    }
+
+    fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.dir.join(shard_dir_name(shard))
+    }
+
+    fn lease_path(&self, shard: usize) -> PathBuf {
+        self.shard_dir(shard).join(LEASE_FILE)
+    }
+
+    fn lease_body(&self) -> String {
+        let now = unix_now();
+        let mut m = tinycfg::Map::new();
+        m.insert("writer", tinycfg::Value::Str(self.writer.clone()));
+        m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
+        m.insert("acquired_unix", tinycfg::Value::Int(now));
+        m.insert(
+            "expires_unix",
+            tinycfg::Value::Int(now.saturating_add(self.lease_ttl_s)),
+        );
+        tinycfg::Value::Map(m).to_json()
+    }
+
+    /// Try to lease `shard`. A live competing lease marks the shard
+    /// contended; an expired/dead/unreadable one is taken over by atomic
+    /// overwrite. Every path ends in a read-back verification, so the
+    /// loser of a takeover race discovers it here instead of double-
+    /// writing. Never an error: a shard we cannot lease is just skipped
+    /// by persists.
+    fn try_acquire_shard(&mut self, shard: usize) -> bool {
+        if self.held.contains(&shard) {
+            return true;
+        }
+        let path = self.lease_path(shard);
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let body = self.lease_body();
+                let wrote = self
+                    .io
+                    .write_all(&mut f, &path, body.as_bytes())
+                    .and_then(|_| self.io.fsync(&f, &path));
+                drop(f);
+                if wrote.is_err() {
+                    // Injected or real fault mid-lease-write: the file may
+                    // be torn; remove it so nobody trusts it, and treat
+                    // the shard as unavailable this time around.
+                    let _ = fs::remove_file(&path);
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    // Somebody holds (or held) the lock: stale locks from
-                    // dead PIDs are taken over, live ones report Busy.
-                    let holder = fs::read_to_string(&path)
-                        .ok()
-                        .and_then(|text| tinycfg::parse(&text).ok())
-                        .map(|v| {
-                            (
-                                v.get_path("pid").and_then(|p| p.as_int()),
-                                v.get_path("acquired_unix")
-                                    .and_then(|t| t.as_int())
-                                    .unwrap_or(0),
-                            )
-                        });
-                    match holder {
-                        Some((Some(pid), acquired_unix)) if pid >= 0 && pid_alive(pid as u32) => {
-                            return Err(DiskStoreError::Busy {
-                                pid: pid as u32,
-                                acquired_unix,
-                            });
-                        }
-                        _ => {
-                            // Dead or unreadable: take over and retry once.
-                            let _ = fs::remove_file(&path);
-                        }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                match read_lease(&path) {
+                    Some(info) if info.writer != self.writer && info.is_live(unix_now()) => {
+                        self.contended.insert(shard, info);
+                        return false;
+                    }
+                    _ => {
+                        // Expired, dead-PID, or unreadable: take over by
+                        // atomic overwrite (not unlink + create, which
+                        // would let two racers both "win" a create_new).
+                        let _ = write_atomic_with(&self.io, &path, &self.lease_body());
                     }
                 }
-                Err(e) => return Err(io_err("creating lock file", e)),
+            }
+            Err(_) => {}
+        }
+        match read_lease(&path) {
+            Some(info) if info.writer == self.writer => {
+                self.held.insert(shard);
+                self.contended.remove(&shard);
+                true
+            }
+            Some(info) => {
+                self.contended.insert(shard, info);
+                false
+            }
+            None => {
+                self.contended.insert(
+                    shard,
+                    LeaseInfo {
+                        writer: "unknown".to_string(),
+                        pid: 0,
+                        acquired_unix: 0,
+                        expires_unix: 0,
+                    },
+                );
+                false
             }
         }
-        Err(DiskStoreError::Io(
-            "lock takeover raced with another writer".to_string(),
-        ))
+    }
+
+    /// Heartbeat: push every held lease's expiry forward. Returns the
+    /// shards *lost* since the last renewal (expired and taken over by
+    /// another writer) — those fall back to contended and their persists
+    /// are skipped from now on.
+    pub fn renew_leases(&mut self) -> Vec<usize> {
+        let mut lost = Vec::new();
+        for shard in self.held.clone() {
+            let path = self.lease_path(shard);
+            match read_lease(&path) {
+                Some(info) if info.writer == self.writer => {
+                    // Still ours: renew. A failed renewal write keeps the
+                    // old (sooner) expiry, which is safe — we only ever
+                    // shorten our own claim.
+                    let _ = write_atomic_with(&self.io, &path, &self.lease_body());
+                }
+                other => {
+                    self.held.remove(&shard);
+                    if let Some(info) = other {
+                        self.contended.insert(shard, info);
+                    }
+                    lost.push(shard);
+                }
+            }
+        }
+        lost
     }
 
     fn load_entries(&mut self) -> Result<(), DiskStoreError> {
-        let entries_dir = self.dir.join(ENTRIES_DIR);
-        let mut names: Vec<PathBuf> = fs::read_dir(&entries_dir)
-            .map_err(|e| io_err("listing entries", e))?
-            .filter_map(|r| r.ok().map(|d| d.path()))
-            .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
-            .collect();
-        names.sort();
-        for path in names {
-            let stem = path
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            let verdict = match fs::read(&path) {
-                Err(e) => Err(format!("unreadable: {e}")),
-                Ok(bytes) => match String::from_utf8(bytes) {
-                    Err(_) => Err("not valid UTF-8".to_string()),
-                    Ok(text) => StoreEntry::decode(&text).and_then(|entry| {
-                        if entry.hash == stem {
-                            Ok(entry)
-                        } else {
-                            Err(format!(
-                                "hash {} does not match file name {stem}",
-                                entry.hash
-                            ))
-                        }
-                    }),
-                },
-            };
-            match verdict {
-                Ok(entry) => {
-                    self.entries.insert(entry.hash.clone());
-                    self.renders.insert(entry.hash, entry.render);
+        for shard in 0..SHARD_COUNT {
+            let shard_dir = self.shard_dir(shard);
+            // Dotfiles are infrastructure (leases, in-flight temps from
+            // atomic writes), never committed entries.
+            let mut names: Vec<PathBuf> = fs::read_dir(&shard_dir)
+                .map_err(|e| io_err("listing shard", e))?
+                .filter_map(|r| r.ok().map(|d| d.path()))
+                .filter(|p| is_entry_file(p))
+                .collect();
+            names.sort();
+            for path in names {
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let verdict = match fs::read(&path) {
+                    Err(e) => Err(format!("unreadable: {e}")),
+                    Ok(bytes) => match String::from_utf8(bytes) {
+                        Err(_) => Err("not valid UTF-8".to_string()),
+                        Ok(text) => StoreEntry::decode(&text).and_then(|entry| {
+                            if entry.hash != stem {
+                                Err(format!(
+                                    "hash {} does not match file name {stem}",
+                                    entry.hash
+                                ))
+                            } else if shard_of(&entry.hash) != shard {
+                                Err(format!(
+                                    "entry {} misplaced in {} (belongs in {})",
+                                    entry.hash,
+                                    shard_dir_name(shard),
+                                    shard_name(&entry.hash)
+                                ))
+                            } else {
+                                Ok(entry)
+                            }
+                        }),
+                    },
+                };
+                match verdict {
+                    Ok(entry) => {
+                        self.entries.insert(entry.hash.clone());
+                        self.renders.insert(entry.hash, entry.render);
+                    }
+                    Err(reason) => self.quarantine(&path, reason),
                 }
-                Err(reason) => self.quarantine(&path, reason),
             }
         }
         Ok(())
@@ -445,6 +756,24 @@ impl DiskStore {
         &self.dir
     }
 
+    /// This store handle's lease identity.
+    pub fn writer(&self) -> &str {
+        &self.writer
+    }
+
+    /// Number of shards this handle holds leases on.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Shards leased by competing writers, as (shard name, holder).
+    pub fn contended(&self) -> Vec<(String, LeaseInfo)> {
+        self.contended
+            .iter()
+            .map(|(s, info)| (shard_dir_name(*s), info.clone()))
+            .collect()
+    }
+
     /// Is `hash` resident (verified) on disk as of open?
     pub fn resident(&self, hash: &str) -> bool {
         self.entries.contains(hash)
@@ -472,30 +801,41 @@ impl DiskStore {
         }
     }
 
-    /// Persist one entry atomically. Overwrites any same-hash entry (the
-    /// content hash makes that a no-op in practice).
-    pub fn persist(&mut self, entry: &StoreEntry) -> Result<(), DiskStoreError> {
-        let path = self
-            .dir
-            .join(ENTRIES_DIR)
-            .join(format!("{}.json", entry.hash));
-        write_atomic(&path, &entry.encode()).map_err(|e| io_err("persisting entry", e))?;
+    /// Persist one entry atomically into its shard. Overwrites any
+    /// same-hash entry (the content hash makes that a no-op in practice).
+    /// A shard leased by a live competing writer is not written: the entry
+    /// is skipped with [`Persist::SkippedContended`] — only the contended
+    /// shard degrades, never the whole store.
+    pub fn persist(&mut self, entry: &StoreEntry) -> Result<Persist, DiskStoreError> {
+        let shard = shard_of(&entry.hash);
+        if !self.try_acquire_shard(shard) {
+            return Ok(Persist::SkippedContended);
+        }
+        let path = self.shard_dir(shard).join(format!("{}.json", entry.hash));
+        write_atomic_with(&self.io, &path, &entry.encode())
+            .map_err(|e| io_err("persisting entry", e))?;
         self.entries.insert(entry.hash.clone());
         self.renders
             .insert(entry.hash.clone(), entry.render.clone());
-        Ok(())
+        Ok(Persist::Written)
     }
 
-    /// Append one study's reference record to `refs.jsonl` (fsync'd). The
-    /// study number is one past the longest valid prefix of the log, so a
-    /// torn tail from a crash is simply overwritten by growth.
+    /// Append one study's reference record to this writer's own segment
+    /// `refs/<writer>.jsonl` (fsync'd). Segments are single-writer, so no
+    /// lease is needed; the study number is one past the longest valid
+    /// prefix of the segment, and a torn tail from a crash is simply
+    /// overwritten by growth.
     pub fn append_refs(&self, hashes: &BTreeSet<String>) -> Result<(), DiskStoreError> {
-        let path = self.dir.join(REFS_FILE);
-        let prior = match fs::read_to_string(&path) {
-            Ok(text) => parse_ref_log(&text).len(),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
-            Err(e) => return Err(io_err("reading reference log", e)),
+        let path = self
+            .dir
+            .join(REFS_DIR)
+            .join(format!("{}.jsonl", self.writer));
+        let old = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err("reading reference segment", e)),
         };
+        let prior = parse_ref_log(&old).len();
         let mut m = tinycfg::Map::new();
         m.insert("study", tinycfg::Value::Int(prior as i64 + 1));
         m.insert(
@@ -510,34 +850,53 @@ impl DiskStore {
         let line = format!("{}\n", tinycfg::Value::Map(m).to_json());
         // Rewrite the valid prefix + the new record atomically, dropping
         // any torn tail left by a previous crash.
-        let mut text = match fs::read_to_string(&path) {
-            Ok(old) => parse_ref_log_lines(&old).join(""),
-            Err(_) => String::new(),
-        };
+        let mut text = parse_ref_log_lines(&old).join("");
         text.push_str(&line);
-        write_atomic(&path, &text).map_err(|e| io_err("appending reference log", e))
+        write_atomic_with(&self.io, &path, &text)
+            .map_err(|e| io_err("appending reference segment", e))
     }
 
-    /// Evict entries not referenced by the last `keep_last` studies.
-    /// Quarantined files under `corrupt/` are never touched.
+    /// Evict entries not referenced by the last `keep_last` records of the
+    /// merged reference log. Entries referenced by *any* writer holding a
+    /// live lease are never evicted (that writer's study is in flight);
+    /// shards leased by a live competing writer are skipped with notice
+    /// rather than raced. Quarantined files under `corrupt/` are never
+    /// touched.
     pub fn gc(&mut self, keep_last: usize) -> Result<GcReport, DiskStoreError> {
-        let path = self.dir.join(REFS_FILE);
-        let studies = match fs::read_to_string(&path) {
-            Ok(text) => parse_ref_log(&text),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(io_err("reading reference log", e)),
-        };
-        let start = studies.len().saturating_sub(keep_last);
-        let live: BTreeSet<&String> = studies[start..].iter().flatten().collect();
-        let mut evicted = 0;
+        let records = merged_ref_log(&self.dir)?;
+        let start = records.len().saturating_sub(keep_last);
+        let mut live: BTreeSet<String> = records[start..]
+            .iter()
+            .flat_map(|r| r.refs.iter().cloned())
+            .collect();
+        // Writers holding a live lease anywhere may be mid-study: every
+        // entry any of their records reference stays live.
+        let now = unix_now();
+        let live_writers: BTreeSet<String> = (0..SHARD_COUNT)
+            .filter_map(|s| read_lease(&self.lease_path(s)))
+            .filter(|info| info.writer != self.writer && info.is_live(now))
+            .map(|info| info.writer)
+            .collect();
+        for record in &records {
+            if live_writers.contains(&record.writer) {
+                live.extend(record.refs.iter().cloned());
+            }
+        }
         let doomed: Vec<String> = self
             .entries
             .iter()
-            .filter(|h| !live.contains(h))
+            .filter(|h| !live.contains(*h))
             .cloned()
             .collect();
+        let mut evicted = 0;
+        let mut skipped: BTreeSet<String> = BTreeSet::new();
         for hash in doomed {
-            let path = self.dir.join(ENTRIES_DIR).join(format!("{hash}.json"));
+            let shard = shard_of(&hash);
+            if !self.try_acquire_shard(shard) {
+                skipped.insert(shard_dir_name(shard));
+                continue;
+            }
+            let path = self.shard_dir(shard).join(format!("{hash}.json"));
             fs::remove_file(&path).map_err(|e| io_err("evicting entry", e))?;
             self.entries.remove(&hash);
             self.renders.remove(&hash);
@@ -546,15 +905,324 @@ impl DiskStore {
         Ok(GcReport {
             kept: self.entries.len(),
             evicted,
-            studies_considered: studies.len().min(keep_last),
+            studies_considered: records.len().min(keep_last),
+            skipped_shards: skipped.into_iter().collect(),
         })
     }
 }
 
-/// Parse the reference log to its longest valid prefix: each line must be
-/// a JSON map with an in-order `study` number and a list of string refs.
-/// The first deviation (torn tail, garbage, out-of-order study) ends the
-/// prefix — everything before it is trusted, everything after discarded.
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        // Release only leases that are still ours: a takeover after expiry
+        // means the file now belongs to someone else.
+        for &shard in &self.held {
+            let path = self.lease_path(shard);
+            if matches!(read_lease(&path), Some(info) if info.writer == self.writer) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+/// Validate (or create) `DIR/store.meta`. An unreadable meta file is
+/// rewritten — layout presence, not the marker, is the real authority —
+/// but a *different version* is a hard error: refuse to scribble on a
+/// future layout.
+fn check_or_write_meta(dir: &Path, io: &IoShim) -> Result<(), DiskStoreError> {
+    let path = dir.join(STORE_META);
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(v) = tinycfg::parse(&text) {
+            let version = v.get_path("version").and_then(|x| x.as_int());
+            match version {
+                Some(STORE_VERSION) => return Ok(()),
+                Some(other) => {
+                    return Err(DiskStoreError::Io(format!(
+                        "unsupported store version {other} (this build reads {STORE_VERSION})"
+                    )))
+                }
+                None => {}
+            }
+        }
+    }
+    let mut m = tinycfg::Map::new();
+    m.insert("format", tinycfg::Value::Str(STORE_FORMAT.to_string()));
+    m.insert("version", tinycfg::Value::Int(STORE_VERSION));
+    write_atomic_with(
+        io,
+        &path,
+        &format!("{}\n", tinycfg::Value::Map(m).to_json()),
+    )
+    .map_err(|e| io_err("writing store.meta", e))
+}
+
+/// Migrate a v1 single-lock store in place: entries move into their
+/// shards, `refs.jsonl` becomes the `v1` reference segment. Runs under
+/// the legacy `.lock` so a live v1 writer is never raced — that case is
+/// [`DiskStoreError::Busy`] and the caller degrades exactly as v1 callers
+/// always did.
+fn migrate_v1(dir: &Path) -> Result<(), DiskStoreError> {
+    let entries_dir = dir.join(V1_ENTRIES_DIR);
+    if !entries_dir.is_dir() {
+        return Ok(());
+    }
+    let _lock = acquire_v1_lock(dir)?;
+    let mut names: Vec<PathBuf> = fs::read_dir(&entries_dir)
+        .map_err(|e| io_err("listing v1 entries", e))?
+        .filter_map(|r| r.ok().map(|d| d.path()))
+        .filter(|p| is_entry_file(p))
+        .collect();
+    names.sort();
+    for path in names {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let shard_dir = dir.join(shard_name(&stem));
+        fs::create_dir_all(&shard_dir).map_err(|e| io_err("creating shard dir", e))?;
+        let name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        fs::rename(&path, shard_dir.join(name)).map_err(|e| io_err("migrating v1 entry", e))?;
+    }
+    let v1_refs = dir.join(V1_REFS_FILE);
+    if v1_refs.exists() {
+        let refs_dir = dir.join(REFS_DIR);
+        fs::create_dir_all(&refs_dir).map_err(|e| io_err("creating refs dir", e))?;
+        fs::rename(&v1_refs, refs_dir.join(format!("{V1_WRITER}.jsonl")))
+            .map_err(|e| io_err("migrating v1 reference log", e))?;
+    }
+    // Only removed if empty — leftover temp files stay for fsck to report.
+    let _ = fs::remove_dir(&entries_dir);
+    Ok(())
+}
+
+fn acquire_v1_lock(dir: &Path) -> Result<LockGuard, DiskStoreError> {
+    let path = dir.join(V1_LOCK_FILE);
+    for _ in 0..2 {
+        let mut m = tinycfg::Map::new();
+        m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
+        m.insert("acquired_unix", tinycfg::Value::Int(unix_now()));
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                let body = tinycfg::Value::Map(m).to_json();
+                f.write_all(body.as_bytes())
+                    .and_then(|_| f.sync_data())
+                    .map_err(|e| io_err("writing lock file", e))?;
+                return Ok(LockGuard { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|text| tinycfg::parse(&text).ok())
+                    .map(|v| {
+                        (
+                            v.get_path("pid").and_then(|p| p.as_int()),
+                            v.get_path("acquired_unix")
+                                .and_then(|t| t.as_int())
+                                .unwrap_or(0),
+                        )
+                    });
+                match holder {
+                    Some((Some(pid), acquired_unix)) if pid >= 0 && pid_alive(pid as u32) => {
+                        return Err(DiskStoreError::Busy {
+                            pid: pid as u32,
+                            acquired_unix,
+                        });
+                    }
+                    _ => {
+                        // Dead or unreadable: take over and retry once.
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => return Err(io_err("creating lock file", e)),
+        }
+    }
+    Err(DiskStoreError::Io(
+        "lock takeover raced with another writer".to_string(),
+    ))
+}
+
+/// What `fsck` found. Only invalid committed entries make the store
+/// unclean — orphaned temps and expired leases are normal crash residue,
+/// reported but harmless.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FsckReport {
+    /// Committed entries that decoded, checksum-verified, and sit in the
+    /// right shard under the right name.
+    pub valid: usize,
+    /// Committed entries failing any check, as (relative path, reason).
+    pub invalid: Vec<(String, String)>,
+    /// Leftover `.tmp-*` files from interrupted atomic writes.
+    pub orphan_temps: Vec<String>,
+    /// Leases held by live writers, as human-readable descriptions.
+    pub live_leases: Vec<String>,
+    /// Leases past expiry or with dead holder PIDs.
+    pub expired_leases: Vec<String>,
+    /// Per-writer reference segments found, and valid records across them.
+    pub ref_segments: usize,
+    pub ref_records: usize,
+    /// Files sitting in `corrupt/` (previously quarantined).
+    pub quarantined: usize,
+    /// True when an unmigrated v1 `entries/` directory is present.
+    pub legacy_layout: bool,
+}
+
+impl FsckReport {
+    /// Clean means no invalid committed entry; crash residue is fine.
+    pub fn clean(&self) -> bool {
+        self.invalid.is_empty()
+    }
+}
+
+fn scan_temps(dir: &Path, rel: &str, out: &mut Vec<String>) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    for entry in rd.filter_map(|r| r.ok()) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(".tmp-") {
+            out.push(if rel.is_empty() {
+                name
+            } else {
+                format!("{rel}/{name}")
+            });
+        }
+    }
+}
+
+/// Read-only integrity scan of a store directory: verifies every
+/// committed entry (checksum, canonical form, file name, shard
+/// placement), and reports orphaned temp files, lease states, reference
+/// segments, and quarantine counts. Takes no lease and moves nothing —
+/// safe to run against a store other writers are using.
+pub fn fsck(dir: &Path) -> Result<FsckReport, DiskStoreError> {
+    if !dir.is_dir() {
+        return Err(DiskStoreError::Io(format!("no store at {}", dir.display())));
+    }
+    let mut report = FsckReport::default();
+    let now = unix_now();
+    scan_temps(dir, "", &mut report.orphan_temps);
+    let check_entry = |path: &Path, rel: String, shard: Option<usize>, report: &mut FsckReport| {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let verdict = match fs::read(path) {
+            Err(e) => Err(format!("unreadable: {e}")),
+            Ok(bytes) => match String::from_utf8(bytes) {
+                Err(_) => Err("not valid UTF-8".to_string()),
+                Ok(text) => StoreEntry::decode(&text).and_then(|entry| {
+                    if entry.hash != stem {
+                        Err(format!(
+                            "hash {} does not match file name {stem}",
+                            entry.hash
+                        ))
+                    } else if shard.is_some_and(|s| shard_of(&entry.hash) != s) {
+                        Err(format!("misplaced: belongs in {}", shard_name(&entry.hash)))
+                    } else {
+                        Ok(())
+                    }
+                }),
+            },
+        };
+        match verdict {
+            Ok(()) => report.valid += 1,
+            Err(reason) => report.invalid.push((rel, reason)),
+        }
+    };
+    for shard in 0..SHARD_COUNT {
+        let sname = shard_dir_name(shard);
+        let shard_dir = dir.join(&sname);
+        if !shard_dir.is_dir() {
+            continue;
+        }
+        scan_temps(&shard_dir, &sname, &mut report.orphan_temps);
+        let lease_path = shard_dir.join(LEASE_FILE);
+        if lease_path.exists() {
+            match read_lease(&lease_path) {
+                Some(info) if info.is_live(now) => report.live_leases.push(format!(
+                    "{sname}: writer {} (pid {}, expires unix {})",
+                    info.writer, info.pid, info.expires_unix
+                )),
+                Some(info) => report.expired_leases.push(format!(
+                    "{sname}: writer {} (pid {}, expired unix {})",
+                    info.writer, info.pid, info.expires_unix
+                )),
+                None => report
+                    .expired_leases
+                    .push(format!("{sname}: unreadable lease")),
+            }
+        }
+        let mut names: Vec<PathBuf> = fs::read_dir(&shard_dir)
+            .map_err(|e| io_err("listing shard", e))?
+            .filter_map(|r| r.ok().map(|d| d.path()))
+            .filter(|p| is_entry_file(p))
+            .collect();
+        names.sort();
+        for path in names {
+            let rel = format!(
+                "{sname}/{}",
+                path.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            );
+            check_entry(&path, rel, Some(shard), &mut report);
+        }
+    }
+    // An unmigrated v1 layout: verify those entries too (no shard check).
+    let v1_entries = dir.join(V1_ENTRIES_DIR);
+    if v1_entries.is_dir() {
+        report.legacy_layout = true;
+        scan_temps(&v1_entries, V1_ENTRIES_DIR, &mut report.orphan_temps);
+        let mut names: Vec<PathBuf> = fs::read_dir(&v1_entries)
+            .map_err(|e| io_err("listing v1 entries", e))?
+            .filter_map(|r| r.ok().map(|d| d.path()))
+            .filter(|p| is_entry_file(p))
+            .collect();
+        names.sort();
+        for path in names {
+            let rel = format!(
+                "{V1_ENTRIES_DIR}/{}",
+                path.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            );
+            check_entry(&path, rel, None, &mut report);
+        }
+    }
+    let refs_dir = dir.join(REFS_DIR);
+    if refs_dir.is_dir() {
+        scan_temps(&refs_dir, REFS_DIR, &mut report.orphan_temps);
+    }
+    for record in merged_ref_log(dir)? {
+        let _ = record;
+        report.ref_records += 1;
+    }
+    if refs_dir.is_dir() {
+        report.ref_segments = fs::read_dir(&refs_dir)
+            .map_err(|e| io_err("listing reference segments", e))?
+            .filter_map(|r| r.ok())
+            .filter(|d| d.path().extension().map(|x| x == "jsonl").unwrap_or(false))
+            .count();
+    }
+    let corrupt_dir = dir.join(CORRUPT_DIR);
+    if corrupt_dir.is_dir() {
+        report.quarantined = fs::read_dir(&corrupt_dir)
+            .map_err(|e| io_err("listing corrupt dir", e))?
+            .filter_map(|r| r.ok())
+            .filter(|d| d.file_name().to_string_lossy() != QUARANTINE_LOG)
+            .count();
+    }
+    report.orphan_temps.sort();
+    report.invalid.sort();
+    Ok(report)
+}
+
+/// Parse a reference segment to its longest valid prefix: each line must
+/// be a JSON map with an in-order `study` number and a list of string
+/// refs. The first deviation (torn tail, garbage, out-of-order study)
+/// ends the prefix — everything before it is trusted, everything after
+/// discarded.
 pub fn parse_ref_log(text: &str) -> Vec<Vec<String>> {
     let mut studies = Vec::new();
     for line in text.split_inclusive('\n') {
@@ -597,6 +1265,7 @@ fn parse_ref_line(line: &str, expect_study: usize) -> Option<Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::iofault::FaultSpec;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -629,6 +1298,18 @@ mod tests {
         }
     }
 
+    fn open_as(dir: &Path, writer: &str) -> DiskStore {
+        DiskStore::open_with(
+            dir,
+            StoreOptions {
+                writer: Some(writer.to_string()),
+                lease_ttl_s: DEFAULT_LEASE_TTL_S,
+                io: IoShim::Real,
+            },
+        )
+        .unwrap()
+    }
+
     #[test]
     fn encode_decode_round_trips() {
         let e = entry("abc123");
@@ -650,13 +1331,16 @@ mod tests {
         let dir = tmpdir("reopen");
         {
             let mut store = DiskStore::open(&dir).unwrap();
-            store.persist(&entry("aaa")).unwrap();
-            store.persist(&entry("bbb")).unwrap();
+            assert_eq!(store.persist(&entry("aaa")).unwrap(), Persist::Written);
+            assert_eq!(store.persist(&entry("bbb")).unwrap(), Persist::Written);
         }
         let store = DiskStore::open(&dir).unwrap();
         assert_eq!(store.len(), 2);
         assert!(store.resident("aaa") && store.resident("bbb"));
         assert!(store.quarantined().is_empty());
+        // Entries landed in their content-hash shards.
+        assert!(dir.join(shard_name("aaa")).join("aaa.json").exists());
+        assert!(dir.join(shard_name("bbb")).join("bbb.json").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -678,15 +1362,15 @@ mod tests {
     #[test]
     fn any_single_byte_flip_quarantines() {
         let dir = tmpdir("byteflip");
+        let path = dir.join(shard_name("flip")).join("flip.json");
         let bytes = {
             let mut store = DiskStore::open(&dir).unwrap();
             store.persist(&entry("flip")).unwrap();
-            fs::read(dir.join("entries/flip.json")).unwrap()
+            fs::read(&path).unwrap()
         };
         for offset in 0..bytes.len() {
             let mut mutated = bytes.clone();
             mutated[offset] ^= 0x01;
-            let path = dir.join("entries/flip.json");
             fs::write(&path, &mutated).unwrap();
             let store = DiskStore::open(&dir).unwrap();
             assert!(
@@ -714,7 +1398,7 @@ mod tests {
             let mut store = DiskStore::open(&dir).unwrap();
             store.persist(&entry("logme")).unwrap();
         }
-        fs::write(dir.join("entries/logme.json"), b"garbage").unwrap();
+        fs::write(dir.join(shard_name("logme")).join("logme.json"), b"garbage").unwrap();
         let store = DiskStore::open(&dir).unwrap();
         assert_eq!(store.quarantined().len(), 1);
         let log = fs::read_to_string(dir.join("corrupt/quarantine.jsonl")).unwrap();
@@ -724,10 +1408,10 @@ mod tests {
 
     #[test]
     fn hash_filename_mismatch_quarantines() {
-        let dir = tmpdir("rename");
+        let dir = tmpdir("mismatch");
         let text = entry("real").encode();
-        fs::create_dir_all(dir.join("entries")).unwrap();
-        fs::write(dir.join("entries/fake.json"), text).unwrap();
+        fs::create_dir_all(dir.join(shard_name("fake"))).unwrap();
+        fs::write(dir.join(shard_name("fake")).join("fake.json"), text).unwrap();
         let store = DiskStore::open(&dir).unwrap();
         assert_eq!(store.quarantined().len(), 1);
         assert!(!store.resident("real") && !store.resident("fake"));
@@ -735,56 +1419,181 @@ mod tests {
     }
 
     #[test]
-    fn live_lock_reports_busy() {
-        let dir = tmpdir("busy");
-        let _held = DiskStore::open(&dir).unwrap();
-        match DiskStore::open(&dir) {
-            Err(DiskStoreError::Busy { pid, .. }) => {
-                assert_eq!(pid, std::process::id())
-            }
-            other => panic!("expected Busy, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn stale_lock_is_taken_over() {
-        let dir = tmpdir("stale");
-        // A PID far above any real pid_max: /proc/<pid> cannot exist.
-        fs::write(dir.join(".lock"), "{\"pid\":999999999,\"acquired_unix\":1}").unwrap();
+    fn misplaced_entry_quarantines() {
+        let dir = tmpdir("misplaced");
+        // A valid entry dropped into the wrong shard: gc and persist
+        // compute paths from the hash, so a misplaced file is unreachable
+        // and must be quarantined, not trusted.
+        let wrong = (shard_of("stray") + 1) % SHARD_COUNT;
+        fs::create_dir_all(dir.join(shard_dir_name(wrong))).unwrap();
+        fs::write(
+            dir.join(shard_dir_name(wrong)).join("stray.json"),
+            entry("stray").encode(),
+        )
+        .unwrap();
         let store = DiskStore::open(&dir).unwrap();
-        assert!(store.is_empty());
+        assert_eq!(store.quarantined().len(), 1);
+        assert!(store.quarantined()[0].reason.contains("misplaced"));
+        assert!(!store.resident("stray"));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn unreadable_lock_is_taken_over() {
-        let dir = tmpdir("junklock");
-        fs::write(dir.join(".lock"), "not json at all").unwrap();
-        assert!(DiskStore::open(&dir).is_ok());
+    fn competing_live_writer_contends_shards_not_the_open() {
+        let dir = tmpdir("contend");
+        let mut held = open_as(&dir, "first");
+        assert_eq!(held.held_count(), 0, "leases are lazy: open claims none");
+        held.persist(&entry("zzz")).unwrap();
+        assert_eq!(held.held_count(), 1, "persist leases only its own shard");
+        // A second writer still opens — only persists into the contended
+        // shard are skipped; the rest of the store is free.
+        let mut second = open_as(&dir, "second");
+        assert_eq!(second.contended().len(), 1);
+        assert_eq!(second.contended()[0].0, shard_name("zzz"));
+        assert_eq!(
+            second.persist(&entry("zzz")).unwrap(),
+            Persist::SkippedContended
+        );
+        drop(held);
+        // Leases released: the same handle lazily re-acquires on persist.
+        assert_eq!(second.persist(&entry("zzz")).unwrap(), Persist::Written);
+        assert!(second.resident("zzz"));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn lock_released_on_drop() {
+    fn acquire_all_claims_every_free_shard() {
+        let dir = tmpdir("acquireall");
+        let mut holder = open_as(&dir, "holder");
+        assert_eq!(holder.acquire_all(), SHARD_COUNT);
+        let mut second = open_as(&dir, "second");
+        assert_eq!(second.acquire_all(), 0);
+        assert_eq!(second.contended().len(), SHARD_COUNT);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leases_released_on_drop() {
         let dir = tmpdir("release");
+        let lease = dir.join(shard_name("zzz")).join(".lease");
         {
-            let _s = DiskStore::open(&dir).unwrap();
-            assert!(dir.join(".lock").exists());
+            let mut s = open_as(&dir, "holder");
+            s.persist(&entry("zzz")).unwrap();
+            assert!(lease.exists());
         }
-        assert!(!dir.join(".lock").exists());
-        assert!(DiskStore::open(&dir).is_ok());
+        assert!(!lease.exists());
+        let mut s = open_as(&dir, "next");
+        assert_eq!(s.persist(&entry("zzz")).unwrap(), Persist::Written);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_lease_is_taken_over_and_renew_detects_loss() {
+        let dir = tmpdir("expire");
+        // TTL -1: every lease `a` writes is already expired.
+        let mut a = DiskStore::open_with(
+            &dir,
+            StoreOptions {
+                writer: Some("a".to_string()),
+                lease_ttl_s: -1,
+                io: IoShim::Real,
+            },
+        )
+        .unwrap();
+        a.persist(&entry("x")).unwrap();
+        assert_eq!(a.held_count(), 1);
+        // A second writer may take over expired leases even though the
+        // holder's PID is alive — expiry, not liveness, governs takeover.
+        let mut b = open_as(&dir, "b");
+        assert_eq!(b.persist(&entry("x")).unwrap(), Persist::Written);
+        // The original holder discovers the loss at heartbeat time...
+        let lost = a.renew_leases();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(a.held_count(), 0);
+        // ...and degrades its persists instead of double-writing.
+        assert_eq!(a.persist(&entry("x")).unwrap(), Persist::SkippedContended);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renewal_extends_a_live_lease() {
+        let dir = tmpdir("renew");
+        let mut a = open_as(&dir, "a");
+        a.persist(&entry("renewme")).unwrap();
+        let lease = dir.join(shard_name("renewme")).join(".lease");
+        let before = read_lease(&lease).unwrap();
+        assert!(a.renew_leases().is_empty());
+        let after = read_lease(&lease).unwrap();
+        assert_eq!(after.writer, "a");
+        assert!(after.expires_unix >= before.expires_unix);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_pid_lease_is_taken_over() {
+        let dir = tmpdir("deadpid");
+        let shard = dir.join(shard_name("q"));
+        fs::create_dir_all(&shard).unwrap();
+        // A PID far above any real pid_max with an unexpired lease: the
+        // holder is dead, so the lease is stale despite its expiry.
+        fs::write(
+            shard.join(".lease"),
+            format!(
+                "{{\"writer\":\"ghost\",\"pid\":999999999,\"acquired_unix\":1,\"expires_unix\":{}}}",
+                unix_now() + 3600
+            ),
+        )
+        .unwrap();
+        let mut s = open_as(&dir, "taker");
+        assert_eq!(s.persist(&entry("q")).unwrap(), Persist::Written);
+        assert_eq!(read_lease(&shard.join(".lease")).unwrap().writer, "taker");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_lease_is_taken_over() {
+        let dir = tmpdir("junklease");
+        let shard = dir.join(shard_name("q"));
+        fs::create_dir_all(&shard).unwrap();
+        fs::write(shard.join(".lease"), "not json at all").unwrap();
+        let mut s = open_as(&dir, "taker");
+        assert_eq!(s.persist(&entry("q")).unwrap(), Persist::Written);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_write_faults_degrade_shards_not_the_open() {
+        let dir = tmpdir("leasefault");
+        let mut spec = FaultSpec::quiet(13);
+        spec.torn = 1.0;
+        spec.only_matching = Some(".lease".to_string());
+        let mut s = DiskStore::open_with(
+            &dir,
+            StoreOptions {
+                writer: Some("faulted".to_string()),
+                lease_ttl_s: DEFAULT_LEASE_TTL_S,
+                io: IoShim::faulty(spec),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            s.persist(&entry("q")).unwrap(),
+            Persist::SkippedContended,
+            "an unleasable shard skips, never errors"
+        );
+        assert_eq!(s.held_count(), 0, "every lease write was torn");
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn refs_log_appends_in_order() {
         let dir = tmpdir("refs");
-        let store = DiskStore::open(&dir).unwrap();
+        let store = open_as(&dir, "solo");
         let one: BTreeSet<String> = ["a".to_string()].into();
         let two: BTreeSet<String> = ["a".to_string(), "b".to_string()].into();
         store.append_refs(&one).unwrap();
         store.append_refs(&two).unwrap();
-        let text = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+        let text = fs::read_to_string(dir.join("refs/solo.jsonl")).unwrap();
         let parsed = parse_ref_log(&text);
         assert_eq!(
             parsed,
@@ -796,18 +1605,43 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
-    /// Crash simulation: truncate the reference log at EVERY byte offset
-    /// and assert recovery to the longest valid prefix — then that a new
-    /// append self-heals the log.
+    #[test]
+    fn ref_segments_merge_by_study_then_writer() {
+        let dir = tmpdir("merge");
+        let a = open_as(&dir, "aa");
+        let b = open_as(&dir, "bb");
+        a.append_refs(&["x".to_string()].into()).unwrap();
+        b.append_refs(&["y".to_string()].into()).unwrap();
+        a.append_refs(&["z".to_string()].into()).unwrap();
+        let merged = merged_ref_log(&dir).unwrap();
+        let view: Vec<(usize, &str, &[String])> = merged
+            .iter()
+            .map(|r| (r.study, r.writer.as_str(), r.refs.as_slice()))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                (1, "aa", ["x".to_string()].as_slice()),
+                (1, "bb", ["y".to_string()].as_slice()),
+                (2, "aa", ["z".to_string()].as_slice()),
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Crash simulation: truncate one writer's reference segment at EVERY
+    /// byte offset and assert recovery to the longest valid prefix — then
+    /// that a new append self-heals the segment.
     #[test]
     fn refs_log_truncation_recovers_longest_valid_prefix() {
         let dir = tmpdir("truncate");
-        let store = DiskStore::open(&dir).unwrap();
+        let store = open_as(&dir, "solo");
         for n in 0..3usize {
             let refs: BTreeSet<String> = (0..=n).map(|i| format!("hash-{i}")).collect();
             store.append_refs(&refs).unwrap();
         }
-        let full = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+        let seg = dir.join("refs/solo.jsonl");
+        let full = fs::read_to_string(&seg).unwrap();
         let complete = parse_ref_log(&full);
         assert_eq!(complete.len(), 3);
         // Offsets where each full record (incl. newline) ends.
@@ -829,10 +1663,10 @@ mod tests {
             assert_eq!(parsed[..], complete[..expect], "cut at byte {cut}");
             // A post-crash append must heal: drop the torn tail, number
             // the new study after the valid prefix.
-            fs::write(dir.join("refs.jsonl"), truncated).unwrap();
+            fs::write(&seg, truncated).unwrap();
             let refs: BTreeSet<String> = ["post-crash".to_string()].into();
             store.append_refs(&refs).unwrap();
-            let healed = fs::read_to_string(dir.join("refs.jsonl")).unwrap();
+            let healed = fs::read_to_string(&seg).unwrap();
             let reparsed = parse_ref_log(&healed);
             assert_eq!(
                 reparsed.len(),
@@ -840,7 +1674,7 @@ mod tests {
                 "cut at byte {cut}: append did not heal"
             );
             assert_eq!(reparsed[expect], vec!["post-crash".to_string()]);
-            fs::write(dir.join("refs.jsonl"), &full).unwrap();
+            fs::write(&seg, &full).unwrap();
         }
         let _ = fs::remove_dir_all(&dir);
     }
@@ -848,7 +1682,7 @@ mod tests {
     #[test]
     fn gc_keeps_recent_refs_and_spares_quarantine() {
         let dir = tmpdir("gc");
-        let mut store = DiskStore::open(&dir).unwrap();
+        let mut store = open_as(&dir, "solo");
         for h in ["old", "mid", "new"] {
             store.persist(&entry(h)).unwrap();
         }
@@ -862,9 +1696,10 @@ mod tests {
         let report = store.gc(2).unwrap();
         assert_eq!(report.evicted, 1, "only `old` falls outside the window");
         assert_eq!(report.kept, 2);
+        assert!(report.skipped_shards.is_empty());
         assert!(!store.resident("old"));
         assert!(store.resident("mid") && store.resident("new"));
-        assert!(!dir.join("entries/old.json").exists());
+        assert!(!dir.join(shard_name("old")).join("old.json").exists());
         assert!(
             dir.join("corrupt/dead.json").exists(),
             "gc must never delete quarantine memory"
@@ -881,6 +1716,207 @@ mod tests {
         assert_eq!(report.evicted, 1);
         assert_eq!(report.kept, 0);
         assert_eq!(report.studies_considered, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_skips_leased_shards_with_notice() {
+        let dir = tmpdir("gc-leased");
+        let mut holder = open_as(&dir, "holder");
+        holder.persist(&entry("doomed")).unwrap();
+        // A second handle cannot lease anything while `holder` lives: gc
+        // must skip, not race a concurrent persist.
+        let mut sweeper = open_as(&dir, "sweeper");
+        let report = sweeper.gc(0).unwrap();
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.skipped_shards, vec![shard_name("doomed")]);
+        assert!(dir.join(shard_name("doomed")).join("doomed.json").exists());
+        drop(holder);
+        // Holder gone: the same sweep now completes.
+        let report = sweeper.gc(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(report.skipped_shards.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_spares_entries_referenced_by_live_leased_writer() {
+        let dir = tmpdir("gc-live");
+        {
+            let mut s = open_as(&dir, "w0");
+            s.persist(&entry("keepme")).unwrap();
+        }
+        // A "remote" writer holds one live lease (our own PID stands in
+        // for its live process) and references `keepme` — no matter which
+        // shard that lease is on, gc must spare every entry it references.
+        fs::write(
+            dir.join("shard-00/.lease"),
+            format!(
+                "{{\"writer\":\"other\",\"pid\":{},\"acquired_unix\":{},\"expires_unix\":{}}}",
+                std::process::id(),
+                unix_now(),
+                unix_now() + 3600
+            ),
+        )
+        .unwrap();
+        fs::write(
+            dir.join("refs/other.jsonl"),
+            "{\"refs\":[\"keepme\"],\"study\":1}\n",
+        )
+        .unwrap();
+        let mut s = open_as(&dir, "w1");
+        let report = s.gc(0).unwrap();
+        assert_eq!(report.evicted, 0, "live-leased writer's refs are pinned");
+        assert!(s.resident("keepme"));
+        // Expire the lease: the writer is no longer live, its pin lifts.
+        fs::write(
+            dir.join("shard-00/.lease"),
+            format!(
+                "{{\"writer\":\"other\",\"pid\":{},\"acquired_unix\":1,\"expires_unix\":1}}",
+                std::process::id()
+            ),
+        )
+        .unwrap();
+        let report = s.gc(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(!s.resident("keepme"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_store_is_migrated_in_place() {
+        let dir = tmpdir("migrate");
+        // Hand-build a v1 layout: entries/, refs.jsonl, stale .lock.
+        fs::create_dir_all(dir.join("entries")).unwrap();
+        fs::write(dir.join("entries/aaa.json"), entry("aaa").encode()).unwrap();
+        fs::write(dir.join("entries/bbb.json"), entry("bbb").encode()).unwrap();
+        fs::write(
+            dir.join("refs.jsonl"),
+            "{\"refs\":[\"aaa\"],\"study\":1}\n{\"refs\":[\"bbb\"],\"study\":2}\n",
+        )
+        .unwrap();
+        fs::write(dir.join(".lock"), "{\"pid\":999999999,\"acquired_unix\":1}").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.resident("aaa") && store.resident("bbb"));
+        assert!(store.quarantined().is_empty());
+        assert!(!dir.join("entries").exists(), "v1 entries dir not retired");
+        assert!(!dir.join("refs.jsonl").exists());
+        assert!(dir.join(shard_name("aaa")).join("aaa.json").exists());
+        // The old log became the `v1` writer's segment, order preserved.
+        let merged = merged_ref_log(&dir).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].writer, "v1");
+        assert_eq!(merged[0].refs, vec!["aaa".to_string()]);
+        assert_eq!(merged[1].refs, vec!["bbb".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_v1_lock_reports_busy() {
+        let dir = tmpdir("v1busy");
+        fs::create_dir_all(dir.join("entries")).unwrap();
+        fs::write(
+            dir.join(".lock"),
+            format!("{{\"pid\":{},\"acquired_unix\":1}}", std::process::id()),
+        )
+        .unwrap();
+        match DiskStore::open(&dir) {
+            Err(DiskStoreError::Busy { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_store_version_is_refused() {
+        let dir = tmpdir("future");
+        fs::write(
+            dir.join("store.meta"),
+            "{\"format\":\"spackle-store\",\"version\":99}\n",
+        )
+        .unwrap();
+        match DiskStore::open(&dir) {
+            Err(DiskStoreError::Io(msg)) => assert!(msg.contains("unsupported store version")),
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_reports_clean_store_and_crash_residue() {
+        let dir = tmpdir("fsck");
+        {
+            let mut s = open_as(&dir, "w");
+            s.persist(&entry("good")).unwrap();
+            s.append_refs(&["good".to_string()].into()).unwrap();
+        }
+        let report = fsck(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.ref_segments, 1);
+        assert_eq!(report.ref_records, 1);
+        assert!(report.orphan_temps.is_empty());
+        // Plant crash residue: an orphan temp and an expired lease. Both
+        // are reported but the store stays *clean*.
+        fs::write(dir.join(shard_name("good")).join(".tmp-1-x.json"), b"part").unwrap();
+        fs::write(
+            dir.join("shard-05/.lease"),
+            "{\"writer\":\"gone\",\"pid\":999999999,\"acquired_unix\":1,\"expires_unix\":1}",
+        )
+        .unwrap();
+        let report = fsck(&dir).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.orphan_temps.len(), 1);
+        assert_eq!(report.expired_leases.len(), 1);
+        // Now corrupt a committed entry in place: unclean.
+        let victim = dir.join(shard_name("good")).join("good.json");
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(&victim, &bytes).unwrap();
+        let report = fsck(&dir).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.invalid.len(), 1);
+        assert!(report.invalid[0].0.ends_with("good.json"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_flags_misplaced_entries() {
+        let dir = tmpdir("fsck-misplaced");
+        let _ = DiskStore::open(&dir).unwrap();
+        let wrong = (shard_of("stray") + 1) % SHARD_COUNT;
+        fs::write(
+            dir.join(shard_dir_name(wrong)).join("stray.json"),
+            entry("stray").encode(),
+        )
+        .unwrap();
+        let report = fsck(&dir).unwrap();
+        assert!(!report.clean());
+        assert!(report.invalid[0].1.contains("misplaced"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_ids_are_sanitized() {
+        assert_eq!(
+            sanitize_writer("node-7.local"),
+            Some("node-7.local".to_string())
+        );
+        assert_eq!(sanitize_writer("a/b\\c"), Some("a-b-c".to_string()));
+        assert_eq!(sanitize_writer(""), None);
+        assert_eq!(sanitize_writer(".."), None);
+        let dir = tmpdir("sanitize");
+        let s = DiskStore::open_with(
+            &dir,
+            StoreOptions {
+                writer: Some("../escape".to_string()),
+                lease_ttl_s: DEFAULT_LEASE_TTL_S,
+                io: IoShim::Real,
+            },
+        )
+        .unwrap();
+        assert!(!s.writer().contains('/'));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -39,6 +39,7 @@ mod build;
 mod concretize;
 mod diskstore;
 mod environment;
+mod iofault;
 mod recipe;
 mod repo;
 mod spec;
@@ -52,10 +53,12 @@ pub use concretize::{
     concretize, ConcretePackage, ConcreteSpec, ConcretizeError, SystemContext, Target,
 };
 pub use diskstore::{
-    fnv1a64, parse_ref_log, write_atomic, DiskStore, DiskStoreError, GcReport, QuarantineNote,
-    StoreEntry,
+    fnv1a64, fsck, merged_ref_log, parse_ref_log, shard_name, write_atomic, DiskStore,
+    DiskStoreError, FsckReport, GcReport, LeaseInfo, Persist, QuarantineNote, RefRecord,
+    StoreEntry, StoreOptions, SHARD_COUNT,
 };
 pub use environment::Environment;
+pub use iofault::{write_atomic_with, FaultSpec, IoShim, IOFAULTS_ENV};
 pub use recipe::{Conflict, DepDecl, DepKind, Recipe, VariantDecl, When};
 pub use repo::{Repo, BABELSTREAM_MODELS, HPCG_IMPLS};
 pub use spec::{CompilerReq, Spec, SpecParseError, VariantSetting};

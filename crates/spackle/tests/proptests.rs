@@ -2,7 +2,10 @@
 //! on-disk store entry format.
 
 use proptest::prelude::*;
-use spackle::{BuildAction, BuildRecord, Spec, StoreEntry, Version, VersionReq};
+use spackle::{
+    write_atomic_with, BuildAction, BuildRecord, FaultSpec, IoShim, Spec, StoreEntry, Version,
+    VersionReq,
+};
 
 fn version_string() -> impl Strategy<Value = String> {
     prop::collection::vec(0u64..50, 1..4).prop_map(|parts| {
@@ -179,5 +182,56 @@ proptest! {
     #[test]
     fn store_entry_decoder_total(text in "[ -~\\n\\t\\r]{0,60}") {
         let _ = StoreEntry::decode(&text);
+    }
+
+    /// Atomic writes are all-or-nothing under ANY injected fault schedule:
+    /// afterwards the destination holds exactly the old or exactly the new
+    /// content — never a torn mix — and no temp file is left behind.
+    #[test]
+    fn write_atomic_all_or_nothing_under_faults(
+        old in hazard_string(),
+        new in hazard_string(),
+        seed in 0u64..1_000,
+        torn8 in 0u32..=8,
+        enospc8 in 0u32..=8,
+        fsync8 in 0u32..=8,
+        rename8 in 0u32..=8,
+        dirfsync8 in 0u32..=8,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "spackle-prop-atomic-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.txt");
+        write_atomic_with(&IoShim::Real, &path, &old).unwrap();
+        let mut spec = FaultSpec::quiet(seed);
+        spec.torn = f64::from(torn8) / 8.0;
+        spec.enospc = f64::from(enospc8) / 8.0;
+        spec.fsync = f64::from(fsync8) / 8.0;
+        spec.rename = f64::from(rename8) / 8.0;
+        spec.dir_fsync = f64::from(dirfsync8) / 8.0;
+        let io = IoShim::faulty(spec);
+        let outcome = write_atomic_with(&io, &path, &new);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        if outcome.is_ok() {
+            prop_assert_eq!(&on_disk, &new, "successful write must land the new bytes");
+        } else {
+            prop_assert!(
+                on_disk == old || on_disk == new,
+                "torn content on disk after fault: {:?}", on_disk
+            );
+        }
+        let temps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        prop_assert!(temps.is_empty(), "temp residue: {:?}", temps);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,378 @@
+//! Multi-writer disk-store torture: K concurrent writers (threads and real
+//! subprocesses) hammer one store under deterministic injected I/O faults
+//! and kill-at-random-point crashes.
+//!
+//! The invariants held throughout (ISSUE 9 acceptance criteria):
+//! * a committed entry (persist returned `Written`) is NEVER lost — it is
+//!   resident and valid on every later open;
+//! * a torn or corrupt entry is NEVER read as valid — at worst it is
+//!   quarantined, and crash residue is orphaned temps, not bad entries;
+//! * gc never deletes an entry referenced inside the keep window or by a
+//!   live-leased writer;
+//! * the same fault seed reproduces the same fault schedule.
+
+use spackle::{
+    fsck, BuildAction, BuildRecord, DiskStore, FaultSpec, IoShim, Persist, StoreEntry, StoreOptions,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const TORTURE_BIN: &str = env!("CARGO_BIN_EXE_spackle-store-torture");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "spackle-torture-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn entry(hash: &str) -> StoreEntry {
+    StoreEntry {
+        hash: hash.to_string(),
+        render: format!("torture@1.0 /{hash}"),
+        record: BuildRecord {
+            package: "torture".to_string(),
+            version: "1.0".to_string(),
+            hash: hash.to_string(),
+            action: BuildAction::Built,
+            build_time_s: 1.0,
+            steps: vec![format!("install /opt/store/torture-{hash}")],
+        },
+    }
+}
+
+fn opts(writer: &str, io: IoShim) -> StoreOptions {
+    StoreOptions {
+        writer: Some(writer.to_string()),
+        lease_ttl_s: 600,
+        io,
+    }
+}
+
+fn fault_spec(seed: u64) -> FaultSpec {
+    // Scoped to entries, leases, and ref segments: store metadata is
+    // infrastructure whose loss fails the whole open, which is a different
+    // (and boring) failure mode than the one under test.
+    FaultSpec::parse(&format!(
+        "seed={seed},torn=0.25,enospc=0.15,fsync=0.10,rename=0.10,match=shard-|refs/"
+    ))
+    .unwrap()
+}
+
+/// Every hash a writer reported as committed must be resident and verified
+/// on a fresh open, with nothing quarantined along the way.
+fn assert_all_committed_resident(dir: &Path, committed: &BTreeSet<String>) {
+    let store = DiskStore::open_with(dir, opts("auditor", IoShim::Real)).unwrap();
+    assert!(
+        store.quarantined().is_empty(),
+        "faults/crashes must never produce a corrupt committed entry: {:?}",
+        store.quarantined()
+    );
+    for hash in committed {
+        assert!(
+            store.resident(hash),
+            "committed entry {hash} lost ({} resident)",
+            store.len()
+        );
+    }
+}
+
+/// K≥4 in-process writers race over one store under injected faults.
+#[test]
+fn concurrent_writers_never_lose_a_committed_entry() {
+    let dir = tmpdir("threads");
+    const WRITERS: usize = 6;
+    const PER_WRITER: usize = 30;
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let writer = format!("t{w}");
+                let io = IoShim::faulty(fault_spec(w as u64));
+                let mut store = DiskStore::open_with(&dir, opts(&writer, io)).unwrap();
+                let mut committed = BTreeSet::new();
+                let mut skipped = 0usize;
+                let mut errored = 0usize;
+                for i in 0..PER_WRITER {
+                    let hash = format!("{writer}-e{i:03}");
+                    match store.persist(&entry(&hash)) {
+                        Ok(Persist::Written) => {
+                            committed.insert(hash);
+                        }
+                        Ok(Persist::SkippedContended) => skipped += 1,
+                        Err(_) => errored += 1,
+                    }
+                    if i % 7 == 0 {
+                        store.renew_leases();
+                    }
+                }
+                if !committed.is_empty() {
+                    // A failed refs append under faults is allowed; the
+                    // entries themselves are what durability promises.
+                    let _ = store.append_refs(&committed);
+                }
+                (committed, skipped, errored)
+            })
+        })
+        .collect();
+    let mut all_committed = BTreeSet::new();
+    let (mut total_skipped, mut total_errored) = (0, 0);
+    for h in handles {
+        let (committed, skipped, errored) = h.join().unwrap();
+        all_committed.extend(committed);
+        total_skipped += skipped;
+        total_errored += errored;
+    }
+    assert!(
+        !all_committed.is_empty(),
+        "torture produced no commits at all — rates too hostile to test anything"
+    );
+    assert!(
+        total_errored > 0,
+        "no injected fault ever fired (skipped={total_skipped}); the torture is a no-op"
+    );
+    assert_all_committed_resident(&dir, &all_committed);
+    // No torn write ever became a committed entry.
+    let report = fsck(&dir).unwrap();
+    assert!(
+        report.clean(),
+        "fsck found invalid entries: {:?}",
+        report.invalid
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The same fault seed reproduces the same fault schedule: two runs over
+/// fresh stores with identical writer/seed/entries see identical
+/// per-entry outcomes, whatever the wall-clock interleaving did.
+#[test]
+fn fault_schedule_reproduces_across_runs() {
+    let run = || -> Vec<String> {
+        let dir = tmpdir("det");
+        let io = IoShim::faulty(fault_spec(42));
+        let mut store = DiskStore::open_with(&dir, opts("det", io)).unwrap();
+        let outcomes = (0..40)
+            .map(|i| {
+                let hash = format!("det-e{i:03}");
+                match store.persist(&entry(&hash)) {
+                    Ok(Persist::Written) => format!("{hash} written"),
+                    Ok(Persist::SkippedContended) => format!("{hash} skipped"),
+                    Err(_) => format!("{hash} error"),
+                }
+            })
+            .collect();
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+        outcomes
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "fault schedule is not seed-deterministic");
+    assert!(
+        first.iter().any(|o| o.ends_with("error")),
+        "schedule drew no faults; determinism check is vacuous"
+    );
+    assert!(
+        first.iter().any(|o| o.ends_with("written")),
+        "schedule allowed no commits; rates too hostile"
+    );
+}
+
+struct Writer {
+    child: Child,
+    reader: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_writer(dir: &Path, args: &[&str]) -> Writer {
+    let mut child = Command::new(TORTURE_BIN)
+        .arg(dir)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn torture helper");
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    Writer { child, reader }
+}
+
+/// Drain a writer's stdout, returning the hashes it committed. Every
+/// `committed` line the parent *observed* is a durability promise, even if
+/// the process dies right after printing it.
+fn drain_committed(w: &mut Writer) -> BTreeSet<String> {
+    let mut committed = BTreeSet::new();
+    for line in w.reader.by_ref().lines() {
+        let Ok(line) = line else { break };
+        if let Some(hash) = line.strip_prefix("committed ") {
+            committed.insert(hash.to_string());
+        }
+    }
+    let _ = w.child.wait();
+    committed
+}
+
+/// Real processes: two faulted writers, one that abort()s mid-run, and one
+/// the parent SIGKILLs mid-write. No committed entry may be lost, no crash
+/// residue may decode as a valid entry, and gc must spare everything the
+/// survivors referenced.
+#[test]
+fn subprocess_crash_and_kill_lose_nothing_committed() {
+    let dir = tmpdir("subproc");
+    let faults = "seed=7,torn=0.2,enospc=0.15,fsync=0.1,rename=0.1,match=shard-|refs/";
+    let mut w1 = spawn_writer(
+        &dir,
+        &[
+            "--writer", "p1", "--seed", "1", "--count", "24", "--faults", faults,
+        ],
+    );
+    let mut w2 = spawn_writer(
+        &dir,
+        &[
+            "--writer", "p2", "--seed", "2", "--count", "24", "--faults", faults,
+        ],
+    );
+    // Aborts itself two commits in: leases and temps left dangling.
+    let mut w3 = spawn_writer(
+        &dir,
+        &[
+            "--writer",
+            "p3",
+            "--seed",
+            "3",
+            "--count",
+            "24",
+            "--abort-after",
+            "2",
+        ],
+    );
+    // SIGKILLed by us as soon as it reports its second commit.
+    let mut w4 = spawn_writer(&dir, &["--writer", "p4", "--seed", "4", "--count", "500"]);
+    let mut killed_committed = BTreeSet::new();
+    for line in w4.reader.by_ref().lines() {
+        let Ok(line) = line else { break };
+        if let Some(hash) = line.strip_prefix("committed ") {
+            killed_committed.insert(hash.to_string());
+            if killed_committed.len() >= 2 {
+                break;
+            }
+        }
+    }
+    let _ = w4.child.kill();
+    let _ = w4.child.wait();
+
+    let mut all_committed = BTreeSet::new();
+    all_committed.extend(drain_committed(&mut w1));
+    all_committed.extend(drain_committed(&mut w2));
+    all_committed.extend(drain_committed(&mut w3));
+    all_committed.extend(killed_committed);
+    assert!(
+        all_committed.len() >= 4,
+        "not enough commits to make the torture meaningful: {all_committed:?}"
+    );
+
+    // No committed entry lost, no corrupt entry read as valid.
+    assert_all_committed_resident(&dir, &all_committed);
+    let report = fsck(&dir).unwrap();
+    assert!(
+        report.clean(),
+        "crash residue decoded as valid: {:?}",
+        report.invalid
+    );
+
+    // The dead writers' leases are stale (dead PIDs): a new writer takes
+    // them over instead of degrading.
+    let mut survivor = DiskStore::open_with(&dir, opts("survivor", IoShim::Real)).unwrap();
+    assert_eq!(
+        survivor.persist(&entry("survivor-e000")).unwrap(),
+        Persist::Written
+    );
+
+    // gc never deletes a referenced entry: everything in the keep window
+    // (which covers all appended refs here) survives.
+    let referenced: BTreeSet<String> = spackle::merged_ref_log(&dir)
+        .unwrap()
+        .into_iter()
+        .flat_map(|r| r.refs)
+        .collect();
+    let gc_report = survivor.gc(1000).unwrap();
+    let _ = gc_report;
+    for hash in &referenced {
+        assert!(
+            survivor.resident(hash),
+            "gc evicted referenced entry {hash}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the live-lock degrade path with two REAL processes. A helper
+/// process leases every shard; a second writer in this process must open
+/// fine, skip all persists, and recover once the helper exits.
+#[test]
+fn live_holder_in_another_process_degrades_persists_only() {
+    let dir = tmpdir("hold");
+    let mut holder = spawn_writer(&dir, &["--writer", "holder", "--hold-secs", "30"]);
+    let mut line = String::new();
+    holder.reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), format!("holding {}", spackle::SHARD_COUNT));
+
+    let mut second = DiskStore::open_with(&dir, opts("second", IoShim::Real)).unwrap();
+    assert_eq!(second.contended().len(), spackle::SHARD_COUNT);
+    assert_eq!(
+        second.persist(&entry("blocked")).unwrap(),
+        Persist::SkippedContended,
+        "a live holder in another process must skip, not error"
+    );
+    assert!(!second.resident("blocked"));
+
+    let _ = holder.child.kill();
+    let _ = holder.child.wait();
+    // Holder dead: its leases are stale and taken over lazily.
+    assert_eq!(second.persist(&entry("blocked")).unwrap(), Persist::Written);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Subprocess determinism: the helper's stdout transcript is identical for
+/// identical (writer, seed, faults) against fresh stores.
+#[test]
+fn helper_transcript_is_reproducible() {
+    let run = || {
+        let dir = tmpdir("transcript");
+        let out = Command::new(TORTURE_BIN)
+            .arg(&dir)
+            .args([
+                "--writer",
+                "rep",
+                "--seed",
+                "9",
+                "--count",
+                "32",
+                "--faults",
+                "seed=9,torn=0.3,enospc=0.2,fsync=0.1,rename=0.1,match=shard-|refs/",
+            ])
+            .stderr(Stdio::null())
+            .output()
+            .expect("run torture helper");
+        let _ = fs::remove_dir_all(&dir);
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "helper stdout differs between identical runs"
+    );
+    assert!(
+        first.contains("error "),
+        "no faults fired in transcript run"
+    );
+    assert!(first.contains("committed "), "no commits in transcript run");
+}
