@@ -44,6 +44,15 @@
 #                  writer killed mid-run and rerun, and --jobs 1/2/8 all
 #                  produce identical FOM views; `store fsck` then passes
 #                  and `store gc` leaves every referenced entry in place
+#  10. serve     — results-daemon smoke: `benchkit serve` ingests two
+#                  concurrent pushes, its /v1/verdict is byte-identical
+#                  to the offline `rank` over the same perflogs, a
+#                  SIGKILLed daemon restarted over the same directory
+#                  replays every acknowledged record from its WAL, a
+#                  saturated daemon (1 worker, no queue) answers 503 +
+#                  Retry-After and the push client retries to success,
+#                  SIGTERM drains gracefully (exit 0, lease released),
+#                  and `store fsck --json` stays clean throughout
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -478,5 +487,141 @@ case "$warmcheck" in
     ;;
 esac
 echo "torture smoke OK (2 concurrent writers, injected faults, kill+rerun, jobs-invariant, fsck clean, gc kept refs)"
+
+echo "== ci: serve smoke (daemon ingest, byte-identical verdict, 503 backpressure, SIGKILL recovery, drain) =="
+serve_dir="$nightly_dir/served-store"
+serve_log="$nightly_dir/serve-a.out"
+serve_pid=""
+trap 'kill -9 $serve_pid 2>/dev/null || true; rm -rf "$ckpt_dir" "$bench_log" "$kern_log" "$nightly_dir"' EXIT
+
+# Start a daemon and wait for its readiness line ("serving DIR on ADDR").
+# Sets serve_pid and addr — must run in this shell, not a substitution,
+# or the pid would die with the subshell.
+start_daemon() {
+    local log="$1"
+    shift
+    ./target/release/benchkit serve "$serve_dir" --addr 127.0.0.1:0 "$@" \
+        >"$log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    local i
+    for i in $(seq 1 100); do
+        addr="$(sed -n 's/^serving .* on \([0-9.:]*\) .*$/\1/p' "$log" | head -1)"
+        if [ -n "$addr" ]; then
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "serve smoke FAILED: daemon never printed readiness" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+start_daemon "$serve_log"
+# Two concurrent pushes (stage 7's perflog studies) race the worker pool.
+./target/release/benchkit push "$study_a" --to "$addr" >/dev/null &
+push_a=$!
+./target/release/benchkit push "$study_b" --to "$addr" >/dev/null &
+push_b=$!
+wait "$push_a"
+wait "$push_b"
+# The daemon's verdict is byte-identical to the offline rank over the
+# same perflogs (ranking is row-permutation-invariant, so concurrent
+# ingest order cannot matter).
+./target/release/benchkit query "$addr" /v1/verdict >"$nightly_dir/verdict-served.txt"
+./target/release/benchkit rank "$study_a" "$study_b" >"$nightly_dir/verdict-offline.txt"
+if ! diff "$nightly_dir/verdict-served.txt" "$nightly_dir/verdict-offline.txt"; then
+    echo "serve smoke FAILED: served verdict diverged from offline rank" >&2
+    exit 1
+fi
+# History answers for a (benchmark, system, FOM) triple taken from the
+# pushed perflogs themselves.
+hist_bench="$(sed -n 's/.*"benchmark":"\([^"]*\)".*/\1/p' "$study_a"/*.jsonl | head -1)"
+hist_sys="$(sed -n 's/.*"system":"\([^"]*\)".*/\1/p' "$study_a"/*.jsonl | head -1)"
+hist_fom="$(sed -n 's/.*"foms":\[{"name":"\([^"]*\)".*/\1/p' "$study_a"/*.jsonl | head -1)"
+hist="$(./target/release/benchkit query "$addr" \
+    "/v1/history?benchmark=$hist_bench&system=$hist_sys&fom=$hist_fom")"
+case "$hist" in
+"history benchmark=$hist_bench"*points=*) ;;
+*)
+    echo "serve smoke FAILED: bad history answer" >&2
+    printf '%s\n' "$hist" >&2
+    exit 1
+    ;;
+esac
+total_records="$(./target/release/benchkit query "$addr" /v1/fom | wc -l)"
+if [ "$total_records" -lt 2 ]; then
+    echo "serve smoke FAILED: expected ingested records, got $total_records" >&2
+    exit 1
+fi
+# SIGKILL — no drain, no flush. The restart over the same directory must
+# replay every acknowledged record from the WAL.
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_log2="$nightly_dir/serve-b.out"
+start_daemon "$serve_log2" --workers 1 --queue 0 --read-timeout-ms 1500
+if ! grep -q "^serve: recovered $total_records acknowledged records" "$serve_log2"; then
+    echo "serve smoke FAILED: restart did not replay the WAL" >&2
+    cat "$serve_log2" >&2
+    exit 1
+fi
+recovered_records="$(./target/release/benchkit query "$addr" /v1/fom | wc -l)"
+if [ "$recovered_records" != "$total_records" ]; then
+    echo "serve smoke FAILED: $recovered_records records after SIGKILL, want $total_records" >&2
+    exit 1
+fi
+# Saturate the single rendezvous worker with a connection that sends
+# nothing; the push client must see 503 + Retry-After and retry through
+# to success once the stalled connection times out. Re-pushing study-a
+# is pure dedup, so the record set is unchanged.
+sat_port="${addr##*:}"
+exec 3<>"/dev/tcp/127.0.0.1/$sat_port"
+sleep 0.3
+sat_out="$nightly_dir/sat-push.out"
+if ! BENCHKIT_ENGINE_BACKOFF_SCALE=0.1 ./target/release/benchkit push "$study_a" \
+    --to "$addr" --max-retries 40 >"$sat_out"; then
+    echo "serve smoke FAILED: push through saturation did not succeed" >&2
+    cat "$sat_out" >&2
+    exit 1
+fi
+exec 3<&- 3>&-
+if ! grep -q "daemon answered 503; retrying" "$sat_out"; then
+    echo "serve smoke FAILED: saturated daemon never answered 503" >&2
+    cat "$sat_out" >&2
+    exit 1
+fi
+after_sat="$(./target/release/benchkit query "$addr" /v1/fom | wc -l)"
+if [ "$after_sat" != "$total_records" ]; then
+    echo "serve smoke FAILED: dedup re-push changed the record set" >&2
+    exit 1
+fi
+# The store directory stays fsck-clean with the daemon's state dir in it,
+# in both renderings.
+./target/release/benchkit store fsck "$serve_dir"
+if ! ./target/release/benchkit store fsck "$serve_dir" --json \
+    | grep -q '"clean":true'; then
+    echo "serve smoke FAILED: fsck --json not clean" >&2
+    exit 1
+fi
+# SIGTERM — graceful drain: exit 0, drain summary, daemon lease released.
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "serve smoke FAILED: SIGTERM drain exited nonzero" >&2
+    cat "$serve_log2" >&2
+    exit 1
+fi
+serve_pid=""
+if ! grep -q "^serve: drained" "$serve_log2"; then
+    echo "serve smoke FAILED: no drain summary" >&2
+    cat "$serve_log2" >&2
+    exit 1
+fi
+if [ -e "$serve_dir/servd/.lease" ]; then
+    echo "serve smoke FAILED: drain left the daemon lease behind" >&2
+    exit 1
+fi
+echo "serve smoke OK (concurrent pushes, verdict==rank byte-for-byte, WAL survives SIGKILL, 503+retry, clean drain)"
 
 echo "ci OK"

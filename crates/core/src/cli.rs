@@ -93,9 +93,31 @@ pub enum Command {
     /// `store gc <dir> [--keep K]` — evict entries not referenced by the
     /// last K studies.
     StoreGc { dir: String, keep: usize },
-    /// `store fsck <dir>` — read-only integrity scan; exits nonzero when
-    /// any committed entry fails verification.
-    StoreFsck { dir: String },
+    /// `store fsck <dir> [--json]` — read-only integrity scan; exits
+    /// nonzero when any committed entry fails verification. `--json`
+    /// prints the machine-readable report instead of the text rendering.
+    StoreFsck { dir: String, json: bool },
+    /// `serve <dir> --addr HOST:PORT [--workers N] [--queue N]
+    /// [--read-timeout-ms N] [--max-body BYTES]` — the crash-tolerant
+    /// results daemon over a store directory.
+    Serve {
+        dir: String,
+        addr: String,
+        workers: usize,
+        queue: usize,
+        read_timeout_ms: u64,
+        max_body: usize,
+    },
+    /// `push <dir-or-file> --to HOST:PORT [--max-retries N]` — upload
+    /// perflog JSONL to a daemon, honoring its backpressure.
+    Push {
+        dir: String,
+        to: String,
+        max_retries: u32,
+    },
+    /// `query HOST:PORT </v1/...>` — GET a daemon endpoint and print the
+    /// body (curl-free CI plumbing).
+    Query { addr: String, path: String },
     /// `checkpoint gc <dir> [--force]` — drop a completed study's journal,
     /// keeping quarantine memory.
     CheckpointGc { dir: String, force: bool },
@@ -209,12 +231,41 @@ USAGE:
         leased by a live writer are skipped with a notice; entries
         referenced by any live-leased writer are never evicted. Never
         touches quarantined entries in DIR/corrupt/.
-    benchkit store fsck <dir>
+    benchkit store fsck <dir> [--json]
         Read-only integrity scan: verifies every committed entry
         (checksum, canonical form, shard placement) and reports
         orphaned temp files, live and expired leases, and reference
         segments. Exits nonzero when any committed entry is invalid;
         crash residue (temps, stale leases) is reported but clean.
+        --json prints one machine-readable JSON object instead of the
+        text rendering (same exit semantics).
+    benchkit serve <dir> --addr HOST:PORT [--workers N] [--queue N]
+                   [--read-timeout-ms N] [--max-body BYTES]
+        Results daemon over a store directory: POST /v1/ingest accepts
+        perflog JSONL; GET /v1/fom, /v1/verdict, /v1/history and
+        /v1/health answer queries (verdicts are byte-identical to the
+        offline `rank` over the same records). A record is fsync'd
+        into an append-only WAL before its 200 is written, so every
+        acknowledged record survives SIGKILL; restart replays the WAL,
+        truncating torn tails. A bounded worker pool (--workers) behind
+        a bounded queue (--queue) answers saturation with 503 +
+        Retry-After — never an unbounded backlog. Per-connection
+        deadlines (--read-timeout-ms) and body bounds (--max-body)
+        degrade only the offending connection. SIGTERM drains
+        gracefully: stop accepting, finish in-flight, release leases,
+        exit 0. `--addr host:0` picks a free port (printed on the
+        readiness line). BENCHKIT_NETFAULTS injects deterministic
+        network faults (torn reads, short writes, resets, stalls) for
+        torture drills, keyed like BENCHKIT_IOFAULTS.
+    benchkit push <dir-or-file> --to HOST:PORT [--max-retries N]
+        Upload perflogs (*.jsonl, one batch per file in name order) to
+        a daemon. 503s and transport failures retry with the standard
+        30·2ⁿ ≤ 480 s backoff, honoring the daemon's Retry-After when
+        present (default 5 retries). Re-pushing after a lost ack is
+        safe: the daemon deduplicates on record content.
+    benchkit query HOST:PORT </v1/...>
+        GET a daemon endpoint and print the body; exits nonzero on a
+        non-2xx answer.
     benchkit checkpoint gc <dir> [--force]
         Drop the study journal once its study completed, keeping
         quarantine memory. An incomplete journal is refused unless
@@ -534,8 +585,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Some("fsck") => {
                 let mut dir = None;
+                let mut json = false;
                 for arg in &rest[1..] {
                     match arg.as_str() {
+                        "--json" => json = true,
                         other if !other.starts_with('-') && dir.is_none() => {
                             dir = Some(other.to_string());
                         }
@@ -548,14 +601,116 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 Ok(Command::StoreFsck {
                     dir: dir.ok_or_else(|| CliError("store fsck: missing <dir>".into()))?,
+                    json,
                 })
             }
             _ => Err(CliError(
                 "store: expected a subcommand: `store gc <dir> [--keep K]` \
-                 or `store fsck <dir>`"
+                 or `store fsck <dir> [--json]`"
                     .into(),
             )),
         },
+        "serve" => {
+            let mut dir = None;
+            let mut addr = None;
+            let mut workers = 4usize;
+            let mut queue = 16usize;
+            let mut read_timeout_ms = 5_000u64;
+            let mut max_body = 4 * 1024 * 1024usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = Some(take_value(&rest, &mut i, "--addr")?);
+                    }
+                    "--workers" => {
+                        let v = take_value(&rest, &mut i, "--workers")?;
+                        workers = v.parse().ok().filter(|w: &usize| *w >= 1).ok_or_else(|| {
+                            CliError(format!("bad workers `{v}` (want an integer ≥ 1)"))
+                        })?;
+                    }
+                    "--queue" => {
+                        let v = take_value(&rest, &mut i, "--queue")?;
+                        queue = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad queue `{v}`")))?;
+                    }
+                    "--read-timeout-ms" => {
+                        let v = take_value(&rest, &mut i, "--read-timeout-ms")?;
+                        read_timeout_ms =
+                            v.parse().ok().filter(|t: &u64| *t >= 1).ok_or_else(|| {
+                                CliError(format!("bad read-timeout-ms `{v}` (want ≥ 1)"))
+                            })?;
+                    }
+                    "--max-body" => {
+                        let v = take_value(&rest, &mut i, "--max-body")?;
+                        max_body = v.parse().ok().filter(|b: &usize| *b >= 1).ok_or_else(|| {
+                            CliError(format!("bad max-body `{v}` (want bytes ≥ 1)"))
+                        })?;
+                    }
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("serve: unexpected argument `{other}`"))),
+                }
+            }
+            Ok(Command::Serve {
+                dir: dir.ok_or_else(|| CliError("serve: missing <dir>".into()))?,
+                addr: addr.ok_or_else(|| CliError("serve: missing `--addr HOST:PORT`".into()))?,
+                workers,
+                queue,
+                read_timeout_ms,
+                max_body,
+            })
+        }
+        "push" => {
+            let mut dir = None;
+            let mut to = None;
+            let mut max_retries = 5u32;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--to" => {
+                        to = Some(take_value(&rest, &mut i, "--to")?);
+                    }
+                    "--max-retries" => {
+                        let v = take_value(&rest, &mut i, "--max-retries")?;
+                        max_retries = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad max-retries `{v}`")))?;
+                    }
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                        i += 1;
+                    }
+                    other => return Err(CliError(format!("push: unexpected argument `{other}`"))),
+                }
+            }
+            Ok(Command::Push {
+                dir: dir.ok_or_else(|| CliError("push: missing <dir-or-file>".into()))?,
+                to: to.ok_or_else(|| CliError("push: missing `--to HOST:PORT`".into()))?,
+                max_retries,
+            })
+        }
+        "query" => {
+            let mut positionals = Vec::new();
+            for arg in &rest {
+                if arg.starts_with("--") {
+                    return Err(CliError(format!("query: unexpected argument `{arg}`")));
+                }
+                positionals.push(arg.clone());
+            }
+            let [addr, path]: [String; 2] = positionals
+                .try_into()
+                .map_err(|_| CliError("query: expected HOST:PORT and an endpoint path".into()))?;
+            if !path.starts_with('/') {
+                return Err(CliError(format!(
+                    "query: endpoint path `{path}` must start with `/` (e.g. /v1/health)"
+                )));
+            }
+            Ok(Command::Query { addr, path })
+        }
         "checkpoint" => match rest.first().map(String::as_str) {
             Some("gc") => {
                 let mut dir = None;
@@ -1252,9 +1407,20 @@ pub fn execute(
             }
             writeln!(out, "{line}")?;
         }
-        Command::StoreFsck { dir } => {
+        Command::StoreFsck { dir, json } => {
             let path = std::path::Path::new(&dir);
             let report = spackle::fsck(path).map_err(|e| CliError(format!("store fsck: {e}")))?;
+            if json {
+                writeln!(out, "{}", report.to_json())?;
+                if !report.clean() {
+                    return Err(CliError(format!(
+                        "store fsck: {} invalid committed entries in `{dir}`",
+                        report.invalid.len()
+                    ))
+                    .into());
+                }
+                return Ok(());
+            }
             writeln!(
                 out,
                 "store fsck: {} valid, {} invalid, {} quarantined, \
@@ -1294,6 +1460,69 @@ pub fn execute(
                     report.invalid.len()
                 ))
                 .into());
+            }
+        }
+        Command::Serve {
+            dir,
+            addr,
+            workers,
+            queue,
+            read_timeout_ms,
+            max_body,
+        } => {
+            let mut cfg = servd::ServeConfig::new(&dir, &addr);
+            cfg.workers = workers;
+            cfg.queue = queue;
+            cfg.read_timeout_ms = read_timeout_ms;
+            cfg.max_body = max_body;
+            let server = servd::Server::bind(cfg).map_err(|e| CliError(format!("serve: {e}")))?;
+            let bound = server
+                .local_addr()
+                .map_err(|e| CliError(format!("serve: {e}")))?;
+            servd::install_sigterm_drain();
+            let recovered = server.recovered_records();
+            if recovered > 0 {
+                writeln!(
+                    out,
+                    "serve: recovered {recovered} acknowledged records from the WAL"
+                )?;
+            }
+            // The readiness line: scripts wait for it (and parse the
+            // bound address out of it when --addr ended in :0).
+            writeln!(
+                out,
+                "serving {dir} on {bound} ({workers} workers, queue {queue})"
+            )?;
+            out.flush()?;
+            let summary = server.run().map_err(|e| CliError(format!("serve: {e}")))?;
+            writeln!(
+                out,
+                "serve: drained — {} connections served, {} rejected, {} records durable",
+                summary.served, summary.rejected, summary.wal_records
+            )?;
+        }
+        Command::Push {
+            dir,
+            to,
+            max_retries,
+        } => {
+            let report = servd::push_dir(std::path::Path::new(&dir), &to, max_retries, &mut *out)
+                .map_err(|e| CliError(format!("push: {e}")))?;
+            writeln!(
+                out,
+                "push: {} files, {} acked, {} duplicate, {} retries",
+                report.files, report.acked, report.duplicates, report.retries
+            )?;
+        }
+        Command::Query { addr, path } => {
+            let resp = servd::http_get(&addr, &path)
+                .map_err(|e| CliError(format!("query: {addr}{path}: {e}")))?;
+            write!(out, "{}", resp.body_text())?;
+            out.flush()?;
+            if !(200..300).contains(&resp.status) {
+                return Err(
+                    CliError(format!("query: {addr}{path} answered {}", resp.status)).into(),
+                );
             }
         }
         Command::CheckpointGc { dir, force } => {
@@ -2398,7 +2627,15 @@ printf 'done:0:\n'
         assert_eq!(
             parse(&argv("store fsck /tmp/st")).unwrap(),
             Command::StoreFsck {
-                dir: "/tmp/st".into()
+                dir: "/tmp/st".into(),
+                json: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("store fsck /tmp/st --json")).unwrap(),
+            Command::StoreFsck {
+                dir: "/tmp/st".into(),
+                json: true
             }
         );
         assert!(parse(&argv("store fsck")).is_err(), "missing dir");
@@ -2520,6 +2757,7 @@ printf 'done:0:\n'
         // The store the surveys left behind passes fsck.
         let (text, err) = run_cmd(Command::StoreFsck {
             dir: store_dir.to_string_lossy().into_owned(),
+            json: false,
         });
         assert!(err.is_none(), "{err:?}");
         assert!(text.contains("store fsck: "), "{text}");
@@ -2578,17 +2816,42 @@ printf 'done:0:\n'
         // committed entry flips the exit to nonzero and names the file.
         let (text, err) = run_cmd(Command::StoreFsck {
             dir: clean_dir.to_string_lossy().into_owned(),
+            json: false,
         });
         assert!(err.is_none(), "{err:?}");
         assert!(text.contains(" 0 invalid"), "{text}");
+        // --json: one machine-readable object, same exit semantics.
+        let (json_text, err) = run_cmd(Command::StoreFsck {
+            dir: clean_dir.to_string_lossy().into_owned(),
+            json: true,
+        });
+        assert!(err.is_none(), "{err:?}");
+        let parsed = tinycfg::parse(json_text.trim()).expect("fsck --json parses");
+        assert_eq!(
+            parsed.get_path("clean").and_then(|v| v.as_bool()),
+            Some(true),
+            "{json_text}"
+        );
         let shard = clean_dir.join(spackle::shard_name("deadbeef"));
         std::fs::create_dir_all(&shard).unwrap();
         std::fs::write(shard.join("deadbeef.json"), "{not an entry}\n").unwrap();
         let (text, err) = run_cmd(Command::StoreFsck {
             dir: clean_dir.to_string_lossy().into_owned(),
+            json: false,
         });
         assert!(err.is_some(), "invalid committed entry must exit nonzero");
         assert!(text.contains("deadbeef.json:"), "{text}");
+        let (json_text, err) = run_cmd(Command::StoreFsck {
+            dir: clean_dir.to_string_lossy().into_owned(),
+            json: true,
+        });
+        assert!(err.is_some(), "--json must keep the nonzero exit");
+        let parsed = tinycfg::parse(json_text.trim()).expect("fsck --json parses");
+        assert_eq!(
+            parsed.get_path("clean").and_then(|v| v.as_bool()),
+            Some(false),
+            "{json_text}"
+        );
 
         let _ = std::fs::remove_dir_all(&clean_dir);
         let _ = std::fs::remove_dir_all(&busy_dir);
@@ -2651,6 +2914,78 @@ printf 'done:0:\n'
         });
         assert!(err.unwrap().contains("no criterion records"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_serve_push_query() {
+        assert_eq!(
+            parse(&argv("serve /tmp/st --addr 127.0.0.1:0")).unwrap(),
+            Command::Serve {
+                dir: "/tmp/st".into(),
+                addr: "127.0.0.1:0".into(),
+                workers: 4,
+                queue: 16,
+                read_timeout_ms: 5_000,
+                max_body: 4 * 1024 * 1024,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve /tmp/st --addr 0.0.0.0:8080 --workers 2 --queue 0 \
+                 --read-timeout-ms 250 --max-body 1024"
+            ))
+            .unwrap(),
+            Command::Serve {
+                dir: "/tmp/st".into(),
+                addr: "0.0.0.0:8080".into(),
+                workers: 2,
+                queue: 0,
+                read_timeout_ms: 250,
+                max_body: 1024,
+            }
+        );
+        assert!(parse(&argv("serve /tmp/st")).is_err(), "missing --addr");
+        assert!(
+            parse(&argv("serve --addr 127.0.0.1:0")).is_err(),
+            "missing dir"
+        );
+        assert!(parse(&argv("serve /tmp/st --addr a:0 --workers 0")).is_err());
+        assert!(parse(&argv("serve /tmp/st --addr a:0 --wat")).is_err());
+
+        assert_eq!(
+            parse(&argv("push study-a/ --to 127.0.0.1:8080")).unwrap(),
+            Command::Push {
+                dir: "study-a/".into(),
+                to: "127.0.0.1:8080".into(),
+                max_retries: 5,
+            }
+        );
+        assert_eq!(
+            parse(&argv("push a.jsonl --to h:1 --max-retries 0")).unwrap(),
+            Command::Push {
+                dir: "a.jsonl".into(),
+                to: "h:1".into(),
+                max_retries: 0,
+            }
+        );
+        assert!(parse(&argv("push study-a/")).is_err(), "missing --to");
+        assert!(parse(&argv("push --to h:1")).is_err(), "missing dir");
+
+        assert_eq!(
+            parse(&argv("query 127.0.0.1:8080 /v1/health")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:8080".into(),
+                path: "/v1/health".into(),
+            }
+        );
+        assert!(
+            parse(&argv("query 127.0.0.1:8080")).is_err(),
+            "missing path"
+        );
+        assert!(
+            parse(&argv("query 127.0.0.1:8080 v1/health")).is_err(),
+            "path must start with /"
+        );
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Daemon torture: SIGKILL `benchkit serve` mid-ingest while deterministic
+//! network faults (`BENCHKIT_NETFAULTS`) tear client traffic and I/O
+//! faults (`BENCHKIT_IOFAULTS`) tear WAL appends, then restart over the
+//! same directory and hold the acceptance criteria:
+//!
+//! * every record the daemon *acknowledged* (the client saw its `200`) is
+//!   queryable after the restart — acks survive SIGKILL;
+//! * no torn WAL record reaches the query surface — every served line is
+//!   a valid perflog record;
+//! * `store fsck --json` over the directory is clean (the daemon's state
+//!   dir is not store residue);
+//! * SIGTERM drains the restarted daemon gracefully: exit 0, lease
+//!   released, drain summary printed.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const BENCHKIT_BIN: &str = env!("CARGO_BIN_EXE_benchkit");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "serve-torture-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The canonical form the daemon serves (`to_json_line` adds optional
+/// fields like `job_id: null`), for set comparisons against `/v1/fom`.
+fn canonical(line: &str) -> String {
+    perflogs::PerflogRecord::from_json_line(line)
+        .expect("torture record parses")
+        .to_json_line()
+}
+
+fn record_line(i: usize) -> String {
+    // Unique (system, sequence) per record so dedup never collapses two
+    // distinct torture records.
+    format!(
+        "{{\"sequence\":{seq},\"benchmark\":\"stream\",\"system\":\"sys{s}\",\
+         \"partition\":\"compute\",\"environ\":\"gcc@11.2.0\",\
+         \"spec\":\"stream%gcc\",\"build_hash\":\"h{i}\",\
+         \"num_tasks\":1,\"num_tasks_per_node\":1,\"num_cpus_per_task\":1,\
+         \"foms\":[{{\"name\":\"bw\",\"value\":{v}.5,\"unit\":\"GB/s\"}}]}}",
+        seq = i / 4 + 1,
+        s = i % 4,
+        v = 100 + i,
+    )
+}
+
+/// Kills the daemon when the test unwinds, so a failed assertion never
+/// leaves an orphan holding the harness's output pipes open.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn `benchkit serve` with torture fault env and wait for the
+/// readiness line, returning the child and the bound address.
+fn spawn_daemon(dir: &Path) -> (Daemon, String) {
+    let mut child = Command::new(BENCHKIT_BIN)
+        .args([
+            "serve",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "4",
+            "--read-timeout-ms",
+            "2000",
+        ])
+        // Mild, deterministic torture: tear some client-visible reads and
+        // writes, and some WAL appends (scoped by match= so lease writes
+        // at bind keep working and the daemon reliably comes up).
+        .env(
+            "BENCHKIT_NETFAULTS",
+            "seed=7,torn=0.08,short=0.08,reset=0.04",
+        )
+        .env(
+            "BENCHKIT_IOFAULTS",
+            "seed=11,torn=0.10,fsync=0.05,match=wal.jsonl",
+        )
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn benchkit serve");
+    let stdout = child.stdout.take().expect("daemon stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        assert!(Instant::now() < deadline, "daemon never printed readiness");
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read daemon stdout");
+        assert!(n > 0, "daemon exited before readiness line");
+        // "serving DIR on ADDR (N workers, queue Q)"
+        if let Some(rest) = line.trim().strip_prefix("serving ") {
+            let addr = rest
+                .split(" on ")
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .expect("readiness line names the bound address");
+            break addr.to_string();
+        }
+    };
+    // Keep draining the daemon's stdout so it never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    (Daemon(child), addr)
+}
+
+/// POST one batch until the daemon acknowledges it; `None` when the
+/// daemon is unreachable (killed) and stays so.
+fn push_until_acked(addr: &str, batch: &str) -> Option<()> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut refused = 0u32;
+    while Instant::now() < deadline {
+        match servd::http_post(addr, "/v1/ingest", batch.as_bytes()) {
+            Ok(resp) if resp.status == 200 => return Some(()),
+            Ok(resp) if resp.status >= 500 => {
+                // Saturated or a rolled-back WAL append: retry.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok(resp) => panic!("fatal daemon answer {}: {}", resp.status, resp.body_text()),
+            Err(_) => {
+                // Torn response / reset / daemon killed. A killed daemon
+                // refuses repeatedly; torn traffic recovers quickly.
+                refused += 1;
+                if refused > 40 {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    None
+}
+
+fn query_fom_lines(addr: &str) -> Vec<String> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match servd::http_get(addr, "/v1/fom") {
+            Ok(resp) if resp.status == 200 => {
+                return resp.body_text().lines().map(|l| l.to_string()).collect()
+            }
+            _ if Instant::now() > deadline => panic!("/v1/fom never answered"),
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+#[test]
+fn sigkill_mid_ingest_loses_no_acked_record_and_drains_cleanly() {
+    let dir = tmpdir("sigkill");
+    let (mut daemon, addr) = spawn_daemon(&dir);
+
+    // Push 40 batches of 5 records from a client thread while the main
+    // thread waits to SIGKILL the daemon mid-stream.
+    let acked: Arc<Mutex<BTreeSet<String>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let pusher = {
+        let acked = Arc::clone(&acked);
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            for batch_no in 0..40 {
+                let records: Vec<String> =
+                    (batch_no * 5..batch_no * 5 + 5).map(record_line).collect();
+                let batch = records.join("\n") + "\n";
+                if push_until_acked(&addr, &batch).is_none() {
+                    return; // daemon gone — everything acked so far counts
+                }
+                acked
+                    .lock()
+                    .unwrap()
+                    .extend(records.iter().map(|r| canonical(r)));
+            }
+        })
+    };
+
+    // Let a prefix land, then SIGKILL mid-ingest: no drain, no flush.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while acked.lock().unwrap().len() < 60 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.0.kill().expect("SIGKILL the daemon");
+    daemon.0.wait().expect("reap the killed daemon");
+    pusher.join().expect("pusher thread");
+    let acked = Arc::try_unwrap(acked).unwrap().into_inner().unwrap();
+    assert!(
+        acked.len() >= 60,
+        "torture needs a meaningful acked prefix, got {}",
+        acked.len()
+    );
+
+    // Restart over the same directory (same fault env): the WAL replays,
+    // the dead daemon's lease is taken over.
+    let (mut daemon, addr) = spawn_daemon(&dir);
+    let served = query_fom_lines(&addr);
+    let served_set: BTreeSet<String> = served.iter().cloned().collect();
+    assert_eq!(served.len(), served_set.len(), "served records are unique");
+    for record in &acked {
+        assert!(
+            served_set.contains(record),
+            "acknowledged record lost across SIGKILL: {record}"
+        );
+    }
+    // No torn WAL line reaches the query surface.
+    for line in &served {
+        perflogs::PerflogRecord::from_json_line(line)
+            .unwrap_or_else(|e| panic!("served a torn record: {e}: {line}"));
+    }
+
+    // The store directory is clean under fsck --json (the daemon's state
+    // dir is its own, not store residue), even with the daemon running.
+    let fsck = Command::new(BENCHKIT_BIN)
+        .args(["store", "fsck", dir.to_str().unwrap(), "--json"])
+        .env_remove("BENCHKIT_IOFAULTS")
+        .output()
+        .expect("run store fsck --json");
+    assert!(
+        fsck.status.success(),
+        "fsck not clean: {}",
+        String::from_utf8_lossy(&fsck.stdout)
+    );
+    let report = tinycfg::parse(String::from_utf8_lossy(&fsck.stdout).trim())
+        .expect("fsck --json output parses");
+    assert_eq!(
+        report.get_path("clean").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+
+    // Re-pushing every record through the CLI client is pure dedup for
+    // the acked prefix; afterwards all 200 records are served exactly once.
+    let logs = tmpdir("sigkill-logs");
+    let all: Vec<String> = (0..200).map(record_line).collect();
+    std::fs::write(logs.join("all.jsonl"), all.join("\n") + "\n").unwrap();
+    let push = Command::new(BENCHKIT_BIN)
+        // Each attempt makes monotonic progress (acked records dedup), but
+        // a 10% append fault rate over 200 records needs generous retries.
+        .args([
+            "push",
+            logs.to_str().unwrap(),
+            "--to",
+            &addr,
+            "--max-retries",
+            "200",
+        ])
+        .env("BENCHKIT_ENGINE_BACKOFF_SCALE", "0.001")
+        .env(
+            "BENCHKIT_NETFAULTS",
+            "seed=7,torn=0.08,short=0.08,reset=0.04",
+        )
+        .output()
+        .expect("run benchkit push");
+    assert!(
+        push.status.success(),
+        "push failed: {}{}",
+        String::from_utf8_lossy(&push.stdout),
+        String::from_utf8_lossy(&push.stderr)
+    );
+    let served = query_fom_lines(&addr);
+    assert_eq!(served.len(), 200, "all records served exactly once");
+    let served_set: BTreeSet<String> = served.into_iter().collect();
+    for record in &all {
+        let canon = canonical(record);
+        assert!(served_set.contains(&canon), "record missing: {canon}");
+    }
+
+    // `benchkit query` sees the same health the library client does. One
+    // shot can lose its connection to a daemon-side net fault; each retry
+    // is a fresh connection with a fresh fault draw.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let query = Command::new(BENCHKIT_BIN)
+            .args(["query", &addr, "/v1/health"])
+            .output()
+            .expect("run benchkit query");
+        if query.status.success() {
+            assert!(
+                String::from_utf8_lossy(&query.stdout).contains("\"clean\":true"),
+                "health: {}",
+                String::from_utf8_lossy(&query.stdout)
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "query /v1/health never succeeded: {}",
+            String::from_utf8_lossy(&query.stderr)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // SIGTERM: graceful drain — exit 0 and the daemon lease released.
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.0.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        match daemon.0.try_wait().expect("poll drained daemon") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => panic!("daemon never drained on SIGTERM"),
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    assert!(
+        !dir.join("servd").join(".lease").exists(),
+        "drain must release the daemon lease"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&logs);
+}

@@ -25,14 +25,12 @@
 //! reached its `--quarantine` threshold in canary mode (see
 //! `SuiteRunner`).
 
+use crate::walog::AppendLog;
 use crate::{CaseReport, HarnessError, SuiteOutcome};
 use perflogs::PerflogRecord;
 use spackle::IoShim;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 use tinycfg::{Map, Value};
 
 /// Journal file name inside the checkpoint directory.
@@ -193,15 +191,14 @@ pub struct ReplayedCell {
 
 /// The append side of a checkpoint journal. Records are written one JSON
 /// line at a time and fsync'd before the cell is reported upstream, so a
-/// crash at any instant leaves at worst one torn trailing record. All
-/// writes and fsyncs go through a [`spackle::IoShim`], so the torture
-/// suite (and `BENCHKIT_IOFAULTS`) can inject torn appends and fsync
-/// failures here and prove the resume path recovers the valid prefix.
+/// crash at any instant leaves at worst one torn trailing record. The
+/// durability mechanics live in [`crate::walog::AppendLog`]; all writes
+/// and fsyncs go through a [`spackle::IoShim`], so the torture suite (and
+/// `BENCHKIT_IOFAULTS`) can inject torn appends and fsync failures here
+/// and prove the resume path recovers the valid prefix.
 #[derive(Debug)]
 pub struct Journal {
-    file: Mutex<File>,
-    path: PathBuf,
-    io: IoShim,
+    log: AppendLog,
 }
 
 impl Journal {
@@ -220,15 +217,9 @@ impl Journal {
     ) -> Result<Journal, CheckpointError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
-        let mut file = File::create(&path)?;
-        let header = format!("{}\n", binding.header_line());
-        io.write_all(&mut file, &path, header.as_bytes())?;
-        io.fsync(&file, &path)?;
-        Ok(Journal {
-            file: Mutex::new(file),
-            path,
-            io,
-        })
+        let log = AppendLog::create(&path, io)?;
+        log.append(&binding.header_line())?;
+        Ok(Journal { log })
     }
 
     /// Open an existing journal for continuation: validate its header
@@ -273,17 +264,11 @@ impl Journal {
                 Err(_) => break,
             }
         }
-        let mut file = OpenOptions::new().write(true).open(&path)?;
-        file.set_len(valid_len as u64)?;
-        file.seek(SeekFrom::End(0))?;
-        Ok((
-            Journal {
-                file: Mutex::new(file),
-                path,
-                io: IoShim::from_env(),
-            },
-            cells,
-        ))
+        // The header check above must fail as ConfigMismatch, never as a
+        // truncate-to-empty recovery, so the parse happens here and the
+        // log is opened at the already-validated prefix length.
+        let log = AppendLog::open_at(&path, IoShim::from_env(), valid_len as u64)?;
+        Ok((Journal { log }, cells))
     }
 
     /// Append one flushed cell and fsync it. Called by the ordered flush
@@ -300,10 +285,7 @@ impl Journal {
         m.insert("case", Value::from(case));
         m.insert("system", Value::from(system));
         m.insert("outcome", outcome_to_value(outcome));
-        let line = format!("{}\n", Value::Map(m).to_json());
-        let mut file = self.file.lock().expect("journal file poisoned");
-        self.io.write_all(&mut file, &self.path, line.as_bytes())?;
-        self.io.fsync(&file, &self.path)?;
+        self.log.append(&Value::Map(m).to_json())?;
         Ok(())
     }
 }
@@ -653,6 +635,7 @@ pub fn gc(dir: &Path, force: bool) -> Result<GcOutcome, CheckpointError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
     use std::io::Write;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -28,6 +28,7 @@
 pub mod checkpoint;
 mod pipeline;
 mod suite;
+pub mod walog;
 
 pub use engine::{EngineSpec, DEFAULT_TIMEOUT_S};
 pub use pipeline::{CaseReport, Harness, HarnessError, PreparedBuild, RunOptions};

@@ -328,15 +328,22 @@ pub enum Persist {
 pub struct LeaseInfo {
     pub writer: String,
     pub pid: u32,
+    /// Hostname the holder recorded when acquiring. PID liveness is only
+    /// meaningful on that host; leases written before the field existed
+    /// read back as the local host (the old single-host assumption).
+    pub host: String,
     pub acquired_unix: i64,
     pub expires_unix: i64,
 }
 
 impl LeaseInfo {
-    /// A lease is live while its holder's PID exists and it has not
-    /// expired; anything else may be taken over.
+    /// A lease is live while it has not expired and — *only when held on
+    /// this host* — its holder's PID exists. A `/proc/<pid>` probe says
+    /// nothing about a writer on another machine sharing the filesystem,
+    /// so a foreign-host lease is trusted until its expiry alone: judging
+    /// a live remote writer dead would take over a shard mid-write.
     pub fn is_live(&self, now: i64) -> bool {
-        self.expires_unix >= now && pid_alive(self.pid)
+        self.expires_unix >= now && (self.host != local_hostname() || pid_alive(self.pid))
     }
 }
 
@@ -350,9 +357,56 @@ fn read_lease(path: &Path) -> Option<LeaseInfo> {
     Some(LeaseInfo {
         writer: v.get_path("writer")?.as_str()?.to_string(),
         pid: pid as u32,
+        host: v
+            .get_path("host")
+            .and_then(|h| h.as_str())
+            .map(str::to_string)
+            .unwrap_or_else(|| local_hostname().to_string()),
         acquired_unix: v.get_path("acquired_unix")?.as_int()?,
         expires_unix: v.get_path("expires_unix")?.as_int()?,
     })
+}
+
+/// This machine's hostname, for lease-liveness scoping. `/proc` is the
+/// dependency-free answer on Linux; elsewhere fall back to `$HOSTNAME`,
+/// then a fixed name (every process on the box agrees, which is all the
+/// comparison needs).
+pub fn local_hostname() -> &'static str {
+    static HOSTNAME: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    HOSTNAME.get_or_init(|| {
+        fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .map(|h| h.trim().to_string())
+            .filter(|h| !h.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok().filter(|h| !h.is_empty()))
+            .unwrap_or_else(|| "localhost".to_string())
+    })
+}
+
+/// Read a lease file in the store's format. `None` for missing or
+/// unreadable leases (unreadable leases are takeover candidates, exactly
+/// as inside the store).
+pub fn read_lease_info(path: &Path) -> Option<LeaseInfo> {
+    read_lease(path)
+}
+
+/// Claim `path` as a lease for `writer` on this host for `ttl_s` seconds,
+/// in the same on-disk format (and with the same liveness semantics) as
+/// the store's shard leases. The write is atomic+durable through `io`;
+/// callers racing for the same lease must read back and check `writer`
+/// afterwards, exactly like shard acquisition.
+pub fn write_lease(io: &IoShim, path: &Path, writer: &str, ttl_s: i64) -> std::io::Result<()> {
+    let now = unix_now();
+    let mut m = tinycfg::Map::new();
+    m.insert("writer", tinycfg::Value::Str(writer.to_string()));
+    m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
+    m.insert("host", tinycfg::Value::Str(local_hostname().to_string()));
+    m.insert("acquired_unix", tinycfg::Value::Int(now));
+    m.insert(
+        "expires_unix",
+        tinycfg::Value::Int(now.saturating_add(ttl_s)),
+    );
+    write_atomic_with(io, path, &tinycfg::Value::Map(m).to_json())
 }
 
 /// One merged reference-log record: study `study` of writer `writer` used
@@ -420,8 +474,26 @@ fn unix_now() -> i64 {
 
 /// Is `pid` a live process? On Linux, `/proc/<pid>` existence is the
 /// cheapest advisory answer; elsewhere assume dead (single-host tooling).
+/// A zombie is *dead* for lease purposes: a SIGKILLed writer whose
+/// parent never reaps it would otherwise hold its lease hostage until
+/// expiry, refusing a crash-restart over the same directory.
 fn pid_alive(pid: u32) -> bool {
-    Path::new(&format!("/proc/{pid}")).exists()
+    if !Path::new(&format!("/proc/{pid}")).exists() {
+        return false;
+    }
+    // `/proc/<pid>/stat` is `pid (comm) STATE ...`; comm may itself
+    // contain parens, so the state letter follows the *last* `)`.
+    match fs::read_to_string(format!("/proc/{pid}/stat")) {
+        Ok(stat) => match stat.rfind(')') {
+            Some(close) => !matches!(
+                stat[close + 1..].trim_start().chars().next(),
+                Some('Z') | Some('X')
+            ),
+            None => true,
+        },
+        // Raced the exit, or a non-procfs platform quirk: trust existence.
+        Err(_) => Path::new(&format!("/proc/{pid}")).exists(),
+    }
 }
 
 /// A process-unique default writer id: PID plus a per-process sequence so
@@ -571,6 +643,7 @@ impl DiskStore {
         let mut m = tinycfg::Map::new();
         m.insert("writer", tinycfg::Value::Str(self.writer.clone()));
         m.insert("pid", tinycfg::Value::Int(std::process::id() as i64));
+        m.insert("host", tinycfg::Value::Str(local_hostname().to_string()));
         m.insert("acquired_unix", tinycfg::Value::Int(now));
         m.insert(
             "expires_unix",
@@ -637,6 +710,7 @@ impl DiskStore {
                     LeaseInfo {
                         writer: "unknown".to_string(),
                         pid: 0,
+                        host: local_hostname().to_string(),
                         acquired_unix: 0,
                         expires_unix: 0,
                     },
@@ -1074,6 +1148,48 @@ impl FsckReport {
     pub fn clean(&self) -> bool {
         self.invalid.is_empty()
     }
+
+    /// Machine-readable rendering: one compact JSON object carrying every
+    /// field the text summary prints, so `store fsck --json`, `servd`'s
+    /// `/v1/health`, and external monitors all parse one format.
+    pub fn to_json(&self) -> String {
+        let str_list = |items: &[String]| {
+            tinycfg::Value::List(
+                items
+                    .iter()
+                    .map(|s| tinycfg::Value::Str(s.clone()))
+                    .collect(),
+            )
+        };
+        let mut m = tinycfg::Map::new();
+        m.insert("clean", tinycfg::Value::Bool(self.clean()));
+        m.insert("valid", tinycfg::Value::Int(self.valid as i64));
+        m.insert(
+            "invalid",
+            tinycfg::Value::List(
+                self.invalid
+                    .iter()
+                    .map(|(file, reason)| {
+                        let mut e = tinycfg::Map::new();
+                        e.insert("file", tinycfg::Value::Str(file.clone()));
+                        e.insert("reason", tinycfg::Value::Str(reason.clone()));
+                        tinycfg::Value::Map(e)
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert("orphan_temps", str_list(&self.orphan_temps));
+        m.insert("live_leases", str_list(&self.live_leases));
+        m.insert("expired_leases", str_list(&self.expired_leases));
+        m.insert(
+            "ref_segments",
+            tinycfg::Value::Int(self.ref_segments as i64),
+        );
+        m.insert("ref_records", tinycfg::Value::Int(self.ref_records as i64));
+        m.insert("quarantined", tinycfg::Value::Int(self.quarantined as i64));
+        m.insert("legacy_layout", tinycfg::Value::Bool(self.legacy_layout));
+        tinycfg::Value::Map(m).to_json()
+    }
 }
 
 fn scan_temps(dir: &Path, rel: &str, out: &mut Vec<String>) {
@@ -1308,6 +1424,38 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn zombie_pid_is_dead_for_lease_liveness() {
+        // An exited-but-unreaped child is a zombie: /proc/<pid> still
+        // exists, but it can never write again, so a crashed daemon's
+        // lease must be treated as stale (takeover) — not held hostage
+        // until expiry just because the parent never called wait().
+        let mut child = std::process::Command::new("true")
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        let pid = child.id();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let stat = fs::read_to_string(format!("/proc/{pid}/stat")).unwrap_or_default();
+            let state = stat
+                .rfind(')')
+                .and_then(|c| stat[c + 1..].trim_start().chars().next());
+            if state == Some('Z') {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "child never became a zombie (state {state:?})"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(!pid_alive(pid), "zombie counted as live");
+        child.wait().unwrap();
+        assert!(!pid_alive(pid), "reaped pid counted as live");
+        assert!(pid_alive(std::process::id()), "own pid counted as dead");
     }
 
     #[test]
@@ -1547,6 +1695,59 @@ mod tests {
         let mut s = open_as(&dir, "taker");
         assert_eq!(s.persist(&entry("q")).unwrap(), Persist::Written);
         assert_eq!(read_lease(&shard.join(".lease")).unwrap().writer, "taker");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A lease naming a *foreign* host must be trusted until its expiry:
+    /// `/proc/<pid>` on this machine says nothing about a writer on
+    /// another box sharing the filesystem. Before the `host` field this
+    /// forged lease (dead-local PID, future expiry) was taken over.
+    #[test]
+    fn foreign_host_lease_trusts_expiry_not_local_pid() {
+        let dir = tmpdir("foreignlease");
+        let shard = dir.join(shard_name("q"));
+        fs::create_dir_all(&shard).unwrap();
+        fs::write(
+            shard.join(".lease"),
+            format!(
+                "{{\"writer\":\"remote\",\"pid\":999999999,\"host\":\"another-box\",\
+                 \"acquired_unix\":1,\"expires_unix\":{}}}",
+                unix_now() + 3600
+            ),
+        )
+        .unwrap();
+        let mut s = open_as(&dir, "taker");
+        assert_eq!(
+            s.persist(&entry("q")).unwrap(),
+            Persist::SkippedContended,
+            "a live remote writer's lease must not be stolen mid-write"
+        );
+        assert_eq!(read_lease(&shard.join(".lease")).unwrap().writer, "remote");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Expiry still governs foreign leases: once past `expires_unix` the
+    /// remote holder has lost its claim regardless of PID liveness.
+    #[test]
+    fn foreign_host_expired_lease_is_taken_over() {
+        let dir = tmpdir("foreignexpired");
+        let shard = dir.join(shard_name("q"));
+        fs::create_dir_all(&shard).unwrap();
+        fs::write(
+            shard.join(".lease"),
+            format!(
+                "{{\"writer\":\"remote\",\"pid\":{},\"host\":\"another-box\",\
+                 \"acquired_unix\":1,\"expires_unix\":{}}}",
+                std::process::id(),
+                unix_now() - 10
+            ),
+        )
+        .unwrap();
+        let mut s = open_as(&dir, "taker");
+        assert_eq!(s.persist(&entry("q")).unwrap(), Persist::Written);
+        let lease = read_lease(&shard.join(".lease")).unwrap();
+        assert_eq!(lease.writer, "taker");
+        assert_eq!(lease.host, local_hostname());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1878,6 +2079,30 @@ mod tests {
         assert!(!report.clean());
         assert_eq!(report.invalid.len(), 1);
         assert!(report.invalid[0].0.ends_with("good.json"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The JSON rendering carries the same fields as the text summary and
+    /// parses back cleanly — the contract `store fsck --json` and
+    /// `servd`'s `/v1/health` both rely on.
+    #[test]
+    fn fsck_json_round_trips_the_report() {
+        let dir = tmpdir("fsck-json");
+        {
+            let mut s = open_as(&dir, "w");
+            s.persist(&entry("good")).unwrap();
+        }
+        fs::write(dir.join(shard_name("good")).join(".tmp-9-x.json"), b"part").unwrap();
+        let report = fsck(&dir).unwrap();
+        let v = tinycfg::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get_path("clean").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get_path("valid").unwrap().as_int(), Some(1));
+        assert_eq!(
+            v.get_path("orphan_temps").unwrap().as_list().unwrap().len(),
+            1
+        );
+        assert_eq!(v.get_path("invalid").unwrap().as_list().unwrap().len(), 0);
+        assert_eq!(v.get_path("legacy_layout").unwrap().as_bool(), Some(false));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -53,9 +53,9 @@ pub use concretize::{
     concretize, ConcretePackage, ConcreteSpec, ConcretizeError, SystemContext, Target,
 };
 pub use diskstore::{
-    fnv1a64, fsck, merged_ref_log, parse_ref_log, shard_name, write_atomic, DiskStore,
-    DiskStoreError, FsckReport, GcReport, LeaseInfo, Persist, QuarantineNote, RefRecord,
-    StoreEntry, StoreOptions, SHARD_COUNT,
+    fnv1a64, fsck, local_hostname, merged_ref_log, parse_ref_log, read_lease_info, shard_name,
+    write_atomic, write_lease, DiskStore, DiskStoreError, FsckReport, GcReport, LeaseInfo, Persist,
+    QuarantineNote, RefRecord, StoreEntry, StoreOptions, SHARD_COUNT,
 };
 pub use environment::Environment;
 pub use iofault::{write_atomic_with, FaultSpec, IoShim, IOFAULTS_ENV};
